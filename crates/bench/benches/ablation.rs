@@ -1,0 +1,69 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * the federated engine's relational optimizer on vs. off over the
+//!   data-intensive extract processes (P03 + P11);
+//! * eager vs. real-time pacing overhead of the client (at a compressed
+//!   time scale so the bench stays fast).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dip_bench::{build_system, EngineKind};
+use dipbench::prelude::*;
+
+fn bench_fed_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fed_relational_optimizer");
+    g.sample_size(10);
+    for kind in [EngineKind::Federated, EngineKind::FederatedUnoptimized] {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || {
+                    let config =
+                        BenchConfig::new(ScaleFactors::new(0.1, 1.0, Distribution::Uniform))
+                            .with_periods(1);
+                    let env = BenchEnvironment::new(config).unwrap();
+                    let system = build_system(kind, &env);
+                    system.deploy(dipbench::processes::all_processes()).unwrap();
+                    env.initialize_sources(0).unwrap();
+                    (env, system)
+                },
+                |(_env, system)| {
+                    // the two relational-heavy American extract processes
+                    system.on_timed("P03", 0).unwrap();
+                    system.on_timed("P11", 0).unwrap();
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_pacing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("client_pacing");
+    g.sample_size(10);
+    // t = 1000 → 1 tu = 1 µs, so real-time pacing adds only microsleeps
+    for (label, pacing) in [("eager", PacingMode::Eager), ("realtime_t1000", PacingMode::RealTime)]
+    {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let config =
+                        BenchConfig::new(ScaleFactors::new(0.01, 1000.0, Distribution::Uniform))
+                            .with_periods(1)
+                            .with_pacing(pacing);
+                    BenchEnvironment::new(config).unwrap()
+                },
+                |env| {
+                    let system = build_system(EngineKind::Federated, &env);
+                    system.deploy(dipbench::processes::all_processes()).unwrap();
+                    let client = Client::new(&env, system).unwrap();
+                    client.run_period(0).unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fed_optimizer, bench_pacing);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The headline experiments: full benchmark periods under the paper's two
+//! configurations (Fig. 10: d = 0.05, Fig. 11: d = 0.1; both t = 1.0,
+//! uniform) on the federated-DBMS reference implementation. The measured
+//! quantity is the wall time of one complete benchmark period (all four
+//! streams); the `dipbench fig10`/`fig11` CLI prints the corresponding
+//! per-process NAVG+ tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dip_bench::{build_system, EngineKind};
+use dipbench::prelude::*;
+
+fn bench_period(c: &mut Criterion, name: &str, scale: ScaleFactors) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    for kind in [EngineKind::Federated, EngineKind::Mtm] {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || {
+                    let config = BenchConfig::new(scale).with_periods(1);
+                    let env = BenchEnvironment::new(config).unwrap();
+                    let system = build_system(kind, &env);
+                    system.deploy(dipbench::processes::all_processes()).unwrap();
+                    env
+                },
+                |env| {
+                    let system = build_system(kind, &env);
+                    system.deploy(dipbench::processes::all_processes()).unwrap();
+                    let client = Client::new(&env, system).unwrap();
+                    client.run_period(0).unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    bench_period(c, "fig10_period_d005", ScaleFactors::paper_fig10());
+}
+
+fn fig11(c: &mut Criterion) {
+    bench_period(c, "fig11_period_d010", ScaleFactors::paper_fig11());
+}
+
+criterion_group!(benches, fig10, fig11);
+criterion_main!(benches);

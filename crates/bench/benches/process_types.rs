@@ -1,0 +1,83 @@
+//! Per-process-type microbenchmarks: one instance of each of the 15
+//! process types on the federated engine, over a freshly initialized
+//! period-0 environment. Complements the full Fig. 10/11 runs with a
+//! noise-free per-type view.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dip_bench::{build_system, EngineKind};
+use dipbench::prelude::*;
+use std::sync::Arc;
+
+struct Setup {
+    env: BenchEnvironment,
+    system: Arc<dyn IntegrationSystem>,
+}
+
+fn setup() -> Setup {
+    let config = BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform))
+        .with_periods(1);
+    let env = BenchEnvironment::new(config).unwrap();
+    let system = build_system(EngineKind::Federated, &env);
+    system.deploy(dipbench::processes::all_processes()).unwrap();
+    env.initialize_sources(0).unwrap();
+    Setup { env, system }
+}
+
+/// Run the pipeline prefix some process types depend on (e.g. P13 needs
+/// staged movement data, P14 needs a loaded DWH).
+fn run_prefix(s: &Setup, upto: &str) {
+    let order = ["P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14"];
+    for p in order {
+        if p == upto {
+            break;
+        }
+        s.system.on_timed(p, 0).unwrap();
+    }
+}
+
+fn bench_message_types(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_process_types");
+    g.sample_size(10);
+    for process in ["P01", "P02", "P04", "P08", "P10"] {
+        g.bench_function(process, |b| {
+            b.iter_batched(
+                || {
+                    let s = setup();
+                    let msg = match process {
+                        "P01" => s.env.generator.beijing_master_message(0, 0),
+                        "P02" => s.env.generator.mdm_message(0, 0),
+                        "P04" => s.env.generator.vienna_message(0, 0),
+                        "P08" => s.env.generator.hongkong_message(0, 0),
+                        _ => s.env.generator.san_diego_message(0, 0).0,
+                    };
+                    (s, msg)
+                },
+                |(s, msg)| s.system.on_message(process, 0, msg).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_timed_types(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_process_types");
+    g.sample_size(10);
+    for process in ["P03", "P05", "P07", "P09", "P11", "P12", "P13", "P14", "P15"] {
+        g.bench_function(process, |b| {
+            b.iter_batched(
+                || {
+                    let s = setup();
+                    run_prefix(&s, process);
+                    s
+                },
+                |s| s.system.on_timed(process, 0).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_message_types, bench_timed_types);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 8: the analytic schedule series. These benches regenerate the
+//! figure's data (printed by `dipbench fig8`) and measure schedule
+//! generation itself, which the client runs once per period.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dipbench::schedule;
+use std::hint::black_box;
+
+fn bench_series(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule");
+    g.sample_size(30);
+    g.bench_function("fig8_left_series", |b| {
+        b.iter(|| {
+            for &d in &[0.05, 0.1, 0.5, 1.0] {
+                black_box(schedule::fig8_left(d, 100));
+            }
+        })
+    });
+    g.bench_function("fig8_right_series", |b| {
+        b.iter(|| {
+            for &t in &[0.5, 1.0, 2.0] {
+                black_box(schedule::fig8_right(t, 100));
+            }
+        })
+    });
+    g.bench_function("period_streams_d005", |b| {
+        b.iter(|| black_box(schedule::period_streams(0, 0.05)))
+    });
+    g.bench_function("period_streams_d100", |b| {
+        b.iter(|| black_box(schedule::period_streams(0, 1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_series);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! The XML-path ablation: streaming STX transformation (`dip-xmlkit`)
+//! versus the federated DBMS's CLOB-bound "proprietary XML functions"
+//! (`dip_feddbms::xmlfn`). The paper attributes System A's poor showing on
+//! the concurrent process types to exactly this difference — XML
+//! functionality "apparently not included in the optimizer".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dip_services::apps::{self, OrderData, OrderLineData};
+use dip_xmlkit::node::Document;
+use dipbench::schema::messages;
+use std::hint::black_box;
+
+fn order_message(lines: usize) -> Document {
+    let o = OrderData {
+        orderkey: 1,
+        custkey: 100_000,
+        orderdate: "2008-04-07".into(),
+        priority: "2-HIGH".into(),
+        state: "OPEN".into(),
+        totalprice: 100.0,
+        lines: (1..=lines as i64)
+            .map(|l| OrderLineData {
+                lineno: l,
+                prodkey: 110_000 + l,
+                quantity: 2,
+                extendedprice: 10.0,
+                discount: 0.05,
+            })
+            .collect(),
+    };
+    apps::vienna_order(&o)
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_translate");
+    g.sample_size(30);
+    let stx = messages::stx_vienna_to_cdb();
+    for lines in [2usize, 20, 100] {
+        let doc = order_message(lines);
+        g.bench_with_input(BenchmarkId::new("streaming_stx", lines), &doc, |b, doc| {
+            b.iter(|| black_box(stx.transform(doc).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("feddbms_xmlfn", lines), &doc, |b, doc| {
+            b.iter(|| black_box(dip_feddbms::xmlfn::transform(doc, &stx).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_validate");
+    g.sample_size(30);
+    let xsd = messages::san_diego_xsd();
+    let o = OrderData {
+        orderkey: 1,
+        custkey: 2_000_000,
+        orderdate: "2008-04-07".into(),
+        priority: "2".into(),
+        state: "O".into(),
+        totalprice: 50.0,
+        lines: (1..=20)
+            .map(|l| OrderLineData {
+                lineno: l,
+                prodkey: 2_010_000 + l,
+                quantity: 1,
+                extendedprice: 5.0,
+                discount: 0.0,
+            })
+            .collect(),
+    };
+    let doc = apps::san_diego_order(&o, None);
+    g.bench_function("direct", |b| b.iter(|| black_box(xsd.validate(&doc).len())));
+    g.bench_function("feddbms_xmlfn", |b| {
+        b.iter(|| black_box(dip_feddbms::xmlfn::validate(&doc, &xsd).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_parse_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_parse_write");
+    g.sample_size(30);
+    let doc = order_message(100);
+    let text = dip_xmlkit::write_compact(&doc);
+    g.bench_function("parse_100_lines", |b| {
+        b.iter(|| black_box(dip_xmlkit::parse(&text).unwrap()))
+    });
+    g.bench_function("write_100_lines", |b| {
+        b.iter(|| black_box(dip_xmlkit::write_compact(&doc).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_translation, bench_validation, bench_parse_write);
+criterion_main!(benches);

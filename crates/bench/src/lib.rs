@@ -1,0 +1,152 @@
+//! Harness helpers shared by the `dipbench` CLI and the criterion benches:
+//! engine construction, experiment execution, and the per-figure
+//! configurations of EXPERIMENTS.md.
+
+use dip_feddbms::{FedDbms, FedOptions};
+use dipbench::prelude::*;
+use dipbench::verify::{self, VerificationReport};
+use std::sync::Arc;
+
+/// Which integration system to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The federated-DBMS reference implementation (the paper's System A
+    /// analog) — the default, matching the paper's experiments.
+    Federated,
+    /// The native MTM engine.
+    Mtm,
+    /// The federated engine with its relational optimizer disabled
+    /// (ablation).
+    FederatedUnoptimized,
+    /// The EAI-server-style asynchronous broker (paper §VII future work).
+    Eai,
+}
+
+impl EngineKind {
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "fed" | "federated" => Some(EngineKind::Federated),
+            "mtm" => Some(EngineKind::Mtm),
+            "fed-unopt" => Some(EngineKind::FederatedUnoptimized),
+            "eai" => Some(EngineKind::Eai),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Federated => "federated-dbms",
+            EngineKind::Mtm => "mtm-engine",
+            EngineKind::FederatedUnoptimized => "federated-dbms (no optimizer)",
+            EngineKind::Eai => "eai-server",
+        }
+    }
+}
+
+/// Build the system under test over an environment's world.
+pub fn build_system(kind: EngineKind, env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    match kind {
+        EngineKind::Federated => {
+            Arc::new(FedDbms::new(env.world.clone(), FedOptions::default()))
+        }
+        EngineKind::FederatedUnoptimized => Arc::new(FedDbms::new(
+            env.world.clone(),
+            FedOptions { optimize_relational: false },
+        )),
+        EngineKind::Mtm => Arc::new(MtmSystem::new(env.world.clone())),
+        EngineKind::Eai => Arc::new(EaiSystem::new(env.world.clone(), 4)),
+    }
+}
+
+/// One full experiment: environment + work phase + verification.
+pub struct ExperimentResult {
+    pub outcome: RunOutcome,
+    pub verification: VerificationReport,
+}
+
+/// Run a complete experiment.
+pub fn run_experiment(kind: EngineKind, config: BenchConfig) -> ExperimentResult {
+    let env = BenchEnvironment::new(config).expect("environment construction");
+    let system = build_system(kind, &env);
+    let client = Client::new(&env, system).expect("deployment");
+    let outcome = client.run().expect("work phase");
+    let verification = verify::verify(&env).expect("verification phase");
+    ExperimentResult { outcome, verification }
+}
+
+/// The paper's Fig. 10 configuration (d = 0.05, t = 1.0, uniform).
+pub fn fig10_config(periods: u32) -> BenchConfig {
+    BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(periods)
+}
+
+/// The paper's Fig. 11 configuration (d = 0.1, t = 1.0, uniform).
+pub fn fig11_config(periods: u32) -> BenchConfig {
+    BenchConfig::new(ScaleFactors::paper_fig11()).with_periods(periods)
+}
+
+/// Qualitative shape checks on a Fig. 10/11-style outcome — the
+/// paper-versus-measured assertions EXPERIMENTS.md records:
+///
+/// 1. the serialized data-intensive types (P09, P13, P14) dominate the
+///    lightweight message-driven types (P01, P02, P08) in `NAVG+`;
+/// 2. data-intensive types have a larger *absolute* standard deviation.
+///
+/// Returns human-readable findings, with `Err` strings for violated
+/// expectations.
+pub fn shape_findings(outcome: &RunOutcome) -> Vec<Result<String, String>> {
+    let get = |p: &str| outcome.metric_for(p).cloned();
+    let mut findings = Vec::new();
+    let heavy = ["P09", "P13", "P14"];
+    let light = ["P01", "P02", "P08"];
+    let avg = |ids: &[&str], f: &dyn Fn(&ProcessMetric) -> f64| {
+        let vals: Vec<f64> = ids.iter().filter_map(|p| get(p)).map(|m| f(&m)).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let heavy_navg = avg(&heavy, &|m| m.navg_plus_tu);
+    let light_navg = avg(&light, &|m| m.navg_plus_tu);
+    if heavy_navg > 2.0 * light_navg {
+        findings.push(Ok(format!(
+            "data-intensive NAVG+ dominates: {heavy_navg:.1} tu vs {light_navg:.1} tu ({:.1}x)",
+            heavy_navg / light_navg.max(1e-9)
+        )));
+    } else {
+        findings.push(Err(format!(
+            "expected data-intensive dominance, got {heavy_navg:.1} vs {light_navg:.1} tu"
+        )));
+    }
+    let heavy_sd = avg(&heavy, &|m| m.stddev_tu);
+    let light_sd = avg(&light, &|m| m.stddev_tu);
+    if heavy_sd > light_sd {
+        findings.push(Ok(format!(
+            "data-intensive stddev is larger: {heavy_sd:.1} tu vs {light_sd:.1} tu"
+        )));
+    } else {
+        findings.push(Err(format!(
+            "expected larger data-intensive stddev, got {heavy_sd:.1} vs {light_sd:.1} tu"
+        )));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_parsing() {
+        assert_eq!(EngineKind::parse("fed"), Some(EngineKind::Federated));
+        assert_eq!(EngineKind::parse("mtm"), Some(EngineKind::Mtm));
+        assert_eq!(EngineKind::parse("fed-unopt"), Some(EngineKind::FederatedUnoptimized));
+        assert_eq!(EngineKind::parse("eai"), Some(EngineKind::Eai));
+        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn small_experiment_runs_and_verifies() {
+        let config = BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform))
+            .with_periods(1);
+        let result = run_experiment(EngineKind::Federated, config);
+        assert!(result.verification.passed(), "{}", result.verification);
+        assert_eq!(result.outcome.metrics.len(), 15);
+    }
+}

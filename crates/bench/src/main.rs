@@ -1,0 +1,247 @@
+//! The `dipbench` CLI harness — regenerates every table and figure of the
+//! paper (see EXPERIMENTS.md for the index).
+//!
+//! ```text
+//! dipbench table1                         # paper Table I
+//! dipbench table2 [--d 0.05]              # paper Table II
+//! dipbench fig8                           # paper Fig. 8 data series
+//! dipbench fig10 [--periods 3] [--engine fed|mtm|fed-unopt|eai]
+//! dipbench fig11 [--periods 3] [--engine ...]
+//! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...]
+//! dipbench compare [--periods 2]          # fed vs mtm, same configuration
+//! dipbench sweep d|t|f [--periods 1]      # scale-factor sweeps
+//! ```
+
+use dip_bench::{run_experiment, shape_findings, EngineKind};
+use dipbench::prelude::*;
+use dipbench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "table1" => print!("{}", report::table1()),
+        "table2" => {
+            let d = flag_f64(&args, "--d").unwrap_or(0.05);
+            print!("{}", report::table2(d));
+        }
+        "fig8" => {
+            print!(
+                "{}",
+                report::fig8_dat(&[0.05, 0.1, 0.5, 1.0], &[0.5, 1.0, 2.0], 100, 20)
+            );
+        }
+        "fig10" => figure(&args, ScaleFactors::paper_fig10()),
+        "fig11" => figure(&args, ScaleFactors::paper_fig11()),
+        "run" => {
+            let d = flag_f64(&args, "--d").unwrap_or(0.05);
+            let t = flag_f64(&args, "--t").unwrap_or(1.0);
+            let f = flag_str(&args, "--f")
+                .and_then(|s| parse_distribution(&s))
+                .unwrap_or(Distribution::Uniform);
+            figure(&args, ScaleFactors::new(d, t, f));
+        }
+        "compare" => compare(&args),
+        "sweep" => sweep(&args),
+        "quality" => quality(&args),
+        "explain" => {
+            let target = args.get(1).map(String::as_str).unwrap_or("");
+            let defs = dipbench::processes::all_processes();
+            let mut shown = false;
+            for def in &defs {
+                if target.is_empty() || def.id.eq_ignore_ascii_case(target) {
+                    print!("{}", def.explain());
+                    println!();
+                    shown = true;
+                }
+            }
+            if !shown {
+                eprintln!("unknown process {target:?} (use P01..P15 or no argument for all)");
+                std::process::exit(2);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep> [options]\n\
+                 commands also: quality, explain [P01..P15]\n\
+                 options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X  --f uniform|zipf5|zipf10|normal"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_f64(args: &[String], name: &str) -> Option<f64> {
+    flag_str(args, name).and_then(|s| s.parse().ok())
+}
+
+fn flag_u32(args: &[String], name: &str) -> Option<u32> {
+    flag_str(args, name).and_then(|s| s.parse().ok())
+}
+
+fn parse_distribution(s: &str) -> Option<Distribution> {
+    match s {
+        "uniform" => Some(Distribution::Uniform),
+        "zipf5" => Some(Distribution::Zipf5),
+        "zipf10" => Some(Distribution::Zipf10),
+        "normal" => Some(Distribution::Normal),
+        _ => None,
+    }
+}
+
+fn engine(args: &[String]) -> EngineKind {
+    flag_str(args, "--engine")
+        .and_then(|s| EngineKind::parse(&s))
+        .unwrap_or(EngineKind::Federated)
+}
+
+fn figure(args: &[String], scale: ScaleFactors) {
+    let periods = flag_u32(args, "--periods").unwrap_or(3);
+    let kind = engine(args);
+    let config = BenchConfig::new(scale).with_periods(periods);
+    eprintln!(
+        "running {} on {} (d={}, t={}, f={}, {} periods)…",
+        "DIPBench",
+        kind.label(),
+        scale.datasize,
+        scale.time,
+        scale.distribution.label(),
+        periods
+    );
+    let result = run_experiment(kind, config);
+    print!("{}", report::metrics_table(&result.outcome));
+    println!();
+    print!("{}", report::ascii_chart(&result.outcome.metrics, 60));
+    println!();
+    println!("# gnuplot data");
+    print!("{}", report::gnuplot_dat(&result.outcome.metrics));
+    println!();
+    println!("verification: {}", if result.verification.passed() { "PASS" } else { "FAIL" });
+    for check in &result.verification.checks {
+        println!(
+            "  [{}] {:<40} {}",
+            if check.passed { "ok" } else { "!!" },
+            check.name,
+            check.detail
+        );
+    }
+    println!("\nshape findings (paper §VI expectations):");
+    for f in shape_findings(&result.outcome) {
+        match f {
+            Ok(m) => println!("  [ok] {m}"),
+            Err(m) => println!("  [??] {m}"),
+        }
+    }
+    if let Some(out) = flag_str(args, "--out") {
+        let dir = std::path::PathBuf::from(out);
+        let written = report::save_experiment(&dir, &result.outcome, &result.verification)
+            .expect("write report files");
+        for p in written {
+            eprintln!("wrote {}", p.display());
+        }
+    }
+    if !result.verification.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn compare(args: &[String]) {
+    let periods = flag_u32(args, "--periods").unwrap_or(2);
+    let config = BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(periods);
+    let fed = run_experiment(EngineKind::Federated, config);
+    let mtm = run_experiment(EngineKind::Mtm, config);
+    println!(
+        "{:<5} {:>14} {:>14} {:>8}",
+        "proc", "fed NAVG+[tu]", "mtm NAVG+[tu]", "ratio"
+    );
+    for fm in &fed.outcome.metrics {
+        if let Some(mm) = mtm.outcome.metric_for(&fm.process) {
+            println!(
+                "{:<5} {:>14.2} {:>14.2} {:>8.2}",
+                fm.process,
+                fm.navg_plus_tu,
+                mm.navg_plus_tu,
+                fm.navg_plus_tu / mm.navg_plus_tu.max(1e-9)
+            );
+        }
+    }
+    println!(
+        "\nverification: fed={} mtm={}",
+        if fed.verification.passed() { "PASS" } else { "FAIL" },
+        if mtm.verification.passed() { "PASS" } else { "FAIL" }
+    );
+}
+
+fn sweep(args: &[String]) {
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let kind = engine(args);
+    let param = args.get(1).map(String::as_str).unwrap_or("d");
+    let configs: Vec<(String, ScaleFactors)> = match param {
+        "d" => [0.02, 0.05, 0.1, 0.2]
+            .iter()
+            .map(|&d| (format!("d={d}"), ScaleFactors::new(d, 1.0, Distribution::Uniform)))
+            .collect(),
+        "t" => [0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&t| (format!("t={t}"), ScaleFactors::new(0.05, t, Distribution::Uniform)))
+            .collect(),
+        "f" => [
+            Distribution::Uniform,
+            Distribution::Zipf5,
+            Distribution::Zipf10,
+            Distribution::Normal,
+        ]
+        .iter()
+        .map(|&f| (format!("f={}", f.label()), ScaleFactors::new(0.05, 1.0, f)))
+        .collect(),
+        other => {
+            eprintln!("unknown sweep parameter {other:?} (use d, t or f)");
+            std::process::exit(2);
+        }
+    };
+    println!("# sweep over {param} on {} ({periods} period(s) each)", kind.label());
+    println!("{:<14} {:>12} {:>12} {:>12} {:>8}", "config", "E1 NAVG+", "E2 NAVG+", "total[ms]", "verify");
+    for (label, scale) in configs {
+        let result = run_experiment(kind, BenchConfig::new(scale).with_periods(periods));
+        let avg = |ids: &[&str]| {
+            let vals: Vec<f64> = ids
+                .iter()
+                .filter_map(|p| result.outcome.metric_for(p))
+                .map(|m| m.navg_plus_tu)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>12} {:>8}",
+            label,
+            avg(&["P01", "P02", "P04", "P08", "P10"]),
+            avg(&["P03", "P09", "P11", "P12", "P13", "P14", "P15"]),
+            result.outcome.wall_time.as_millis(),
+            if result.verification.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+}
+
+/// The data-quality extension (paper §VII future work): run a benchmark
+/// and profile completeness/consistency/retention per pipeline layer.
+fn quality(args: &[String]) {
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let kind = engine(args);
+    let d = flag_f64(args, "--d").unwrap_or(0.05);
+    let config =
+        BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform)).with_periods(periods);
+    let env = dipbench::env::BenchEnvironment::new(config).expect("environment");
+    let system = dip_bench::build_system(kind, &env);
+    let client = dipbench::client::Client::new(&env, system).expect("deploy");
+    client.run().expect("work phase");
+    let q = dipbench::quality::measure(&env).expect("quality measurement");
+    print!("{q}");
+    println!(
+        "quality increases along the pipeline: {}",
+        if q.quality_increases() { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,167 @@
+//! The Client: autonomous benchmark execution.
+//!
+//! Implements the work phase of Fig. 6/7: for each period `k`, all external
+//! systems are uninitialized, the source systems initialized, then the
+//! four streams run — A and B concurrently, C and D serialized after them.
+//! Within a stream, events are a serialized sequence (the paper's
+//! definition of a stream); the client generates E1 input messages on the
+//! fly and fires E2 scheduling events.
+
+use crate::config::{BenchConfig, PacingMode};
+use crate::env::BenchEnvironment;
+use crate::metric::{process_metrics, ProcessMetric};
+use crate::monitor::{normalize, NormalizedRecord};
+use crate::processes;
+use crate::schedule::{self, ScheduledEvent, StreamId};
+use crate::system::IntegrationSystem;
+use dip_mtm::cost::InstanceRecord;
+use dip_relstore::prelude::{StoreError, StoreResult};
+use dip_xmlkit::node::Document;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One dispatch failure (the run continues; the engine has already
+/// recorded the failed instance).
+#[derive(Debug, Clone)]
+pub struct DispatchFailure {
+    pub process: String,
+    pub period: u32,
+    pub seq: u32,
+    pub error: String,
+}
+
+/// Everything a work-phase run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub system: String,
+    pub config: BenchConfig,
+    pub records: Vec<InstanceRecord>,
+    pub normalized: Vec<NormalizedRecord>,
+    pub metrics: Vec<ProcessMetric>,
+    pub failures: Vec<DispatchFailure>,
+    pub wall_time: Duration,
+}
+
+impl RunOutcome {
+    pub fn metric_for(&self, process: &str) -> Option<&ProcessMetric> {
+        self.metrics.iter().find(|m| m.process == process)
+    }
+}
+
+/// The benchmark client.
+pub struct Client<'a> {
+    env: &'a BenchEnvironment,
+    system: Arc<dyn IntegrationSystem>,
+}
+
+impl<'a> Client<'a> {
+    /// Create a client and deploy the 15 process types on the system under
+    /// test.
+    pub fn new(env: &'a BenchEnvironment, system: Arc<dyn IntegrationSystem>) -> StoreResult<Self> {
+        system
+            .deploy(processes::all_processes())
+            .map_err(|e| StoreError::Invalid(format!("deploy failed: {e}")))?;
+        Ok(Client { env, system })
+    }
+
+    /// Generate the E1 input message for an event.
+    fn message_for(&self, event: &ScheduledEvent, period: u32) -> Option<Document> {
+        let g = &self.env.generator;
+        match event.process {
+            "P01" => Some(g.beijing_master_message(period, event.seq)),
+            "P02" => Some(g.mdm_message(period, event.seq)),
+            "P04" => Some(g.vienna_message(period, event.seq)),
+            "P08" => Some(g.hongkong_message(period, event.seq)),
+            "P10" => Some(g.san_diego_message(period, event.seq).0),
+            _ => None,
+        }
+    }
+
+    /// Dispatch one stream's events in order.
+    fn run_stream(
+        &self,
+        period: u32,
+        events: &[ScheduledEvent],
+        failures: &mut Vec<DispatchFailure>,
+    ) {
+        let pacing = self.env.config.pacing;
+        let tu = self.env.config.scale.tu();
+        let stream_start = Instant::now();
+        for event in events {
+            if pacing == PacingMode::RealTime {
+                let deadline = tu.mul_f64(event.deadline_tu);
+                let elapsed = stream_start.elapsed();
+                if deadline > elapsed {
+                    std::thread::sleep(deadline - elapsed);
+                }
+            }
+            let result = match self.message_for(event, period) {
+                Some(msg) => self.system.on_message(event.process, period, msg),
+                None => self.system.on_timed(event.process, period),
+            };
+            if let Err(e) = result {
+                failures.push(DispatchFailure {
+                    process: event.process.to_string(),
+                    period,
+                    seq: event.seq,
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Execute one benchmark period: uninitialize, initialize, streams
+    /// A ∥ B, then C, then D.
+    pub fn run_period(&self, k: u32) -> StoreResult<Vec<DispatchFailure>> {
+        self.env.uninitialize()?;
+        self.env.initialize_sources(k)?;
+        let d = self.env.config.scale.datasize;
+        let streams = schedule::period_streams(k, d);
+        let mut failures: Vec<DispatchFailure> = Vec::new();
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        std::thread::scope(|scope| {
+            let a = &streams[0].1;
+            let b = &streams[1].1;
+            let ha = scope.spawn(|| {
+                let mut f = Vec::new();
+                self.run_stream(k, a, &mut f);
+                f
+            });
+            let hb = scope.spawn(|| {
+                let mut f = Vec::new();
+                self.run_stream(k, b, &mut f);
+                f
+            });
+            fa = ha.join().unwrap_or_default();
+            fb = hb.join().unwrap_or_default();
+        });
+        failures.extend(fa);
+        failures.extend(fb);
+        for (id, events) in &streams[2..] {
+            debug_assert!(matches!(id, StreamId::C | StreamId::D));
+            self.run_stream(k, events, &mut failures);
+        }
+        Ok(failures)
+    }
+
+    /// Execute the whole work phase and aggregate the metric.
+    pub fn run(&self) -> StoreResult<RunOutcome> {
+        let start = Instant::now();
+        let mut failures = Vec::new();
+        for k in 0..self.env.config.periods {
+            failures.extend(self.run_period(k)?);
+        }
+        let records = self.system.recorder().drain();
+        let normalized = normalize(&records);
+        let metrics = process_metrics(&normalized, &self.env.config.scale);
+        Ok(RunOutcome {
+            system: self.system.name().to_string(),
+            config: self.env.config,
+            records,
+            normalized,
+            metrics,
+            failures,
+            wall_time: start.elapsed(),
+        })
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmark run configuration.
+
+use crate::scale::ScaleFactors;
+use dip_netsim::TransferMode;
+use dip_relstore::mview::RefreshMode;
+
+/// How the client paces the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacingMode {
+    /// Dispatch events in deadline order without sleeping. Deterministic
+    /// ordering and concurrency structure, fastest wall time — the default
+    /// for tests and CI.
+    Eager,
+    /// Sleep until each event's deadline (`tu × 1/t` ms) — wall-clock
+    /// faithful runs, as the paper's toolsuite executes them.
+    RealTime,
+}
+
+/// Everything a benchmark run needs to know.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub scale: ScaleFactors,
+    /// Number of benchmark periods `k = 0 .. periods-1`. The specification
+    /// says 100; smaller values keep CI runs short and are reported as
+    /// such in EXPERIMENTS.md.
+    pub periods: u32,
+    /// Seed for the data generator and the network jitter.
+    pub seed: u64,
+    pub pacing: PacingMode,
+    /// Whether netsim transfers actually sleep.
+    pub transfer_mode: TransferMode,
+    /// Refresh strategy for the DWH `OrdersMV` (ablation knob).
+    pub mv_mode: RefreshMode,
+}
+
+impl BenchConfig {
+    pub fn new(scale: ScaleFactors) -> BenchConfig {
+        BenchConfig {
+            scale,
+            periods: 3,
+            seed: 0xD1B,
+            pacing: PacingMode::Eager,
+            transfer_mode: TransferMode::Accounted,
+            mv_mode: RefreshMode::Full,
+        }
+    }
+
+    pub fn with_periods(mut self, periods: u32) -> BenchConfig {
+        self.periods = periods;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> BenchConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_pacing(mut self, pacing: PacingMode) -> BenchConfig {
+        self.pacing = pacing;
+        self
+    }
+
+    pub fn with_mv_mode(mut self, mode: RefreshMode) -> BenchConfig {
+        self.mv_mode = mode;
+        self
+    }
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig::new(ScaleFactors::default())
+    }
+}

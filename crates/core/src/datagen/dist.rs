@@ -1,0 +1,133 @@
+//! Value distributions for the `distribution` scale factor.
+//!
+//! The paper: "The discrete scale factor distribution (f) is used to
+//! provide different data characteristics from uniformly distributed data
+//! values to specially skewed data values." All samplers draw an index in
+//! `[0, n)` from a seeded RNG, so runs are reproducible.
+
+use crate::scale::Distribution;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw an index in `[0, n)` according to the distribution.
+pub fn sample_index(dist: Distribution, rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0, "cannot sample from an empty range");
+    match dist {
+        Distribution::Uniform => rng.gen_range(0..n),
+        Distribution::Zipf5 => zipf(rng, n, 0.5),
+        Distribution::Zipf10 => zipf(rng, n, 1.0),
+        Distribution::Normal => {
+            // Box–Muller around the middle of the range, σ = n/6 (≈ 99.7%
+            // of mass inside the range), clamped.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let x = n as f64 / 2.0 + z * n as f64 / 6.0;
+            (x.max(0.0) as usize).min(n - 1)
+        }
+    }
+}
+
+/// Zipf sampling by inverse-CDF over the harmonic weights. O(n) per call
+/// would be too slow for hot paths, so we use the rejection-inversion-free
+/// approximation: draw u, then binary-search the precomputed-free closed
+/// form `H(k) ≈ k^(1-θ)/(1-θ)` (θ ≠ 1) or `ln k` (θ = 1).
+fn zipf(rng: &mut StdRng, n: usize, theta: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let nf = n as f64;
+    let k = if (theta - 1.0).abs() < 1e-9 {
+        // H(k) = ln(k); invert u * ln(n+1) = ln(k+1)
+        ((nf + 1.0).powf(u) - 1.0).max(0.0)
+    } else {
+        let p = 1.0 - theta;
+        // H(k) = ((k+1)^p - 1)/p; invert against u * H(n)
+        let hn = ((nf + 1.0).powf(p) - 1.0) / p;
+        ((u * hn * p + 1.0).powf(1.0 / p) - 1.0).max(0.0)
+    };
+    (k as usize).min(n - 1)
+}
+
+/// Uniform float in `[lo, hi)`.
+pub fn sample_f64(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    rng.gen_range(lo..hi)
+}
+
+/// Uniform integer in `[lo, hi]`.
+pub fn sample_i64(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Bernoulli draw with probability `p`.
+pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(dist: Distribution, n: usize, draws: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[sample_index(dist, &mut rng, n)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Zipf5,
+            Distribution::Zipf10,
+            Distribution::Normal,
+        ] {
+            for _ in 0..1000 {
+                let i = sample_index(dist, &mut rng, 17);
+                assert!(i < 17);
+            }
+            // n = 1 must always work
+            assert_eq!(sample_index(dist, &mut rng, 1), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat_zipf_is_skewed() {
+        let n = 20;
+        let uni = histogram(Distribution::Uniform, n, 20_000);
+        let zipf = histogram(Distribution::Zipf10, n, 20_000);
+        // uniform: first bucket close to 1/n of mass
+        assert!((uni[0] as f64 - 1000.0).abs() < 250.0, "{}", uni[0]);
+        // zipf(1.0): first bucket should dominate clearly
+        assert!(zipf[0] as f64 > 2.0 * uni[0] as f64, "zipf {} uni {}", zipf[0], uni[0]);
+        // and the tail should be thin
+        assert!(zipf[n - 1] < zipf[0] / 4);
+    }
+
+    #[test]
+    fn normal_centers() {
+        let n = 100;
+        let h = histogram(Distribution::Normal, n, 20_000);
+        let center: usize = h[40..60].iter().sum();
+        let tail: usize = h[..10].iter().sum::<usize>() + h[90..].iter().sum::<usize>();
+        // ±0.6σ around the mean holds ≈45% of a normal's mass; the tails
+        // beyond ±2.4σ hold ≈1.6%
+        assert!(center as f64 > 0.35 * 20_000.0, "center mass {center}");
+        assert!((tail as f64) < 0.05 * 20_000.0, "tail mass {tail}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(
+                sample_index(Distribution::Zipf5, &mut a, 50),
+                sample_index(Distribution::Zipf5, &mut b, 50)
+            );
+        }
+    }
+}

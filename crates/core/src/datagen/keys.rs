@@ -1,0 +1,69 @@
+//! Key-range allocation across source systems.
+//!
+//! Regions own disjoint key spaces (P02's SWITCH routes on these ranges);
+//! *within* a region, ranges deliberately overlap where the benchmark needs
+//! duplicate elimination: Chicago/Baltimore/Madison hold overlapping
+//! subsets of the shared America master data (P03's UNION DISTINCT), and
+//! Beijing/Seoul share their master-data space (P01 replication, P09's
+//! UNION DISTINCT).
+
+/// Customer key bases.
+pub const CUST_BERLIN: i64 = 100_000;
+pub const CUST_PARIS: i64 = 150_000;
+pub const CUST_TRONDHEIM: i64 = 200_000;
+pub const CUST_HONGKONG: i64 = 1_000_000;
+/// Shared by Beijing and Seoul.
+pub const CUST_ASIA_SHARED: i64 = 1_100_000;
+/// Shared by Chicago, Baltimore and Madison.
+pub const CUST_AMERICA: i64 = 2_000_000;
+
+/// Product key bases.
+/// Shared by Berlin, Paris and Trondheim (one European catalog).
+pub const PROD_EUROPE: i64 = 110_000;
+pub const PROD_HONGKONG: i64 = 1_010_000;
+pub const PROD_ASIA_SHARED: i64 = 1_110_000;
+pub const PROD_AMERICA: i64 = 2_010_000;
+
+/// Order key bases (always disjoint per originating system).
+pub const ORD_BERLIN: i64 = 400_000;
+pub const ORD_PARIS: i64 = 450_000;
+pub const ORD_TRONDHEIM: i64 = 500_000;
+pub const ORD_VIENNA: i64 = 550_000;
+pub const ORD_HONGKONG: i64 = 1_400_000;
+pub const ORD_BEIJING: i64 = 1_500_000;
+pub const ORD_SEOUL: i64 = 1_600_000;
+pub const ORD_CHICAGO: i64 = 2_400_000;
+pub const ORD_BALTIMORE: i64 = 2_500_000;
+pub const ORD_MADISON: i64 = 2_600_000;
+pub const ORD_SAN_DIEGO: i64 = 2_700_000;
+
+/// P02 routing thresholds over the Europe customer key space. The paper's
+/// Fig. 4 shows a `Custkey < 1 000 000` comparison; our concrete Europe
+/// sub-ranges refine that into three branches.
+pub const P02_BERLIN_BELOW: i64 = CUST_PARIS;
+pub const P02_PARIS_BELOW: i64 = CUST_TRONDHEIM;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_spaces_are_disjoint() {
+        // Europe < 1M <= Asia < 2M <= America
+        assert!(CUST_TRONDHEIM < 1_000_000);
+        assert!((1_000_000..2_000_000).contains(&CUST_ASIA_SHARED));
+        assert!(CUST_AMERICA >= 2_000_000);
+        assert!(PROD_EUROPE < 1_000_000 && PROD_ASIA_SHARED < 2_000_000);
+    }
+
+    #[test]
+    fn order_bases_are_strictly_increasing() {
+        let bases = [
+            ORD_BERLIN, ORD_PARIS, ORD_TRONDHEIM, ORD_VIENNA, ORD_HONGKONG, ORD_BEIJING,
+            ORD_SEOUL, ORD_CHICAGO, ORD_BALTIMORE, ORD_MADISON, ORD_SAN_DIEGO,
+        ];
+        for w in bases.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! An EAI-server-style system under test — the paper's future work
+//! ("we currently realize experiments with EAI servers and ETL tools",
+//! §VII).
+//!
+//! Unlike the synchronous MTM engine and the trigger-driven federated
+//! DBMS, an EAI server is a *message broker*: incoming messages are
+//! accepted immediately, queued, and processed asynchronously by a pool of
+//! worker threads. Time-driven processes act as barriers — a real broker
+//! drains in-flight messages before running a scheduled batch job, which
+//! also preserves the benchmark's stream-completion semantics (`T1(P04)`
+//! etc.) and therefore the integrated data.
+//!
+//! The message queue and workers are built on `crossbeam` channels.
+
+use crate::system::IntegrationSystem;
+use crossbeam::channel::{unbounded, Sender};
+use dip_mtm::cost::CostRecorder;
+use dip_mtm::engine::MtmEngine;
+use dip_mtm::error::{MtmError, MtmResult};
+use dip_mtm::process::ProcessDef;
+use dip_services::registry::ExternalWorld;
+use dip_xmlkit::node::Document;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Job {
+    process: String,
+    period: u32,
+    msg: Document,
+}
+
+#[derive(Default)]
+struct Pending {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+/// The EAI-style asynchronous integration system.
+pub struct EaiSystem {
+    engine: Arc<MtmEngine>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+impl EaiSystem {
+    /// Build the broker with `workers` message-processing threads.
+    pub fn new(world: Arc<ExternalWorld>, workers: usize) -> EaiSystem {
+        let engine = Arc::new(MtmEngine::new(world));
+        let (tx, rx) = unbounded::<Job>();
+        let pending = Arc::new(Pending::default());
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let engine = engine.clone();
+                let pending = pending.clone();
+                std::thread::Builder::new()
+                    .name(format!("eai-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // instance failures are captured in the cost
+                            // records (ok = false); the broker keeps going
+                            let _ = engine.execute(&job.process, job.period, Some(job.msg));
+                            let mut n = pending.count.lock();
+                            *n -= 1;
+                            if *n == 0 {
+                                pending.drained.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        EaiSystem { engine, tx: Some(tx), workers: handles, pending }
+    }
+
+    /// Block until every queued message has been processed.
+    pub fn drain(&self) {
+        let mut n = self.pending.count.lock();
+        while *n > 0 {
+            self.pending.drained.wait(&mut n);
+        }
+    }
+
+    /// Messages currently queued or in flight.
+    pub fn in_flight(&self) -> usize {
+        *self.pending.count.lock()
+    }
+}
+
+impl Drop for EaiSystem {
+    fn drop(&mut self) {
+        // close the queue, then join the workers
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl IntegrationSystem for EaiSystem {
+    fn name(&self) -> &str {
+        "eai-server"
+    }
+
+    fn deploy(&self, defs: Vec<ProcessDef>) -> MtmResult<()> {
+        for def in defs {
+            self.engine.deploy(def)?;
+        }
+        Ok(())
+    }
+
+    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()> {
+        {
+            let mut n = self.pending.count.lock();
+            *n += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("broker alive")
+            .send(Job { process: process.to_string(), period, msg })
+            .map_err(|_| MtmError::Custom("EAI broker queue closed".into()))
+    }
+
+    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()> {
+        // scheduled batch jobs run after the broker drained — this also
+        // realizes the schedule's completion chaining (T1(P04), T1(Stream B))
+        self.drain();
+        self.engine.execute(process, period, None)
+    }
+
+    fn recorder(&self) -> Arc<CostRecorder> {
+        self.engine.recorder()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::verify;
+
+    #[test]
+    fn eai_runs_the_benchmark_and_verifies() {
+        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
+            .with_periods(1);
+        let env = BenchEnvironment::new(config).unwrap();
+        let system = Arc::new(EaiSystem::new(env.world.clone(), 4));
+        let client = Client::new(&env, system.clone()).unwrap();
+        let outcome = client.run().unwrap();
+        // queued messages fail only via records; dispatch itself never errors
+        assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+        assert_eq!(outcome.metrics.len(), 15);
+        system.drain();
+        assert_eq!(system.in_flight(), 0);
+        let report = verify::verify(&env).unwrap();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn eai_matches_mtm_integrated_data() {
+        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
+            .with_periods(1);
+        let run = |eai: bool| {
+            let env = BenchEnvironment::new(config).unwrap();
+            let system: Arc<dyn IntegrationSystem> = if eai {
+                Arc::new(EaiSystem::new(env.world.clone(), 3))
+            } else {
+                Arc::new(MtmSystem::new(env.world.clone()))
+            };
+            let client = Client::new(&env, system).unwrap();
+            client.run().unwrap();
+            env
+        };
+        let a = run(true);
+        let b = run(false);
+        for table in ["orders", "orderline", "customer", "product", "orders_mv"] {
+            let mut x = a.db("dwh").table(table).unwrap().scan();
+            let mut y = b.db("dwh").table(table).unwrap().scan();
+            let keys: Vec<usize> = (0..x.schema.len()).collect();
+            x.sort_by_columns(&keys);
+            y.sort_by_columns(&keys);
+            assert_eq!(x.rows, y.rows, "dwh.{table} differs between EAI and MTM");
+        }
+    }
+
+    #[test]
+    fn timed_events_barrier_on_queue() {
+        // a timed event fired right after a burst of messages must observe
+        // all of their effects
+        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
+            .with_periods(1);
+        let env = BenchEnvironment::new(config).unwrap();
+        let system = Arc::new(EaiSystem::new(env.world.clone(), 4));
+        system.deploy(crate::processes::all_processes()).unwrap();
+        env.initialize_sources(0).unwrap();
+        let n = crate::schedule::p04_count(0.02);
+        for m in 0..n {
+            system.on_message("P04", 0, env.generator.vienna_message(0, m)).unwrap();
+        }
+        // P05 is timed: it must drain the broker first
+        system.on_timed("P05", 0).unwrap();
+        assert_eq!(system.in_flight(), 0);
+        let staged = env
+            .db("sales_cleaning")
+            .table("orders_staging")
+            .unwrap()
+            .scan_where(
+                &dip_relstore::expr::Expr::col(6)
+                    .eq(dip_relstore::expr::Expr::lit("vienna")),
+                None,
+            )
+            .unwrap();
+        assert_eq!(staged.len() as u32, n);
+    }
+}

@@ -1,0 +1,171 @@
+//! The Monitor: cost-record collection and normalization.
+//!
+//! The paper's metric requires *normalized* costs `NC(p)` that are
+//! "comparable and independent of concurrent process executions". The
+//! concrete normalization (the paper leaves it informal) is a sweep-line
+//! over all instance intervals: an instance active during an elementary
+//! interval of length `ℓ` with `a` concurrently active instances earns a
+//! share `ℓ/a`. Its normalization factor is the sum of those shares
+//! divided by its wall duration — 1.0 for a fully serial instance, 1/2
+//! when it fully overlaps one other instance, and so on. The factor scales
+//! the instance's total attributed cost (Cc+Cm+Cp).
+
+use dip_mtm::cost::{InstanceId, InstanceRecord};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// An instance's cost after concurrency normalization.
+#[derive(Debug, Clone)]
+pub struct NormalizedRecord {
+    pub instance: InstanceId,
+    pub process: String,
+    pub period: u32,
+    /// The raw attributed cost (Cc + Cm + Cp).
+    pub raw: Duration,
+    /// The concurrency factor in (0, 1].
+    pub factor: f64,
+    /// Normalized cost = raw × factor.
+    pub nc: Duration,
+    /// Category breakdown, scaled by the same factor.
+    pub comm: Duration,
+    pub mgmt: Duration,
+    pub proc: Duration,
+    pub ok: bool,
+}
+
+/// Compute the concurrency factor of every instance.
+pub fn concurrency_factors(records: &[InstanceRecord]) -> HashMap<InstanceId, f64> {
+    let mut boundaries: Vec<Duration> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        boundaries.push(r.start);
+        boundaries.push(r.end);
+    }
+    boundaries.sort();
+    boundaries.dedup();
+    let mut shares: HashMap<InstanceId, f64> = HashMap::with_capacity(records.len());
+    // Sweep elementary intervals; records are few enough (thousands) that
+    // re-scanning actives per interval via a sorted-by-start index is fine.
+    let mut by_start: Vec<&InstanceRecord> = records.iter().collect();
+    by_start.sort_by_key(|r| r.start);
+    for w in boundaries.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let len = (hi - lo).as_secs_f64();
+        if len == 0.0 {
+            continue;
+        }
+        let active: Vec<InstanceId> = by_start
+            .iter()
+            .take_while(|r| r.start < hi)
+            .filter(|r| r.end > lo)
+            .map(|r| r.instance)
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        let share = len / active.len() as f64;
+        for id in active {
+            *shares.entry(id).or_insert(0.0) += share;
+        }
+    }
+    records
+        .iter()
+        .map(|r| {
+            let wall = (r.end - r.start).as_secs_f64();
+            let factor = if wall <= 0.0 {
+                1.0
+            } else {
+                (shares.get(&r.instance).copied().unwrap_or(wall) / wall).clamp(0.0, 1.0)
+            };
+            (r.instance, factor)
+        })
+        .collect()
+}
+
+/// Normalize every record.
+pub fn normalize(records: &[InstanceRecord]) -> Vec<NormalizedRecord> {
+    let factors = concurrency_factors(records);
+    records
+        .iter()
+        .map(|r| {
+            let factor = factors.get(&r.instance).copied().unwrap_or(1.0);
+            let scale = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() * factor);
+            NormalizedRecord {
+                instance: r.instance,
+                process: r.process.clone(),
+                period: r.period,
+                raw: r.total(),
+                factor,
+                nc: scale(r.total()),
+                comm: scale(r.comm),
+                mgmt: scale(r.mgmt),
+                proc: scale(r.proc),
+                ok: r.ok,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_mtm::cost::InstanceId;
+
+    fn rec(id: u64, start_ms: u64, end_ms: u64, cost_ms: u64) -> InstanceRecord {
+        InstanceRecord {
+            instance: InstanceId(id),
+            process: format!("P{id:02}"),
+            period: 0,
+            start: Duration::from_millis(start_ms),
+            end: Duration::from_millis(end_ms),
+            comm: Duration::from_millis(cost_ms / 2),
+            mgmt: Duration::ZERO,
+            proc: Duration::from_millis(cost_ms - cost_ms / 2),
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn serial_instances_keep_factor_one() {
+        let records = vec![rec(0, 0, 10, 8), rec(1, 10, 30, 15)];
+        let f = concurrency_factors(&records);
+        assert!((f[&InstanceId(0)] - 1.0).abs() < 1e-9);
+        assert!((f[&InstanceId(1)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_overlap_halves() {
+        let records = vec![rec(0, 0, 10, 8), rec(1, 0, 10, 8)];
+        let f = concurrency_factors(&records);
+        assert!((f[&InstanceId(0)] - 0.5).abs() < 1e-9);
+        let norm = normalize(&records);
+        assert_eq!(norm[0].nc, Duration::from_millis(4));
+        // category breakdown scales consistently
+        assert_eq!(norm[0].comm + norm[0].mgmt + norm[0].proc, norm[0].nc);
+    }
+
+    #[test]
+    fn partial_overlap_between_half_and_one() {
+        // instance 0: [0,10); instance 1: [5,15) — each half overlapped
+        let records = vec![rec(0, 0, 10, 10), rec(1, 5, 15, 10)];
+        let f = concurrency_factors(&records);
+        let expected = (5.0 + 2.5) / 10.0; // 5ms alone + 5ms shared
+        assert!((f[&InstanceId(0)] - expected).abs() < 1e-9, "{}", f[&InstanceId(0)]);
+        assert!((f[&InstanceId(1)] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_instance_is_factor_one() {
+        let records = vec![rec(0, 5, 5, 1)];
+        let f = concurrency_factors(&records);
+        assert!((f[&InstanceId(0)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_way_overlap() {
+        let records = vec![rec(0, 0, 9, 9), rec(1, 0, 9, 9), rec(2, 0, 9, 9)];
+        let f = concurrency_factors(&records);
+        for id in 0..3 {
+            assert!((f[&InstanceId(id)] - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+}

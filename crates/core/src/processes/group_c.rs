@@ -1,0 +1,120 @@
+//! Group C — the data warehouse delta update (P12, P13). Exclusively
+//! data-intensive, serialized process types.
+
+use super::validate_relation;
+use crate::schema::{cdb, dwh};
+use dip_mtm::process::{EventType, LoadMode, ProcessDef, Step};
+use dip_relstore::prelude::*;
+
+/// P12 — bulk-loading data warehouse master data (E2).
+///
+/// Invokes `sp_runMasterDataCleansing` on the CDB (duplicate and error
+/// elimination, dimension-key resolution, integrated-flagging), then
+/// extracts the clean master data, validates it, and loads it into the
+/// DWH.
+pub fn p12() -> ProcessDef {
+    ProcessDef::new(
+        "P12",
+        "Bulk-loading data warehouse master data",
+        'C',
+        EventType::Timed,
+        vec![
+            Step::DbCall {
+                db: cdb::CDB.into(),
+                proc: "sp_runMasterDataCleansing".into(),
+                args: vec![],
+                output: Some("cleansing_report".into()),
+            },
+            Step::DbQuery {
+                db: cdb::CDB.into(),
+                plan: Plan::scan("customer"),
+                output: "customers".into(),
+            },
+            Step::DbQuery {
+                db: cdb::CDB.into(),
+                plan: Plan::scan("product"),
+                output: "products".into(),
+            },
+            // VALIDATE before loading: keys and dimension references must
+            // be present (cleansing guarantees this; the check is part of
+            // the process per the paper)
+            validate_relation("validate_customers", "customers", vec![0, 1, 3], None, None),
+            validate_relation("validate_products", "products", vec![0, 1, 2], None, None),
+            Step::DbInsert {
+                db: dwh::DWH.into(),
+                table: "customer".into(),
+                input: "customers".into(),
+                mode: LoadMode::InsertIgnore,
+            },
+            Step::DbInsert {
+                db: dwh::DWH.into(),
+                table: "product".into(),
+                input: "products".into(),
+                mode: LoadMode::InsertIgnore,
+            },
+        ],
+    )
+}
+
+/// P13 — bulk-loading data warehouse movement data (E2).
+///
+/// Invokes `sp_runMovementDataCleansing`, extracts/validates/loads the
+/// movement data, refreshes `OrdersMV` by stored-procedure call, and
+/// removes the loaded movement data from the CDB for simple delta
+/// determination in following runs.
+pub fn p13() -> ProcessDef {
+    ProcessDef::new(
+        "P13",
+        "Bulk-loading data warehouse movement data",
+        'C',
+        EventType::Timed,
+        vec![
+            Step::DbCall {
+                db: cdb::CDB.into(),
+                proc: "sp_runMovementDataCleansing".into(),
+                args: vec![],
+                output: Some("cleansing_report".into()),
+            },
+            Step::DbQuery {
+                db: cdb::CDB.into(),
+                plan: Plan::scan("orders"),
+                output: "orders".into(),
+            },
+            Step::DbQuery {
+                db: cdb::CDB.into(),
+                plan: Plan::scan("orderline"),
+                output: "orderlines".into(),
+            },
+            validate_relation("validate_orders", "orders", vec![0, 1, 2], Some(4), Some(5)),
+            validate_relation("validate_orderlines", "orderlines", vec![0, 1, 2], None, None),
+            Step::DbInsert {
+                db: dwh::DWH.into(),
+                table: "orders".into(),
+                input: "orders".into(),
+                mode: LoadMode::InsertIgnore,
+            },
+            Step::DbInsert {
+                db: dwh::DWH.into(),
+                table: "orderline".into(),
+                input: "orderlines".into(),
+                mode: LoadMode::InsertIgnore,
+            },
+            Step::DbCall {
+                db: dwh::DWH.into(),
+                proc: "sp_refreshOrdersMV".into(),
+                args: vec![],
+                output: None,
+            },
+            Step::DbDelete {
+                db: cdb::CDB.into(),
+                table: "orders".into(),
+                predicate: Expr::lit(true),
+            },
+            Step::DbDelete {
+                db: cdb::CDB.into(),
+                table: "orderline".into(),
+                predicate: Expr::lit(true),
+            },
+        ],
+    )
+}

@@ -1,0 +1,334 @@
+//! Group D — the data mart update (P14, P15): the benchmark's
+//! high-parallelism, data-intensive tail.
+//!
+//! P14 consists of a main process and four subprocesses: `P14_S1` loads
+//! *all* master and movement data from the DWH (a nine-way join
+//! denormalized to line granularity) and returns it; then three concurrent
+//! threads each run a SELECTION (the region partition) and invoke a
+//! mart-specific loader subprocess realizing the DWH → DM schema mapping.
+
+use super::{col_as, lit_as};
+use crate::schema::{dm, dwh};
+use dip_mtm::process::{EventType, LoadMode, ProcessDef, Step};
+use dip_relstore::prelude::*;
+use std::sync::Arc;
+
+/// Named column positions of the denormalized sales relation P14_S1
+/// returns.
+pub mod sales_cols {
+    pub const ORDERKEY: usize = 0;
+    pub const LINENO: usize = 1;
+    pub const PRODKEY: usize = 2;
+    pub const QUANTITY: usize = 3;
+    pub const EXTENDEDPRICE: usize = 4;
+    pub const DISCOUNT: usize = 5;
+    pub const CUSTKEY: usize = 6;
+    pub const ORDERDATE: usize = 7;
+    pub const TOTALPRICE: usize = 8;
+    pub const PRIORITY: usize = 9;
+    pub const STATE: usize = 10;
+    pub const CNAME: usize = 11;
+    pub const CADDRESS: usize = 12;
+    pub const CITYKEY: usize = 13;
+    pub const SEGMENT: usize = 14;
+    pub const PHONE: usize = 15;
+    pub const ACCTBAL: usize = 16;
+    pub const CITY: usize = 17;
+    pub const NATION: usize = 18;
+    pub const REGION: usize = 19;
+    pub const PNAME: usize = 20;
+    pub const GROUPKEY: usize = 21;
+    pub const PPRICE: usize = 22;
+    pub const GROUP_NAME: usize = 23;
+    pub const LINE_NAME: usize = 24;
+}
+
+/// The schema of the denormalized sales relation.
+pub fn sales_schema() -> SchemaRef {
+    RelSchema::of(&[
+        ("orderkey", SqlType::Int),
+        ("lineno", SqlType::Int),
+        ("prodkey", SqlType::Int),
+        ("quantity", SqlType::Int),
+        ("extendedprice", SqlType::Float),
+        ("discount", SqlType::Float),
+        ("custkey", SqlType::Int),
+        ("orderdate", SqlType::Date),
+        ("totalprice", SqlType::Float),
+        ("priority", SqlType::Str),
+        ("state", SqlType::Str),
+        ("cname", SqlType::Str),
+        ("caddress", SqlType::Str),
+        ("citykey", SqlType::Int),
+        ("segment", SqlType::Str),
+        ("phone", SqlType::Str),
+        ("acctbal", SqlType::Float),
+        ("city", SqlType::Str),
+        ("nation", SqlType::Str),
+        ("region", SqlType::Str),
+        ("pname", SqlType::Str),
+        ("groupkey", SqlType::Int),
+        ("pprice", SqlType::Float),
+        ("group_name", SqlType::Str),
+        ("line_name", SqlType::Str),
+    ])
+    .shared()
+}
+
+/// The nine-way join + projection P14_S1 runs on the DWH. Join column
+/// positions follow the concatenation order (each join appends the right
+/// side's columns).
+pub fn s1_plan() -> Plan {
+    let joined = Plan::scan("orderline")
+        .hash_join(Plan::scan("orders"), vec![0], vec![0], JoinKind::Inner) // +6 @6
+        .hash_join(Plan::scan("customer"), vec![7], vec![0], JoinKind::Inner) // +7 @12
+        .hash_join(Plan::scan("city"), vec![15], vec![0], JoinKind::Inner) // +3 @19
+        .hash_join(Plan::scan("nation"), vec![21], vec![0], JoinKind::Inner) // +3 @22
+        .hash_join(Plan::scan("region"), vec![24], vec![0], JoinKind::Inner) // +2 @25
+        .hash_join(Plan::scan("product"), vec![2], vec![0], JoinKind::Inner) // +4 @27
+        .hash_join(Plan::scan("productgroup"), vec![29], vec![0], JoinKind::Inner) // +3 @31
+        .hash_join(Plan::scan("productline"), vec![33], vec![0], JoinKind::Inner); // +2 @34
+    let out = sales_schema();
+    let src = [
+        0usize, 1, 2, 3, 4, 5, // line facts
+        7, 8, 9, 10, 11, // order facts
+        13, 14, 15, 16, 17, 18, // customer
+        20, 23, 26, // city / nation / region names
+        28, 29, 30, 32, 35, // product name, groupkey, price, group, line
+    ];
+    let exprs: Vec<ProjExpr> = src
+        .iter()
+        .zip(out.columns())
+        .map(|(&i, c)| ProjExpr::new(Expr::col(i), c.name.clone(), c.ty))
+        .collect();
+    joined.project(exprs)
+}
+
+/// P14_S1 — load all master and movement data from the DWH and return it.
+pub fn p14_s1() -> ProcessDef {
+    ProcessDef::new(
+        "P14_S1",
+        "Load denormalized sales data from DWH",
+        'D',
+        EventType::Timed,
+        vec![Step::DbQuery { db: dwh::DWH.into(), plan: s1_plan(), output: "output".into() }],
+    )
+}
+
+/// The loader subprocess for one mart: DWH → DM schema mapping plus load.
+/// Reads the selected sales subset from the conventional `input` variable.
+pub fn p14_loader(mart: dm::Mart) -> ProcessDef {
+    use sales_cols as c;
+    let mut steps: Vec<Step> = Vec::new();
+    let db = mart.db_name().to_string();
+    // facts: orders (dedup from line grain), orderline
+    steps.push(Step::Projection {
+        input: "input".into(),
+        exprs: vec![
+            col_as(c::ORDERKEY, "orderkey", SqlType::Int),
+            col_as(c::CUSTKEY, "custkey", SqlType::Int),
+            col_as(c::ORDERDATE, "orderdate", SqlType::Date),
+            col_as(c::TOTALPRICE, "totalprice", SqlType::Float),
+            col_as(c::PRIORITY, "priority", SqlType::Str),
+            col_as(c::STATE, "state", SqlType::Str),
+        ],
+        output: "orders_raw".into(),
+    });
+    steps.push(Step::UnionDistinct {
+        inputs: vec!["orders_raw".into()],
+        key: Some(vec![0]),
+        output: "orders".into(),
+    });
+    steps.push(Step::DbInsert {
+        db: db.clone(),
+        table: "orders".into(),
+        input: "orders".into(),
+        mode: LoadMode::InsertIgnore,
+    });
+    steps.push(Step::Projection {
+        input: "input".into(),
+        exprs: vec![
+            col_as(c::ORDERKEY, "orderkey", SqlType::Int),
+            col_as(c::LINENO, "lineno", SqlType::Int),
+            col_as(c::PRODKEY, "prodkey", SqlType::Int),
+            col_as(c::QUANTITY, "quantity", SqlType::Int),
+            col_as(c::EXTENDEDPRICE, "extendedprice", SqlType::Float),
+            col_as(c::DISCOUNT, "discount", SqlType::Float),
+        ],
+        output: "lines".into(),
+    });
+    steps.push(Step::DbInsert {
+        db: db.clone(),
+        table: "orderline".into(),
+        input: "lines".into(),
+        mode: LoadMode::InsertIgnore,
+    });
+    // customer dimension
+    if mart.denormalized_location() {
+        steps.push(Step::Projection {
+            input: "input".into(),
+            exprs: vec![
+                col_as(c::CUSTKEY, "custkey", SqlType::Int),
+                col_as(c::CNAME, "name", SqlType::Str),
+                col_as(c::CADDRESS, "address", SqlType::Str),
+                col_as(c::CITY, "city", SqlType::Str),
+                col_as(c::NATION, "nation", SqlType::Str),
+                col_as(c::REGION, "region", SqlType::Str),
+                col_as(c::SEGMENT, "segment", SqlType::Str),
+            ],
+            output: "cust_raw".into(),
+        });
+        steps.push(Step::UnionDistinct {
+            inputs: vec!["cust_raw".into()],
+            key: Some(vec![0]),
+            output: "cust".into(),
+        });
+        steps.push(Step::DbInsert {
+            db: db.clone(),
+            table: "customer_d".into(),
+            input: "cust".into(),
+            mode: LoadMode::InsertIgnore,
+        });
+    } else {
+        steps.push(Step::Projection {
+            input: "input".into(),
+            exprs: vec![
+                col_as(c::CUSTKEY, "custkey", SqlType::Int),
+                col_as(c::CNAME, "name", SqlType::Str),
+                col_as(c::CADDRESS, "address", SqlType::Str),
+                col_as(c::CITYKEY, "citykey", SqlType::Int),
+                col_as(c::SEGMENT, "segment", SqlType::Str),
+                col_as(c::PHONE, "phone", SqlType::Str),
+                col_as(c::ACCTBAL, "acctbal", SqlType::Float),
+            ],
+            output: "cust_raw".into(),
+        });
+        steps.push(Step::UnionDistinct {
+            inputs: vec!["cust_raw".into()],
+            key: Some(vec![0]),
+            output: "cust".into(),
+        });
+        steps.push(Step::DbInsert {
+            db: db.clone(),
+            table: "customer".into(),
+            input: "cust".into(),
+            mode: LoadMode::InsertIgnore,
+        });
+    }
+    // product dimension
+    if mart.denormalized_product() {
+        steps.push(Step::Projection {
+            input: "input".into(),
+            exprs: vec![
+                col_as(c::PRODKEY, "prodkey", SqlType::Int),
+                col_as(c::PNAME, "name", SqlType::Str),
+                col_as(c::GROUP_NAME, "group_name", SqlType::Str),
+                col_as(c::LINE_NAME, "line_name", SqlType::Str),
+                col_as(c::PPRICE, "price", SqlType::Float),
+            ],
+            output: "prod_raw".into(),
+        });
+        steps.push(Step::UnionDistinct {
+            inputs: vec!["prod_raw".into()],
+            key: Some(vec![0]),
+            output: "prod".into(),
+        });
+        steps.push(Step::DbInsert {
+            db: db.clone(),
+            table: "product_d".into(),
+            input: "prod".into(),
+            mode: LoadMode::InsertIgnore,
+        });
+    } else {
+        steps.push(Step::Projection {
+            input: "input".into(),
+            exprs: vec![
+                col_as(c::PRODKEY, "prodkey", SqlType::Int),
+                col_as(c::PNAME, "name", SqlType::Str),
+                col_as(c::GROUPKEY, "groupkey", SqlType::Int),
+                col_as(c::PPRICE, "price", SqlType::Float),
+            ],
+            output: "prod_raw".into(),
+        });
+        steps.push(Step::UnionDistinct {
+            inputs: vec!["prod_raw".into()],
+            key: Some(vec![0]),
+            output: "prod".into(),
+        });
+        steps.push(Step::DbInsert {
+            db: db.clone(),
+            table: "product".into(),
+            input: "prod".into(),
+            mode: LoadMode::InsertIgnore,
+        });
+    }
+    let _ = lit_as; // helper shared with group B; kept for symmetry
+    ProcessDef::new(
+        format!("P14_{}", mart.db_name()),
+        format!("Load data mart {}", mart.region_name()),
+        'D',
+        EventType::Timed,
+        steps,
+    )
+}
+
+/// P14 — refreshing data mart data (E2): S1 + three concurrent
+/// selection+loader threads.
+pub fn p14() -> ProcessDef {
+    use sales_cols::REGION;
+    let branches: Vec<Vec<Step>> = dm::Mart::ALL
+        .iter()
+        .map(|&mart| {
+            let sel = format!("sales_{}", mart.db_name());
+            vec![
+                Step::Selection {
+                    input: "sales".into(),
+                    predicate: Expr::col(REGION).eq(Expr::lit(mart.region_name())),
+                    output: sel.clone(),
+                },
+                Step::Subprocess {
+                    process: Arc::new(p14_loader(mart)),
+                    input: Some(sel),
+                    output: None,
+                },
+            ]
+        })
+        .collect();
+    ProcessDef::new(
+        "P14",
+        "Refreshing data mart data",
+        'D',
+        EventType::Timed,
+        vec![
+            Step::Subprocess {
+                process: Arc::new(p14_s1()),
+                input: None,
+                output: Some("sales".into()),
+            },
+            Step::Fork { branches },
+        ],
+    )
+}
+
+/// P15 — refreshing the data mart materialized views (E2): no
+/// dependencies between the marts, so the three refreshes run in parallel.
+pub fn p15() -> ProcessDef {
+    let branches: Vec<Vec<Step>> = dm::Mart::ALL
+        .iter()
+        .map(|&mart| {
+            vec![Step::DbCall {
+                db: mart.db_name().into(),
+                proc: "sp_refreshDataMartViews".into(),
+                args: vec![],
+                output: None,
+            }]
+        })
+        .collect();
+    ProcessDef::new(
+        "P15",
+        "Refreshing data mart materialized views",
+        'D',
+        EventType::Timed,
+        vec![Step::Fork { branches }],
+    )
+}

@@ -1,0 +1,221 @@
+//! The 15 DIPBench process types (paper Table I), defined as MTM process
+//! graphs.
+//!
+//! | Group | ID  | Name |
+//! |-------|-----|------|
+//! | A | P01 | Master data exchange Asia |
+//! | A | P02 | Master data subscription Europe |
+//! | A | P03 | Local data consolidation America |
+//! | B | P04 | Receive messages from Vienna |
+//! | B | P05 | Extract data from Berlin |
+//! | B | P06 | Extract data from Paris |
+//! | B | P07 | Extract data from Trondheim |
+//! | B | P08 | Receive messages from Hongkong |
+//! | B | P09 | Extract wrapped data from Beijing and Seoul |
+//! | B | P10 | Receive error-prone messages from San Diego |
+//! | B | P11 | Extract data from CDB America |
+//! | C | P12 | Bulk-loading data warehouse master data |
+//! | C | P13 | Bulk-loading data warehouse movement data |
+//! | D | P14 | Refreshing data mart data |
+//! | D | P15 | Refreshing data mart materialized views |
+//!
+//! The modeled processes are deliberately *suboptimal*, exactly as the
+//! paper specifies ("we explicitly point out that the modeled processes
+//! are suboptimal — this leaves enough space for optimizations").
+
+mod group_a;
+mod group_b;
+mod group_c;
+pub mod group_d;
+
+use dip_mtm::process::{EventType, ProcessDef, Step};
+use dip_relstore::prelude::*;
+use std::sync::Arc;
+
+pub use group_a::{p01, p02, p03};
+pub use group_b::{p04, p05, p06, p07, p08, p09, p10, p11};
+pub use group_c::{p12, p13};
+pub use group_d::{p14, p15};
+
+/// One Table-I row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessInfo {
+    pub group: char,
+    pub id: &'static str,
+    pub name: &'static str,
+    pub event: EventType,
+}
+
+/// The Table-I registry.
+pub fn registry() -> Vec<ProcessInfo> {
+    use EventType::*;
+    vec![
+        ProcessInfo { group: 'A', id: "P01", name: "Master data exchange Asia", event: Message },
+        ProcessInfo { group: 'A', id: "P02", name: "Master data subscription Europe", event: Message },
+        ProcessInfo { group: 'A', id: "P03", name: "Local data consolidation America", event: Timed },
+        ProcessInfo { group: 'B', id: "P04", name: "Receive messages from Vienna", event: Message },
+        ProcessInfo { group: 'B', id: "P05", name: "Extract data from Berlin", event: Timed },
+        ProcessInfo { group: 'B', id: "P06", name: "Extract data from Paris", event: Timed },
+        ProcessInfo { group: 'B', id: "P07", name: "Extract data from Trondheim", event: Timed },
+        ProcessInfo { group: 'B', id: "P08", name: "Receive messages from Hongkong", event: Message },
+        ProcessInfo { group: 'B', id: "P09", name: "Extract wrapped data from Beijing and Seoul", event: Timed },
+        ProcessInfo { group: 'B', id: "P10", name: "Receive error-prone messages from San Diego", event: Message },
+        ProcessInfo { group: 'B', id: "P11", name: "Extract data from CDB America", event: Timed },
+        ProcessInfo { group: 'C', id: "P12", name: "Bulk-loading data warehouse master data", event: Timed },
+        ProcessInfo { group: 'C', id: "P13", name: "Bulk-loading data warehouse movement data", event: Timed },
+        ProcessInfo { group: 'D', id: "P14", name: "Refreshing data mart data", event: Timed },
+        ProcessInfo { group: 'D', id: "P15", name: "Refreshing data mart materialized views", event: Timed },
+    ]
+}
+
+/// All 15 process definitions, in id order.
+pub fn all_processes() -> Vec<ProcessDef> {
+    vec![
+        p01(),
+        p02(),
+        p03(),
+        p04(),
+        p05(),
+        p06(),
+        p07(),
+        p08(),
+        p09(),
+        p10(),
+        p11(),
+        p12(),
+        p13(),
+        p14(),
+        p15(),
+    ]
+}
+
+// -----------------------------------------------------------------------
+// Shared step-building helpers
+// -----------------------------------------------------------------------
+
+/// Pass column `idx` of the input through under a staging column name.
+pub fn col_as(idx: usize, name: &str, ty: SqlType) -> ProjExpr {
+    ProjExpr::new(Expr::col(idx), name, ty)
+}
+
+/// A constant projection column.
+pub fn lit_as(v: Value, name: &str, ty: SqlType) -> ProjExpr {
+    ProjExpr::new(Expr::Lit(v), name, ty)
+}
+
+/// Map column `idx` through a vocabulary table (semantic heterogeneity).
+pub fn vocab_as(
+    map: &'static [(&'static str, &'static str)],
+    idx: usize,
+    name: &str,
+) -> ProjExpr {
+    let f = Arc::new(move |args: &[Value]| -> StoreResult<Value> {
+        Ok(match &args[0] {
+            Value::Str(s) => Value::Str(crate::schema::vocab::map_vocab(map, s)),
+            other => other.clone(),
+        })
+    });
+    ProjExpr::new(Expr::Apply(f, vec![Expr::col(idx)]), name, SqlType::Str)
+}
+
+/// A VALIDATE step over a relational variable: every row must have
+/// non-null values in the given columns, canonical priority in
+/// `priority_col` and canonical state in `state_col` (if given). The
+/// paper's P12/P13 validate extracted data before loading it into the DWH.
+/// Check a relation's rows against load-time constraints: required
+/// columns non-null, canonical vocabulary where given. Shared between the
+/// MTM VALIDATE steps and the federated-DBMS procedures.
+pub fn check_relation(
+    rel: &Relation,
+    required: &[usize],
+    priority_col: Option<usize>,
+    state_col: Option<usize>,
+) -> Result<(), String> {
+    for (i, row) in rel.rows.iter().enumerate() {
+        for &c in required {
+            if row[c].is_null() {
+                return Err(format!("row {i}: NULL in required column {c}"));
+            }
+        }
+        if let Some(p) = priority_col {
+            match &row[p] {
+                Value::Str(s) if crate::schema::vocab::is_canon_priority(s) => {}
+                other => return Err(format!("row {i}: bad priority {other}")),
+            }
+        }
+        if let Some(s) = state_col {
+            match &row[s] {
+                Value::Str(v) if crate::schema::vocab::is_canon_state(v) => {}
+                other => return Err(format!("row {i}: bad state {other}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn validate_relation(
+    name: &'static str,
+    var: &str,
+    required: Vec<usize>,
+    priority_col: Option<usize>,
+    state_col: Option<usize>,
+) -> Step {
+    let var_name = var.to_string();
+    Step::Custom {
+        name: name.into(),
+        binds: vec![],
+        f: Arc::new(move |vars| {
+            let rel = vars
+                .get(&var_name)
+                .ok_or_else(|| format!("variable {var_name} unbound"))?
+                .as_rel()
+                .map_err(|e| e.to_string())?;
+            check_relation(rel, &required, priority_col, state_col)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_mtm::validate::validate;
+
+    #[test]
+    fn registry_matches_table_i() {
+        let reg = registry();
+        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.iter().filter(|p| p.group == 'A').count(), 3);
+        assert_eq!(reg.iter().filter(|p| p.group == 'B').count(), 8);
+        assert_eq!(reg.iter().filter(|p| p.group == 'C').count(), 2);
+        assert_eq!(reg.iter().filter(|p| p.group == 'D').count(), 2);
+        // five message-driven (E1) types
+        assert_eq!(
+            reg.iter().filter(|p| p.event == EventType::Message).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn all_process_definitions_are_statically_valid() {
+        let defs = all_processes();
+        assert_eq!(defs.len(), 15);
+        for (def, info) in defs.iter().zip(registry()) {
+            assert_eq!(def.id, info.id);
+            assert_eq!(def.group, info.group);
+            assert_eq!(def.event, info.event);
+            validate(def).unwrap_or_else(|e| panic!("{}: {e}", def.id));
+        }
+    }
+
+    #[test]
+    fn process_complexity_is_nontrivial() {
+        // the data-intensive processes should be visibly bigger graphs
+        let defs = all_processes();
+        let steps = |id: &str| {
+            defs.iter().find(|d| d.id == id).unwrap().step_count()
+        };
+        assert!(steps("P09") > steps("P08"), "P09 should dwarf P08");
+        assert!(steps("P14") > 10);
+        assert!(steps("P03") >= 12);
+    }
+}

@@ -1,0 +1,112 @@
+//! The three scale factors of the benchmark (paper §V).
+//!
+//! * `datasize d` — continuous; scales external dataset sizes and, for E1
+//!   process types, the number of process instances per period;
+//! * `time t` — continuous; `1 tu = (1/t) ms`, so larger `t` compresses the
+//!   schedule and raises the degree of parallelism;
+//! * `distribution f` — discrete; selects the data-value distribution, from
+//!   uniform to specially skewed.
+
+use std::time::Duration;
+
+/// The discrete distribution scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniformly distributed data values (the paper's experiments).
+    Uniform,
+    /// Zipf-skewed values (hot keys dominate); parameterized by θ in tenths
+    /// to keep the type `Eq` (e.g. `Zipf10` ≈ θ = 1.0).
+    Zipf5,
+    Zipf10,
+    /// Normally distributed values around the middle of the key range.
+    Normal,
+}
+
+impl Distribution {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Zipf5 => "zipf(0.5)",
+            Distribution::Zipf10 => "zipf(1.0)",
+            Distribution::Normal => "normal",
+        }
+    }
+}
+
+/// The scale-factor triple `(d, t, f)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFactors {
+    /// datasize `d` > 0.
+    pub datasize: f64,
+    /// time `t` > 0; `1 tu = 1/t ms`.
+    pub time: f64,
+    /// distribution `f`.
+    pub distribution: Distribution,
+}
+
+impl ScaleFactors {
+    pub fn new(datasize: f64, time: f64, distribution: Distribution) -> ScaleFactors {
+        assert!(datasize > 0.0, "datasize scale factor must be positive");
+        assert!(time > 0.0, "time scale factor must be positive");
+        ScaleFactors { datasize, time, distribution }
+    }
+
+    /// The paper's first experiment: d = 0.05, t = 1.0, uniform.
+    pub fn paper_fig10() -> ScaleFactors {
+        ScaleFactors::new(0.05, 1.0, Distribution::Uniform)
+    }
+
+    /// The paper's second experiment: d = 0.1, t = 1.0, uniform.
+    pub fn paper_fig11() -> ScaleFactors {
+        ScaleFactors::new(0.1, 1.0, Distribution::Uniform)
+    }
+
+    /// One abstract time unit in wall time: `1 tu = (1/t) ms`.
+    pub fn tu(&self) -> Duration {
+        Duration::from_secs_f64(1e-3 / self.time)
+    }
+
+    /// Convert a deadline in tu to wall time.
+    pub fn tu_to_duration(&self, tu: f64) -> Duration {
+        Duration::from_secs_f64(tu.max(0.0) * 1e-3 / self.time)
+    }
+
+    /// Convert a measured duration to tu — the unit of the `NAVG+` metric.
+    pub fn duration_to_tu(&self, d: Duration) -> f64 {
+        d.as_secs_f64() * 1e3 * self.time
+    }
+}
+
+impl Default for ScaleFactors {
+    fn default() -> Self {
+        ScaleFactors::paper_fig10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tu_conversion_roundtrips() {
+        let s = ScaleFactors::new(0.05, 2.0, Distribution::Uniform);
+        // t = 2.0 => 1 tu = 0.5 ms
+        assert_eq!(s.tu(), Duration::from_micros(500));
+        assert_eq!(s.tu_to_duration(4.0), Duration::from_millis(2));
+        let d = Duration::from_millis(3);
+        assert!((s.duration_to_tu(d) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_presets() {
+        assert_eq!(ScaleFactors::paper_fig10().datasize, 0.05);
+        assert_eq!(ScaleFactors::paper_fig11().datasize, 0.1);
+        assert_eq!(ScaleFactors::paper_fig10().tu(), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_datasize_rejected() {
+        ScaleFactors::new(0.0, 1.0, Distribution::Uniform);
+    }
+}

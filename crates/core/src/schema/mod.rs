@@ -1,0 +1,14 @@
+//! All DIPBench schemas: the canonical snowflake, the consolidated
+//! database, the data warehouse, the data marts, the three regional source
+//! schemas, the message schemas with their STX translations, and the
+//! vocabulary mappings for the semantic heterogeneities.
+
+pub mod america;
+pub mod asia;
+pub mod canonical;
+pub mod cdb;
+pub mod dm;
+pub mod dwh;
+pub mod europe;
+pub mod messages;
+pub mod vocab;

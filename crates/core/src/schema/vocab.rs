@@ -1,0 +1,104 @@
+//! Semantic heterogeneities: region-specific vocabularies for priority
+//! flags and order states, and their mappings to the canonical (CDB/DWH)
+//! vocabulary.
+//!
+//! The paper names "different meanings of priority flags and order states"
+//! as the benchmark's semantic heterogeneity; every translation into the
+//! consolidated database must map these vocabularies.
+
+/// Canonical priority vocabulary (CDB, DWH, data marts).
+pub const CANON_PRIORITY: [&str; 5] = ["URGENT", "HIGH", "MEDIUM", "LOW", "NONE"];
+/// Canonical order-state vocabulary.
+pub const CANON_STATE: [&str; 4] = ["OPEN", "SHIPPED", "CLOSED", "CANCELED"];
+
+/// Europe: numbered priorities, long state words.
+pub const EUROPE_PRIORITY: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW", "5-NONE"];
+pub const EUROPE_STATE: [&str; 4] = ["OPEN", "SHIPPED", "CLOSED", "CANCELED"];
+
+/// Asia: three-level priorities, different state words.
+pub const ASIA_PRIORITY: [&str; 3] = ["HIGH", "MEDIUM", "LOW"];
+pub const ASIA_STATE: [&str; 3] = ["NEW", "DONE", "CANCELED"];
+
+/// America: numeric priority codes, single-letter states (TPC-H style).
+pub const AMERICA_PRIORITY: [&str; 5] = ["1", "2", "3", "4", "5"];
+pub const AMERICA_STATE: [&str; 3] = ["O", "F", "P"];
+
+/// Europe → canonical priority pairs (for STX text maps and projections).
+pub const EUROPE_PRIORITY_MAP: [(&str, &str); 5] = [
+    ("1-URGENT", "URGENT"),
+    ("2-HIGH", "HIGH"),
+    ("3-MEDIUM", "MEDIUM"),
+    ("4-LOW", "LOW"),
+    ("5-NONE", "NONE"),
+];
+
+pub const ASIA_PRIORITY_MAP: [(&str, &str); 3] =
+    [("HIGH", "HIGH"), ("MEDIUM", "MEDIUM"), ("LOW", "LOW")];
+
+pub const ASIA_STATE_MAP: [(&str, &str); 3] =
+    [("NEW", "OPEN"), ("DONE", "CLOSED"), ("CANCELED", "CANCELED")];
+
+pub const AMERICA_PRIORITY_MAP: [(&str, &str); 5] =
+    [("1", "URGENT"), ("2", "HIGH"), ("3", "MEDIUM"), ("4", "LOW"), ("5", "NONE")];
+
+pub const AMERICA_STATE_MAP: [(&str, &str); 3] =
+    [("O", "OPEN"), ("F", "CLOSED"), ("P", "SHIPPED")];
+
+/// Map a value through a vocabulary table; unmapped values pass through
+/// (dirty values survive until the CDB cleansing stage catches them).
+pub fn map_vocab(map: &[(&str, &str)], value: &str) -> String {
+    map.iter()
+        .find(|(from, _)| *from == value)
+        .map(|(_, to)| to.to_string())
+        .unwrap_or_else(|| value.to_string())
+}
+
+/// Is `value` part of the canonical priority vocabulary?
+pub fn is_canon_priority(value: &str) -> bool {
+    CANON_PRIORITY.contains(&value)
+}
+
+/// Is `value` part of the canonical state vocabulary?
+pub fn is_canon_state(value: &str) -> bool {
+    CANON_STATE.contains(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_regional_priority_maps_to_canonical() {
+        for (from, to) in EUROPE_PRIORITY_MAP.iter().chain(&ASIA_PRIORITY_MAP).chain(&AMERICA_PRIORITY_MAP) {
+            assert!(is_canon_priority(to), "{from} maps to non-canonical {to}");
+        }
+        for (from, to) in ASIA_STATE_MAP.iter().chain(&AMERICA_STATE_MAP) {
+            assert!(is_canon_state(to), "{from} maps to non-canonical {to}");
+        }
+    }
+
+    #[test]
+    fn mapping_covers_whole_regional_vocabularies() {
+        for p in EUROPE_PRIORITY {
+            assert!(EUROPE_PRIORITY_MAP.iter().any(|(f, _)| *f == p));
+        }
+        for p in ASIA_PRIORITY {
+            assert!(ASIA_PRIORITY_MAP.iter().any(|(f, _)| *f == p));
+        }
+        for p in AMERICA_PRIORITY {
+            assert!(AMERICA_PRIORITY_MAP.iter().any(|(f, _)| *f == p));
+        }
+        for s in ASIA_STATE {
+            assert!(ASIA_STATE_MAP.iter().any(|(f, _)| *f == s));
+        }
+        for s in AMERICA_STATE {
+            assert!(AMERICA_STATE_MAP.iter().any(|(f, _)| *f == s));
+        }
+    }
+
+    #[test]
+    fn unmapped_values_pass_through() {
+        assert_eq!(map_vocab(&EUROPE_PRIORITY_MAP, "SUPER-EXTREME"), "SUPER-EXTREME");
+        assert_eq!(map_vocab(&AMERICA_STATE_MAP, "O"), "OPEN");
+    }
+}

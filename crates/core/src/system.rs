@@ -1,0 +1,70 @@
+//! The system-under-test abstraction.
+//!
+//! DIPBench is system-independent: the client only needs to deliver E1
+//! messages and E2 scheduling events to *some* integration system and
+//! collect cost records afterwards. Two implementations exist in this
+//! workspace: [`MtmSystem`] (the native MTM engine, here) and the
+//! federated-DBMS reference implementation in `dip-feddbms`.
+
+use dip_mtm::cost::CostRecorder;
+use dip_mtm::engine::MtmEngine;
+use dip_mtm::error::MtmResult;
+use dip_mtm::process::ProcessDef;
+use dip_services::registry::ExternalWorld;
+use dip_xmlkit::node::Document;
+use std::sync::Arc;
+
+/// An integration system under test.
+pub trait IntegrationSystem: Send + Sync {
+    /// Display name (appears in reports).
+    fn name(&self) -> &str;
+
+    /// Deploy the benchmark's process definitions. Called once before the
+    /// work phase.
+    fn deploy(&self, defs: Vec<ProcessDef>) -> MtmResult<()>;
+
+    /// Deliver an E1 event: an incoming message for the given process type.
+    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()>;
+
+    /// Deliver an E2 event: a time-based scheduling event.
+    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()>;
+
+    /// The recorder collecting per-instance cost records.
+    fn recorder(&self) -> Arc<CostRecorder>;
+}
+
+/// The native MTM engine as a system under test.
+pub struct MtmSystem {
+    engine: MtmEngine,
+}
+
+impl MtmSystem {
+    pub fn new(world: Arc<ExternalWorld>) -> MtmSystem {
+        MtmSystem { engine: MtmEngine::new(world) }
+    }
+}
+
+impl IntegrationSystem for MtmSystem {
+    fn name(&self) -> &str {
+        "mtm-engine"
+    }
+
+    fn deploy(&self, defs: Vec<ProcessDef>) -> MtmResult<()> {
+        for def in defs {
+            self.engine.deploy(def)?;
+        }
+        Ok(())
+    }
+
+    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()> {
+        self.engine.execute(process, period, Some(msg))
+    }
+
+    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()> {
+        self.engine.execute(process, period, None)
+    }
+
+    fn recorder(&self) -> Arc<CostRecorder> {
+        self.engine.recorder()
+    }
+}

@@ -1,0 +1,102 @@
+//! "Proprietary XML functions" — the federated DBMS's XML path.
+//!
+//! The paper observes about its System A: "the concurrent processes are
+//! realized using proprietary XML functionalities, which are apparently
+//! not included in the optimizer" — while the relational operators "could
+//! be well-optimized". This module models that asymmetry *honestly*: the
+//! functions below produce exactly the same results as `dip-xmlkit`'s
+//! streaming implementations, but do strictly more real work, the way a
+//! CLOB-based SQL/XML function stack does — every call crosses a
+//! serialize/parse boundary (XML values live as CLOBs in queue tables and
+//! temp tables), transformations run over materialized DOM trees instead
+//! of event streams, and nothing is cached between calls.
+
+use dip_xmlkit::node::Document;
+use dip_xmlkit::path::Path;
+use dip_xmlkit::stx::Stylesheet;
+use dip_xmlkit::xsd::{ValidationIssue, XsdSchema};
+use dip_xmlkit::{parse, write_compact, XmlResult};
+
+/// Round-trip a document through its CLOB representation (what happens
+/// every time a value leaves or enters an XML function).
+fn clob_roundtrip(doc: &Document) -> XmlResult<Document> {
+    parse(&write_compact(doc))
+}
+
+/// Transform through the stylesheet the way an unoptimized XML function
+/// stack does: CLOB in → DOM → events → transform → DOM → CLOB out, with
+/// the engine re-checking its own output by re-parsing it.
+pub fn transform(doc: &Document, stylesheet: &Stylesheet) -> XmlResult<Document> {
+    let materialized = clob_roundtrip(doc)?;
+    let transformed = stylesheet.transform(&materialized)?;
+    // the function returns a CLOB; the consumer parses it again
+    clob_roundtrip(&transformed)
+}
+
+/// Validate through the CLOB boundary; the DOM is walked twice (once for
+/// materialization statistics, once for validation), as engines without a
+/// validating parser do.
+pub fn validate(doc: &Document, xsd: &XsdSchema) -> XmlResult<Vec<ValidationIssue>> {
+    let materialized = clob_roundtrip(doc)?;
+    // statistics walk (the engine sizes its CLOB buffers)
+    let _nodes = materialized.root.subtree_size();
+    let _depth = materialized.root.depth();
+    Ok(xsd.validate(&materialized))
+}
+
+/// Extract a single value by path expression — recompiled on every call
+/// (no prepared-path cache) and evaluated over a freshly materialized DOM.
+pub fn extract(doc: &Document, path_expr: &str) -> XmlResult<Option<String>> {
+    let materialized = clob_roundtrip(doc)?;
+    let path = Path::compile(path_expr)?;
+    Ok(path.value(&materialized.root))
+}
+
+/// Serialize for storage in a queue or temp table.
+pub fn to_clob(doc: &Document) -> String {
+    write_compact(doc)
+}
+
+/// Parse from queue/temp-table storage.
+pub fn from_clob(clob: &str) -> XmlResult<Document> {
+    parse(clob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_xmlkit::stx::Rule;
+
+    #[test]
+    fn transform_matches_streaming_result() {
+        let sheet = Stylesheet::new(
+            "s",
+            vec![Rule::for_name("a").rename("b").build()],
+        );
+        let doc = parse("<a><x>1</x></a>").unwrap();
+        let naive = transform(&doc, &sheet).unwrap();
+        let streaming = sheet.transform(&doc).unwrap();
+        assert_eq!(naive, streaming);
+    }
+
+    #[test]
+    fn validate_matches_direct_validation() {
+        use dip_xmlkit::value_types::SimpleType;
+        use dip_xmlkit::xsd::XsdElement;
+        let xsd = XsdSchema::new(
+            "t",
+            XsdElement::sequence("r", vec![XsdElement::simple("x", SimpleType::Int).once()]),
+        );
+        let ok = parse("<r><x>5</x></r>").unwrap();
+        let bad = parse("<r><x>five</x></r>").unwrap();
+        assert!(validate(&ok, &xsd).unwrap().is_empty());
+        assert_eq!(validate(&bad, &xsd).unwrap(), xsd.validate(&bad));
+    }
+
+    #[test]
+    fn extract_and_clob_roundtrip() {
+        let doc = parse("<m><k>42</k></m>").unwrap();
+        assert_eq!(extract(&doc, "m/k").unwrap().as_deref(), Some("42"));
+        assert_eq!(from_clob(&to_clob(&doc)).unwrap(), doc);
+    }
+}

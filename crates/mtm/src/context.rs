@@ -1,0 +1,64 @@
+//! Execution context: the per-instance variable store.
+
+use crate::message::MtmMessage;
+use std::collections::HashMap;
+
+/// The variable bindings of one running process instance (`msg1`, `msg2`, …
+/// in the paper's process figures).
+#[derive(Debug, Default, Clone)]
+pub struct VarStore {
+    vars: HashMap<String, MtmMessage>,
+}
+
+impl VarStore {
+    pub fn new() -> VarStore {
+        VarStore { vars: HashMap::new() }
+    }
+
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<MtmMessage>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MtmMessage> {
+        self.vars.get(name)
+    }
+
+    pub fn take(&mut self, name: &str) -> Option<MtmMessage> {
+        self.vars.remove(name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.vars.keys().map(String::as_str).collect()
+    }
+
+    /// Merge another store into this one (used when joining FORK branches;
+    /// later branches win on conflicts, which static validation forbids
+    /// anyway).
+    pub fn merge(&mut self, other: VarStore) {
+        self.vars.extend(other.vars);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_relstore::value::Value;
+
+    #[test]
+    fn set_get_take_merge() {
+        let mut v = VarStore::new();
+        v.set("a", Value::Int(1));
+        assert!(v.contains("a"));
+        assert!(v.get("a").is_some());
+        let mut w = VarStore::new();
+        w.set("b", Value::Int(2));
+        v.merge(w);
+        assert!(v.contains("b"));
+        assert!(v.take("a").is_some());
+        assert!(!v.contains("a"));
+    }
+}

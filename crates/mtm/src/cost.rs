@@ -1,0 +1,207 @@
+//! Cost model and cost recording.
+//!
+//! The paper's cost model (taken from the authors' self-optimization work
+//! \[22\]) splits integration-process costs into three categories:
+//!
+//! * **Cc — communication costs**: time waiting for external systems
+//!   (network delay and external processing);
+//! * **Cm — internal management costs**: time not correlated to a concrete
+//!   process instance execution (plan creation, internal reorganization);
+//! * **Cp — processing costs**: control-flow and data-flow processing.
+//!
+//! Every integration engine records, per executed process instance, the
+//! time spent in each category plus the instance's wall-clock interval.
+//! The benchmark monitor later normalizes these by concurrency and
+//! aggregates them into the `NAVG+` metric.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The three cost categories of the benchmark metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostCategory {
+    Communication,
+    Management,
+    Processing,
+}
+
+/// Unique id of one executed process instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u64);
+
+/// The record of one completed process instance.
+#[derive(Debug, Clone)]
+pub struct InstanceRecord {
+    pub instance: InstanceId,
+    /// Process-type id, e.g. `"P04"`.
+    pub process: String,
+    /// Benchmark period the instance ran in.
+    pub period: u32,
+    /// Start/end offsets on the monitor's clock.
+    pub start: Duration,
+    pub end: Duration,
+    pub comm: Duration,
+    pub mgmt: Duration,
+    pub proc: Duration,
+    /// Whether the instance completed successfully (failed instances are
+    /// reported separately and excluded from the metric).
+    pub ok: bool,
+}
+
+impl InstanceRecord {
+    /// Total attributed cost (all categories).
+    pub fn total(&self) -> Duration {
+        self.comm + self.mgmt + self.proc
+    }
+}
+
+/// In-flight accumulator for one instance; cheap to clone (shared).
+#[derive(Clone)]
+pub struct InstanceCosts {
+    inner: Arc<InstanceCostsInner>,
+}
+
+struct InstanceCostsInner {
+    comm_micros: AtomicU64,
+    mgmt_micros: AtomicU64,
+    proc_micros: AtomicU64,
+}
+
+impl InstanceCosts {
+    pub fn new() -> InstanceCosts {
+        InstanceCosts {
+            inner: Arc::new(InstanceCostsInner {
+                comm_micros: AtomicU64::new(0),
+                mgmt_micros: AtomicU64::new(0),
+                proc_micros: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Add `d` to a category. Atomic — parallel operators and subprocesses
+    /// of the same instance may record concurrently.
+    pub fn add(&self, cat: CostCategory, d: Duration) {
+        let micros = d.as_micros() as u64;
+        match cat {
+            CostCategory::Communication => {
+                self.inner.comm_micros.fetch_add(micros, Ordering::Relaxed)
+            }
+            CostCategory::Management => self.inner.mgmt_micros.fetch_add(micros, Ordering::Relaxed),
+            CostCategory::Processing => self.inner.proc_micros.fetch_add(micros, Ordering::Relaxed),
+        };
+    }
+
+    pub fn snapshot(&self) -> (Duration, Duration, Duration) {
+        (
+            Duration::from_micros(self.inner.comm_micros.load(Ordering::Relaxed)),
+            Duration::from_micros(self.inner.mgmt_micros.load(Ordering::Relaxed)),
+            Duration::from_micros(self.inner.proc_micros.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+impl Default for InstanceCosts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Collects finished instance records from all engines and streams.
+pub struct CostRecorder {
+    next_instance: AtomicU64,
+    records: Mutex<Vec<InstanceRecord>>,
+}
+
+impl std::fmt::Debug for CostRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostRecorder")
+            .field("records", &self.records.lock().len())
+            .finish()
+    }
+}
+
+impl CostRecorder {
+    pub fn new() -> CostRecorder {
+        CostRecorder { next_instance: AtomicU64::new(0), records: Mutex::new(Vec::new()) }
+    }
+
+    pub fn next_instance_id(&self) -> InstanceId {
+        InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub fn record(&self, rec: InstanceRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Drain all records collected so far.
+    pub fn drain(&self) -> Vec<InstanceRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Snapshot without draining.
+    pub fn snapshot(&self) -> Vec<InstanceRecord> {
+        self.records.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+impl Default for CostRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_accumulate_atomically() {
+        let c = InstanceCosts::new();
+        let c2 = c.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..100 {
+                    c2.add(CostCategory::Processing, Duration::from_micros(10));
+                }
+            });
+            for _ in 0..100 {
+                c.add(CostCategory::Processing, Duration::from_micros(10));
+            }
+        });
+        let (_, _, p) = c.snapshot();
+        assert_eq!(p, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn recorder_drains() {
+        let r = CostRecorder::new();
+        let id = r.next_instance_id();
+        assert_eq!(id, InstanceId(0));
+        r.record(InstanceRecord {
+            instance: id,
+            process: "P01".into(),
+            period: 0,
+            start: Duration::ZERO,
+            end: Duration::from_millis(1),
+            comm: Duration::from_micros(100),
+            mgmt: Duration::from_micros(10),
+            proc: Duration::from_micros(500),
+            ok: true,
+        });
+        assert_eq!(r.len(), 1);
+        let recs = r.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].total(), Duration::from_micros(610));
+        assert!(r.is_empty());
+    }
+}

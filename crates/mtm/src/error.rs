@@ -1,0 +1,70 @@
+//! Error type for process execution.
+
+use crate::message::MtmTypeError;
+use dip_relstore::error::StoreError;
+use dip_services::ServiceError;
+use dip_xmlkit::XmlError;
+use std::fmt;
+
+/// Anything that can go wrong while executing an MTM process instance.
+#[derive(Debug, Clone)]
+pub enum MtmError {
+    /// A referenced variable is not bound.
+    UnboundVariable(String),
+    /// A variable has the wrong message kind for an operator.
+    Type(MtmTypeError),
+    Store(StoreError),
+    Xml(XmlError),
+    Service(String),
+    /// Decoder / custom-step failure.
+    Custom(String),
+    /// A FORK branch panicked or failed.
+    Branch(String),
+    /// No SWITCH case matched and there is no default branch.
+    NoCaseMatched { process: String, value: String },
+    /// Static validation failure of a process definition.
+    InvalidProcess(String),
+}
+
+impl fmt::Display for MtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtmError::UnboundVariable(v) => write!(f, "unbound process variable {v}"),
+            MtmError::Type(e) => write!(f, "{e}"),
+            MtmError::Store(e) => write!(f, "{e}"),
+            MtmError::Xml(e) => write!(f, "{e}"),
+            MtmError::Service(m) => write!(f, "service error: {m}"),
+            MtmError::Custom(m) => write!(f, "custom step failed: {m}"),
+            MtmError::Branch(m) => write!(f, "fork branch failed: {m}"),
+            MtmError::NoCaseMatched { process, value } => {
+                write!(f, "no SWITCH case matched value {value} in {process}")
+            }
+            MtmError::InvalidProcess(m) => write!(f, "invalid process definition: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MtmError {}
+
+impl From<StoreError> for MtmError {
+    fn from(e: StoreError) -> Self {
+        MtmError::Store(e)
+    }
+}
+impl From<XmlError> for MtmError {
+    fn from(e: XmlError) -> Self {
+        MtmError::Xml(e)
+    }
+}
+impl From<MtmTypeError> for MtmError {
+    fn from(e: MtmTypeError) -> Self {
+        MtmError::Type(e)
+    }
+}
+impl From<ServiceError> for MtmError {
+    fn from(e: ServiceError) -> Self {
+        MtmError::Service(e.to_string())
+    }
+}
+
+pub type MtmResult<T> = Result<T, MtmError>;

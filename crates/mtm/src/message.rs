@@ -1,0 +1,119 @@
+//! The message model: what flows between MTM operators.
+//!
+//! Process variables (`msg1`, `msg2`, … in the paper's figures) hold either
+//! an XML document, a relational dataset, or a scalar — the three data
+//! shapes the DIPBench processes exchange.
+
+use dip_relstore::prelude::*;
+use dip_xmlkit::node::Document;
+
+/// A value bound to a process variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MtmMessage {
+    Xml(Document),
+    Rel(Relation),
+    Scalar(Value),
+}
+
+impl MtmMessage {
+    pub fn as_xml(&self) -> Result<&Document, MtmTypeError> {
+        match self {
+            MtmMessage::Xml(d) => Ok(d),
+            other => Err(MtmTypeError::expected("XML", other)),
+        }
+    }
+
+    pub fn as_rel(&self) -> Result<&Relation, MtmTypeError> {
+        match self {
+            MtmMessage::Rel(r) => Ok(r),
+            other => Err(MtmTypeError::expected("relation", other)),
+        }
+    }
+
+    pub fn as_scalar(&self) -> Result<&Value, MtmTypeError> {
+        match self {
+            MtmMessage::Scalar(v) => Ok(v),
+            other => Err(MtmTypeError::expected("scalar", other)),
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MtmMessage::Xml(_) => "XML",
+            MtmMessage::Rel(_) => "relation",
+            MtmMessage::Scalar(_) => "scalar",
+        }
+    }
+
+    /// Approximate payload size, used for communication-cost modeling.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            MtmMessage::Xml(d) => d.root.subtree_size() * 24,
+            MtmMessage::Rel(r) => r.rows.len() * r.schema.len() * 8 + 64,
+            MtmMessage::Scalar(_) => 16,
+        }
+    }
+}
+
+impl From<Document> for MtmMessage {
+    fn from(d: Document) -> Self {
+        MtmMessage::Xml(d)
+    }
+}
+
+impl From<Relation> for MtmMessage {
+    fn from(r: Relation) -> Self {
+        MtmMessage::Rel(r)
+    }
+}
+
+impl From<Value> for MtmMessage {
+    fn from(v: Value) -> Self {
+        MtmMessage::Scalar(v)
+    }
+}
+
+/// Shape mismatch when an operator reads a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtmTypeError {
+    pub expected: &'static str,
+    pub got: &'static str,
+}
+
+impl MtmTypeError {
+    fn expected(expected: &'static str, got: &MtmMessage) -> MtmTypeError {
+        MtmTypeError { expected, got: got.kind() }
+    }
+}
+
+impl std::fmt::Display for MtmTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected a {} message, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for MtmTypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_xmlkit::Element;
+
+    #[test]
+    fn accessors_enforce_kind() {
+        let m = MtmMessage::Xml(Document::new(Element::new("x")));
+        assert!(m.as_xml().is_ok());
+        assert!(m.as_rel().is_err());
+        let e = m.as_scalar().unwrap_err();
+        assert_eq!(e.expected, "scalar");
+        assert_eq!(e.got, "XML");
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let small = MtmMessage::Scalar(Value::Int(1));
+        let schema = RelSchema::of(&[("a", SqlType::Int)]).shared();
+        let big = MtmMessage::Rel(Relation::new(schema, (0..100).map(|i| vec![Value::Int(i)]).collect()));
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

@@ -1,0 +1,321 @@
+//! Process definitions: the platform-independent Message Transformation
+//! Model (MTM).
+//!
+//! A [`ProcessDef`] is a structured tree of [`Step`]s — the conceptual,
+//! process-driven description the paper uses for its 15 process types
+//! (RECEIVE, ASSIGN, INVOKE, TRANSLATE, SWITCH, SELECTION, PROJECTION,
+//! UNION DISTINCT, VALIDATE, FORK, subprocess invocation, …). Process
+//! definitions are *descriptions*; execution semantics live in the
+//! [`crate::interpreter`].
+
+use crate::message::MtmMessage;
+use dip_relstore::prelude::*;
+use dip_xmlkit::node::Document;
+use dip_xmlkit::stx::Stylesheet;
+use dip_xmlkit::xsd::XsdSchema;
+use std::sync::Arc;
+
+/// How a process instance is initiated (the paper's two event types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventType {
+    /// E1 — an incoming message starts an instance.
+    Message,
+    /// E2 — a time-based scheduling event starts an instance.
+    Timed,
+}
+
+/// Rows destined for one table — the output of an XML load decoder.
+#[derive(Debug, Clone)]
+pub struct TableRows {
+    pub table: String,
+    pub rows: Vec<Row>,
+}
+
+/// Decodes an XML message into relational rows for loading.
+pub type XmlDecoder =
+    Arc<dyn Fn(&Document) -> Result<Vec<TableRows>, String> + Send + Sync>;
+
+/// An arbitrary computation over the variable store (escape hatch for
+/// enrichment logic that has no dedicated operator).
+pub type CustomFn =
+    Arc<dyn Fn(&mut crate::context::VarStore) -> Result<(), String> + Send + Sync>;
+
+/// One case of a SWITCH operator: `when` is evaluated over the single-value
+/// row `[extracted]`, first match wins.
+#[derive(Clone)]
+pub struct SwitchCase {
+    pub when: Expr,
+    pub steps: Vec<Step>,
+}
+
+impl std::fmt::Debug for SwitchCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchCase")
+            .field("when", &self.when)
+            .field("steps", &self.steps.len())
+            .finish()
+    }
+}
+
+/// A value assigned by ASSIGN.
+#[derive(Debug, Clone)]
+pub enum AssignValue {
+    Const(MtmMessage),
+    CopyVar(String),
+}
+
+pub use dip_services::registry::LoadMode;
+
+/// Builds a query plan from the variable store at execution time.
+pub type PlanBuilder =
+    Arc<dyn Fn(&crate::context::VarStore) -> Result<Plan, String> + Send + Sync>;
+
+/// One MTM operator.
+#[derive(Clone)]
+pub enum Step {
+    /// Bind the initiating message (E1 processes only, first step).
+    Receive { var: String },
+    /// Bind a constant or copy another variable.
+    Assign { var: String, value: AssignValue },
+    /// STX schema translation of an XML variable.
+    Translate { stx: Arc<Stylesheet>, input: String, output: String },
+    /// XSD validation with success/failure branches (P10, P12, P13).
+    Validate { xsd: Arc<XsdSchema>, input: String, on_valid: Vec<Step>, on_invalid: Vec<Step> },
+    /// Content-based routing: extract `path` from the XML variable (or use
+    /// a scalar variable directly when `path` is empty) and run the first
+    /// matching case.
+    Switch { input: String, path: String, cases: Vec<SwitchCase>, default: Vec<Step> },
+    /// Query a web service operation; result-set XML lands in `output`.
+    WsQuery { service: String, operation: String, output: String },
+    /// Send an XML variable to a web service update operation.
+    WsUpdate { service: String, operation: String, input: String },
+    /// Run a query plan on an external database.
+    DbQuery { db: String, plan: Plan, output: String },
+    /// Run a query plan built at runtime from the variable store (for
+    /// parameterized lookups, e.g. P04's master-data enrichment query).
+    DbQueryDyn { db: String, plan: PlanBuilder, plan_name: String, output: String },
+    /// Insert a relational variable into an external table.
+    DbInsert { db: String, table: String, input: String, mode: LoadMode },
+    /// Decode an XML variable into rows and insert them (multi-table).
+    DbLoadXml {
+        db: String,
+        decoder: XmlDecoder,
+        decoder_name: String,
+        input: String,
+        mode: LoadMode,
+    },
+    /// Call a stored procedure on an external database.
+    DbCall { db: String, proc: String, args: Vec<Value>, output: Option<String> },
+    /// Delete rows of an external table.
+    DbDelete { db: String, table: String, predicate: Expr },
+    /// Relational selection on a variable.
+    Selection { input: String, predicate: Expr, output: String },
+    /// Relational projection (schema mapping / attribute renaming).
+    Projection { input: String, exprs: Vec<ProjExpr>, output: String },
+    /// UNION DISTINCT over several relational variables, optionally keyed.
+    UnionDistinct { inputs: Vec<String>, key: Option<Vec<usize>>, output: String },
+    /// Hash join of two relational variables (used for enrichment).
+    Join {
+        left: String,
+        right: String,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+        output: String,
+    },
+    /// Decode a generic result-set XML variable into a relation.
+    XmlToRel { input: String, schema: SchemaRef, output: String },
+    /// Encode a relational variable as a generic result-set document.
+    RelToXml { input: String, source: String, table: String, output: String },
+    /// Execute branches in parallel; all must succeed.
+    Fork { branches: Vec<Vec<Step>> },
+    /// Invoke a subprocess (shares the parent's cost instance; fresh
+    /// variable scope with explicit input/output passing).
+    Subprocess { process: Arc<ProcessDef>, input: Option<String>, output: Option<String> },
+    /// Escape hatch. `binds` declares the variables the function is known
+    /// to set, so static validation can track them.
+    Custom { name: String, binds: Vec<String>, f: CustomFn },
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Receive { var } => write!(f, "Receive -> {var}"),
+            Step::Assign { var, .. } => write!(f, "Assign -> {var}"),
+            Step::Translate { input, output, stx } => {
+                write!(f, "Translate[{}] {input} -> {output}", stx.name)
+            }
+            Step::Validate { input, .. } => write!(f, "Validate {input}"),
+            Step::Switch { input, path, cases, .. } => {
+                write!(f, "Switch {input}:{path} ({} cases)", cases.len())
+            }
+            Step::WsQuery { service, operation, output } => {
+                write!(f, "WsQuery {service}.{operation} -> {output}")
+            }
+            Step::WsUpdate { service, operation, input } => {
+                write!(f, "WsUpdate {input} -> {service}.{operation}")
+            }
+            Step::DbQuery { db, output, .. } => write!(f, "DbQuery {db} -> {output}"),
+            Step::DbQueryDyn { db, plan_name, output, .. } => {
+                write!(f, "DbQueryDyn[{plan_name}] {db} -> {output}")
+            }
+            Step::DbInsert { db, table, input, .. } => {
+                write!(f, "DbInsert {input} -> {db}.{table}")
+            }
+            Step::DbLoadXml { db, input, decoder_name, .. } => {
+                write!(f, "DbLoadXml[{decoder_name}] {input} -> {db}")
+            }
+            Step::DbCall { db, proc, .. } => write!(f, "DbCall {db}.{proc}"),
+            Step::DbDelete { db, table, .. } => write!(f, "DbDelete {db}.{table}"),
+            Step::Selection { input, output, .. } => write!(f, "Selection {input} -> {output}"),
+            Step::Projection { input, output, .. } => write!(f, "Projection {input} -> {output}"),
+            Step::UnionDistinct { inputs, output, .. } => {
+                write!(f, "UnionDistinct {inputs:?} -> {output}")
+            }
+            Step::Join { left, right, output, .. } => write!(f, "Join {left}⋈{right} -> {output}"),
+            Step::XmlToRel { input, output, .. } => write!(f, "XmlToRel {input} -> {output}"),
+            Step::RelToXml { input, output, .. } => write!(f, "RelToXml {input} -> {output}"),
+            Step::Fork { branches } => write!(f, "Fork x{}", branches.len()),
+            Step::Subprocess { process, .. } => write!(f, "Subprocess {}", process.id),
+            Step::Custom { name, .. } => write!(f, "Custom[{name}]"),
+        }
+    }
+}
+
+/// A complete process-type definition.
+#[derive(Debug, Clone)]
+pub struct ProcessDef {
+    /// Benchmark id, e.g. `"P04"`.
+    pub id: String,
+    /// Human-readable name (Table I wording).
+    pub name: String,
+    /// Stream group A–D.
+    pub group: char,
+    pub event: EventType,
+    pub steps: Vec<Step>,
+}
+
+impl ProcessDef {
+    pub fn new(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        group: char,
+        event: EventType,
+        steps: Vec<Step>,
+    ) -> ProcessDef {
+        ProcessDef { id: id.into(), name: name.into(), group, event, steps }
+    }
+
+    /// Pretty-print the process graph (the EXPLAIN of a process type).
+    pub fn explain(&self) -> String {
+        fn walk(steps: &[Step], depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            for s in steps {
+                out.push_str(&format!("{pad}{s:?}\n"));
+                match s {
+                    Step::Validate { on_valid, on_invalid, .. } => {
+                        out.push_str(&format!("{pad}  [valid]\n"));
+                        walk(on_valid, depth + 2, out);
+                        out.push_str(&format!("{pad}  [invalid]\n"));
+                        walk(on_invalid, depth + 2, out);
+                    }
+                    Step::Switch { cases, default, .. } => {
+                        for (i, c) in cases.iter().enumerate() {
+                            out.push_str(&format!("{pad}  [case {i}: {:?}]\n", c.when));
+                            walk(&c.steps, depth + 2, out);
+                        }
+                        if !default.is_empty() {
+                            out.push_str(&format!("{pad}  [default]\n"));
+                            walk(default, depth + 2, out);
+                        }
+                    }
+                    Step::Fork { branches } => {
+                        for (i, b) in branches.iter().enumerate() {
+                            out.push_str(&format!("{pad}  [branch {i}]\n"));
+                            walk(b, depth + 2, out);
+                        }
+                    }
+                    Step::Subprocess { process, .. } => {
+                        walk(&process.steps, depth + 1, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = format!(
+            "{} — {} (group {}, {:?}-driven)\n",
+            self.id, self.name, self.group, self.event
+        );
+        walk(&self.steps, 1, &mut out);
+        out
+    }
+
+    /// Count all steps, recursing into structured operators — a complexity
+    /// measure used in reports.
+    pub fn step_count(&self) -> usize {
+        fn count(steps: &[Step]) -> usize {
+            steps
+                .iter()
+                .map(|s| {
+                    1 + match s {
+                        Step::Validate { on_valid, on_invalid, .. } => {
+                            count(on_valid) + count(on_invalid)
+                        }
+                        Step::Switch { cases, default, .. } => {
+                            cases.iter().map(|c| count(&c.steps)).sum::<usize>() + count(default)
+                        }
+                        Step::Fork { branches } => branches.iter().map(|b| count(b)).sum(),
+                        Step::Subprocess { process, .. } => process.step_count(),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        count(&self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_count_recurses() {
+        let sub = Arc::new(ProcessDef::new(
+            "SUB",
+            "sub",
+            'D',
+            EventType::Timed,
+            vec![Step::Assign {
+                var: "x".into(),
+                value: AssignValue::Const(MtmMessage::Scalar(Value::Int(1))),
+            }],
+        ));
+        let p = ProcessDef::new(
+            "P",
+            "p",
+            'D',
+            EventType::Timed,
+            vec![
+                Step::Fork {
+                    branches: vec![
+                        vec![Step::Subprocess { process: sub.clone(), input: None, output: None }],
+                        vec![Step::Subprocess { process: sub, input: None, output: None }],
+                    ],
+                },
+            ],
+        );
+        // fork(1) + 2 * (subprocess(1) + assign(1))
+        assert_eq!(p.step_count(), 5);
+    }
+
+    #[test]
+    fn debug_formatting_is_informative() {
+        let s = Step::WsQuery {
+            service: "beijing".into(),
+            operation: "orders".into(),
+            output: "msg1".into(),
+        };
+        assert_eq!(format!("{s:?}"), "WsQuery beijing.orders -> msg1");
+    }
+}

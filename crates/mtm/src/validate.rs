@@ -1,0 +1,330 @@
+//! Static validation of process definitions.
+//!
+//! Catches definition bugs before deployment: variables read before they
+//! are bound, RECEIVE steps in the wrong place, empty structured operators.
+//! Branch semantics: SWITCH/VALIDATE execute *one* branch, so only
+//! variables bound in **every** branch are guaranteed afterwards; FORK
+//! executes **all** branches, so their bindings union.
+
+use crate::error::{MtmError, MtmResult};
+use crate::process::{AssignValue, EventType, ProcessDef, Step};
+use std::collections::HashSet;
+
+/// Validate a process definition.
+pub fn validate(def: &ProcessDef) -> MtmResult<()> {
+    let mut defined: HashSet<String> = HashSet::new();
+    walk(def, &def.steps, &mut defined, true)?;
+    Ok(())
+}
+
+fn err(def: &ProcessDef, msg: String) -> MtmError {
+    MtmError::InvalidProcess(format!("{}: {msg}", def.id))
+}
+
+fn require(
+    def: &ProcessDef,
+    defined: &HashSet<String>,
+    var: &str,
+    op: &str,
+) -> MtmResult<()> {
+    if defined.contains(var) {
+        Ok(())
+    } else {
+        Err(err(def, format!("{op} reads {var} before it is bound")))
+    }
+}
+
+fn walk(
+    def: &ProcessDef,
+    steps: &[Step],
+    defined: &mut HashSet<String>,
+    top_level: bool,
+) -> MtmResult<()> {
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Receive { var } => {
+                if def.event != EventType::Message {
+                    return Err(err(def, "RECEIVE in a time-scheduled process".into()));
+                }
+                if !(top_level && i == 0) {
+                    return Err(err(def, "RECEIVE must be the first step".into()));
+                }
+                defined.insert(var.clone());
+            }
+            Step::Assign { var, value } => {
+                if let AssignValue::CopyVar(src) = value {
+                    require(def, defined, src, "ASSIGN")?;
+                }
+                defined.insert(var.clone());
+            }
+            Step::Translate { input, output, .. } => {
+                require(def, defined, input, "TRANSLATE")?;
+                defined.insert(output.clone());
+            }
+            Step::Validate { input, on_valid, on_invalid, .. } => {
+                require(def, defined, input, "VALIDATE")?;
+                let mut a = defined.clone();
+                walk(def, on_valid, &mut a, false)?;
+                let mut b = defined.clone();
+                walk(def, on_invalid, &mut b, false)?;
+                defined.extend(a.intersection(&b).cloned().collect::<Vec<_>>());
+            }
+            Step::Switch { input, cases, default, .. } => {
+                require(def, defined, input, "SWITCH")?;
+                if cases.is_empty() {
+                    return Err(err(def, "SWITCH with no cases".into()));
+                }
+                let mut branch_sets: Vec<HashSet<String>> = Vec::new();
+                for c in cases {
+                    let mut s = defined.clone();
+                    walk(def, &c.steps, &mut s, false)?;
+                    branch_sets.push(s);
+                }
+                if !default.is_empty() {
+                    let mut s = defined.clone();
+                    walk(def, default, &mut s, false)?;
+                    branch_sets.push(s);
+                }
+                // intersection of all branches
+                if let Some(first) = branch_sets.first().cloned() {
+                    let common = branch_sets
+                        .iter()
+                        .skip(1)
+                        .fold(first, |acc, s| acc.intersection(s).cloned().collect());
+                    defined.extend(common);
+                }
+            }
+            Step::WsQuery { output, .. } => {
+                defined.insert(output.clone());
+            }
+            Step::WsUpdate { input, .. } => require(def, defined, input, "INVOKE(update)")?,
+            Step::DbQuery { output, .. } | Step::DbQueryDyn { output, .. } => {
+                defined.insert(output.clone());
+            }
+            Step::DbInsert { input, .. } => require(def, defined, input, "INVOKE(insert)")?,
+            Step::DbLoadXml { input, .. } => require(def, defined, input, "INVOKE(load)")?,
+            Step::DbCall { output, .. } => {
+                if let Some(o) = output {
+                    defined.insert(o.clone());
+                }
+            }
+            Step::DbDelete { .. } => {}
+            Step::Selection { input, output, .. } => {
+                require(def, defined, input, "SELECTION")?;
+                defined.insert(output.clone());
+            }
+            Step::Projection { input, output, exprs } => {
+                require(def, defined, input, "PROJECTION")?;
+                if exprs.is_empty() {
+                    return Err(err(def, "PROJECTION with no output columns".into()));
+                }
+                defined.insert(output.clone());
+            }
+            Step::UnionDistinct { inputs, output, .. } => {
+                if inputs.is_empty() {
+                    return Err(err(def, "UNION DISTINCT with no inputs".into()));
+                }
+                for v in inputs {
+                    require(def, defined, v, "UNION DISTINCT")?;
+                }
+                defined.insert(output.clone());
+            }
+            Step::Join { left, right, left_keys, right_keys, output, .. } => {
+                require(def, defined, left, "JOIN")?;
+                require(def, defined, right, "JOIN")?;
+                if left_keys.len() != right_keys.len() {
+                    return Err(err(def, "JOIN key arity mismatch".into()));
+                }
+                defined.insert(output.clone());
+            }
+            Step::XmlToRel { input, output, .. } | Step::RelToXml { input, output, .. } => {
+                require(def, defined, input, "codec")?;
+                defined.insert(output.clone());
+            }
+            Step::Fork { branches } => {
+                if branches.len() < 2 {
+                    return Err(err(def, "FORK needs at least two branches".into()));
+                }
+                for b in branches {
+                    let mut s = defined.clone();
+                    walk(def, b, &mut s, false)?;
+                    // all branches run: union their bindings
+                    defined.extend(s);
+                }
+            }
+            Step::Subprocess { process, input, output } => {
+                if let Some(v) = input {
+                    require(def, defined, v, "SUBPROCESS")?;
+                }
+                // the subprocess runs in a fresh scope; by convention it
+                // sees `input` (when passed) and must bind `output` (when
+                // the parent expects one)
+                let mut sub_defined: HashSet<String> = HashSet::new();
+                if input.is_some() {
+                    sub_defined.insert("input".to_string());
+                }
+                walk(process, &process.steps, &mut sub_defined, false)?;
+                if output.is_some() && !sub_defined.contains("output") {
+                    return Err(err(
+                        def,
+                        format!("subprocess {} never binds 'output'", process.id),
+                    ));
+                }
+                if let Some(o) = output {
+                    defined.insert(o.clone());
+                }
+            }
+            Step::Custom { binds, .. } => {
+                // opaque body: reads cannot be checked, but declared
+                // bindings become visible
+                defined.extend(binds.iter().cloned());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MtmMessage;
+    use dip_relstore::prelude::*;
+    use std::sync::Arc;
+
+    fn assign(var: &str) -> Step {
+        Step::Assign {
+            var: var.into(),
+            value: AssignValue::Const(MtmMessage::Scalar(Value::Int(1))),
+        }
+    }
+
+    #[test]
+    fn unbound_read_rejected() {
+        let def = ProcessDef::new(
+            "PX",
+            "x",
+            'A',
+            EventType::Timed,
+            vec![Step::Selection {
+                input: "missing".into(),
+                predicate: Expr::lit(true),
+                output: "o".into(),
+            }],
+        );
+        assert!(validate(&def).is_err());
+    }
+
+    #[test]
+    fn receive_only_first_in_message_process() {
+        let ok = ProcessDef::new(
+            "P1",
+            "x",
+            'A',
+            EventType::Message,
+            vec![Step::Receive { var: "m".into() }],
+        );
+        assert!(validate(&ok).is_ok());
+        let late = ProcessDef::new(
+            "P2",
+            "x",
+            'A',
+            EventType::Message,
+            vec![assign("a"), Step::Receive { var: "m".into() }],
+        );
+        assert!(validate(&late).is_err());
+        let timed = ProcessDef::new(
+            "P3",
+            "x",
+            'A',
+            EventType::Timed,
+            vec![Step::Receive { var: "m".into() }],
+        );
+        assert!(validate(&timed).is_err());
+    }
+
+    #[test]
+    fn switch_branch_bindings_intersect() {
+        // var "x" bound in only one branch must not be readable after
+        let def = ProcessDef::new(
+            "P4",
+            "x",
+            'A',
+            EventType::Timed,
+            vec![
+                assign("sel"),
+                Step::Switch {
+                    input: "sel".into(),
+                    path: String::new(),
+                    cases: vec![
+                        crate::process::SwitchCase {
+                            when: Expr::col(0).lt(Expr::lit(10)),
+                            steps: vec![assign("x")],
+                        },
+                        crate::process::SwitchCase {
+                            when: Expr::col(0).ge(Expr::lit(10)),
+                            steps: vec![],
+                        },
+                    ],
+                    default: vec![],
+                },
+                Step::Selection {
+                    input: "x".into(),
+                    predicate: Expr::lit(true),
+                    output: "y".into(),
+                },
+            ],
+        );
+        assert!(validate(&def).is_err());
+    }
+
+    #[test]
+    fn fork_branch_bindings_union() {
+        let def = ProcessDef::new(
+            "P5",
+            "x",
+            'D',
+            EventType::Timed,
+            vec![
+                Step::Fork { branches: vec![vec![assign("a")], vec![assign("b")]] },
+                Step::Assign { var: "c".into(), value: AssignValue::CopyVar("a".into()) },
+                Step::Assign { var: "d".into(), value: AssignValue::CopyVar("b".into()) },
+            ],
+        );
+        assert!(validate(&def).is_ok());
+    }
+
+    #[test]
+    fn fork_needs_two_branches() {
+        let def = ProcessDef::new(
+            "P6",
+            "x",
+            'D',
+            EventType::Timed,
+            vec![Step::Fork { branches: vec![vec![assign("a")]] }],
+        );
+        assert!(validate(&def).is_err());
+    }
+
+    #[test]
+    fn subprocess_validated_recursively() {
+        let bad_sub = Arc::new(ProcessDef::new(
+            "SUB",
+            "s",
+            'D',
+            EventType::Timed,
+            vec![Step::Selection {
+                input: "nope".into(),
+                predicate: Expr::lit(true),
+                output: "o".into(),
+            }],
+        ));
+        let def = ProcessDef::new(
+            "P7",
+            "x",
+            'D',
+            EventType::Timed,
+            vec![Step::Subprocess { process: bad_sub, input: None, output: None }],
+        );
+        assert!(validate(&def).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! The simulated network: endpoints, links, transfer-cost accounting.
+//!
+//! DIPBench measures *communication costs* `Cc(p)` — time spent waiting for
+//! external systems — as an explicit cost category. The network computes a
+//! deterministic per-message delay (link latency + payload/bandwidth) which
+//! the integration engines charge to `Cc`. By default nothing sleeps — the
+//! delay is an accounted model quantity — but `TransferMode::RealSleep`
+//! makes transfers actually block, for wall-clock-faithful runs.
+
+use crate::latency::LatencyModel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Whether transfers block for their modeled delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Compute and account delays without sleeping (default; deterministic
+    /// and fast — used by tests and CI benchmark runs).
+    Accounted,
+    /// Actually sleep for the modeled delay.
+    RealSleep,
+}
+
+/// Per-link configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    pub latency: LatencyModel,
+    /// Payload throughput in bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl LinkSpec {
+    pub fn new(latency: LatencyModel, bandwidth_bps: u64) -> LinkSpec {
+        LinkSpec { latency, bandwidth_bps }
+    }
+}
+
+/// Aggregate transfer statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub total_delay: Duration,
+}
+
+/// The simulated network.
+pub struct Network {
+    links: HashMap<(String, String), LinkSpec>,
+    default_link: LinkSpec,
+    mode: TransferMode,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetStats>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("links", &self.links.len())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl Network {
+    /// A network where every unspecified pair uses `default_link`.
+    pub fn new(default_link: LinkSpec, mode: TransferMode, seed: u64) -> Network {
+        Network {
+            links: HashMap::new(),
+            default_link,
+            mode,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats: Mutex::new(NetStats::default()),
+        }
+    }
+
+    /// Configure a directed link between two endpoints.
+    pub fn set_link(&mut self, from: &str, to: &str, spec: LinkSpec) {
+        self.links.insert((from.to_string(), to.to_string()), spec);
+    }
+
+    /// Configure the link in both directions.
+    pub fn set_link_bidirectional(&mut self, a: &str, b: &str, spec: LinkSpec) {
+        self.set_link(a, b, spec);
+        self.set_link(b, a, spec);
+    }
+
+    fn link(&self, from: &str, to: &str) -> LinkSpec {
+        self.links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Model one message transfer of `bytes` from `from` to `to`; returns
+    /// the delay charged to communication cost. Sleeps iff in
+    /// [`TransferMode::RealSleep`].
+    pub fn transfer(&self, from: &str, to: &str, bytes: usize) -> Duration {
+        let spec = self.link(from, to);
+        let latency = spec.latency.sample(&mut self.rng.lock());
+        let payload = if spec.bandwidth_bps == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / spec.bandwidth_bps as f64)
+        };
+        let delay = latency + payload;
+        {
+            let mut s = self.stats.lock();
+            s.messages += 1;
+            s.bytes += bytes as u64;
+            s.total_delay += delay;
+        }
+        if self.mode == TransferMode::RealSleep {
+            std::thread::sleep(delay);
+        }
+        delay
+    }
+
+    /// A round trip: request of `req_bytes` plus response of `resp_bytes`.
+    pub fn round_trip(&self, a: &str, b: &str, req_bytes: usize, resp_bytes: usize) -> Duration {
+        self.transfer(a, b, req_bytes) + self.transfer(b, a, resp_bytes)
+    }
+
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = NetStats::default();
+    }
+
+    pub fn mode(&self) -> TransferMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        let default = LinkSpec::new(LatencyModel::Fixed { micros: 100 }, 1_000_000);
+        Network::new(default, TransferMode::Accounted, 7)
+    }
+
+    #[test]
+    fn default_link_applies() {
+        let n = net();
+        // 100us latency + 1000 bytes at 1MB/s = 1000us
+        let d = n.transfer("a", "b", 1000);
+        assert_eq!(d, Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn specific_link_overrides() {
+        let mut n = net();
+        n.set_link("a", "b", LinkSpec::new(LatencyModel::Fixed { micros: 5 }, 0));
+        assert_eq!(n.transfer("a", "b", 999), Duration::from_micros(5));
+        // reverse direction still default
+        assert_eq!(n.transfer("b", "a", 0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let n = net();
+        n.transfer("a", "b", 10);
+        n.round_trip("a", "b", 10, 20);
+        let s = n.stats();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 40);
+        assert!(s.total_delay > Duration::ZERO);
+        n.reset_stats();
+        assert_eq!(n.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn zero_bandwidth_means_latency_only() {
+        let mut n = net();
+        n.set_link("x", "y", LinkSpec::new(LatencyModel::Fixed { micros: 42 }, 0));
+        assert_eq!(n.transfer("x", "y", 1_000_000), Duration::from_micros(42));
+    }
+}
+
+#[cfg(test)]
+mod sleep_tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn real_sleep_mode_actually_blocks() {
+        let spec = LinkSpec::new(LatencyModel::Fixed { micros: 3_000 }, 0);
+        let n = Network::new(spec, TransferMode::RealSleep, 1);
+        let t = Instant::now();
+        let modeled = n.transfer("a", "b", 0);
+        let elapsed = t.elapsed();
+        assert_eq!(modeled, Duration::from_millis(3));
+        assert!(elapsed >= Duration::from_millis(3), "{elapsed:?}");
+    }
+
+    #[test]
+    fn accounted_mode_does_not_block() {
+        let spec = LinkSpec::new(LatencyModel::Fixed { micros: 50_000 }, 0);
+        let n = Network::new(spec, TransferMode::Accounted, 1);
+        let t = Instant::now();
+        let modeled = n.transfer("a", "b", 0);
+        assert_eq!(modeled, Duration::from_millis(50));
+        assert!(t.elapsed() < Duration::from_millis(20));
+    }
+}

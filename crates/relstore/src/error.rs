@@ -1,0 +1,52 @@
+//! Error type shared by all store operations.
+
+use std::fmt;
+
+/// Errors raised by the relational store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A named table does not exist in the catalog.
+    NoSuchTable(String),
+    /// A named column does not exist in a schema.
+    NoSuchColumn(String),
+    /// A named stored procedure does not exist.
+    NoSuchProcedure(String),
+    /// A named materialized view does not exist.
+    NoSuchView(String),
+    /// Primary-key or unique-index violation.
+    DuplicateKey { table: String, key: String },
+    /// A row does not match the table schema (arity or type).
+    SchemaMismatch(String),
+    /// Expression evaluation failed (bad types, division by zero, …).
+    Eval(String),
+    /// A constraint check failed (NOT NULL, foreign key, …).
+    Constraint(String),
+    /// A trigger or stored procedure reported a failure.
+    Procedure(String),
+    /// Catch-all for invalid plans or misuse of the API.
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StoreError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            StoreError::NoSuchProcedure(p) => write!(f, "no such procedure: {p}"),
+            StoreError::NoSuchView(v) => write!(f, "no such materialized view: {v}"),
+            StoreError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {table}")
+            }
+            StoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StoreError::Eval(m) => write!(f, "evaluation error: {m}"),
+            StoreError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            StoreError::Procedure(m) => write!(f, "procedure error: {m}"),
+            StoreError::Invalid(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenient result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;

@@ -1,0 +1,203 @@
+//! Hash and B-tree indexes over table slots.
+//!
+//! Indexes map a *key tuple* (values of the indexed columns) to the slot
+//! numbers of matching rows. Unique indexes reject duplicate key tuples;
+//! non-unique indexes keep a postings list per key. Keys containing `Null`
+//! are not indexed (SQL unique semantics: NULLs never collide).
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// A key tuple extracted from a row.
+pub type KeyTuple = Vec<Value>;
+
+/// Extract the key tuple for `cols` from a row.
+pub fn key_of(row: &[Value], cols: &[usize]) -> KeyTuple {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// True if any component of the key is NULL (such keys are not indexed).
+pub fn key_has_null(key: &[Value]) -> bool {
+    key.iter().any(|v| v.is_null())
+}
+
+/// The physical structure backing an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    BTree,
+}
+
+#[derive(Debug)]
+enum Store {
+    Hash(HashMap<KeyTuple, Vec<usize>>),
+    BTree(BTreeMap<KeyTuple, Vec<usize>>),
+}
+
+/// A secondary (or primary) index over a table.
+#[derive(Debug)]
+pub struct Index {
+    pub name: String,
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    store: Store,
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+        let store = match kind {
+            IndexKind::Hash => Store::Hash(HashMap::new()),
+            IndexKind::BTree => Store::BTree(BTreeMap::new()),
+        };
+        Index { name: name.into(), columns, unique, store }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self.store {
+            Store::Hash(_) => IndexKind::Hash,
+            Store::BTree(_) => IndexKind::BTree,
+        }
+    }
+
+    /// Whether inserting `row` at `slot` would violate uniqueness.
+    pub fn would_conflict(&self, row: &[Value]) -> bool {
+        if !self.unique {
+            return false;
+        }
+        let key = key_of(row, &self.columns);
+        if key_has_null(&key) {
+            return false;
+        }
+        !self.lookup(&key).is_empty()
+    }
+
+    /// Register a row at `slot`.
+    pub fn insert(&mut self, row: &[Value], slot: usize) {
+        let key = key_of(row, &self.columns);
+        if key_has_null(&key) {
+            return;
+        }
+        match &mut self.store {
+            Store::Hash(m) => m.entry(key).or_default().push(slot),
+            Store::BTree(m) => m.entry(key).or_default().push(slot),
+        }
+    }
+
+    /// Unregister a row previously at `slot`.
+    pub fn remove(&mut self, row: &[Value], slot: usize) {
+        let key = key_of(row, &self.columns);
+        if key_has_null(&key) {
+            return;
+        }
+        let entry = match &mut self.store {
+            Store::Hash(m) => m.get_mut(&key),
+            Store::BTree(m) => m.get_mut(&key),
+        };
+        if let Some(slots) = entry {
+            slots.retain(|&s| s != slot);
+            if slots.is_empty() {
+                match &mut self.store {
+                    Store::Hash(m) => {
+                        m.remove(&key);
+                    }
+                    Store::BTree(m) => {
+                        m.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slots matching an exact key tuple.
+    pub fn lookup(&self, key: &[Value]) -> Vec<usize> {
+        match &self.store {
+            Store::Hash(m) => m.get(key).cloned().unwrap_or_default(),
+            Store::BTree(m) => m.get(key).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Slots with key in `[lo, hi]` (inclusive); only supported for B-tree
+    /// indexes — hash indexes return all slots unsorted so callers must not
+    /// rely on range semantics there.
+    pub fn range(&self, lo: &[Value], hi: &[Value]) -> Vec<usize> {
+        match &self.store {
+            Store::BTree(m) => m
+                .range(lo.to_vec()..=hi.to_vec())
+                .flat_map(|(_, slots)| slots.iter().copied())
+                .collect(),
+            Store::Hash(m) => m
+                .iter()
+                .filter(|(k, _)| {
+                    k.as_slice() >= lo && k.as_slice() <= hi
+                })
+                .flat_map(|(_, slots)| slots.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.store {
+            Store::Hash(m) => m.len(),
+            Store::BTree(m) => m.len(),
+        }
+    }
+
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            Store::Hash(m) => m.clear(),
+            Store::BTree(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64, s: &str) -> Vec<Value> {
+        vec![Value::Int(i), Value::str(s)]
+    }
+
+    #[test]
+    fn unique_hash_index() {
+        let mut ix = Index::new("pk", vec![0], true, IndexKind::Hash);
+        ix.insert(&row(1, "a"), 0);
+        ix.insert(&row(2, "b"), 1);
+        assert!(ix.would_conflict(&row(1, "zzz")));
+        assert!(!ix.would_conflict(&row(3, "c")));
+        assert_eq!(ix.lookup(&[Value::Int(2)]), vec![1]);
+        ix.remove(&row(2, "b"), 1);
+        assert!(ix.lookup(&[Value::Int(2)]).is_empty());
+        assert_eq!(ix.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn null_keys_never_conflict() {
+        let mut ix = Index::new("u", vec![1], true, IndexKind::Hash);
+        ix.insert(&[Value::Int(1), Value::Null], 0);
+        assert!(!ix.would_conflict(&[Value::Int(2), Value::Null]));
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn btree_range() {
+        let mut ix = Index::new("b", vec![0], false, IndexKind::BTree);
+        for i in 0..10 {
+            ix.insert(&row(i, "x"), i as usize);
+        }
+        let mut slots = ix.range(&[Value::Int(3)], &[Value::Int(6)]);
+        slots.sort();
+        assert_eq!(slots, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn non_unique_postings() {
+        let mut ix = Index::new("n", vec![1], false, IndexKind::Hash);
+        ix.insert(&row(1, "a"), 0);
+        ix.insert(&row(2, "a"), 1);
+        let mut slots = ix.lookup(&[Value::str("a")]);
+        slots.sort();
+        assert_eq!(slots, vec![0, 1]);
+    }
+}

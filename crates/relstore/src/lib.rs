@@ -1,0 +1,58 @@
+//! # dip-relstore — in-memory relational store
+//!
+//! The relational substrate of the DIPBench reproduction. The benchmark's
+//! environment machine (ES) hosts "one DBMS installation with eleven
+//! database instances"; each instance is a [`catalog::Database`] from this
+//! crate.
+//!
+//! Features, all built from scratch:
+//!
+//! * typed [`value::Value`]s with SQL three-valued comparison semantics;
+//! * slotted heap [`table::Table`]s with primary keys, hash/B-tree
+//!   secondary indexes and statement-atomic batch inserts;
+//! * a programmatic [`query::Plan`] language with a materializing executor
+//!   (filter/project/hash-join/union-distinct/aggregate/sort/limit) and a
+//!   rule-based optimizer (predicate + projection pushdown);
+//! * AFTER-INSERT triggers and stored procedures — the two building blocks
+//!   of the paper's federated-DBMS reference implementation (Fig. 9);
+//! * materialized views with full and incremental refresh (`OrdersMV`,
+//!   data-mart MVs);
+//! * change capture for incremental maintenance.
+//!
+//! ```
+//! use dip_relstore::prelude::*;
+//!
+//! let db = Database::new("demo");
+//! let schema = RelSchema::of(&[("id", SqlType::Int), ("city", SqlType::Str)]).shared();
+//! db.create_table(Table::new("t", schema).with_primary_key(&["id"]).unwrap());
+//! db.insert_into("t", vec![vec![Value::Int(1), Value::str("Berlin")]]).unwrap();
+//! let rel = run_query(&Plan::scan("t").filter(Expr::col(1).eq(Expr::lit("Berlin"))), &db).unwrap();
+//! assert_eq!(rel.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod expr;
+pub mod index;
+pub mod mview;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+/// The items almost every user of the crate needs.
+pub mod prelude {
+    pub use crate::catalog::{Database, ProcFn, TriggerFn};
+    pub use crate::error::{StoreError, StoreResult};
+    pub use crate::expr::{CmpOp, Expr, ScalarFunc};
+    pub use crate::index::IndexKind;
+    pub use crate::mview::{MatView, RefreshMode};
+    pub use crate::query::{
+        execute, run_query, AggExpr, AggFunc, ExecOptions, JoinKind, Plan, ProjExpr,
+    };
+    pub use crate::row::{Relation, Row};
+    pub use crate::schema::{Column, RelSchema, SchemaRef};
+    pub use crate::table::Table;
+    pub use crate::value::{days_from_civil, parse_date, render_date, SqlType, Value};
+}

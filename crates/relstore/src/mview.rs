@@ -1,0 +1,379 @@
+//! Materialized views with full and incremental refresh.
+//!
+//! The DIPBench DWH schema contains the materialized view `OrdersMV`
+//! (refreshed by P13) and each data mart has its own materialized views
+//! (refreshed by P15). A [`MatView`] pairs a defining [`Plan`] with a
+//! storage table; `refresh` recomputes it. When the definition is a simple
+//! aggregate (`SUM`/`COUNT`) over a single change-capturing base table, an
+//! *incremental* refresh applies captured deltas instead — an ablation knob
+//! for the benchmark's MV-refresh cost.
+
+use crate::catalog::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::index::key_of;
+use crate::query::exec::run_query;
+use crate::query::plan::{AggFunc, Plan};
+use crate::table::Change;
+use crate::value::Value;
+use parking_lot::Mutex;
+
+/// Refresh strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// Recompute the definition and replace the storage contents.
+    Full,
+    /// Apply captured base-table changes as aggregate deltas when the
+    /// definition allows it; falls back to full refresh otherwise.
+    Incremental,
+}
+
+/// A named materialized view.
+pub struct MatView {
+    pub name: String,
+    /// Name of the table that stores the materialized rows.
+    pub storage: String,
+    pub definition: Plan,
+    pub mode: RefreshMode,
+    stats: Mutex<ViewStats>,
+}
+
+/// Refresh bookkeeping, exposed for benches and reports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ViewStats {
+    pub full_refreshes: u64,
+    pub incremental_refreshes: u64,
+    pub rows_last_refresh: usize,
+}
+
+impl std::fmt::Debug for MatView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatView")
+            .field("name", &self.name)
+            .field("storage", &self.storage)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl MatView {
+    pub fn new(
+        name: impl Into<String>,
+        storage: impl Into<String>,
+        definition: Plan,
+        mode: RefreshMode,
+    ) -> MatView {
+        MatView {
+            name: name.into(),
+            storage: storage.into(),
+            definition,
+            mode,
+            stats: Mutex::new(ViewStats::default()),
+        }
+    }
+
+    pub fn stats(&self) -> ViewStats {
+        *self.stats.lock()
+    }
+
+    /// Refresh the view; returns the number of rows now materialized.
+    pub fn refresh(&self, db: &Database) -> StoreResult<usize> {
+        match self.mode {
+            RefreshMode::Full => self.full_refresh(db),
+            RefreshMode::Incremental => match self.try_incremental(db)? {
+                Some(n) => Ok(n),
+                None => self.full_refresh(db),
+            },
+        }
+    }
+
+    fn full_refresh(&self, db: &Database) -> StoreResult<usize> {
+        let rel = run_query(&self.definition, db)?;
+        let storage = db.table(&self.storage)?;
+        storage.truncate();
+        let n = rel.rows.len();
+        storage.insert(rel.rows)?;
+        // a full refresh consumed whatever deltas were pending
+        if let Some(base) = self.simple_aggregate_base() {
+            if let Ok(t) = db.table(&base) {
+                if t.captures_changes() {
+                    let _ = t.drain_changes();
+                }
+            }
+        }
+        let mut s = self.stats.lock();
+        s.full_refreshes += 1;
+        s.rows_last_refresh = n;
+        Ok(n)
+    }
+
+    /// Detect the `Aggregate(Scan(base))` shape and return the base table.
+    fn simple_aggregate_base(&self) -> Option<String> {
+        match &self.definition {
+            Plan::Aggregate { input, aggs, .. } => {
+                let deltable = aggs
+                    .iter()
+                    .all(|a| matches!(a.func, AggFunc::Sum | AggFunc::Count));
+                match (deltable, input.as_ref()) {
+                    (true, Plan::Scan { table, predicate: None, projection: None }) => {
+                        Some(table.clone())
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Incremental refresh; `Ok(None)` means "shape not eligible, fall back".
+    fn try_incremental(&self, db: &Database) -> StoreResult<Option<usize>> {
+        let (group_by, aggs) = match &self.definition {
+            Plan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
+            _ => return Ok(None),
+        };
+        let base_name = match self.simple_aggregate_base() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        let base = db.table(&base_name)?;
+        if !base.captures_changes() {
+            return Ok(None);
+        }
+        let storage = db.table(&self.storage)?;
+        if storage.primary_key_columns().as_deref() != Some(&(0..group_by.len()).collect::<Vec<_>>())
+        {
+            // storage must be keyed by the leading group columns
+            return Ok(None);
+        }
+        let changes = base.drain_changes();
+        for ch in changes {
+            let (row, sign) = match &ch {
+                Change::Insert(r) => (r, 1.0),
+                Change::Delete(r) => (r, -1.0),
+            };
+            let key = key_of(row, &group_by);
+            let mut current = storage.get_by_pk(&key).unwrap_or_else(|| {
+                let mut init = key.clone();
+                for a in &aggs {
+                    init.push(match a.func {
+                        AggFunc::Count => Value::Int(0),
+                        _ => Value::Float(0.0),
+                    });
+                }
+                init
+            });
+            for (i, a) in aggs.iter().enumerate() {
+                let pos = group_by.len() + i;
+                match a.func {
+                    AggFunc::Count => {
+                        let counted = match &a.input {
+                            None => true,
+                            Some(e) => !e.eval(row)?.is_null(),
+                        };
+                        if counted {
+                            let c = current[pos].to_int().unwrap_or(0);
+                            current[pos] = Value::Int(c + sign as i64);
+                        }
+                    }
+                    AggFunc::Sum => {
+                        let v = a
+                            .input
+                            .as_ref()
+                            .ok_or_else(|| StoreError::Invalid("SUM needs input".into()))?
+                            .eval(row)?;
+                        if let Some(f) = v.to_float() {
+                            let c = current[pos].to_float().unwrap_or(0.0);
+                            current[pos] = Value::Float(c + sign * f);
+                        }
+                    }
+                    _ => unreachable!("filtered by simple_aggregate_base"),
+                }
+            }
+            // drop groups whose count reached zero
+            let count_pos = aggs.iter().position(|a| a.func == AggFunc::Count);
+            let dead = count_pos
+                .map(|p| current[group_by.len() + p].to_int().unwrap_or(0) <= 0)
+                .unwrap_or(false);
+            if dead {
+                let pred = pk_predicate(&key);
+                storage.delete_where(&pred)?;
+            } else {
+                storage.upsert(vec![current])?;
+            }
+        }
+        let n = storage.row_count();
+        let mut s = self.stats.lock();
+        s.incremental_refreshes += 1;
+        s.rows_last_refresh = n;
+        Ok(Some(n))
+    }
+}
+
+/// Equality predicate over the leading key columns.
+fn pk_predicate(key: &[Value]) -> crate::expr::Expr {
+    use crate::expr::Expr;
+    let mut it = key.iter().enumerate();
+    let (i0, v0) = it.next().expect("non-empty key");
+    let mut pred = Expr::col(i0).eq(Expr::Lit(v0.clone()));
+    for (i, v) in it {
+        pred = pred.and(Expr::col(i).eq(Expr::Lit(v.clone())));
+    }
+    pred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::plan::AggExpr;
+    use crate::schema::RelSchema;
+    use crate::table::Table;
+    use crate::value::SqlType;
+
+    /// orders(city, price) -> mv(city, revenue SUM, cnt COUNT)
+    fn setup(mode: RefreshMode) -> Database {
+        let db = Database::new("dwh");
+        let orders = RelSchema::of(&[("city", SqlType::Str), ("price", SqlType::Float)]).shared();
+        db.create_table(Table::new("orders", orders).with_change_capture());
+        let mv_schema = RelSchema::of(&[
+            ("city", SqlType::Str),
+            ("revenue", SqlType::Float),
+            ("cnt", SqlType::Int),
+        ])
+        .shared();
+        db.create_table(
+            Table::new("orders_mv", mv_schema).with_primary_key(&["city"]).unwrap(),
+        );
+        let def = Plan::scan("orders").aggregate(
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "revenue"),
+                AggExpr::count_star("cnt"),
+            ],
+        );
+        db.create_view(MatView::new("orders_mv", "orders_mv", def, mode));
+        db
+    }
+
+    fn add(db: &Database, city: &str, price: f64) {
+        db.table("orders")
+            .unwrap()
+            .insert(vec![vec![Value::str(city), Value::Float(price)]])
+            .unwrap();
+    }
+
+    #[test]
+    fn full_refresh_materializes() {
+        let db = setup(RefreshMode::Full);
+        add(&db, "Berlin", 10.0);
+        add(&db, "Berlin", 5.0);
+        add(&db, "Paris", 7.0);
+        let n = db.refresh_view("orders_mv").unwrap();
+        assert_eq!(n, 2);
+        let mv = db.table("orders_mv").unwrap();
+        let row = mv.get_by_pk(&[Value::str("Berlin")]).unwrap();
+        assert_eq!(row[1], Value::Float(15.0));
+        assert_eq!(row[2], Value::Int(2));
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let inc = setup(RefreshMode::Incremental);
+        let full = setup(RefreshMode::Full);
+        for db in [&inc, &full] {
+            add(db, "Berlin", 10.0);
+            add(db, "Paris", 3.0);
+            db.refresh_view("orders_mv").unwrap();
+            add(db, "Berlin", 2.5);
+            add(db, "Rome", 1.0);
+            db.table("orders")
+                .unwrap()
+                .delete_where(&Expr::col(0).eq(Expr::lit("Paris")))
+                .unwrap();
+            db.refresh_view("orders_mv").unwrap();
+        }
+        let mut a = inc.table("orders_mv").unwrap().scan();
+        let mut b = full.table("orders_mv").unwrap().scan();
+        a.sort_by_columns(&[0]);
+        b.sort_by_columns(&[0]);
+        assert_eq!(a.rows, b.rows);
+        // and the incremental one really took the incremental path
+        let stats = inc.view("orders_mv").unwrap().stats();
+        assert_eq!(stats.incremental_refreshes, 2);
+        assert_eq!(stats.full_refreshes, 0);
+    }
+
+    #[test]
+    fn incremental_first_refresh_from_empty() {
+        let db = setup(RefreshMode::Incremental);
+        add(&db, "Berlin", 4.0);
+        db.refresh_view("orders_mv").unwrap();
+        let row = db.table("orders_mv").unwrap().get_by_pk(&[Value::str("Berlin")]).unwrap();
+        assert_eq!(row[1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn group_vanishes_when_count_zero() {
+        let db = setup(RefreshMode::Incremental);
+        add(&db, "Berlin", 4.0);
+        db.refresh_view("orders_mv").unwrap();
+        db.table("orders")
+            .unwrap()
+            .delete_where(&Expr::col(0).eq(Expr::lit("Berlin")))
+            .unwrap();
+        db.refresh_view("orders_mv").unwrap();
+        assert_eq!(db.table("orders_mv").unwrap().row_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::plan::AggExpr;
+    use crate::schema::RelSchema;
+    use crate::table::Table;
+    use crate::value::{SqlType, Value};
+
+    /// A filtered definition is not eligible for incremental maintenance;
+    /// the view must silently fall back to full refresh.
+    #[test]
+    fn ineligible_shape_falls_back_to_full() {
+        let db = Database::new("f");
+        let orders = RelSchema::of(&[("city", SqlType::Str), ("price", SqlType::Float)]).shared();
+        db.create_table(Table::new("orders", orders).with_change_capture());
+        let mv = RelSchema::of(&[("city", SqlType::Str), ("rev", SqlType::Float)]).shared();
+        db.create_table(Table::new("mv", mv).with_primary_key(&["city"]).unwrap());
+        let def = Plan::scan("orders")
+            .filter(Expr::col(1).gt(Expr::lit(0.0)))
+            .aggregate(vec![0], vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "rev")]);
+        let view = db.create_view(MatView::new("mv", "mv", def, RefreshMode::Incremental));
+        db.table("orders")
+            .unwrap()
+            .insert(vec![vec![Value::str("a"), Value::Float(2.0)]])
+            .unwrap();
+        db.refresh_view("mv").unwrap();
+        let stats = view.stats();
+        assert_eq!(stats.full_refreshes, 1);
+        assert_eq!(stats.incremental_refreshes, 0);
+        assert_eq!(db.table("mv").unwrap().row_count(), 1);
+    }
+
+    /// MIN/MAX aggregates cannot be maintained from deltas either.
+    #[test]
+    fn min_max_not_incrementally_maintained() {
+        let db = Database::new("g");
+        let orders = RelSchema::of(&[("city", SqlType::Str), ("price", SqlType::Float)]).shared();
+        db.create_table(Table::new("orders", orders).with_change_capture());
+        let mv = RelSchema::of(&[("city", SqlType::Str), ("mx", SqlType::Float)]).shared();
+        db.create_table(Table::new("mv", mv).with_primary_key(&["city"]).unwrap());
+        let def = Plan::scan("orders")
+            .aggregate(vec![0], vec![AggExpr::new(AggFunc::Max, Expr::col(1), "mx")]);
+        let view = db.create_view(MatView::new("mv", "mv", def, RefreshMode::Incremental));
+        db.table("orders")
+            .unwrap()
+            .insert(vec![vec![Value::str("a"), Value::Float(2.0)]])
+            .unwrap();
+        db.refresh_view("mv").unwrap();
+        assert_eq!(view.stats().full_refreshes, 1);
+    }
+}

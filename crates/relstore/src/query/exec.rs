@@ -1,0 +1,325 @@
+//! Plan execution (materializing executor).
+//!
+//! Each node materializes its input(s) and produces a [`Relation`]. The
+//! benchmark's datasets are period-sized (thousands to tens of thousands of
+//! rows), where a materializing executor is simple and fast; joins are hash
+//! joins with build-side selection by estimated cardinality.
+
+use crate::catalog::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::index::key_of;
+use crate::query::plan::{AggFunc, JoinKind, Plan};
+use crate::row::{Relation, Row};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Execution options; `optimize` routes the plan through the rule-based
+/// planner first (the ablation switch for the FedDBMS experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    pub optimize: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { optimize: true }
+    }
+}
+
+/// Execute `plan` against `db`.
+pub fn execute(plan: &Plan, db: &Database, opts: ExecOptions) -> StoreResult<Relation> {
+    if opts.optimize {
+        let optimized = crate::query::planner::optimize(plan.clone(), db)?;
+        run(&optimized, db)
+    } else {
+        run(plan, db)
+    }
+}
+
+/// Execute with default options (optimizer on).
+pub fn run_query(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    execute(plan, db, ExecOptions::default())
+}
+
+fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    match plan {
+        Plan::Scan { table, predicate, projection } => {
+            let t = db.table(table)?;
+            match predicate {
+                Some(p) => t.scan_where(p, projection.as_deref()),
+                None => match projection {
+                    Some(proj) => {
+                        let mut rows = Vec::with_capacity(t.row_count());
+                        t.for_each(|r| {
+                            rows.push(proj.iter().map(|&i| r[i].clone()).collect::<Row>());
+                            Ok::<(), StoreError>(())
+                        })?;
+                        Ok(Relation::new(t.schema.project(proj).shared(), rows))
+                    }
+                    None => Ok(t.scan()),
+                },
+            }
+        }
+        Plan::Values(rel) => Ok(rel.clone()),
+        Plan::Filter { input, predicate } => {
+            let rel = run(input, db)?;
+            let mut rows = Vec::new();
+            for r in rel.rows {
+                if predicate.matches(&r)? {
+                    rows.push(r);
+                }
+            }
+            Ok(Relation::new(rel.schema, rows))
+        }
+        Plan::Project { input, exprs } => {
+            let rel = run(input, db)?;
+            let schema = plan.schema(db)?;
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for r in &rel.rows {
+                let row: StoreResult<Row> = exprs.iter().map(|p| p.expr.eval(r)).collect();
+                rows.push(row?);
+            }
+            Ok(Relation::new(schema, rows))
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+            let l = run(left, db)?;
+            let r = run(right, db)?;
+            hash_join(db, plan, l, r, left_keys, right_keys, *kind)
+        }
+        Plan::UnionAll(inputs) => {
+            let schema = plan.schema(db)?;
+            let mut rows = Vec::new();
+            for i in inputs {
+                let rel = run(i, db)?;
+                if rel.schema.len() != schema.len() {
+                    return Err(StoreError::Invalid(format!(
+                        "union arity mismatch: {} vs {}",
+                        rel.schema.len(),
+                        schema.len()
+                    )));
+                }
+                rows.extend(rel.rows);
+            }
+            Ok(Relation::new(schema, rows))
+        }
+        Plan::UnionDistinct { inputs, key } => {
+            let schema = plan.schema(db)?;
+            let mut rows: Vec<Row> = Vec::new();
+            match key {
+                Some(cols) => {
+                    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+                    for i in inputs {
+                        let rel = run(i, db)?;
+                        if rel.schema.len() != schema.len() {
+                            return Err(StoreError::Invalid("union arity mismatch".into()));
+                        }
+                        for r in rel.rows {
+                            if seen.insert(key_of(&r, cols)) {
+                                rows.push(r);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let mut seen: HashSet<Row> = HashSet::new();
+                    for i in inputs {
+                        let rel = run(i, db)?;
+                        if rel.schema.len() != schema.len() {
+                            return Err(StoreError::Invalid("union arity mismatch".into()));
+                        }
+                        for r in rel.rows {
+                            if seen.insert(r.clone()) {
+                                rows.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Relation::new(schema, rows))
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let rel = run(input, db)?;
+            let schema = plan.schema(db)?;
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for r in &rel.rows {
+                let key = key_of(r, group_by);
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups
+                            .entry(key.clone())
+                            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    }
+                };
+                for (st, a) in states.iter_mut().zip(aggs) {
+                    let v = match &a.input {
+                        Some(e) => Some(e.eval(r)?),
+                        None => None,
+                    };
+                    st.update(v);
+                }
+            }
+            // Global aggregate over zero rows still yields one row.
+            if groups.is_empty() && group_by.is_empty() {
+                order.push(vec![]);
+                groups.insert(vec![], aggs.iter().map(|a| AggState::new(a.func)).collect());
+            }
+            let mut rows = Vec::with_capacity(order.len());
+            for key in order {
+                let states = groups.remove(&key).expect("group exists");
+                let mut row = key;
+                for st in states {
+                    row.push(st.finish());
+                }
+                rows.push(row);
+            }
+            Ok(Relation::new(schema, rows))
+        }
+        Plan::Sort { input, keys } => {
+            let mut rel = run(input, db)?;
+            rel.sort_by_columns(keys);
+            Ok(rel)
+        }
+        Plan::Limit { input, n } => {
+            let mut rel = run(input, db)?;
+            rel.rows.truncate(*n);
+            Ok(rel)
+        }
+    }
+}
+
+fn hash_join(
+    db: &Database,
+    plan: &Plan,
+    left: Relation,
+    right: Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+) -> StoreResult<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(StoreError::Invalid("join key arity mismatch".into()));
+    }
+    let schema = plan.schema(db)?;
+    // Build on the smaller side for inner joins; LEFT joins must build on
+    // the right so unmatched left rows can be emitted while probing.
+    let build_right = kind == JoinKind::Left || right.len() <= left.len();
+    let (build, probe, build_keys, probe_keys, probe_is_left) = if build_right {
+        (&right, &left, right_keys, left_keys, true)
+    } else {
+        (&left, &right, left_keys, right_keys, false)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, r) in build.rows.iter().enumerate() {
+        let key = key_of(r, build_keys);
+        if key.iter().any(|v| v.is_null()) {
+            continue; // NULL keys never join
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for pr in &probe.rows {
+        let key = key_of(pr, probe_keys);
+        let matches = if key.iter().any(|v| v.is_null()) {
+            None
+        } else {
+            table.get(&key)
+        };
+        match matches {
+            Some(slots) => {
+                for &s in slots {
+                    let br = &build.rows[s];
+                    let row: Row = if probe_is_left {
+                        pr.iter().chain(br.iter()).cloned().collect()
+                    } else {
+                        br.iter().chain(pr.iter()).cloned().collect()
+                    };
+                    rows.push(row);
+                }
+            }
+            None => {
+                if kind == JoinKind::Left && probe_is_left {
+                    let mut row: Row = pr.clone();
+                    row.extend(std::iter::repeat(Value::Null).take(build.schema.len()));
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// Streaming aggregate state.
+#[derive(Debug)]
+struct AggState {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        AggState { func, count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    fn update(&mut self, v: Option<Value>) {
+        match self.func {
+            AggFunc::Count => {
+                // COUNT(*) counts rows; COUNT(expr) skips NULLs.
+                match &v {
+                    None => self.count += 1,
+                    Some(x) if !x.is_null() => self.count += 1,
+                    _ => {}
+                }
+            }
+            AggFunc::Sum | AggFunc::Avg => {
+                if let Some(x) = v {
+                    if let Some(f) = x.to_float() {
+                        self.sum += f;
+                        self.count += 1;
+                    }
+                }
+            }
+            AggFunc::Min => {
+                if let Some(x) = v {
+                    if !x.is_null() && self.min.as_ref().map_or(true, |m| x < *m) {
+                        self.min = Some(x);
+                    }
+                }
+            }
+            AggFunc::Max => {
+                if let Some(x) = v {
+                    if !x.is_null() && self.max.as_ref().map_or(true, |m| x > *m) {
+                        self.max = Some(x);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Query processing: logical plans, a rule-based planner and a
+//! materializing executor.
+
+pub mod exec;
+pub mod plan;
+pub mod planner;
+
+pub use exec::{execute, run_query, ExecOptions};
+pub use plan::{AggExpr, AggFunc, JoinKind, Plan, ProjExpr};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::expr::Expr;
+    use crate::schema::RelSchema;
+    use crate::table::Table;
+    use crate::value::{SqlType, Value};
+
+    fn db() -> Database {
+        let db = Database::new("q");
+        let cust = RelSchema::of(&[
+            ("custkey", SqlType::Int),
+            ("name", SqlType::Str),
+            ("citykey", SqlType::Int),
+        ])
+        .shared();
+        let city = RelSchema::of(&[("citykey", SqlType::Int), ("cname", SqlType::Str)]).shared();
+        let t = Table::new("customer", cust).with_primary_key(&["custkey"]).unwrap();
+        t.insert(vec![
+            vec![Value::Int(1), Value::str("alpha"), Value::Int(10)],
+            vec![Value::Int(2), Value::str("beta"), Value::Int(20)],
+            vec![Value::Int(3), Value::str("gamma"), Value::Int(10)],
+            vec![Value::Int(4), Value::str("delta"), Value::Int(99)],
+        ])
+        .unwrap();
+        db.create_table(t);
+        let t = Table::new("city", city).with_primary_key(&["citykey"]).unwrap();
+        t.insert(vec![
+            vec![Value::Int(10), Value::str("Berlin")],
+            vec![Value::Int(20), Value::str("Paris")],
+        ])
+        .unwrap();
+        db.create_table(t);
+        db
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let db = db();
+        let schema = db.table("customer").unwrap().schema.clone();
+        let plan = Plan::scan("customer")
+            .filter(Expr::col(2).eq(Expr::lit(10)))
+            .project(vec![ProjExpr::passthrough(&schema, "name", Some("n")).unwrap()]);
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.schema.names(), vec!["n"]);
+        let mut names: Vec<String> = rel.rows.iter().map(|r| r[0].render()).collect();
+        names.sort();
+        assert_eq!(names, vec!["alpha", "gamma"]);
+    }
+
+    #[test]
+    fn inner_join() {
+        let db = db();
+        let plan = Plan::scan("customer").hash_join(
+            Plan::scan("city"),
+            vec![2],
+            vec![0],
+            JoinKind::Inner,
+        );
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 3); // delta's citykey 99 has no match
+        assert_eq!(rel.schema.len(), 5);
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = db();
+        let plan = Plan::scan("customer").hash_join(
+            Plan::scan("city"),
+            vec![2],
+            vec![0],
+            JoinKind::Left,
+        );
+        let mut rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 4);
+        rel.sort_by_columns(&[0]);
+        assert!(rel.rows[3][4].is_null()); // delta row padded
+    }
+
+    #[test]
+    fn union_distinct_on_key() {
+        let db = db();
+        let plan = Plan::UnionDistinct {
+            inputs: vec![Plan::scan("customer"), Plan::scan("customer")],
+            key: Some(vec![0]),
+        };
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn union_distinct_whole_row() {
+        let db = db();
+        let plan = Plan::UnionDistinct {
+            inputs: vec![Plan::scan("city"), Plan::scan("city")],
+            key: None,
+        };
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let db = db();
+        let plan = Plan::scan("customer").aggregate(
+            vec![2],
+            vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Max, Expr::col(0), "maxk")],
+        );
+        let mut rel = run_query(&plan, &db).unwrap();
+        rel.sort_by_columns(&[0]);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.get(0, "n"), &Value::Int(2)); // citykey 10 twice
+        assert_eq!(rel.get(0, "maxk"), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let db = db();
+        let plan = Plan::scan("customer")
+            .filter(Expr::col(0).gt(Expr::lit(1000)))
+            .aggregate(vec![], vec![AggExpr::count_star("n")]);
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = db();
+        let plan = Plan::scan("customer").sort(vec![0]).limit(2);
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn optimized_equals_unoptimized() {
+        let db = db();
+        let schema = db.table("customer").unwrap().schema.clone();
+        let plan = Plan::scan("customer")
+            .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
+            .filter(Expr::col(1).like("%a%").and(Expr::col(4).eq(Expr::lit("Berlin"))))
+            .project(vec![ProjExpr::passthrough(&schema, "name", None).unwrap()]);
+        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        a.sort_by_columns(&[0]);
+        b.sort_by_columns(&[0]);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn values_plan() {
+        let db = db();
+        let schema = RelSchema::of(&[("x", SqlType::Int)]).shared();
+        let rel = crate::row::Relation::new(schema, vec![vec![Value::Int(5)]]);
+        let plan = Plan::Values(rel).project(vec![ProjExpr::new(
+            Expr::col(0).mul(Expr::lit(2)),
+            "y",
+            SqlType::Int,
+        )]);
+        let out = run_query(&plan, &db).unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(10));
+    }
+}

@@ -1,0 +1,318 @@
+//! Logical query plans.
+//!
+//! Plans are small trees built programmatically (there is no SQL parser —
+//! the benchmark's processes are defined as plans directly, which matches
+//! the paper's platform-independent process descriptions). A plan computes
+//! its output schema against a database, is optionally rewritten by the
+//! [`crate::query::planner`], and is executed by [`crate::query::exec`].
+
+use crate::catalog::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::expr::Expr;
+use crate::row::Relation;
+use crate::schema::{Column, RelSchema, SchemaRef};
+use crate::value::SqlType;
+
+/// Join flavours supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// Keep unmatched left rows, padding right columns with NULL.
+    Left,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate output: `func(input)` named `name`. `input = None` means
+/// `COUNT(*)`.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub input: Option<Expr>,
+    pub name: String,
+}
+
+impl AggExpr {
+    pub fn count_star(name: impl Into<String>) -> AggExpr {
+        AggExpr { func: AggFunc::Count, input: None, name: name.into() }
+    }
+    pub fn new(func: AggFunc, input: Expr, name: impl Into<String>) -> AggExpr {
+        AggExpr { func, input: Some(input), name: name.into() }
+    }
+
+    fn out_type(&self, _input: &RelSchema) -> SqlType {
+        match self.func {
+            AggFunc::Count => SqlType::Int,
+            AggFunc::Avg => SqlType::Float,
+            // SUM/MIN/MAX: keep it simple and call them floats unless the
+            // expression is a bare integer column — we cannot type-infer
+            // arbitrary expressions, and Float holds both.
+            _ => SqlType::Float,
+        }
+    }
+}
+
+/// A projection output column: expression plus declared output column.
+#[derive(Debug, Clone)]
+pub struct ProjExpr {
+    pub expr: Expr,
+    pub column: Column,
+}
+
+impl ProjExpr {
+    pub fn new(expr: Expr, name: impl Into<String>, ty: SqlType) -> ProjExpr {
+        ProjExpr { expr, column: Column::new(name, ty) }
+    }
+
+    /// Pass a column of `schema` through unchanged (possibly renamed).
+    pub fn passthrough(schema: &RelSchema, col: &str, rename: Option<&str>) -> StoreResult<ProjExpr> {
+        let idx = schema.index_of(col)?;
+        let mut column = schema.column(idx).clone();
+        if let Some(r) = rename {
+            column.name = r.to_string();
+        }
+        Ok(ProjExpr { expr: Expr::Col(idx), column })
+    }
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Base-table access. `predicate`/`projection` are filled in by the
+    /// optimizer (pushdown); hand-written plans normally leave them empty.
+    Scan {
+        table: String,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    },
+    /// Literal input relation.
+    Values(Relation),
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<ProjExpr>,
+    },
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+    },
+    /// Bag union of same-arity inputs.
+    UnionAll(Vec<Plan>),
+    /// Set union; `key = None` deduplicates whole rows, `Some(cols)`
+    /// deduplicates on the given key columns keeping the first row seen —
+    /// the paper's `UNION_DISTINCT, Ordkey` etc. (P03, P09).
+    UnionDistinct {
+        inputs: Vec<Plan>,
+        key: Option<Vec<usize>>,
+    },
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+    },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<usize>,
+    },
+    Limit {
+        input: Box<Plan>,
+        n: usize,
+    },
+}
+
+impl Plan {
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan { table: table.into(), predicate: None, projection: None }
+    }
+
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter { input: Box::new(self), predicate }
+    }
+
+    pub fn project(self, exprs: Vec<ProjExpr>) -> Plan {
+        Plan::Project { input: Box::new(self), exprs }
+    }
+
+    pub fn hash_join(self, right: Plan, left_keys: Vec<usize>, right_keys: Vec<usize>, kind: JoinKind) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            kind,
+        }
+    }
+
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    pub fn sort(self, keys: Vec<usize>) -> Plan {
+        Plan::Sort { input: Box::new(self), keys }
+    }
+
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit { input: Box::new(self), n }
+    }
+
+    /// Compute the output schema against `db`.
+    pub fn schema(&self, db: &Database) -> StoreResult<SchemaRef> {
+        match self {
+            Plan::Scan { table, projection, .. } => {
+                let t = db.table(table)?;
+                Ok(match projection {
+                    Some(p) => t.schema.project(p).shared(),
+                    None => t.schema.clone(),
+                })
+            }
+            Plan::Values(rel) => Ok(rel.schema.clone()),
+            Plan::Filter { input, .. } => input.schema(db),
+            Plan::Project { exprs, .. } => Ok(RelSchema::new(
+                exprs.iter().map(|p| p.column.clone()).collect(),
+            )
+            .shared()),
+            Plan::HashJoin { left, right, kind, .. } => {
+                let l = left.schema(db)?;
+                let mut r = (*right.schema(db)?).clone();
+                if *kind == JoinKind::Left {
+                    // right side becomes nullable under LEFT JOIN
+                    r = RelSchema::new(
+                        r.columns()
+                            .iter()
+                            .map(|c| Column::new(c.name.clone(), c.ty))
+                            .collect(),
+                    );
+                }
+                Ok(l.concat(&r).shared())
+            }
+            Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
+                let first = inputs
+                    .first()
+                    .ok_or_else(|| StoreError::Invalid("empty union".into()))?;
+                first.schema(db)
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let in_schema = input.schema(db)?;
+                let mut cols: Vec<Column> =
+                    group_by.iter().map(|&i| in_schema.column(i).clone()).collect();
+                for a in aggs {
+                    cols.push(Column::new(a.name.clone(), a.out_type(&in_schema)));
+                }
+                Ok(RelSchema::new(cols).shared())
+            }
+            Plan::Sort { input, .. } | Plan::Limit { input, .. } => input.schema(db),
+        }
+    }
+
+    /// Rough output-cardinality estimate for join-side selection.
+    pub fn estimate_rows(&self, db: &Database) -> usize {
+        match self {
+            Plan::Scan { table, predicate, .. } => {
+                let n = db.table(table).map(|t| t.row_count()).unwrap_or(0);
+                if predicate.is_some() {
+                    // classic 1/3 selectivity guess
+                    (n / 3).max(1)
+                } else {
+                    n
+                }
+            }
+            Plan::Values(rel) => rel.len(),
+            Plan::Filter { input, .. } => (input.estimate_rows(db) / 3).max(1),
+            Plan::Project { input, .. } => input.estimate_rows(db),
+            Plan::HashJoin { left, right, .. } => {
+                left.estimate_rows(db).max(right.estimate_rows(db))
+            }
+            Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
+                inputs.iter().map(|i| i.estimate_rows(db)).sum()
+            }
+            Plan::Aggregate { input, group_by, .. } => {
+                if group_by.is_empty() {
+                    1
+                } else {
+                    (input.estimate_rows(db) / 2).max(1)
+                }
+            }
+            Plan::Sort { input, .. } => input.estimate_rows(db),
+            Plan::Limit { input, n } => input.estimate_rows(db).min(*n),
+        }
+    }
+
+    /// Pretty-print the plan tree (EXPLAIN).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, predicate, projection } => {
+                out.push_str(&format!("{pad}Scan {table}"));
+                if let Some(p) = predicate {
+                    out.push_str(&format!(" pred={p:?}"));
+                }
+                if let Some(pr) = projection {
+                    out.push_str(&format!(" proj={pr:?}"));
+                }
+                out.push('\n');
+            }
+            Plan::Values(rel) => out.push_str(&format!("{pad}Values [{} rows]\n", rel.len())),
+            Plan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|e| e.column.name.as_str()).collect();
+                out.push_str(&format!("{pad}Project {names:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+                out.push_str(&format!(
+                    "{pad}HashJoin {kind:?} on {left_keys:?}={right_keys:?}\n"
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::UnionAll(inputs) => {
+                out.push_str(&format!("{pad}UnionAll\n"));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            Plan::UnionDistinct { inputs, key } => {
+                out.push_str(&format!("{pad}UnionDistinct key={key:?}\n"));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                out.push_str(&format!("{pad}Aggregate by {group_by:?} -> {names:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}

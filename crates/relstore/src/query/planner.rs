@@ -1,0 +1,297 @@
+//! Rule-based plan optimizer.
+//!
+//! Three rewrites, applied bottom-up:
+//!
+//! 1. **Predicate pushdown** — `Filter` over `Scan` merges into the scan's
+//!    predicate (enabling index probes inside the table); `Filter` over
+//!    `Filter` merges into a conjunction; filters over joins are split into
+//!    left-only / right-only / residual conjuncts and pushed to the inputs.
+//! 2. **Projection pushdown** — `Project` consisting purely of column
+//!    references over a `Scan` becomes the scan's projection list.
+//! 3. **Union flattening** — nested `UnionAll` inputs are spliced inline.
+//!
+//! The FedDBMS reference implementation runs all relational work through
+//! this planner; the `bench_ablation` benchmark measures its effect (the
+//! paper attributes part of System A's behaviour to relational operators
+//! being "well-optimized" while XML functions were not).
+
+use crate::catalog::Database;
+use crate::error::StoreResult;
+use crate::expr::Expr;
+use crate::query::plan::Plan;
+
+/// Optimize a plan. `db` is used for schema/arity information only.
+pub fn optimize(plan: Plan, db: &Database) -> StoreResult<Plan> {
+    rewrite(plan, db)
+}
+
+fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
+    // Recurse first (bottom-up).
+    let plan = match plan {
+        Plan::Filter { input, predicate } => {
+            let input = rewrite(*input, db)?;
+            push_filter(input, predicate, db)?
+        }
+        Plan::Project { input, exprs } => {
+            let input = rewrite(*input, db)?;
+            push_project(input, exprs, db)?
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind } => Plan::HashJoin {
+            left: Box::new(rewrite(*left, db)?),
+            right: Box::new(rewrite(*right, db)?),
+            left_keys,
+            right_keys,
+            kind,
+        },
+        Plan::UnionAll(inputs) => {
+            let mut flat = Vec::with_capacity(inputs.len());
+            for i in inputs {
+                match rewrite(i, db)? {
+                    Plan::UnionAll(nested) => flat.extend(nested),
+                    other => flat.push(other),
+                }
+            }
+            Plan::UnionAll(flat)
+        }
+        Plan::UnionDistinct { inputs, key } => Plan::UnionDistinct {
+            inputs: inputs
+                .into_iter()
+                .map(|i| rewrite(i, db))
+                .collect::<StoreResult<Vec<_>>>()?,
+            key,
+        },
+        Plan::Aggregate { input, group_by, aggs } => Plan::Aggregate {
+            input: Box::new(rewrite(*input, db)?),
+            group_by,
+            aggs,
+        },
+        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(rewrite(*input, db)?), keys },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, db)?), n },
+        leaf => leaf,
+    };
+    Ok(plan)
+}
+
+/// Push a filter predicate into `input` where possible.
+fn push_filter(input: Plan, predicate: Expr, db: &Database) -> StoreResult<Plan> {
+    match input {
+        Plan::Scan { table, predicate: existing, projection } => {
+            let merged = match existing {
+                Some(e) => e.and(predicate),
+                None => predicate,
+            };
+            Ok(Plan::Scan { table, predicate: Some(merged), projection })
+        }
+        Plan::Filter { input, predicate: inner } => {
+            // merge and retry pushdown on the combined predicate
+            push_filter(*input, inner.and(predicate), db)
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+            let left_width = left.schema(db)?.len();
+            let conjuncts = split_conjuncts(predicate);
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut residual = Vec::new();
+            for c in conjuncts {
+                let mut cols = Vec::new();
+                c.referenced_columns(&mut cols);
+                if cols.iter().all(|&i| i < left_width) {
+                    left_preds.push(c);
+                } else if cols.iter().all(|&i| i >= left_width)
+                    && kind == crate::query::plan::JoinKind::Inner
+                {
+                    // only safe to push right-side predicates for inner joins
+                    right_preds.push(c.remap_columns(&|i| i - left_width));
+                } else {
+                    residual.push(c);
+                }
+            }
+            let mut l = *left;
+            if let Some(p) = conjoin(left_preds) {
+                l = push_filter(l, p, db)?;
+            }
+            let mut r = *right;
+            if let Some(p) = conjoin(right_preds) {
+                r = push_filter(r, p, db)?;
+            }
+            let join = Plan::HashJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                left_keys,
+                right_keys,
+                kind,
+            };
+            Ok(match conjoin(residual) {
+                Some(p) => Plan::Filter { input: Box::new(join), predicate: p },
+                None => join,
+            })
+        }
+        Plan::UnionAll(inputs) => {
+            // filters distribute over union
+            let pushed: StoreResult<Vec<Plan>> = inputs
+                .into_iter()
+                .map(|i| push_filter(i, predicate.clone(), db))
+                .collect();
+            Ok(Plan::UnionAll(pushed?))
+        }
+        other => Ok(Plan::Filter { input: Box::new(other), predicate }),
+    }
+}
+
+/// Push a pure-column projection into a scan. Only fires when every output
+/// is a bare column reference that keeps its input name — a rename must stay
+/// in a `Project` node because scan projections carry base-table column
+/// metadata. The table scan evaluates its predicate on the *full* row before
+/// projecting, so dropping predicate columns from the output is safe.
+fn push_project(
+    input: Plan,
+    exprs: Vec<crate::query::plan::ProjExpr>,
+    db: &Database,
+) -> StoreResult<Plan> {
+    if let Plan::Scan { table, predicate, projection: None } = &input {
+        let schema = db.table(table)?.schema.clone();
+        let pure: Option<Vec<usize>> = exprs
+            .iter()
+            .map(|p| match p.expr {
+                Expr::Col(i) if schema.column(i).name == p.column.name => Some(i),
+                _ => None,
+            })
+            .collect();
+        if let Some(cols) = pure {
+            return Ok(Plan::Scan {
+                table: table.clone(),
+                predicate: predicate.clone(),
+                projection: Some(cols),
+            });
+        }
+    }
+    Ok(Plan::Project { input: Box::new(input), exprs })
+}
+
+/// Split an AND tree into its conjuncts.
+fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut v = split_conjuncts(*a);
+            v.extend(split_conjuncts(*b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction from parts.
+fn conjoin(mut parts: Vec<Expr>) -> Option<Expr> {
+    let first = if parts.is_empty() {
+        return None;
+    } else {
+        parts.remove(0)
+    };
+    Some(parts.into_iter().fold(first, |acc, p| acc.and(p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::plan::{JoinKind, ProjExpr};
+    use crate::schema::RelSchema;
+    use crate::table::Table;
+    use crate::value::{SqlType, Value};
+
+    fn db() -> Database {
+        let db = Database::new("t");
+        let s = RelSchema::of(&[("a", SqlType::Int), ("b", SqlType::Int)]).shared();
+        db.create_table(Table::new("x", s.clone()));
+        db.create_table(Table::new("y", s));
+        db
+    }
+
+    #[test]
+    fn filter_merges_into_scan() {
+        let db = db();
+        let plan = Plan::scan("x").filter(Expr::col(0).gt(Expr::lit(1)));
+        let opt = optimize(plan, &db).unwrap();
+        match opt {
+            Plan::Scan { predicate: Some(_), .. } => {}
+            other => panic!("expected pushed scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let db = db();
+        let plan = Plan::scan("x")
+            .filter(Expr::col(0).gt(Expr::lit(1)))
+            .filter(Expr::col(1).lt(Expr::lit(9)));
+        let opt = optimize(plan, &db).unwrap();
+        assert!(matches!(opt, Plan::Scan { predicate: Some(_), .. }));
+    }
+
+    #[test]
+    fn join_filter_splits() {
+        let db = db();
+        // x(a,b) join y(a,b): filter on x.a AND y.b AND cross-condition
+        let pred = Expr::col(0)
+            .gt(Expr::lit(1)) // left-only
+            .and(Expr::col(3).lt(Expr::lit(5))) // right-only (col 3 = y.b)
+            .and(Expr::col(0).eq(Expr::col(2))); // residual
+        let plan = Plan::scan("x")
+            .hash_join(Plan::scan("y"), vec![0], vec![0], JoinKind::Inner)
+            .filter(pred);
+        let opt = optimize(plan, &db).unwrap();
+        // expect Filter(residual) over Join(Scan(pred), Scan(pred))
+        match opt {
+            Plan::Filter { input, .. } => match *input {
+                Plan::HashJoin { left, right, .. } => {
+                    assert!(matches!(*left, Plan::Scan { predicate: Some(_), .. }));
+                    assert!(matches!(*right, Plan::Scan { predicate: Some(_), .. }));
+                }
+                other => panic!("expected join, got {other:?}"),
+            },
+            other => panic!("expected residual filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_join_keeps_right_filter_above() {
+        let db = db();
+        let pred = Expr::col(3).lt(Expr::lit(5)); // right-only
+        let plan = Plan::scan("x")
+            .hash_join(Plan::scan("y"), vec![0], vec![0], JoinKind::Left)
+            .filter(pred);
+        let opt = optimize(plan, &db).unwrap();
+        // must NOT push below a left join
+        assert!(matches!(opt, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn projection_pushes_into_scan() {
+        let db = db();
+        let schema = db.table("x").unwrap().schema.clone();
+        let plan = Plan::scan("x").project(vec![
+            ProjExpr::passthrough(&schema, "b", None).unwrap(),
+        ]);
+        let opt = optimize(plan, &db).unwrap();
+        assert!(matches!(opt, Plan::Scan { projection: Some(_), .. }));
+    }
+
+    #[test]
+    fn union_flattens_and_distributes_filter() {
+        let db = db();
+        let plan = Plan::UnionAll(vec![
+            Plan::UnionAll(vec![Plan::scan("x"), Plan::scan("y")]),
+            Plan::scan("x"),
+        ])
+        .filter(Expr::col(0).eq(Expr::lit(Value::Int(1))));
+        let opt = optimize(plan, &db).unwrap();
+        match opt {
+            Plan::UnionAll(inputs) => {
+                assert_eq!(inputs.len(), 3);
+                for i in inputs {
+                    assert!(matches!(i, Plan::Scan { predicate: Some(_), .. }));
+                }
+            }
+            other => panic!("expected flattened union, got {other:?}"),
+        }
+    }
+}

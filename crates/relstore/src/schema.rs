@@ -1,0 +1,193 @@
+//! Table schemas: named, typed columns plus key metadata.
+
+use crate::error::{StoreError, StoreResult};
+use crate::value::{SqlType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: SqlType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: SqlType) -> Column {
+        Column { name: name.into(), ty, nullable: true }
+    }
+
+    pub fn not_null(name: impl Into<String>, ty: SqlType) -> Column {
+        Column { name: name.into(), ty, nullable: false }
+    }
+}
+
+/// An ordered set of columns; shared via `Arc` between tables, relations and
+/// query plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    columns: Vec<Column>,
+}
+
+/// Shared handle to a schema.
+pub type SchemaRef = Arc<RelSchema>;
+
+impl RelSchema {
+    pub fn new(columns: Vec<Column>) -> RelSchema {
+        RelSchema { columns }
+    }
+
+    /// Build a schema from `(name, type)` pairs, all nullable.
+    pub fn of(cols: &[(&str, SqlType)]) -> RelSchema {
+        RelSchema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+    }
+
+    pub fn shared(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Case-insensitive column lookup, as SQL identifiers behave.
+    pub fn index_of(&self, name: &str) -> StoreResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| StoreError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Resolve a list of column names to positions.
+    pub fn indices_of(&self, names: &[&str]) -> StoreResult<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Check one row against this schema: arity, nullability and type.
+    /// Integer values are accepted where floats are expected (widening).
+    pub fn check_row(&self, row: &[Value]) -> StoreResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            match v.sql_type() {
+                None => {
+                    if !c.nullable {
+                        return Err(StoreError::Constraint(format!(
+                            "column {} is NOT NULL",
+                            c.name
+                        )));
+                    }
+                }
+                Some(t) => {
+                    let ok = t == c.ty
+                        || (c.ty == SqlType::Float && t == SqlType::Int)
+                        || (c.ty == SqlType::Int && t == SqlType::Bool);
+                    if !ok {
+                        return Err(StoreError::SchemaMismatch(format!(
+                            "column {} expects {}, got {} ({v})",
+                            c.name, c.ty, t
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Schema produced by keeping only the given column positions.
+    pub fn project(&self, idxs: &[usize]) -> RelSchema {
+        RelSchema::new(idxs.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Schema of `self` concatenated with `other` (join output).
+    pub fn concat(&self, other: &RelSchema) -> RelSchema {
+        let mut cols = self.columns.clone();
+        cols.extend(other.columns.iter().cloned());
+        RelSchema::new(cols)
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sch() -> RelSchema {
+        RelSchema::new(vec![
+            Column::not_null("id", SqlType::Int),
+            Column::new("name", SqlType::Str),
+            Column::new("price", SqlType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sch();
+        assert_eq!(s.index_of("ID").unwrap(), 0);
+        assert_eq!(s.index_of("Name").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_arity_and_types() {
+        let s = sch();
+        assert!(s.check_row(&[Value::Int(1), Value::str("a"), Value::Float(2.0)]).is_ok());
+        // int widens to float
+        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Int(2)]).is_ok());
+        // NOT NULL enforced
+        assert!(matches!(
+            s.check_row(&[Value::Null, Value::Null, Value::Null]),
+            Err(StoreError::Constraint(_))
+        ));
+        // wrong arity
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // wrong type
+        assert!(s.check_row(&[Value::str("x"), Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let s = sch();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["price", "id"]);
+        let c = s.concat(&p);
+        assert_eq!(c.len(), 5);
+    }
+}

@@ -1,0 +1,698 @@
+//! Heap tables with slot storage, primary/secondary indexes and change
+//! capture.
+//!
+//! A [`Table`] owns its rows in a slotted vector (`Vec<Option<Row>>`); a
+//! deleted row leaves a tombstone so slot numbers — which indexes reference —
+//! stay stable. Tables are internally synchronized with a `parking_lot`
+//! `RwLock`, so a shared `Arc<Table>` can be used from concurrent benchmark
+//! streams.
+//!
+//! Triggers are *stored* here but *fired* by [`crate::catalog::Database`],
+//! because a trigger body usually writes other tables and therefore needs
+//! the whole database handle.
+
+use crate::error::{StoreError, StoreResult};
+use crate::expr::Expr;
+use crate::index::{key_of, Index, IndexKind};
+use crate::row::{Relation, Row};
+use crate::schema::SchemaRef;
+use crate::value::Value;
+use parking_lot::RwLock;
+
+/// A captured mutation, consumed by incremental materialized-view refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    Insert(Row),
+    Delete(Row),
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    slots: Vec<Option<Row>>,
+    live: usize,
+    primary: Option<Index>,
+    secondary: Vec<Index>,
+    capture: bool,
+    changes: Vec<Change>,
+    /// Monotonic counter bumped on every mutation batch.
+    generation: u64,
+}
+
+/// An in-memory heap table.
+pub struct Table {
+    pub name: String,
+    pub schema: SchemaRef,
+    inner: RwLock<TableInner>,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("rows", &self.row_count())
+            .finish()
+    }
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: SchemaRef) -> Table {
+        Table { name: name.into(), schema, inner: RwLock::new(TableInner::default()) }
+    }
+
+    /// Declare the primary key over the named columns (hash-unique).
+    pub fn with_primary_key(self, cols: &[&str]) -> StoreResult<Table> {
+        let idxs = self.schema.indices_of(cols)?;
+        {
+            let mut inner = self.inner.write();
+            inner.primary = Some(Index::new(
+                format!("{}_pk", self.name),
+                idxs,
+                true,
+                IndexKind::Hash,
+            ));
+        }
+        Ok(self)
+    }
+
+    /// Add a secondary index.
+    pub fn with_index(self, name: &str, cols: &[&str], unique: bool, kind: IndexKind) -> StoreResult<Table> {
+        let idxs = self.schema.indices_of(cols)?;
+        {
+            let mut inner = self.inner.write();
+            inner.secondary.push(Index::new(name, idxs, unique, kind));
+        }
+        Ok(self)
+    }
+
+    /// Enable change capture (for incremental MV refresh).
+    pub fn with_change_capture(self) -> Table {
+        self.inner.write().capture = true;
+        self
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.inner.read().live
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+
+    /// Number of distinct keys of the primary index, if any — a planner
+    /// statistic.
+    pub fn pk_cardinality(&self) -> Option<usize> {
+        self.inner.read().primary.as_ref().map(|p| p.distinct_keys())
+    }
+
+    /// Column positions of the primary key, if declared.
+    pub fn primary_key_columns(&self) -> Option<Vec<usize>> {
+        self.inner.read().primary.as_ref().map(|p| p.columns.clone())
+    }
+
+    /// Insert a batch of rows. All rows are validated and checked against
+    /// unique indexes *before* any row is applied, so a failed batch leaves
+    /// the table unchanged (statement-level atomicity).
+    pub fn insert(&self, rows: Vec<Row>) -> StoreResult<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        for r in &rows {
+            self.schema.check_row(r)?;
+        }
+        let mut inner = self.inner.write();
+        // Uniqueness pre-check, including duplicates inside the batch itself.
+        if let Some(pk) = &inner.primary {
+            let mut batch_keys = std::collections::HashSet::new();
+            for r in &rows {
+                let key = key_of(r, &pk.columns);
+                if crate::index::key_has_null(&key) {
+                    return Err(StoreError::Constraint(format!(
+                        "NULL in primary key of {}",
+                        self.name
+                    )));
+                }
+                if pk.would_conflict(r) || !batch_keys.insert(key.clone()) {
+                    return Err(StoreError::DuplicateKey {
+                        table: self.name.clone(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        for ix in &inner.secondary {
+            if ix.unique {
+                let mut batch_keys = std::collections::HashSet::new();
+                for r in &rows {
+                    let key = key_of(r, &ix.columns);
+                    if crate::index::key_has_null(&key) {
+                        continue;
+                    }
+                    if ix.would_conflict(r) || !batch_keys.insert(key) {
+                        return Err(StoreError::DuplicateKey {
+                            table: self.name.clone(),
+                            key: ix.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let n = rows.len();
+        for r in rows {
+            let slot = inner.slots.len();
+            if let Some(pk) = &mut inner.primary {
+                pk.insert(&r, slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.insert(&r, slot);
+            }
+            if inner.capture {
+                inner.changes.push(Change::Insert(r.clone()));
+            }
+            inner.slots.push(Some(r));
+            inner.live += 1;
+        }
+        inner.generation += 1;
+        Ok(n)
+    }
+
+    /// Insert rows, silently skipping those whose primary key already
+    /// exists — the "merge" flavour used by replication-style processes.
+    pub fn insert_ignore_duplicates(&self, rows: Vec<Row>) -> StoreResult<usize> {
+        let mut inserted = 0;
+        let mut inner = self.inner.write();
+        for r in rows {
+            self.schema.check_row(&r)?;
+            if let Some(pk) = &inner.primary {
+                if pk.would_conflict(&r) {
+                    continue;
+                }
+            }
+            let slot = inner.slots.len();
+            if let Some(pk) = &mut inner.primary {
+                pk.insert(&r, slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.insert(&r, slot);
+            }
+            if inner.capture {
+                inner.changes.push(Change::Insert(r.clone()));
+            }
+            inner.slots.push(Some(r));
+            inner.live += 1;
+            inserted += 1;
+        }
+        if inserted > 0 {
+            inner.generation += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Insert-or-replace by primary key (upsert). Requires a primary key.
+    pub fn upsert(&self, rows: Vec<Row>) -> StoreResult<usize> {
+        let mut inner = self.inner.write();
+        if inner.primary.is_none() {
+            return Err(StoreError::Invalid(format!(
+                "upsert into {} requires a primary key",
+                self.name
+            )));
+        }
+        let mut n = 0;
+        for r in rows {
+            self.schema.check_row(&r)?;
+            let pk_cols = inner.primary.as_ref().unwrap().columns.clone();
+            let key = key_of(&r, &pk_cols);
+            let existing = inner.primary.as_ref().unwrap().lookup(&key);
+            if let Some(&slot) = existing.first() {
+                let old = inner.slots[slot].take().expect("live slot");
+                if let Some(pk) = &mut inner.primary {
+                    pk.remove(&old, slot);
+                }
+                for ix in &mut inner.secondary {
+                    ix.remove(&old, slot);
+                }
+                if inner.capture {
+                    inner.changes.push(Change::Delete(old));
+                    inner.changes.push(Change::Insert(r.clone()));
+                }
+                if let Some(pk) = &mut inner.primary {
+                    pk.insert(&r, slot);
+                }
+                for ix in &mut inner.secondary {
+                    ix.insert(&r, slot);
+                }
+                inner.slots[slot] = Some(r);
+            } else {
+                let slot = inner.slots.len();
+                if let Some(pk) = &mut inner.primary {
+                    pk.insert(&r, slot);
+                }
+                for ix in &mut inner.secondary {
+                    ix.insert(&r, slot);
+                }
+                if inner.capture {
+                    inner.changes.push(Change::Insert(r.clone()));
+                }
+                inner.slots.push(Some(r));
+                inner.live += 1;
+            }
+            n += 1;
+        }
+        inner.generation += 1;
+        Ok(n)
+    }
+
+    /// Delete all rows matching `pred`; returns the number deleted.
+    pub fn delete_where(&self, pred: &Expr) -> StoreResult<usize> {
+        let mut inner = self.inner.write();
+        let mut victims = Vec::new();
+        for (slot, r) in inner.slots.iter().enumerate() {
+            if let Some(row) = r {
+                if pred.matches(row)? {
+                    victims.push(slot);
+                }
+            }
+        }
+        for slot in &victims {
+            let old = inner.slots[*slot].take().expect("live slot");
+            if let Some(pk) = &mut inner.primary {
+                pk.remove(&old, *slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.remove(&old, *slot);
+            }
+            if inner.capture {
+                inner.changes.push(Change::Delete(old));
+            }
+            inner.live -= 1;
+        }
+        if !victims.is_empty() {
+            inner.generation += 1;
+        }
+        Ok(victims.len())
+    }
+
+    /// Update matching rows: each assignment is `(column position, expr
+    /// evaluated over the old row)`. Returns the number updated.
+    pub fn update_where(&self, pred: &Expr, assignments: &[(usize, Expr)]) -> StoreResult<usize> {
+        let mut inner = self.inner.write();
+        let mut updates: Vec<(usize, Row)> = Vec::new();
+        for (slot, r) in inner.slots.iter().enumerate() {
+            if let Some(row) = r {
+                if pred.matches(row)? {
+                    let mut new = row.clone();
+                    for (col, e) in assignments {
+                        new[*col] = e.eval(row)?;
+                    }
+                    self.schema.check_row(&new)?;
+                    updates.push((slot, new));
+                }
+            }
+        }
+        let n = updates.len();
+        for (slot, new) in updates {
+            let old = inner.slots[slot].take().expect("live slot");
+            if let Some(pk) = &mut inner.primary {
+                pk.remove(&old, slot);
+                pk.insert(&new, slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.remove(&old, slot);
+                ix.insert(&new, slot);
+            }
+            if inner.capture {
+                inner.changes.push(Change::Delete(old));
+                inner.changes.push(Change::Insert(new.clone()));
+            }
+            inner.slots[slot] = Some(new);
+        }
+        if n > 0 {
+            inner.generation += 1;
+        }
+        Ok(n)
+    }
+
+    /// Remove all rows (and reset indexes and the change log).
+    pub fn truncate(&self) {
+        let mut inner = self.inner.write();
+        inner.slots.clear();
+        inner.live = 0;
+        if let Some(pk) = &mut inner.primary {
+            pk.clear();
+        }
+        for ix in &mut inner.secondary {
+            ix.clear();
+        }
+        inner.changes.clear();
+        inner.generation += 1;
+    }
+
+    /// Materialize the whole table.
+    pub fn scan(&self) -> Relation {
+        let inner = self.inner.read();
+        let rows = inner.slots.iter().filter_map(|s| s.clone()).collect();
+        Relation::new(self.schema.clone(), rows)
+    }
+
+    /// Materialize rows matching `pred`, optionally projecting columns.
+    /// Uses the primary key or a secondary index when `pred` is a simple
+    /// equality on indexed columns (`col = literal`).
+    pub fn scan_where(&self, pred: &Expr, projection: Option<&[usize]>) -> StoreResult<Relation> {
+        let inner = self.inner.read();
+        let candidate_slots: Option<Vec<usize>> = index_probe(&inner, pred);
+        let mut rows = Vec::new();
+        let visit = |row: &Row, rows: &mut Vec<Row>| -> StoreResult<()> {
+            if pred.matches(row)? {
+                rows.push(match projection {
+                    Some(p) => p.iter().map(|&i| row[i].clone()).collect(),
+                    None => row.clone(),
+                });
+            }
+            Ok(())
+        };
+        match candidate_slots {
+            Some(slots) => {
+                for s in slots {
+                    if let Some(Some(row)) = inner.slots.get(s) {
+                        visit(row, &mut rows)?;
+                    }
+                }
+            }
+            None => {
+                for r in inner.slots.iter().flatten() {
+                    visit(r, &mut rows)?;
+                }
+            }
+        }
+        let schema = match projection {
+            Some(p) => self.schema.project(p).shared(),
+            None => self.schema.clone(),
+        };
+        Ok(Relation::new(schema, rows))
+    }
+
+    /// Point lookup by primary key.
+    pub fn get_by_pk(&self, key: &[Value]) -> Option<Row> {
+        let inner = self.inner.read();
+        let pk = inner.primary.as_ref()?;
+        let slot = *pk.lookup(key).first()?;
+        inner.slots.get(slot)?.clone()
+    }
+
+    /// Visit every live row without materializing the table.
+    pub fn for_each<E>(&self, mut f: impl FnMut(&Row) -> Result<(), E>) -> Result<(), E> {
+        let inner = self.inner.read();
+        for r in inner.slots.iter().flatten() {
+            f(r)?;
+        }
+        Ok(())
+    }
+
+    /// Drain captured changes since the last drain.
+    pub fn drain_changes(&self) -> Vec<Change> {
+        std::mem::take(&mut self.inner.write().changes)
+    }
+
+    /// Whether change capture is enabled.
+    pub fn captures_changes(&self) -> bool {
+        self.inner.read().capture
+    }
+}
+
+/// If `pred` contains a conjunct `col = literal` covering an index prefix,
+/// return the candidate slots from that index; failing that, use a
+/// single-column B-tree index for a `col >=/<=/>/< literal` range conjunct.
+fn index_probe(inner: &TableInner, pred: &Expr) -> Option<Vec<usize>> {
+    let mut eqs: Vec<(usize, Value)> = Vec::new();
+    let mut ranges: Vec<(usize, Bound)> = Vec::new();
+    collect_conjuncts(pred, &mut eqs, &mut ranges);
+    let try_index = |ix: &Index| -> Option<Vec<usize>> {
+        let key: Option<Vec<Value>> = ix
+            .columns
+            .iter()
+            .map(|c| eqs.iter().find(|(col, _)| col == c).map(|(_, v)| v.clone()))
+            .collect();
+        key.map(|k| ix.lookup(&k))
+    };
+    if !eqs.is_empty() {
+        if let Some(pk) = &inner.primary {
+            if let Some(slots) = try_index(pk) {
+                return Some(slots);
+            }
+        }
+        for ix in &inner.secondary {
+            if let Some(slots) = try_index(ix) {
+                return Some(slots);
+            }
+        }
+    }
+    // range probe: only B-tree indexes give ordered access
+    for ix in &inner.secondary {
+        if ix.kind() != IndexKind::BTree || ix.columns.len() != 1 {
+            continue;
+        }
+        let col = ix.columns[0];
+        let mut lo: Option<Value> = None;
+        let mut hi: Option<Value> = None;
+        for (c, b) in &ranges {
+            if *c != col {
+                continue;
+            }
+            match b {
+                Bound::Lower(v) => {
+                    if lo.as_ref().map_or(true, |cur| v > cur) {
+                        lo = Some(v.clone());
+                    }
+                }
+                Bound::Upper(v) => {
+                    if hi.as_ref().map_or(true, |cur| v < cur) {
+                        hi = Some(v.clone());
+                    }
+                }
+            }
+        }
+        if lo.is_some() || hi.is_some() {
+            let lo = lo.unwrap_or(Value::Null); // Null sorts first: open lower bound
+            let hi = hi.unwrap_or_else(|| max_sentinel());
+            // the residual predicate re-checks strictness; the index only
+            // needs to be a superset
+            return Some(ix.range(&[lo], &[hi]));
+        }
+    }
+    None
+}
+
+/// A one-sided range bound (inclusive superset — strict comparisons are
+/// re-checked by the residual predicate).
+enum Bound {
+    Lower(Value),
+    Upper(Value),
+}
+
+/// A value above every ordinary value in the total order (dates rank last).
+fn max_sentinel() -> Value {
+    Value::Date(i32::MAX)
+}
+
+/// Collect `col = literal` and `col </<=/>/>= literal` conjuncts from an
+/// AND tree.
+fn collect_conjuncts(e: &Expr, eqs: &mut Vec<(usize, Value)>, ranges: &mut Vec<(usize, Bound)>) {
+    use crate::expr::CmpOp;
+    match e {
+        Expr::And(a, b) => {
+            collect_conjuncts(a, eqs, ranges);
+            collect_conjuncts(b, eqs, ranges);
+        }
+        Expr::Cmp(op, a, b) => {
+            let (col, v, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => (*c, v.clone(), *op),
+                // literal on the left: mirror the comparison
+                (Expr::Lit(v), Expr::Col(c)) => {
+                    let mirrored = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                        other => *other,
+                    };
+                    (*c, v.clone(), mirrored)
+                }
+                _ => return,
+            };
+            match op {
+                CmpOp::Eq => eqs.push((col, v)),
+                CmpOp::Ge | CmpOp::Gt => ranges.push((col, Bound::Lower(v))),
+                CmpOp::Le | CmpOp::Lt => ranges.push((col, Bound::Upper(v))),
+                CmpOp::Ne => {}
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, RelSchema};
+    use crate::value::SqlType;
+
+    fn customers() -> Table {
+        let schema = RelSchema::new(vec![
+            Column::not_null("custkey", SqlType::Int),
+            Column::new("name", SqlType::Str),
+            Column::new("city", SqlType::Str),
+        ])
+        .shared();
+        Table::new("customer", schema)
+            .with_primary_key(&["custkey"])
+            .unwrap()
+            .with_index("by_city", &["city"], false, IndexKind::Hash)
+            .unwrap()
+    }
+
+    fn row(k: i64, n: &str, c: &str) -> Row {
+        vec![Value::Int(k), Value::str(n), Value::str(c)]
+    }
+
+    #[test]
+    fn insert_and_pk_conflict() {
+        let t = customers();
+        assert_eq!(t.insert(vec![row(1, "a", "Berlin"), row(2, "b", "Paris")]).unwrap(), 2);
+        let err = t.insert(vec![row(2, "dup", "Paris")]).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey { .. }));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn failed_batch_is_atomic() {
+        let t = customers();
+        t.insert(vec![row(1, "a", "Berlin")]).unwrap();
+        // second row of this batch conflicts; first row must not be applied
+        let err = t.insert(vec![row(5, "x", "Rome"), row(1, "dup", "Berlin")]);
+        assert!(err.is_err());
+        assert_eq!(t.row_count(), 1);
+        assert!(t.get_by_pk(&[Value::Int(5)]).is_none());
+    }
+
+    #[test]
+    fn batch_internal_duplicates_rejected() {
+        let t = customers();
+        assert!(t.insert(vec![row(7, "a", "x"), row(7, "b", "y")]).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn insert_ignore_duplicates_merges() {
+        let t = customers();
+        t.insert(vec![row(1, "a", "Berlin")]).unwrap();
+        let n = t
+            .insert_ignore_duplicates(vec![row(1, "dup", "x"), row(2, "b", "y")])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get_by_pk(&[Value::Int(1)]).unwrap()[1], Value::str("a"));
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let t = customers();
+        t.insert(vec![row(1, "a", "Berlin")]).unwrap();
+        t.upsert(vec![row(1, "a2", "Paris"), row(2, "b", "Rome")]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get_by_pk(&[Value::Int(1)]).unwrap()[1], Value::str("a2"));
+        // secondary index reflects the move Berlin -> Paris
+        let rel = t
+            .scan_where(&Expr::col(2).eq(Expr::lit("Berlin")), None)
+            .unwrap();
+        assert_eq!(rel.len(), 0);
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let t = customers();
+        t.insert((1..=10).map(|i| row(i, "n", if i % 2 == 0 { "even" } else { "odd" })).collect())
+            .unwrap();
+        let n = t.delete_where(&Expr::col(2).eq(Expr::lit("even"))).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(t.row_count(), 5);
+        let n = t
+            .update_where(
+                &Expr::col(0).le(Expr::lit(5)),
+                &[(1, Expr::lit("renamed"))],
+            )
+            .unwrap();
+        assert_eq!(n, 3); // keys 1,3,5 remain and are <= 5
+        assert_eq!(t.get_by_pk(&[Value::Int(3)]).unwrap()[1], Value::str("renamed"));
+    }
+
+    #[test]
+    fn indexed_scan_where() {
+        let t = customers();
+        t.insert((0..100).map(|i| row(i, "n", if i < 50 { "Berlin" } else { "Paris" })).collect())
+            .unwrap();
+        let rel = t
+            .scan_where(&Expr::col(2).eq(Expr::lit("Berlin")), Some(&[0]))
+            .unwrap();
+        assert_eq!(rel.len(), 50);
+        assert_eq!(rel.schema.names(), vec!["custkey"]);
+        // pk probe
+        let rel = t
+            .scan_where(&Expr::col(0).eq(Expr::lit(42)), None)
+            .unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn btree_range_probe_matches_full_scan() {
+        let schema = RelSchema::new(vec![
+            Column::not_null("custkey", SqlType::Int),
+            Column::new("bal", SqlType::Float),
+        ])
+        .shared();
+        let t = Table::new("c", schema)
+            .with_primary_key(&["custkey"])
+            .unwrap()
+            .with_index("by_bal", &["bal"], false, IndexKind::BTree)
+            .unwrap();
+        t.insert((0..200).map(|i| vec![Value::Int(i), Value::Float((i % 37) as f64)]).collect())
+            .unwrap();
+        for pred in [
+            Expr::col(1).ge(Expr::lit(10.0)).and(Expr::col(1).lt(Expr::lit(20.0))),
+            Expr::col(1).gt(Expr::lit(30.0)),
+            Expr::lit(5.0).gt(Expr::col(1)), // literal on the left
+        ] {
+            let probed = t.scan_where(&pred, None).unwrap();
+            // reference: evaluate the predicate over a full scan
+            let mut expected = 0;
+            t.for_each(|r| {
+                if pred.matches(r).unwrap() {
+                    expected += 1;
+                }
+                Ok::<(), StoreError>(())
+            })
+            .unwrap();
+            assert_eq!(probed.len(), expected, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn change_capture() {
+        let t = customers().with_change_capture();
+        t.insert(vec![row(1, "a", "x")]).unwrap();
+        t.delete_where(&Expr::col(0).eq(Expr::lit(1))).unwrap();
+        let ch = t.drain_changes();
+        assert_eq!(ch.len(), 2);
+        assert!(matches!(ch[0], Change::Insert(_)));
+        assert!(matches!(ch[1], Change::Delete(_)));
+        assert!(t.drain_changes().is_empty());
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let t = customers();
+        t.insert(vec![row(1, "a", "x")]).unwrap();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        // pk is cleared too: same key insert succeeds
+        t.insert(vec![row(1, "a", "x")]).unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! Typed scalar values and SQL-ish data types.
+//!
+//! `Value` is the unit of data everywhere in the store: rows are vectors of
+//! values, expressions evaluate to values, index keys are tuples of values.
+//! The type system is intentionally small — exactly what the DIPBench
+//! schemas need (integers, decimals stored as `f64`, strings, booleans and
+//! dates) — but total orderings and hashing are defined carefully so that
+//! values can serve as join and index keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The SQL-level type of a column or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    /// Days since 1970-01-01 (proleptic Gregorian).
+    Date,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SqlType::Bool => "BOOLEAN",
+            SqlType::Int => "BIGINT",
+            SqlType::Float => "DOUBLE",
+            SqlType::Str => "VARCHAR",
+            SqlType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Null` belongs to every type. Comparison follows a *total* order so that
+/// values can be sorted and used as B-tree keys: `Null` sorts first, then
+/// booleans, integers/floats (numerically, cross-type), strings and dates.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Date(i32),
+}
+
+impl Value {
+    /// Construct a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The runtime type of this value, or `None` for `Null`.
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(SqlType::Bool),
+            Value::Int(_) => Some(SqlType::Int),
+            Value::Float(_) => Some(SqlType::Float),
+            Value::Str(_) => Some(SqlType::Str),
+            Value::Date(_) => Some(SqlType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by arithmetic and cross-type comparison.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats are truncated, numeric strings parsed).
+    pub fn to_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Date(d) => Some(*d as i64),
+            Value::Null => None,
+        }
+    }
+
+    /// Float view (integers widened, numeric strings parsed).
+    pub fn to_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by predicate evaluation; `Null` is not true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Render the value the way the report writers print it.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Date(d) => render_date(*d),
+        }
+    }
+
+    /// SQL-style three-valued equality: `Null` compared to anything is not
+    /// equal (returns `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// Total comparison used for sorting and index keys.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => rank(a).cmp(&rank(b)),
+            },
+        }
+    }
+}
+
+/// Cross-type rank for the total order when values are not comparable
+/// numerically (e.g. a string vs. a date).
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equally.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Days-since-epoch to `YYYY-MM-DD`, civil calendar.
+pub fn render_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `YYYY-MM-DD` to days-since-epoch; returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+/// Howard Hinnant's `days_from_civil` algorithm.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Calendar field extraction used by the DWH time dimension functions.
+pub fn date_parts(days: i32) -> (i32, u32, u32) {
+    civil_from_days(days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = vec![Value::Int(1), Value::Null, Value::str("a")];
+        vs.sort();
+        assert!(vs[0].is_null());
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert!(Value::Int(2) < Value::Float(2.5));
+    }
+
+    #[test]
+    fn sql_eq_is_three_valued() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (2008, 4, 12), (1969, 12, 31)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(parse_date("2008-04-07"), Some(days_from_civil(2008, 4, 7)));
+        assert_eq!(render_date(days_from_civil(2008, 4, 7)), "2008-04-07");
+        assert_eq!(parse_date("2008-13-01"), None);
+    }
+
+    #[test]
+    fn to_int_and_float_views() {
+        assert_eq!(Value::str(" 42 ").to_int(), Some(42));
+        assert_eq!(Value::Float(2.9).to_int(), Some(2));
+        assert_eq!(Value::Int(2).to_float(), Some(2.0));
+        assert_eq!(Value::Null.to_int(), None);
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Int(7).render(), "7");
+        assert_eq!(Value::Null.render(), "NULL");
+    }
+}

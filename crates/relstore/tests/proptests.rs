@@ -1,0 +1,203 @@
+//! Property-based tests of the relational store's core invariants.
+
+use dip_relstore::prelude::*;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Str),
+        (-100_000i32..100_000).prop_map(Value::Date),
+    ]
+}
+
+proptest! {
+    /// total_cmp is a total order: antisymmetric and transitive over
+    /// random triples, and equal values hash equally.
+    #[test]
+    fn value_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // transitivity
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        // hash consistency with equality
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Date conversion round-trips for all in-range days.
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let rendered = render_date(days);
+        prop_assert_eq!(parse_date(&rendered), Some(days));
+    }
+
+    /// LIKE with a pattern equal to the string (no wildcards) matches
+    /// exactly; '%' alone matches everything; prefix% matches prefixes.
+    #[test]
+    fn like_basics(s in "[a-z0-9]{0,12}", p in "[a-z0-9]{0,12}") {
+        use dip_relstore::expr::like_match;
+        prop_assert!(like_match(&s, "%"));
+        prop_assert_eq!(like_match(&s, &s), true);
+        if !p.is_empty() && s.starts_with(&p) {
+            let prefix_pattern = format!("{p}%");
+            prop_assert!(like_match(&s, &prefix_pattern));
+        }
+        // `%p%` matches exactly when the literal occurs as a substring
+        let wrapped = format!("%{p}%");
+        prop_assert_eq!(like_match(&s, &wrapped), s.contains(&p));
+    }
+}
+
+/// A random table of (pk, group, value) rows.
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
+    prop::collection::vec((0i64..1000, 0i64..10, -100.0f64..100.0), 0..max).prop_map(|mut v| {
+        // distinct primary keys
+        v.sort_by_key(|(k, _, _)| *k);
+        v.dedup_by_key(|(k, _, _)| *k);
+        v
+    })
+}
+
+fn make_db(rows: &[(i64, i64, f64)]) -> Database {
+    let db = Database::new("prop");
+    let schema = RelSchema::of(&[
+        ("k", SqlType::Int),
+        ("g", SqlType::Int),
+        ("v", SqlType::Float),
+    ])
+    .shared();
+    let t = Table::new("t", schema).with_primary_key(&["k"]).unwrap();
+    t.insert(
+        rows.iter()
+            .map(|(k, g, v)| vec![Value::Int(*k), Value::Int(*g), Value::Float(*v)])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(t);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer never changes query results: a filter+project+join
+    /// pipeline returns the same rows optimized and unoptimized.
+    #[test]
+    fn optimizer_preserves_semantics(rows in arb_rows(60), threshold in -100.0f64..100.0) {
+        let db = make_db(&rows);
+        let plan = Plan::scan("t")
+            .hash_join(Plan::scan("t"), vec![1], vec![1], JoinKind::Inner)
+            .filter(Expr::col(2).gt(Expr::lit(threshold)).and(Expr::col(4).le(Expr::lit(5))))
+            .project(vec![
+                ProjExpr::new(Expr::col(0), "k", SqlType::Int),
+                ProjExpr::new(Expr::col(5).mul(Expr::lit(2.0)), "v2", SqlType::Float),
+            ]);
+        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        a.sort_by_columns(&[0, 1]);
+        b.sort_by_columns(&[0, 1]);
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// UNION DISTINCT on the key column never yields duplicate keys and
+    /// covers exactly the union of input keys.
+    #[test]
+    fn union_distinct_is_set_union(a in arb_rows(40), b in arb_rows(40)) {
+        let db = Database::new("u");
+        let schema = RelSchema::of(&[
+            ("k", SqlType::Int),
+            ("g", SqlType::Int),
+            ("v", SqlType::Float),
+        ])
+        .shared();
+        for (name, rows) in [("ta", &a), ("tb", &b)] {
+            let t = Table::new(name, schema.clone()).with_primary_key(&["k"]).unwrap();
+            t.insert(
+                rows.iter()
+                    .map(|(k, g, v)| vec![Value::Int(*k), Value::Int(*g), Value::Float(*v)])
+                    .collect(),
+            )
+            .unwrap();
+            db.create_table(t);
+        }
+        let plan = Plan::UnionDistinct {
+            inputs: vec![Plan::scan("ta"), Plan::scan("tb")],
+            key: Some(vec![0]),
+        };
+        let rel = run_query(&plan, &db).unwrap();
+        let mut keys: Vec<i64> = rel.rows.iter().map(|r| r[0].to_int().unwrap()).collect();
+        keys.sort();
+        let mut expected: Vec<i64> = a.iter().chain(b.iter()).map(|(k, _, _)| *k).collect();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// Aggregates are conserved: SUM over groups equals the global SUM and
+    /// COUNT over groups equals the row count.
+    #[test]
+    fn aggregate_conservation(rows in arb_rows(60)) {
+        let db = make_db(&rows);
+        let grouped = run_query(
+            &Plan::scan("t").aggregate(
+                vec![1],
+                vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Sum, Expr::col(2), "s")],
+            ),
+            &db,
+        )
+        .unwrap();
+        let n: i64 = grouped.rows.iter().map(|r| r[1].to_int().unwrap()).sum();
+        prop_assert_eq!(n as usize, rows.len());
+        let s: f64 = grouped.rows.iter().filter_map(|r| r[2].to_float()).sum();
+        let expected: f64 = rows.iter().map(|(_, _, v)| v).sum();
+        prop_assert!((s - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    /// delete_where + the inverse predicate partition the table.
+    #[test]
+    fn delete_partitions(rows in arb_rows(60), threshold in 0i64..10) {
+        let db = make_db(&rows);
+        let t = db.table("t").unwrap();
+        let before = t.row_count();
+        let deleted = t.delete_where(&Expr::col(1).lt(Expr::lit(threshold))).unwrap();
+        let remaining = t.row_count();
+        prop_assert_eq!(deleted + remaining, before);
+        // no survivor matches the predicate
+        let survivors = t
+            .scan_where(&Expr::col(1).lt(Expr::lit(threshold)), None)
+            .unwrap();
+        prop_assert_eq!(survivors.len(), 0);
+    }
+
+    /// Upsert is idempotent and insert_ignore never changes existing rows.
+    #[test]
+    fn upsert_idempotent(rows in arb_rows(40)) {
+        let db = make_db(&rows);
+        let t = db.table("t").unwrap();
+        let snapshot = {
+            let mut rel = t.scan();
+            rel.sort_by_columns(&[0]);
+            rel.rows
+        };
+        let all: Vec<Row> = snapshot.clone();
+        t.upsert(all.clone()).unwrap();
+        t.insert_ignore_duplicates(all).unwrap();
+        let mut rel = t.scan();
+        rel.sort_by_columns(&[0]);
+        prop_assert_eq!(rel.rows, snapshot);
+    }
+}

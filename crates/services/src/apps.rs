@@ -1,0 +1,302 @@
+//! The proprietary message-emitting applications: Vienna, San Diego and
+//! MDM Europe, plus the Hongkong push messages and the Beijing/Seoul
+//! master-data exchange documents.
+//!
+//! Each application has its own deep-structured XML schema (the paper's
+//! syntactic heterogeneity); San Diego is "very error-prone", so its
+//! builder can inject specific error kinds that P10's validation step must
+//! catch.
+
+use dip_xmlkit::node::{Document, Element};
+
+/// Plain order payload used by the message builders. The field *values*
+/// come from the benchmark's data generator; the builders only decide the
+/// XML shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderData {
+    pub orderkey: i64,
+    pub custkey: i64,
+    /// `YYYY-MM-DD`.
+    pub orderdate: String,
+    /// Region-specific priority vocabulary (semantic heterogeneity).
+    pub priority: String,
+    /// Region-specific order-state vocabulary.
+    pub state: String,
+    pub totalprice: f64,
+    pub lines: Vec<OrderLineData>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderLineData {
+    pub lineno: i64,
+    pub prodkey: i64,
+    pub quantity: i64,
+    pub extendedprice: f64,
+    pub discount: f64,
+}
+
+/// Customer master-data payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomerData {
+    pub custkey: i64,
+    pub name: String,
+    pub address: String,
+    pub city: String,
+    pub nation: String,
+    pub region: String,
+    pub segment: String,
+    pub phone: String,
+    pub acctbal: f64,
+}
+
+/// Product master-data payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartData {
+    pub prodkey: i64,
+    pub name: String,
+    pub group: String,
+    pub line: String,
+    pub price: f64,
+}
+
+/// Error kinds the San Diego application injects (P10 must route these to
+/// the failed-data tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageError {
+    /// A required field is missing.
+    MissingField,
+    /// A numeric field carries a non-numeric value.
+    BadType,
+    /// A vocabulary field carries an unknown token.
+    WrongVocabulary,
+    /// An element the schema does not allow.
+    UnexpectedElement,
+}
+
+/// All injectable error kinds (for sweep-style tests).
+pub const ALL_MESSAGE_ERRORS: [MessageError; 4] = [
+    MessageError::MissingField,
+    MessageError::BadType,
+    MessageError::WrongVocabulary,
+    MessageError::UnexpectedElement,
+];
+
+fn lines_element(name: &str, line_name: &str, lines: &[OrderLineData]) -> Element {
+    let mut e = Element::new(name);
+    for l in lines {
+        e = e.child(
+            Element::new(line_name)
+                .child(Element::leaf("lineNo", l.lineno.to_string()))
+                .child(Element::leaf("prodKey", l.prodkey.to_string()))
+                .child(Element::leaf("quantity", l.quantity.to_string()))
+                .child(Element::leaf("extendedPrice", format!("{:.2}", l.extendedprice)))
+                .child(Element::leaf("discount", format!("{:.2}", l.discount))),
+        );
+    }
+    e
+}
+
+/// The Vienna application's order message (deep-structured; carries only a
+/// customer *reference* — P04 enriches it with master data from the CDB).
+pub fn vienna_order(o: &OrderData) -> Document {
+    let root = Element::new("viennaOrder")
+        .child(
+            Element::new("orderHeader")
+                .child(Element::leaf("orderKey", o.orderkey.to_string()))
+                .child(Element::leaf("orderDate", o.orderdate.clone()))
+                .child(Element::leaf("priority", o.priority.clone()))
+                .child(Element::leaf("state", o.state.clone()))
+                .child(Element::leaf("totalPrice", format!("{:.2}", o.totalprice))),
+        )
+        .child(Element::new("customerRef").child(Element::leaf("custKey", o.custkey.to_string())))
+        .child(lines_element("positions", "position", &o.lines));
+    Document::new(root)
+}
+
+/// The San Diego application's order message — a *different* deep XML
+/// schema, optionally corrupted.
+pub fn san_diego_order(o: &OrderData, inject: Option<MessageError>) -> Document {
+    let mut order = Element::new("sdOrder");
+    if inject != Some(MessageError::MissingField) {
+        order = order.child(Element::leaf("okey", o.orderkey.to_string()));
+    }
+    order = order.child(Element::leaf("ckey", o.custkey.to_string()));
+    order = order.child(Element::leaf("odate", o.orderdate.clone()));
+    let prio = if inject == Some(MessageError::WrongVocabulary) {
+        "SUPER-EXTREME".to_string()
+    } else {
+        o.priority.clone()
+    };
+    order = order.child(Element::leaf("oprio", prio));
+    order = order.child(Element::leaf("ostate", o.state.clone()));
+    let total = if inject == Some(MessageError::BadType) {
+        "lots".to_string()
+    } else {
+        format!("{:.2}", o.totalprice)
+    };
+    order = order.child(Element::leaf("total", total));
+
+    let mut lines = Element::new("sdLines");
+    for l in &o.lines {
+        lines = lines.child(
+            Element::new("sdLine")
+                .attr("no", l.lineno.to_string())
+                .child(Element::leaf("pkey", l.prodkey.to_string()))
+                .child(Element::leaf("qty", l.quantity.to_string()))
+                .child(Element::leaf("xprice", format!("{:.2}", l.extendedprice)))
+                .child(Element::leaf("disc", format!("{:.2}", l.discount))),
+        );
+    }
+    let mut root = Element::new("sdMessage")
+        .child(
+            Element::new("sdHeader")
+                .child(Element::leaf("msgKey", format!("SD-{}", o.orderkey)))
+                .child(Element::leaf("created", o.orderdate.clone())),
+        )
+        .child(order)
+        .child(lines);
+    if inject == Some(MessageError::UnexpectedElement) {
+        root = root.child(Element::leaf("debugDump", "0xDEADBEEF"));
+    }
+    Document::new(root)
+}
+
+/// The MDM Europe application's customer master-data message.
+pub fn mdm_customer(c: &CustomerData) -> Document {
+    let root = Element::new("mdmCustomer")
+        .child(Element::new("ident").child(Element::leaf("custKey", c.custkey.to_string())))
+        .child(
+            Element::new("details")
+                .child(Element::leaf("name", c.name.clone()))
+                .child(Element::leaf("segment", c.segment.clone()))
+                .child(Element::leaf("phone", c.phone.clone()))
+                .child(Element::leaf("acctbal", format!("{:.2}", c.acctbal))),
+        )
+        .child(
+            Element::new("address")
+                .child(Element::leaf("street", c.address.clone()))
+                .child(Element::leaf("city", c.city.clone()))
+                .child(Element::leaf("nation", c.nation.clone()))
+                .child(Element::leaf("region", c.region.clone())),
+        );
+    Document::new(root)
+}
+
+/// The Hongkong web service's push message (business-transaction-driven,
+/// P08). A flatter schema than Vienna's.
+pub fn hongkong_order(o: &OrderData) -> Document {
+    let root = Element::new("hkOrder")
+        .child(Element::leaf("hkOrderKey", o.orderkey.to_string()))
+        .child(Element::leaf("hkCustKey", o.custkey.to_string()))
+        .child(Element::leaf("hkDate", o.orderdate.clone()))
+        .child(Element::leaf("hkPriority", o.priority.clone()))
+        .child(Element::leaf("hkState", o.state.clone()))
+        .child(Element::leaf("hkTotal", format!("{:.2}", o.totalprice)))
+        .child(lines_element("hkLines", "hkLine", &o.lines));
+    Document::new(root)
+}
+
+/// A Beijing master-data exchange document (XSD_Beijing shape; P01
+/// translates this to the Seoul shape with an STX stylesheet).
+pub fn beijing_master_data(customers: &[CustomerData], parts: &[PartData]) -> Document {
+    let mut custs = Element::new("bjCustomers");
+    for c in customers {
+        custs = custs.child(
+            Element::new("bjCustomer")
+                .child(Element::leaf("bjKey", c.custkey.to_string()))
+                .child(Element::leaf("bjName", c.name.clone()))
+                .child(Element::leaf("bjCity", c.city.clone()))
+                .child(Element::leaf("bjSegment", c.segment.clone()))
+                .child(Element::leaf("bjPhone", c.phone.clone())),
+        );
+    }
+    let mut prods = Element::new("bjParts");
+    for p in parts {
+        prods = prods.child(
+            Element::new("bjPart")
+                .child(Element::leaf("bjKey", p.prodkey.to_string()))
+                .child(Element::leaf("bjName", p.name.clone()))
+                .child(Element::leaf("bjGroup", p.group.clone()))
+                .child(Element::leaf("bjPrice", format!("{:.2}", p.price))),
+        );
+    }
+    Document::new(Element::new("bjMasterData").child(custs).child(prods))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_xmlkit::path::value;
+
+    fn order() -> OrderData {
+        OrderData {
+            orderkey: 100,
+            custkey: 7,
+            orderdate: "2008-04-07".into(),
+            priority: "1-URGENT".into(),
+            state: "OPEN".into(),
+            totalprice: 123.45,
+            lines: vec![
+                OrderLineData { lineno: 1, prodkey: 3, quantity: 2, extendedprice: 100.0, discount: 0.1 },
+                OrderLineData { lineno: 2, prodkey: 4, quantity: 1, extendedprice: 23.45, discount: 0.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn vienna_shape() {
+        let d = vienna_order(&order());
+        assert_eq!(
+            value(&d.root, "viennaOrder/orderHeader/orderKey").unwrap().as_deref(),
+            Some("100")
+        );
+        assert_eq!(
+            value(&d.root, "viennaOrder/customerRef/custKey").unwrap().as_deref(),
+            Some("7")
+        );
+        assert_eq!(d.root.first("positions").unwrap().elements().count(), 2);
+    }
+
+    #[test]
+    fn san_diego_clean_vs_injected() {
+        let clean = san_diego_order(&order(), None);
+        assert_eq!(value(&clean.root, "sdMessage/sdOrder/okey").unwrap().as_deref(), Some("100"));
+        let missing = san_diego_order(&order(), Some(MessageError::MissingField));
+        assert_eq!(value(&missing.root, "sdMessage/sdOrder/okey").unwrap(), None);
+        let bad = san_diego_order(&order(), Some(MessageError::BadType));
+        assert_eq!(value(&bad.root, "sdMessage/sdOrder/total").unwrap().as_deref(), Some("lots"));
+        let vocab = san_diego_order(&order(), Some(MessageError::WrongVocabulary));
+        assert_eq!(
+            value(&vocab.root, "sdMessage/sdOrder/oprio").unwrap().as_deref(),
+            Some("SUPER-EXTREME")
+        );
+        let extra = san_diego_order(&order(), Some(MessageError::UnexpectedElement));
+        assert!(extra.root.first("debugDump").is_some());
+    }
+
+    #[test]
+    fn mdm_and_hongkong_and_beijing() {
+        let c = CustomerData {
+            custkey: 5,
+            name: "acme".into(),
+            address: "street 1".into(),
+            city: "Wien".into(),
+            nation: "AT".into(),
+            region: "Europe".into(),
+            segment: "AUTOMOBILE".into(),
+            phone: "+43".into(),
+            acctbal: 9.0,
+        };
+        let d = mdm_customer(&c);
+        assert_eq!(value(&d.root, "mdmCustomer/ident/custKey").unwrap().as_deref(), Some("5"));
+        assert_eq!(value(&d.root, "mdmCustomer/address/city").unwrap().as_deref(), Some("Wien"));
+
+        let h = hongkong_order(&order());
+        assert_eq!(value(&h.root, "hkOrder/hkCustKey").unwrap().as_deref(), Some("7"));
+
+        let p = PartData { prodkey: 1, name: "bolt".into(), group: "g".into(), line: "l".into(), price: 1.0 };
+        let b = beijing_master_data(&[c], &[p]);
+        assert_eq!(b.root.first("bjCustomers").unwrap().elements().count(), 1);
+        assert_eq!(b.root.first("bjParts").unwrap().elements().count(), 1);
+    }
+}

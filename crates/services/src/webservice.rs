@@ -1,0 +1,141 @@
+//! Web services wrapping relational data sources.
+//!
+//! The region-Asia sources (Hongkong, Beijing, Seoul) are "data sources
+//! hidden by Web services": a [`DbService`] exposes the tables of a
+//! [`Database`] through `query` (returning generic result-set XML) and
+//! `update` (accepting result-set XML) operations. Each service manages its
+//! master data locally, which is why P01 replicates master data between
+//! Beijing and Seoul.
+
+use crate::resultset;
+use dip_relstore::prelude::*;
+use dip_xmlkit::node::Document;
+use std::sync::Arc;
+
+/// Errors surfaced by service operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    UnknownOperation(String),
+    Store(StoreError),
+    Malformed(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownOperation(o) => write!(f, "unknown operation: {o}"),
+            ServiceError::Store(e) => write!(f, "store error: {e}"),
+            ServiceError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// A web service endpoint.
+pub trait WebService: Send + Sync {
+    /// The service name (also its netsim endpoint suffix).
+    fn name(&self) -> &str;
+
+    /// `query(table)` — return the full table as a result-set document.
+    fn query(&self, operation: &str) -> ServiceResult<Document>;
+
+    /// `update(table, doc)` — merge a result-set document into a table
+    /// (insert-ignore-duplicates for rows whose key already exists).
+    fn update(&self, operation: &str, doc: &Document) -> ServiceResult<usize>;
+}
+
+/// A web service backed by a relstore database: every table is an
+/// operation.
+pub struct DbService {
+    name: String,
+    pub db: Arc<Database>,
+}
+
+impl DbService {
+    pub fn new(name: impl Into<String>, db: Arc<Database>) -> DbService {
+        DbService { name: name.into(), db }
+    }
+}
+
+impl WebService for DbService {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn query(&self, operation: &str) -> ServiceResult<Document> {
+        if !self.db.has_table(operation) {
+            return Err(ServiceError::UnknownOperation(operation.to_string()));
+        }
+        let rel = self.db.table(operation)?.scan();
+        Ok(resultset::encode(&self.name, operation, &rel))
+    }
+
+    fn update(&self, operation: &str, doc: &Document) -> ServiceResult<usize> {
+        if !self.db.has_table(operation) {
+            return Err(ServiceError::UnknownOperation(operation.to_string()));
+        }
+        let table = self.db.table(operation)?;
+        let rel = resultset::decode(doc, &table.schema)
+            .map_err(|e| ServiceError::Malformed(e.to_string()))?;
+        Ok(table.insert_ignore_duplicates(rel.rows)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> DbService {
+        let db = Arc::new(Database::new("beijing"));
+        let schema = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
+        let t = Table::new("part", schema).with_primary_key(&["k"]).unwrap();
+        t.insert(vec![vec![Value::Int(1), Value::str("bolt")]]).unwrap();
+        db.create_table(t);
+        DbService::new("beijing", db)
+    }
+
+    #[test]
+    fn query_returns_resultset() {
+        let s = service();
+        let doc = s.query("part").unwrap();
+        assert_eq!(doc.root.name, "resultSet");
+        assert_eq!(doc.root.all("row").count(), 1);
+        assert!(matches!(
+            s.query("nope"),
+            Err(ServiceError::UnknownOperation(_))
+        ));
+    }
+
+    #[test]
+    fn update_merges() {
+        let s = service();
+        let schema = s.db.table("part").unwrap().schema.clone();
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::str("dup — skipped")],
+                vec![Value::Int(2), Value::str("nut")],
+            ],
+        );
+        let doc = resultset::encode("x", "part", &rel);
+        let n = s.update("part", &doc).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.db.table("part").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn update_rejects_garbage() {
+        let s = service();
+        let doc = Document::new(dip_xmlkit::Element::new("garbage"));
+        assert!(matches!(s.update("part", &doc), Err(ServiceError::Malformed(_))));
+    }
+}

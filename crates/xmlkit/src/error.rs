@@ -1,0 +1,36 @@
+//! XML error types.
+
+use std::fmt;
+
+/// Errors from parsing, path evaluation or transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed document; includes byte offset and description.
+    Parse { offset: usize, message: String },
+    /// A path expression was malformed or did not resolve.
+    Path(String),
+    /// A transformation rule failed.
+    Transform(String),
+}
+
+impl XmlError {
+    pub fn parse(offset: usize, message: impl Into<String>) -> XmlError {
+        XmlError::Parse { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XmlError::Path(m) => write!(f, "XML path error: {m}"),
+            XmlError::Transform(m) => write!(f, "XML transform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+pub type XmlResult<T> = Result<T, XmlError>;

@@ -1,0 +1,28 @@
+//! # dip-xmlkit — XML substrate
+//!
+//! Everything XML-shaped that DIPBench needs, written from scratch:
+//!
+//! * a tree model ([`node`]) and a non-validating parser ([`parser`]) /
+//!   serializer ([`writer`]);
+//! * SAX event streams ([`sax`]) as the substrate for streaming
+//!   transformations;
+//! * an XPath-lite selection language ([`path`]);
+//! * an XSD-lite structural validator ([`xsd`]) used by P10's error-prone
+//!   message handling and P12/P13's load validation;
+//! * an STX-like streaming transformation engine ([`stx`]) implementing
+//!   the paper's schema translations.
+
+pub mod error;
+pub mod node;
+pub mod parser;
+pub mod path;
+pub mod sax;
+pub mod stx;
+pub mod value_types;
+pub mod writer;
+pub mod xsd;
+
+pub use error::{XmlError, XmlResult};
+pub use node::{Document, Element, XmlNode};
+pub use parser::parse;
+pub use writer::{write_compact, write_pretty};

@@ -1,0 +1,232 @@
+//! XPath-lite: a small path language for selecting elements, attribute
+//! values and text content.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! path     := '/'? step ('/' step)*           absolute or relative
+//! step     := name | '*' | '//' name          child, any child, descendant
+//! terminal := step | '@' name | 'text()'      last step may select data
+//! ```
+//!
+//! Examples: `/orders/order`, `order/@id`, `//custkey`, `customer/name/text()`.
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::Element;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    Child(String),
+    AnyChild,
+    Descendant(String),
+}
+
+/// A compiled path.
+#[derive(Debug, Clone)]
+pub struct Path {
+    steps: Vec<Step>,
+    /// `Some(name)` selects the attribute; text selection is a flag.
+    attr: Option<String>,
+    text: bool,
+}
+
+impl Path {
+    /// Compile a path expression.
+    pub fn compile(expr: &str) -> XmlResult<Path> {
+        let mut rest = expr.trim();
+        if rest.is_empty() {
+            return Err(XmlError::Path("empty path".into()));
+        }
+        // A leading '/' only anchors at the root element, which selection
+        // always does anyway: strip it.
+        if rest.starts_with('/') && !rest.starts_with("//") {
+            rest = &rest[1..];
+        }
+        let mut steps = Vec::new();
+        let mut attr = None;
+        let mut text = false;
+        while !rest.is_empty() {
+            if let Some(r) = rest.strip_prefix("//") {
+                let (name, r2) = take_name(r)?;
+                steps.push(Step::Descendant(name));
+                rest = r2;
+            } else if let Some(r) = rest.strip_prefix('@') {
+                let (name, r2) = take_name(r)?;
+                if !r2.is_empty() {
+                    return Err(XmlError::Path("attribute must be the last step".into()));
+                }
+                attr = Some(name);
+                rest = r2;
+            } else if let Some(r) = rest.strip_prefix("text()") {
+                if !r.is_empty() {
+                    return Err(XmlError::Path("text() must be the last step".into()));
+                }
+                text = true;
+                rest = r;
+            } else if let Some(r) = rest.strip_prefix('*') {
+                steps.push(Step::AnyChild);
+                rest = r;
+            } else {
+                let (name, r2) = take_name(rest)?;
+                steps.push(Step::Child(name));
+                rest = r2;
+            }
+            if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+            } else if !rest.is_empty() {
+                return Err(XmlError::Path(format!("unexpected characters: {rest:?}")));
+            }
+        }
+        Ok(Path { steps, attr, text })
+    }
+
+    /// Select matching elements below (and including, for the first step)
+    /// `root`. The first step matches the root element itself when its name
+    /// matches — so `/orders/order` against a document whose root is
+    /// `<orders>` selects the `<order>` children.
+    pub fn select<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
+        let mut current: Vec<&Element> = Vec::new();
+        let mut steps = self.steps.iter();
+        match steps.next() {
+            None => current.push(root),
+            Some(first) => match first {
+                Step::Child(n) if &root.name == n => current.push(root),
+                Step::AnyChild => current.push(root),
+                Step::Descendant(n) => collect_descendants(root, n, &mut current),
+                _ => {}
+            },
+        }
+        for step in steps {
+            let mut next = Vec::new();
+            for e in current {
+                match step {
+                    Step::Child(n) => next.extend(e.elements().filter(|c| &c.name == n)),
+                    Step::AnyChild => next.extend(e.elements()),
+                    Step::Descendant(n) => {
+                        for c in e.elements() {
+                            collect_descendants(c, n, &mut next);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// First matching element.
+    pub fn first<'a>(&self, root: &'a Element) -> Option<&'a Element> {
+        self.select(root).into_iter().next()
+    }
+
+    /// Evaluate to strings: attribute values, text content, or (for bare
+    /// element paths) each match's text content.
+    pub fn values(&self, root: &Element) -> Vec<String> {
+        let elems = self.select(root);
+        match (&self.attr, self.text) {
+            (Some(a), _) => elems
+                .iter()
+                .filter_map(|e| e.attribute(a).map(str::to_string))
+                .collect(),
+            _ => elems.iter().map(|e| e.text_content()).collect(),
+        }
+    }
+
+    /// First value, if any.
+    pub fn value(&self, root: &Element) -> Option<String> {
+        self.values(root).into_iter().next()
+    }
+}
+
+fn collect_descendants<'a>(e: &'a Element, name: &str, out: &mut Vec<&'a Element>) {
+    if e.name == name {
+        out.push(e);
+    }
+    for c in e.elements() {
+        collect_descendants(c, name, out);
+    }
+}
+
+fn take_name(s: &str) -> XmlResult<(String, &str)> {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')))
+        .unwrap_or(s.len());
+    if end == 0 {
+        return Err(XmlError::Path(format!("expected name at {s:?}")));
+    }
+    Ok((s[..end].to_string(), &s[end..]))
+}
+
+/// One-shot convenience: select elements by path expression.
+pub fn select<'a>(root: &'a Element, expr: &str) -> XmlResult<Vec<&'a Element>> {
+    Ok(Path::compile(expr)?.select(root))
+}
+
+/// One-shot convenience: first string value of a path expression.
+pub fn value(root: &Element, expr: &str) -> XmlResult<Option<String>> {
+    Ok(Path::compile(expr)?.value(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> crate::node::Document {
+        parse(
+            r#"<orders region="eu">
+                 <order id="1"><custkey>10</custkey></order>
+                 <order id="2"><custkey>20</custkey></order>
+                 <meta><nested><custkey>99</custkey></nested></meta>
+               </orders>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_paths() {
+        let d = doc();
+        let orders = select(&d.root, "/orders/order").unwrap();
+        assert_eq!(orders.len(), 2);
+        assert_eq!(value(&d.root, "orders/order/custkey").unwrap().as_deref(), Some("10"));
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let d = doc();
+        let p = Path::compile("orders/order/@id").unwrap();
+        assert_eq!(p.values(&d.root), vec!["1", "2"]);
+        assert_eq!(
+            value(&d.root, "orders/@region").unwrap().as_deref(),
+            Some("eu")
+        );
+        assert_eq!(
+            value(&d.root, "orders/order/custkey/text()").unwrap().as_deref(),
+            Some("10")
+        );
+    }
+
+    #[test]
+    fn descendant_and_wildcard() {
+        let d = doc();
+        let all = select(&d.root, "//custkey").unwrap();
+        assert_eq!(all.len(), 3);
+        let any = select(&d.root, "orders/*").unwrap();
+        assert_eq!(any.len(), 3); // two orders + meta
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        assert!(Path::compile("").is_err());
+        assert!(Path::compile("a/@x/y").is_err());
+        assert!(Path::compile("a/text()/b").is_err());
+        assert!(Path::compile("a//").is_err());
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let d = doc();
+        assert!(select(&d.root, "orders/nothing").unwrap().is_empty());
+        assert_eq!(value(&d.root, "wrongroot/x").unwrap(), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! XML serialization (compact and pretty).
+
+use crate::node::{Document, Element, XmlNode};
+
+/// Serialize without insignificant whitespace (round-trips through the
+/// parser, which drops whitespace-only text runs).
+pub fn write_compact(doc: &Document) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    write_element(&doc.root, &mut out);
+    out
+}
+
+/// Serialize with two-space indentation; mixed-content elements are kept
+/// on one line to preserve their text exactly.
+pub fn write_pretty(doc: &Document) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element_pretty(&doc.root, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+fn write_element(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_into(v, true, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            XmlNode::Element(child) => write_element(child, out),
+            XmlNode::Text(t) => escape_into(t, false, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+fn write_element_pretty(e: &Element, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_into(v, true, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let has_text = e.children.iter().any(|c| matches!(c, XmlNode::Text(_)));
+    if has_text {
+        // mixed or text content: keep inline
+        for c in &e.children {
+            match c {
+                XmlNode::Element(child) => write_element(child, out),
+                XmlNode::Text(t) => escape_into(t, false, out),
+            }
+        }
+    } else {
+        for c in &e.children {
+            if let XmlNode::Element(child) = c {
+                out.push('\n');
+                write_element_pretty(child, out, depth + 1);
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+/// Escape markup characters; in attribute context also quotes.
+fn escape_into(s: &str, attr: bool, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<order id="a &quot;b&quot;"><k>1 &lt; 2</k><empty/></order>"#;
+        let doc = parse(src).unwrap();
+        let out = write_compact(&doc);
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let doc = parse("<a><b><c>x</c></b><d/></a>").unwrap();
+        let pretty = write_pretty(&doc);
+        assert!(pretty.contains("\n  <b>"));
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+}

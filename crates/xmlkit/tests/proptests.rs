@@ -1,0 +1,155 @@
+//! Property-based tests of the XML stack: serializer/parser round trips,
+//! SAX stream invariants, and STX identity behaviour on arbitrary trees.
+
+use dip_xmlkit::node::{Document, Element, XmlNode};
+use dip_xmlkit::sax::{build, events};
+use dip_xmlkit::stx::{Rule, Stylesheet};
+use dip_xmlkit::{parse, write_compact, write_pretty};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+}
+
+/// Text that is not whitespace-only (the parser drops whitespace runs
+/// between elements by design).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[ -~]{1,20}".prop_filter("not whitespace-only", |s| !s.trim().is_empty())
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), prop::collection::vec((arb_name(), "[ -~]{0,10}"), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut e = Element::new(name);
+            for (n, v) in attrs {
+                // attribute names must be unique per element
+                if e.attribute(&n).is_none() {
+                    e.attrs.push((n, v));
+                }
+            }
+            e
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        leaf,
+        prop::collection::vec(
+            prop_oneof![
+                arb_element(depth - 1).prop_map(XmlNode::Element),
+                arb_text().prop_map(XmlNode::Text),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(mut e, children)| {
+            // merge adjacent text nodes the way the parser would
+            for c in children {
+                match c {
+                    XmlNode::Text(t) => {
+                        if let Some(XmlNode::Text(prev)) = e.children.last_mut() {
+                            prev.push_str(&t);
+                        } else {
+                            e.children.push(XmlNode::Text(t));
+                        }
+                    }
+                    el => e.children.push(el),
+                }
+            }
+            e
+        })
+        .boxed()
+}
+
+/// Strip text nodes that the parser would not preserve (whitespace-only
+/// runs between elements).
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attrs = e.attrs.clone();
+    for c in &e.children {
+        match c {
+            XmlNode::Element(child) => out.children.push(XmlNode::Element(normalize(child))),
+            XmlNode::Text(t) => {
+                if !t.trim().is_empty() {
+                    out.children.push(XmlNode::Text(t.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → parse round-trips any generated tree (modulo dropped
+    /// whitespace-only text).
+    #[test]
+    fn compact_roundtrip(root in arb_element(3)) {
+        let doc = Document::new(normalize(&root));
+        let text = write_compact(&doc);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// The pretty printer parses back to the same tree.
+    #[test]
+    fn pretty_roundtrip(root in arb_element(3)) {
+        let doc = Document::new(normalize(&root));
+        let text = write_pretty(&doc);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// SAX events ↔ tree is lossless and the event stream is balanced.
+    #[test]
+    fn sax_roundtrip(root in arb_element(3)) {
+        let doc = Document::new(normalize(&root));
+        let evs = events(&doc);
+        // balanced: equal numbers of start and end events
+        let starts = evs.iter().filter(|e| matches!(e, dip_xmlkit::sax::SaxEvent::StartElement { .. })).count();
+        let ends = evs.iter().filter(|e| matches!(e, dip_xmlkit::sax::SaxEvent::EndElement { .. })).count();
+        prop_assert_eq!(starts, ends);
+        prop_assert_eq!(build(evs).unwrap(), doc);
+    }
+
+    /// The identity stylesheet is the identity function.
+    #[test]
+    fn stx_identity(root in arb_element(3)) {
+        let doc = Document::new(normalize(&root));
+        let out = Stylesheet::identity("id").transform(&doc).unwrap();
+        prop_assert_eq!(out, doc);
+    }
+
+    /// Renaming a name to itself is also the identity.
+    #[test]
+    fn stx_self_rename(root in arb_element(3)) {
+        let doc = Document::new(normalize(&root));
+        let name = doc.root.name.clone();
+        let sheet = Stylesheet::new("r", vec![Rule::for_name(name.clone()).rename(name).build()]);
+        let out = sheet.transform(&doc).unwrap();
+        prop_assert_eq!(out, doc);
+    }
+
+    /// A rename rule never changes the number of nodes, and a drop rule
+    /// never increases it.
+    #[test]
+    fn stx_rules_preserve_or_shrink(root in arb_element(3), target in arb_name()) {
+        let doc = Document::new(normalize(&root));
+        let before = doc.root.subtree_size();
+        let rename = Stylesheet::new("rn", vec![Rule::for_name(target.clone()).rename("renamed_x").build()]);
+        let renamed = rename.transform(&doc).unwrap();
+        prop_assert_eq!(renamed.root.subtree_size(), before);
+        if doc.root.name != target {
+            let drop = Stylesheet::new("dr", vec![Rule::for_name(target).drop().build()]);
+            let dropped = drop.transform(&doc).unwrap();
+            prop_assert!(dropped.root.subtree_size() <= before);
+        }
+    }
+
+    /// Parsing arbitrary bytes never panics (it may error).
+    #[test]
+    fn parser_never_panics(input in "[ -~<>&;]{0,60}") {
+        let _ = parse(&input);
+    }
+}

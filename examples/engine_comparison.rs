@@ -1,0 +1,59 @@
+//! Compare the two systems under test — the federated-DBMS reference
+//! implementation and the native MTM engine — on the same configuration,
+//! the way the paper envisions DIPBench being used to compare products.
+//!
+//! ```sh
+//! cargo run --release --example engine_comparison
+//! ```
+
+use dip_bench::{run_experiment, shape_findings, EngineKind};
+use dipbench::prelude::*;
+
+fn main() {
+    let config = BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(2);
+
+    println!("running federated-dbms…");
+    let fed = run_experiment(EngineKind::Federated, config);
+    println!("running mtm-engine…");
+    let mtm = run_experiment(EngineKind::Mtm, config);
+
+    println!(
+        "\n{:<5} {:>15} {:>15} {:>9}   winner",
+        "proc", "fed NAVG+[tu]", "mtm NAVG+[tu]", "ratio"
+    );
+    for fm in &fed.outcome.metrics {
+        let Some(mm) = mtm.outcome.metric_for(&fm.process) else { continue };
+        let ratio = fm.navg_plus_tu / mm.navg_plus_tu.max(1e-9);
+        println!(
+            "{:<5} {:>15.2} {:>15.2} {:>9.2}   {}",
+            fm.process,
+            fm.navg_plus_tu,
+            mm.navg_plus_tu,
+            ratio,
+            if ratio > 1.05 {
+                "mtm"
+            } else if ratio < 0.95 {
+                "fed"
+            } else {
+                "tie"
+            }
+        );
+    }
+
+    println!("\nfederated-dbms shape findings:");
+    for f in shape_findings(&fed.outcome) {
+        match f {
+            Ok(m) => println!("  [ok] {m}"),
+            Err(m) => println!("  [??] {m}"),
+        }
+    }
+    println!(
+        "\nverification: fed={}, mtm={}",
+        if fed.verification.passed() { "PASS" } else { "FAIL" },
+        if mtm.verification.passed() { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "wall time: fed={:?}, mtm={:?}",
+        fed.outcome.wall_time, mtm.outcome.wall_time
+    );
+}

@@ -1,0 +1,112 @@
+//! A guided tour of the DIPBench ETL scenario (paper Fig. 1): watch the
+//! data flow layer by layer — sources → consolidated database → data
+//! warehouse → data marts — on the federated-DBMS reference
+//! implementation.
+//!
+//! ```sh
+//! cargo run --release --example etl_scenario
+//! ```
+
+use dip_feddbms::{FedDbms, FedOptions};
+use dipbench::prelude::*;
+use dipbench::{schedule, verify};
+use std::sync::Arc;
+
+fn count(env: &BenchEnvironment, db: &str, table: &str) -> usize {
+    env.db(db).table(table).map(|t| t.row_count()).unwrap_or(0)
+}
+
+fn main() {
+    let config = BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(1);
+    let env = BenchEnvironment::new(config).expect("environment");
+    let system: Arc<dyn IntegrationSystem> =
+        Arc::new(FedDbms::new(env.world.clone(), FedOptions::default()));
+    system.deploy(dipbench::processes::all_processes()).expect("deploy");
+    env.initialize_sources(0).expect("initializer");
+
+    println!("== Layer 1: source systems (after initialization) ==");
+    println!("  berlin_paris.cust  = {}", count(&env, "berlin_paris", "cust"));
+    println!("  trondheim.ord      = {}", count(&env, "trondheim", "ord"));
+    println!("  chicago.orders     = {}", count(&env, "chicago", "orders"));
+    println!("  beijing_db.orders  = {}", count(&env, "beijing_db", "orders"));
+
+    println!("\n== Group A: source-system management ==");
+    let msg = env.generator.beijing_master_message(0, 0);
+    system.on_message("P01", 0, msg).expect("P01");
+    println!("  P01: Beijing master data replicated to Seoul");
+    let msg = env.generator.mdm_message(0, 0);
+    system.on_message("P02", 0, msg).expect("P02");
+    println!("  P02: MDM customer update routed into Europe");
+    system.on_timed("P03", 0).expect("P03");
+    println!(
+        "  P03: US local consolidation -> us_eastcoast.orders = {}",
+        count(&env, "us_eastcoast", "orders")
+    );
+
+    println!("\n== Group B: data consolidation into the CDB ==");
+    let n_p04 = schedule::p04_count(config.scale.datasize);
+    for m in 0..n_p04 {
+        system.on_message("P04", 0, env.generator.vienna_message(0, m)).expect("P04");
+    }
+    println!("  P04 x{n_p04}: Vienna messages staged");
+    for p in ["P05", "P06", "P07"] {
+        system.on_timed(p, 0).expect(p);
+    }
+    println!("  P05-P07: European extracts staged");
+    let n_p08 = schedule::p08_count(config.scale.datasize);
+    for m in 0..n_p08 {
+        system.on_message("P08", 0, env.generator.hongkong_message(0, m)).expect("P08");
+    }
+    system.on_timed("P09", 0).expect("P09");
+    println!("  P08/P09: Asian flow staged");
+    let n_p10 = schedule::p10_count(config.scale.datasize);
+    let mut rejected = 0;
+    for m in 0..n_p10 {
+        let (msg, injected) = env.generator.san_diego_message(0, m);
+        system.on_message("P10", 0, msg).expect("P10");
+        rejected += injected as usize;
+    }
+    system.on_timed("P11", 0).expect("P11");
+    println!("  P10 x{n_p10}: San Diego messages ({rejected} routed to failed data)");
+    println!("  P11: US_Eastcoast loaded into the global CDB");
+    println!(
+        "  CDB staging: customers={} products={} orders={} lines={} failed={}",
+        count(&env, "sales_cleaning", "customer_staging"),
+        count(&env, "sales_cleaning", "product_staging"),
+        count(&env, "sales_cleaning", "orders_staging"),
+        count(&env, "sales_cleaning", "orderline_staging"),
+        count(&env, "sales_cleaning", "failed_messages"),
+    );
+
+    println!("\n== Group C: data warehouse update ==");
+    system.on_timed("P12", 0).expect("P12");
+    system.on_timed("P13", 0).expect("P13");
+    println!(
+        "  DWH: customers={} products={} orders={} lines={} OrdersMV rows={}",
+        count(&env, "dwh", "customer"),
+        count(&env, "dwh", "product"),
+        count(&env, "dwh", "orders"),
+        count(&env, "dwh", "orderline"),
+        count(&env, "dwh", "orders_mv"),
+    );
+    println!(
+        "  CDB movement after delta load: orders={} (P13 removed them)",
+        count(&env, "sales_cleaning", "orders")
+    );
+
+    println!("\n== Group D: data mart update ==");
+    system.on_timed("P14", 0).expect("P14");
+    system.on_timed("P15", 0).expect("P15");
+    for mart in ["dm_europe", "dm_unitedstates", "dm_asia"] {
+        println!(
+            "  {mart}: orders={} sales_mv={}",
+            count(&env, mart, "orders"),
+            count(&env, mart, "sales_mv"),
+        );
+    }
+
+    println!("\n== Post phase: verification ==");
+    let report = verify::verify(&env).expect("verification");
+    print!("{report}");
+    println!("overall: {}", if report.passed() { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,37 @@
+//! Quickstart: run one DIPBench period on the native MTM engine and print
+//! the performance metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dipbench::prelude::*;
+use dipbench::{report, verify};
+use std::sync::Arc;
+
+fn main() {
+    // d = 0.05, t = 1.0, uniform — the paper's Fig. 10 configuration,
+    // shortened to one benchmark period for a quick demo.
+    let config = BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(1);
+
+    // Build the complete environment: eleven database instances, three
+    // web services and the message-emitting applications, wired through
+    // the simulated wireless network.
+    let env = BenchEnvironment::new(config).expect("environment");
+
+    // Pick a system under test and deploy the 15 process types on it.
+    let system = Arc::new(MtmSystem::new(env.world.clone()));
+    let client = Client::new(&env, system).expect("deployment");
+
+    // The work phase: streams A ∥ B, then C, then D.
+    let outcome = client.run().expect("work phase");
+
+    print!("{}", report::metrics_table(&outcome));
+    println!();
+    print!("{}", report::ascii_chart(&outcome.metrics, 60));
+
+    // The post phase: functional verification of the integrated data.
+    let verification = verify::verify(&env).expect("verification");
+    println!("\nverification: {}", if verification.passed() { "PASS" } else { "FAIL" });
+    print!("{verification}");
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the workspace-level examples and integration tests:
+//! one-call construction of a fully-run benchmark environment on either
+//! system under test.
+
+use dip_feddbms::{FedDbms, FedOptions};
+use dipbench::prelude::*;
+use std::sync::Arc;
+
+/// Which engine a helper run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    Mtm,
+    Federated,
+}
+
+/// A small, fast configuration for integration tests.
+pub fn test_config() -> BenchConfig {
+    BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1)
+}
+
+/// Build an environment, run the work phase on the chosen engine, and
+/// return both the environment (for state inspection) and the outcome.
+pub fn run_benchmark(engine: Engine, config: BenchConfig) -> (BenchEnvironment, RunOutcome) {
+    let env = BenchEnvironment::new(config).expect("environment");
+    let system: Arc<dyn IntegrationSystem> = match engine {
+        Engine::Mtm => Arc::new(MtmSystem::new(env.world.clone())),
+        Engine::Federated => Arc::new(FedDbms::new(env.world.clone(), FedOptions::default())),
+    };
+    let client = Client::new(&env, system).expect("deployment");
+    let outcome = client.run().expect("work phase");
+    (env, outcome)
+}

@@ -1,0 +1,95 @@
+//! Cross-engine equivalence: the MTM engine and the federated-DBMS
+//! reference implementation must produce *identical* integrated data from
+//! identical inputs — the central system-independence claim of the
+//! benchmark. Costs may (and should) differ; data must not.
+
+use dip_feddbms::{FedDbms, FedOptions};
+use dipbench::prelude::*;
+use dipbench::verify;
+use std::sync::Arc;
+
+fn config() -> BenchConfig {
+    BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1)
+}
+
+fn run_mtm() -> (BenchEnvironment, RunOutcome) {
+    let env = BenchEnvironment::new(config()).unwrap();
+    let system = Arc::new(MtmSystem::new(env.world.clone()));
+    let client = Client::new(&env, system).unwrap();
+    let outcome = client.run().unwrap();
+    (env, outcome)
+}
+
+fn run_fed(opts: FedOptions) -> (BenchEnvironment, RunOutcome) {
+    let env = BenchEnvironment::new(config()).unwrap();
+    let system = Arc::new(FedDbms::new(env.world.clone(), opts));
+    let client = Client::new(&env, system).unwrap();
+    let outcome = client.run().unwrap();
+    (env, outcome)
+}
+
+fn sorted_rows(env: &BenchEnvironment, db: &str, table: &str) -> Vec<Vec<dip_relstore::value::Value>> {
+    let mut rel = env.db(db).table(table).unwrap().scan();
+    let keys: Vec<usize> = (0..rel.schema.len()).collect();
+    rel.sort_by_columns(&keys);
+    rel.rows
+}
+
+#[test]
+fn fed_runs_and_verifies() {
+    let (env, outcome) = run_fed(FedOptions::default());
+    assert_eq!(outcome.system, "federated-dbms");
+    assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+    assert_eq!(outcome.metrics.len(), 15);
+    let report = verify::verify(&env).unwrap();
+    assert!(report.passed(), "verification failed:\n{report}");
+}
+
+#[test]
+fn engines_produce_identical_integrated_data() {
+    let (mtm_env, _) = run_mtm();
+    let (fed_env, _) = run_fed(FedOptions::default());
+    // every target system must match, table by table
+    let targets: [(&str, &[&str]); 6] = [
+        ("dwh", &["customer", "product", "orders", "orderline", "orders_mv"]),
+        ("sales_cleaning", &["customer_staging", "product_staging", "failed_messages", "customer", "product"]),
+        ("us_eastcoast", &["customer", "part", "orders", "lineitem"]),
+        ("dm_europe", &["orders", "orderline", "customer_d", "product_d", "sales_mv"]),
+        ("dm_unitedstates", &["orders", "orderline", "customer_d", "product", "sales_mv"]),
+        ("dm_asia", &["orders", "orderline", "customer", "product_d", "sales_mv"]),
+    ];
+    for (db, tables) in targets {
+        for table in tables {
+            let a = sorted_rows(&mtm_env, db, table);
+            let b = sorted_rows(&fed_env, db, table);
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "{db}.{table}: row counts differ (mtm {} vs fed {})",
+                a.len(),
+                b.len()
+            );
+            assert_eq!(a, b, "{db}.{table}: contents differ");
+        }
+    }
+    // ... and the source systems received the same master-data updates
+    for table in ["cust", "ord"] {
+        assert_eq!(
+            sorted_rows(&mtm_env, "berlin_paris", table),
+            sorted_rows(&fed_env, "berlin_paris", table),
+            "berlin_paris.{table} differs"
+        );
+    }
+    assert_eq!(
+        sorted_rows(&mtm_env, "seoul_db", "customers"),
+        sorted_rows(&fed_env, "seoul_db", "customers"),
+        "seoul master data differs"
+    );
+}
+
+#[test]
+fn fed_without_optimizer_still_correct() {
+    let (env, outcome) = run_fed(FedOptions { optimize_relational: false });
+    assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+    assert!(verify::verify(&env).unwrap().passed());
+}
