@@ -41,8 +41,10 @@ fn bench_pacing(c: &mut Criterion) {
     let mut g = c.benchmark_group("client_pacing");
     g.sample_size(10);
     // t = 1000 → 1 tu = 1 µs, so real-time pacing adds only microsleeps
-    for (label, pacing) in [("eager", PacingMode::Eager), ("realtime_t1000", PacingMode::RealTime)]
-    {
+    for (label, pacing) in [
+        ("eager", PacingMode::Eager),
+        ("realtime_t1000", PacingMode::RealTime),
+    ] {
         g.bench_function(label, |b| {
             b.iter_batched(
                 || {

@@ -14,8 +14,8 @@ struct Setup {
 }
 
 fn setup() -> Setup {
-    let config = BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform)).with_periods(1);
     let env = BenchEnvironment::new(config).unwrap();
     let system = build_system(EngineKind::Federated, &env);
     system.deploy(dipbench::processes::all_processes()).unwrap();
@@ -26,7 +26,9 @@ fn setup() -> Setup {
 /// Run the pipeline prefix some process types depend on (e.g. P13 needs
 /// staged movement data, P14 needs a loaded DWH).
 fn run_prefix(s: &Setup, upto: &str) {
-    let order = ["P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14"];
+    let order = [
+        "P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14",
+    ];
     for p in order {
         if p == upto {
             break;
@@ -63,7 +65,9 @@ fn bench_message_types(c: &mut Criterion) {
 fn bench_timed_types(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_process_types");
     g.sample_size(10);
-    for process in ["P03", "P05", "P07", "P09", "P11", "P12", "P13", "P14", "P15"] {
+    for process in [
+        "P03", "P05", "P07", "P09", "P11", "P12", "P13", "P14", "P15",
+    ] {
         g.bench_function(process, |b| {
             b.iter_batched(
                 || {

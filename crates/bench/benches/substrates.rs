@@ -16,7 +16,9 @@ fn customers(n: i64) -> Database {
         ("acctbal", SqlType::Float),
     ])
     .shared();
-    let t = Table::new("customer", cust).with_primary_key(&["custkey"]).unwrap();
+    let t = Table::new("customer", cust)
+        .with_primary_key(&["custkey"])
+        .unwrap();
     t.insert(
         (0..n)
             .map(|i| {
@@ -31,9 +33,15 @@ fn customers(n: i64) -> Database {
     )
     .unwrap();
     let city = RelSchema::of(&[("citykey", SqlType::Int), ("name", SqlType::Str)]).shared();
-    let ct = Table::new("city", city).with_primary_key(&["citykey"]).unwrap();
-    ct.insert((0..50).map(|i| vec![Value::Int(i), Value::Str(format!("city-{i}"))]).collect())
+    let ct = Table::new("city", city)
+        .with_primary_key(&["citykey"])
         .unwrap();
+    ct.insert(
+        (0..50)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("city-{i}"))])
+            .collect(),
+    )
+    .unwrap();
     db.create_table(t);
     db.create_table(ct);
     db
@@ -59,18 +67,18 @@ fn bench_relstore(c: &mut Criterion) {
     });
 
     g.bench_function("hash_join_10k_x_50", |b| {
-        let plan = Plan::scan("customer").hash_join(
-            Plan::scan("city"),
-            vec![2],
-            vec![0],
-            JoinKind::Inner,
-        );
+        let plan =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
         b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
     });
 
     g.bench_function("union_distinct_3x10k", |b| {
         let plan = Plan::UnionDistinct {
-            inputs: vec![Plan::scan("customer"), Plan::scan("customer"), Plan::scan("customer")],
+            inputs: vec![
+                Plan::scan("customer"),
+                Plan::scan("customer"),
+                Plan::scan("customer"),
+            ],
             key: Some(vec![0]),
         };
         b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
@@ -79,7 +87,10 @@ fn bench_relstore(c: &mut Criterion) {
     g.bench_function("aggregate_group_by_city", |b| {
         let plan = Plan::scan("customer").aggregate(
             vec![2],
-            vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Sum, Expr::col(3), "bal")],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Sum, Expr::col(3), "bal"),
+            ],
         );
         b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
     });
@@ -90,8 +101,9 @@ fn bench_relstore(c: &mut Criterion) {
                 let db = Database::new("x");
                 let s = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
                 db.create_table(Table::new("t", s).with_primary_key(&["k"]).unwrap());
-                let rows: Vec<Row> =
-                    (0..1000).map(|i| vec![Value::Int(i), Value::str("payload")]).collect();
+                let rows: Vec<Row> = (0..1000)
+                    .map(|i| vec![Value::Int(i), Value::str("payload")])
+                    .collect();
                 (db, rows)
             },
             |(db, rows)| db.table("t").unwrap().insert(rows).unwrap(),
@@ -105,7 +117,10 @@ fn bench_relstore(c: &mut Criterion) {
 fn bench_mview(c: &mut Criterion) {
     let mut g = c.benchmark_group("mview_refresh");
     g.sample_size(15);
-    for (label, mode) in [("full", RefreshMode::Full), ("incremental", RefreshMode::Incremental)] {
+    for (label, mode) in [
+        ("full", RefreshMode::Full),
+        ("incremental", RefreshMode::Incremental),
+    ] {
         g.bench_function(label, |b| {
             b.iter_batched(
                 || {
@@ -119,7 +134,11 @@ fn bench_mview(c: &mut Criterion) {
                         ("rev", SqlType::Float),
                     ])
                     .shared();
-                    db.create_table(Table::new("orders_mv", mv).with_primary_key(&["day"]).unwrap());
+                    db.create_table(
+                        Table::new("orders_mv", mv)
+                            .with_primary_key(&["day"])
+                            .unwrap(),
+                    );
                     let def = Plan::scan("orders").aggregate(
                         vec![0],
                         vec![
@@ -131,12 +150,20 @@ fn bench_mview(c: &mut Criterion) {
                     // a large base plus a small delta — the incremental case
                     db.table("orders")
                         .unwrap()
-                        .insert((0..5000).map(|i| vec![Value::Int(i % 30), Value::Float(1.0)]).collect())
+                        .insert(
+                            (0..5000)
+                                .map(|i| vec![Value::Int(i % 30), Value::Float(1.0)])
+                                .collect(),
+                        )
                         .unwrap();
                     db.refresh_view("orders_mv").unwrap();
                     db.table("orders")
                         .unwrap()
-                        .insert((0..100).map(|i| vec![Value::Int(i % 30), Value::Float(2.0)]).collect())
+                        .insert(
+                            (0..100)
+                                .map(|i| vec![Value::Int(i % 30), Value::Float(2.0)])
+                                .collect(),
+                        )
                         .unwrap();
                     db
                 },
@@ -157,10 +184,22 @@ fn bench_optimizer(c: &mut Criterion) {
         .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
         .filter(Expr::col(0).eq(Expr::lit(42)));
     g.bench_function("pushdown_on", |b| {
-        b.iter(|| black_box(execute(&plan, &db, ExecOptions { optimize: true }).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                execute(&plan, &db, ExecOptions { optimize: true })
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     g.bench_function("pushdown_off", |b| {
-        b.iter(|| black_box(execute(&plan, &db, ExecOptions { optimize: false }).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                execute(&plan, &db, ExecOptions { optimize: false })
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

@@ -90,5 +90,10 @@ fn bench_parse_write(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_translation, bench_validation, bench_parse_write);
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_validation,
+    bench_parse_write
+);
 criterion_main!(benches);

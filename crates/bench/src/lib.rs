@@ -46,12 +46,12 @@ impl EngineKind {
 /// Build the system under test over an environment's world.
 pub fn build_system(kind: EngineKind, env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
     match kind {
-        EngineKind::Federated => {
-            Arc::new(FedDbms::new(env.world.clone(), FedOptions::default()))
-        }
+        EngineKind::Federated => Arc::new(FedDbms::new(env.world.clone(), FedOptions::default())),
         EngineKind::FederatedUnoptimized => Arc::new(FedDbms::new(
             env.world.clone(),
-            FedOptions { optimize_relational: false },
+            FedOptions {
+                optimize_relational: false,
+            },
         )),
         EngineKind::Mtm => Arc::new(MtmSystem::new(env.world.clone())),
         EngineKind::Eai => Arc::new(EaiSystem::new(env.world.clone(), 4)),
@@ -71,7 +71,10 @@ pub fn run_experiment(kind: EngineKind, config: BenchConfig) -> ExperimentResult
     let client = Client::new(&env, system).expect("deployment");
     let outcome = client.run().expect("work phase");
     let verification = verify::verify(&env).expect("verification phase");
-    ExperimentResult { outcome, verification }
+    ExperimentResult {
+        outcome,
+        verification,
+    }
 }
 
 /// The paper's Fig. 10 configuration (d = 0.05, t = 1.0, uniform).
@@ -136,15 +139,18 @@ mod tests {
     fn engine_kind_parsing() {
         assert_eq!(EngineKind::parse("fed"), Some(EngineKind::Federated));
         assert_eq!(EngineKind::parse("mtm"), Some(EngineKind::Mtm));
-        assert_eq!(EngineKind::parse("fed-unopt"), Some(EngineKind::FederatedUnoptimized));
+        assert_eq!(
+            EngineKind::parse("fed-unopt"),
+            Some(EngineKind::FederatedUnoptimized)
+        );
         assert_eq!(EngineKind::parse("eai"), Some(EngineKind::Eai));
         assert_eq!(EngineKind::parse("nope"), None);
     }
 
     #[test]
     fn small_experiment_runs_and_verifies() {
-        let config = BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform))
-            .with_periods(1);
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform)).with_periods(1);
         let result = run_experiment(EngineKind::Federated, config);
         assert!(result.verification.passed(), "{}", result.verification);
         assert_eq!(result.outcome.metrics.len(), 15);

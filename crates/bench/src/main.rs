@@ -5,14 +5,19 @@
 //! dipbench table1                         # paper Table I
 //! dipbench table2 [--d 0.05]              # paper Table II
 //! dipbench fig8                           # paper Fig. 8 data series
-//! dipbench fig10 [--periods 3] [--engine fed|mtm|fed-unopt|eai]
-//! dipbench fig11 [--periods 3] [--engine ...]
+//! dipbench fig10 [--periods 3] [--engine fed|mtm|fed-unopt|eai] [--trace f.json]
+//! dipbench fig11 [--periods 3] [--engine ...] [--trace f.json]
 //! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...]
 //! dipbench compare [--periods 2]          # fed vs mtm, same configuration
 //! dipbench sweep d|t|f [--periods 1]      # scale-factor sweeps
+//! dipbench quality [--periods 1]          # data-quality profile per layer
+//! dipbench explain [P01..P15]             # narrate process definitions
+//! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
+//! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
 //! ```
 
 use dip_bench::{run_experiment, shape_findings, EngineKind};
+use dip_trace::{DiffOptions, ProcessStats, RunRecord, SCHEMA_VERSION};
 use dipbench::prelude::*;
 use dipbench::report;
 
@@ -33,17 +38,12 @@ fn main() {
         }
         "fig10" => figure(&args, ScaleFactors::paper_fig10()),
         "fig11" => figure(&args, ScaleFactors::paper_fig11()),
-        "run" => {
-            let d = flag_f64(&args, "--d").unwrap_or(0.05);
-            let t = flag_f64(&args, "--t").unwrap_or(1.0);
-            let f = flag_str(&args, "--f")
-                .and_then(|s| parse_distribution(&s))
-                .unwrap_or(Distribution::Uniform);
-            figure(&args, ScaleFactors::new(d, t, f));
-        }
+        "run" => figure(&args, scale_from_flags(&args)),
         "compare" => compare(&args),
         "sweep" => sweep(&args),
         "quality" => quality(&args),
+        "record" => record(&args),
+        "diff" => diff_records(&args),
         "explain" => {
             let target = args.get(1).map(String::as_str).unwrap_or("");
             let defs = dipbench::processes::all_processes();
@@ -62,25 +62,57 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep> [options]\n\
-                 commands also: quality, explain [P01..P15]\n\
-                 options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X  --f uniform|zipf5|zipf10|normal"
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|diff|explain> [options]\n\
+                 \n\
+                 commands:\n\
+                   table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
+                   run                              one experiment at explicit scale factors\n\
+                   compare                          fed vs mtm at the Fig. 10 configuration\n\
+                   sweep d|t|f                      scale-factor sweeps\n\
+                   quality                          data-quality profile per pipeline layer\n\
+                   record                           run and write a versioned run record JSON\n\
+                   diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
+                   explain [P01..P15]               narrate process definitions\n\
+                 \n\
+                 options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X\n\
+                          --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
+                          --threshold X  --min-delta X  (diff only)"
             );
             std::process::exit(2);
         }
     }
 }
 
+/// Print a usage error and exit with the conventional CLI-misuse code.
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Look up a `--flag value` pair. A flag present without a value (end of
+/// argv or followed by another `--flag`) is a usage error.
 fn flag_str(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => fail_usage(&format!("flag {name} requires a value")),
+    }
 }
 
 fn flag_f64(args: &[String], name: &str) -> Option<f64> {
-    flag_str(args, name).and_then(|s| s.parse().ok())
+    flag_str(args, name).map(|s| match s.parse::<f64>() {
+        Ok(v) if v.is_finite() => v,
+        _ => fail_usage(&format!("flag {name} expects a number, got {s:?}")),
+    })
 }
 
 fn flag_u32(args: &[String], name: &str) -> Option<u32> {
-    flag_str(args, name).and_then(|s| s.parse().ok())
+    flag_str(args, name).map(|s| match s.parse::<u32>() {
+        Ok(v) => v,
+        Err(_) => fail_usage(&format!(
+            "flag {name} expects a non-negative integer, got {s:?}"
+        )),
+    })
 }
 
 fn parse_distribution(s: &str) -> Option<Distribution> {
@@ -93,26 +125,63 @@ fn parse_distribution(s: &str) -> Option<Distribution> {
     }
 }
 
+fn scale_from_flags(args: &[String]) -> ScaleFactors {
+    let d = flag_f64(args, "--d").unwrap_or(0.05);
+    let t = flag_f64(args, "--t").unwrap_or(1.0);
+    let f = match flag_str(args, "--f") {
+        Some(s) => parse_distribution(&s).unwrap_or_else(|| {
+            fail_usage(&format!(
+                "unknown distribution {s:?} (use uniform|zipf5|zipf10|normal)"
+            ))
+        }),
+        None => Distribution::Uniform,
+    };
+    ScaleFactors::new(d, t, f)
+}
+
 fn engine(args: &[String]) -> EngineKind {
-    flag_str(args, "--engine")
-        .and_then(|s| EngineKind::parse(&s))
-        .unwrap_or(EngineKind::Federated)
+    match flag_str(args, "--engine") {
+        Some(s) => EngineKind::parse(&s).unwrap_or_else(|| {
+            fail_usage(&format!("unknown engine {s:?} (use fed|mtm|fed-unopt|eai)"))
+        }),
+        None => EngineKind::Federated,
+    }
+}
+
+/// Short engine tag for file names (vs the descriptive `label()`).
+fn engine_tag(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Federated => "fed",
+        EngineKind::Mtm => "mtm",
+        EngineKind::FederatedUnoptimized => "fed-unopt",
+        EngineKind::Eai => "eai",
+    }
 }
 
 fn figure(args: &[String], scale: ScaleFactors) {
     let periods = flag_u32(args, "--periods").unwrap_or(3);
     let kind = engine(args);
+    let trace_out = flag_str(args, "--trace");
     let config = BenchConfig::new(scale).with_periods(periods);
     eprintln!(
-        "running {} on {} (d={}, t={}, f={}, {} periods)…",
-        "DIPBench",
+        "running DIPBench on {} (d={}, t={}, f={}, {} periods)…",
         kind.label(),
         scale.datasize,
         scale.time,
         scale.distribution.label(),
         periods
     );
+    if trace_out.is_some() {
+        dip_trace::enable();
+    }
     let result = run_experiment(kind, config);
+    if let Some(path) = &trace_out {
+        let spans = dip_trace::drain();
+        dip_trace::disable();
+        std::fs::write(path, dip_trace::to_chrome_trace(&spans))
+            .unwrap_or_else(|e| fail_usage(&format!("cannot write trace {path:?}: {e}")));
+        eprintln!("wrote {} spans to {path}", spans.len());
+    }
     print!("{}", report::metrics_table(&result.outcome));
     println!();
     print!("{}", report::ascii_chart(&result.outcome.metrics, 60));
@@ -120,7 +189,14 @@ fn figure(args: &[String], scale: ScaleFactors) {
     println!("# gnuplot data");
     print!("{}", report::gnuplot_dat(&result.outcome.metrics));
     println!();
-    println!("verification: {}", if result.verification.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "verification: {}",
+        if result.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
     for check in &result.verification.checks {
         println!(
             "  [{}] {:<40} {}",
@@ -171,8 +247,16 @@ fn compare(args: &[String]) {
     }
     println!(
         "\nverification: fed={} mtm={}",
-        if fed.verification.passed() { "PASS" } else { "FAIL" },
-        if mtm.verification.passed() { "PASS" } else { "FAIL" }
+        if fed.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if mtm.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }
 
@@ -183,11 +267,21 @@ fn sweep(args: &[String]) {
     let configs: Vec<(String, ScaleFactors)> = match param {
         "d" => [0.02, 0.05, 0.1, 0.2]
             .iter()
-            .map(|&d| (format!("d={d}"), ScaleFactors::new(d, 1.0, Distribution::Uniform)))
+            .map(|&d| {
+                (
+                    format!("d={d}"),
+                    ScaleFactors::new(d, 1.0, Distribution::Uniform),
+                )
+            })
             .collect(),
         "t" => [0.5, 1.0, 2.0, 4.0]
             .iter()
-            .map(|&t| (format!("t={t}"), ScaleFactors::new(0.05, t, Distribution::Uniform)))
+            .map(|&t| {
+                (
+                    format!("t={t}"),
+                    ScaleFactors::new(0.05, t, Distribution::Uniform),
+                )
+            })
             .collect(),
         "f" => [
             Distribution::Uniform,
@@ -203,8 +297,14 @@ fn sweep(args: &[String]) {
             std::process::exit(2);
         }
     };
-    println!("# sweep over {param} on {} ({periods} period(s) each)", kind.label());
-    println!("{:<14} {:>12} {:>12} {:>12} {:>8}", "config", "E1 NAVG+", "E2 NAVG+", "total[ms]", "verify");
+    println!(
+        "# sweep over {param} on {} ({periods} period(s) each)",
+        kind.label()
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>8}",
+        "config", "E1 NAVG+", "E2 NAVG+", "total[ms]", "verify"
+    );
     for (label, scale) in configs {
         let result = run_experiment(kind, BenchConfig::new(scale).with_periods(periods));
         let avg = |ids: &[&str]| {
@@ -221,7 +321,11 @@ fn sweep(args: &[String]) {
             avg(&["P01", "P02", "P04", "P08", "P10"]),
             avg(&["P03", "P09", "P11", "P12", "P13", "P14", "P15"]),
             result.outcome.wall_time.as_millis(),
-            if result.verification.passed() { "PASS" } else { "FAIL" }
+            if result.verification.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
 }
@@ -244,4 +348,151 @@ fn quality(args: &[String]) {
         "quality increases along the pipeline: {}",
         if q.quality_increases() { "yes" } else { "NO" }
     );
+}
+
+/// The git commit this binary runs against ("unknown" outside a checkout).
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Run one experiment with tracing on and write a versioned run record.
+fn record(args: &[String]) {
+    let scale = scale_from_flags(args);
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let kind = engine(args);
+    let config = BenchConfig::new(scale).with_periods(periods);
+    eprintln!(
+        "recording {} (d={}, t={}, f={}, {} periods)…",
+        kind.label(),
+        scale.datasize,
+        scale.time,
+        scale.distribution.label(),
+        periods
+    );
+    dip_trace::enable();
+    let result = run_experiment(kind, config);
+    let spans = dip_trace::drain();
+    dip_trace::disable();
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rec = RunRecord {
+        schema_version: SCHEMA_VERSION,
+        created_unix,
+        commit: current_commit(),
+        engine: engine_tag(kind).to_string(),
+        datasize: scale.datasize,
+        time: scale.time,
+        distribution: scale.distribution.label().to_string(),
+        periods: periods as u64,
+        wall_ms: result.outcome.wall_time.as_secs_f64() * 1000.0,
+        processes: result
+            .outcome
+            .metrics
+            .iter()
+            .map(|m| ProcessStats {
+                process: m.process.clone(),
+                instances: m.instances as u64,
+                failures: m.failures as u64,
+                navg_tu: m.navg_tu,
+                stddev_tu: m.stddev_tu,
+                navg_plus_tu: m.navg_plus_tu,
+                comm_tu: m.comm_tu,
+                mgmt_tu: m.mgmt_tu,
+                proc_tu: m.proc_tu,
+            })
+            .collect(),
+        rollups: RunRecord::rollup_spans(&spans),
+    };
+    let path = match flag_str(args, "--out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::PathBuf::from(format!(
+            "results/records/{}-d{}-t{}-{}.json",
+            engine_tag(kind),
+            scale.datasize,
+            scale.time,
+            match scale.distribution {
+                Distribution::Uniform => "uniform",
+                Distribution::Zipf5 => "zipf5",
+                Distribution::Zipf10 => "zipf10",
+                Distribution::Normal => "normal",
+            }
+        )),
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail_usage(&format!("cannot create {}: {e}", dir.display())));
+    }
+    std::fs::write(&path, rec.render())
+        .unwrap_or_else(|e| fail_usage(&format!("cannot write {}: {e}", path.display())));
+    eprintln!(
+        "wrote {} ({} process types, {} span rollups, {} raw spans)",
+        path.display(),
+        rec.processes.len(),
+        rec.rollups.len(),
+        spans.len()
+    );
+    if !result.verification.passed() {
+        eprintln!("warning: verification FAILED for the recorded run");
+        std::process::exit(1);
+    }
+}
+
+/// Positional (non-flag) arguments after the command word. All flags in
+/// this CLI take a value, so a `--flag` consumes the next argument too.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn load_record(path: &str) -> RunRecord {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot read record {path:?}: {e}")));
+    RunRecord::parse(&text)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot parse record {path:?}: {e}")))
+}
+
+/// Compare two run records; exit 1 iff the candidate regressed.
+fn diff_records(args: &[String]) {
+    let pos = positionals(args);
+    let (base_path, cand_path) = match pos.as_slice() {
+        [b, c] => (b.as_str(), c.as_str()),
+        _ => fail_usage("diff requires exactly two record paths: dipbench diff <baseline.json> <candidate.json>"),
+    };
+    let mut options = DiffOptions::default();
+    if let Some(t) = flag_f64(args, "--threshold") {
+        if t < 0.0 {
+            fail_usage("--threshold must be non-negative");
+        }
+        options.threshold = t;
+    }
+    if let Some(m) = flag_f64(args, "--min-delta") {
+        if m < 0.0 {
+            fail_usage("--min-delta must be non-negative");
+        }
+        options.min_delta_tu = m;
+    }
+    let baseline = load_record(base_path);
+    let candidate = load_record(cand_path);
+    let report = dip_trace::diff(&baseline, &candidate, options);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        std::process::exit(1);
+    }
 }

@@ -17,8 +17,59 @@ use crate::system::IntegrationSystem;
 use dip_mtm::cost::InstanceRecord;
 use dip_relstore::prelude::{StoreError, StoreResult};
 use dip_xmlkit::node::Document;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cross-stream dispatch gate for [`PacingMode::Eager`].
+///
+/// Streams A and B each dispatch their events in deadline order; this
+/// gate extends that order across the pair for *timed* events: a timed
+/// event (extract, consolidation, …) may not dispatch until the other
+/// stream has dispatched everything with an earlier deadline (ties go to
+/// stream A). Message events flow without waiting — each message series
+/// feeds a distinct external system, so cross-stream messages are
+/// conflict-free and keeping them unsynchronized preserves the A ∥ B
+/// concurrency the benchmark prescribes. Under `RealTime` pacing the
+/// wall clock provides the same ordering, so the gate is bypassed.
+/// Without it, whether e.g. the timed P05 extract observes the P02
+/// master-data updates (deadlines far earlier in the schedule) would
+/// depend on thread scheduling, and the integrated data would be
+/// nondeterministic.
+struct DispatchGate {
+    /// Next pending deadline per stream slot (A = 0, B = 1);
+    /// `f64::INFINITY` once a stream is exhausted.
+    next: Mutex<[f64; 2]>,
+    ready: Condvar,
+}
+
+impl DispatchGate {
+    fn new(first_a: f64, first_b: f64) -> DispatchGate {
+        DispatchGate {
+            next: Mutex::new([first_a, first_b]),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Block until `deadline` is the globally smallest pending deadline.
+    fn acquire(&self, slot: usize, deadline: f64) {
+        let mut next = self.next.lock();
+        next[slot] = deadline;
+        loop {
+            let other = next[1 - slot];
+            if deadline < other || (deadline == other && slot == 0) {
+                return;
+            }
+            self.ready.wait(&mut next);
+        }
+    }
+
+    /// Publish the stream's next pending deadline after dispatching.
+    fn advance(&self, slot: usize, next_deadline: f64) {
+        self.next.lock()[slot] = next_deadline;
+        self.ready.notify_all();
+    }
+}
 
 /// One dispatch failure (the run continues; the engine has already
 /// recorded the failed instance).
@@ -80,14 +131,24 @@ impl<'a> Client<'a> {
     /// Dispatch one stream's events in order.
     fn run_stream(
         &self,
+        id: StreamId,
         period: u32,
         events: &[ScheduledEvent],
         failures: &mut Vec<DispatchFailure>,
+        gate: Option<(&DispatchGate, usize)>,
     ) {
+        let op = match id {
+            StreamId::A => "stream_A",
+            StreamId::B => "stream_B",
+            StreamId::C => "stream_C",
+            StreamId::D => "stream_D",
+        };
+        let _span =
+            dip_trace::span_cat(dip_trace::Layer::Core, op, dip_trace::Category::Management);
         let pacing = self.env.config.pacing;
         let tu = self.env.config.scale.tu();
         let stream_start = Instant::now();
-        for event in events {
+        for (i, event) in events.iter().enumerate() {
             if pacing == PacingMode::RealTime {
                 let deadline = tu.mul_f64(event.deadline_tu);
                 let elapsed = stream_start.elapsed();
@@ -95,10 +156,20 @@ impl<'a> Client<'a> {
                     std::thread::sleep(deadline - elapsed);
                 }
             }
-            let result = match self.message_for(event, period) {
+            let msg = self.message_for(event, period);
+            if let Some((gate, slot)) = gate {
+                if msg.is_none() {
+                    gate.acquire(slot, event.deadline_tu);
+                }
+            }
+            let result = match msg {
                 Some(msg) => self.system.on_message(event.process, period, msg),
                 None => self.system.on_timed(event.process, period),
             };
+            if let Some((gate, slot)) = gate {
+                let next = events.get(i + 1).map_or(f64::INFINITY, |e| e.deadline_tu);
+                gate.advance(slot, next);
+            }
             if let Err(e) = result {
                 failures.push(DispatchFailure {
                     process: event.process.to_string(),
@@ -113,23 +184,48 @@ impl<'a> Client<'a> {
     /// Execute one benchmark period: uninitialize, initialize, streams
     /// A ∥ B, then C, then D.
     pub fn run_period(&self, k: u32) -> StoreResult<Vec<DispatchFailure>> {
-        self.env.uninitialize()?;
-        self.env.initialize_sources(k)?;
+        let _period_span = dip_trace::span_cat(
+            dip_trace::Layer::Core,
+            "period",
+            dip_trace::Category::Management,
+        );
+        {
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Core,
+                "uninitialize",
+                dip_trace::Category::Management,
+            );
+            self.env.uninitialize()?;
+        }
+        {
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Core,
+                "initialize_sources",
+                dip_trace::Category::Management,
+            );
+            self.env.initialize_sources(k)?;
+        }
         let d = self.env.config.scale.datasize;
         let streams = schedule::period_streams(k, d);
         let mut failures: Vec<DispatchFailure> = Vec::new();
         let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        // under Eager pacing the gate replays the schedule's logical time
+        // across the concurrent pair (RealTime gets it from the wall clock)
+        let first = |s: &[ScheduledEvent]| s.first().map_or(f64::INFINITY, |e| e.deadline_tu);
+        let gate = (self.env.config.pacing == PacingMode::Eager)
+            .then(|| DispatchGate::new(first(&streams[0].1), first(&streams[1].1)));
+        let gate = gate.as_ref();
         std::thread::scope(|scope| {
             let a = &streams[0].1;
             let b = &streams[1].1;
-            let ha = scope.spawn(|| {
+            let ha = scope.spawn(move || {
                 let mut f = Vec::new();
-                self.run_stream(k, a, &mut f);
+                self.run_stream(StreamId::A, k, a, &mut f, gate.map(|g| (g, 0)));
                 f
             });
-            let hb = scope.spawn(|| {
+            let hb = scope.spawn(move || {
                 let mut f = Vec::new();
-                self.run_stream(k, b, &mut f);
+                self.run_stream(StreamId::B, k, b, &mut f, gate.map(|g| (g, 1)));
                 f
             });
             fa = ha.join().unwrap_or_default();
@@ -139,7 +235,7 @@ impl<'a> Client<'a> {
         failures.extend(fb);
         for (id, events) in &streams[2..] {
             debug_assert!(matches!(id, StreamId::C | StreamId::D));
-            self.run_stream(k, events, &mut failures);
+            self.run_stream(*id, k, events, &mut failures, None);
         }
         Ok(failures)
     }

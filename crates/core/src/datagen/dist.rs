@@ -102,7 +102,12 @@ mod tests {
         // uniform: first bucket close to 1/n of mass
         assert!((uni[0] as f64 - 1000.0).abs() < 250.0, "{}", uni[0]);
         // zipf(1.0): first bucket should dominate clearly
-        assert!(zipf[0] as f64 > 2.0 * uni[0] as f64, "zipf {} uni {}", zipf[0], uni[0]);
+        assert!(
+            zipf[0] as f64 > 2.0 * uni[0] as f64,
+            "zipf {} uni {}",
+            zipf[0],
+            uni[0]
+        );
         // and the tail should be thin
         assert!(zipf[n - 1] < zipf[0] / 4);
     }

@@ -48,6 +48,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the key-space invariants
     fn regional_spaces_are_disjoint() {
         // Europe < 1M <= Asia < 2M <= America
         assert!(CUST_TRONDHEIM < 1_000_000);
@@ -59,8 +60,17 @@ mod tests {
     #[test]
     fn order_bases_are_strictly_increasing() {
         let bases = [
-            ORD_BERLIN, ORD_PARIS, ORD_TRONDHEIM, ORD_VIENNA, ORD_HONGKONG, ORD_BEIJING,
-            ORD_SEOUL, ORD_CHICAGO, ORD_BALTIMORE, ORD_MADISON, ORD_SAN_DIEGO,
+            ORD_BERLIN,
+            ORD_PARIS,
+            ORD_TRONDHEIM,
+            ORD_VIENNA,
+            ORD_HONGKONG,
+            ORD_BEIJING,
+            ORD_SEOUL,
+            ORD_CHICAGO,
+            ORD_BALTIMORE,
+            ORD_MADISON,
+            ORD_SAN_DIEGO,
         ];
         for w in bases.windows(2) {
             assert!(w[0] < w[1]);

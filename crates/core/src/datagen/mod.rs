@@ -65,7 +65,13 @@ pub struct Generator {
     pub cards: Cardinalities,
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const DATE_BASE: (i32, u32, u32) = (2008, 1, 1);
 
 fn fnv(tag: &str) -> u64 {
@@ -134,7 +140,10 @@ impl Generator {
                     .find(|c| c.name == city)
                     .and_then(|c| {
                         let _ = r;
-                        self.refdata.nations.iter().find(|(k, _, _)| *k == c.nationkey)
+                        self.refdata
+                            .nations
+                            .iter()
+                            .find(|(k, _, _)| *k == c.nationkey)
                     })
             })
             .map(|(_, n, _)| n.to_string())
@@ -175,6 +184,7 @@ impl Generator {
 
     /// Generate one order over the given customer/product key ranges using
     /// the region's vocabularies.
+    #[allow(clippy::too_many_arguments)] // the key-range quadruple is the point
     fn order(
         &self,
         rng: &mut StdRng,
@@ -217,7 +227,11 @@ impl Generator {
             priorities[dist::sample_index(self.scale.distribution, rng, priorities.len())]
                 .to_string()
         };
-        let totalprice = if dirty { -total.max(1.0) } else { total.max(1.0) };
+        let totalprice = if dirty {
+            -total.max(1.0)
+        } else {
+            total.max(1.0)
+        };
         OrderData {
             orderkey,
             custkey,
@@ -263,13 +277,20 @@ impl Generator {
                 ]
             })
             .collect();
-        bp.table("prod")?.insert_ignore_duplicates(prod_rows.clone())?;
+        bp.table("prod")?
+            .insert_ignore_duplicates(prod_rows.clone())?;
         tr.table("prod")?.insert_ignore_duplicates(prod_rows)?;
 
         for (loc, cust_base, ord_base, db, with_loc) in [
             ("berlin", keys::CUST_BERLIN, keys::ORD_BERLIN, &bp, true),
             ("paris", keys::CUST_PARIS, keys::ORD_PARIS, &bp, true),
-            ("trondheim", keys::CUST_TRONDHEIM, keys::ORD_TRONDHEIM, &tr, false),
+            (
+                "trondheim",
+                keys::CUST_TRONDHEIM,
+                keys::ORD_TRONDHEIM,
+                &tr,
+                false,
+            ),
         ] {
             let mut cust_rows = Vec::with_capacity(self.cards.customers);
             for i in 0..self.cards.customers {
@@ -341,7 +362,13 @@ impl Generator {
         let mut rng = self.rng(k, "america");
         // shared master data, overlapping subsets per source
         let customers: Vec<CustomerData> = (0..self.cards.customers)
-            .map(|i| self.customer(&mut rng, keys::CUST_AMERICA + i as i64, refdata::REGION_AMERICA))
+            .map(|i| {
+                self.customer(
+                    &mut rng,
+                    keys::CUST_AMERICA + i as i64,
+                    refdata::REGION_AMERICA,
+                )
+            })
             .collect();
         let parts: Vec<PartData> = (0..self.cards.products)
             .map(|i| self.part(&mut rng, keys::PROD_AMERICA + i as i64))
@@ -430,7 +457,11 @@ impl Generator {
         // shared Beijing/Seoul master data (P01 keeps these in sync)
         let customers: Vec<CustomerData> = (0..self.cards.customers)
             .map(|i| {
-                self.customer(&mut rng, keys::CUST_ASIA_SHARED + i as i64, refdata::REGION_ASIA)
+                self.customer(
+                    &mut rng,
+                    keys::CUST_ASIA_SHARED + i as i64,
+                    refdata::REGION_ASIA,
+                )
             })
             .collect();
         let parts: Vec<PartData> = (0..self.cards.products)
@@ -502,7 +533,8 @@ impl Generator {
                 }
             }
             db.table("orders")?.insert_ignore_duplicates(ord_rows)?;
-            db.table("orderlines")?.insert_ignore_duplicates(line_rows)?;
+            db.table("orderlines")?
+                .insert_ignore_duplicates(line_rows)?;
         }
         Ok(())
     }
@@ -515,7 +547,11 @@ impl Generator {
     /// Berlin/Paris key ranges so the enrichment lookup usually hits.
     pub fn vienna_message(&self, k: u32, m: u32) -> Document {
         let mut rng = self.rng(k, &format!("vienna:{m}"));
-        let cust_base = if dist::chance(&mut rng, 0.5) { keys::CUST_BERLIN } else { keys::CUST_PARIS };
+        let cust_base = if dist::chance(&mut rng, 0.5) {
+            keys::CUST_BERLIN
+        } else {
+            keys::CUST_PARIS
+        };
         let o = self.order(
             &mut rng,
             keys::ORD_VIENNA + m as i64,
@@ -534,7 +570,8 @@ impl Generator {
         let mut rng = self.rng(k, &format!("mdm:{m}"));
         let base = [keys::CUST_BERLIN, keys::CUST_PARIS, keys::CUST_TRONDHEIM]
             [dist::sample_index(self.scale.distribution, &mut rng, 3)];
-        let key = base + dist::sample_index(self.scale.distribution, &mut rng, self.cards.customers) as i64;
+        let key = base
+            + dist::sample_index(self.scale.distribution, &mut rng, self.cards.customers) as i64;
         let mut c = self.customer(&mut rng, key, refdata::REGION_EUROPE);
         c.region = "Europe".into();
         apps::mdm_customer(&c)
@@ -581,8 +618,11 @@ impl Generator {
         let inject = dist::chance(&mut rng, SAN_DIEGO_ERROR_RATE);
         let kind = if inject {
             Some(
-                apps::ALL_MESSAGE_ERRORS
-                    [dist::sample_index(self.scale.distribution, &mut rng, apps::ALL_MESSAGE_ERRORS.len())],
+                apps::ALL_MESSAGE_ERRORS[dist::sample_index(
+                    self.scale.distribution,
+                    &mut rng,
+                    apps::ALL_MESSAGE_ERRORS.len(),
+                )],
             )
         } else {
             None
@@ -618,7 +658,9 @@ impl Generator {
     /// How many San Diego messages of the first `count` carry injected
     /// errors — used by verification to predict failed-message counts.
     pub fn expected_san_diego_errors(&self, k: u32, count: u32) -> usize {
-        (0..count).filter(|&m| self.san_diego_message(k, m).1).count()
+        (0..count)
+            .filter(|&m| self.san_diego_message(k, m).1)
+            .count()
     }
 }
 
@@ -686,6 +728,9 @@ mod tests {
                 dirty_seen += 1;
             }
         }
-        assert!(dirty_seen < 15, "too many dirty vienna messages: {dirty_seen}");
+        assert!(
+            dirty_seen < 15,
+            "too many dirty vienna messages: {dirty_seen}"
+        );
     }
 }

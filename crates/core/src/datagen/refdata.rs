@@ -49,7 +49,11 @@ impl RefData {
             (30, "United States", REGION_AMERICA),
             (31, "Canada", REGION_AMERICA),
         ];
-        let city = |citykey, name, nationkey| CityRef { citykey, name, nationkey };
+        let city = |citykey, name, nationkey| CityRef {
+            citykey,
+            name,
+            nationkey,
+        };
         let cities = vec![
             city(100, "Berlin", 10),
             city(101, "Munich", 10),
@@ -80,7 +84,13 @@ impl RefData {
             (5, "Consulting", 3),
             (6, "Support", 3),
         ];
-        RefData { regions, nations, cities, lines, groups }
+        RefData {
+            regions,
+            nations,
+            cities,
+            lines,
+            groups,
+        }
     }
 
     /// City names belonging to a region (used so each region's customers
@@ -125,7 +135,13 @@ impl RefData {
         db.table("city")?.insert_ignore_duplicates(
             self.cities
                 .iter()
-                .map(|c| vec![Value::Int(c.citykey), Value::str(c.name), Value::Int(c.nationkey)])
+                .map(|c| {
+                    vec![
+                        Value::Int(c.citykey),
+                        Value::str(c.name),
+                        Value::Int(c.nationkey),
+                    ]
+                })
                 .collect(),
         )?;
         db.table("productline")?.insert_ignore_duplicates(

@@ -10,7 +10,15 @@
 //! also preserves the benchmark's stream-completion semantics (`T1(P04)`
 //! etc.) and therefore the integrated data.
 //!
-//! The message queue and workers are built on `crossbeam` channels.
+//! Queues are partitioned by process type (destination), one worker per
+//! partition set, so messages of the same type apply in arrival order —
+//! the per-queue FIFO guarantee real brokers give. This matters for
+//! correctness, not just fidelity: successive master-data updates (P01,
+//! P02) may target the same entity, and reordering them across a shared
+//! worker pool would integrate different final values than the
+//! serialized engines.
+//!
+//! The message queues and workers are built on `crossbeam` channels.
 
 use crate::system::IntegrationSystem;
 use crossbeam::channel::{unbounded, Sender};
@@ -39,7 +47,9 @@ struct Pending {
 /// The EAI-style asynchronous integration system.
 pub struct EaiSystem {
     engine: Arc<MtmEngine>,
-    tx: Option<Sender<Job>>,
+    /// One queue per worker; a process type always routes to the same
+    /// queue, so same-type messages are processed in arrival order.
+    txs: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<Pending>,
 }
@@ -48,11 +58,12 @@ impl EaiSystem {
     /// Build the broker with `workers` message-processing threads.
     pub fn new(world: Arc<ExternalWorld>, workers: usize) -> EaiSystem {
         let engine = Arc::new(MtmEngine::new(world));
-        let (tx, rx) = unbounded::<Job>();
         let pending = Arc::new(Pending::default());
+        let mut txs = Vec::new();
         let handles = (0..workers.max(1))
             .map(|i| {
-                let rx = rx.clone();
+                let (tx, rx) = unbounded::<Job>();
+                txs.push(tx);
                 let engine = engine.clone();
                 let pending = pending.clone();
                 std::thread::Builder::new()
@@ -72,7 +83,23 @@ impl EaiSystem {
                     .expect("spawn worker")
             })
             .collect();
-        EaiSystem { engine, tx: Some(tx), workers: handles, pending }
+        EaiSystem {
+            engine,
+            txs,
+            workers: handles,
+            pending,
+        }
+    }
+
+    /// Partition key: which worker queue a process type's messages go to.
+    fn shard(&self, process: &str) -> usize {
+        // FNV-1a over the process id
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in process.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.txs.len() as u64) as usize
     }
 
     /// Block until every queued message has been processed.
@@ -91,8 +118,8 @@ impl EaiSystem {
 
 impl Drop for EaiSystem {
     fn drop(&mut self) {
-        // close the queue, then join the workers
-        self.tx.take();
+        // close the queues, then join the workers
+        self.txs.clear();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -116,10 +143,12 @@ impl IntegrationSystem for EaiSystem {
             let mut n = self.pending.count.lock();
             *n += 1;
         }
-        self.tx
-            .as_ref()
-            .expect("broker alive")
-            .send(Job { process: process.to_string(), period, msg })
+        self.txs[self.shard(process)]
+            .send(Job {
+                process: process.to_string(),
+                period,
+                msg,
+            })
             .map_err(|_| MtmError::Custom("EAI broker queue closed".into()))
     }
 
@@ -143,8 +172,8 @@ mod tests {
 
     #[test]
     fn eai_runs_the_benchmark_and_verifies() {
-        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-            .with_periods(1);
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let env = BenchEnvironment::new(config).unwrap();
         let system = Arc::new(EaiSystem::new(env.world.clone(), 4));
         let client = Client::new(&env, system.clone()).unwrap();
@@ -160,8 +189,8 @@ mod tests {
 
     #[test]
     fn eai_matches_mtm_integrated_data() {
-        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-            .with_periods(1);
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let run = |eai: bool| {
             let env = BenchEnvironment::new(config).unwrap();
             let system: Arc<dyn IntegrationSystem> = if eai {
@@ -189,15 +218,17 @@ mod tests {
     fn timed_events_barrier_on_queue() {
         // a timed event fired right after a burst of messages must observe
         // all of their effects
-        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-            .with_periods(1);
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let env = BenchEnvironment::new(config).unwrap();
         let system = Arc::new(EaiSystem::new(env.world.clone(), 4));
         system.deploy(crate::processes::all_processes()).unwrap();
         env.initialize_sources(0).unwrap();
         let n = crate::schedule::p04_count(0.02);
         for m in 0..n {
-            system.on_message("P04", 0, env.generator.vienna_message(0, m)).unwrap();
+            system
+                .on_message("P04", 0, env.generator.vienna_message(0, m))
+                .unwrap();
         }
         // P05 is timed: it must drain the broker first
         system.on_timed("P05", 0).unwrap();
@@ -207,8 +238,7 @@ mod tests {
             .table("orders_staging")
             .unwrap()
             .scan_where(
-                &dip_relstore::expr::Expr::col(6)
-                    .eq(dip_relstore::expr::Expr::lit("vienna")),
+                &dip_relstore::expr::Expr::col(6).eq(dip_relstore::expr::Expr::lit("vienna")),
                 None,
             )
             .unwrap();

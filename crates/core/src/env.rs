@@ -54,12 +54,23 @@ pub const SOURCE_DATABASES: [&str; 8] = [
 impl BenchEnvironment {
     /// Build every external system.
     pub fn new(config: BenchConfig) -> StoreResult<BenchEnvironment> {
-        let network = Arc::new(topology::dipbench_network(config.transfer_mode, config.seed));
+        let network = Arc::new(topology::dipbench_network(
+            config.transfer_mode,
+            config.seed,
+        ));
         let mut world = ExternalWorld::new(network, topology::IS);
 
         // --- Europe ---
-        world.add_database(europe::BERLIN_PARIS, "es.berlin_paris", europe::create_berlin_paris()?);
-        world.add_database(europe::TRONDHEIM, "es.trondheim", europe::create_trondheim()?);
+        world.add_database(
+            europe::BERLIN_PARIS,
+            "es.berlin_paris",
+            europe::create_berlin_paris()?,
+        );
+        world.add_database(
+            europe::TRONDHEIM,
+            "es.trondheim",
+            europe::create_trondheim()?,
+        );
 
         // --- America ---
         for (name, endpoint) in [
@@ -96,7 +107,11 @@ impl BenchEnvironment {
         }
 
         let generator = Generator::new(config.seed, config.scale);
-        let env = BenchEnvironment { world: Arc::new(world), generator, config };
+        let env = BenchEnvironment {
+            world: Arc::new(world),
+            generator,
+            config,
+        };
         env.uninitialize()?; // load dimensions into the fresh targets
         Ok(env)
     }
@@ -176,13 +191,25 @@ mod tests {
         e.initialize_sources(0).unwrap();
         let bp = e.db(europe::BERLIN_PARIS);
         // two locations share the database
-        assert_eq!(bp.table("cust").unwrap().row_count(), 2 * e.generator.cards.customers);
-        assert_eq!(bp.table("ord").unwrap().row_count(), 2 * e.generator.cards.orders);
+        assert_eq!(
+            bp.table("cust").unwrap().row_count(),
+            2 * e.generator.cards.customers
+        );
+        assert_eq!(
+            bp.table("ord").unwrap().row_count(),
+            2 * e.generator.cards.orders
+        );
         let chicago = e.db(america::CHICAGO);
         assert!(chicago.table("customer").unwrap().row_count() > 0);
-        assert_eq!(chicago.table("orders").unwrap().row_count(), e.generator.cards.orders);
+        assert_eq!(
+            chicago.table("orders").unwrap().row_count(),
+            e.generator.cards.orders
+        );
         let beijing = e.db("beijing_db");
-        assert_eq!(beijing.table("customers").unwrap().row_count(), e.generator.cards.customers);
+        assert_eq!(
+            beijing.table("customers").unwrap().row_count(),
+            e.generator.cards.customers
+        );
 
         // a second environment with the same seed produces identical data
         let e2 = env();
@@ -210,12 +237,27 @@ mod tests {
             ]])
             .unwrap();
         e.uninitialize().unwrap();
-        assert_eq!(e.db(cdb::CDB).table("orders_staging").unwrap().row_count(), 0);
-        assert_eq!(e.db(europe::BERLIN_PARIS).table("cust").unwrap().row_count(), 0);
+        assert_eq!(
+            e.db(cdb::CDB).table("orders_staging").unwrap().row_count(),
+            0
+        );
+        assert_eq!(
+            e.db(europe::BERLIN_PARIS)
+                .table("cust")
+                .unwrap()
+                .row_count(),
+            0
+        );
         // dimensions reloaded
         assert_eq!(e.db(cdb::CDB).table("region").unwrap().row_count(), 3);
         assert!(e.db(dwh::DWH).table("city").unwrap().row_count() > 0);
         assert!(e.db("dm_asia").table("city").unwrap().row_count() > 0);
-        assert!(e.db("dm_unitedstates").table("productgroup").unwrap().row_count() > 0);
+        assert!(
+            e.db("dm_unitedstates")
+                .table("productgroup")
+                .unwrap()
+                .row_count()
+                > 0
+        );
     }
 }

@@ -54,9 +54,9 @@ pub mod verify;
 pub mod prelude {
     pub use crate::client::{Client, RunOutcome};
     pub use crate::config::{BenchConfig, PacingMode};
+    pub use crate::eai::EaiSystem;
     pub use crate::env::BenchEnvironment;
     pub use crate::metric::ProcessMetric;
     pub use crate::scale::{Distribution, ScaleFactors};
-    pub use crate::eai::EaiSystem;
     pub use crate::system::{IntegrationSystem, MtmSystem};
 }

@@ -110,10 +110,7 @@ mod tests {
     #[test]
     fn failures_excluded() {
         let scale = ScaleFactors::paper_fig10();
-        let recs = vec![
-            nrec(0, "P10", 10, true),
-            nrec(1, "P10", 1000, false),
-        ];
+        let recs = vec![nrec(0, "P10", 10, true), nrec(1, "P10", 1000, false)];
         let m = process_metrics(&recs, &scale);
         assert_eq!(m[0].instances, 1);
         assert_eq!(m[0].failures, 1);

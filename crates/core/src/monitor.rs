@@ -34,38 +34,44 @@ pub struct NormalizedRecord {
 }
 
 /// Compute the concurrency factor of every instance.
+///
+/// Single event-sorted sweep, `O(n log n)`: with the records' start/end
+/// events in time order, maintain the running integral
+/// `F(t) = ∫ 1/a(τ) dτ` of the reciprocal active count. An instance's
+/// share of wall time is then `F(end) − F(start)` — the same elementary
+/// intervals as a boundary-by-boundary rescan would produce, without the
+/// `O(intervals × records)` inner loop.
 pub fn concurrency_factors(records: &[InstanceRecord]) -> HashMap<InstanceId, f64> {
-    let mut boundaries: Vec<Duration> = Vec::with_capacity(records.len() * 2);
+    // Zero-length instances contribute no active time and get factor 1
+    // below; they never enter the sweep.
+    let mut events: Vec<(Duration, i64)> = Vec::with_capacity(records.len() * 2);
     for r in records {
-        boundaries.push(r.start);
-        boundaries.push(r.end);
+        if r.end > r.start {
+            events.push((r.start, 1));
+            events.push((r.end, -1));
+        }
     }
-    boundaries.sort();
-    boundaries.dedup();
-    let mut shares: HashMap<InstanceId, f64> = HashMap::with_capacity(records.len());
-    // Sweep elementary intervals; records are few enough (thousands) that
-    // re-scanning actives per interval via a sorted-by-start index is fine.
-    let mut by_start: Vec<&InstanceRecord> = records.iter().collect();
-    by_start.sort_by_key(|r| r.start);
-    for w in boundaries.windows(2) {
-        let (lo, hi) = (w[0], w[1]);
-        let len = (hi - lo).as_secs_f64();
-        if len == 0.0 {
-            continue;
+    events.sort_unstable();
+    // F(t) at every event boundary. All starts/ends of swept records are
+    // boundaries, so every lookup below hits.
+    let mut integral_at: HashMap<Duration, f64> = HashMap::with_capacity(events.len());
+    let mut active: i64 = 0;
+    let mut integral = 0.0_f64;
+    let mut prev: Option<Duration> = None;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        if let Some(p) = prev {
+            if active > 0 {
+                integral += (t - p).as_secs_f64() / active as f64;
+            }
         }
-        let active: Vec<InstanceId> = by_start
-            .iter()
-            .take_while(|r| r.start < hi)
-            .filter(|r| r.end > lo)
-            .map(|r| r.instance)
-            .collect();
-        if active.is_empty() {
-            continue;
+        integral_at.insert(t, integral);
+        while i < events.len() && events[i].0 == t {
+            active += events[i].1;
+            i += 1;
         }
-        let share = len / active.len() as f64;
-        for id in active {
-            *shares.entry(id).or_insert(0.0) += share;
-        }
+        prev = Some(t);
     }
     records
         .iter()
@@ -74,7 +80,8 @@ pub fn concurrency_factors(records: &[InstanceRecord]) -> HashMap<InstanceId, f6
             let factor = if wall <= 0.0 {
                 1.0
             } else {
-                (shares.get(&r.instance).copied().unwrap_or(wall) / wall).clamp(0.0, 1.0)
+                let share = integral_at[&r.end] - integral_at[&r.start];
+                (share / wall).clamp(0.0, 1.0)
             };
             (r.instance, factor)
         })
@@ -149,7 +156,11 @@ mod tests {
         let records = vec![rec(0, 0, 10, 10), rec(1, 5, 15, 10)];
         let f = concurrency_factors(&records);
         let expected = (5.0 + 2.5) / 10.0; // 5ms alone + 5ms shared
-        assert!((f[&InstanceId(0)] - expected).abs() < 1e-9, "{}", f[&InstanceId(0)]);
+        assert!(
+            (f[&InstanceId(0)] - expected).abs() < 1e-9,
+            "{}",
+            f[&InstanceId(0)]
+        );
         assert!((f[&InstanceId(1)] - expected).abs() < 1e-9);
     }
 
@@ -166,6 +177,98 @@ mod tests {
         let f = concurrency_factors(&records);
         for id in 0..3 {
             assert!((f[&InstanceId(id)] - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    /// Reference implementation: rescan the active set for every
+    /// elementary interval (the pre-sweep O(intervals × records)
+    /// algorithm). Kept in tests as the ground truth the sweep must match.
+    fn concurrency_factors_rescan(records: &[InstanceRecord]) -> HashMap<InstanceId, f64> {
+        let mut boundaries: Vec<Duration> = Vec::new();
+        for r in records {
+            boundaries.push(r.start);
+            boundaries.push(r.end);
+        }
+        boundaries.sort();
+        boundaries.dedup();
+        let mut shares: HashMap<InstanceId, f64> = HashMap::new();
+        for w in boundaries.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let len = (hi - lo).as_secs_f64();
+            if len == 0.0 {
+                continue;
+            }
+            let active: Vec<InstanceId> = records
+                .iter()
+                .filter(|r| r.start < hi && r.end > lo)
+                .map(|r| r.instance)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let share = len / active.len() as f64;
+            for id in active {
+                *shares.entry(id).or_insert(0.0) += share;
+            }
+        }
+        records
+            .iter()
+            .map(|r| {
+                let wall = (r.end - r.start).as_secs_f64();
+                let factor = if wall <= 0.0 {
+                    1.0
+                } else {
+                    (shares.get(&r.instance).copied().unwrap_or(wall) / wall).clamp(0.0, 1.0)
+                };
+                (r.instance, factor)
+            })
+            .collect()
+    }
+
+    /// The sweep agrees with the per-interval rescan on a bench-sized
+    /// workload: thousands of instances with heavy, irregular overlap,
+    /// duplicated timestamps and zero-length instances mixed in.
+    #[test]
+    fn sweep_matches_rescan_on_bench_sized_input() {
+        // Deterministic LCG so the workload is reproducible.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let mut records = Vec::new();
+        for id in 0..2_000u64 {
+            let start = next(500_000);
+            // ~2 % zero-length instances; the rest up to 20 ms long, with
+            // coarse granularity so many boundaries coincide exactly.
+            let len = if next(50) == 0 {
+                0
+            } else {
+                (1 + next(200)) * 100
+            };
+            records.push(InstanceRecord {
+                instance: InstanceId(id),
+                process: format!("P{:02}", id % 15 + 1),
+                period: (id % 3) as u32,
+                start: Duration::from_micros(start),
+                end: Duration::from_micros(start + len),
+                comm: Duration::from_micros(len / 2),
+                mgmt: Duration::ZERO,
+                proc: Duration::from_micros(len / 2),
+                ok: true,
+            });
+        }
+        let fast = concurrency_factors(&records);
+        let reference = concurrency_factors_rescan(&records);
+        assert_eq!(fast.len(), reference.len());
+        for (id, expected) in &reference {
+            let got = fast[id];
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "instance {id:?}: sweep {got} vs rescan {expected}"
+            );
         }
     }
 }

@@ -57,7 +57,12 @@ fn p02_branch(db: &str, loc: Option<&'static str>) -> Vec<Step> {
                 })
             },
         },
-        Step::DbInsert { db: db.into(), table: "cust".into(), input: var, mode: LoadMode::Upsert },
+        Step::DbInsert {
+            db: db.into(),
+            table: "cust".into(),
+            input: var,
+            mode: LoadMode::Upsert,
+        },
     ]
 }
 
@@ -125,7 +130,11 @@ pub fn p03() -> ProcessDef {
             inputs.push(var);
         }
         let merged = format!("{table}_merged");
-        steps.push(Step::UnionDistinct { inputs, key: Some(key), output: merged.clone() });
+        steps.push(Step::UnionDistinct {
+            inputs,
+            key: Some(key),
+            output: merged.clone(),
+        });
         steps.push(Step::DbInsert {
             db: america::US_EASTCOAST.into(),
             table: table.into(),
@@ -133,5 +142,11 @@ pub fn p03() -> ProcessDef {
             mode: LoadMode::InsertIgnore,
         });
     }
-    ProcessDef::new("P03", "Local data consolidation America", 'A', EventType::Timed, steps)
+    ProcessDef::new(
+        "P03",
+        "Local data consolidation America",
+        'A',
+        EventType::Timed,
+        steps,
+    )
 }

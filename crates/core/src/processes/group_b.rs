@@ -63,9 +63,12 @@ pub fn p04() -> ProcessDef {
                         .map_err(|e| e.to_string())?
                         .clone();
                     if let Some(seg) = segment {
-                        doc.root.children.push(dip_xmlkit::XmlNode::Element(
-                            Element::leaf("customer_segment", seg),
-                        ));
+                        doc.root
+                            .children
+                            .push(dip_xmlkit::XmlNode::Element(Element::leaf(
+                                "customer_segment",
+                                seg,
+                            )));
                     }
                     vars.set("msg3", doc);
                     Ok(())
@@ -96,7 +99,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
         }
     };
     // customers: c_id, c_name, c_street, c_city, c_nation, c_seg, c_phone, c_bal [, c_loc]
-    steps.push(Step::DbQuery { db: db.into(), plan: select("cust", 8), output: "cust".into() });
+    steps.push(Step::DbQuery {
+        db: db.into(),
+        plan: select("cust", 8),
+        output: "cust".into(),
+    });
     steps.push(Step::Projection {
         input: "cust".into(),
         exprs: vec![
@@ -108,7 +115,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
             col_as(5, "segment", SqlType::Str),
             col_as(6, "phone", SqlType::Str),
             col_as(7, "acctbal", SqlType::Float),
-            lit_as(Value::str(loc.unwrap_or("trondheim")), "source", SqlType::Str),
+            lit_as(
+                Value::str(loc.unwrap_or("trondheim")),
+                "source",
+                SqlType::Str,
+            ),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ],
         output: "cust_mapped".into(),
@@ -120,7 +131,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
         mode: LoadMode::InsertIgnore,
     });
     // products: pr_id, pr_name, pr_group, pr_line, pr_price (shared catalog)
-    steps.push(Step::DbQuery { db: db.into(), plan: Plan::scan("prod"), output: "prod".into() });
+    steps.push(Step::DbQuery {
+        db: db.into(),
+        plan: Plan::scan("prod"),
+        output: "prod".into(),
+    });
     steps.push(Step::Projection {
         input: "prod".into(),
         exprs: vec![
@@ -129,7 +144,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
             col_as(2, "group_name", SqlType::Str),
             col_as(3, "line_name", SqlType::Str),
             col_as(4, "price", SqlType::Float),
-            lit_as(Value::str(loc.unwrap_or("trondheim")), "source", SqlType::Str),
+            lit_as(
+                Value::str(loc.unwrap_or("trondheim")),
+                "source",
+                SqlType::Str,
+            ),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ],
         output: "prod_mapped".into(),
@@ -141,7 +160,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
         mode: LoadMode::InsertIgnore,
     });
     // orders: o_id, o_cust, o_date, o_total, o_prio, o_state [, o_loc]
-    steps.push(Step::DbQuery { db: db.into(), plan: select("ord", 6), output: "ord".into() });
+    steps.push(Step::DbQuery {
+        db: db.into(),
+        plan: select("ord", 6),
+        output: "ord".into(),
+    });
     steps.push(Step::Projection {
         input: "ord".into(),
         exprs: vec![
@@ -151,7 +174,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
             col_as(3, "totalprice", SqlType::Float),
             vocab_as(&vocab::EUROPE_PRIORITY_MAP, 4, "priority"),
             col_as(5, "state", SqlType::Str),
-            lit_as(Value::str(loc.unwrap_or("trondheim")), "source", SqlType::Str),
+            lit_as(
+                Value::str(loc.unwrap_or("trondheim")),
+                "source",
+                SqlType::Str,
+            ),
         ],
         output: "ord_mapped".into(),
     });
@@ -162,7 +189,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
         mode: LoadMode::InsertIgnore,
     });
     // order positions: p_ord, p_no, p_prod, p_qty, p_price, p_disc [, p_loc]
-    steps.push(Step::DbQuery { db: db.into(), plan: select("pos", 6), output: "pos".into() });
+    steps.push(Step::DbQuery {
+        db: db.into(),
+        plan: select("pos", 6),
+        output: "pos".into(),
+    });
     steps.push(Step::Projection {
         input: "pos".into(),
         exprs: vec![
@@ -172,7 +203,11 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
             col_as(3, "quantity", SqlType::Int),
             col_as(4, "extendedprice", SqlType::Float),
             col_as(5, "discount", SqlType::Float),
-            lit_as(Value::str(loc.unwrap_or("trondheim")), "source", SqlType::Str),
+            lit_as(
+                Value::str(loc.unwrap_or("trondheim")),
+                "source",
+                SqlType::Str,
+            ),
         ],
         output: "pos_mapped".into(),
     });
@@ -187,17 +222,32 @@ fn europe_extract(id: &str, name: &str, db: &'static str, loc: Option<&'static s
 
 /// P05 — extract data from Berlin (E2).
 pub fn p05() -> ProcessDef {
-    europe_extract("P05", "Extract data from Berlin", europe::BERLIN_PARIS, Some(europe::LOC_BERLIN))
+    europe_extract(
+        "P05",
+        "Extract data from Berlin",
+        europe::BERLIN_PARIS,
+        Some(europe::LOC_BERLIN),
+    )
 }
 
 /// P06 — extract data from Paris (E2).
 pub fn p06() -> ProcessDef {
-    europe_extract("P06", "Extract data from Paris", europe::BERLIN_PARIS, Some(europe::LOC_PARIS))
+    europe_extract(
+        "P06",
+        "Extract data from Paris",
+        europe::BERLIN_PARIS,
+        Some(europe::LOC_PARIS),
+    )
 }
 
 /// P07 — extract data from Trondheim (E2).
 pub fn p07() -> ProcessDef {
-    europe_extract("P07", "Extract data from Trondheim", europe::TRONDHEIM, None)
+    europe_extract(
+        "P07",
+        "Extract data from Trondheim",
+        europe::TRONDHEIM,
+        None,
+    )
 }
 
 /// P08 — receive messages from Hongkong (E1): schema translation, then
@@ -236,10 +286,30 @@ pub fn p09() -> ProcessDef {
     let mut steps: Vec<Step> = Vec::new();
     // (ws operation, staging table, decode schema, union key)
     let entities: [(&str, &str, SchemaRef, Vec<usize>); 4] = [
-        ("customers", "customer_staging", cdb::customer_staging_schema(), vec![0]),
-        ("parts", "product_staging", cdb::product_staging_schema(), vec![0]),
-        ("orders", "orders_staging", cdb::orders_staging_schema(), vec![0]),
-        ("orderlines", "orderline_staging", cdb::orderline_staging_schema(), vec![0, 1]),
+        (
+            "customers",
+            "customer_staging",
+            cdb::customer_staging_schema(),
+            vec![0],
+        ),
+        (
+            "parts",
+            "product_staging",
+            cdb::product_staging_schema(),
+            vec![0],
+        ),
+        (
+            "orders",
+            "orders_staging",
+            cdb::orders_staging_schema(),
+            vec![0],
+        ),
+        (
+            "orderlines",
+            "orderline_staging",
+            cdb::orderline_staging_schema(),
+            vec![0, 1],
+        ),
     ];
     for (operation, staging, schema, key) in entities {
         let mut merged_inputs = Vec::new();
@@ -255,8 +325,16 @@ pub fn p09() -> ProcessDef {
                 operation: operation.into(),
                 output: raw.clone(),
             });
-            steps.push(Step::Translate { stx, input: raw, output: canon.clone() });
-            steps.push(Step::XmlToRel { input: canon, schema: schema.clone(), output: rel.clone() });
+            steps.push(Step::Translate {
+                stx,
+                input: raw,
+                output: canon.clone(),
+            });
+            steps.push(Step::XmlToRel {
+                input: canon,
+                schema: schema.clone(),
+                output: rel.clone(),
+            });
             merged_inputs.push(rel);
         }
         let merged = format!("{operation}_merged");
@@ -271,15 +349,17 @@ pub fn p09() -> ProcessDef {
         for (i, col) in schema.columns().iter().enumerate() {
             match col.name.as_str() {
                 "source" => exprs.push(lit_as(Value::str(ASIA_SOURCE), "source", SqlType::Str)),
-                "integrated" => {
-                    exprs.push(lit_as(Value::Bool(false), "integrated", SqlType::Bool))
-                }
+                "integrated" => exprs.push(lit_as(Value::Bool(false), "integrated", SqlType::Bool)),
                 _ => exprs.push(col_as(i, &col.name, col.ty)),
             }
         }
         debug_assert_eq!(exprs.len(), n);
         let finished = format!("{operation}_final");
-        steps.push(Step::Projection { input: merged, exprs, output: finished.clone() });
+        steps.push(Step::Projection {
+            input: merged,
+            exprs,
+            output: finished.clone(),
+        });
         steps.push(Step::DbInsert {
             db: cdb::CDB.into(),
             table: staging.into(),
@@ -337,8 +417,7 @@ pub fn p10() -> ProcessDef {
                                 .as_xml()
                                 .map_err(|e| e.to_string())?;
                             let payload = dip_xmlkit::write_compact(doc);
-                            let issues =
-                                messages::san_diego_xsd().validate(doc);
+                            let issues = messages::san_diego_xsd().validate(doc);
                             let reason = issues
                                 .first()
                                 .map(|i| i.to_string())
@@ -378,13 +457,12 @@ pub fn p10() -> ProcessDef {
 /// in US_Eastcoast, run the TPC-H → canonical schema mapping projections,
 /// and load it into the global CDB `Sales_Cleaning`.
 pub fn p11() -> ProcessDef {
-    let mut steps: Vec<Step> = Vec::new();
     // customers
-    steps.push(Step::DbQuery {
+    let mut steps: Vec<Step> = vec![Step::DbQuery {
         db: america::US_EASTCOAST.into(),
         plan: Plan::scan("customer"),
         output: "cust".into(),
-    });
+    }];
     steps.push(Step::Projection {
         input: "cust".into(),
         exprs: vec![
@@ -483,7 +561,13 @@ pub fn p11() -> ProcessDef {
         input: "line_mapped".into(),
         mode: LoadMode::InsertIgnore,
     });
-    ProcessDef::new("P11", "Extract data from CDB America", 'B', EventType::Timed, steps)
+    ProcessDef::new(
+        "P11",
+        "Extract data from CDB America",
+        'B',
+        EventType::Timed,
+        steps,
+    )
 }
 
 /// The source tag P09 writes into staging rows.

@@ -86,7 +86,13 @@ pub fn p13() -> ProcessDef {
                 output: "orderlines".into(),
             },
             validate_relation("validate_orders", "orders", vec![0, 1, 2], Some(4), Some(5)),
-            validate_relation("validate_orderlines", "orderlines", vec![0, 1, 2], None, None),
+            validate_relation(
+                "validate_orderlines",
+                "orderlines",
+                vec![0, 1, 2],
+                None,
+                None,
+            ),
             Step::DbInsert {
                 db: dwh::DWH.into(),
                 table: "orders".into(),

@@ -86,8 +86,18 @@ pub fn s1_plan() -> Plan {
         .hash_join(Plan::scan("nation"), vec![21], vec![0], JoinKind::Inner) // +3 @22
         .hash_join(Plan::scan("region"), vec![24], vec![0], JoinKind::Inner) // +2 @25
         .hash_join(Plan::scan("product"), vec![2], vec![0], JoinKind::Inner) // +4 @27
-        .hash_join(Plan::scan("productgroup"), vec![29], vec![0], JoinKind::Inner) // +3 @31
-        .hash_join(Plan::scan("productline"), vec![33], vec![0], JoinKind::Inner); // +2 @34
+        .hash_join(
+            Plan::scan("productgroup"),
+            vec![29],
+            vec![0],
+            JoinKind::Inner,
+        ) // +3 @31
+        .hash_join(
+            Plan::scan("productline"),
+            vec![33],
+            vec![0],
+            JoinKind::Inner,
+        ); // +2 @34
     let out = sales_schema();
     let src = [
         0usize, 1, 2, 3, 4, 5, // line facts
@@ -111,7 +121,11 @@ pub fn p14_s1() -> ProcessDef {
         "Load denormalized sales data from DWH",
         'D',
         EventType::Timed,
-        vec![Step::DbQuery { db: dwh::DWH.into(), plan: s1_plan(), output: "output".into() }],
+        vec![Step::DbQuery {
+            db: dwh::DWH.into(),
+            plan: s1_plan(),
+            output: "output".into(),
+        }],
     )
 }
 

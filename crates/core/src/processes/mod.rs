@@ -50,21 +50,96 @@ pub struct ProcessInfo {
 pub fn registry() -> Vec<ProcessInfo> {
     use EventType::*;
     vec![
-        ProcessInfo { group: 'A', id: "P01", name: "Master data exchange Asia", event: Message },
-        ProcessInfo { group: 'A', id: "P02", name: "Master data subscription Europe", event: Message },
-        ProcessInfo { group: 'A', id: "P03", name: "Local data consolidation America", event: Timed },
-        ProcessInfo { group: 'B', id: "P04", name: "Receive messages from Vienna", event: Message },
-        ProcessInfo { group: 'B', id: "P05", name: "Extract data from Berlin", event: Timed },
-        ProcessInfo { group: 'B', id: "P06", name: "Extract data from Paris", event: Timed },
-        ProcessInfo { group: 'B', id: "P07", name: "Extract data from Trondheim", event: Timed },
-        ProcessInfo { group: 'B', id: "P08", name: "Receive messages from Hongkong", event: Message },
-        ProcessInfo { group: 'B', id: "P09", name: "Extract wrapped data from Beijing and Seoul", event: Timed },
-        ProcessInfo { group: 'B', id: "P10", name: "Receive error-prone messages from San Diego", event: Message },
-        ProcessInfo { group: 'B', id: "P11", name: "Extract data from CDB America", event: Timed },
-        ProcessInfo { group: 'C', id: "P12", name: "Bulk-loading data warehouse master data", event: Timed },
-        ProcessInfo { group: 'C', id: "P13", name: "Bulk-loading data warehouse movement data", event: Timed },
-        ProcessInfo { group: 'D', id: "P14", name: "Refreshing data mart data", event: Timed },
-        ProcessInfo { group: 'D', id: "P15", name: "Refreshing data mart materialized views", event: Timed },
+        ProcessInfo {
+            group: 'A',
+            id: "P01",
+            name: "Master data exchange Asia",
+            event: Message,
+        },
+        ProcessInfo {
+            group: 'A',
+            id: "P02",
+            name: "Master data subscription Europe",
+            event: Message,
+        },
+        ProcessInfo {
+            group: 'A',
+            id: "P03",
+            name: "Local data consolidation America",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P04",
+            name: "Receive messages from Vienna",
+            event: Message,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P05",
+            name: "Extract data from Berlin",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P06",
+            name: "Extract data from Paris",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P07",
+            name: "Extract data from Trondheim",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P08",
+            name: "Receive messages from Hongkong",
+            event: Message,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P09",
+            name: "Extract wrapped data from Beijing and Seoul",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P10",
+            name: "Receive error-prone messages from San Diego",
+            event: Message,
+        },
+        ProcessInfo {
+            group: 'B',
+            id: "P11",
+            name: "Extract data from CDB America",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'C',
+            id: "P12",
+            name: "Bulk-loading data warehouse master data",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'C',
+            id: "P13",
+            name: "Bulk-loading data warehouse movement data",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'D',
+            id: "P14",
+            name: "Refreshing data mart data",
+            event: Timed,
+        },
+        ProcessInfo {
+            group: 'D',
+            id: "P15",
+            name: "Refreshing data mart materialized views",
+            event: Timed,
+        },
     ]
 }
 
@@ -104,11 +179,7 @@ pub fn lit_as(v: Value, name: &str, ty: SqlType) -> ProjExpr {
 }
 
 /// Map column `idx` through a vocabulary table (semantic heterogeneity).
-pub fn vocab_as(
-    map: &'static [(&'static str, &'static str)],
-    idx: usize,
-    name: &str,
-) -> ProjExpr {
+pub fn vocab_as(map: &'static [(&'static str, &'static str)], idx: usize, name: &str) -> ProjExpr {
     let f = Arc::new(move |args: &[Value]| -> StoreResult<Value> {
         Ok(match &args[0] {
             Value::Str(s) => Value::Str(crate::schema::vocab::map_vocab(map, s)),
@@ -211,9 +282,7 @@ mod tests {
     fn process_complexity_is_nontrivial() {
         // the data-intensive processes should be visibly bigger graphs
         let defs = all_processes();
-        let steps = |id: &str| {
-            defs.iter().find(|d| d.id == id).unwrap().step_count()
-        };
+        let steps = |id: &str| defs.iter().find(|d| d.id == id).unwrap().step_count();
         assert!(steps("P09") > steps("P08"), "P09 should dwarf P08");
         assert!(steps("P14") > 10);
         assert!(steps("P03") >= 12);

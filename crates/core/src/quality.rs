@@ -74,7 +74,11 @@ impl fmt::Display for QualityReport {
 }
 
 /// Completeness of a table over the given required column positions.
-fn completeness(db: &Database, table: &str, required: &[usize]) -> StoreResult<(usize, usize, usize)> {
+fn completeness(
+    db: &Database,
+    table: &str,
+    required: &[usize],
+) -> StoreResult<(usize, usize, usize)> {
     let t = db.table(table)?;
     let mut present = 0usize;
     let mut total = 0usize;
@@ -122,7 +126,7 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
     cdb.table("customer_staging")?.for_each(|r| {
         let name_ok = matches!(&r[1], Value::Str(s) if !s.trim().is_empty());
         let city_ok = matches!(&r[3], Value::Str(s) if city_names.contains(s));
-        let bal_ok = r[7].to_float().map_or(true, |b| b > -9_000.0);
+        let bal_ok = r[7].to_float().is_none_or(|b| b > -9_000.0);
         if name_ok && city_ok && bal_ok {
             staging_consistent += 1;
         }
@@ -180,7 +184,10 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
     let warehouse = LayerQuality {
         completeness: ratio(p1 + p2, t1 + t2),
         consistency: ratio(dwh_consistent, dwh_orders.max(1)),
-        retention: ratio(dwh.table("customer")?.row_count(), cdb.table("customer_staging")?.row_count().max(1)),
+        retention: ratio(
+            dwh.table("customer")?.row_count(),
+            cdb.table("customer_staging")?.row_count().max(1),
+        ),
         rows: dwh_rows,
     };
 
@@ -202,7 +209,12 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
     }
     let total_mart_orders: usize = crate::schema::dm::Mart::ALL
         .iter()
-        .map(|m| env.db(m.db_name()).table("orders").map(|t| t.row_count()).unwrap_or(0))
+        .map(|m| {
+            env.db(m.db_name())
+                .table("orders")
+                .map(|t| t.row_count())
+                .unwrap_or(0)
+        })
         .sum();
     let marts = LayerQuality {
         // mart schemas have no nullable required fields left — measure the
@@ -213,7 +225,11 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
         rows: mart_rows,
     };
 
-    Ok(QualityReport { staging, warehouse, marts })
+    Ok(QualityReport {
+        staging,
+        warehouse,
+        marts,
+    })
 }
 
 #[cfg(test)]
@@ -223,8 +239,8 @@ mod tests {
     use std::sync::Arc;
 
     fn run_env() -> BenchEnvironment {
-        let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-            .with_periods(1);
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let env = BenchEnvironment::new(config).unwrap();
         let system = Arc::new(MtmSystem::new(env.world.clone()));
         let client = Client::new(&env, system).unwrap();

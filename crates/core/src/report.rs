@@ -50,7 +50,10 @@ pub fn metrics_table(outcome: &RunOutcome) -> String {
 /// ASCII bar chart of NAVG+ (full bar) with the NAVG portion marked — the
 /// shape of the paper's performance plots.
 pub fn ascii_chart(metrics: &[ProcessMetric], width: usize) -> String {
-    let max = metrics.iter().map(|m| m.navg_plus_tu).fold(0.0f64, f64::max);
+    let max = metrics
+        .iter()
+        .map(|m| m.navg_plus_tu)
+        .fold(0.0f64, f64::max);
     let mut out = String::new();
     if max <= 0.0 {
         return out;
@@ -62,9 +65,19 @@ pub fn ascii_chart(metrics: &[ProcessMetric], width: usize) -> String {
         for i in 0..plus.max(1) {
             bar.push(if i < avg { '#' } else { '+' });
         }
-        let _ = writeln!(out, "{:<5} |{:<w$}| {:>10.1} tu", m.process, bar, m.navg_plus_tu, w = width);
+        let _ = writeln!(
+            out,
+            "{:<5} |{:<w$}| {:>10.1} tu",
+            m.process,
+            bar,
+            m.navg_plus_tu,
+            w = width
+        );
     }
-    let _ = writeln!(out, "      ('#' = NAVG portion, '+' = stddev portion of NAVG+)");
+    let _ = writeln!(
+        out,
+        "      ('#' = NAVG portion, '+' = stddev portion of NAVG+)"
+    );
     out
 }
 
@@ -101,18 +114,47 @@ pub fn table1() -> String {
 pub fn table2(d: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Benchmark scheduling series (datasize d = {d})");
-    let _ = writeln!(out, "{:<6} {:<3} {:<55} {:>9}", "Group", "ID", "Series", "instances");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<3} {:<55} {:>9}",
+        "Group", "ID", "Series", "instances"
+    );
     let rows: Vec<(char, &str, String, u32)> = vec![
-        ('A', "P01", "T_B(Stream_A) + 2(m-1), m <= ceil((100-k)d/5)+1".into(), schedule::p01_count(0, d)),
-        ('A', "P02", "T_B(Stream_A) + 2m,     m <= ceil((100-k)d/10)+1".into(), schedule::p02_count(0, d)),
+        (
+            'A',
+            "P01",
+            "T_B(Stream_A) + 2(m-1), m <= ceil((100-k)d/5)+1".into(),
+            schedule::p01_count(0, d),
+        ),
+        (
+            'A',
+            "P02",
+            "T_B(Stream_A) + 2m,     m <= ceil((100-k)d/10)+1".into(),
+            schedule::p02_count(0, d),
+        ),
         ('A', "P03", "T1(P01) and T1(P02)".into(), 1),
-        ('B', "P04", format!("T_B(Stream_B) + 2(m-1), m <= 1100d+1"), schedule::p04_count(d)),
+        (
+            'B',
+            "P04",
+            "T_B(Stream_B) + 2(m-1), m <= 1100d+1".to_string(),
+            schedule::p04_count(d),
+        ),
         ('B', "P05", "T1(P04)".into(), 1),
         ('B', "P06", "T1(P05)".into(), 1),
         ('B', "P07", "T1(P06)".into(), 1),
-        ('B', "P08", format!("T_B(Stream_B) + 2000 + 3(m-1), m <= 900d+1"), schedule::p08_count(d)),
+        (
+            'B',
+            "P08",
+            "T_B(Stream_B) + 2000 + 3(m-1), m <= 900d+1".to_string(),
+            schedule::p08_count(d),
+        ),
         ('B', "P09", "T1(P08)".into(), 1),
-        ('B', "P10", format!("T_B(Stream_B) + 3000 + 2.5(m-1), m <= 1050d+1"), schedule::p10_count(d)),
+        (
+            'B',
+            "P10",
+            "T_B(Stream_B) + 3000 + 2.5(m-1), m <= 1050d+1".to_string(),
+            schedule::p10_count(d),
+        ),
         ('B', "P11", "T1(Stream_B)".into(), 1),
         ('C', "P12", "T_B(Stream_C)".into(), 1),
         ('C', "P13", "T_B(Stream_C) + 10".into(), 1),
@@ -153,6 +195,40 @@ pub fn fig8_dat(d_values: &[f64], t_values: &[f64], periods: u32, instances: u32
         out.push('\n');
     }
     out
+}
+
+/// Write a complete experiment report into a directory (the Monitor's
+/// "performance plot" output): `metrics.txt`, `chart.txt`, `data.dat` and
+/// `verification.txt`. Returns the file paths written.
+pub fn save_experiment(
+    dir: &std::path::Path,
+    outcome: &RunOutcome,
+    verification: &crate::verify::VerificationReport,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut write = |name: &str, content: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        std::fs::write(&path, content)?;
+        written.push(path);
+        Ok(())
+    };
+    write("metrics.txt", metrics_table(outcome))?;
+    write("chart.txt", ascii_chart(&outcome.metrics, 60))?;
+    write("data.dat", gnuplot_dat(&outcome.metrics))?;
+    write(
+        "verification.txt",
+        format!(
+            "{}overall: {}\n",
+            verification,
+            if verification.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ),
+    )?;
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -210,34 +286,4 @@ mod tests {
         // m=4 at t=0.5 → 2*(3)/0.5 = 12 ms
         assert!(dat.contains("4 12.00"));
     }
-}
-
-/// Write a complete experiment report into a directory (the Monitor's
-/// "performance plot" output): `metrics.txt`, `chart.txt`, `data.dat` and
-/// `verification.txt`. Returns the file paths written.
-pub fn save_experiment(
-    dir: &std::path::Path,
-    outcome: &RunOutcome,
-    verification: &crate::verify::VerificationReport,
-) -> std::io::Result<Vec<std::path::PathBuf>> {
-    std::fs::create_dir_all(dir)?;
-    let mut written = Vec::new();
-    let mut write = |name: &str, content: String| -> std::io::Result<()> {
-        let path = dir.join(name);
-        std::fs::write(&path, content)?;
-        written.push(path);
-        Ok(())
-    };
-    write("metrics.txt", metrics_table(outcome))?;
-    write("chart.txt", ascii_chart(&outcome.metrics, 60))?;
-    write("data.dat", gnuplot_dat(&outcome.metrics))?;
-    write(
-        "verification.txt",
-        format!(
-            "{}overall: {}\n",
-            verification,
-            if verification.passed() { "PASS" } else { "FAIL" }
-        ),
-    )?;
-    Ok(written)
 }

@@ -48,7 +48,11 @@ impl ScaleFactors {
     pub fn new(datasize: f64, time: f64, distribution: Distribution) -> ScaleFactors {
         assert!(datasize > 0.0, "datasize scale factor must be positive");
         assert!(time > 0.0, "time scale factor must be positive");
-        ScaleFactors { datasize, time, distribution }
+        ScaleFactors {
+            datasize,
+            time,
+            distribution,
+        }
     }
 
     /// The paper's first experiment: d = 0.05, t = 1.0, uniform.

@@ -35,7 +35,12 @@ pub struct ScheduledEvent {
 }
 
 fn ev(process: &'static str, stream: StreamId, deadline_tu: f64, seq: u32) -> ScheduledEvent {
-    ScheduledEvent { process, stream, deadline_tu, seq }
+    ScheduledEvent {
+        process,
+        stream,
+        deadline_tu,
+        seq,
+    }
 }
 
 /// Number of P01 instances in period `k` under datasize `d`.
@@ -113,12 +118,18 @@ pub fn stream_b(d: f64) -> Vec<ScheduledEvent> {
 
 /// Stream C: the serialized data-warehouse update (P12, then P13 at +10 tu).
 pub fn stream_c() -> Vec<ScheduledEvent> {
-    vec![ev("P12", StreamId::C, 0.0, 0), ev("P13", StreamId::C, 10.0, 0)]
+    vec![
+        ev("P12", StreamId::C, 0.0, 0),
+        ev("P13", StreamId::C, 10.0, 0),
+    ]
 }
 
 /// Stream D: the data-mart update (P14, then P15 after completion).
 pub fn stream_d() -> Vec<ScheduledEvent> {
-    vec![ev("P14", StreamId::D, 0.0, 0), ev("P15", StreamId::D, 1.0, 0)]
+    vec![
+        ev("P14", StreamId::D, 0.0, 0),
+        ev("P15", StreamId::D, 1.0, 0),
+    ]
 }
 
 fn sort_events(events: &mut [ScheduledEvent]) {
@@ -214,8 +225,7 @@ mod tests {
     #[test]
     fn p10_step_is_2_5_tu() {
         let events = stream_b(0.05);
-        let p10: Vec<&ScheduledEvent> =
-            events.iter().filter(|e| e.process == "P10").collect();
+        let p10: Vec<&ScheduledEvent> = events.iter().filter(|e| e.process == "P10").collect();
         assert!((p10[1].deadline_tu - p10[0].deadline_tu - 2.5).abs() < 1e-9);
         assert!((p10[0].deadline_tu - 3000.0).abs() < 1e-9);
     }

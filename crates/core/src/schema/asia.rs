@@ -109,9 +109,7 @@ pub fn create_asia_db(service: &str) -> StoreResult<Arc<Database>> {
     db.create_table(
         Table::new("customers", customers_schema(p)).with_primary_key(&[&format!("{p}ckey")])?,
     );
-    db.create_table(
-        Table::new("parts", parts_schema(p)).with_primary_key(&[&format!("{p}pkey")])?,
-    );
+    db.create_table(Table::new("parts", parts_schema(p)).with_primary_key(&[&format!("{p}pkey")])?);
     db.create_table(
         Table::new("orders", orders_schema(p)).with_primary_key(&[&format!("{p}okey")])?,
     );
@@ -131,7 +129,9 @@ pub struct SeoulService {
 
 impl SeoulService {
     pub fn new(db: Arc<Database>) -> SeoulService {
-        SeoulService { inner: DbService::new(SEOUL, db) }
+        SeoulService {
+            inner: DbService::new(SEOUL, db),
+        }
     }
 
     pub fn db(&self) -> &Arc<Database> {
@@ -165,9 +165,8 @@ impl WebService for SeoulService {
                 .parse()
                 .map_err(|_| ServiceError::Malformed(format!("bad integer in <{n}>")))
         };
-        let float = |e: &dip_xmlkit::Element, n: &str| {
-            text(e, n).trim().parse::<f64>().unwrap_or(0.0)
-        };
+        let float =
+            |e: &dip_xmlkit::Element, n: &str| text(e, n).trim().parse::<f64>().unwrap_or(0.0);
         let mut n = 0usize;
         if let Some(custs) = doc.root.first("sCustomers") {
             let mut rows = Vec::new();
@@ -208,9 +207,19 @@ mod tests {
     #[test]
     fn seoul_schema_is_prefixed() {
         let seoul = create_asia_db(SEOUL).unwrap();
-        assert!(seoul.table("orders").unwrap().schema.index_of("s_okey").is_ok());
+        assert!(seoul
+            .table("orders")
+            .unwrap()
+            .schema
+            .index_of("s_okey")
+            .is_ok());
         let beijing = create_asia_db(BEIJING).unwrap();
-        assert!(beijing.table("orders").unwrap().schema.index_of("okey").is_ok());
+        assert!(beijing
+            .table("orders")
+            .unwrap()
+            .schema
+            .index_of("okey")
+            .is_ok());
     }
 
     #[test]

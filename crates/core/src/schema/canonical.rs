@@ -126,7 +126,11 @@ pub fn create_core_tables(db: &Database, capture_orders: bool) -> StoreResult<()
     db.create_table(Table::new("customer", customer_schema()).with_primary_key(&["custkey"])?);
     db.create_table(Table::new("product", product_schema()).with_primary_key(&["prodkey"])?);
     let orders = Table::new("orders", orders_schema()).with_primary_key(&["orderkey"])?;
-    let orders = if capture_orders { orders.with_change_capture() } else { orders };
+    let orders = if capture_orders {
+        orders.with_change_capture()
+    } else {
+        orders
+    };
     db.create_table(orders);
     db.create_table(
         Table::new("orderline", orderline_schema()).with_primary_key(&["orderkey", "lineno"])?,
@@ -144,8 +148,15 @@ mod tests {
         create_dimension_tables(&db).unwrap();
         create_core_tables(&db, false).unwrap();
         for t in [
-            "region", "nation", "city", "productline", "productgroup", "customer", "product",
-            "orders", "orderline",
+            "region",
+            "nation",
+            "city",
+            "productline",
+            "productgroup",
+            "customer",
+            "product",
+            "orders",
+            "orderline",
         ] {
             assert!(db.has_table(t), "missing {t}");
         }
@@ -157,8 +168,22 @@ mod tests {
         create_core_tables(&db, false).unwrap();
         let ol = db.table("orderline").unwrap();
         ol.insert(vec![
-            vec![Value::Int(1), Value::Int(1), Value::Int(9), Value::Int(1), Value::Float(1.0), Value::Float(0.0)],
-            vec![Value::Int(1), Value::Int(2), Value::Int(9), Value::Int(1), Value::Float(1.0), Value::Float(0.0)],
+            vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(9),
+                Value::Int(1),
+                Value::Float(1.0),
+                Value::Float(0.0),
+            ],
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(9),
+                Value::Int(1),
+                Value::Float(1.0),
+                Value::Float(0.0),
+            ],
         ])
         .unwrap();
         assert!(ol

@@ -125,7 +125,10 @@ pub fn create_cdb() -> StoreResult<Arc<Database>> {
 /// Install `sp_runMasterDataCleansing` and `sp_runMovementDataCleansing`.
 pub fn register_cleansing_procedures(db: &Database) {
     db.create_procedure("sp_runMasterDataCleansing", Arc::new(master_data_cleansing));
-    db.create_procedure("sp_runMovementDataCleansing", Arc::new(movement_data_cleansing));
+    db.create_procedure(
+        "sp_runMovementDataCleansing",
+        Arc::new(movement_data_cleansing),
+    );
 }
 
 /// P12's cleansing: eliminate duplicates (handled structurally by the
@@ -148,7 +151,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
     for r in &pending.rows {
         // dirty-data rules: empty name, absurd balance, unknown city
         let name_ok = matches!(&r[1], Value::Str(s) if !s.trim().is_empty());
-        let bal_ok = r[7].to_float().map_or(true, |b| b > -9_000.0);
+        let bal_ok = r[7].to_float().is_none_or(|b| b > -9_000.0);
         let citykey = match &r[3] {
             Value::Str(cn) => city
                 .scan_where(&Expr::col(1).eq(Expr::lit(cn.as_str())), Some(&[0]))?
@@ -180,7 +183,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
     let mut clean_rows: Vec<Row> = Vec::new();
     for r in &pending_p.rows {
         let name_ok = matches!(&r[1], Value::Str(s) if !s.trim().is_empty());
-        let price_ok = r[4].to_float().map_or(true, |p| p >= 0.0);
+        let price_ok = r[4].to_float().is_none_or(|p| p >= 0.0);
         let groupkey = match &r[2] {
             Value::Str(g) => groups
                 .scan_where(&Expr::col(1).eq(Expr::lit(g.as_str())), Some(&[0]))?
@@ -190,9 +193,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
             _ => None,
         };
         match (name_ok && price_ok, groupkey) {
-            (true, Some(gk)) => {
-                clean_rows.push(vec![r[0].clone(), r[1].clone(), gk, r[4].clone()])
-            }
+            (true, Some(gk)) => clean_rows.push(vec![r[0].clone(), r[1].clone(), gk, r[4].clone()]),
             _ => rejected += 1,
         }
     }
@@ -200,15 +201,16 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
 
     // flag everything we just processed as integrated (but keep it — P12
     // only marks master data, it never removes it)
-    staging.update_where(
-        &Expr::col(9).eq(Expr::lit(false)),
-        &[(9, Expr::lit(true))],
-    )?;
+    staging.update_where(&Expr::col(9).eq(Expr::lit(false)), &[(9, Expr::lit(true))])?;
     staging_p.update_where(&Expr::col(6).eq(Expr::lit(false)), &[(6, Expr::lit(true))])?;
 
     Ok(Some(Relation::new(
         cleansing_report_schema(),
-        vec![vec![Value::Int(scanned), Value::Int(rejected), Value::Int(loaded)]],
+        vec![vec![
+            Value::Int(scanned),
+            Value::Int(rejected),
+            Value::Int(loaded),
+        ]],
     )))
 }
 
@@ -230,7 +232,7 @@ fn movement_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option
     let mut clean_orders: Vec<Row> = Vec::new();
     let mut kept_orderkeys: std::collections::HashSet<i64> = std::collections::HashSet::new();
     for r in &pending.rows {
-        let total_ok = r[3].to_float().map_or(false, |t| t > 0.0);
+        let total_ok = r[3].to_float().is_some_and(|t| t > 0.0);
         let prio_ok = matches!(&r[4], Value::Str(p) if vocab::is_canon_priority(p));
         let state_ok = matches!(&r[5], Value::Str(s) if vocab::is_canon_state(s));
         let cust_ok = customer.get_by_pk(&[r[1].clone()]).is_some();
@@ -248,19 +250,19 @@ fn movement_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option
     scanned += pending_l.len() as i64;
     let mut clean_lines: Vec<Row> = Vec::new();
     for r in &pending_l.rows {
-        let order_ok = r[0]
-            .to_int()
-            .map_or(false, |k| kept_orderkeys.contains(&k))
+        let order_ok = r[0].to_int().is_some_and(|k| kept_orderkeys.contains(&k))
             || db.table("orders")?.get_by_pk(&[r[0].clone()]).is_some();
         let prod_ok = product.get_by_pk(&[r[2].clone()]).is_some();
-        let qty_ok = r[3].to_int().map_or(false, |q| q > 0);
+        let qty_ok = r[3].to_int().is_some_and(|q| q > 0);
         if order_ok && prod_ok && qty_ok {
             clean_lines.push(r[..6].to_vec());
         } else {
             rejected += 1;
         }
     }
-    loaded += db.table("orderline")?.insert_ignore_duplicates(clean_lines)? as i64;
+    loaded += db
+        .table("orderline")?
+        .insert_ignore_duplicates(clean_lines)? as i64;
 
     // movement staging is consumed by cleansing
     staging_o.truncate();
@@ -268,7 +270,11 @@ fn movement_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option
 
     Ok(Some(Relation::new(
         cleansing_report_schema(),
-        vec![vec![Value::Int(scanned), Value::Int(rejected), Value::Int(loaded)]],
+        vec![vec![
+            Value::Int(scanned),
+            Value::Int(rejected),
+            Value::Int(loaded),
+        ]],
     )))
 }
 
@@ -285,11 +291,19 @@ mod tests {
             .unwrap();
         db.table("nation")
             .unwrap()
-            .insert(vec![vec![Value::Int(10), Value::str("Germany"), Value::Int(1)]])
+            .insert(vec![vec![
+                Value::Int(10),
+                Value::str("Germany"),
+                Value::Int(1),
+            ]])
             .unwrap();
         db.table("city")
             .unwrap()
-            .insert(vec![vec![Value::Int(100), Value::str("Berlin"), Value::Int(10)]])
+            .insert(vec![vec![
+                Value::Int(100),
+                Value::str("Berlin"),
+                Value::Int(10),
+            ]])
             .unwrap();
         db.table("productline")
             .unwrap()
@@ -297,7 +311,11 @@ mod tests {
             .unwrap();
         db.table("productgroup")
             .unwrap()
-            .insert(vec![vec![Value::Int(5), Value::str("Bolts"), Value::Int(1)]])
+            .insert(vec![vec![
+                Value::Int(5),
+                Value::str("Bolts"),
+                Value::Int(1),
+            ]])
             .unwrap();
         db
     }
@@ -338,7 +356,7 @@ mod tests {
         assert_eq!(clean.row_count(), 1);
         let row = clean.get_by_pk(&[Value::Int(1)]).unwrap();
         assert_eq!(row[3], Value::Int(100)); // citykey resolved
-        // staging flagged integrated, not removed
+                                             // staging flagged integrated, not removed
         let staging = db.table("customer_staging").unwrap();
         assert_eq!(staging.row_count(), 4);
         let unintegrated = staging
@@ -387,9 +405,9 @@ mod tests {
             .unwrap()
             .insert(vec![
                 order(100, 1, 50.0, "HIGH"),
-                order(101, 999, 50.0, "HIGH"),        // orphan customer
-                order(102, 1, -5.0, "HIGH"),          // bad total
-                order(103, 1, 50.0, "MEGA-URGENT"),   // non-canonical vocab
+                order(101, 999, 50.0, "HIGH"),      // orphan customer
+                order(102, 1, -5.0, "HIGH"),        // bad total
+                order(103, 1, 50.0, "MEGA-URGENT"), // non-canonical vocab
             ])
             .unwrap();
         let line = |ok: i64, no: i64, pk: i64, qty: i64| {

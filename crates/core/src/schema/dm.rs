@@ -132,13 +132,21 @@ pub fn create_mart(mart: Mart) -> StoreResult<Arc<Database>> {
         }
     }
     db.create_table(Table::new("sales_mv", sales_mv_schema()).with_primary_key(&["state"])?);
-    db.create_view(MatView::new("sales_mv", "sales_mv", sales_mv_definition(), RefreshMode::Full));
+    db.create_view(MatView::new(
+        "sales_mv",
+        "sales_mv",
+        sales_mv_definition(),
+        RefreshMode::Full,
+    ));
     db.create_procedure(
         "sp_refreshDataMartViews",
         Arc::new(|db, _args| {
             let n = db.refresh_view("sales_mv")?;
             let schema = RelSchema::of(&[("rows", SqlType::Int)]).shared();
-            Ok(Some(Relation::new(schema, vec![vec![Value::Int(n as i64)]])))
+            Ok(Some(Relation::new(
+                schema,
+                vec![vec![Value::Int(n as i64)]],
+            )))
         }),
     );
     Ok(db)

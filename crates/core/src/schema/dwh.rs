@@ -39,16 +39,22 @@ pub fn create_dwh(mv_mode: RefreshMode) -> StoreResult<Arc<Database>> {
     canonical::create_dimension_tables(&db)?;
     // change capture on orders powers incremental MV refresh
     canonical::create_core_tables(&db, mv_mode == RefreshMode::Incremental)?;
-    db.create_table(
-        Table::new("orders_mv", orders_mv_schema()).with_primary_key(&["orderdate"])?,
-    );
-    db.create_view(MatView::new("orders_mv", "orders_mv", orders_mv_definition(), mv_mode));
+    db.create_table(Table::new("orders_mv", orders_mv_schema()).with_primary_key(&["orderdate"])?);
+    db.create_view(MatView::new(
+        "orders_mv",
+        "orders_mv",
+        orders_mv_definition(),
+        mv_mode,
+    ));
     db.create_procedure(
         "sp_refreshOrdersMV",
         Arc::new(|db, _args| {
             let n = db.refresh_view("orders_mv")?;
             let schema = RelSchema::of(&[("rows", SqlType::Int)]).shared();
-            Ok(Some(Relation::new(schema, vec![vec![Value::Int(n as i64)]])))
+            Ok(Some(Relation::new(
+                schema,
+                vec![vec![Value::Int(n as i64)]],
+            )))
         }),
     );
     Ok(db)
@@ -77,9 +83,16 @@ mod tests {
         let d2 = days_from_civil(2008, 4, 8);
         db.table("orders")
             .unwrap()
-            .insert(vec![order(1, d1, 10.0), order(2, d1, 5.0), order(3, d2, 7.0)])
+            .insert(vec![
+                order(1, d1, 10.0),
+                order(2, d1, 5.0),
+                order(3, d2, 7.0),
+            ])
             .unwrap();
-        let out = db.call_procedure("sp_refreshOrdersMV", &[]).unwrap().unwrap();
+        let out = db
+            .call_procedure("sp_refreshOrdersMV", &[])
+            .unwrap()
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(2)); // two distinct days
         let mv = db.table("orders_mv").unwrap();
         let row = mv.get_by_pk(&[Value::Date(d1)]).unwrap();
@@ -93,14 +106,23 @@ mod tests {
         let inc = create_dwh(RefreshMode::Incremental).unwrap();
         let d = days_from_civil(2008, 4, 7);
         for db in [&full, &inc] {
-            db.table("orders").unwrap().insert(vec![order(1, d, 10.0)]).unwrap();
+            db.table("orders")
+                .unwrap()
+                .insert(vec![order(1, d, 10.0)])
+                .unwrap();
             db.call_procedure("sp_refreshOrdersMV", &[]).unwrap();
-            db.table("orders").unwrap().insert(vec![order(2, d, 2.0)]).unwrap();
+            db.table("orders")
+                .unwrap()
+                .insert(vec![order(2, d, 2.0)])
+                .unwrap();
             db.call_procedure("sp_refreshOrdersMV", &[]).unwrap();
         }
         let a = full.table("orders_mv").unwrap().scan();
         let b = inc.table("orders_mv").unwrap().scan();
         assert_eq!(a.rows, b.rows);
-        assert_eq!(inc.view("orders_mv").unwrap().stats().incremental_refreshes, 2);
+        assert_eq!(
+            inc.view("orders_mv").unwrap().stats().incremental_refreshes,
+            2
+        );
     }
 }

@@ -105,9 +105,7 @@ fn create(name: &str, with_loc: bool) -> StoreResult<Arc<Database>> {
         ord
     };
     db.create_table(ord);
-    db.create_table(
-        Table::new("pos", pos_schema(with_loc)).with_primary_key(&["p_ord", "p_no"])?,
-    );
+    db.create_table(Table::new("pos", pos_schema(with_loc)).with_primary_key(&["p_ord", "p_no"])?);
     Ok(db)
 }
 

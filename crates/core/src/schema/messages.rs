@@ -28,10 +28,11 @@ use std::sync::Arc;
 /// against. Types and vocabularies are strict so each injected error kind
 /// is caught.
 pub fn san_diego_xsd() -> XsdSchema {
-    let america_prio: Vec<String> =
-        vocab::AMERICA_PRIORITY.iter().map(|s| s.to_string()).collect();
-    let america_state: Vec<String> =
-        vocab::AMERICA_STATE.iter().map(|s| s.to_string()).collect();
+    let america_prio: Vec<String> = vocab::AMERICA_PRIORITY
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let america_state: Vec<String> = vocab::AMERICA_STATE.iter().map(|s| s.to_string()).collect();
     XsdSchema::new(
         "XSD_SanDiego",
         XsdElement::sequence(
@@ -92,7 +93,10 @@ pub fn vienna_xsd() -> XsdSchema {
                         XsdElement::simple(
                             "priority",
                             SimpleType::Enum(
-                                vocab::EUROPE_PRIORITY.iter().map(|s| s.to_string()).collect(),
+                                vocab::EUROPE_PRIORITY
+                                    .iter()
+                                    .map(|s| s.to_string())
+                                    .collect(),
                             ),
                         )
                         .once(),
@@ -112,11 +116,7 @@ pub fn vienna_xsd() -> XsdSchema {
                     vec![XsdElement::simple("custKey", SimpleType::Int).once()],
                 )
                 .once(),
-                XsdElement::sequence(
-                    "positions",
-                    vec![XsdElement::any("position").many()],
-                )
-                .once(),
+                XsdElement::sequence("positions", vec![XsdElement::any("position").many()]).once(),
             ],
         ),
     )
@@ -129,11 +129,8 @@ pub fn beijing_master_xsd() -> XsdSchema {
         XsdElement::sequence(
             "bjMasterData",
             vec![
-                XsdElement::sequence(
-                    "bjCustomers",
-                    vec![XsdElement::any("bjCustomer").many()],
-                )
-                .once(),
+                XsdElement::sequence("bjCustomers", vec![XsdElement::any("bjCustomer").many()])
+                    .once(),
                 XsdElement::sequence("bjParts", vec![XsdElement::any("bjPart").many()]).once(),
             ],
         ),
@@ -148,7 +145,9 @@ fn canonical_line_rules() -> Vec<Rule> {
     vec![
         Rule::for_name("lineNo").rename("lineno").build(),
         Rule::for_name("prodKey").rename("prodkey").build(),
-        Rule::for_name("extendedPrice").rename("extendedprice").build(),
+        Rule::for_name("extendedPrice")
+            .rename("extendedprice")
+            .build(),
     ]
 }
 
@@ -157,7 +156,9 @@ pub fn stx_beijing_to_seoul() -> Arc<Stylesheet> {
     Arc::new(Stylesheet::new(
         "beijing_to_seoul",
         vec![
-            Rule::for_name("bjMasterData").rename("seoulMasterData").build(),
+            Rule::for_name("bjMasterData")
+                .rename("seoulMasterData")
+                .build(),
             Rule::for_name("bjCustomers").rename("sCustomers").build(),
             Rule::for_name("bjCustomer").rename("sCustomer").build(),
             Rule::for_name("bjParts").rename("sParts").build(),
@@ -197,7 +198,9 @@ pub fn stx_vienna_to_cdb() -> Arc<Stylesheet> {
         Rule::for_name("customerRef").unwrap_element().build(),
         Rule::for_name("orderKey").rename("orderkey").build(),
         Rule::for_name("orderDate").rename("orderdate").build(),
-        Rule::for_name("priority").map_text(&vocab::EUROPE_PRIORITY_MAP).build(),
+        Rule::for_name("priority")
+            .map_text(&vocab::EUROPE_PRIORITY_MAP)
+            .build(),
         Rule::for_name("totalPrice").rename("totalprice").build(),
         Rule::for_name("custKey").rename("custkey").build(),
         Rule::for_name("positions").rename("lines").build(),
@@ -378,8 +381,14 @@ pub fn cdb_order_decoder(source: &str) -> XmlDecoder {
             }
         }
         Ok(vec![
-            TableRows { table: "orders_staging".into(), rows: vec![order] },
-            TableRows { table: "orderline_staging".into(), rows: lines },
+            TableRows {
+                table: "orders_staging".into(),
+                rows: vec![order],
+            },
+            TableRows {
+                table: "orderline_staging".into(),
+                rows: lines,
+            },
         ])
     })
 }
@@ -434,7 +443,11 @@ mod tests {
     #[test]
     fn vienna_translates_to_canonical() {
         let msg = apps::vienna_order(&order());
-        assert!(vienna_xsd().is_valid(&msg), "{:?}", vienna_xsd().validate(&msg));
+        assert!(
+            vienna_xsd().is_valid(&msg),
+            "{:?}",
+            vienna_xsd().validate(&msg)
+        );
         let out = stx_vienna_to_cdb().transform(&msg).unwrap();
         assert_eq!(out.root.name, "cdbOrder");
         assert_eq!(out.root.child_text("orderkey").as_deref(), Some("100"));
@@ -536,7 +549,12 @@ mod tests {
         assert!(beijing_master_xsd().is_valid(&msg));
         let out = stx_beijing_to_seoul().transform(&msg).unwrap();
         assert_eq!(out.root.name, "seoulMasterData");
-        let cust = out.root.first("sCustomers").unwrap().first("sCustomer").unwrap();
+        let cust = out
+            .root
+            .first("sCustomers")
+            .unwrap()
+            .first("sCustomer")
+            .unwrap();
         assert_eq!(cust.child_text("sKey").as_deref(), Some("1100001"));
         assert_eq!(cust.child_text("sCity").as_deref(), Some("Seoul"));
     }

@@ -35,14 +35,21 @@ pub const EUROPE_PRIORITY_MAP: [(&str, &str); 5] = [
 pub const ASIA_PRIORITY_MAP: [(&str, &str); 3] =
     [("HIGH", "HIGH"), ("MEDIUM", "MEDIUM"), ("LOW", "LOW")];
 
-pub const ASIA_STATE_MAP: [(&str, &str); 3] =
-    [("NEW", "OPEN"), ("DONE", "CLOSED"), ("CANCELED", "CANCELED")];
+pub const ASIA_STATE_MAP: [(&str, &str); 3] = [
+    ("NEW", "OPEN"),
+    ("DONE", "CLOSED"),
+    ("CANCELED", "CANCELED"),
+];
 
-pub const AMERICA_PRIORITY_MAP: [(&str, &str); 5] =
-    [("1", "URGENT"), ("2", "HIGH"), ("3", "MEDIUM"), ("4", "LOW"), ("5", "NONE")];
+pub const AMERICA_PRIORITY_MAP: [(&str, &str); 5] = [
+    ("1", "URGENT"),
+    ("2", "HIGH"),
+    ("3", "MEDIUM"),
+    ("4", "LOW"),
+    ("5", "NONE"),
+];
 
-pub const AMERICA_STATE_MAP: [(&str, &str); 3] =
-    [("O", "OPEN"), ("F", "CLOSED"), ("P", "SHIPPED")];
+pub const AMERICA_STATE_MAP: [(&str, &str); 3] = [("O", "OPEN"), ("F", "CLOSED"), ("P", "SHIPPED")];
 
 /// Map a value through a vocabulary table; unmapped values pass through
 /// (dirty values survive until the CDB cleansing stage catches them).
@@ -69,7 +76,11 @@ mod tests {
 
     #[test]
     fn every_regional_priority_maps_to_canonical() {
-        for (from, to) in EUROPE_PRIORITY_MAP.iter().chain(&ASIA_PRIORITY_MAP).chain(&AMERICA_PRIORITY_MAP) {
+        for (from, to) in EUROPE_PRIORITY_MAP
+            .iter()
+            .chain(&ASIA_PRIORITY_MAP)
+            .chain(&AMERICA_PRIORITY_MAP)
+        {
             assert!(is_canon_priority(to), "{from} maps to non-canonical {to}");
         }
         for (from, to) in ASIA_STATE_MAP.iter().chain(&AMERICA_STATE_MAP) {
@@ -98,7 +109,10 @@ mod tests {
 
     #[test]
     fn unmapped_values_pass_through() {
-        assert_eq!(map_vocab(&EUROPE_PRIORITY_MAP, "SUPER-EXTREME"), "SUPER-EXTREME");
+        assert_eq!(
+            map_vocab(&EUROPE_PRIORITY_MAP, "SUPER-EXTREME"),
+            "SUPER-EXTREME"
+        );
         assert_eq!(map_vocab(&AMERICA_STATE_MAP, "O"), "OPEN");
     }
 }

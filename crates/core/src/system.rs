@@ -40,7 +40,9 @@ pub struct MtmSystem {
 
 impl MtmSystem {
     pub fn new(world: Arc<ExternalWorld>) -> MtmSystem {
-        MtmSystem { engine: MtmEngine::new(world) }
+        MtmSystem {
+            engine: MtmEngine::new(world),
+        }
     }
 }
 

@@ -35,7 +35,11 @@ impl VerificationReport {
     }
 
     fn push(&mut self, name: &'static str, passed: bool, detail: impl Into<String>) {
-        self.checks.push(Check { name, passed, detail: detail.into() });
+        self.checks.push(Check {
+            name,
+            passed,
+            detail: detail.into(),
+        });
     }
 }
 
@@ -70,8 +74,7 @@ pub fn verify(env: &BenchEnvironment) -> StoreResult<VerificationReport> {
     let dwh_db = env.db(dwh::DWH);
 
     // 1. P13 removed the loaded movement data from the CDB.
-    let leftover =
-        cdb_db.table("orders")?.row_count() + cdb_db.table("orderline")?.row_count();
+    let leftover = cdb_db.table("orders")?.row_count() + cdb_db.table("orderline")?.row_count();
     report.push(
         "cdb_movement_consumed",
         leftover == 0,
@@ -187,7 +190,11 @@ pub fn verify(env: &BenchEnvironment) -> StoreResult<VerificationReport> {
                 let citykey = r[3].to_int().unwrap_or(-1);
                 let city = region.cities.iter().find(|c| c.citykey == citykey);
                 let rk = city.and_then(|c| {
-                    region.nations.iter().find(|(k, _, _)| *k == c.nationkey).map(|(_, _, r)| *r)
+                    region
+                        .nations
+                        .iter()
+                        .find(|(k, _, _)| *k == c.nationkey)
+                        .map(|(_, _, r)| *r)
                 });
                 let expect = match mart {
                     dm::Mart::Europe => crate::datagen::refdata::REGION_EUROPE,
@@ -239,14 +246,19 @@ pub fn verify(env: &BenchEnvironment) -> StoreResult<VerificationReport> {
             mv_marts_ok = false;
         }
     }
-    report.push("dm_sales_mv_consistent", mv_marts_ok, "per-mart MV recomputation matches");
+    report.push(
+        "dm_sales_mv_consistent",
+        mv_marts_ok,
+        "per-mart MV recomputation matches",
+    );
 
     // 8. Failed-data handling: exactly the injected San Diego errors of
     // the final period sit in the failed-messages table.
     let last_period = env.config.periods.saturating_sub(1);
-    let expected_failures = env
-        .generator
-        .expected_san_diego_errors(last_period, crate::schedule::p10_count(env.config.scale.datasize));
+    let expected_failures = env.generator.expected_san_diego_errors(
+        last_period,
+        crate::schedule::p10_count(env.config.scale.datasize),
+    );
     let actual_failures = cdb_db.table("failed_messages")?.row_count();
     report.push(
         "failed_messages_match_injected",

@@ -16,21 +16,28 @@ fn run(config: BenchConfig) -> (BenchEnvironment, RunOutcome) {
 
 #[test]
 fn one_period_runs_and_verifies() {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
     let (env, outcome) = run(config);
 
     // every process type executed
     assert_eq!(outcome.metrics.len(), 15, "{:#?}", outcome.metrics);
     // instance counts match the schedule
     let d = config.scale.datasize;
-    let expect = |p: &str| outcome.metric_for(p).map(|m| m.instances + m.failures).unwrap_or(0);
+    let expect = |p: &str| {
+        outcome
+            .metric_for(p)
+            .map(|m| m.instances + m.failures)
+            .unwrap_or(0)
+    };
     assert_eq!(expect("P01") as u32, schedule::p01_count(0, d));
     assert_eq!(expect("P02") as u32, schedule::p02_count(0, d));
     assert_eq!(expect("P04") as u32, schedule::p04_count(d));
     assert_eq!(expect("P08") as u32, schedule::p08_count(d));
     assert_eq!(expect("P10") as u32, schedule::p10_count(d));
-    for p in ["P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15"] {
+    for p in [
+        "P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15",
+    ] {
         assert_eq!(expect(p), 1, "{p} should run once per period");
     }
     // no dispatch failures: P10's invalid messages are *handled*, not
@@ -44,21 +51,24 @@ fn one_period_runs_and_verifies() {
 
 #[test]
 fn multi_period_last_state_verifies() {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(3);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(3);
     let (env, outcome) = run(config);
     assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
     // three periods × schedule
     let m = outcome.metric_for("P04").unwrap();
-    assert_eq!(m.instances as u32, 3 * schedule::p04_count(config.scale.datasize));
+    assert_eq!(
+        m.instances as u32,
+        3 * schedule::p04_count(config.scale.datasize)
+    );
     let report = verify::verify(&env).unwrap();
     assert!(report.passed(), "verification failed:\n{report}");
 }
 
 #[test]
 fn skewed_distribution_also_verifies() {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Zipf10))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Zipf10)).with_periods(1);
     let (env, outcome) = run(config);
     assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
     assert!(verify::verify(&env).unwrap().passed());
@@ -66,8 +76,8 @@ fn skewed_distribution_also_verifies() {
 
 #[test]
 fn reports_render_from_real_run() {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
     let (_env, outcome) = run(config);
     let table = report::metrics_table(&outcome);
     assert!(table.contains("P13"));
@@ -79,8 +89,8 @@ fn reports_render_from_real_run() {
 
 #[test]
 fn deterministic_data_flow_across_identical_runs() {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
     let (env1, _) = run(config);
     let (env2, _) = run(config);
     // the final DWH state must be identical (costs differ, data must not)
@@ -90,8 +100,14 @@ fn deterministic_data_flow_across_identical_runs() {
     b.sort_by_columns(&[0]);
     assert_eq!(a.rows, b.rows);
     assert_eq!(
-        env1.db("sales_cleaning").table("failed_messages").unwrap().row_count(),
-        env2.db("sales_cleaning").table("failed_messages").unwrap().row_count()
+        env1.db("sales_cleaning")
+            .table("failed_messages")
+            .unwrap()
+            .row_count(),
+        env2.db("sales_cleaning")
+            .table("failed_messages")
+            .unwrap()
+            .row_count()
     );
 }
 
@@ -105,7 +121,11 @@ fn full_protocol_hundred_periods() {
     assert!(outcome.failures.is_empty());
     // P01's decreasing series: period 99 has the minimum instance count
     let p01_in_period = |k: u32| {
-        outcome.records.iter().filter(|r| r.process == "P01" && r.period == k).count() as u32
+        outcome
+            .records
+            .iter()
+            .filter(|r| r.process == "P01" && r.period == k)
+            .count() as u32
     };
     assert_eq!(p01_in_period(0), schedule::p01_count(0, 0.05));
     assert_eq!(p01_in_period(99), schedule::p01_count(99, 0.05));
@@ -114,8 +134,8 @@ fn full_protocol_hundred_periods() {
 
 #[test]
 fn save_experiment_writes_all_files() {
-    let config = BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform)).with_periods(1);
     let (env, outcome) = run(config);
     let verification = verify::verify(&env).unwrap();
     let dir = std::env::temp_dir().join(format!("dipbench-report-{}", std::process::id()));
@@ -125,6 +145,8 @@ fn save_experiment_writes_all_files() {
         let content = std::fs::read_to_string(p).unwrap();
         assert!(!content.is_empty(), "{} is empty", p.display());
     }
-    assert!(std::fs::read_to_string(dir.join("data.dat")).unwrap().contains("P13"));
+    assert!(std::fs::read_to_string(dir.join("data.dat"))
+        .unwrap()
+        .contains("P13"));
     std::fs::remove_dir_all(&dir).ok();
 }

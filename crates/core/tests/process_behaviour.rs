@@ -3,11 +3,11 @@
 //! (the end-to-end tests check the composition; these pin down each
 //! process's own contract).
 
+use dip_relstore::prelude::*;
+use dip_xmlkit::path::value as xpath;
 use dipbench::prelude::*;
 use dipbench::schema::{europe, messages};
 use dipbench::{datagen, schedule};
-use dip_relstore::prelude::*;
-use dip_xmlkit::path::value as xpath;
 use std::sync::Arc;
 
 struct Fixture {
@@ -16,8 +16,8 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
     let env = BenchEnvironment::new(config).unwrap();
     let system = Arc::new(MtmSystem::new(env.world.clone()));
     use dipbench::system::IntegrationSystem;
@@ -28,12 +28,16 @@ fn fixture() -> Fixture {
 
 fn timed(f: &Fixture, p: &str) {
     use dipbench::system::IntegrationSystem;
-    f.system.on_timed(p, 0).unwrap_or_else(|e| panic!("{p}: {e}"));
+    f.system
+        .on_timed(p, 0)
+        .unwrap_or_else(|e| panic!("{p}: {e}"));
 }
 
 fn message(f: &Fixture, p: &str, doc: dip_xmlkit::Document) {
     use dipbench::system::IntegrationSystem;
-    f.system.on_message(p, 0, doc).unwrap_or_else(|e| panic!("{p}: {e}"));
+    f.system
+        .on_message(p, 0, doc)
+        .unwrap_or_else(|e| panic!("{p}: {e}"));
 }
 
 #[test]
@@ -46,10 +50,16 @@ fn p01_replicates_master_data_to_seoul() {
         .unwrap()
         .parse()
         .unwrap();
-    let name = xpath(&msg.root, "bjMasterData/bjCustomers/bjCustomer/bjName").unwrap().unwrap();
+    let name = xpath(&msg.root, "bjMasterData/bjCustomers/bjCustomer/bjName")
+        .unwrap()
+        .unwrap();
     message(&f, "P01", msg);
     let seoul = f.env.db("seoul_db");
-    let row = seoul.table("customers").unwrap().get_by_pk(&[Value::Int(ck)]).unwrap();
+    let row = seoul
+        .table("customers")
+        .unwrap()
+        .get_by_pk(&[Value::Int(ck)])
+        .unwrap();
     assert_eq!(row[1], Value::Str(name));
 }
 
@@ -71,20 +81,35 @@ fn p02_routes_updates_by_custkey_range() {
         if key < datagen::keys::P02_BERLIN_BELOW {
             berlin_hit = true;
             let bp = f.env.db(europe::BERLIN_PARIS);
-            let row = bp.table("cust").unwrap().get_by_pk(&[Value::Int(key)]).unwrap();
+            let row = bp
+                .table("cust")
+                .unwrap()
+                .get_by_pk(&[Value::Int(key)])
+                .unwrap();
             assert_eq!(row[8], Value::str("berlin"), "custkey {key}");
         } else if key < datagen::keys::P02_PARIS_BELOW {
             paris_hit = true;
             let bp = f.env.db(europe::BERLIN_PARIS);
-            let row = bp.table("cust").unwrap().get_by_pk(&[Value::Int(key)]).unwrap();
+            let row = bp
+                .table("cust")
+                .unwrap()
+                .get_by_pk(&[Value::Int(key)])
+                .unwrap();
             assert_eq!(row[8], Value::str("paris"), "custkey {key}");
         } else {
             trondheim_hit = true;
             let tr = f.env.db(europe::TRONDHEIM);
-            assert!(tr.table("cust").unwrap().get_by_pk(&[Value::Int(key)]).is_some());
+            assert!(tr
+                .table("cust")
+                .unwrap()
+                .get_by_pk(&[Value::Int(key)])
+                .is_some());
         }
     }
-    assert!(berlin_hit && paris_hit && trondheim_hit, "all three branches should be exercised");
+    assert!(
+        berlin_hit && paris_hit && trondheim_hit,
+        "all three branches should be exercised"
+    );
 }
 
 #[test]
@@ -108,7 +133,11 @@ fn p03_union_distinct_consolidates_overlaps() {
     assert_eq!(us.table("customer").unwrap().row_count(), expected.len());
     // orders from all three disjoint ranges arrived
     let orders = us.table("orders").unwrap().scan();
-    for base in [datagen::keys::ORD_CHICAGO, datagen::keys::ORD_BALTIMORE, datagen::keys::ORD_MADISON] {
+    for base in [
+        datagen::keys::ORD_CHICAGO,
+        datagen::keys::ORD_BALTIMORE,
+        datagen::keys::ORD_MADISON,
+    ] {
         assert!(
             orders.rows.iter().any(|r| {
                 let k = r[0].to_int().unwrap();
@@ -130,7 +159,11 @@ fn p04_enriches_and_stages_vienna_orders() {
         .unwrap();
     message(&f, "P04", msg);
     let cdb = f.env.db("sales_cleaning");
-    let staged = cdb.table("orders_staging").unwrap().get_by_pk(&[Value::Int(orderkey)]).unwrap();
+    let staged = cdb
+        .table("orders_staging")
+        .unwrap()
+        .get_by_pk(&[Value::Int(orderkey)])
+        .unwrap();
     assert_eq!(staged[6], Value::str("vienna"));
     // vocabulary already canonical after translation
     let prio = staged[4].render();
@@ -167,7 +200,10 @@ fn p05_to_p07_stage_each_location_separately() {
         .collect();
     assert_eq!(
         sources,
-        ["berlin", "paris", "trondheim"].iter().map(|s| s.to_string()).collect()
+        ["berlin", "paris", "trondheim"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     );
     // the shared European product catalog deduplicated on the pk
     assert_eq!(
@@ -180,11 +216,18 @@ fn p05_to_p07_stage_each_location_separately() {
 fn p08_stages_hongkong_messages_with_asia_vocab_mapped() {
     let f = fixture();
     let msg = f.env.generator.hongkong_message(0, 1);
-    let orderkey: i64 =
-        xpath(&msg.root, "hkOrder/hkOrderKey").unwrap().unwrap().parse().unwrap();
+    let orderkey: i64 = xpath(&msg.root, "hkOrder/hkOrderKey")
+        .unwrap()
+        .unwrap()
+        .parse()
+        .unwrap();
     message(&f, "P08", msg);
     let cdb = f.env.db("sales_cleaning");
-    let staged = cdb.table("orders_staging").unwrap().get_by_pk(&[Value::Int(orderkey)]).unwrap();
+    let staged = cdb
+        .table("orders_staging")
+        .unwrap()
+        .get_by_pk(&[Value::Int(orderkey)])
+        .unwrap();
     assert_eq!(staged[6], Value::str("hongkong"));
     let state = staged[5].render();
     assert!(
@@ -320,7 +363,10 @@ fn p14_p15_partition_marts_and_refresh_views() {
     assert!(mart_total > 0 && mart_total <= dwh_orders);
     for mart in ["dm_europe", "dm_unitedstates", "dm_asia"] {
         let db = f.env.db(mart);
-        assert!(db.table("sales_mv").unwrap().row_count() > 0, "{mart} MV empty");
+        assert!(
+            db.table("sales_mv").unwrap().row_count() > 0,
+            "{mart} MV empty"
+        );
     }
     // Europe mart only holds Europe customers
     f.env
@@ -342,9 +388,15 @@ fn stx_stylesheets_compose_with_decoders() {
     for m in 0..10 {
         let v = g.vienna_message(0, m);
         let t = messages::stx_vienna_to_cdb().transform(&v).unwrap();
-        assert!(messages::cdb_order_decoder("vienna")(&t).is_ok(), "vienna msg {m}");
+        assert!(
+            messages::cdb_order_decoder("vienna")(&t).is_ok(),
+            "vienna msg {m}"
+        );
         let h = g.hongkong_message(0, m);
         let t = messages::stx_hongkong_to_cdb().transform(&h).unwrap();
-        assert!(messages::cdb_order_decoder("hongkong")(&t).is_ok(), "hk msg {m}");
+        assert!(
+            messages::cdb_order_decoder("hongkong")(&t).is_ok(),
+            "hk msg {m}"
+        );
     }
 }

@@ -72,7 +72,9 @@ pub struct FedOptions {
 
 impl Default for FedOptions {
     fn default() -> Self {
-        FedOptions { optimize_relational: true }
+        FedOptions {
+            optimize_relational: true,
+        }
     }
 }
 
@@ -106,7 +108,9 @@ pub struct FedCtx {
 
 impl FedCtx {
     pub fn exec_opts(&self) -> ExecOptions {
-        ExecOptions { optimize: self.opts.optimize_relational }
+        ExecOptions {
+            optimize: self.opts.optimize_relational,
+        }
     }
 
     /// Time a block of local processing work (Cp).
@@ -141,27 +145,41 @@ impl FedCtx {
         mode: LoadMode,
     ) -> FedResult<usize> {
         self.communication(|| {
-            self.world.remote_load(db, table, rows, mode).map_err(FedError::from)
+            self.world
+                .remote_load(db, table, rows, mode)
+                .map_err(FedError::from)
         })
     }
 
     pub fn remote_call(&self, db: &str, proc: &str) -> FedResult<Option<Relation>> {
-        self.communication(|| self.world.remote_call(db, proc, &[]).map_err(FedError::from))
+        self.communication(|| {
+            self.world
+                .remote_call(db, proc, &[])
+                .map_err(FedError::from)
+        })
     }
 
     pub fn remote_delete(&self, db: &str, table: &str, pred: &Expr) -> FedResult<usize> {
         self.communication(|| {
-            self.world.remote_delete(db, table, pred).map_err(FedError::from)
+            self.world
+                .remote_delete(db, table, pred)
+                .map_err(FedError::from)
         })
     }
 
     pub fn ws_query(&self, service: &str, operation: &str) -> FedResult<Document> {
-        self.communication(|| self.world.ws_query(service, operation).map_err(FedError::from))
+        self.communication(|| {
+            self.world
+                .ws_query(service, operation)
+                .map_err(FedError::from)
+        })
     }
 
     pub fn ws_update(&self, service: &str, operation: &str, doc: &Document) -> FedResult<usize> {
         self.communication(|| {
-            self.world.ws_update(service, operation, doc).map_err(FedError::from)
+            self.world
+                .ws_update(service, operation, doc)
+                .map_err(FedError::from)
         })
     }
 
@@ -289,9 +307,8 @@ impl FedDbms {
                             StoreError::Procedure(format!("{process_name}: bad message: {e}"))
                         })?
                     };
-                    body(&ctx, &doc).map_err(|e| {
-                        StoreError::Procedure(format!("{process_name}: {e}"))
-                    })?;
+                    body(&ctx, &doc)
+                        .map_err(|e| StoreError::Procedure(format!("{process_name}: {e}")))?;
                 }
                 Ok(())
             }),
@@ -317,8 +334,16 @@ impl FedDbms {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
         // plan/SQL preparation is management cost
         costs.add(CostCategory::Management, mgmt_start.elapsed());
+        let _ctx = dip_trace::instance_scope(process, period, instance.0);
         let start = self.epoch.elapsed();
-        let result = self.dispatch(process, input, &costs, tid);
+        let result = {
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Feddbms,
+                "instance",
+                dip_trace::Category::Management,
+            );
+            self.dispatch(process, input, &costs, tid)
+        };
         let end = self.epoch.elapsed();
         let (comm, mgmt, proc) = costs.snapshot();
         self.recorder.record(InstanceRecord {
@@ -354,14 +379,25 @@ impl FedDbms {
                 // INSERT INTO P0x_queue VALUES (@msg) — the trigger does
                 // the rest (Fig. 9a)
                 let t = Instant::now();
-                let clob = crate::xmlfn::to_clob(&doc);
+                let clob = {
+                    let _span = dip_trace::span_cat(
+                        dip_trace::Layer::Feddbms,
+                        "to_clob",
+                        dip_trace::Category::Processing,
+                    );
+                    crate::xmlfn::to_clob(&doc)
+                };
                 costs.add(CostCategory::Processing, t.elapsed());
                 CURRENT_COSTS.with(|c| c.borrow_mut().push(costs.clone()));
-                let t = Instant::now();
-                let result = self.local.insert_into(
-                    table,
-                    vec![vec![Value::Int(tid as i64), Value::Str(clob)]],
+                let _span = dip_trace::span_cat(
+                    dip_trace::Layer::Feddbms,
+                    "queue_insert_trigger",
+                    dip_trace::Category::Management,
                 );
+                let t = Instant::now();
+                let result = self
+                    .local
+                    .insert_into(table, vec![vec![Value::Int(tid as i64), Value::Str(clob)]]);
                 // queue-table maintenance is management work
                 costs.add(CostCategory::Management, t.elapsed());
                 CURRENT_COSTS.with(|c| {
@@ -380,7 +416,14 @@ impl FedDbms {
                     opts: self.opts,
                     temp_tag: tid,
                 };
-                let out = body(&ctx);
+                let out = {
+                    let _span = dip_trace::span_cat(
+                        dip_trace::Layer::Feddbms,
+                        "procedure_body",
+                        dip_trace::Category::Processing,
+                    );
+                    body(&ctx)
+                };
                 ctx.cleanup_temps();
                 out
             }

@@ -11,13 +11,13 @@
 
 use crate::engine::{E1Body, E2Body, FedCtx, FedDbms, FedError, FedResult};
 use crate::xmlfn;
+use dip_relstore::prelude::*;
+use dip_services::registry::LoadMode;
+use dip_xmlkit::node::Element;
 use dipbench::datagen::keys;
 use dipbench::processes::group_d::{s1_plan, sales_cols, sales_schema};
 use dipbench::processes::{check_relation, col_as, lit_as, vocab_as};
 use dipbench::schema::{america, asia, cdb, dm, dwh, europe, messages, vocab};
-use dip_relstore::prelude::*;
-use dip_services::registry::LoadMode;
-use dip_xmlkit::node::Element;
 use std::sync::Arc;
 
 /// Install every process realization on the engine.
@@ -26,8 +26,14 @@ pub fn deploy_all(fed: &FedDbms) -> FedResult<()> {
     fed.deploy_queue("P02", p02_body())?;
     fed.deploy_procedure("P03", p03_body());
     fed.deploy_queue("P04", p04_body())?;
-    fed.deploy_procedure("P05", europe_extract_body(europe::BERLIN_PARIS, Some(europe::LOC_BERLIN)));
-    fed.deploy_procedure("P06", europe_extract_body(europe::BERLIN_PARIS, Some(europe::LOC_PARIS)));
+    fed.deploy_procedure(
+        "P05",
+        europe_extract_body(europe::BERLIN_PARIS, Some(europe::LOC_BERLIN)),
+    );
+    fed.deploy_procedure(
+        "P06",
+        europe_extract_body(europe::BERLIN_PARIS, Some(europe::LOC_PARIS)),
+    );
     fed.deploy_procedure("P07", europe_extract_body(europe::TRONDHEIM, None));
     fed.deploy_queue("P08", p08_body())?;
     fed.deploy_procedure("P09", p09_body());
@@ -97,7 +103,12 @@ fn p03_body() -> E2Body {
                 inputs: temp_scans,
                 key: Some(key),
             })?;
-            ctx.remote_load(america::US_EASTCOAST, table, merged.rows, LoadMode::InsertIgnore)?;
+            ctx.remote_load(
+                america::US_EASTCOAST,
+                table,
+                merged.rows,
+                LoadMode::InsertIgnore,
+            )?;
         }
         Ok(())
     })
@@ -123,10 +134,12 @@ fn p04_body() -> E1Body {
         let enriched = ctx.processing(|| {
             let mut out = translated.clone();
             if let Some(row) = master.rows.first() {
-                out.root.children.push(dip_xmlkit::XmlNode::Element(Element::leaf(
-                    "customer_segment",
-                    row[5].render(),
-                )));
+                out.root
+                    .children
+                    .push(dip_xmlkit::XmlNode::Element(Element::leaf(
+                        "customer_segment",
+                        row[5].render(),
+                    )));
             }
             Ok(out)
         })?;
@@ -169,7 +182,12 @@ fn europe_extract_body(db: &'static str, loc: Option<&'static str>) -> E2Body {
             lit_as(Value::str(source), "source", SqlType::Str),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ]))?;
-        ctx.remote_load(cdb::CDB, "customer_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "customer_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // products
         let rel = ctx.remote_query(db, &Plan::scan("prod"))?;
         let temp = ctx.materialize("eu_prod", rel)?;
@@ -182,7 +200,12 @@ fn europe_extract_body(db: &'static str, loc: Option<&'static str>) -> E2Body {
             lit_as(Value::str(source), "source", SqlType::Str),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ]))?;
-        ctx.remote_load(cdb::CDB, "product_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "product_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // orders
         let rel = ctx.remote_query(db, &filter(Plan::scan("ord"), 6))?;
         let temp = ctx.materialize("eu_ord", rel)?;
@@ -195,7 +218,12 @@ fn europe_extract_body(db: &'static str, loc: Option<&'static str>) -> E2Body {
             col_as(5, "state", SqlType::Str),
             lit_as(Value::str(source), "source", SqlType::Str),
         ]))?;
-        ctx.remote_load(cdb::CDB, "orders_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "orders_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // order positions
         let rel = ctx.remote_query(db, &filter(Plan::scan("pos"), 6))?;
         let temp = ctx.materialize("eu_pos", rel)?;
@@ -208,7 +236,12 @@ fn europe_extract_body(db: &'static str, loc: Option<&'static str>) -> E2Body {
             col_as(5, "discount", SqlType::Float),
             lit_as(Value::str(source), "source", SqlType::Str),
         ]))?;
-        ctx.remote_load(cdb::CDB, "orderline_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "orderline_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         Ok(())
     })
 }
@@ -224,10 +257,30 @@ fn p08_body() -> E1Body {
 fn p09_body() -> E2Body {
     Arc::new(|ctx| {
         let entities: [(&str, &str, SchemaRef, Vec<usize>); 4] = [
-            ("customers", "customer_staging", cdb::customer_staging_schema(), vec![0]),
-            ("parts", "product_staging", cdb::product_staging_schema(), vec![0]),
-            ("orders", "orders_staging", cdb::orders_staging_schema(), vec![0]),
-            ("orderlines", "orderline_staging", cdb::orderline_staging_schema(), vec![0, 1]),
+            (
+                "customers",
+                "customer_staging",
+                cdb::customer_staging_schema(),
+                vec![0],
+            ),
+            (
+                "parts",
+                "product_staging",
+                cdb::product_staging_schema(),
+                vec![0],
+            ),
+            (
+                "orders",
+                "orders_staging",
+                cdb::orders_staging_schema(),
+                vec![0],
+            ),
+            (
+                "orderlines",
+                "orderline_staging",
+                cdb::orderline_staging_schema(),
+                vec![0, 1],
+            ),
         ];
         for (operation, staging, schema, key) in entities {
             let mut temp_scans = Vec::new();
@@ -244,7 +297,10 @@ fn p09_body() -> E2Body {
                 let temp = ctx.materialize(&format!("{operation}_{service}"), rel)?;
                 temp_scans.push(Plan::scan(temp));
             }
-            let union = Plan::UnionDistinct { inputs: temp_scans, key: Some(key) };
+            let union = Plan::UnionDistinct {
+                inputs: temp_scans,
+                key: Some(key),
+            };
             // fill in bookkeeping columns in the same pass
             let exprs: Vec<ProjExpr> = schema
                 .columns()
@@ -268,8 +324,8 @@ fn p10_body() -> E1Body {
         let xsd = messages::san_diego_xsd();
         let issues = ctx.processing(|| Ok(xmlfn::validate(doc, &xsd)?))?;
         if issues.is_empty() {
-            let translated = ctx
-                .processing(|| Ok(xmlfn::transform(doc, &messages::stx_san_diego_to_cdb())?))?;
+            let translated =
+                ctx.processing(|| Ok(xmlfn::transform(doc, &messages::stx_san_diego_to_cdb())?))?;
             load_cdb_order(ctx, &translated, "san_diego")
         } else {
             let row = ctx.processing(|| {
@@ -286,7 +342,12 @@ fn p10_body() -> E1Body {
                     Value::Str(payload),
                 ])
             })?;
-            ctx.remote_load(cdb::CDB, "failed_messages", vec![row], LoadMode::InsertIgnore)?;
+            ctx.remote_load(
+                cdb::CDB,
+                "failed_messages",
+                vec![row],
+                LoadMode::InsertIgnore,
+            )?;
             Ok(())
         }
     })
@@ -309,7 +370,12 @@ fn p11_body() -> E2Body {
             lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ]))?;
-        ctx.remote_load(cdb::CDB, "customer_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "customer_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // parts
         let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("part"))?;
         let temp = ctx.materialize("us_part", rel)?;
@@ -322,7 +388,12 @@ fn p11_body() -> E2Body {
             lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
             lit_as(Value::Bool(false), "integrated", SqlType::Bool),
         ]))?;
-        ctx.remote_load(cdb::CDB, "product_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "product_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // orders
         let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("orders"))?;
         let temp = ctx.materialize("us_ord", rel)?;
@@ -335,7 +406,12 @@ fn p11_body() -> E2Body {
             vocab_as(&vocab::AMERICA_STATE_MAP, 2, "state"),
             lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
         ]))?;
-        ctx.remote_load(cdb::CDB, "orders_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "orders_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         // line items
         let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("lineitem"))?;
         let temp = ctx.materialize("us_line", rel)?;
@@ -348,7 +424,12 @@ fn p11_body() -> E2Body {
             col_as(5, "discount", SqlType::Float),
             lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
         ]))?;
-        ctx.remote_load(cdb::CDB, "orderline_staging", mapped.rows, LoadMode::InsertIgnore)?;
+        ctx.remote_load(
+            cdb::CDB,
+            "orderline_staging",
+            mapped.rows,
+            LoadMode::InsertIgnore,
+        )?;
         Ok(())
     })
 }

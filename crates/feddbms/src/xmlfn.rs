@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn transform_matches_streaming_result() {
-        let sheet = Stylesheet::new(
-            "s",
-            vec![Rule::for_name("a").rename("b").build()],
-        );
+        let sheet = Stylesheet::new("s", vec![Rule::for_name("a").rename("b").build()]);
         let doc = parse("<a><x>1</x></a>").unwrap();
         let naive = transform(&doc, &sheet).unwrap();
         let streaming = sheet.transform(&doc).unwrap();

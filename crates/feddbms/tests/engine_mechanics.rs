@@ -62,8 +62,11 @@ fn queue_trigger_executes_body_and_charges_costs() {
 #[test]
 fn trigger_error_marks_instance_failed() {
     let fed = FedDbms::new(world(), FedOptions::default());
-    fed.deploy_queue("PY", Arc::new(|_ctx: &FedCtx, _doc: &Document| Err(FedError::Other("boom".into()))))
-        .unwrap();
+    fed.deploy_queue(
+        "PY",
+        Arc::new(|_ctx: &FedCtx, _doc: &Document| Err(FedError::Other("boom".into()))),
+    )
+    .unwrap();
     let msg = Document::new(Element::new("m"));
     let err = fed.execute("PY", 0, Some(msg)).unwrap_err();
     assert!(err.to_string().contains("boom"));
@@ -75,7 +78,8 @@ fn trigger_error_marks_instance_failed() {
 #[test]
 fn message_process_without_message_fails_cleanly() {
     let fed = FedDbms::new(world(), FedOptions::default());
-    fed.deploy_queue("PZ", Arc::new(|_: &FedCtx, _: &Document| Ok(()))).unwrap();
+    fed.deploy_queue("PZ", Arc::new(|_: &FedCtx, _: &Document| Ok(())))
+        .unwrap();
     assert!(fed.execute("PZ", 0, None).is_err());
     assert!(fed.execute("UNDEPLOYED", 0, None).is_err());
 }
@@ -97,7 +101,10 @@ fn procedure_temp_tables_are_cleaned_up() {
     fed.execute("PPROC", 0, None).unwrap();
     // no tmp_ tables survive the call
     assert!(
-        fed.local.table_names().iter().all(|t| !t.starts_with("tmp_")),
+        fed.local
+            .table_names()
+            .iter()
+            .all(|t| !t.starts_with("tmp_")),
         "{:?}",
         fed.local.table_names()
     );
@@ -139,7 +146,8 @@ fn concurrent_executions_do_not_mix_costs() {
         }),
     )
     .unwrap();
-    fed.deploy_queue("PB", Arc::new(|_: &FedCtx, _| Ok(()))).unwrap();
+    fed.deploy_queue("PB", Arc::new(|_: &FedCtx, _| Ok(())))
+        .unwrap();
     std::thread::scope(|s| {
         let f1 = fed.clone();
         let f2 = fed.clone();
@@ -158,9 +166,21 @@ fn concurrent_executions_do_not_mix_costs() {
     });
     let recs = fed.recorder().drain();
     assert_eq!(recs.len(), 10);
-    let pa_proc: Vec<_> = recs.iter().filter(|r| r.process == "PA").map(|r| r.proc).collect();
-    let pb_proc: Vec<_> = recs.iter().filter(|r| r.process == "PB").map(|r| r.proc).collect();
+    let pa_proc: Vec<_> = recs
+        .iter()
+        .filter(|r| r.process == "PA")
+        .map(|r| r.proc)
+        .collect();
+    let pb_proc: Vec<_> = recs
+        .iter()
+        .filter(|r| r.process == "PB")
+        .map(|r| r.proc)
+        .collect();
     // PA instances carry their 5ms sleep; PB instances must not
-    assert!(pa_proc.iter().all(|d| *d >= std::time::Duration::from_millis(5)));
-    assert!(pb_proc.iter().all(|d| *d < std::time::Duration::from_millis(5)));
+    assert!(pa_proc
+        .iter()
+        .all(|d| *d >= std::time::Duration::from_millis(5)));
+    assert!(pb_proc
+        .iter()
+        .all(|d| *d < std::time::Duration::from_millis(5)));
 }

@@ -12,7 +12,9 @@ pub struct VarStore {
 
 impl VarStore {
     pub fn new() -> VarStore {
-        VarStore { vars: HashMap::new() }
+        VarStore {
+            vars: HashMap::new(),
+        }
     }
 
     pub fn set(&mut self, name: impl Into<String>, value: impl Into<MtmMessage>) {

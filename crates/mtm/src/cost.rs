@@ -124,7 +124,10 @@ impl std::fmt::Debug for CostRecorder {
 
 impl CostRecorder {
     pub fn new() -> CostRecorder {
-        CostRecorder { next_instance: AtomicU64::new(0), records: Mutex::new(Vec::new()) }
+        CostRecorder {
+            next_instance: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+        }
     }
 
     pub fn next_instance_id(&self) -> InstanceId {

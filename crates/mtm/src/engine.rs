@@ -71,23 +71,23 @@ impl MtmEngine {
 
     /// Execute one instance of a deployed process; `input` is required for
     /// E1 processes. Records an [`InstanceRecord`] either way.
-    pub fn execute(
-        &self,
-        id: &str,
-        period: u32,
-        input: Option<Document>,
-    ) -> MtmResult<()> {
+    pub fn execute(&self, id: &str, period: u32, input: Option<Document>) -> MtmResult<()> {
         let mgmt_start = Instant::now();
         let def = self.process(id)?;
         let costs = InstanceCosts::new();
-        costs.add(
-            crate::cost::CostCategory::Management,
-            mgmt_start.elapsed(),
-        );
+        costs.add(crate::cost::CostCategory::Management, mgmt_start.elapsed());
         let instance = self.recorder.next_instance_id();
+        let _ctx = dip_trace::instance_scope(&def.id, period, instance.0);
         let start = self.epoch.elapsed();
-        let interp = Interpreter::new(&self.world, &costs);
-        let result = interp.run(&def, input);
+        let result = {
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Mtm,
+                "instance",
+                dip_trace::Category::Management,
+            );
+            let interp = Interpreter::new(&self.world, &costs);
+            interp.run(&def, input)
+        };
         let end = self.epoch.elapsed();
         let (comm, mgmt, proc) = costs.snapshot();
         self.recorder.record(InstanceRecord {
@@ -146,13 +146,21 @@ mod tests {
                 'C',
                 EventType::Timed,
                 vec![
-                    Step::Assign { var: "data".into(), value: AssignValue::Const(rel.into()) },
+                    Step::Assign {
+                        var: "data".into(),
+                        value: AssignValue::Const(rel.into()),
+                    },
                     Step::Selection {
                         input: "data".into(),
                         predicate: Expr::col(0).gt(Expr::lit(0)),
                         output: "sel".into(),
                     },
-                    Step::DbInsert { db: "cdb".into(), table: "t".into(), input: "sel".into(), mode: crate::process::LoadMode::Insert },
+                    Step::DbInsert {
+                        db: "cdb".into(),
+                        table: "t".into(),
+                        input: "sel".into(),
+                        mode: crate::process::LoadMode::Insert,
+                    },
                 ],
             ))
             .unwrap();
@@ -255,12 +263,8 @@ mod tests {
     fn fork_runs_all_branches() {
         let engine = MtmEngine::new(world());
         let schema = RelSchema::of(&[("id", SqlType::Int), ("v", SqlType::Str)]).shared();
-        let row = |i: i64| {
-            Relation::new(
-                schema.clone(),
-                vec![vec![Value::Int(i), Value::str("x")]],
-            )
-        };
+        let row =
+            |i: i64| Relation::new(schema.clone(), vec![vec![Value::Int(i), Value::str("x")]]);
         engine
             .deploy(ProcessDef::new(
                 "FK",
@@ -270,16 +274,40 @@ mod tests {
                 vec![Step::Fork {
                     branches: vec![
                         vec![
-                            Step::Assign { var: "a".into(), value: AssignValue::Const(row(1).into()) },
-                            Step::DbInsert { db: "cdb".into(), table: "t".into(), input: "a".into(), mode: crate::process::LoadMode::Insert },
+                            Step::Assign {
+                                var: "a".into(),
+                                value: AssignValue::Const(row(1).into()),
+                            },
+                            Step::DbInsert {
+                                db: "cdb".into(),
+                                table: "t".into(),
+                                input: "a".into(),
+                                mode: crate::process::LoadMode::Insert,
+                            },
                         ],
                         vec![
-                            Step::Assign { var: "b".into(), value: AssignValue::Const(row(2).into()) },
-                            Step::DbInsert { db: "cdb".into(), table: "t".into(), input: "b".into(), mode: crate::process::LoadMode::Insert },
+                            Step::Assign {
+                                var: "b".into(),
+                                value: AssignValue::Const(row(2).into()),
+                            },
+                            Step::DbInsert {
+                                db: "cdb".into(),
+                                table: "t".into(),
+                                input: "b".into(),
+                                mode: crate::process::LoadMode::Insert,
+                            },
                         ],
                         vec![
-                            Step::Assign { var: "c".into(), value: AssignValue::Const(row(3).into()) },
-                            Step::DbInsert { db: "cdb".into(), table: "t".into(), input: "c".into(), mode: crate::process::LoadMode::Insert },
+                            Step::Assign {
+                                var: "c".into(),
+                                value: AssignValue::Const(row(3).into()),
+                            },
+                            Step::DbInsert {
+                                db: "cdb".into(),
+                                table: "t".into(),
+                                input: "c".into(),
+                                mode: crate::process::LoadMode::Insert,
+                            },
                         ],
                     ],
                 }],

@@ -21,7 +21,10 @@ pub enum MtmError {
     /// A FORK branch panicked or failed.
     Branch(String),
     /// No SWITCH case matched and there is no default branch.
-    NoCaseMatched { process: String, value: String },
+    NoCaseMatched {
+        process: String,
+        value: String,
+    },
     /// Static validation failure of a process definition.
     InvalidProcess(String),
 }

@@ -65,6 +65,36 @@ impl<'a> Interpreter<'a> {
             .ok_or_else(|| MtmError::UnboundVariable(name.to_string()))
     }
 
+    /// Trace label and cost category of one step kind, mirroring the
+    /// category each arm of `run_step` charges its time to.
+    fn step_meta(step: &Step) -> (&'static str, dip_trace::Category) {
+        use dip_trace::Category::{Communication, Management, Processing};
+        match step {
+            Step::Receive { .. } => ("receive", Management),
+            Step::Assign { .. } => ("assign", Management),
+            Step::Translate { .. } => ("translate", Processing),
+            Step::Validate { .. } => ("validate", Processing),
+            Step::Switch { .. } => ("switch", Processing),
+            Step::WsQuery { .. } => ("ws_query", Communication),
+            Step::WsUpdate { .. } => ("ws_update", Communication),
+            Step::DbQuery { .. } => ("db_query", Communication),
+            Step::DbQueryDyn { .. } => ("db_query_dyn", Communication),
+            Step::DbInsert { .. } => ("db_insert", Communication),
+            Step::DbLoadXml { .. } => ("db_load_xml", Communication),
+            Step::DbCall { .. } => ("db_call", Communication),
+            Step::DbDelete { .. } => ("db_delete", Communication),
+            Step::Selection { .. } => ("selection", Processing),
+            Step::Projection { .. } => ("projection", Processing),
+            Step::UnionDistinct { .. } => ("union_distinct", Processing),
+            Step::Join { .. } => ("join", Processing),
+            Step::XmlToRel { .. } => ("xml_to_rel", Processing),
+            Step::RelToXml { .. } => ("rel_to_xml", Processing),
+            Step::Fork { .. } => ("fork", Management),
+            Step::Subprocess { .. } => ("subprocess", Management),
+            Step::Custom { .. } => ("custom", Processing),
+        }
+    }
+
     fn run_step(
         &self,
         def: &ProcessDef,
@@ -72,6 +102,8 @@ impl<'a> Interpreter<'a> {
         vars: &mut VarStore,
         pending_input: &mut Option<Document>,
     ) -> MtmResult<()> {
+        let (op, category) = Self::step_meta(step);
+        let _span = dip_trace::span_cat(dip_trace::Layer::Mtm, op, category);
         match step {
             Step::Receive { var } => {
                 let t = Instant::now();
@@ -100,7 +132,12 @@ impl<'a> Interpreter<'a> {
                 vars.set(output.clone(), MtmMessage::Xml(out));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::Validate { xsd, input, on_valid, on_invalid } => {
+            Step::Validate {
+                xsd,
+                input,
+                on_valid,
+                on_invalid,
+            } => {
                 let t = Instant::now();
                 let doc = Self::get(vars, input)?.as_xml()?;
                 let issues = xsd.validate(doc);
@@ -112,7 +149,12 @@ impl<'a> Interpreter<'a> {
                     self.run_steps(def, on_invalid, vars, pending_input)?;
                 }
             }
-            Step::Switch { input, path, cases, default } => {
+            Step::Switch {
+                input,
+                path,
+                cases,
+                default,
+            } => {
                 let t = Instant::now();
                 let value = self.extract_switch_value(vars, input, path)?;
                 let row = vec![value.clone()];
@@ -137,14 +179,22 @@ impl<'a> Interpreter<'a> {
                     }
                 }
             }
-            Step::WsQuery { service, operation, output } => {
+            Step::WsQuery {
+                service,
+                operation,
+                output,
+            } => {
                 let t = Instant::now();
                 let remote = self.world.ws_query(service, operation)?;
                 vars.set(output.clone(), MtmMessage::Xml(remote.value));
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::WsUpdate { service, operation, input } => {
+            Step::WsUpdate {
+                service,
+                operation,
+                input,
+            } => {
                 let t = Instant::now();
                 let doc = Self::get(vars, input)?.as_xml()?.clone();
                 let remote = self.world.ws_update(service, operation, &doc)?;
@@ -158,12 +208,16 @@ impl<'a> Interpreter<'a> {
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::DbQueryDyn { db, plan, plan_name, output } => {
+            Step::DbQueryDyn {
+                db,
+                plan,
+                plan_name,
+                output,
+            } => {
                 // building the plan from variables is processing work
                 let t = Instant::now();
-                let built = plan(vars).map_err(|m| {
-                    MtmError::Custom(format!("plan builder {plan_name}: {m}"))
-                })?;
+                let built = plan(vars)
+                    .map_err(|m| MtmError::Custom(format!("plan builder {plan_name}: {m}")))?;
                 self.costs.add(CostCategory::Processing, t.elapsed());
                 let t = Instant::now();
                 let remote = self.world.remote_query(db, &built)?;
@@ -171,20 +225,30 @@ impl<'a> Interpreter<'a> {
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::DbInsert { db, table, input, mode } => {
+            Step::DbInsert {
+                db,
+                table,
+                input,
+                mode,
+            } => {
                 let t = Instant::now();
                 let rel = Self::get(vars, input)?.as_rel()?.clone();
                 let remote = self.world.remote_load(db, table, rel.rows, *mode)?;
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::DbLoadXml { db, decoder, decoder_name, input, mode } => {
+            Step::DbLoadXml {
+                db,
+                decoder,
+                decoder_name,
+                input,
+                mode,
+            } => {
                 // decoding is processing; the inserts are communication
                 let t = Instant::now();
                 let doc = Self::get(vars, input)?.as_xml()?;
-                let batches = decoder(doc).map_err(|m| {
-                    MtmError::Custom(format!("decoder {decoder_name}: {m}"))
-                })?;
+                let batches = decoder(doc)
+                    .map_err(|m| MtmError::Custom(format!("decoder {decoder_name}: {m}")))?;
                 self.costs.add(CostCategory::Processing, t.elapsed());
                 let t = Instant::now();
                 let mut comm = std::time::Duration::ZERO;
@@ -192,9 +256,15 @@ impl<'a> Interpreter<'a> {
                     let remote = self.world.remote_load(db, &b.table, b.rows, *mode)?;
                     comm += remote.comm;
                 }
-                self.costs.add(CostCategory::Communication, t.elapsed() + comm);
+                self.costs
+                    .add(CostCategory::Communication, t.elapsed() + comm);
             }
-            Step::DbCall { db, proc, args, output } => {
+            Step::DbCall {
+                db,
+                proc,
+                args,
+                output,
+            } => {
                 let t = Instant::now();
                 let remote = self.world.remote_call(db, proc, args)?;
                 if let (Some(out), Some(rel)) = (output, remote.value) {
@@ -203,13 +273,21 @@ impl<'a> Interpreter<'a> {
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::DbDelete { db, table, predicate } => {
+            Step::DbDelete {
+                db,
+                table,
+                predicate,
+            } => {
                 let t = Instant::now();
                 let remote = self.world.remote_delete(db, table, predicate)?;
                 self.costs
                     .add(CostCategory::Communication, t.elapsed() + remote.comm);
             }
-            Step::Selection { input, predicate, output } => {
+            Step::Selection {
+                input,
+                predicate,
+                output,
+            } => {
                 let t = Instant::now();
                 let rel = Self::get(vars, input)?.as_rel()?;
                 let mut rows = Vec::with_capacity(rel.rows.len());
@@ -222,11 +300,15 @@ impl<'a> Interpreter<'a> {
                 vars.set(output.clone(), MtmMessage::Rel(out));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::Projection { input, exprs, output } => {
+            Step::Projection {
+                input,
+                exprs,
+                output,
+            } => {
                 let t = Instant::now();
                 let rel = Self::get(vars, input)?.as_rel()?;
-                let schema = RelSchema::new(exprs.iter().map(|p| p.column.clone()).collect())
-                    .shared();
+                let schema =
+                    RelSchema::new(exprs.iter().map(|p| p.column.clone()).collect()).shared();
                 let mut rows = Vec::with_capacity(rel.rows.len());
                 for r in &rel.rows {
                     let row: StoreResult<Row> = exprs.iter().map(|p| p.expr.eval(r)).collect();
@@ -235,7 +317,11 @@ impl<'a> Interpreter<'a> {
                 vars.set(output.clone(), MtmMessage::Rel(Relation::new(schema, rows)));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::UnionDistinct { inputs, key, output } => {
+            Step::UnionDistinct {
+                inputs,
+                key,
+                output,
+            } => {
                 let t = Instant::now();
                 let mut schema: Option<SchemaRef> = None;
                 let mut seen = std::collections::HashSet::new();
@@ -261,7 +347,14 @@ impl<'a> Interpreter<'a> {
                 vars.set(output.clone(), MtmMessage::Rel(Relation::new(schema, rows)));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::Join { left, right, left_keys, right_keys, kind, output } => {
+            Step::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                output,
+            } => {
                 let t = Instant::now();
                 let l = Self::get(vars, left)?.as_rel()?.clone();
                 let r = Self::get(vars, right)?.as_rel()?.clone();
@@ -277,14 +370,23 @@ impl<'a> Interpreter<'a> {
                 vars.set(output.clone(), MtmMessage::Rel(out));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::XmlToRel { input, schema, output } => {
+            Step::XmlToRel {
+                input,
+                schema,
+                output,
+            } => {
                 let t = Instant::now();
                 let doc = Self::get(vars, input)?.as_xml()?;
                 let rel = resultset::decode(doc, schema)?;
                 vars.set(output.clone(), MtmMessage::Rel(rel));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }
-            Step::RelToXml { input, source, table, output } => {
+            Step::RelToXml {
+                input,
+                source,
+                table,
+                output,
+            } => {
                 let t = Instant::now();
                 let rel = Self::get(vars, input)?.as_rel()?;
                 let doc = resultset::encode(source, table, rel);
@@ -320,7 +422,11 @@ impl<'a> Interpreter<'a> {
                     vars.merge(r?);
                 }
             }
-            Step::Subprocess { process, input, output } => {
+            Step::Subprocess {
+                process,
+                input,
+                output,
+            } => {
                 let t = Instant::now();
                 let mut sub_vars = VarStore::new();
                 if let Some(in_var) = input {
@@ -350,12 +456,7 @@ impl<'a> Interpreter<'a> {
     }
 
     /// Extract the SWITCH routing value from a variable.
-    fn extract_switch_value(
-        &self,
-        vars: &VarStore,
-        input: &str,
-        path: &str,
-    ) -> MtmResult<Value> {
+    fn extract_switch_value(&self, vars: &VarStore, input: &str, path: &str) -> MtmResult<Value> {
         let msg = Self::get(vars, input)?;
         match msg {
             MtmMessage::Scalar(v) => Ok(v.clone()),

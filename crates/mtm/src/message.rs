@@ -82,7 +82,10 @@ pub struct MtmTypeError {
 
 impl MtmTypeError {
     fn expected(expected: &'static str, got: &MtmMessage) -> MtmTypeError {
-        MtmTypeError { expected, got: got.kind() }
+        MtmTypeError {
+            expected,
+            got: got.kind(),
+        }
     }
 }
 
@@ -113,7 +116,10 @@ mod tests {
     fn sizes_scale() {
         let small = MtmMessage::Scalar(Value::Int(1));
         let schema = RelSchema::of(&[("a", SqlType::Int)]).shared();
-        let big = MtmMessage::Rel(Relation::new(schema, (0..100).map(|i| vec![Value::Int(i)]).collect()));
+        let big = MtmMessage::Rel(Relation::new(
+            schema,
+            (0..100).map(|i| vec![Value::Int(i)]).collect(),
+        ));
         assert!(big.approx_bytes() > small.approx_bytes());
     }
 }

@@ -32,13 +32,11 @@ pub struct TableRows {
 }
 
 /// Decodes an XML message into relational rows for loading.
-pub type XmlDecoder =
-    Arc<dyn Fn(&Document) -> Result<Vec<TableRows>, String> + Send + Sync>;
+pub type XmlDecoder = Arc<dyn Fn(&Document) -> Result<Vec<TableRows>, String> + Send + Sync>;
 
 /// An arbitrary computation over the variable store (escape hatch for
 /// enrichment logic that has no dedicated operator).
-pub type CustomFn =
-    Arc<dyn Fn(&mut crate::context::VarStore) -> Result<(), String> + Send + Sync>;
+pub type CustomFn = Arc<dyn Fn(&mut crate::context::VarStore) -> Result<(), String> + Send + Sync>;
 
 /// One case of a SWITCH operator: `when` is evaluated over the single-value
 /// row `[extracted]`, first match wins.
@@ -67,8 +65,7 @@ pub enum AssignValue {
 pub use dip_services::registry::LoadMode;
 
 /// Builds a query plan from the variable store at execution time.
-pub type PlanBuilder =
-    Arc<dyn Fn(&crate::context::VarStore) -> Result<Plan, String> + Send + Sync>;
+pub type PlanBuilder = Arc<dyn Fn(&crate::context::VarStore) -> Result<Plan, String> + Send + Sync>;
 
 /// One MTM operator.
 #[derive(Clone)]
@@ -78,24 +75,60 @@ pub enum Step {
     /// Bind a constant or copy another variable.
     Assign { var: String, value: AssignValue },
     /// STX schema translation of an XML variable.
-    Translate { stx: Arc<Stylesheet>, input: String, output: String },
+    Translate {
+        stx: Arc<Stylesheet>,
+        input: String,
+        output: String,
+    },
     /// XSD validation with success/failure branches (P10, P12, P13).
-    Validate { xsd: Arc<XsdSchema>, input: String, on_valid: Vec<Step>, on_invalid: Vec<Step> },
+    Validate {
+        xsd: Arc<XsdSchema>,
+        input: String,
+        on_valid: Vec<Step>,
+        on_invalid: Vec<Step>,
+    },
     /// Content-based routing: extract `path` from the XML variable (or use
     /// a scalar variable directly when `path` is empty) and run the first
     /// matching case.
-    Switch { input: String, path: String, cases: Vec<SwitchCase>, default: Vec<Step> },
+    Switch {
+        input: String,
+        path: String,
+        cases: Vec<SwitchCase>,
+        default: Vec<Step>,
+    },
     /// Query a web service operation; result-set XML lands in `output`.
-    WsQuery { service: String, operation: String, output: String },
+    WsQuery {
+        service: String,
+        operation: String,
+        output: String,
+    },
     /// Send an XML variable to a web service update operation.
-    WsUpdate { service: String, operation: String, input: String },
+    WsUpdate {
+        service: String,
+        operation: String,
+        input: String,
+    },
     /// Run a query plan on an external database.
-    DbQuery { db: String, plan: Plan, output: String },
+    DbQuery {
+        db: String,
+        plan: Plan,
+        output: String,
+    },
     /// Run a query plan built at runtime from the variable store (for
     /// parameterized lookups, e.g. P04's master-data enrichment query).
-    DbQueryDyn { db: String, plan: PlanBuilder, plan_name: String, output: String },
+    DbQueryDyn {
+        db: String,
+        plan: PlanBuilder,
+        plan_name: String,
+        output: String,
+    },
     /// Insert a relational variable into an external table.
-    DbInsert { db: String, table: String, input: String, mode: LoadMode },
+    DbInsert {
+        db: String,
+        table: String,
+        input: String,
+        mode: LoadMode,
+    },
     /// Decode an XML variable into rows and insert them (multi-table).
     DbLoadXml {
         db: String,
@@ -105,15 +138,36 @@ pub enum Step {
         mode: LoadMode,
     },
     /// Call a stored procedure on an external database.
-    DbCall { db: String, proc: String, args: Vec<Value>, output: Option<String> },
+    DbCall {
+        db: String,
+        proc: String,
+        args: Vec<Value>,
+        output: Option<String>,
+    },
     /// Delete rows of an external table.
-    DbDelete { db: String, table: String, predicate: Expr },
+    DbDelete {
+        db: String,
+        table: String,
+        predicate: Expr,
+    },
     /// Relational selection on a variable.
-    Selection { input: String, predicate: Expr, output: String },
+    Selection {
+        input: String,
+        predicate: Expr,
+        output: String,
+    },
     /// Relational projection (schema mapping / attribute renaming).
-    Projection { input: String, exprs: Vec<ProjExpr>, output: String },
+    Projection {
+        input: String,
+        exprs: Vec<ProjExpr>,
+        output: String,
+    },
     /// UNION DISTINCT over several relational variables, optionally keyed.
-    UnionDistinct { inputs: Vec<String>, key: Option<Vec<usize>>, output: String },
+    UnionDistinct {
+        inputs: Vec<String>,
+        key: Option<Vec<usize>>,
+        output: String,
+    },
     /// Hash join of two relational variables (used for enrichment).
     Join {
         left: String,
@@ -124,17 +178,34 @@ pub enum Step {
         output: String,
     },
     /// Decode a generic result-set XML variable into a relation.
-    XmlToRel { input: String, schema: SchemaRef, output: String },
+    XmlToRel {
+        input: String,
+        schema: SchemaRef,
+        output: String,
+    },
     /// Encode a relational variable as a generic result-set document.
-    RelToXml { input: String, source: String, table: String, output: String },
+    RelToXml {
+        input: String,
+        source: String,
+        table: String,
+        output: String,
+    },
     /// Execute branches in parallel; all must succeed.
     Fork { branches: Vec<Vec<Step>> },
     /// Invoke a subprocess (shares the parent's cost instance; fresh
     /// variable scope with explicit input/output passing).
-    Subprocess { process: Arc<ProcessDef>, input: Option<String>, output: Option<String> },
+    Subprocess {
+        process: Arc<ProcessDef>,
+        input: Option<String>,
+        output: Option<String>,
+    },
     /// Escape hatch. `binds` declares the variables the function is known
     /// to set, so static validation can track them.
-    Custom { name: String, binds: Vec<String>, f: CustomFn },
+    Custom {
+        name: String,
+        binds: Vec<String>,
+        f: CustomFn,
+    },
 }
 
 impl std::fmt::Debug for Step {
@@ -146,23 +217,45 @@ impl std::fmt::Debug for Step {
                 write!(f, "Translate[{}] {input} -> {output}", stx.name)
             }
             Step::Validate { input, .. } => write!(f, "Validate {input}"),
-            Step::Switch { input, path, cases, .. } => {
+            Step::Switch {
+                input, path, cases, ..
+            } => {
                 write!(f, "Switch {input}:{path} ({} cases)", cases.len())
             }
-            Step::WsQuery { service, operation, output } => {
+            Step::WsQuery {
+                service,
+                operation,
+                output,
+            } => {
                 write!(f, "WsQuery {service}.{operation} -> {output}")
             }
-            Step::WsUpdate { service, operation, input } => {
+            Step::WsUpdate {
+                service,
+                operation,
+                input,
+            } => {
                 write!(f, "WsUpdate {input} -> {service}.{operation}")
             }
             Step::DbQuery { db, output, .. } => write!(f, "DbQuery {db} -> {output}"),
-            Step::DbQueryDyn { db, plan_name, output, .. } => {
+            Step::DbQueryDyn {
+                db,
+                plan_name,
+                output,
+                ..
+            } => {
                 write!(f, "DbQueryDyn[{plan_name}] {db} -> {output}")
             }
-            Step::DbInsert { db, table, input, .. } => {
+            Step::DbInsert {
+                db, table, input, ..
+            } => {
                 write!(f, "DbInsert {input} -> {db}.{table}")
             }
-            Step::DbLoadXml { db, input, decoder_name, .. } => {
+            Step::DbLoadXml {
+                db,
+                input,
+                decoder_name,
+                ..
+            } => {
                 write!(f, "DbLoadXml[{decoder_name}] {input} -> {db}")
             }
             Step::DbCall { db, proc, .. } => write!(f, "DbCall {db}.{proc}"),
@@ -172,7 +265,12 @@ impl std::fmt::Debug for Step {
             Step::UnionDistinct { inputs, output, .. } => {
                 write!(f, "UnionDistinct {inputs:?} -> {output}")
             }
-            Step::Join { left, right, output, .. } => write!(f, "Join {left}⋈{right} -> {output}"),
+            Step::Join {
+                left,
+                right,
+                output,
+                ..
+            } => write!(f, "Join {left}⋈{right} -> {output}"),
             Step::XmlToRel { input, output, .. } => write!(f, "XmlToRel {input} -> {output}"),
             Step::RelToXml { input, output, .. } => write!(f, "RelToXml {input} -> {output}"),
             Step::Fork { branches } => write!(f, "Fork x{}", branches.len()),
@@ -203,7 +301,13 @@ impl ProcessDef {
         event: EventType,
         steps: Vec<Step>,
     ) -> ProcessDef {
-        ProcessDef { id: id.into(), name: name.into(), group, event, steps }
+        ProcessDef {
+            id: id.into(),
+            name: name.into(),
+            group,
+            event,
+            steps,
+        }
     }
 
     /// Pretty-print the process graph (the EXPLAIN of a process type).
@@ -213,7 +317,11 @@ impl ProcessDef {
             for s in steps {
                 out.push_str(&format!("{pad}{s:?}\n"));
                 match s {
-                    Step::Validate { on_valid, on_invalid, .. } => {
+                    Step::Validate {
+                        on_valid,
+                        on_invalid,
+                        ..
+                    } => {
                         out.push_str(&format!("{pad}  [valid]\n"));
                         walk(on_valid, depth + 2, out);
                         out.push_str(&format!("{pad}  [invalid]\n"));
@@ -258,9 +366,11 @@ impl ProcessDef {
                 .iter()
                 .map(|s| {
                     1 + match s {
-                        Step::Validate { on_valid, on_invalid, .. } => {
-                            count(on_valid) + count(on_invalid)
-                        }
+                        Step::Validate {
+                            on_valid,
+                            on_invalid,
+                            ..
+                        } => count(on_valid) + count(on_invalid),
                         Step::Switch { cases, default, .. } => {
                             cases.iter().map(|c| count(&c.steps)).sum::<usize>() + count(default)
                         }
@@ -296,14 +406,20 @@ mod tests {
             "p",
             'D',
             EventType::Timed,
-            vec![
-                Step::Fork {
-                    branches: vec![
-                        vec![Step::Subprocess { process: sub.clone(), input: None, output: None }],
-                        vec![Step::Subprocess { process: sub, input: None, output: None }],
-                    ],
-                },
-            ],
+            vec![Step::Fork {
+                branches: vec![
+                    vec![Step::Subprocess {
+                        process: sub.clone(),
+                        input: None,
+                        output: None,
+                    }],
+                    vec![Step::Subprocess {
+                        process: sub,
+                        input: None,
+                        output: None,
+                    }],
+                ],
+            }],
         );
         // fork(1) + 2 * (subprocess(1) + assign(1))
         assert_eq!(p.step_count(), 5);

@@ -21,12 +21,7 @@ fn err(def: &ProcessDef, msg: String) -> MtmError {
     MtmError::InvalidProcess(format!("{}: {msg}", def.id))
 }
 
-fn require(
-    def: &ProcessDef,
-    defined: &HashSet<String>,
-    var: &str,
-    op: &str,
-) -> MtmResult<()> {
+fn require(def: &ProcessDef, defined: &HashSet<String>, var: &str, op: &str) -> MtmResult<()> {
     if defined.contains(var) {
         Ok(())
     } else {
@@ -61,7 +56,12 @@ fn walk(
                 require(def, defined, input, "TRANSLATE")?;
                 defined.insert(output.clone());
             }
-            Step::Validate { input, on_valid, on_invalid, .. } => {
+            Step::Validate {
+                input,
+                on_valid,
+                on_invalid,
+                ..
+            } => {
                 require(def, defined, input, "VALIDATE")?;
                 let mut a = defined.clone();
                 walk(def, on_valid, &mut a, false)?;
@@ -69,7 +69,12 @@ fn walk(
                 walk(def, on_invalid, &mut b, false)?;
                 defined.extend(a.intersection(&b).cloned().collect::<Vec<_>>());
             }
-            Step::Switch { input, cases, default, .. } => {
+            Step::Switch {
+                input,
+                cases,
+                default,
+                ..
+            } => {
                 require(def, defined, input, "SWITCH")?;
                 if cases.is_empty() {
                     return Err(err(def, "SWITCH with no cases".into()));
@@ -113,7 +118,11 @@ fn walk(
                 require(def, defined, input, "SELECTION")?;
                 defined.insert(output.clone());
             }
-            Step::Projection { input, output, exprs } => {
+            Step::Projection {
+                input,
+                output,
+                exprs,
+            } => {
                 require(def, defined, input, "PROJECTION")?;
                 if exprs.is_empty() {
                     return Err(err(def, "PROJECTION with no output columns".into()));
@@ -129,7 +138,14 @@ fn walk(
                 }
                 defined.insert(output.clone());
             }
-            Step::Join { left, right, left_keys, right_keys, output, .. } => {
+            Step::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                output,
+                ..
+            } => {
                 require(def, defined, left, "JOIN")?;
                 require(def, defined, right, "JOIN")?;
                 if left_keys.len() != right_keys.len() {
@@ -152,7 +168,11 @@ fn walk(
                     defined.extend(s);
                 }
             }
-            Step::Subprocess { process, input, output } => {
+            Step::Subprocess {
+                process,
+                input,
+                output,
+            } => {
                 if let Some(v) = input {
                     require(def, defined, v, "SUBPROCESS")?;
                 }
@@ -285,9 +305,17 @@ mod tests {
             'D',
             EventType::Timed,
             vec![
-                Step::Fork { branches: vec![vec![assign("a")], vec![assign("b")]] },
-                Step::Assign { var: "c".into(), value: AssignValue::CopyVar("a".into()) },
-                Step::Assign { var: "d".into(), value: AssignValue::CopyVar("b".into()) },
+                Step::Fork {
+                    branches: vec![vec![assign("a")], vec![assign("b")]],
+                },
+                Step::Assign {
+                    var: "c".into(),
+                    value: AssignValue::CopyVar("a".into()),
+                },
+                Step::Assign {
+                    var: "d".into(),
+                    value: AssignValue::CopyVar("b".into()),
+                },
             ],
         );
         assert!(validate(&def).is_ok());
@@ -300,7 +328,9 @@ mod tests {
             "x",
             'D',
             EventType::Timed,
-            vec![Step::Fork { branches: vec![vec![assign("a")]] }],
+            vec![Step::Fork {
+                branches: vec![vec![assign("a")]],
+            }],
         );
         assert!(validate(&def).is_err());
     }
@@ -323,7 +353,11 @@ mod tests {
             "x",
             'D',
             EventType::Timed,
-            vec![Step::Subprocess { process: bad_sub, input: None, output: None }],
+            vec![Step::Subprocess {
+                process: bad_sub,
+                input: None,
+                output: None,
+            }],
         );
         assert!(validate(&def).is_err());
     }

@@ -23,7 +23,9 @@ fn world() -> Arc<ExternalWorld> {
     let mut w = ExternalWorld::new(net, "is");
     let db = Arc::new(Database::new("db"));
     let schema = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
-    let t = Table::new("t", schema.clone()).with_primary_key(&["k"]).unwrap();
+    let t = Table::new("t", schema.clone())
+        .with_primary_key(&["k"])
+        .unwrap();
     t.insert(vec![
         vec![Value::Int(1), Value::str("one")],
         vec![Value::Int(2), Value::str("two")],
@@ -31,22 +33,31 @@ fn world() -> Arc<ExternalWorld> {
     ])
     .unwrap();
     db.create_table(t);
-    db.create_table(Table::new("sink", schema.clone()).with_primary_key(&["k"]).unwrap());
+    db.create_table(
+        Table::new("sink", schema.clone())
+            .with_primary_key(&["k"])
+            .unwrap(),
+    );
     db.create_procedure(
         "sp_echo",
         Arc::new(move |_db, args| {
             let schema = RelSchema::of(&[("echo", SqlType::Int)]).shared();
             Ok(Some(Relation::new(
                 schema,
-                vec![vec![Value::Int(args.first().and_then(|v| v.to_int()).unwrap_or(-1))]],
+                vec![vec![Value::Int(
+                    args.first().and_then(|v| v.to_int()).unwrap_or(-1),
+                )]],
             )))
         }),
     );
     w.add_database("db", "es.cdb", db);
     let ws_db = Arc::new(Database::new("ws_db"));
     let ws_schema = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
-    let wt = Table::new("items", ws_schema).with_primary_key(&["k"]).unwrap();
-    wt.insert(vec![vec![Value::Int(9), Value::str("ws-item")]]).unwrap();
+    let wt = Table::new("items", ws_schema)
+        .with_primary_key(&["k"])
+        .unwrap();
+    wt.insert(vec![vec![Value::Int(9), Value::str("ws-item")]])
+        .unwrap();
     ws_db.create_table(wt);
     w.add_service("es.ws.test", Arc::new(DbService::new("testws", ws_db)));
     Arc::new(w)
@@ -82,12 +93,20 @@ fn dyn_query_builds_plan_from_variables() {
             }),
             output: "hit".into(),
         },
-        Step::DbInsert { db: "db".into(), table: "sink".into(), input: "hit".into(), mode: LoadMode::Insert },
+        Step::DbInsert {
+            db: "db".into(),
+            table: "sink".into(),
+            input: "hit".into(),
+            mode: LoadMode::Insert,
+        },
     ])
     .unwrap();
     let sink = e.world.database("db").unwrap().table("sink").unwrap();
     assert_eq!(sink.row_count(), 1);
-    assert_eq!(sink.get_by_pk(&[Value::Int(2)]).unwrap()[1], Value::str("two"));
+    assert_eq!(
+        sink.get_by_pk(&[Value::Int(2)]).unwrap()[1],
+        Value::str("two")
+    );
 }
 
 #[test]
@@ -105,7 +124,11 @@ fn dyn_query_builder_error_is_reported() {
 #[test]
 fn rel_xml_codec_roundtrip_through_steps() {
     let e = run_timed(vec![
-        Step::DbQuery { db: "db".into(), plan: Plan::scan("t"), output: "rel".into() },
+        Step::DbQuery {
+            db: "db".into(),
+            plan: Plan::scan("t"),
+            output: "rel".into(),
+        },
         Step::RelToXml {
             input: "rel".into(),
             source: "db".into(),
@@ -117,10 +140,23 @@ fn rel_xml_codec_roundtrip_through_steps() {
             schema: RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared(),
             output: "back".into(),
         },
-        Step::DbInsert { db: "db".into(), table: "sink".into(), input: "back".into(), mode: LoadMode::Insert },
+        Step::DbInsert {
+            db: "db".into(),
+            table: "sink".into(),
+            input: "back".into(),
+            mode: LoadMode::Insert,
+        },
     ])
     .unwrap();
-    assert_eq!(e.world.database("db").unwrap().table("sink").unwrap().row_count(), 3);
+    assert_eq!(
+        e.world
+            .database("db")
+            .unwrap()
+            .table("sink")
+            .unwrap()
+            .row_count(),
+        3
+    );
 }
 
 #[test]
@@ -159,7 +195,14 @@ fn validate_takes_correct_branch() {
         ]
     };
     let e = engine();
-    e.deploy(ProcessDef::new("V", "v", 'B', EventType::Message, build(xsd))).unwrap();
+    e.deploy(ProcessDef::new(
+        "V",
+        "v",
+        'B',
+        EventType::Message,
+        build(xsd),
+    ))
+    .unwrap();
     let good = Document::new(Element::new("m").child(Element::leaf("k", "1")));
     let err = e.execute("V", 0, Some(good)).unwrap_err();
     assert!(err.to_string().contains("took:valid"), "{err}");
@@ -199,7 +242,9 @@ fn switch_no_match_without_default_errors() {
 fn translate_and_ws_steps() {
     let sheet = Arc::new(Stylesheet::new(
         "t",
-        vec![Rule::for_name("resultSet").set_attr("touched", "yes").build()],
+        vec![Rule::for_name("resultSet")
+            .set_attr("touched", "yes")
+            .build()],
     ));
     let e = engine();
     e.deploy(ProcessDef::new(
@@ -208,20 +253,36 @@ fn translate_and_ws_steps() {
         'A',
         EventType::Timed,
         vec![
-            Step::WsQuery { service: "testws".into(), operation: "items".into(), output: "raw".into() },
-            Step::Translate { stx: sheet, input: "raw".into(), output: "tr".into() },
+            Step::WsQuery {
+                service: "testws".into(),
+                operation: "items".into(),
+                output: "raw".into(),
+            },
+            Step::Translate {
+                stx: sheet,
+                input: "raw".into(),
+                output: "tr".into(),
+            },
             Step::XmlToRel {
                 input: "tr".into(),
                 schema: RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared(),
                 output: "rel".into(),
             },
-            Step::DbInsert { db: "db".into(), table: "sink".into(), input: "rel".into(), mode: LoadMode::Insert },
+            Step::DbInsert {
+                db: "db".into(),
+                table: "sink".into(),
+                input: "rel".into(),
+                mode: LoadMode::Insert,
+            },
         ],
     ))
     .unwrap();
     e.execute("W", 0, None).unwrap();
     let sink = e.world.database("db").unwrap().table("sink").unwrap();
-    assert_eq!(sink.get_by_pk(&[Value::Int(9)]).unwrap()[1], Value::str("ws-item"));
+    assert_eq!(
+        sink.get_by_pk(&[Value::Int(9)]).unwrap()[1],
+        Value::str("ws-item")
+    );
 }
 
 #[test]
@@ -255,32 +316,69 @@ fn db_call_and_delete_steps() {
         },
     ])
     .unwrap();
-    assert_eq!(e.world.database("db").unwrap().table("t").unwrap().row_count(), 1);
+    assert_eq!(
+        e.world
+            .database("db")
+            .unwrap()
+            .table("t")
+            .unwrap()
+            .row_count(),
+        1
+    );
 }
 
 #[test]
 fn union_distinct_step_on_variables() {
     let e = run_timed(vec![
-        Step::DbQuery { db: "db".into(), plan: Plan::scan("t"), output: "a".into() },
-        Step::DbQuery { db: "db".into(), plan: Plan::scan("t"), output: "b".into() },
+        Step::DbQuery {
+            db: "db".into(),
+            plan: Plan::scan("t"),
+            output: "a".into(),
+        },
+        Step::DbQuery {
+            db: "db".into(),
+            plan: Plan::scan("t"),
+            output: "b".into(),
+        },
         Step::UnionDistinct {
             inputs: vec!["a".into(), "b".into()],
             key: Some(vec![0]),
             output: "u".into(),
         },
-        Step::DbInsert { db: "db".into(), table: "sink".into(), input: "u".into(), mode: LoadMode::Insert },
+        Step::DbInsert {
+            db: "db".into(),
+            table: "sink".into(),
+            input: "u".into(),
+            mode: LoadMode::Insert,
+        },
     ])
     .unwrap();
     // duplicates across the two scans were eliminated — the insert (plain
     // mode, duplicate keys would error) succeeded with exactly 3 rows
-    assert_eq!(e.world.database("db").unwrap().table("sink").unwrap().row_count(), 3);
+    assert_eq!(
+        e.world
+            .database("db")
+            .unwrap()
+            .table("sink")
+            .unwrap()
+            .row_count(),
+        3
+    );
 }
 
 #[test]
 fn join_step_enriches() {
     let e = run_timed(vec![
-        Step::DbQuery { db: "db".into(), plan: Plan::scan("t"), output: "l".into() },
-        Step::DbQuery { db: "db".into(), plan: Plan::scan("t"), output: "r".into() },
+        Step::DbQuery {
+            db: "db".into(),
+            plan: Plan::scan("t"),
+            output: "l".into(),
+        },
+        Step::DbQuery {
+            db: "db".into(),
+            plan: Plan::scan("t"),
+            output: "r".into(),
+        },
         Step::Join {
             left: "l".into(),
             right: "r".into(),
@@ -301,9 +399,17 @@ fn join_step_enriches() {
             ],
             output: "p".into(),
         },
-        Step::DbInsert { db: "db".into(), table: "sink".into(), input: "p".into(), mode: LoadMode::Insert },
+        Step::DbInsert {
+            db: "db".into(),
+            table: "sink".into(),
+            input: "p".into(),
+            mode: LoadMode::Insert,
+        },
     ])
     .unwrap();
     let sink = e.world.database("db").unwrap().table("sink").unwrap();
-    assert_eq!(sink.get_by_pk(&[Value::Int(1)]).unwrap()[1], Value::str("one+one"));
+    assert_eq!(
+        sink.get_by_pk(&[Value::Int(1)]).unwrap()[1],
+        Value::str("one+one")
+    );
 }

@@ -22,7 +22,9 @@ pub struct WallClock {
 
 impl WallClock {
     pub fn new() -> WallClock {
-        WallClock { epoch: Instant::now() }
+        WallClock {
+            epoch: Instant::now(),
+        }
     }
 }
 
@@ -50,7 +52,9 @@ pub struct VirtualClock {
 
 impl VirtualClock {
     pub fn new() -> VirtualClock {
-        VirtualClock { micros: AtomicU64::new(0) }
+        VirtualClock {
+            micros: AtomicU64::new(0),
+        }
     }
 
     /// Advance by `d` and return the new now.

@@ -13,7 +13,10 @@ pub enum LatencyModel {
     Uniform { min_micros: u64, max_micros: u64 },
     /// Normal(mean, stddev), truncated at zero — the jittery wireless
     /// profile of the paper's experimental setup.
-    Normal { mean_micros: f64, stddev_micros: f64 },
+    Normal {
+        mean_micros: f64,
+        stddev_micros: f64,
+    },
 }
 
 impl LatencyModel {
@@ -21,11 +24,17 @@ impl LatencyModel {
     pub fn sample(&self, rng: &mut StdRng) -> Duration {
         match self {
             LatencyModel::Fixed { micros } => Duration::from_micros(*micros),
-            LatencyModel::Uniform { min_micros, max_micros } => {
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => {
                 let (lo, hi) = (*min_micros.min(max_micros), *min_micros.max(max_micros));
                 Duration::from_micros(rng.gen_range(lo..=hi))
             }
-            LatencyModel::Normal { mean_micros, stddev_micros } => {
+            LatencyModel::Normal {
+                mean_micros,
+                stddev_micros,
+            } => {
                 // Box–Muller; no external distribution crates.
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
@@ -40,9 +49,10 @@ impl LatencyModel {
     pub fn mean(&self) -> Duration {
         match self {
             LatencyModel::Fixed { micros } => Duration::from_micros(*micros),
-            LatencyModel::Uniform { min_micros, max_micros } => {
-                Duration::from_micros((min_micros + max_micros) / 2)
-            }
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => Duration::from_micros((min_micros + max_micros) / 2),
             LatencyModel::Normal { mean_micros, .. } => {
                 Duration::from_micros(mean_micros.max(0.0) as u64)
             }
@@ -67,7 +77,10 @@ mod tests {
     #[test]
     fn uniform_stays_in_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = LatencyModel::Uniform { min_micros: 100, max_micros: 200 };
+        let m = LatencyModel::Uniform {
+            min_micros: 100,
+            max_micros: 200,
+        };
         for _ in 0..1000 {
             let d = m.sample(&mut rng).as_micros() as u64;
             assert!((100..=200).contains(&d));
@@ -77,7 +90,10 @@ mod tests {
     #[test]
     fn normal_is_roughly_centered_and_nonnegative() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = LatencyModel::Normal { mean_micros: 1000.0, stddev_micros: 200.0 };
+        let m = LatencyModel::Normal {
+            mean_micros: 1000.0,
+            stddev_micros: 200.0,
+        };
         let n = 2000;
         let mut sum = 0u128;
         for _ in 0..n {
@@ -89,7 +105,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let m = LatencyModel::Normal { mean_micros: 500.0, stddev_micros: 100.0 };
+        let m = LatencyModel::Normal {
+            mean_micros: 500.0,
+            stddev_micros: 100.0,
+        };
         let a: Vec<Duration> = {
             let mut rng = StdRng::seed_from_u64(42);
             (0..5).map(|_| m.sample(&mut rng)).collect()

@@ -34,7 +34,10 @@ pub struct LinkSpec {
 
 impl LinkSpec {
     pub fn new(latency: LatencyModel, bandwidth_bps: u64) -> LinkSpec {
-        LinkSpec { latency, bandwidth_bps }
+        LinkSpec {
+            latency,
+            bandwidth_bps,
+        }
     }
 }
 
@@ -112,6 +115,16 @@ impl Network {
             s.bytes += bytes as u64;
             s.total_delay += delay;
         }
+        // The delay is a model quantity (nothing blocks in Accounted
+        // mode), so it is recorded as a modeled span rather than measured.
+        dip_trace::record_modeled(
+            dip_trace::Layer::Netsim,
+            "transfer",
+            Some(dip_trace::Category::Communication),
+            delay,
+        );
+        dip_trace::count("netsim.messages", 1);
+        dip_trace::count("netsim.bytes", bytes as u64);
         if self.mode == TransferMode::RealSleep {
             std::thread::sleep(delay);
         }
@@ -156,7 +169,11 @@ mod tests {
     #[test]
     fn specific_link_overrides() {
         let mut n = net();
-        n.set_link("a", "b", LinkSpec::new(LatencyModel::Fixed { micros: 5 }, 0));
+        n.set_link(
+            "a",
+            "b",
+            LinkSpec::new(LatencyModel::Fixed { micros: 5 }, 0),
+        );
         assert_eq!(n.transfer("a", "b", 999), Duration::from_micros(5));
         // reverse direction still default
         assert_eq!(n.transfer("b", "a", 0), Duration::from_micros(100));
@@ -178,7 +195,11 @@ mod tests {
     #[test]
     fn zero_bandwidth_means_latency_only() {
         let mut n = net();
-        n.set_link("x", "y", LinkSpec::new(LatencyModel::Fixed { micros: 42 }, 0));
+        n.set_link(
+            "x",
+            "y",
+            LinkSpec::new(LatencyModel::Fixed { micros: 42 }, 0),
+        );
         assert_eq!(n.transfer("x", "y", 1_000_000), Duration::from_micros(42));
     }
 }

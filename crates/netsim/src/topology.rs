@@ -38,7 +38,10 @@ pub const APPS: [&str; 3] = ["app.vienna", "app.san_diego", "app.mdm_europe"];
 /// of base latency with heavy jitter, ~20 Mbit/s of payload throughput.
 pub fn wireless_link() -> LinkSpec {
     LinkSpec::new(
-        LatencyModel::Normal { mean_micros: 400.0, stddev_micros: 120.0 },
+        LatencyModel::Normal {
+            mean_micros: 400.0,
+            stddev_micros: 120.0,
+        },
         2_500_000, // 2.5 MB/s
     )
 }
@@ -85,6 +88,9 @@ mod tests {
         for _ in 0..50 {
             min_wireless = min_wireless.min(net.transfer(IS, "es.cdb", 0));
         }
-        assert!(local < min_wireless, "local {local:?} vs wireless {min_wireless:?}");
+        assert!(
+            local < min_wireless,
+            "local {local:?} vs wireless {min_wireless:?}"
+        );
     }
 }

@@ -106,9 +106,8 @@ impl Database {
             .cloned()
             .unwrap_or_default();
         for tr in triggers {
-            (tr.body)(self, &fired_rows).map_err(|e| {
-                StoreError::Procedure(format!("trigger {} failed: {e}", tr.name))
-            })?;
+            (tr.body)(self, &fired_rows)
+                .map_err(|e| StoreError::Procedure(format!("trigger {} failed: {e}", tr.name)))?;
         }
         Ok(n)
     }
@@ -127,7 +126,10 @@ impl Database {
             .write()
             .entry(table.to_lowercase())
             .or_default()
-            .push(Trigger { name: name.into(), body });
+            .push(Trigger {
+                name: name.into(),
+                body,
+            });
         Ok(())
     }
 
@@ -205,7 +207,11 @@ mod tests {
     fn db() -> Database {
         let db = Database::new("testdb");
         let schema = RelSchema::of(&[("id", SqlType::Int), ("v", SqlType::Str)]).shared();
-        db.create_table(Table::new("src", schema.clone()).with_primary_key(&["id"]).unwrap());
+        db.create_table(
+            Table::new("src", schema.clone())
+                .with_primary_key(&["id"])
+                .unwrap(),
+        );
         db.create_table(Table::new("dst", schema).with_primary_key(&["id"]).unwrap());
         db
     }
@@ -222,7 +228,8 @@ mod tests {
             }),
         )
         .unwrap();
-        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]]).unwrap();
+        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]])
+            .unwrap();
         assert_eq!(db.table("dst").unwrap().row_count(), 1);
     }
 
@@ -251,11 +258,18 @@ mod tests {
             Arc::new(|db, args| {
                 let t = db.table(&args[0].render())?;
                 let schema = RelSchema::of(&[("n", SqlType::Int)]).shared();
-                Ok(Some(Relation::new(schema, vec![vec![Value::Int(t.row_count() as i64)]])))
+                Ok(Some(Relation::new(
+                    schema,
+                    vec![vec![Value::Int(t.row_count() as i64)]],
+                )))
             }),
         );
-        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]]).unwrap();
-        let rel = db.call_procedure("SP_COUNT", &[Value::str("src")]).unwrap().unwrap();
+        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]])
+            .unwrap();
+        let rel = db
+            .call_procedure("SP_COUNT", &[Value::str("src")])
+            .unwrap()
+            .unwrap();
         assert_eq!(rel.rows[0][0], Value::Int(1));
         assert!(db.call_procedure("nope", &[]).is_err());
     }
@@ -263,7 +277,8 @@ mod tests {
     #[test]
     fn truncate_all_and_total_rows() {
         let db = db();
-        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]]).unwrap();
+        db.insert_into("src", vec![vec![Value::Int(1), Value::str("a")]])
+            .unwrap();
         assert_eq!(db.total_rows(), 1);
         db.truncate_all();
         assert_eq!(db.total_rows(), 0);

@@ -77,8 +77,11 @@ pub enum Expr {
     /// `CASE WHEN cond THEN a ELSE b END`.
     Case(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Escape hatch for computed enrichments (e.g. semantic value maps).
-    Apply(Arc<dyn Fn(&[Value]) -> StoreResult<Value> + Send + Sync>, Vec<Expr>),
+    Apply(ApplyFn, Vec<Expr>),
 }
+
+/// The callable of an [`Expr::Apply`] node.
+pub type ApplyFn = Arc<dyn Fn(&[Value]) -> StoreResult<Value> + Send + Sync>;
 
 impl fmt::Debug for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -102,6 +105,10 @@ impl fmt::Debug for Expr {
     }
 }
 
+// The builder methods mirror SQL operator names; `not`/`add`/`sub`/`mul`/
+// `div` intentionally shadow the std operator-trait names because they
+// build AST nodes rather than evaluate.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     pub fn col(idx: usize) -> Expr {
         Expr::Col(idx)
@@ -210,8 +217,10 @@ impl Expr {
                     });
                 }
                 let (x, y) = (
-                    a.to_float().ok_or_else(|| StoreError::Eval(format!("non-numeric: {a}")))?,
-                    b.to_float().ok_or_else(|| StoreError::Eval(format!("non-numeric: {b}")))?,
+                    a.to_float()
+                        .ok_or_else(|| StoreError::Eval(format!("non-numeric: {a}")))?,
+                    b.to_float()
+                        .ok_or_else(|| StoreError::Eval(format!("non-numeric: {b}")))?,
                 );
                 Ok(match op {
                     ArithOp::Add => Value::Float(x + y),
@@ -364,12 +373,14 @@ impl Expr {
                 Box::new(a.remap_columns(map)),
                 Box::new(b.remap_columns(map)),
             ),
-            Expr::And(a, b) => {
-                Expr::And(Box::new(a.remap_columns(map)), Box::new(b.remap_columns(map)))
-            }
-            Expr::Or(a, b) => {
-                Expr::Or(Box::new(a.remap_columns(map)), Box::new(b.remap_columns(map)))
-            }
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
             Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
             Expr::Like(e, p) => Expr::Like(Box::new(e.remap_columns(map)), p.clone()),
@@ -377,9 +388,7 @@ impl Expr {
             Expr::Coalesce(args) => {
                 Expr::Coalesce(args.iter().map(|a| a.remap_columns(map)).collect())
             }
-            Expr::Concat(args) => {
-                Expr::Concat(args.iter().map(|a| a.remap_columns(map)).collect())
-            }
+            Expr::Concat(args) => Expr::Concat(args.iter().map(|a| a.remap_columns(map)).collect()),
             Expr::Func(f, e) => Expr::Func(*f, Box::new(e.remap_columns(map))),
             Expr::Case(c, t, e) => Expr::Case(
                 Box::new(c.remap_columns(map)),
@@ -401,7 +410,9 @@ fn eval_func(f: ScalarFunc, v: Value) -> StoreResult<Value> {
             let d = match v {
                 Value::Date(d) => d,
                 other => {
-                    return Err(StoreError::Eval(format!("date function on non-date {other}")))
+                    return Err(StoreError::Eval(format!(
+                        "date function on non-date {other}"
+                    )))
                 }
             };
             let (y, m, dd) = date_parts(d);
@@ -481,7 +492,9 @@ mod tests {
     #[test]
     fn comparisons_and_logic() {
         let r = row();
-        let e = Expr::col(0).gt(Expr::lit(5)).and(Expr::col(1).eq(Expr::lit("Berlin")));
+        let e = Expr::col(0)
+            .gt(Expr::lit(5))
+            .and(Expr::col(1).eq(Expr::lit("Berlin")));
         assert!(e.matches(&r).unwrap());
         let e = Expr::col(3).eq(Expr::lit(1));
         assert!(!e.matches(&r).unwrap()); // NULL comparison is not true
@@ -515,7 +528,10 @@ mod tests {
         );
         assert!(Expr::col(0).div(Expr::lit(0)).eval(&r).is_err());
         // NULL propagates
-        assert_eq!(Expr::col(3).add(Expr::lit(1)).eval(&r).unwrap(), Value::Null);
+        assert_eq!(
+            Expr::col(3).add(Expr::lit(1)).eval(&r).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -526,7 +542,9 @@ mod tests {
             Value::Int(2008)
         );
         assert_eq!(
-            Expr::func(ScalarFunc::Month, Expr::col(4)).eval(&r).unwrap(),
+            Expr::func(ScalarFunc::Month, Expr::col(4))
+                .eval(&r)
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
@@ -550,7 +568,9 @@ mod tests {
     fn coalesce_concat_case() {
         let r = row();
         assert_eq!(
-            Expr::Coalesce(vec![Expr::col(3), Expr::lit(7)]).eval(&r).unwrap(),
+            Expr::Coalesce(vec![Expr::col(3), Expr::lit(7)])
+                .eval(&r)
+                .unwrap(),
             Value::Int(7)
         );
         assert_eq!(
@@ -559,7 +579,11 @@ mod tests {
                 .unwrap(),
             Value::str("Berlin-10")
         );
-        let e = Expr::case(Expr::col(0).gt(Expr::lit(5)), Expr::lit("big"), Expr::lit("small"));
+        let e = Expr::case(
+            Expr::col(0).gt(Expr::lit(5)),
+            Expr::lit("big"),
+            Expr::lit("small"),
+        );
         assert_eq!(e.eval(&r).unwrap(), Value::str("big"));
     }
 

@@ -44,12 +44,22 @@ pub struct Index {
 }
 
 impl Index {
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Index {
         let store = match kind {
             IndexKind::Hash => Store::Hash(HashMap::new()),
             IndexKind::BTree => Store::BTree(BTreeMap::new()),
         };
-        Index { name: name.into(), columns, unique, store }
+        Index {
+            name: name.into(),
+            columns,
+            unique,
+            store,
+        }
     }
 
     pub fn kind(&self) -> IndexKind {
@@ -127,9 +137,7 @@ impl Index {
                 .collect(),
             Store::Hash(m) => m
                 .iter()
-                .filter(|(k, _)| {
-                    k.as_slice() >= lo && k.as_slice() <= hi
-                })
+                .filter(|(k, _)| k.as_slice() >= lo && k.as_slice() <= hi)
                 .flat_map(|(_, slots)| slots.iter().copied())
                 .collect(),
         }

@@ -114,9 +114,14 @@ impl MatView {
                     .iter()
                     .all(|a| matches!(a.func, AggFunc::Sum | AggFunc::Count));
                 match (deltable, input.as_ref()) {
-                    (true, Plan::Scan { table, predicate: None, projection: None }) => {
-                        Some(table.clone())
-                    }
+                    (
+                        true,
+                        Plan::Scan {
+                            table,
+                            predicate: None,
+                            projection: None,
+                        },
+                    ) => Some(table.clone()),
                     _ => None,
                 }
             }
@@ -139,7 +144,8 @@ impl MatView {
             return Ok(None);
         }
         let storage = db.table(&self.storage)?;
-        if storage.primary_key_columns().as_deref() != Some(&(0..group_by.len()).collect::<Vec<_>>())
+        if storage.primary_key_columns().as_deref()
+            != Some(&(0..group_by.len()).collect::<Vec<_>>())
         {
             // storage must be keyed by the leading group columns
             return Ok(None);
@@ -241,7 +247,9 @@ mod tests {
         ])
         .shared();
         db.create_table(
-            Table::new("orders_mv", mv_schema).with_primary_key(&["city"]).unwrap(),
+            Table::new("orders_mv", mv_schema)
+                .with_primary_key(&["city"])
+                .unwrap(),
         );
         let def = Plan::scan("orders").aggregate(
             vec![0],
@@ -307,7 +315,11 @@ mod tests {
         let db = setup(RefreshMode::Incremental);
         add(&db, "Berlin", 4.0);
         db.refresh_view("orders_mv").unwrap();
-        let row = db.table("orders_mv").unwrap().get_by_pk(&[Value::str("Berlin")]).unwrap();
+        let row = db
+            .table("orders_mv")
+            .unwrap()
+            .get_by_pk(&[Value::str("Berlin")])
+            .unwrap();
         assert_eq!(row[1], Value::Float(4.0));
     }
 
@@ -345,7 +357,10 @@ mod fallback_tests {
         db.create_table(Table::new("mv", mv).with_primary_key(&["city"]).unwrap());
         let def = Plan::scan("orders")
             .filter(Expr::col(1).gt(Expr::lit(0.0)))
-            .aggregate(vec![0], vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "rev")]);
+            .aggregate(
+                vec![0],
+                vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "rev")],
+            );
         let view = db.create_view(MatView::new("mv", "mv", def, RefreshMode::Incremental));
         db.table("orders")
             .unwrap()
@@ -366,8 +381,10 @@ mod fallback_tests {
         db.create_table(Table::new("orders", orders).with_change_capture());
         let mv = RelSchema::of(&[("city", SqlType::Str), ("mx", SqlType::Float)]).shared();
         db.create_table(Table::new("mv", mv).with_primary_key(&["city"]).unwrap());
-        let def = Plan::scan("orders")
-            .aggregate(vec![0], vec![AggExpr::new(AggFunc::Max, Expr::col(1), "mx")]);
+        let def = Plan::scan("orders").aggregate(
+            vec![0],
+            vec![AggExpr::new(AggFunc::Max, Expr::col(1), "mx")],
+        );
         let view = db.create_view(MatView::new("mv", "mv", def, RefreshMode::Incremental));
         db.table("orders")
             .unwrap()

@@ -41,9 +41,34 @@ pub fn run_query(plan: &Plan, db: &Database) -> StoreResult<Relation> {
     execute(plan, db, ExecOptions::default())
 }
 
-fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+/// Trace label of a plan node (one span per executed node).
+fn plan_op(plan: &Plan) -> &'static str {
     match plan {
-        Plan::Scan { table, predicate, projection } => {
+        Plan::Scan { .. } => "scan",
+        Plan::Values(_) => "values",
+        Plan::Filter { .. } => "filter",
+        Plan::Project { .. } => "project",
+        Plan::HashJoin { .. } => "hash_join",
+        Plan::UnionAll(_) => "union_all",
+        Plan::UnionDistinct { .. } => "union_distinct",
+        Plan::Aggregate { .. } => "aggregate",
+        Plan::Sort { .. } => "sort",
+        Plan::Limit { .. } => "limit",
+    }
+}
+
+fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    let _span = dip_trace::span_cat(
+        dip_trace::Layer::Relstore,
+        plan_op(plan),
+        dip_trace::Category::Processing,
+    );
+    match plan {
+        Plan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
             let t = db.table(table)?;
             match predicate {
                 Some(p) => t.scan_where(p, projection.as_deref()),
@@ -81,7 +106,13 @@ fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
             }
             Ok(Relation::new(schema, rows))
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
             let l = run(left, db)?;
             let r = run(right, db)?;
             hash_join(db, plan, l, r, left_keys, right_keys, *kind)
@@ -137,7 +168,11 @@ fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
             }
             Ok(Relation::new(schema, rows))
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let rel = run(input, db)?;
             let schema = plan.schema(db)?;
             let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
@@ -242,7 +277,7 @@ fn hash_join(
             None => {
                 if kind == JoinKind::Left && probe_is_left {
                     let mut row: Row = pr.clone();
-                    row.extend(std::iter::repeat(Value::Null).take(build.schema.len()));
+                    row.extend(std::iter::repeat_n(Value::Null, build.schema.len()));
                     rows.push(row);
                 }
             }
@@ -263,7 +298,13 @@ struct AggState {
 
 impl AggState {
     fn new(func: AggFunc) -> AggState {
-        AggState { func, count: 0, sum: 0.0, min: None, max: None }
+        AggState {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, v: Option<Value>) {
@@ -286,14 +327,14 @@ impl AggState {
             }
             AggFunc::Min => {
                 if let Some(x) = v {
-                    if !x.is_null() && self.min.as_ref().map_or(true, |m| x < *m) {
+                    if !x.is_null() && self.min.as_ref().is_none_or(|m| x < *m) {
                         self.min = Some(x);
                     }
                 }
             }
             AggFunc::Max => {
                 if let Some(x) = v {
-                    if !x.is_null() && self.max.as_ref().map_or(true, |m| x > *m) {
+                    if !x.is_null() && self.max.as_ref().is_none_or(|m| x > *m) {
                         self.max = Some(x);
                     }
                 }

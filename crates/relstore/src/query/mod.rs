@@ -26,7 +26,9 @@ mod tests {
         ])
         .shared();
         let city = RelSchema::of(&[("citykey", SqlType::Int), ("cname", SqlType::Str)]).shared();
-        let t = Table::new("customer", cust).with_primary_key(&["custkey"]).unwrap();
+        let t = Table::new("customer", cust)
+            .with_primary_key(&["custkey"])
+            .unwrap();
         t.insert(vec![
             vec![Value::Int(1), Value::str("alpha"), Value::Int(10)],
             vec![Value::Int(2), Value::str("beta"), Value::Int(20)],
@@ -35,7 +37,9 @@ mod tests {
         ])
         .unwrap();
         db.create_table(t);
-        let t = Table::new("city", city).with_primary_key(&["citykey"]).unwrap();
+        let t = Table::new("city", city)
+            .with_primary_key(&["citykey"])
+            .unwrap();
         t.insert(vec![
             vec![Value::Int(10), Value::str("Berlin")],
             vec![Value::Int(20), Value::str("Paris")],
@@ -51,7 +55,9 @@ mod tests {
         let schema = db.table("customer").unwrap().schema.clone();
         let plan = Plan::scan("customer")
             .filter(Expr::col(2).eq(Expr::lit(10)))
-            .project(vec![ProjExpr::passthrough(&schema, "name", Some("n")).unwrap()]);
+            .project(vec![
+                ProjExpr::passthrough(&schema, "name", Some("n")).unwrap()
+            ]);
         let rel = run_query(&plan, &db).unwrap();
         assert_eq!(rel.schema.names(), vec!["n"]);
         let mut names: Vec<String> = rel.rows.iter().map(|r| r[0].render()).collect();
@@ -62,12 +68,8 @@ mod tests {
     #[test]
     fn inner_join() {
         let db = db();
-        let plan = Plan::scan("customer").hash_join(
-            Plan::scan("city"),
-            vec![2],
-            vec![0],
-            JoinKind::Inner,
-        );
+        let plan =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
         let rel = run_query(&plan, &db).unwrap();
         assert_eq!(rel.len(), 3); // delta's citykey 99 has no match
         assert_eq!(rel.schema.len(), 5);
@@ -76,12 +78,8 @@ mod tests {
     #[test]
     fn left_join_pads_nulls() {
         let db = db();
-        let plan = Plan::scan("customer").hash_join(
-            Plan::scan("city"),
-            vec![2],
-            vec![0],
-            JoinKind::Left,
-        );
+        let plan =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Left);
         let mut rel = run_query(&plan, &db).unwrap();
         assert_eq!(rel.len(), 4);
         rel.sort_by_columns(&[0]);
@@ -115,7 +113,10 @@ mod tests {
         let db = db();
         let plan = Plan::scan("customer").aggregate(
             vec![2],
-            vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Max, Expr::col(0), "maxk")],
+            vec![
+                AggExpr::count_star("n"),
+                AggExpr::new(AggFunc::Max, Expr::col(0), "maxk"),
+            ],
         );
         let mut rel = run_query(&plan, &db).unwrap();
         rel.sort_by_columns(&[0]);
@@ -150,7 +151,11 @@ mod tests {
         let schema = db.table("customer").unwrap().schema.clone();
         let plan = Plan::scan("customer")
             .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
-            .filter(Expr::col(1).like("%a%").and(Expr::col(4).eq(Expr::lit("Berlin"))))
+            .filter(
+                Expr::col(1)
+                    .like("%a%")
+                    .and(Expr::col(4).eq(Expr::lit("Berlin"))),
+            )
             .project(vec![ProjExpr::passthrough(&schema, "name", None).unwrap()]);
         let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
         let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();

@@ -42,10 +42,18 @@ pub struct AggExpr {
 
 impl AggExpr {
     pub fn count_star(name: impl Into<String>) -> AggExpr {
-        AggExpr { func: AggFunc::Count, input: None, name: name.into() }
+        AggExpr {
+            func: AggFunc::Count,
+            input: None,
+            name: name.into(),
+        }
     }
     pub fn new(func: AggFunc, input: Expr, name: impl Into<String>) -> AggExpr {
-        AggExpr { func, input: Some(input), name: name.into() }
+        AggExpr {
+            func,
+            input: Some(input),
+            name: name.into(),
+        }
     }
 
     fn out_type(&self, _input: &RelSchema) -> SqlType {
@@ -69,17 +77,27 @@ pub struct ProjExpr {
 
 impl ProjExpr {
     pub fn new(expr: Expr, name: impl Into<String>, ty: SqlType) -> ProjExpr {
-        ProjExpr { expr, column: Column::new(name, ty) }
+        ProjExpr {
+            expr,
+            column: Column::new(name, ty),
+        }
     }
 
     /// Pass a column of `schema` through unchanged (possibly renamed).
-    pub fn passthrough(schema: &RelSchema, col: &str, rename: Option<&str>) -> StoreResult<ProjExpr> {
+    pub fn passthrough(
+        schema: &RelSchema,
+        col: &str,
+        rename: Option<&str>,
+    ) -> StoreResult<ProjExpr> {
         let idx = schema.index_of(col)?;
         let mut column = schema.column(idx).clone();
         if let Some(r) = rename {
             column.name = r.to_string();
         }
-        Ok(ProjExpr { expr: Expr::Col(idx), column })
+        Ok(ProjExpr {
+            expr: Expr::Col(idx),
+            column,
+        })
     }
 }
 
@@ -136,18 +154,34 @@ pub enum Plan {
 
 impl Plan {
     pub fn scan(table: impl Into<String>) -> Plan {
-        Plan::Scan { table: table.into(), predicate: None, projection: None }
+        Plan::Scan {
+            table: table.into(),
+            predicate: None,
+            projection: None,
+        }
     }
 
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter { input: Box::new(self), predicate }
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     pub fn project(self, exprs: Vec<ProjExpr>) -> Plan {
-        Plan::Project { input: Box::new(self), exprs }
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
-    pub fn hash_join(self, right: Plan, left_keys: Vec<usize>, right_keys: Vec<usize>, kind: JoinKind) -> Plan {
+    pub fn hash_join(
+        self,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+    ) -> Plan {
         Plan::HashJoin {
             left: Box::new(self),
             right: Box::new(right),
@@ -158,21 +192,33 @@ impl Plan {
     }
 
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Plan {
-        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     pub fn sort(self, keys: Vec<usize>) -> Plan {
-        Plan::Sort { input: Box::new(self), keys }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Compute the output schema against `db`.
     pub fn schema(&self, db: &Database) -> StoreResult<SchemaRef> {
         match self {
-            Plan::Scan { table, projection, .. } => {
+            Plan::Scan {
+                table, projection, ..
+            } => {
                 let t = db.table(table)?;
                 Ok(match projection {
                     Some(p) => t.schema.project(p).shared(),
@@ -181,11 +227,12 @@ impl Plan {
             }
             Plan::Values(rel) => Ok(rel.schema.clone()),
             Plan::Filter { input, .. } => input.schema(db),
-            Plan::Project { exprs, .. } => Ok(RelSchema::new(
-                exprs.iter().map(|p| p.column.clone()).collect(),
-            )
-            .shared()),
-            Plan::HashJoin { left, right, kind, .. } => {
+            Plan::Project { exprs, .. } => {
+                Ok(RelSchema::new(exprs.iter().map(|p| p.column.clone()).collect()).shared())
+            }
+            Plan::HashJoin {
+                left, right, kind, ..
+            } => {
                 let l = left.schema(db)?;
                 let mut r = (*right.schema(db)?).clone();
                 if *kind == JoinKind::Left {
@@ -205,10 +252,16 @@ impl Plan {
                     .ok_or_else(|| StoreError::Invalid("empty union".into()))?;
                 first.schema(db)
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let in_schema = input.schema(db)?;
-                let mut cols: Vec<Column> =
-                    group_by.iter().map(|&i| in_schema.column(i).clone()).collect();
+                let mut cols: Vec<Column> = group_by
+                    .iter()
+                    .map(|&i| in_schema.column(i).clone())
+                    .collect();
                 for a in aggs {
                     cols.push(Column::new(a.name.clone(), a.out_type(&in_schema)));
                 }
@@ -221,7 +274,9 @@ impl Plan {
     /// Rough output-cardinality estimate for join-side selection.
     pub fn estimate_rows(&self, db: &Database) -> usize {
         match self {
-            Plan::Scan { table, predicate, .. } => {
+            Plan::Scan {
+                table, predicate, ..
+            } => {
                 let n = db.table(table).map(|t| t.row_count()).unwrap_or(0);
                 if predicate.is_some() {
                     // classic 1/3 selectivity guess
@@ -239,7 +294,9 @@ impl Plan {
             Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
                 inputs.iter().map(|i| i.estimate_rows(db)).sum()
             }
-            Plan::Aggregate { input, group_by, .. } => {
+            Plan::Aggregate {
+                input, group_by, ..
+            } => {
                 if group_by.is_empty() {
                     1
                 } else {
@@ -261,7 +318,11 @@ impl Plan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            Plan::Scan { table, predicate, projection } => {
+            Plan::Scan {
+                table,
+                predicate,
+                projection,
+            } => {
                 out.push_str(&format!("{pad}Scan {table}"));
                 if let Some(p) = predicate {
                     out.push_str(&format!(" pred={p:?}"));
@@ -281,7 +342,13 @@ impl Plan {
                 out.push_str(&format!("{pad}Project {names:?}\n"));
                 input.explain_into(out, depth + 1);
             }
-            Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
                 out.push_str(&format!(
                     "{pad}HashJoin {kind:?} on {left_keys:?}={right_keys:?}\n"
                 ));
@@ -300,7 +367,11 @@ impl Plan {
                     i.explain_into(out, depth + 1);
                 }
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
                 out.push_str(&format!("{pad}Aggregate by {group_by:?} -> {names:?}\n"));
                 input.explain_into(out, depth + 1);

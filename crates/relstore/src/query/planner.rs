@@ -36,7 +36,13 @@ fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
             let input = rewrite(*input, db)?;
             push_project(input, exprs, db)?
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, kind } => Plan::HashJoin {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => Plan::HashJoin {
             left: Box::new(rewrite(*left, db)?),
             right: Box::new(rewrite(*right, db)?),
             left_keys,
@@ -60,13 +66,23 @@ fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
                 .collect::<StoreResult<Vec<_>>>()?,
             key,
         },
-        Plan::Aggregate { input, group_by, aggs } => Plan::Aggregate {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
             input: Box::new(rewrite(*input, db)?),
             group_by,
             aggs,
         },
-        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(rewrite(*input, db)?), keys },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, db)?), n },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(rewrite(*input, db)?),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(rewrite(*input, db)?),
+            n,
+        },
         leaf => leaf,
     };
     Ok(plan)
@@ -75,18 +91,35 @@ fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
 /// Push a filter predicate into `input` where possible.
 fn push_filter(input: Plan, predicate: Expr, db: &Database) -> StoreResult<Plan> {
     match input {
-        Plan::Scan { table, predicate: existing, projection } => {
+        Plan::Scan {
+            table,
+            predicate: existing,
+            projection,
+        } => {
             let merged = match existing {
                 Some(e) => e.and(predicate),
                 None => predicate,
             };
-            Ok(Plan::Scan { table, predicate: Some(merged), projection })
+            Ok(Plan::Scan {
+                table,
+                predicate: Some(merged),
+                projection,
+            })
         }
-        Plan::Filter { input, predicate: inner } => {
+        Plan::Filter {
+            input,
+            predicate: inner,
+        } => {
             // merge and retry pushdown on the combined predicate
             push_filter(*input, inner.and(predicate), db)
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
             let left_width = left.schema(db)?.len();
             let conjuncts = split_conjuncts(predicate);
             let mut left_preds = Vec::new();
@@ -122,7 +155,10 @@ fn push_filter(input: Plan, predicate: Expr, db: &Database) -> StoreResult<Plan>
                 kind,
             };
             Ok(match conjoin(residual) {
-                Some(p) => Plan::Filter { input: Box::new(join), predicate: p },
+                Some(p) => Plan::Filter {
+                    input: Box::new(join),
+                    predicate: p,
+                },
                 None => join,
             })
         }
@@ -134,7 +170,10 @@ fn push_filter(input: Plan, predicate: Expr, db: &Database) -> StoreResult<Plan>
                 .collect();
             Ok(Plan::UnionAll(pushed?))
         }
-        other => Ok(Plan::Filter { input: Box::new(other), predicate }),
+        other => Ok(Plan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
     }
 }
 
@@ -148,7 +187,12 @@ fn push_project(
     exprs: Vec<crate::query::plan::ProjExpr>,
     db: &Database,
 ) -> StoreResult<Plan> {
-    if let Plan::Scan { table, predicate, projection: None } = &input {
+    if let Plan::Scan {
+        table,
+        predicate,
+        projection: None,
+    } = &input
+    {
         let schema = db.table(table)?.schema.clone();
         let pure: Option<Vec<usize>> = exprs
             .iter()
@@ -165,7 +209,10 @@ fn push_project(
             });
         }
     }
-    Ok(Plan::Project { input: Box::new(input), exprs })
+    Ok(Plan::Project {
+        input: Box::new(input),
+        exprs,
+    })
 }
 
 /// Split an AND tree into its conjuncts.
@@ -212,7 +259,9 @@ mod tests {
         let plan = Plan::scan("x").filter(Expr::col(0).gt(Expr::lit(1)));
         let opt = optimize(plan, &db).unwrap();
         match opt {
-            Plan::Scan { predicate: Some(_), .. } => {}
+            Plan::Scan {
+                predicate: Some(_), ..
+            } => {}
             other => panic!("expected pushed scan, got {other:?}"),
         }
     }
@@ -224,7 +273,13 @@ mod tests {
             .filter(Expr::col(0).gt(Expr::lit(1)))
             .filter(Expr::col(1).lt(Expr::lit(9)));
         let opt = optimize(plan, &db).unwrap();
-        assert!(matches!(opt, Plan::Scan { predicate: Some(_), .. }));
+        assert!(matches!(
+            opt,
+            Plan::Scan {
+                predicate: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -243,8 +298,20 @@ mod tests {
         match opt {
             Plan::Filter { input, .. } => match *input {
                 Plan::HashJoin { left, right, .. } => {
-                    assert!(matches!(*left, Plan::Scan { predicate: Some(_), .. }));
-                    assert!(matches!(*right, Plan::Scan { predicate: Some(_), .. }));
+                    assert!(matches!(
+                        *left,
+                        Plan::Scan {
+                            predicate: Some(_),
+                            ..
+                        }
+                    ));
+                    assert!(matches!(
+                        *right,
+                        Plan::Scan {
+                            predicate: Some(_),
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected join, got {other:?}"),
             },
@@ -268,11 +335,16 @@ mod tests {
     fn projection_pushes_into_scan() {
         let db = db();
         let schema = db.table("x").unwrap().schema.clone();
-        let plan = Plan::scan("x").project(vec![
-            ProjExpr::passthrough(&schema, "b", None).unwrap(),
-        ]);
+        let plan =
+            Plan::scan("x").project(vec![ProjExpr::passthrough(&schema, "b", None).unwrap()]);
         let opt = optimize(plan, &db).unwrap();
-        assert!(matches!(opt, Plan::Scan { projection: Some(_), .. }));
+        assert!(matches!(
+            opt,
+            Plan::Scan {
+                projection: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -288,7 +360,13 @@ mod tests {
             Plan::UnionAll(inputs) => {
                 assert_eq!(inputs.len(), 3);
                 for i in inputs {
-                    assert!(matches!(i, Plan::Scan { predicate: Some(_), .. }));
+                    assert!(matches!(
+                        i,
+                        Plan::Scan {
+                            predicate: Some(_),
+                            ..
+                        }
+                    ));
                 }
             }
             other => panic!("expected flattened union, got {other:?}"),

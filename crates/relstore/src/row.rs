@@ -22,7 +22,10 @@ impl Relation {
     }
 
     pub fn empty(schema: SchemaRef) -> Relation {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -115,8 +118,7 @@ mod tests {
         assert_eq!(rel.get(0, "name"), &Value::str("b"));
         rel.sort_by_columns(&[0]);
         assert_eq!(rel.get(0, "id"), &Value::Int(1));
-        let names: Vec<String> =
-            rel.column_values("name").map(|v| v.render()).collect();
+        let names: Vec<String> = rel.column_values("name").map(|v| v.render()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

@@ -15,11 +15,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: SqlType) -> Column {
-        Column { name: name.into(), ty, nullable: true }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: impl Into<String>, ty: SqlType) -> Column {
-        Column { name: name.into(), ty, nullable: false }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 }
 
@@ -168,9 +176,13 @@ mod tests {
     #[test]
     fn check_row_arity_and_types() {
         let s = sch();
-        assert!(s.check_row(&[Value::Int(1), Value::str("a"), Value::Float(2.0)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("a"), Value::Float(2.0)])
+            .is_ok());
         // int widens to float
-        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Int(2)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Null, Value::Int(2)])
+            .is_ok());
         // NOT NULL enforced
         assert!(matches!(
             s.check_row(&[Value::Null, Value::Null, Value::Null]),
@@ -179,7 +191,9 @@ mod tests {
         // wrong arity
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         // wrong type
-        assert!(s.check_row(&[Value::str("x"), Value::Null, Value::Null]).is_err());
+        assert!(s
+            .check_row(&[Value::str("x"), Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

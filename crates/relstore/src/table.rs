@@ -56,7 +56,11 @@ impl std::fmt::Debug for Table {
 
 impl Table {
     pub fn new(name: impl Into<String>, schema: SchemaRef) -> Table {
-        Table { name: name.into(), schema, inner: RwLock::new(TableInner::default()) }
+        Table {
+            name: name.into(),
+            schema,
+            inner: RwLock::new(TableInner::default()),
+        }
     }
 
     /// Declare the primary key over the named columns (hash-unique).
@@ -75,7 +79,13 @@ impl Table {
     }
 
     /// Add a secondary index.
-    pub fn with_index(self, name: &str, cols: &[&str], unique: bool, kind: IndexKind) -> StoreResult<Table> {
+    pub fn with_index(
+        self,
+        name: &str,
+        cols: &[&str],
+        unique: bool,
+        kind: IndexKind,
+    ) -> StoreResult<Table> {
         let idxs = self.schema.indices_of(cols)?;
         {
             let mut inner = self.inner.write();
@@ -101,12 +111,20 @@ impl Table {
     /// Number of distinct keys of the primary index, if any — a planner
     /// statistic.
     pub fn pk_cardinality(&self) -> Option<usize> {
-        self.inner.read().primary.as_ref().map(|p| p.distinct_keys())
+        self.inner
+            .read()
+            .primary
+            .as_ref()
+            .map(|p| p.distinct_keys())
     }
 
     /// Column positions of the primary key, if declared.
     pub fn primary_key_columns(&self) -> Option<Vec<usize>> {
-        self.inner.read().primary.as_ref().map(|p| p.columns.clone())
+        self.inner
+            .read()
+            .primary
+            .as_ref()
+            .map(|p| p.columns.clone())
     }
 
     /// Insert a batch of rows. All rows are validated and checked against
@@ -459,12 +477,12 @@ fn index_probe(inner: &TableInner, pred: &Expr) -> Option<Vec<usize>> {
             }
             match b {
                 Bound::Lower(v) => {
-                    if lo.as_ref().map_or(true, |cur| v > cur) {
+                    if lo.as_ref().is_none_or(|cur| v > cur) {
                         lo = Some(v.clone());
                     }
                 }
                 Bound::Upper(v) => {
-                    if hi.as_ref().map_or(true, |cur| v < cur) {
+                    if hi.as_ref().is_none_or(|cur| v < cur) {
                         hi = Some(v.clone());
                     }
                 }
@@ -472,7 +490,7 @@ fn index_probe(inner: &TableInner, pred: &Expr) -> Option<Vec<usize>> {
         }
         if lo.is_some() || hi.is_some() {
             let lo = lo.unwrap_or(Value::Null); // Null sorts first: open lower bound
-            let hi = hi.unwrap_or_else(|| max_sentinel());
+            let hi = hi.unwrap_or_else(max_sentinel);
             // the residual predicate re-checks strictness; the index only
             // needs to be a superset
             return Some(ix.range(&[lo], &[hi]));
@@ -556,7 +574,11 @@ mod tests {
     #[test]
     fn insert_and_pk_conflict() {
         let t = customers();
-        assert_eq!(t.insert(vec![row(1, "a", "Berlin"), row(2, "b", "Paris")]).unwrap(), 2);
+        assert_eq!(
+            t.insert(vec![row(1, "a", "Berlin"), row(2, "b", "Paris")])
+                .unwrap(),
+            2
+        );
         let err = t.insert(vec![row(2, "dup", "Paris")]).unwrap_err();
         assert!(matches!(err, StoreError::DuplicateKey { .. }));
         assert_eq!(t.row_count(), 2);
@@ -596,7 +618,8 @@ mod tests {
     fn upsert_replaces() {
         let t = customers();
         t.insert(vec![row(1, "a", "Berlin")]).unwrap();
-        t.upsert(vec![row(1, "a2", "Paris"), row(2, "b", "Rome")]).unwrap();
+        t.upsert(vec![row(1, "a2", "Paris"), row(2, "b", "Rome")])
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.get_by_pk(&[Value::Int(1)]).unwrap()[1], Value::str("a2"));
         // secondary index reflects the move Berlin -> Paris
@@ -609,35 +632,41 @@ mod tests {
     #[test]
     fn delete_and_update() {
         let t = customers();
-        t.insert((1..=10).map(|i| row(i, "n", if i % 2 == 0 { "even" } else { "odd" })).collect())
-            .unwrap();
+        t.insert(
+            (1..=10)
+                .map(|i| row(i, "n", if i % 2 == 0 { "even" } else { "odd" }))
+                .collect(),
+        )
+        .unwrap();
         let n = t.delete_where(&Expr::col(2).eq(Expr::lit("even"))).unwrap();
         assert_eq!(n, 5);
         assert_eq!(t.row_count(), 5);
         let n = t
-            .update_where(
-                &Expr::col(0).le(Expr::lit(5)),
-                &[(1, Expr::lit("renamed"))],
-            )
+            .update_where(&Expr::col(0).le(Expr::lit(5)), &[(1, Expr::lit("renamed"))])
             .unwrap();
         assert_eq!(n, 3); // keys 1,3,5 remain and are <= 5
-        assert_eq!(t.get_by_pk(&[Value::Int(3)]).unwrap()[1], Value::str("renamed"));
+        assert_eq!(
+            t.get_by_pk(&[Value::Int(3)]).unwrap()[1],
+            Value::str("renamed")
+        );
     }
 
     #[test]
     fn indexed_scan_where() {
         let t = customers();
-        t.insert((0..100).map(|i| row(i, "n", if i < 50 { "Berlin" } else { "Paris" })).collect())
-            .unwrap();
+        t.insert(
+            (0..100)
+                .map(|i| row(i, "n", if i < 50 { "Berlin" } else { "Paris" }))
+                .collect(),
+        )
+        .unwrap();
         let rel = t
             .scan_where(&Expr::col(2).eq(Expr::lit("Berlin")), Some(&[0]))
             .unwrap();
         assert_eq!(rel.len(), 50);
         assert_eq!(rel.schema.names(), vec!["custkey"]);
         // pk probe
-        let rel = t
-            .scan_where(&Expr::col(0).eq(Expr::lit(42)), None)
-            .unwrap();
+        let rel = t.scan_where(&Expr::col(0).eq(Expr::lit(42)), None).unwrap();
         assert_eq!(rel.len(), 1);
     }
 
@@ -653,10 +682,16 @@ mod tests {
             .unwrap()
             .with_index("by_bal", &["bal"], false, IndexKind::BTree)
             .unwrap();
-        t.insert((0..200).map(|i| vec![Value::Int(i), Value::Float((i % 37) as f64)]).collect())
-            .unwrap();
+        t.insert(
+            (0..200)
+                .map(|i| vec![Value::Int(i), Value::Float((i % 37) as f64)])
+                .collect(),
+        )
+        .unwrap();
         for pred in [
-            Expr::col(1).ge(Expr::lit(10.0)).and(Expr::col(1).lt(Expr::lit(20.0))),
+            Expr::col(1)
+                .ge(Expr::lit(10.0))
+                .and(Expr::col(1).lt(Expr::lit(20.0))),
             Expr::col(1).gt(Expr::lit(30.0)),
             Expr::lit(5.0).gt(Expr::col(1)), // literal on the left
         ] {

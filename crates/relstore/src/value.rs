@@ -176,7 +176,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::Int(1), Value::Null, Value::str("a")];
+        let mut vs = [Value::Int(1), Value::Null, Value::str("a")];
         vs.sort();
         assert!(vs[0].is_null());
     }

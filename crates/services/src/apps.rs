@@ -89,7 +89,10 @@ fn lines_element(name: &str, line_name: &str, lines: &[OrderLineData]) -> Elemen
                 .child(Element::leaf("lineNo", l.lineno.to_string()))
                 .child(Element::leaf("prodKey", l.prodkey.to_string()))
                 .child(Element::leaf("quantity", l.quantity.to_string()))
-                .child(Element::leaf("extendedPrice", format!("{:.2}", l.extendedprice)))
+                .child(Element::leaf(
+                    "extendedPrice",
+                    format!("{:.2}", l.extendedprice),
+                ))
                 .child(Element::leaf("discount", format!("{:.2}", l.discount))),
         );
     }
@@ -237,8 +240,20 @@ mod tests {
             state: "OPEN".into(),
             totalprice: 123.45,
             lines: vec![
-                OrderLineData { lineno: 1, prodkey: 3, quantity: 2, extendedprice: 100.0, discount: 0.1 },
-                OrderLineData { lineno: 2, prodkey: 4, quantity: 1, extendedprice: 23.45, discount: 0.0 },
+                OrderLineData {
+                    lineno: 1,
+                    prodkey: 3,
+                    quantity: 2,
+                    extendedprice: 100.0,
+                    discount: 0.1,
+                },
+                OrderLineData {
+                    lineno: 2,
+                    prodkey: 4,
+                    quantity: 1,
+                    extendedprice: 23.45,
+                    discount: 0.0,
+                },
             ],
         }
     }
@@ -247,11 +262,15 @@ mod tests {
     fn vienna_shape() {
         let d = vienna_order(&order());
         assert_eq!(
-            value(&d.root, "viennaOrder/orderHeader/orderKey").unwrap().as_deref(),
+            value(&d.root, "viennaOrder/orderHeader/orderKey")
+                .unwrap()
+                .as_deref(),
             Some("100")
         );
         assert_eq!(
-            value(&d.root, "viennaOrder/customerRef/custKey").unwrap().as_deref(),
+            value(&d.root, "viennaOrder/customerRef/custKey")
+                .unwrap()
+                .as_deref(),
             Some("7")
         );
         assert_eq!(d.root.first("positions").unwrap().elements().count(), 2);
@@ -260,14 +279,29 @@ mod tests {
     #[test]
     fn san_diego_clean_vs_injected() {
         let clean = san_diego_order(&order(), None);
-        assert_eq!(value(&clean.root, "sdMessage/sdOrder/okey").unwrap().as_deref(), Some("100"));
+        assert_eq!(
+            value(&clean.root, "sdMessage/sdOrder/okey")
+                .unwrap()
+                .as_deref(),
+            Some("100")
+        );
         let missing = san_diego_order(&order(), Some(MessageError::MissingField));
-        assert_eq!(value(&missing.root, "sdMessage/sdOrder/okey").unwrap(), None);
+        assert_eq!(
+            value(&missing.root, "sdMessage/sdOrder/okey").unwrap(),
+            None
+        );
         let bad = san_diego_order(&order(), Some(MessageError::BadType));
-        assert_eq!(value(&bad.root, "sdMessage/sdOrder/total").unwrap().as_deref(), Some("lots"));
+        assert_eq!(
+            value(&bad.root, "sdMessage/sdOrder/total")
+                .unwrap()
+                .as_deref(),
+            Some("lots")
+        );
         let vocab = san_diego_order(&order(), Some(MessageError::WrongVocabulary));
         assert_eq!(
-            value(&vocab.root, "sdMessage/sdOrder/oprio").unwrap().as_deref(),
+            value(&vocab.root, "sdMessage/sdOrder/oprio")
+                .unwrap()
+                .as_deref(),
             Some("SUPER-EXTREME")
         );
         let extra = san_diego_order(&order(), Some(MessageError::UnexpectedElement));
@@ -288,13 +322,32 @@ mod tests {
             acctbal: 9.0,
         };
         let d = mdm_customer(&c);
-        assert_eq!(value(&d.root, "mdmCustomer/ident/custKey").unwrap().as_deref(), Some("5"));
-        assert_eq!(value(&d.root, "mdmCustomer/address/city").unwrap().as_deref(), Some("Wien"));
+        assert_eq!(
+            value(&d.root, "mdmCustomer/ident/custKey")
+                .unwrap()
+                .as_deref(),
+            Some("5")
+        );
+        assert_eq!(
+            value(&d.root, "mdmCustomer/address/city")
+                .unwrap()
+                .as_deref(),
+            Some("Wien")
+        );
 
         let h = hongkong_order(&order());
-        assert_eq!(value(&h.root, "hkOrder/hkCustKey").unwrap().as_deref(), Some("7"));
+        assert_eq!(
+            value(&h.root, "hkOrder/hkCustKey").unwrap().as_deref(),
+            Some("7")
+        );
 
-        let p = PartData { prodkey: 1, name: "bolt".into(), group: "g".into(), line: "l".into(), price: 1.0 };
+        let p = PartData {
+            prodkey: 1,
+            name: "bolt".into(),
+            group: "g".into(),
+            line: "l".into(),
+            price: 1.0,
+        };
         let b = beijing_master_data(&[c], &[p]);
         assert_eq!(b.root.first("bjCustomers").unwrap().elements().count(), 1);
         assert_eq!(b.root.first("bjParts").unwrap().elements().count(), 1);

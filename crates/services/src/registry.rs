@@ -138,7 +138,10 @@ impl ExternalWorld {
         let resp =
             self.network
                 .transfer(&endpoint, &self.self_endpoint, Self::relation_bytes(&rel));
-        Ok(Remote { value: rel, comm: req + resp })
+        Ok(Remote {
+            value: rel,
+            comm: req + resp,
+        })
     }
 
     /// Insert rows into a remote table (through the remote database's
@@ -168,14 +171,19 @@ impl ExternalWorld {
             .iter()
             .map(|r| r.iter().map(|v| v.render().len() + 1).sum::<usize>())
             .sum();
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, bytes + 128);
+        let req = self
+            .network
+            .transfer(&self.self_endpoint, &endpoint, bytes + 128);
         let n = match mode {
             LoadMode::Insert => db.insert_into(table, rows)?,
             LoadMode::InsertIgnore => db.table(table)?.insert_ignore_duplicates(rows)?,
             LoadMode::Upsert => db.table(table)?.upsert(rows)?,
         };
         let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote { value: n, comm: req + resp })
+        Ok(Remote {
+            value: n,
+            comm: req + resp,
+        })
     }
 
     /// Delete matching rows from a remote table.
@@ -189,7 +197,10 @@ impl ExternalWorld {
         let req = self.network.transfer(&self.self_endpoint, &endpoint, 128);
         let n = db.table(table)?.delete_where(predicate)?;
         let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote { value: n, comm: req + resp })
+        Ok(Remote {
+            value: n,
+            comm: req + resp,
+        })
     }
 
     /// Call a stored procedure on a remote database.
@@ -203,8 +214,13 @@ impl ExternalWorld {
         let req = self.network.transfer(&self.self_endpoint, &endpoint, 128);
         let out = db.call_procedure(proc, args)?;
         let bytes = out.as_ref().map(Self::relation_bytes).unwrap_or(16);
-        let resp = self.network.transfer(&endpoint, &self.self_endpoint, bytes + 64);
-        Ok(Remote { value: out, comm: req + resp })
+        let resp = self
+            .network
+            .transfer(&endpoint, &self.self_endpoint, bytes + 64);
+        Ok(Remote {
+            value: out,
+            comm: req + resp,
+        })
     }
 
     /// Query a web service operation (returns result-set XML).
@@ -218,7 +234,10 @@ impl ExternalWorld {
         let doc = ws.query(operation)?;
         let bytes = write_compact(&doc).len();
         let resp = self.network.transfer(&endpoint, &self.self_endpoint, bytes);
-        Ok(Remote { value: doc, comm: req + resp })
+        Ok(Remote {
+            value: doc,
+            comm: req + resp,
+        })
     }
 
     /// Send an update document to a web service operation.
@@ -237,7 +256,10 @@ impl ExternalWorld {
         let req = self.network.transfer(&self.self_endpoint, &endpoint, bytes);
         let n = ws.update(operation, doc)?;
         let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote { value: n, comm: req + resp })
+        Ok(Remote {
+            value: n,
+            comm: req + resp,
+        })
     }
 }
 
@@ -256,7 +278,11 @@ mod tests {
         let mut w = ExternalWorld::new(net, "is");
         let db = Arc::new(Database::new("berlin"));
         let schema = RelSchema::of(&[("id", SqlType::Int)]).shared();
-        db.create_table(Table::new("t", schema.clone()).with_primary_key(&["id"]).unwrap());
+        db.create_table(
+            Table::new("t", schema.clone())
+                .with_primary_key(&["id"])
+                .unwrap(),
+        );
         w.add_database("berlin", "es.berlin_paris", db.clone());
         let ws_db = Arc::new(Database::new("beijing_db"));
         ws_db.create_table(Table::new("t", schema).with_primary_key(&["id"]).unwrap());
@@ -268,7 +294,11 @@ mod tests {
     fn remote_insert_and_query_charge_comm() {
         let w = world();
         let ins = w
-            .remote_insert("berlin", "t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .remote_insert(
+                "berlin",
+                "t",
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )
             .unwrap();
         assert_eq!(ins.value, 2);
         assert!(ins.comm >= Duration::from_micros(200)); // two fixed latencies

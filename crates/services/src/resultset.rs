@@ -97,9 +97,12 @@ pub fn result_set_xsd(name: &str, schema: &RelSchema) -> XsdSchema {
         .collect();
     XsdSchema::new(
         name,
-        XsdElement::sequence("resultSet", vec![XsdElement::sequence("row", fields).many()])
-            .with_attr(XsdAttr::required("source", SimpleType::String))
-            .with_attr(XsdAttr::required("table", SimpleType::String)),
+        XsdElement::sequence(
+            "resultSet",
+            vec![XsdElement::sequence("row", fields).many()],
+        )
+        .with_attr(XsdAttr::required("source", SimpleType::String))
+        .with_attr(XsdAttr::required("table", SimpleType::String)),
     )
 }
 

@@ -62,7 +62,10 @@ pub struct DbService {
 
 impl DbService {
     pub fn new(name: impl Into<String>, db: Arc<Database>) -> DbService {
-        DbService { name: name.into(), db }
+        DbService {
+            name: name.into(),
+            db,
+        }
     }
 }
 
@@ -98,7 +101,8 @@ mod tests {
         let db = Arc::new(Database::new("beijing"));
         let schema = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
         let t = Table::new("part", schema).with_primary_key(&["k"]).unwrap();
-        t.insert(vec![vec![Value::Int(1), Value::str("bolt")]]).unwrap();
+        t.insert(vec![vec![Value::Int(1), Value::str("bolt")]])
+            .unwrap();
         db.create_table(t);
         DbService::new("beijing", db)
     }
@@ -136,6 +140,9 @@ mod tests {
     fn update_rejects_garbage() {
         let s = service();
         let doc = Document::new(dip_xmlkit::Element::new("garbage"));
-        assert!(matches!(s.update("part", &doc), Err(ServiceError::Malformed(_))));
+        assert!(matches!(
+            s.update("part", &doc),
+            Err(ServiceError::Malformed(_))
+        ));
     }
 }

@@ -1,0 +1,111 @@
+//! Chrome trace-event exporter.
+//!
+//! Renders collected spans in the Trace Event Format's "complete event"
+//! (`"ph": "X"`) flavor, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing` for a single-run flame view. Each workspace layer
+//! becomes a process row and each recording thread a track, so the
+//! cross-layer structure of one benchmark period is visible at a glance.
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+
+/// Render spans as a Trace Event Format JSON document.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + 16);
+    // Name the per-layer "process" rows.
+    let mut layers: Vec<_> = spans.iter().map(|s| s.layer).collect();
+    layers.sort();
+    layers.dedup();
+    for layer in &layers {
+        events.push(Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::num((*layer as u8 + 1) as f64)),
+            ("tid", Json::num(0.0)),
+            ("args", Json::obj(vec![("name", Json::str(layer.label()))])),
+        ]));
+    }
+    for s in spans {
+        let mut args = Vec::new();
+        if let Some(p) = &s.process {
+            args.push(("process".to_string(), Json::str(p.clone())));
+        }
+        if let Some(k) = s.period {
+            args.push(("period".to_string(), Json::num(k as f64)));
+        }
+        if let Some(i) = s.instance {
+            args.push(("instance".to_string(), Json::num(i as f64)));
+        }
+        let cat = match s.category {
+            Some(c) => format!("{},{}", s.layer.label(), c.label()),
+            None => s.layer.label().to_string(),
+        };
+        events.push(Json::obj(vec![
+            ("name", Json::str(s.op)),
+            ("cat", Json::str(cat)),
+            ("ph", Json::str("X")),
+            ("ts", Json::num(s.start_ns as f64 / 1000.0)),
+            ("dur", Json::num(s.dur_ns as f64 / 1000.0)),
+            ("pid", Json::num((s.layer as u8 + 1) as f64)),
+            ("tid", Json::num(s.thread as f64)),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, Layer};
+
+    fn rec(layer: Layer, op: &'static str, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            layer,
+            op,
+            category: Some(Category::Processing),
+            process: Some("P04".into()),
+            period: Some(0),
+            instance: Some(3),
+            thread: 1,
+            start_ns: start_us * 1000,
+            dur_ns: dur_us * 1000,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_events() {
+        let spans = vec![
+            rec(Layer::Relstore, "hash_join", 10, 5),
+            rec(Layer::Xmlkit, "stx_transform", 20, 7),
+        ];
+        let text = to_chrome_trace(&spans);
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 layer-name metadata events + 2 spans
+        assert_eq!(events.len(), 4);
+        let span_ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("hash_join"))
+            .unwrap();
+        assert_eq!(span_ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span_ev.get("ts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(span_ev.get("dur").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            span_ev.get("cat").and_then(Json::as_str),
+            Some("relstore,Cp")
+        );
+        assert_eq!(
+            span_ev
+                .get("args")
+                .unwrap()
+                .get("process")
+                .and_then(Json::as_str),
+            Some("P04")
+        );
+    }
+}

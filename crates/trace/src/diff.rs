@@ -1,0 +1,326 @@
+//! Regression comparison of two run records.
+//!
+//! `diff(baseline, candidate)` compares the per-process `NAVG+` of two
+//! records with a configurable noise threshold and ranks the result — the
+//! CI-gateable primitive: a candidate that regresses any process type
+//! beyond the threshold makes `dipbench diff` exit non-zero.
+
+use crate::record::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Noise thresholds for calling a change real.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative change in `NAVG+` (candidate vs baseline) below which a
+    /// process is "unchanged". 0.15 = ±15 %.
+    pub threshold: f64,
+    /// Absolute floor in tu: changes smaller than this are never flagged,
+    /// however large relatively (guards the near-zero lightweight types).
+    pub min_delta_tu: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            threshold: 0.15,
+            min_delta_tu: 0.05,
+        }
+    }
+}
+
+/// Verdict for one process type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Regression,
+    Improvement,
+    Unchanged,
+    /// Present only in the candidate.
+    Added,
+    /// Present only in the baseline.
+    Removed,
+}
+
+impl Verdict {
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improvement",
+            Verdict::Unchanged => "~",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct ProcessDiff {
+    pub process: String,
+    pub baseline_tu: Option<f64>,
+    pub candidate_tu: Option<f64>,
+    /// Relative change in percent ((cand − base) / base × 100); 0 when
+    /// either side is missing.
+    pub delta_pct: f64,
+    pub verdict: Verdict,
+}
+
+/// The full comparison of two records.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    pub options: DiffOptions,
+    pub baseline_label: String,
+    pub candidate_label: String,
+    /// Rows ranked worst-regression first, best-improvement last.
+    pub rows: Vec<ProcessDiff>,
+    /// Set when the two records were produced under different scale
+    /// factors or engines — the comparison is then apples-to-oranges.
+    pub config_warnings: Vec<String>,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+            .count()
+    }
+
+    pub fn improvements(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Improvement)
+            .count()
+    }
+
+    pub fn has_regressions(&self) -> bool {
+        self.regressions() > 0
+    }
+
+    /// Render the ranked comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# dipbench diff — baseline {} vs candidate {} (threshold ±{:.0} %, floor {} tu)",
+            self.baseline_label,
+            self.candidate_label,
+            self.options.threshold * 100.0,
+            self.options.min_delta_tu
+        );
+        for w in &self.config_warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        let _ = writeln!(
+            out,
+            "{:<6} {:>14} {:>14} {:>9}  verdict",
+            "proc", "base NAVG+[tu]", "cand NAVG+[tu]", "delta"
+        );
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.2}"),
+            None => "-".to_string(),
+        };
+        for r in &self.rows {
+            let delta = if r.baseline_tu.is_some() && r.candidate_tu.is_some() {
+                format!("{:>+8.1}%", r.delta_pct)
+            } else {
+                format!("{:>9}", "-")
+            };
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14} {:>14} {}  {}",
+                r.process,
+                fmt_opt(r.baseline_tu),
+                fmt_opt(r.candidate_tu),
+                delta,
+                r.verdict.label()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{} regression(s), {} improvement(s), {} process type(s) compared",
+            self.regressions(),
+            self.improvements(),
+            self.rows.len()
+        );
+        out
+    }
+}
+
+/// Compare `candidate` against `baseline`.
+pub fn diff(baseline: &RunRecord, candidate: &RunRecord, options: DiffOptions) -> DiffReport {
+    let mut config_warnings = Vec::new();
+    if baseline.engine != candidate.engine {
+        config_warnings.push(format!(
+            "engines differ: {} vs {}",
+            baseline.engine, candidate.engine
+        ));
+    }
+    if (baseline.datasize - candidate.datasize).abs() > 1e-12
+        || (baseline.time - candidate.time).abs() > 1e-12
+        || baseline.distribution != candidate.distribution
+    {
+        config_warnings.push(format!(
+            "scale factors differ: (d={}, t={}, f={}) vs (d={}, t={}, f={})",
+            baseline.datasize,
+            baseline.time,
+            baseline.distribution,
+            candidate.datasize,
+            candidate.time,
+            candidate.distribution
+        ));
+    }
+    if baseline.periods != candidate.periods {
+        config_warnings.push(format!(
+            "period counts differ: {} vs {}",
+            baseline.periods, candidate.periods
+        ));
+    }
+
+    let mut processes: BTreeMap<&str, (Option<f64>, Option<f64>)> = BTreeMap::new();
+    for p in &baseline.processes {
+        processes.entry(&p.process).or_default().0 = Some(p.navg_plus_tu);
+    }
+    for p in &candidate.processes {
+        processes.entry(&p.process).or_default().1 = Some(p.navg_plus_tu);
+    }
+    let mut rows: Vec<ProcessDiff> = processes
+        .into_iter()
+        .map(|(process, (base, cand))| {
+            let (delta_pct, verdict) = match (base, cand) {
+                (Some(b), Some(c)) => {
+                    let delta = c - b;
+                    let rel = if b.abs() > 1e-12 { delta / b } else { 0.0 };
+                    let verdict =
+                        if delta.abs() <= options.min_delta_tu || rel.abs() <= options.threshold {
+                            Verdict::Unchanged
+                        } else if delta > 0.0 {
+                            Verdict::Regression
+                        } else {
+                            Verdict::Improvement
+                        };
+                    (rel * 100.0, verdict)
+                }
+                (None, Some(_)) => (0.0, Verdict::Added),
+                (Some(_), None) => (0.0, Verdict::Removed),
+                (None, None) => unreachable!("process came from one of the records"),
+            };
+            ProcessDiff {
+                process: process.to_string(),
+                baseline_tu: base,
+                candidate_tu: cand,
+                delta_pct,
+                verdict,
+            }
+        })
+        .collect();
+    // Rank: regressions first by severity, then added/removed, then
+    // unchanged, improvements last (best last).
+    let rank = |v: Verdict| match v {
+        Verdict::Regression => 0,
+        Verdict::Added => 1,
+        Verdict::Removed => 1,
+        Verdict::Unchanged => 2,
+        Verdict::Improvement => 3,
+    };
+    rows.sort_by(|a, b| {
+        rank(a.verdict)
+            .cmp(&rank(b.verdict))
+            .then(
+                b.delta_pct
+                    .partial_cmp(&a.delta_pct)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.process.cmp(&b.process))
+    });
+    DiffReport {
+        options,
+        baseline_label: baseline.commit.clone(),
+        candidate_label: candidate.commit.clone(),
+        rows,
+        config_warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    #[test]
+    fn self_diff_reports_zero_regressions() {
+        let rec = sample_record();
+        let report = diff(&rec, &rec, DiffOptions::default());
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.improvements(), 0);
+        assert!(report.config_warnings.is_empty());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Unchanged));
+        assert!(report.render().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn regressions_rank_first_and_flag() {
+        let base = sample_record();
+        let mut cand = sample_record();
+        // P13: 134.5 → 200 tu (+48 %) — a real regression.
+        cand.processes[1].navg_plus_tu = 200.0;
+        // P01: 1.75 → 1.0 tu — an improvement.
+        cand.processes[0].navg_plus_tu = 1.0;
+        let report = diff(&base, &cand, DiffOptions::default());
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(report.improvements(), 1);
+        assert!(report.has_regressions());
+        assert_eq!(report.rows[0].process, "P13");
+        assert_eq!(report.rows[0].verdict, Verdict::Regression);
+        assert_eq!(report.rows.last().unwrap().verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn absolute_floor_suppresses_noise_on_tiny_types() {
+        let mut base = sample_record();
+        let mut cand = sample_record();
+        base.processes[0].navg_plus_tu = 0.010;
+        cand.processes[0].navg_plus_tu = 0.020; // +100 % but only 0.01 tu
+        let report = diff(&base, &cand, DiffOptions::default());
+        let p01 = report.rows.iter().find(|r| r.process == "P01").unwrap();
+        assert_eq!(p01.verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn added_and_removed_processes_are_reported() {
+        let base = sample_record();
+        let mut cand = sample_record();
+        cand.processes.remove(0); // P01 removed
+        cand.processes.push(stats_for("P15"));
+        let report = diff(&base, &cand, DiffOptions::default());
+        let by = |p: &str| report.rows.iter().find(|r| r.process == p).unwrap().verdict;
+        assert_eq!(by("P01"), Verdict::Removed);
+        assert_eq!(by("P15"), Verdict::Added);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn config_mismatch_warns() {
+        let base = sample_record();
+        let mut cand = sample_record();
+        cand.engine = "mtm-engine".into();
+        cand.datasize = 0.1;
+        cand.periods = 5;
+        let report = diff(&base, &cand, DiffOptions::default());
+        assert_eq!(report.config_warnings.len(), 3);
+    }
+
+    fn stats_for(p: &str) -> crate::record::ProcessStats {
+        crate::record::ProcessStats {
+            process: p.into(),
+            instances: 1,
+            failures: 0,
+            navg_tu: 1.0,
+            stddev_tu: 0.0,
+            navg_plus_tu: 1.0,
+            comm_tu: 0.5,
+            mgmt_tu: 0.0,
+            proc_tu: 0.5,
+        }
+    }
+}

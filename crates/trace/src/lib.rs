@@ -1,0 +1,37 @@
+//! # dip-trace — cross-layer span tracing and regression tracking
+//!
+//! The observability subsystem of the DIPBench reproduction (see
+//! `docs/OBSERVABILITY.md`):
+//!
+//! * [`span`] — a low-overhead, dependency-free structured span/event
+//!   collector. Instrumentation sites across every workspace layer
+//!   (relstore's executor, xmlkit's STX transformer and parser, netsim's
+//!   link transfers, the MTM interpreter's operator dispatch, feddbms
+//!   trigger/procedure execution, the core client loop) open enter/exit
+//!   guards keyed by `(layer, operator, process, period, instance)` and
+//!   tagged with the paper's Cc/Cm/Cp cost categories. When tracing is
+//!   disabled (the default) every site is a single relaxed atomic load —
+//!   figure runs are unaffected.
+//! * [`chrome`] — Chrome trace-event JSON export for single-run flame
+//!   views in Perfetto / `chrome://tracing`.
+//! * [`record`] — versioned machine-readable run records
+//!   (`results/records/*.json`): commit, scale factors, engine, per-process
+//!   NAVG/NAVG+ results, cost-category breakdown and span rollups.
+//! * [`diff`] — comparison of two run records with a configurable noise
+//!   threshold; the primitive behind `dipbench diff` and the CI
+//!   regression gate.
+
+pub mod chrome;
+pub mod diff;
+pub mod json;
+pub mod record;
+pub mod span;
+
+pub use chrome::to_chrome_trace;
+pub use diff::{diff, DiffOptions, DiffReport, Verdict};
+pub use json::{Json, JsonError};
+pub use record::{ProcessStats, RunRecord, SpanRollup, SCHEMA_VERSION};
+pub use span::{
+    count, disable, drain, drain_counters, enable, instance_scope, is_enabled, record_modeled,
+    span, span_cat, span_count, Category, CtxGuard, Layer, Span, SpanRecord,
+};

@@ -1,0 +1,346 @@
+//! Versioned, machine-readable run records.
+//!
+//! A run record is the committed artifact of one benchmark run — the shape
+//! rebar-style regression tracking needs: identity (commit, engine, scale
+//! factors), the per-process NAVG/NAVG+ metric results, the cost-category
+//! breakdown, and per-(layer, operator) span rollups. Records serialize to
+//! pretty JSON under `results/records/` and are the inputs of
+//! `dipbench diff`.
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Bump when the record layout changes incompatibly; `parse` rejects
+/// records from other majors so `diff` never compares apples to oranges.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-process-type metric results, mirroring the monitor's aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessStats {
+    pub process: String,
+    pub instances: u64,
+    pub failures: u64,
+    pub navg_tu: f64,
+    pub stddev_tu: f64,
+    pub navg_plus_tu: f64,
+    pub comm_tu: f64,
+    pub mgmt_tu: f64,
+    pub proc_tu: f64,
+}
+
+/// Aggregate of all spans sharing a (layer, operator) key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    pub layer: String,
+    pub op: String,
+    pub count: u64,
+    pub total_us: f64,
+}
+
+/// One complete benchmark run, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    pub schema_version: u64,
+    /// Unix seconds the record was created (0 when unknown).
+    pub created_unix: u64,
+    /// Git commit the run was built from ("unknown" outside a checkout).
+    pub commit: String,
+    pub engine: String,
+    /// Scale factors (d, t, f) and period count of the run.
+    pub datasize: f64,
+    pub time: f64,
+    pub distribution: String,
+    pub periods: u64,
+    pub wall_ms: f64,
+    pub processes: Vec<ProcessStats>,
+    pub rollups: Vec<SpanRollup>,
+}
+
+impl RunRecord {
+    /// Aggregate raw spans into (layer, operator) rollups, sorted by key.
+    pub fn rollup_spans(spans: &[SpanRecord]) -> Vec<SpanRollup> {
+        let mut agg: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        for s in spans {
+            let e = agg
+                .entry((s.layer.label().to_string(), s.op.to_string()))
+                .or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        agg.into_iter()
+            .map(|((layer, op), (count, total_ns))| SpanRollup {
+                layer,
+                op,
+                count,
+                total_us: total_ns as f64 / 1000.0,
+            })
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(self.schema_version as f64)),
+            ("created_unix", Json::num(self.created_unix as f64)),
+            ("commit", Json::str(self.commit.clone())),
+            ("engine", Json::str(self.engine.clone())),
+            (
+                "scale",
+                Json::obj(vec![
+                    ("d", Json::num(self.datasize)),
+                    ("t", Json::num(self.time)),
+                    ("f", Json::str(self.distribution.clone())),
+                ]),
+            ),
+            ("periods", Json::num(self.periods as f64)),
+            ("wall_ms", Json::num(self.wall_ms)),
+            (
+                "processes",
+                Json::Arr(
+                    self.processes
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("process", Json::str(p.process.clone())),
+                                ("instances", Json::num(p.instances as f64)),
+                                ("failures", Json::num(p.failures as f64)),
+                                ("navg_tu", Json::num(p.navg_tu)),
+                                ("stddev_tu", Json::num(p.stddev_tu)),
+                                ("navg_plus_tu", Json::num(p.navg_plus_tu)),
+                                ("comm_tu", Json::num(p.comm_tu)),
+                                ("mgmt_tu", Json::num(p.mgmt_tu)),
+                                ("proc_tu", Json::num(p.proc_tu)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "span_rollups",
+                Json::Arr(
+                    self.rollups
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("layer", Json::str(r.layer.clone())),
+                                ("op", Json::str(r.op.clone())),
+                                ("count", Json::num(r.count as f64)),
+                                ("total_us", Json::num(r.total_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty JSON, the on-disk format of `results/records/*.json`.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    pub fn from_json(v: &Json) -> Result<RunRecord, String> {
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field '{key}'"));
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or("schema_version must be a non-negative integer")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported record schema version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let scale = field("scale")?;
+        let s_num = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scale.{key} must be a number"))
+        };
+        let mut processes = Vec::new();
+        for p in field("processes")?
+            .as_arr()
+            .ok_or("processes must be an array")?
+        {
+            let pf = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("process field '{key}' must be a number"))
+            };
+            processes.push(ProcessStats {
+                process: p
+                    .get("process")
+                    .and_then(Json::as_str)
+                    .ok_or("process field 'process' must be a string")?
+                    .to_string(),
+                instances: pf("instances")? as u64,
+                failures: pf("failures")? as u64,
+                navg_tu: pf("navg_tu")?,
+                stddev_tu: pf("stddev_tu")?,
+                navg_plus_tu: pf("navg_plus_tu")?,
+                comm_tu: pf("comm_tu")?,
+                mgmt_tu: pf("mgmt_tu")?,
+                proc_tu: pf("proc_tu")?,
+            });
+        }
+        let mut rollups = Vec::new();
+        for r in field("span_rollups")?
+            .as_arr()
+            .ok_or("span_rollups must be an array")?
+        {
+            rollups.push(SpanRollup {
+                layer: r
+                    .get("layer")
+                    .and_then(Json::as_str)
+                    .ok_or("rollup field 'layer' must be a string")?
+                    .to_string(),
+                op: r
+                    .get("op")
+                    .and_then(Json::as_str)
+                    .ok_or("rollup field 'op' must be a string")?
+                    .to_string(),
+                count: r
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or("rollup field 'count' must be an integer")?,
+                total_us: r
+                    .get("total_us")
+                    .and_then(Json::as_f64)
+                    .ok_or("rollup field 'total_us' must be a number")?,
+            });
+        }
+        Ok(RunRecord {
+            schema_version,
+            created_unix: field("created_unix")?.as_u64().unwrap_or(0),
+            commit: field("commit")?
+                .as_str()
+                .ok_or("commit must be a string")?
+                .to_string(),
+            engine: field("engine")?
+                .as_str()
+                .ok_or("engine must be a string")?
+                .to_string(),
+            datasize: s_num(scale, "d")?,
+            time: s_num(scale, "t")?,
+            distribution: scale
+                .get("f")
+                .and_then(Json::as_str)
+                .ok_or("scale.f must be a string")?
+                .to_string(),
+            periods: field("periods")?
+                .as_u64()
+                .ok_or("periods must be an integer")?,
+            wall_ms: field("wall_ms")?
+                .as_f64()
+                .ok_or("wall_ms must be a number")?,
+            processes,
+            rollups,
+        })
+    }
+
+    /// Parse a record from its JSON text.
+    pub fn parse(text: &str) -> Result<RunRecord, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        RunRecord::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn sample_record() -> RunRecord {
+    RunRecord {
+        schema_version: SCHEMA_VERSION,
+        created_unix: 1_700_000_000,
+        commit: "abc1234".into(),
+        engine: "federated-dbms".into(),
+        datasize: 0.05,
+        time: 1.0,
+        distribution: "uniform".into(),
+        periods: 3,
+        wall_ms: 412.75,
+        processes: vec![
+            ProcessStats {
+                process: "P01".into(),
+                instances: 9,
+                failures: 0,
+                navg_tu: 1.25,
+                stddev_tu: 0.5,
+                navg_plus_tu: 1.75,
+                comm_tu: 0.75,
+                mgmt_tu: 0.05,
+                proc_tu: 0.45,
+            },
+            ProcessStats {
+                process: "P13".into(),
+                instances: 3,
+                failures: 1,
+                navg_tu: 120.0,
+                stddev_tu: 14.5,
+                navg_plus_tu: 134.5,
+                comm_tu: 80.0,
+                mgmt_tu: 2.0,
+                proc_tu: 38.0,
+            },
+        ],
+        rollups: vec![SpanRollup {
+            layer: "relstore".into(),
+            op: "hash_join".into(),
+            count: 42,
+            total_us: 1234.5,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, Layer};
+
+    #[test]
+    fn record_roundtrips_exactly() {
+        let rec = sample_record();
+        let text = rec.render();
+        let back = RunRecord::parse(&text).expect("parse back");
+        assert_eq!(back, rec);
+        // and a second serialize is byte-stable
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn rejects_other_schema_versions() {
+        let mut rec = sample_record();
+        rec.schema_version = SCHEMA_VERSION + 1;
+        let err = RunRecord::parse(&rec.render()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(RunRecord::parse("{}").is_err());
+        assert!(RunRecord::parse("not json").is_err());
+    }
+
+    #[test]
+    fn rollup_aggregates_by_layer_and_op() {
+        let span = |layer, op, dur_ns| SpanRecord {
+            layer,
+            op,
+            category: Some(Category::Processing),
+            process: None,
+            period: None,
+            instance: None,
+            thread: 1,
+            start_ns: 0,
+            dur_ns,
+        };
+        let spans = vec![
+            span(Layer::Relstore, "scan", 1_000),
+            span(Layer::Relstore, "scan", 2_000),
+            span(Layer::Xmlkit, "xml_parse", 5_000),
+        ];
+        let rollups = RunRecord::rollup_spans(&spans);
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].layer, "relstore");
+        assert_eq!(rollups[0].op, "scan");
+        assert_eq!(rollups[0].count, 2);
+        assert!((rollups[0].total_us - 3.0).abs() < 1e-9);
+        assert_eq!(rollups[1].op, "xml_parse");
+    }
+}

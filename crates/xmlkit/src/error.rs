@@ -15,7 +15,10 @@ pub enum XmlError {
 
 impl XmlError {
     pub fn parse(offset: usize, message: impl Into<String>) -> XmlError {
-        XmlError::Parse { offset, message: message.into() }
+        XmlError::Parse {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

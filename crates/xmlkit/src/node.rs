@@ -35,7 +35,11 @@ pub struct Element {
 
 impl Element {
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: add an attribute.
@@ -174,7 +178,10 @@ mod tests {
 
     #[test]
     fn text_content_concatenates() {
-        let e = Element::new("t").text("a").child(Element::leaf("x", "skip")).text("b");
+        let e = Element::new("t")
+            .text("a")
+            .child(Element::leaf("x", "skip"))
+            .text("b");
         assert_eq!(e.text_content(), "ab");
     }
 }

@@ -11,12 +11,24 @@ use crate::node::{Document, Element, XmlNode};
 
 /// Parse a complete document.
 pub fn parse(input: &str) -> XmlResult<Document> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let _span = dip_trace::span_cat(
+        dip_trace::Layer::Xmlkit,
+        "xml_parse",
+        dip_trace::Category::Processing,
+    );
+    dip_trace::count("xmlkit.parse_bytes", input.len() as u64);
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc();
     if p.pos != p.bytes.len() {
-        return Err(XmlError::parse(p.pos, "trailing content after root element"));
+        return Err(XmlError::parse(
+            p.pos,
+            "trailing content after root element",
+        ));
     }
     Ok(Document::new(root))
 }
@@ -94,7 +106,10 @@ impl<'a> Parser<'a> {
                 self.pos += i + end.len();
                 Ok(())
             }
-            None => Err(XmlError::parse(self.pos, format!("unterminated construct, expected {end:?}"))),
+            None => Err(XmlError::parse(
+                self.pos,
+                format!("unterminated construct, expected {end:?}"),
+            )),
         }
     }
 
@@ -136,7 +151,12 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let quote = match self.peek() {
                         Some(q @ (b'"' | b'\'')) => q,
-                        _ => return Err(XmlError::parse(self.pos, "expected quoted attribute value")),
+                        _ => {
+                            return Err(XmlError::parse(
+                                self.pos,
+                                "expected quoted attribute value",
+                            ))
+                        }
                     };
                     self.pos += 1;
                     let vstart = self.pos;
@@ -151,10 +171,7 @@ impl<'a> Parser<'a> {
                     }
                     let raw = &self.bytes[vstart..self.pos];
                     self.pos += 1;
-                    let value = decode_entities(
-                        &String::from_utf8_lossy(raw),
-                        vstart,
-                    )?;
+                    let value = decode_entities(&String::from_utf8_lossy(raw), vstart)?;
                     elem.attrs.push((aname, value));
                 }
                 None => return Err(XmlError::parse(self.pos, "unexpected end of input in tag")),

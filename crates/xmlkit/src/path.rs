@@ -188,7 +188,10 @@ mod tests {
         let d = doc();
         let orders = select(&d.root, "/orders/order").unwrap();
         assert_eq!(orders.len(), 2);
-        assert_eq!(value(&d.root, "orders/order/custkey").unwrap().as_deref(), Some("10"));
+        assert_eq!(
+            value(&d.root, "orders/order/custkey").unwrap().as_deref(),
+            Some("10")
+        );
     }
 
     #[test]
@@ -201,7 +204,9 @@ mod tests {
             Some("eu")
         );
         assert_eq!(
-            value(&d.root, "orders/order/custkey/text()").unwrap().as_deref(),
+            value(&d.root, "orders/order/custkey/text()")
+                .unwrap()
+                .as_deref(),
             Some("10")
         );
     }

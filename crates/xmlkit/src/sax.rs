@@ -11,9 +11,14 @@ use crate::node::{Document, Element, XmlNode};
 /// One SAX event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SaxEvent {
-    StartElement { name: String, attrs: Vec<(String, String)> },
+    StartElement {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
     Text(String),
-    EndElement { name: String },
+    EndElement {
+        name: String,
+    },
 }
 
 /// Linearize a document into events (depth-first).
@@ -24,14 +29,19 @@ pub fn events(doc: &Document) -> Vec<SaxEvent> {
 }
 
 fn emit(e: &Element, out: &mut Vec<SaxEvent>) {
-    out.push(SaxEvent::StartElement { name: e.name.clone(), attrs: e.attrs.clone() });
+    out.push(SaxEvent::StartElement {
+        name: e.name.clone(),
+        attrs: e.attrs.clone(),
+    });
     for c in &e.children {
         match c {
             XmlNode::Element(child) => emit(child, out),
             XmlNode::Text(t) => out.push(SaxEvent::Text(t.clone())),
         }
     }
-    out.push(SaxEvent::EndElement { name: e.name.clone() });
+    out.push(SaxEvent::EndElement {
+        name: e.name.clone(),
+    });
 }
 
 /// Fold an event stream back into a document. The stream must be
@@ -42,7 +52,11 @@ pub fn build(events: impl IntoIterator<Item = SaxEvent>) -> XmlResult<Document> 
     for ev in events {
         match ev {
             SaxEvent::StartElement { name, attrs } => {
-                stack.push(Element { name, attrs, children: Vec::new() });
+                stack.push(Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                });
             }
             SaxEvent::Text(t) => match stack.last_mut() {
                 Some(top) => {
@@ -81,7 +95,9 @@ pub fn build(events: impl IntoIterator<Item = SaxEvent>) -> XmlResult<Document> 
         }
     }
     if !stack.is_empty() {
-        return Err(XmlError::Transform("unclosed elements at end of stream".into()));
+        return Err(XmlError::Transform(
+            "unclosed elements at end of stream".into(),
+        ));
     }
     root.map(Document::new)
         .ok_or_else(|| XmlError::Transform("empty event stream".into()))
@@ -103,10 +119,16 @@ mod tests {
 
     #[test]
     fn build_rejects_imbalance() {
-        let bad = vec![SaxEvent::StartElement { name: "a".into(), attrs: vec![] }];
+        let bad = vec![SaxEvent::StartElement {
+            name: "a".into(),
+            attrs: vec![],
+        }];
         assert!(build(bad).is_err());
         let bad = vec![
-            SaxEvent::StartElement { name: "a".into(), attrs: vec![] },
+            SaxEvent::StartElement {
+                name: "a".into(),
+                attrs: vec![],
+            },
             SaxEvent::EndElement { name: "b".into() },
         ];
         assert!(build(bad).is_err());
@@ -115,9 +137,15 @@ mod tests {
     #[test]
     fn build_rejects_two_roots() {
         let bad = vec![
-            SaxEvent::StartElement { name: "a".into(), attrs: vec![] },
+            SaxEvent::StartElement {
+                name: "a".into(),
+                attrs: vec![],
+            },
             SaxEvent::EndElement { name: "a".into() },
-            SaxEvent::StartElement { name: "b".into(), attrs: vec![] },
+            SaxEvent::StartElement {
+                name: "b".into(),
+                attrs: vec![],
+            },
             SaxEvent::EndElement { name: "b".into() },
         ];
         assert!(build(bad).is_err());

@@ -69,7 +69,10 @@ pub struct Rule {
 
 impl Rule {
     pub fn for_name(name: impl Into<String>) -> RuleBuilder {
-        RuleBuilder { matcher: Match::Name(name.into()), actions: Vec::new() }
+        RuleBuilder {
+            matcher: Match::Name(name.into()),
+            actions: Vec::new(),
+        }
     }
 
     pub fn for_path(suffix: &[&str]) -> RuleBuilder {
@@ -100,12 +103,18 @@ impl RuleBuilder {
         self
     }
     pub fn map_text(mut self, pairs: &[(&str, &str)]) -> RuleBuilder {
-        let map = pairs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        let map = pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         self.actions.push(Action::MapText(map));
         self
     }
     pub fn rename_attr(mut self, from: impl Into<String>, to: impl Into<String>) -> RuleBuilder {
-        self.actions.push(Action::RenameAttr { from: from.into(), to: to.into() });
+        self.actions.push(Action::RenameAttr {
+            from: from.into(),
+            to: to.into(),
+        });
         self
     }
     pub fn drop_attr(mut self, name: impl Into<String>) -> RuleBuilder {
@@ -113,7 +122,10 @@ impl RuleBuilder {
         self
     }
     pub fn set_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> RuleBuilder {
-        self.actions.push(Action::SetAttr { name: name.into(), value: value.into() });
+        self.actions.push(Action::SetAttr {
+            name: name.into(),
+            value: value.into(),
+        });
         self
     }
     pub fn attrs_to_elements(mut self) -> RuleBuilder {
@@ -121,7 +133,10 @@ impl RuleBuilder {
         self
     }
     pub fn build(self) -> Rule {
-        Rule { matcher: self.matcher, actions: self.actions }
+        Rule {
+            matcher: self.matcher,
+            actions: self.actions,
+        }
     }
 }
 
@@ -142,7 +157,10 @@ struct Frame {
 
 impl Stylesheet {
     pub fn new(name: impl Into<String>, rules: Vec<Rule>) -> Stylesheet {
-        Stylesheet { name: name.into(), rules }
+        Stylesheet {
+            name: name.into(),
+            rules,
+        }
     }
 
     /// The identity stylesheet.
@@ -156,6 +174,11 @@ impl Stylesheet {
 
     /// Transform a SAX event stream in one pass.
     pub fn transform_events(&self, input: &[SaxEvent]) -> XmlResult<Vec<SaxEvent>> {
+        let _span = dip_trace::span_cat(
+            dip_trace::Layer::Xmlkit,
+            "stx_transform",
+            dip_trace::Category::Processing,
+        );
         let mut out = Vec::with_capacity(input.len());
         let mut path: Vec<String> = Vec::new();
         let mut frames: Vec<Frame> = Vec::new();
@@ -212,17 +235,30 @@ impl Stylesheet {
                         continue;
                     }
                     if let Some(n) = &emit_name {
-                        let final_attrs = if attrs_to_elements { Vec::new() } else { out_attrs.clone() };
-                        out.push(SaxEvent::StartElement { name: n.clone(), attrs: final_attrs });
+                        let final_attrs = if attrs_to_elements {
+                            Vec::new()
+                        } else {
+                            out_attrs.clone()
+                        };
+                        out.push(SaxEvent::StartElement {
+                            name: n.clone(),
+                            attrs: final_attrs,
+                        });
                         if attrs_to_elements {
                             for (an, av) in &out_attrs {
-                                out.push(SaxEvent::StartElement { name: an.clone(), attrs: vec![] });
+                                out.push(SaxEvent::StartElement {
+                                    name: an.clone(),
+                                    attrs: vec![],
+                                });
                                 out.push(SaxEvent::Text(av.clone()));
                                 out.push(SaxEvent::EndElement { name: an.clone() });
                             }
                         }
                     }
-                    frames.push(Frame { emit_name, text_map });
+                    frames.push(Frame {
+                        emit_name,
+                        text_map,
+                    });
                 }
                 SaxEvent::Text(t) => {
                     if drop_depth.is_some() {
@@ -308,11 +344,11 @@ mod tests {
 
     #[test]
     fn drop_removes_subtree() {
-        let sheet =
-            Stylesheet::new("s", vec![Rule::for_name("internal").drop().build()]);
-        let doc =
-            parse("<msg><keep>1</keep><internal><deep><deeper/></deep></internal><keep>2</keep></msg>")
-                .unwrap();
+        let sheet = Stylesheet::new("s", vec![Rule::for_name("internal").drop().build()]);
+        let doc = parse(
+            "<msg><keep>1</keep><internal><deep><deeper/></deep></internal><keep>2</keep></msg>",
+        )
+        .unwrap();
         let out = sheet.transform(&doc).unwrap();
         assert_eq!(out.root.elements().count(), 2);
         assert!(out.root.first("internal").is_none());
@@ -320,7 +356,10 @@ mod tests {
 
     #[test]
     fn unwrap_flattens_one_level() {
-        let sheet = Stylesheet::new("s", vec![Rule::for_name("wrapper").unwrap_element().build()]);
+        let sheet = Stylesheet::new(
+            "s",
+            vec![Rule::for_name("wrapper").unwrap_element().build()],
+        );
         let doc = parse("<msg><wrapper><a>1</a><b>2</b></wrapper></msg>").unwrap();
         let out = sheet.transform(&doc).unwrap();
         assert_eq!(out.root.child_text("a").as_deref(), Some("1"));
@@ -334,10 +373,9 @@ mod tests {
             "s",
             vec![Rule::for_path(&["order", "state"]).rename("ostate").build()],
         );
-        let doc = parse(
-            "<m><order><state>O</state></order><customer><state>C</state></customer></m>",
-        )
-        .unwrap();
+        let doc =
+            parse("<m><order><state>O</state></order><customer><state>C</state></customer></m>")
+                .unwrap();
         let out = sheet.transform(&doc).unwrap();
         assert!(out.root.first("order").unwrap().first("ostate").is_some());
         assert!(out.root.first("customer").unwrap().first("state").is_some());
@@ -362,8 +400,7 @@ mod tests {
 
     #[test]
     fn attrs_to_elements() {
-        let sheet =
-            Stylesheet::new("s", vec![Rule::for_name("row").attrs_to_elements().build()]);
+        let sheet = Stylesheet::new("s", vec![Rule::for_name("row").attrs_to_elements().build()]);
         let doc = parse(r#"<t><row a="1" b="x"/></t>"#).unwrap();
         let out = sheet.transform(&doc).unwrap();
         let row = out.root.first("row").unwrap();

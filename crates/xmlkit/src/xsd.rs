@@ -20,10 +20,18 @@ pub struct XsdAttr {
 
 impl XsdAttr {
     pub fn required(name: impl Into<String>, ty: SimpleType) -> XsdAttr {
-        XsdAttr { name: name.into(), required: true, ty }
+        XsdAttr {
+            name: name.into(),
+            required: true,
+            ty,
+        }
     }
     pub fn optional(name: impl Into<String>, ty: SimpleType) -> XsdAttr {
-        XsdAttr { name: name.into(), required: false, ty }
+        XsdAttr {
+            name: name.into(),
+            required: false,
+            ty,
+        }
     }
 }
 
@@ -61,22 +69,38 @@ pub struct XsdElement {
 impl XsdElement {
     /// A leaf element with typed text content.
     pub fn simple(name: impl Into<String>, ty: SimpleType) -> XsdElement {
-        XsdElement { name: name.into(), attrs: Vec::new(), content: Content::Simple(ty) }
+        XsdElement {
+            name: name.into(),
+            attrs: Vec::new(),
+            content: Content::Simple(ty),
+        }
     }
 
     /// A container element with an ordered child sequence.
     pub fn sequence(name: impl Into<String>, children: Vec<Particle>) -> XsdElement {
-        XsdElement { name: name.into(), attrs: Vec::new(), content: Content::Sequence(children) }
+        XsdElement {
+            name: name.into(),
+            attrs: Vec::new(),
+            content: Content::Sequence(children),
+        }
     }
 
     /// An element with unconstrained content.
     pub fn any(name: impl Into<String>) -> XsdElement {
-        XsdElement { name: name.into(), attrs: Vec::new(), content: Content::Any }
+        XsdElement {
+            name: name.into(),
+            attrs: Vec::new(),
+            content: Content::Any,
+        }
     }
 
     /// An element that must be empty.
     pub fn empty(name: impl Into<String>) -> XsdElement {
-        XsdElement { name: name.into(), attrs: Vec::new(), content: Content::Empty }
+        XsdElement {
+            name: name.into(),
+            attrs: Vec::new(),
+            content: Content::Empty,
+        }
     }
 
     /// Builder: add an attribute declaration.
@@ -87,27 +111,47 @@ impl XsdElement {
 
     /// Particle: exactly one.
     pub fn once(self) -> Particle {
-        Particle { element: self, min: 1, max: Some(1) }
+        Particle {
+            element: self,
+            min: 1,
+            max: Some(1),
+        }
     }
 
     /// Particle: zero or one.
     pub fn optional(self) -> Particle {
-        Particle { element: self, min: 0, max: Some(1) }
+        Particle {
+            element: self,
+            min: 0,
+            max: Some(1),
+        }
     }
 
     /// Particle: zero or more.
     pub fn many(self) -> Particle {
-        Particle { element: self, min: 0, max: None }
+        Particle {
+            element: self,
+            min: 0,
+            max: None,
+        }
     }
 
     /// Particle: one or more.
     pub fn at_least_one(self) -> Particle {
-        Particle { element: self, min: 1, max: None }
+        Particle {
+            element: self,
+            min: 1,
+            max: None,
+        }
     }
 
     /// Particle with explicit bounds.
     pub fn occurs(self, min: u32, max: Option<u32>) -> Particle {
-        Particle { element: self, min, max }
+        Particle {
+            element: self,
+            min,
+            max,
+        }
     }
 }
 
@@ -133,7 +177,10 @@ impl std::fmt::Display for ValidationIssue {
 
 impl XsdSchema {
     pub fn new(name: impl Into<String>, root: XsdElement) -> XsdSchema {
-        XsdSchema { name: name.into(), root }
+        XsdSchema {
+            name: name.into(),
+            root,
+        }
     }
 
     /// Validate a document, returning every issue found (empty = valid).
@@ -146,7 +193,12 @@ impl XsdSchema {
             });
             return issues;
         }
-        validate_element(&doc.root, &self.root, &format!("/{}", doc.root.name), &mut issues);
+        validate_element(
+            &doc.root,
+            &self.root,
+            &format!("/{}", doc.root.name),
+            &mut issues,
+        );
         issues
     }
 
@@ -202,7 +254,10 @@ fn validate_element(e: &Element, decl: &XsdElement, path: &str, issues: &mut Vec
             }
             let text = e.text_content();
             if let Err(msg) = check_simple(ty, text.trim()) {
-                issues.push(ValidationIssue { path: path.to_string(), message: msg });
+                issues.push(ValidationIssue {
+                    path: path.to_string(),
+                    message: msg,
+                });
             }
         }
         Content::Sequence(particles) => {
@@ -234,7 +289,7 @@ fn validate_sequence(
         let mut count = 0u32;
         while ci < children.len()
             && children[ci].name == p.element.name
-            && p.max.map_or(true, |m| count < m)
+            && p.max.is_none_or(|m| count < m)
         {
             let child_path = format!("{path}/{}", children[ci].name);
             validate_element(children[ci], &p.element, &child_path, issues);
@@ -303,10 +358,8 @@ mod tests {
 
     #[test]
     fn type_errors_detected() {
-        let doc = parse(
-            r#"<order id="x"><custkey>abc</custkey><state>WEIRD</state></order>"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"<order id="x"><custkey>abc</custkey><state>WEIRD</state></order>"#).unwrap();
         let issues = schema().validate(&doc);
         assert_eq!(issues.len(), 3); // bad id, bad custkey, bad enum
     }
@@ -332,10 +385,8 @@ mod tests {
 
     #[test]
     fn order_matters_in_sequence() {
-        let doc = parse(
-            r#"<order id="1"><state>OPEN</state><custkey>1</custkey></order>"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"<order id="1"><state>OPEN</state><custkey>1</custkey></order>"#).unwrap();
         assert!(!schema().is_valid(&doc));
     }
 
@@ -343,7 +394,10 @@ mod tests {
     fn max_occurs_enforced() {
         let s = XsdSchema::new(
             "s",
-            XsdElement::sequence("r", vec![XsdElement::simple("x", SimpleType::Int).occurs(0, Some(2))]),
+            XsdElement::sequence(
+                "r",
+                vec![XsdElement::simple("x", SimpleType::Int).occurs(0, Some(2))],
+            ),
         );
         let ok = parse("<r><x>1</x><x>2</x></r>").unwrap();
         assert!(s.is_valid(&ok));

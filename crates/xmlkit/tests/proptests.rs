@@ -18,7 +18,10 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (arb_name(), prop::collection::vec((arb_name(), "[ -~]{0,10}"), 0..3))
+    let leaf = (
+        arb_name(),
+        prop::collection::vec((arb_name(), "[ -~]{0,10}"), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (n, v) in attrs {

@@ -19,8 +19,8 @@ use dipbench::processes::{col_as, lit_as};
 fn main() {
     // Start from a loaded environment: run one normal benchmark period so
     // the DWH has data to archive.
-    let config = BenchConfig::new(ScaleFactors::new(0.05, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.05, 1.0, Distribution::Uniform)).with_periods(1);
     let env = BenchEnvironment::new(config).expect("environment");
     {
         let system = std::sync::Arc::new(MtmSystem::new(env.world.clone()));
@@ -38,7 +38,9 @@ fn main() {
     ])
     .shared();
     dwh.create_table(
-        Table::new("orders_archive", archive_schema).with_primary_key(&["orderkey"]).unwrap(),
+        Table::new("orders_archive", archive_schema)
+            .with_primary_key(&["orderkey"])
+            .unwrap(),
     );
 
     // Define the custom process with the same operator vocabulary the 15

@@ -22,7 +22,9 @@ fn main() {
         "proc", "fed NAVG+[tu]", "mtm NAVG+[tu]", "ratio"
     );
     for fm in &fed.outcome.metrics {
-        let Some(mm) = mtm.outcome.metric_for(&fm.process) else { continue };
+        let Some(mm) = mtm.outcome.metric_for(&fm.process) else {
+            continue;
+        };
         let ratio = fm.navg_plus_tu / mm.navg_plus_tu.max(1e-9);
         println!(
             "{:<5} {:>15.2} {:>15.2} {:>9.2}   {}",
@@ -49,8 +51,16 @@ fn main() {
     }
     println!(
         "\nverification: fed={}, mtm={}",
-        if fed.verification.passed() { "PASS" } else { "FAIL" },
-        if mtm.verification.passed() { "PASS" } else { "FAIL" },
+        if fed.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if mtm.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
     );
     println!(
         "wall time: fed={:?}, mtm={:?}",

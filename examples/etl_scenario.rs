@@ -21,14 +21,25 @@ fn main() {
     let env = BenchEnvironment::new(config).expect("environment");
     let system: Arc<dyn IntegrationSystem> =
         Arc::new(FedDbms::new(env.world.clone(), FedOptions::default()));
-    system.deploy(dipbench::processes::all_processes()).expect("deploy");
+    system
+        .deploy(dipbench::processes::all_processes())
+        .expect("deploy");
     env.initialize_sources(0).expect("initializer");
 
     println!("== Layer 1: source systems (after initialization) ==");
-    println!("  berlin_paris.cust  = {}", count(&env, "berlin_paris", "cust"));
+    println!(
+        "  berlin_paris.cust  = {}",
+        count(&env, "berlin_paris", "cust")
+    );
     println!("  trondheim.ord      = {}", count(&env, "trondheim", "ord"));
-    println!("  chicago.orders     = {}", count(&env, "chicago", "orders"));
-    println!("  beijing_db.orders  = {}", count(&env, "beijing_db", "orders"));
+    println!(
+        "  chicago.orders     = {}",
+        count(&env, "chicago", "orders")
+    );
+    println!(
+        "  beijing_db.orders  = {}",
+        count(&env, "beijing_db", "orders")
+    );
 
     println!("\n== Group A: source-system management ==");
     let msg = env.generator.beijing_master_message(0, 0);
@@ -46,7 +57,9 @@ fn main() {
     println!("\n== Group B: data consolidation into the CDB ==");
     let n_p04 = schedule::p04_count(config.scale.datasize);
     for m in 0..n_p04 {
-        system.on_message("P04", 0, env.generator.vienna_message(0, m)).expect("P04");
+        system
+            .on_message("P04", 0, env.generator.vienna_message(0, m))
+            .expect("P04");
     }
     println!("  P04 x{n_p04}: Vienna messages staged");
     for p in ["P05", "P06", "P07"] {
@@ -55,7 +68,9 @@ fn main() {
     println!("  P05-P07: European extracts staged");
     let n_p08 = schedule::p08_count(config.scale.datasize);
     for m in 0..n_p08 {
-        system.on_message("P08", 0, env.generator.hongkong_message(0, m)).expect("P08");
+        system
+            .on_message("P08", 0, env.generator.hongkong_message(0, m))
+            .expect("P08");
     }
     system.on_timed("P09", 0).expect("P09");
     println!("  P08/P09: Asian flow staged");

@@ -32,6 +32,13 @@ fn main() {
 
     // The post phase: functional verification of the integrated data.
     let verification = verify::verify(&env).expect("verification");
-    println!("\nverification: {}", if verification.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "\nverification: {}",
+        if verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
     print!("{verification}");
 }

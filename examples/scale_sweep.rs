@@ -10,8 +10,11 @@ use dip_bench::{run_experiment, EngineKind};
 use dipbench::prelude::*;
 
 fn navg_plus(outcome: &RunOutcome, ids: &[&str]) -> f64 {
-    let vals: Vec<f64> =
-        ids.iter().filter_map(|p| outcome.metric_for(p)).map(|m| m.navg_plus_tu).collect();
+    let vals: Vec<f64> = ids
+        .iter()
+        .filter_map(|p| outcome.metric_for(p))
+        .map(|m| m.navg_plus_tu)
+        .collect();
     vals.iter().sum::<f64>() / vals.len().max(1) as f64
 }
 
@@ -20,7 +23,10 @@ fn main() {
     const E2: [&str; 7] = ["P03", "P09", "P11", "P12", "P13", "P14", "P15"];
 
     println!("== datasize sweep (t=1.0, uniform, 1 period) ==");
-    println!("{:<8} {:>14} {:>14} {:>10}", "d", "E1 NAVG+[tu]", "E2 NAVG+[tu]", "wall[ms]");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "d", "E1 NAVG+[tu]", "E2 NAVG+[tu]", "wall[ms]"
+    );
     for d in [0.02, 0.05, 0.1, 0.2] {
         let config =
             BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform)).with_periods(1);
@@ -42,13 +48,25 @@ fn main() {
             BenchConfig::new(ScaleFactors::new(0.05, t, Distribution::Uniform)).with_periods(1);
         let r = run_experiment(EngineKind::Federated, config);
         // a tu is 1/t ms: the same wall cost reads as t× more tu
-        println!("{:<8} {:>14.2} {:>14.2}", t, navg_plus(&r.outcome, &E1), navg_plus(&r.outcome, &E2));
+        println!(
+            "{:<8} {:>14.2} {:>14.2}",
+            t,
+            navg_plus(&r.outcome, &E1),
+            navg_plus(&r.outcome, &E2)
+        );
     }
 
     println!("\n== distribution sweep (d=0.05, t=1.0, 1 period) ==");
-    println!("{:<12} {:>14} {:>14} {:>8}", "f", "E1 NAVG+[tu]", "E2 NAVG+[tu]", "verify");
-    for f in [Distribution::Uniform, Distribution::Zipf5, Distribution::Zipf10, Distribution::Normal]
-    {
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "f", "E1 NAVG+[tu]", "E2 NAVG+[tu]", "verify"
+    );
+    for f in [
+        Distribution::Uniform,
+        Distribution::Zipf5,
+        Distribution::Zipf10,
+        Distribution::Normal,
+    ] {
         let config = BenchConfig::new(ScaleFactors::new(0.05, 1.0, f)).with_periods(1);
         let r = run_experiment(EngineKind::Federated, config);
         println!(
@@ -56,7 +74,11 @@ fn main() {
             f.label(),
             navg_plus(&r.outcome, &E1),
             navg_plus(&r.outcome, &E2),
-            if r.verification.passed() { "PASS" } else { "FAIL" }
+            if r.verification.passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
 }

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, and `Bencher::iter`
+//! / `iter_batched` — with plain wall-clock measurement and a mean/min/max
+//! summary line per benchmark. No statistics engine, plots or saved
+//! baselines.
+//!
+//! Mode handling mirrors criterion's: `cargo bench` passes `--bench` and
+//! gets the measured run; `cargo test` builds the same binary without
+//! `--bench` (and passes `--test`), which runs every benchmark exactly
+//! once as a smoke test so the tier-1 suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; measurement ignores the hint and
+/// always times the routine alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    /// Full measurement (`--bench`) vs one-shot smoke run (`cargo test`).
+    measure: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Configure from `std::env::args`, criterion-style: `--bench` selects
+    /// measurement mode, the first free argument is a name filter, and
+    /// unknown flags are ignored.
+    pub fn from_args() -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => measure = true,
+                "--test" => measure = false,
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. --save-baseline foo).
+                    if matches!(
+                        s,
+                        "--save-baseline"
+                            | "--baseline"
+                            | "--load-baseline"
+                            | "--measurement-time"
+                            | "--sample-size"
+                            | "--warm-up-time"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                free => {
+                    if filter.is_none() {
+                        filter = Some(free.to_string());
+                    }
+                }
+            }
+        }
+        Criterion { measure, filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        run_one(self, &name, 10, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &mut Criterion,
+    name: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let samples = if criterion.measure { sample_size } else { 1 };
+    let mut b = Bencher {
+        samples,
+        timings: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if !criterion.measure {
+        println!("{name}: ok (smoke run)");
+        return;
+    }
+    let times = &b.timings;
+    if times.is_empty() {
+        println!("{name}: no measurements");
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    println!(
+        "{name}: mean {:?} (min {:?} / max {:?}, {} samples)",
+        mean,
+        min,
+        max,
+        times.len()
+    );
+}
+
+/// Timing loop driver handed to the closure of each benchmark.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` `samples` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` product per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Like `iter_batched` but the routine borrows the input mutably.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50);
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_honors_sample_size() {
+        let mut c = Criterion {
+            measure: true,
+            filter: None,
+        };
+        let mut calls = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(7);
+        g.bench_function("f", |b| {
+            b.iter_batched(|| (), |()| calls += 1, BatchSize::PerIteration)
+        });
+        g.finish();
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn filter_skips_other_benches() {
+        let mut c = Criterion {
+            measure: true,
+            filter: Some("keep".into()),
+        };
+        let mut ran = Vec::new();
+        c.bench_function("keep_this", |b| b.iter(|| ran.push("keep")));
+        let mut c2 = Criterion {
+            measure: true,
+            filter: Some("keep".into()),
+        };
+        c2.bench_function("skip_this", |b| b.iter(|| ran.push("skip")));
+        assert!(ran.iter().all(|&s| s == "keep"));
+        assert!(!ran.is_empty());
+    }
+}

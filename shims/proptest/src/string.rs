@@ -1,0 +1,176 @@
+//! String strategies from regex-subset patterns.
+//!
+//! `&str` implements [`Strategy`] the way upstream proptest's regex
+//! support does, restricted to the subset this workspace's tests write:
+//! a concatenation of atoms, each a literal character or a character
+//! class `[...]` (literals and `a-z` ranges), optionally repeated with
+//! `{n}` or `{m,n}`. Unsupported syntax panics with a clear message, so
+//! a new test using a wider pattern fails loudly rather than silently
+//! generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate(self, rng)
+    }
+}
+
+struct Atom {
+    /// Expanded alphabet of the class (single-char for literals).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut input = pattern.chars().peekable();
+    while let Some(c) = input.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let item = input
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    match item {
+                        ']' => break,
+                        '-' if prev.is_some() && input.peek().is_some_and(|c| *c != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = input.next().expect("range end");
+                            assert!(
+                                lo <= hi,
+                                "inverted range {lo:?}-{hi:?} in regex {pattern:?}"
+                            );
+                            // `lo` was already pushed as a literal; extend
+                            // with the rest of the range.
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(code).expect("scalar range"));
+                            }
+                        }
+                        _ => {
+                            set.push(item);
+                            prev = Some(item);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                set
+            }
+            '{' | '}' | '(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\' => {
+                panic!(
+                    "regex feature {c:?} in {pattern:?} is outside the shim's subset \
+                     (classes and {{m,n}} repetition only)"
+                )
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if input.peek() == Some(&'{') {
+            input.next();
+            let mut spec = String::new();
+            loop {
+                match input.next() {
+                    Some('}') => break,
+                    Some(d) => spec.push(d),
+                    None => panic!("unterminated repetition in regex {pattern:?}"),
+                }
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            let parse_count = |text: &str| -> usize {
+                text.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {{{spec}}} in regex {pattern:?}"))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_count(n);
+                    (n, n)
+                }
+                [m, n] => (parse_count(m), parse_count(n)),
+                _ => panic!("bad repetition {{{spec}}} in regex {pattern:?}"),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in regex {pattern:?}");
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string_tests", 0)
+    }
+
+    #[test]
+    fn classes_ranges_and_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z][a-zA-Z0-9_.-]{0,8}", &mut r);
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_alphabetic(), "{s:?}");
+            assert!(s.len() <= 9);
+            assert!(
+                cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_with_extras() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~<>&;]{0,60}", &mut r);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        let s = generate("x[01]{4}y", &mut r);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        assert!(s[1..5].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the shim's subset")]
+    fn unsupported_syntax_is_loud() {
+        generate("a+", &mut rng());
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-]{1,3}", &mut r);
+            assert!(s.chars().all(|c| c == 'a' || c == '-'), "{s:?}");
+        }
+    }
+}

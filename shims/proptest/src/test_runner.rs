@@ -1,0 +1,80 @@
+//! Case counting, deterministic per-case RNG, and failure context.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration; only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator: the stream is a pure function of
+/// (test name, case index), so failures reproduce run over run.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Prints which case was running if the property body panics, since the
+/// shim has no shrinker to minimize the input.
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            test_name,
+            case,
+            passed: false,
+        }
+    }
+
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest (shim): property {} failed at case #{} — \
+                 the case RNG is deterministic, rerun to reproduce",
+                self.test_name, self.case
+            );
+        }
+    }
+}

@@ -28,7 +28,11 @@ fn run_fed(opts: FedOptions) -> (BenchEnvironment, RunOutcome) {
     (env, outcome)
 }
 
-fn sorted_rows(env: &BenchEnvironment, db: &str, table: &str) -> Vec<Vec<dip_relstore::value::Value>> {
+fn sorted_rows(
+    env: &BenchEnvironment,
+    db: &str,
+    table: &str,
+) -> Vec<Vec<dip_relstore::value::Value>> {
     let mut rel = env.db(db).table(table).unwrap().scan();
     let keys: Vec<usize> = (0..rel.schema.len()).collect();
     rel.sort_by_columns(&keys);
@@ -51,12 +55,33 @@ fn engines_produce_identical_integrated_data() {
     let (fed_env, _) = run_fed(FedOptions::default());
     // every target system must match, table by table
     let targets: [(&str, &[&str]); 6] = [
-        ("dwh", &["customer", "product", "orders", "orderline", "orders_mv"]),
-        ("sales_cleaning", &["customer_staging", "product_staging", "failed_messages", "customer", "product"]),
+        (
+            "dwh",
+            &["customer", "product", "orders", "orderline", "orders_mv"],
+        ),
+        (
+            "sales_cleaning",
+            &[
+                "customer_staging",
+                "product_staging",
+                "failed_messages",
+                "customer",
+                "product",
+            ],
+        ),
         ("us_eastcoast", &["customer", "part", "orders", "lineitem"]),
-        ("dm_europe", &["orders", "orderline", "customer_d", "product_d", "sales_mv"]),
-        ("dm_unitedstates", &["orders", "orderline", "customer_d", "product", "sales_mv"]),
-        ("dm_asia", &["orders", "orderline", "customer", "product_d", "sales_mv"]),
+        (
+            "dm_europe",
+            &["orders", "orderline", "customer_d", "product_d", "sales_mv"],
+        ),
+        (
+            "dm_unitedstates",
+            &["orders", "orderline", "customer_d", "product", "sales_mv"],
+        ),
+        (
+            "dm_asia",
+            &["orders", "orderline", "customer", "product_d", "sales_mv"],
+        ),
     ];
     for (db, tables) in targets {
         for table in tables {
@@ -89,7 +114,9 @@ fn engines_produce_identical_integrated_data() {
 
 #[test]
 fn fed_without_optimizer_still_correct() {
-    let (env, outcome) = run_fed(FedOptions { optimize_relational: false });
+    let (env, outcome) = run_fed(FedOptions {
+        optimize_relational: false,
+    });
     assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
     assert!(verify::verify(&env).unwrap().passed());
 }

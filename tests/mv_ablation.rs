@@ -9,8 +9,10 @@ use dipbench_suite::{run_benchmark, test_config, Engine};
 #[test]
 fn incremental_mv_matches_full_over_whole_benchmark() {
     let (env_full, _) = run_benchmark(Engine::Mtm, test_config().with_mv_mode(RefreshMode::Full));
-    let (env_inc, _) =
-        run_benchmark(Engine::Mtm, test_config().with_mv_mode(RefreshMode::Incremental));
+    let (env_inc, _) = run_benchmark(
+        Engine::Mtm,
+        test_config().with_mv_mode(RefreshMode::Incremental),
+    );
     let mut a = env_full.db("dwh").table("orders_mv").unwrap().scan();
     let mut b = env_inc.db("dwh").table("orders_mv").unwrap().scan();
     a.sort_by_columns(&[0]);
@@ -34,6 +36,9 @@ fn quality_extension_holds_on_both_engines() {
         let (env, _) = run_benchmark(engine, test_config());
         let q = quality::measure(&env).unwrap();
         assert!(q.quality_increases(), "{engine:?}:\n{q}");
-        assert!((q.warehouse.consistency - 1.0).abs() < 1e-9, "{engine:?}:\n{q}");
+        assert!(
+            (q.warehouse.consistency - 1.0).abs() < 1e-9,
+            "{engine:?}:\n{q}"
+        );
     }
 }

@@ -67,18 +67,30 @@ fn dispatched_mix_matches_table_ii_per_period() {
             .count() as u32
     };
     for k in 0..2 {
-        assert_eq!(count("P01", k), schedule::p01_count(k, scale.datasize), "P01 period {k}");
-        assert_eq!(count("P02", k), schedule::p02_count(k, scale.datasize), "P02 period {k}");
+        assert_eq!(
+            count("P01", k),
+            schedule::p01_count(k, scale.datasize),
+            "P01 period {k}"
+        );
+        assert_eq!(
+            count("P02", k),
+            schedule::p02_count(k, scale.datasize),
+            "P02 period {k}"
+        );
         assert_eq!(count("P04", k), schedule::p04_count(scale.datasize));
         assert_eq!(count("P08", k), schedule::p08_count(scale.datasize));
         assert_eq!(count("P10", k), schedule::p10_count(scale.datasize));
-        for p in ["P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15"] {
+        for p in [
+            "P03", "P05", "P06", "P07", "P09", "P11", "P12", "P13", "P14", "P15",
+        ] {
             assert_eq!(count(p, k), 1, "{p} period {k}");
         }
     }
     // P01 decreases across periods at a large enough datasize
     let scale_big = ScaleFactors::new(0.5, 1.0, Distribution::Uniform);
-    assert!(schedule::p01_count(0, scale_big.datasize) > schedule::p01_count(99, scale_big.datasize));
+    assert!(
+        schedule::p01_count(0, scale_big.datasize) > schedule::p01_count(99, scale_big.datasize)
+    );
 }
 
 #[test]
@@ -86,8 +98,8 @@ fn streams_a_and_b_actually_overlap() {
     // with eager pacing, stream A and stream B instances should interleave
     // in wall time: some records of group A must start before the last
     // group B record ends and vice versa
-    let config = BenchConfig::new(ScaleFactors::new(0.05, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.05, 1.0, Distribution::Uniform)).with_periods(1);
     let env = BenchEnvironment::new(config).unwrap();
     let system = Arc::new(MtmSystem::new(env.world.clone()));
     let client = Client::new(&env, system).unwrap();
@@ -97,12 +109,19 @@ fn streams_a_and_b_actually_overlap() {
         .iter()
         .filter(|r| matches!(r.process.as_str(), "P01" | "P02" | "P03"))
         .collect();
-    let b: Vec<_> = outcome.records.iter().filter(|r| r.process == "P04").collect();
+    let b: Vec<_> = outcome
+        .records
+        .iter()
+        .filter(|r| r.process == "P04")
+        .collect();
     let a_start = a.iter().map(|r| r.start).min().unwrap();
     let a_end = a.iter().map(|r| r.end).max().unwrap();
     let b_start = b.iter().map(|r| r.start).min().unwrap();
     let b_end = b.iter().map(|r| r.end).max().unwrap();
-    assert!(a_start < b_end && b_start < a_end, "streams did not overlap");
+    assert!(
+        a_start < b_end && b_start < a_end,
+        "streams did not overlap"
+    );
     // and normalization noticed: some A/B instance has factor < 1
     assert!(
         outcome.normalized.iter().any(|n| n.factor < 0.999),

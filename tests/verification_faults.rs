@@ -8,8 +8,8 @@ use dipbench::verify;
 use std::sync::Arc;
 
 fn run_env() -> BenchEnvironment {
-    let config = BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform))
-        .with_periods(1);
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
     let env = BenchEnvironment::new(config).unwrap();
     let system = Arc::new(MtmSystem::new(env.world.clone()));
     let client = Client::new(&env, system).unwrap();
@@ -59,7 +59,10 @@ fn stale_materialized_view_detected() {
         .update_where(&Expr::lit(true), &[(2, Expr::lit(1.0e9))])
         .unwrap();
     let failed = failing_check(&env);
-    assert!(failed.iter().any(|n| n == "orders_mv_consistent"), "{failed:?}");
+    assert!(
+        failed.iter().any(|n| n == "orders_mv_consistent"),
+        "{failed:?}"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn leftover_cdb_movement_detected() {
         ]])
         .unwrap();
     let failed = failing_check(&env);
-    assert!(failed.iter().any(|n| n == "cdb_movement_consumed"), "{failed:?}");
+    assert!(
+        failed.iter().any(|n| n == "cdb_movement_consumed"),
+        "{failed:?}"
+    );
 }
 
 #[test]
@@ -99,7 +105,10 @@ fn wrong_mart_partition_detected() {
         ]])
         .unwrap();
     let failed = failing_check(&env);
-    assert!(failed.iter().any(|n| n == "dm_region_partitioning"), "{failed:?}");
+    assert!(
+        failed.iter().any(|n| n == "dm_region_partitioning"),
+        "{failed:?}"
+    );
 }
 
 #[test]
@@ -111,7 +120,10 @@ fn vocabulary_violation_detected() {
         .update_where(&Expr::lit(true), &[(4, Expr::lit("MEGA-URGENT"))])
         .unwrap();
     let failed = failing_check(&env);
-    assert!(failed.iter().any(|n| n == "dwh_canonical_vocabulary"), "{failed:?}");
+    assert!(
+        failed.iter().any(|n| n == "dwh_canonical_vocabulary"),
+        "{failed:?}"
+    );
 }
 
 #[test]
