@@ -378,6 +378,7 @@ fn record(args: &[String]) {
     dip_trace::enable();
     let result = run_experiment(kind, config);
     let spans = dip_trace::drain();
+    let counters = dip_trace::drain_counters();
     dip_trace::disable();
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -410,6 +411,7 @@ fn record(args: &[String]) {
             })
             .collect(),
         rollups: RunRecord::rollup_spans(&spans),
+        counters,
     };
     let path = match flag_str(args, "--out") {
         Some(p) => std::path::PathBuf::from(p),

@@ -71,6 +71,24 @@ impl DispatchGate {
     }
 }
 
+/// Unwind protection for a gated stream: if the stream panics between
+/// `acquire` and `advance` (inside a process dispatch, say), its slot
+/// would keep its stale deadline and the sibling stream would wait on it
+/// forever. Dropped during a panic, this marks the slot exhausted so the
+/// sibling can finish; the panic itself is surfaced by `run_period`.
+struct GateRelease<'g> {
+    gate: &'g DispatchGate,
+    slot: usize,
+}
+
+impl Drop for GateRelease<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.gate.advance(self.slot, f64::INFINITY);
+        }
+    }
+}
+
 /// One dispatch failure (the run continues; the engine has already
 /// recorded the failed instance).
 #[derive(Debug, Clone)]
@@ -145,6 +163,7 @@ impl<'a> Client<'a> {
         };
         let _span =
             dip_trace::span_cat(dip_trace::Layer::Core, op, dip_trace::Category::Management);
+        let _release = gate.map(|(g, slot)| GateRelease { gate: g, slot });
         let pacing = self.env.config.pacing;
         let tu = self.env.config.scale.tu();
         let stream_start = Instant::now();
@@ -208,14 +227,13 @@ impl<'a> Client<'a> {
         let d = self.env.config.scale.datasize;
         let streams = schedule::period_streams(k, d);
         let mut failures: Vec<DispatchFailure> = Vec::new();
-        let (mut fa, mut fb) = (Vec::new(), Vec::new());
         // under Eager pacing the gate replays the schedule's logical time
         // across the concurrent pair (RealTime gets it from the wall clock)
         let first = |s: &[ScheduledEvent]| s.first().map_or(f64::INFINITY, |e| e.deadline_tu);
         let gate = (self.env.config.pacing == PacingMode::Eager)
             .then(|| DispatchGate::new(first(&streams[0].1), first(&streams[1].1)));
         let gate = gate.as_ref();
-        std::thread::scope(|scope| {
+        let (ra, rb) = std::thread::scope(|scope| {
             let a = &streams[0].1;
             let b = &streams[1].1;
             let ha = scope.spawn(move || {
@@ -228,11 +246,18 @@ impl<'a> Client<'a> {
                 self.run_stream(StreamId::B, k, b, &mut f, gate.map(|g| (g, 1)));
                 f
             });
-            fa = ha.join().unwrap_or_default();
-            fb = hb.join().unwrap_or_default();
+            // join both before propagating so the sibling finishes (its
+            // GateRelease unblocked it) rather than being torn down mid-run
+            (ha.join(), hb.join())
         });
-        failures.extend(fa);
-        failures.extend(fb);
+        for r in [ra, rb] {
+            match r {
+                Ok(f) => failures.extend(f),
+                // a panicked stream must fail the run loudly — swallowing it
+                // here would report a clean period with zero failures
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
         for (id, events) in &streams[2..] {
             debug_assert!(matches!(id, StreamId::C | StreamId::D));
             self.run_stream(*id, k, events, &mut failures, None);

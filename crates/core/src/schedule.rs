@@ -43,29 +43,46 @@ fn ev(process: &'static str, stream: StreamId, deadline_tu: f64, seq: u32) -> Sc
     }
 }
 
+/// Tolerance for instance-count rounding: datasize values like `0.29` are
+/// not exactly representable in binary, so products like `1100·d` can land
+/// an ulp below the integer the paper's formula intends (318.999…94 for
+/// `1100·0.29`), and a bare `floor`/`ceil` then miscounts by one. Counts
+/// are small integers, so absorbing a millionth is always safe.
+const COUNT_EPS: f64 = 1e-6;
+
+/// `floor(x) + 1` tolerating `x` an ulp below an integer.
+fn floor_count(x: f64) -> u32 {
+    ((x + COUNT_EPS).floor() as u32) + 1
+}
+
+/// `ceil(x) + 1` tolerating `x` an ulp above an integer.
+fn ceil_count(x: f64) -> u32 {
+    ((x - COUNT_EPS).ceil().max(0.0) as u32) + 1
+}
+
 /// Number of P01 instances in period `k` under datasize `d`.
 pub fn p01_count(k: u32, d: f64) -> u32 {
-    (((100u32.saturating_sub(k)) as f64 * d / 5.0).ceil() as u32) + 1
+    ceil_count((100u32.saturating_sub(k)) as f64 * d / 5.0)
 }
 
 /// Number of P02 instances in period `k` under datasize `d`.
 pub fn p02_count(k: u32, d: f64) -> u32 {
-    (((100u32.saturating_sub(k)) as f64 * d / 10.0).ceil() as u32) + 1
+    ceil_count((100u32.saturating_sub(k)) as f64 * d / 10.0)
 }
 
 /// Number of P04 instances (Table II: `1 ≤ m ≤ 1100·d + 1`).
 pub fn p04_count(d: f64) -> u32 {
-    ((1100.0 * d).floor() as u32) + 1
+    floor_count(1100.0 * d)
 }
 
 /// Number of P08 instances (`1 ≤ m ≤ 900·d + 1`).
 pub fn p08_count(d: f64) -> u32 {
-    ((900.0 * d).floor() as u32) + 1
+    floor_count(900.0 * d)
 }
 
 /// Number of P10 instances (`1 ≤ m ≤ 1050·d + 1`).
 pub fn p10_count(d: f64) -> u32 {
-    ((1050.0 * d).floor() as u32) + 1
+    floor_count(1050.0 * d)
 }
 
 /// Stream A of period `k`: concurrent P01/P02 message series, then P03
@@ -188,6 +205,26 @@ mod tests {
         // P01 decreases with k
         assert!(p01_count(0, 0.5) > p01_count(90, 0.5));
         assert_eq!(p01_count(100, 0.05), 1);
+    }
+
+    #[test]
+    fn counts_tolerate_inexact_datasize() {
+        // 1100·0.69 = 758.999…89 in f64: a bare floor() undercounts by one
+        assert!((1100.0f64 * 0.69).floor() < 759.0, "premise of the test");
+        assert_eq!(p04_count(0.69), 760);
+        // 100·0.55/5 = 11.000…002: a bare ceil() overcounts by one
+        assert!((100.0f64 * 0.55 / 5.0).ceil() > 11.0, "premise of the test");
+        assert_eq!(p01_count(0, 0.55), 12);
+        // exact and clearly-fractional products are unchanged by the epsilon
+        assert_eq!(p04_count(0.29), 320); // 1100·0.29 is exactly 319
+        assert_eq!(p08_count(0.61), 550); // 900·0.61 is exactly 549
+        assert_eq!(p10_count(0.93), 977); // 1050·0.93 = 976.5 floors to 976
+        assert_eq!(p08_count(1.0), 901);
+        assert_eq!(p02_count(0, 0.07), 2); // 0.7000…007 still ceils to 1
+        assert_eq!(p01_count(5, 0.4), 9); // 7.599…96 still ceils to 8
+                                          // zero stays pinned at the paper's "+1" floor
+        assert_eq!(p01_count(100, 0.73), 1);
+        assert_eq!(p02_count(100, 0.73), 1);
     }
 
     #[test]

@@ -10,6 +10,27 @@ use crate::value::{date_parts, Value};
 use std::fmt;
 use std::sync::Arc;
 
+/// Positional access to a row's values.
+///
+/// The streaming executor evaluates expressions over rows that are not
+/// contiguous `Vec<Value>`s — e.g. the two halves of a join emission — so
+/// evaluation is generic over this accessor instead of taking `&Row`.
+pub trait RowAccess {
+    fn value_at(&self, i: usize) -> Option<&Value>;
+}
+
+impl RowAccess for [Value] {
+    fn value_at(&self, i: usize) -> Option<&Value> {
+        self.get(i)
+    }
+}
+
+impl RowAccess for Row {
+    fn value_at(&self, i: usize) -> Option<&Value> {
+        self.get(i)
+    }
+}
+
 /// Binary comparison operators (SQL three-valued semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
@@ -173,16 +194,22 @@ impl Expr {
         Expr::Case(Box::new(cond), Box::new(then), Box::new(otherwise))
     }
 
-    /// Evaluate against a row.
+    /// Evaluate against a materialized row.
     pub fn eval(&self, row: &Row) -> StoreResult<Value> {
+        self.eval_on(row.as_slice())
+    }
+
+    /// Evaluate against anything with positional value access (joined row
+    /// halves, borrowed slices, …) without materializing it first.
+    pub fn eval_on<R: RowAccess + ?Sized>(&self, row: &R) -> StoreResult<Value> {
         match self {
             Expr::Col(i) => row
-                .get(*i)
+                .value_at(*i)
                 .cloned()
                 .ok_or_else(|| StoreError::Eval(format!("column index {i} out of range"))),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
-                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                let (a, b) = (a.eval_on(row)?, b.eval_on(row)?);
                 if a.is_null() || b.is_null() {
                     return Ok(Value::Null);
                 }
@@ -198,7 +225,7 @@ impl Expr {
                 Ok(Value::Bool(r))
             }
             Expr::Arith(op, a, b) => {
-                let (a, b) = (a.eval(row)?, b.eval(row)?);
+                let (a, b) = (a.eval_on(row)?, b.eval_on(row)?);
                 if a.is_null() || b.is_null() {
                     return Ok(Value::Null);
                 }
@@ -236,11 +263,11 @@ impl Expr {
             }
             Expr::And(a, b) => {
                 // SQL three-valued AND: false dominates null.
-                let a = a.eval(row)?;
+                let a = a.eval_on(row)?;
                 if let Value::Bool(false) = a {
                     return Ok(Value::Bool(false));
                 }
-                let b = b.eval(row)?;
+                let b = b.eval_on(row)?;
                 Ok(match (a, b) {
                     (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
                     (_, Value::Bool(false)) => Value::Bool(false),
@@ -248,30 +275,30 @@ impl Expr {
                 })
             }
             Expr::Or(a, b) => {
-                let a = a.eval(row)?;
+                let a = a.eval_on(row)?;
                 if let Value::Bool(true) = a {
                     return Ok(Value::Bool(true));
                 }
-                let b = b.eval(row)?;
+                let b = b.eval_on(row)?;
                 Ok(match (a, b) {
                     (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
                     (_, Value::Bool(true)) => Value::Bool(true),
                     _ => Value::Null,
                 })
             }
-            Expr::Not(e) => Ok(match e.eval(row)? {
+            Expr::Not(e) => Ok(match e.eval_on(row)? {
                 Value::Bool(b) => Value::Bool(!b),
                 Value::Null => Value::Null,
                 v => return Err(StoreError::Eval(format!("NOT of non-boolean {v}"))),
             }),
-            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
-            Expr::Like(e, pat) => match e.eval(row)? {
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval_on(row)?.is_null())),
+            Expr::Like(e, pat) => match e.eval_on(row)? {
                 Value::Null => Ok(Value::Null),
                 Value::Str(s) => Ok(Value::Bool(like_match(&s, pat))),
                 v => Err(StoreError::Eval(format!("LIKE on non-string {v}"))),
             },
             Expr::InList(e, list) => {
-                let v = e.eval(row)?;
+                let v = e.eval_on(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
@@ -279,7 +306,7 @@ impl Expr {
             }
             Expr::Coalesce(args) => {
                 for a in args {
-                    let v = a.eval(row)?;
+                    let v = a.eval_on(row)?;
                     if !v.is_null() {
                         return Ok(v);
                     }
@@ -289,7 +316,7 @@ impl Expr {
             Expr::Concat(args) => {
                 let mut out = String::new();
                 for a in args {
-                    let v = a.eval(row)?;
+                    let v = a.eval_on(row)?;
                     if !v.is_null() {
                         out.push_str(&v.render());
                     }
@@ -297,21 +324,21 @@ impl Expr {
                 Ok(Value::Str(out))
             }
             Expr::Func(f, e) => {
-                let v = e.eval(row)?;
+                let v = e.eval_on(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
                 eval_func(*f, v)
             }
             Expr::Case(c, t, e) => {
-                if c.eval(row)?.is_true() {
-                    t.eval(row)
+                if c.eval_on(row)?.is_true() {
+                    t.eval_on(row)
                 } else {
-                    e.eval(row)
+                    e.eval_on(row)
                 }
             }
             Expr::Apply(f, args) => {
-                let vals: StoreResult<Vec<Value>> = args.iter().map(|a| a.eval(row)).collect();
+                let vals: StoreResult<Vec<Value>> = args.iter().map(|a| a.eval_on(row)).collect();
                 f(&vals?)
             }
         }
@@ -319,7 +346,12 @@ impl Expr {
 
     /// Evaluate as a predicate: `Null` counts as not-matching, per SQL.
     pub fn matches(&self, row: &Row) -> StoreResult<bool> {
-        Ok(self.eval(row)?.is_true())
+        Ok(self.eval_on(row.as_slice())?.is_true())
+    }
+
+    /// Predicate evaluation over any positional row representation.
+    pub fn matches_on<R: RowAccess + ?Sized>(&self, row: &R) -> StoreResult<bool> {
+        Ok(self.eval_on(row)?.is_true())
     }
 
     /// Collect the column positions this expression reads.

@@ -159,11 +159,11 @@ impl MatView {
             let key = key_of(row, &group_by);
             let mut current = storage.get_by_pk(&key).unwrap_or_else(|| {
                 let mut init = key.clone();
-                for a in &aggs {
-                    init.push(match a.func {
-                        AggFunc::Count => Value::Int(0),
-                        _ => Value::Float(0.0),
-                    });
+                // SUM also starts at Int(0): integer inputs keep the
+                // accumulator Int-typed, matching the executor's SUM; the
+                // first float delta widens it below
+                for _ in &aggs {
+                    init.push(Value::Int(0));
                 }
                 init
             });
@@ -186,9 +186,22 @@ impl MatView {
                             .as_ref()
                             .ok_or_else(|| StoreError::Invalid("SUM needs input".into()))?
                             .eval(row)?;
-                        if let Some(f) = v.to_float() {
-                            let c = current[pos].to_float().unwrap_or(0.0);
-                            current[pos] = Value::Float(c + sign * f);
+                        // integer deltas on an integer accumulator stay
+                        // exact (and Int-typed) like the executor's SUM;
+                        // mixed input or overflow widens to float
+                        let cur = current[pos].clone();
+                        if let (Value::Int(c), Value::Int(i)) = (&cur, &v) {
+                            let delta = if sign < 0.0 {
+                                i.checked_neg()
+                            } else {
+                                Some(*i)
+                            };
+                            current[pos] = match delta.and_then(|d| c.checked_add(d)) {
+                                Some(t) => Value::Int(t),
+                                None => Value::Float(*c as f64 + sign * *i as f64),
+                            };
+                        } else if let Some(f) = v.to_float() {
+                            current[pos] = Value::Float(cur.to_float().unwrap_or(0.0) + sign * f);
                         }
                     }
                     _ => unreachable!("filtered by simple_aggregate_base"),
@@ -308,6 +321,65 @@ mod tests {
         let stats = inc.view("orders_mv").unwrap().stats();
         assert_eq!(stats.incremental_refreshes, 2);
         assert_eq!(stats.full_refreshes, 0);
+    }
+
+    #[test]
+    fn incremental_integer_sum_stays_int() {
+        // an Int measure must stay Int-typed (and exact) through both
+        // refresh paths, matching the executor's integer SUM
+        let mk = |mode: RefreshMode| {
+            let db = Database::new("dwh");
+            let orders = RelSchema::of(&[("city", SqlType::Str), ("qty", SqlType::Int)]).shared();
+            db.create_table(Table::new("orders", orders).with_change_capture());
+            let mv_schema = RelSchema::of(&[
+                ("city", SqlType::Str),
+                ("total", SqlType::Int),
+                ("cnt", SqlType::Int),
+            ])
+            .shared();
+            db.create_table(
+                Table::new("orders_mv", mv_schema)
+                    .with_primary_key(&["city"])
+                    .unwrap(),
+            );
+            let def = Plan::scan("orders").aggregate(
+                vec![0],
+                vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col(1), "total"),
+                    AggExpr::count_star("cnt"),
+                ],
+            );
+            db.create_view(MatView::new("orders_mv", "orders_mv", def, mode));
+            db
+        };
+        let inc = mk(RefreshMode::Incremental);
+        let full = mk(RefreshMode::Full);
+        for db in [&inc, &full] {
+            let t = db.table("orders").unwrap();
+            t.insert(vec![
+                vec![Value::str("Berlin"), Value::Int(3)],
+                vec![Value::str("Berlin"), Value::Int(4)],
+            ])
+            .unwrap();
+            db.refresh_view("orders_mv").unwrap();
+            t.insert(vec![vec![Value::str("Berlin"), Value::Int(5)]])
+                .unwrap();
+            db.refresh_view("orders_mv").unwrap();
+        }
+        for db in [&inc, &full] {
+            let row = db
+                .table("orders_mv")
+                .unwrap()
+                .get_by_pk(&[Value::str("Berlin")])
+                .unwrap();
+            // strict type check: Int(12), not Float(12.0)
+            assert!(matches!(row[1], Value::Int(12)), "got {:?}", row[1]);
+            assert_eq!(row[2], Value::Int(3));
+        }
+        assert_eq!(
+            inc.view("orders_mv").unwrap().stats().incremental_refreshes,
+            2
+        );
     }
 
     #[test]

@@ -1,20 +1,34 @@
-//! Plan execution (materializing executor).
+//! Plan execution.
 //!
-//! Each node materializes its input(s) and produces a [`Relation`]. The
-//! benchmark's datasets are period-sized (thousands to tens of thousands of
-//! rows), where a materializing executor is simple and fast; joins are hash
-//! joins with build-side selection by estimated cardinality.
+//! Two executors share this module:
+//!
+//! * **Streaming** (the default): plans run as a single push-based pipeline.
+//!   Each node pushes [`RowView`]s into its consumer's sink, so
+//!   `Scan→Filter→Project` chains fuse into one pass over the base table,
+//!   joins emit their two halves without concatenating them, and a consumer
+//!   returning `false` terminates the producers early (`LIMIT` stops the
+//!   scan underneath it). Only pipeline breakers (sort, aggregate, the
+//!   build side of a hash join) materialize rows.
+//! * **Naive** ([`run`]): every node materializes a full [`Relation`]. It
+//!   runs when `ExecOptions { optimize: false }` and serves as the
+//!   semantics reference — the ablation switch for the FedDBMS experiments
+//!   and the oracle for the executor property tests.
+//!
+//! Per-node output row counts are published to `dip-trace` as
+//! `relstore.rows_out.<op>` counters (no-ops when tracing is disabled).
 
 use crate::catalog::Database;
 use crate::error::{StoreError, StoreResult};
+use crate::expr::RowAccess;
 use crate::index::key_of;
 use crate::query::plan::{AggFunc, JoinKind, Plan};
-use crate::row::{Relation, Row};
+use crate::row::{sort_rows_by_columns, Relation, Row};
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Execution options; `optimize` routes the plan through the rule-based
-/// planner first (the ablation switch for the FedDBMS experiments).
+/// planner and the streaming executor (the ablation switch for the FedDBMS
+/// experiments — `optimize: false` runs the naive materializing executor).
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     pub optimize: bool,
@@ -30,7 +44,7 @@ impl Default for ExecOptions {
 pub fn execute(plan: &Plan, db: &Database, opts: ExecOptions) -> StoreResult<Relation> {
     if opts.optimize {
         let optimized = crate::query::planner::optimize(plan.clone(), db)?;
-        run(&optimized, db)
+        materialize(&optimized, db)
     } else {
         run(plan, db)
     }
@@ -49,13 +63,540 @@ fn plan_op(plan: &Plan) -> &'static str {
         Plan::Filter { .. } => "filter",
         Plan::Project { .. } => "project",
         Plan::HashJoin { .. } => "hash_join",
+        Plan::IndexJoin { .. } => "index_join",
         Plan::UnionAll(_) => "union_all",
         Plan::UnionDistinct { .. } => "union_distinct",
         Plan::Aggregate { .. } => "aggregate",
         Plan::Sort { .. } => "sort",
         Plan::Limit { .. } => "limit",
+        Plan::TopK { .. } => "top_k",
     }
 }
+
+/// `dip-trace` counter name for a node's output row count.
+fn rows_counter(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "relstore.rows_out.scan",
+        Plan::Values(_) => "relstore.rows_out.values",
+        Plan::Filter { .. } => "relstore.rows_out.filter",
+        Plan::Project { .. } => "relstore.rows_out.project",
+        Plan::HashJoin { .. } => "relstore.rows_out.hash_join",
+        Plan::IndexJoin { .. } => "relstore.rows_out.index_join",
+        Plan::UnionAll(_) => "relstore.rows_out.union_all",
+        Plan::UnionDistinct { .. } => "relstore.rows_out.union_distinct",
+        Plan::Aggregate { .. } => "relstore.rows_out.aggregate",
+        Plan::Sort { .. } => "relstore.rows_out.sort",
+        Plan::Limit { .. } => "relstore.rows_out.limit",
+        Plan::TopK { .. } => "relstore.rows_out.top_k",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming executor
+// ---------------------------------------------------------------------
+
+/// A row flowing through the streaming pipeline.
+///
+/// `Pair` carries the two halves of a join emission separately — consumers
+/// that only inspect columns (filters, projections, key extraction) never
+/// pay for concatenating them; only a materializing consumer does, via
+/// [`RowView::into_row`].
+pub enum RowView<'a> {
+    /// A borrowed contiguous row (base-table slot, literal relation, …).
+    Slice(&'a [Value]),
+    /// A join emission: left half ++ right half.
+    Pair(&'a [Value], &'a [Value]),
+    /// A freshly computed row (projection, aggregate output, …).
+    Owned(Row),
+}
+
+impl RowView<'_> {
+    /// Materialize into an owned row (clones borrowed views).
+    pub fn into_row(self) -> Row {
+        match self {
+            RowView::Slice(s) => s.to_vec(),
+            RowView::Pair(a, b) => a.iter().chain(b.iter()).cloned().collect(),
+            RowView::Owned(r) => r,
+        }
+    }
+}
+
+impl RowAccess for RowView<'_> {
+    fn value_at(&self, i: usize) -> Option<&Value> {
+        match self {
+            RowView::Slice(s) => s.get(i),
+            RowView::Pair(a, b) => {
+                if i < a.len() {
+                    a.get(i)
+                } else {
+                    b.get(i - a.len())
+                }
+            }
+            RowView::Owned(r) => r.get(i),
+        }
+    }
+}
+
+/// The consumer side of a streaming operator: return `false` to stop the
+/// producer (early termination), `true` to keep receiving rows.
+type Sink<'s> = dyn FnMut(RowView<'_>) -> StoreResult<bool> + 's;
+
+/// Run a plan through the streaming executor, collecting into a relation.
+fn materialize(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    let schema = plan.schema(db)?;
+    let mut rows = Vec::new();
+    stream(plan, db, &mut |r| {
+        rows.push(r.into_row());
+        Ok(true)
+    })?;
+    Ok(Relation::new(schema, rows))
+}
+
+/// Stream a node's output into `sink`. Returns `Ok(false)` iff `sink`
+/// requested termination (a node exhausting its own budget — e.g. `Limit`
+/// cutting off its input — still returns `Ok(true)` to its caller).
+fn stream(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool> {
+    let _span = dip_trace::span_cat(
+        dip_trace::Layer::Relstore,
+        plan_op(plan),
+        dip_trace::Category::Processing,
+    );
+    let mut emitted: u64 = 0;
+    let result = stream_node(plan, db, &mut |r| {
+        emitted += 1;
+        sink(r)
+    });
+    dip_trace::count(rows_counter(plan), emitted);
+    result
+}
+
+fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool> {
+    match plan {
+        Plan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
+            let t = db.table(table)?;
+            match projection {
+                None => t.stream_rows(predicate.as_ref(), &mut |row| sink(RowView::Slice(row))),
+                Some(p) => t.stream_rows(predicate.as_ref(), &mut |row| {
+                    let r: Row = p.iter().map(|&i| row[i].clone()).collect();
+                    sink(RowView::Owned(r))
+                }),
+            }
+        }
+        Plan::Values(rel) => {
+            for r in &rel.rows {
+                if !sink(RowView::Slice(r))? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::Filter { input, predicate } => stream(input, db, &mut |r| {
+            if predicate.matches_on(&r)? {
+                sink(r)
+            } else {
+                Ok(true)
+            }
+        }),
+        Plan::Project { input, exprs } => stream(input, db, &mut |r| {
+            let row: StoreResult<Row> = exprs.iter().map(|p| p.expr.eval_on(&r)).collect();
+            sink(RowView::Owned(row?))
+        }),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            if left_keys.len() != right_keys.len() {
+                return Err(StoreError::Invalid("join key arity mismatch".into()));
+            }
+            // Build on the estimated-smaller side; LEFT joins must build on
+            // the right so unmatched left rows can be emitted while probing.
+            let build_right =
+                *kind == JoinKind::Left || right.estimate_rows(db) <= left.estimate_rows(db);
+            let (build_plan, probe_plan, build_keys, probe_keys, probe_is_left) = if build_right {
+                (&**right, &**left, right_keys, left_keys, true)
+            } else {
+                (&**left, &**right, left_keys, right_keys, false)
+            };
+            let build = materialize(build_plan, db)?;
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+            for (i, r) in build.rows.iter().enumerate() {
+                let key = key_of(r, build_keys);
+                if key.iter().any(|v| v.is_null()) {
+                    continue; // NULL keys never join
+                }
+                table.entry(key).or_default().push(i);
+            }
+            let pad: Row = vec![Value::Null; build.schema.len()];
+            let left_pad = *kind == JoinKind::Left && probe_is_left;
+            stream(probe_plan, db, &mut |pr| {
+                let scratch: Row;
+                let ps: &[Value] = match &pr {
+                    RowView::Slice(s) => s,
+                    RowView::Owned(r) => r.as_slice(),
+                    RowView::Pair(..) => {
+                        scratch = pr.into_row();
+                        scratch.as_slice()
+                    }
+                };
+                let key = key_of(ps, probe_keys);
+                let matches = if key.iter().any(|v| v.is_null()) {
+                    None
+                } else {
+                    table.get(&key)
+                };
+                match matches {
+                    Some(slots) => {
+                        for &s in slots {
+                            let br = build.rows[s].as_slice();
+                            let view = if probe_is_left {
+                                RowView::Pair(ps, br)
+                            } else {
+                                RowView::Pair(br, ps)
+                            };
+                            if !sink(view)? {
+                                return Ok(false);
+                            }
+                        }
+                        Ok(true)
+                    }
+                    None => {
+                        if left_pad {
+                            sink(RowView::Pair(ps, &pad))
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                }
+            })
+        }
+        Plan::IndexJoin {
+            probe,
+            table,
+            probe_keys,
+            inner_keys,
+            predicate,
+            projection,
+            kind,
+            probe_is_left,
+        } => {
+            let t = db.table(table)?;
+            let Some(session) = t.probe_on(inner_keys) else {
+                // index dropped since planning: degrade to the equivalent
+                // hash join rather than failing the query
+                return stream_node(&index_join_equivalent(plan), db, sink);
+            };
+            let inner_width = match projection {
+                Some(p) => p.len(),
+                None => t.schema.len(),
+            };
+            let pad: Row = vec![Value::Null; inner_width];
+            // the planner only selects LEFT index joins with probe = left
+            let left_pad = *kind == JoinKind::Left && *probe_is_left;
+            stream(probe, db, &mut |pr| {
+                let scratch: Row;
+                let ps: &[Value] = match &pr {
+                    RowView::Slice(s) => s,
+                    RowView::Owned(r) => r.as_slice(),
+                    RowView::Pair(..) => {
+                        scratch = pr.into_row();
+                        scratch.as_slice()
+                    }
+                };
+                let key = key_of(ps, probe_keys);
+                if key.iter().any(|v| v.is_null()) {
+                    // NULL keys never join; LEFT probes still emit padded
+                    return if left_pad {
+                        sink(RowView::Pair(ps, &pad))
+                    } else {
+                        Ok(true)
+                    };
+                }
+                let mut matched = false;
+                let mut stopped = false;
+                session.lookup_each(&key, &mut |ir| {
+                    let keep = match predicate {
+                        Some(p) => p.matches_on(ir)?,
+                        None => true,
+                    };
+                    if !keep {
+                        return Ok(true);
+                    }
+                    matched = true;
+                    let projected: Row;
+                    let is: &[Value] = match projection {
+                        Some(p) => {
+                            projected = p.iter().map(|&i| ir[i].clone()).collect();
+                            projected.as_slice()
+                        }
+                        None => ir,
+                    };
+                    let view = if *probe_is_left {
+                        RowView::Pair(ps, is)
+                    } else {
+                        RowView::Pair(is, ps)
+                    };
+                    if !sink(view)? {
+                        stopped = true;
+                        return Ok(false);
+                    }
+                    Ok(true)
+                })?;
+                if stopped {
+                    return Ok(false);
+                }
+                if !matched && left_pad {
+                    return sink(RowView::Pair(ps, &pad));
+                }
+                Ok(true)
+            })
+        }
+        Plan::UnionAll(inputs) => {
+            let width = plan.schema(db)?.len();
+            for i in inputs {
+                let w = i.schema(db)?.len();
+                if w != width {
+                    return Err(StoreError::Invalid(format!(
+                        "union arity mismatch: {w} vs {width}"
+                    )));
+                }
+            }
+            for i in inputs {
+                if !stream(i, db, sink)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::UnionDistinct { inputs, key } => {
+            let width = plan.schema(db)?.len();
+            for i in inputs {
+                if i.schema(db)?.len() != width {
+                    return Err(StoreError::Invalid("union arity mismatch".into()));
+                }
+            }
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            for i in inputs {
+                let keep_going = stream(i, db, &mut |r| match key {
+                    Some(cols) => {
+                        let k: Vec<Value> = cols
+                            .iter()
+                            .map(|&c| r.value_at(c).expect("key column in range").clone())
+                            .collect();
+                        if seen.insert(k) {
+                            sink(r)
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                    None => {
+                        let row = r.into_row();
+                        if seen.insert(row.clone()) {
+                            sink(RowView::Owned(row))
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                })?;
+                if !keep_going {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            stream(input, db, &mut |r| {
+                let key: Vec<Value> = group_by
+                    .iter()
+                    .map(|&c| r.value_at(c).expect("group column in range").clone())
+                    .collect();
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups
+                            .entry(key.clone())
+                            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    }
+                };
+                for (st, a) in states.iter_mut().zip(aggs) {
+                    let v = match &a.input {
+                        Some(e) => Some(e.eval_on(&r)?),
+                        None => None,
+                    };
+                    st.update(v);
+                }
+                Ok(true)
+            })?;
+            // Global aggregate over zero rows still yields one row.
+            if groups.is_empty() && group_by.is_empty() {
+                order.push(vec![]);
+                groups.insert(vec![], aggs.iter().map(|a| AggState::new(a.func)).collect());
+            }
+            for key in order {
+                let states = groups.remove(&key).expect("group exists");
+                let mut row = key;
+                for st in states {
+                    row.push(st.finish());
+                }
+                if !sink(RowView::Owned(row))? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows: Vec<Row> = Vec::new();
+            stream(input, db, &mut |r| {
+                rows.push(r.into_row());
+                Ok(true)
+            })?;
+            sort_rows_by_columns(&mut rows, keys);
+            for row in rows {
+                if !sink(RowView::Owned(row))? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::Limit { input, n } => {
+            let mut remaining = *n;
+            if remaining == 0 {
+                return Ok(true);
+            }
+            let mut downstream_stop = false;
+            stream(input, db, &mut |r| {
+                if !sink(r)? {
+                    downstream_stop = true;
+                    return Ok(false);
+                }
+                remaining -= 1;
+                Ok(remaining > 0)
+            })?;
+            Ok(!downstream_stop)
+        }
+        Plan::TopK { input, keys, n } => {
+            let n = *n;
+            if n == 0 {
+                return Ok(true);
+            }
+            // Max-heap over (sort key, input sequence): the heap root is the
+            // worst of the current best-n, so the survivors are exactly the
+            // first n rows of the stable sorted order.
+            let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::with_capacity(n + 1);
+            let mut seq = 0usize;
+            stream(input, db, &mut |r| {
+                let row = r.into_row();
+                let entry = TopKEntry {
+                    key: key_of(&row, keys),
+                    seq,
+                    row,
+                };
+                seq += 1;
+                if heap.len() < n {
+                    heap.push(entry);
+                } else if entry < *heap.peek().expect("heap non-empty") {
+                    heap.pop();
+                    heap.push(entry);
+                }
+                Ok(true)
+            })?;
+            for e in heap.into_sorted_vec() {
+                if !sink(RowView::Owned(e.row))? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// One candidate of a bounded top-K: ordered by sort key, then by input
+/// position so ties reproduce the stable sort exactly.
+#[derive(PartialEq, Eq)]
+struct TopKEntry {
+    key: Vec<Value>,
+    seq: usize,
+    row: Row,
+}
+
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Rewrite an [`Plan::IndexJoin`] back into the hash join it was derived
+/// from — the executor's fallback when the covering index has vanished
+/// between planning and execution, and the naive executor's semantics.
+fn index_join_equivalent(plan: &Plan) -> Plan {
+    let Plan::IndexJoin {
+        probe,
+        table,
+        probe_keys,
+        inner_keys,
+        predicate,
+        projection,
+        kind,
+        probe_is_left,
+    } = plan
+    else {
+        unreachable!("index_join_equivalent on non-IndexJoin");
+    };
+    let scan = Plan::Scan {
+        table: table.clone(),
+        predicate: predicate.clone(),
+        projection: projection.clone(),
+    };
+    // inner_keys are base-table positions; map them through the projection
+    // to positions in the scan's output
+    let scan_keys: Vec<usize> = match projection {
+        Some(p) => inner_keys
+            .iter()
+            .map(|k| p.iter().position(|c| c == k).expect("projected join key"))
+            .collect(),
+        None => inner_keys.clone(),
+    };
+    if *probe_is_left {
+        Plan::HashJoin {
+            left: probe.clone(),
+            right: Box::new(scan),
+            left_keys: probe_keys.clone(),
+            right_keys: scan_keys,
+            kind: *kind,
+        }
+    } else {
+        Plan::HashJoin {
+            left: Box::new(scan),
+            right: probe.clone(),
+            left_keys: scan_keys,
+            right_keys: probe_keys.clone(),
+            kind: *kind,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive materializing executor (ablation reference)
+// ---------------------------------------------------------------------
 
 fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
     let _span = dip_trace::span_cat(
@@ -117,6 +658,7 @@ fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
             let r = run(right, db)?;
             hash_join(db, plan, l, r, left_keys, right_keys, *kind)
         }
+        Plan::IndexJoin { .. } => run(&index_join_equivalent(plan), db),
         Plan::UnionAll(inputs) => {
             let schema = plan.schema(db)?;
             let mut rows = Vec::new();
@@ -222,6 +764,12 @@ fn run(plan: &Plan, db: &Database) -> StoreResult<Relation> {
             rel.rows.truncate(*n);
             Ok(rel)
         }
+        Plan::TopK { input, keys, n } => {
+            let mut rel = run(input, db)?;
+            rel.sort_by_columns(keys);
+            rel.rows.truncate(*n);
+            Ok(rel)
+        }
     }
 }
 
@@ -286,12 +834,30 @@ fn hash_join(
     Ok(Relation::new(schema, rows))
 }
 
+/// Numeric accumulator for `SUM`/`AVG`: exact `i64` arithmetic while every
+/// input is an integer, widening to `f64` on the first non-integer input or
+/// on overflow.
+#[derive(Debug, Clone, Copy)]
+enum NumAcc {
+    Int(i64),
+    Float(f64),
+}
+
+impl NumAcc {
+    fn as_f64(self) -> f64 {
+        match self {
+            NumAcc::Int(i) => i as f64,
+            NumAcc::Float(f) => f,
+        }
+    }
+}
+
 /// Streaming aggregate state.
 #[derive(Debug)]
 struct AggState {
     func: AggFunc,
     count: u64,
-    sum: f64,
+    sum: NumAcc,
     min: Option<Value>,
     max: Option<Value>,
 }
@@ -301,7 +867,7 @@ impl AggState {
         AggState {
             func,
             count: 0,
-            sum: 0.0,
+            sum: NumAcc::Int(0),
             min: None,
             max: None,
         }
@@ -318,11 +884,16 @@ impl AggState {
                 }
             }
             AggFunc::Sum | AggFunc::Avg => {
-                if let Some(x) = v {
-                    if let Some(f) = x.to_float() {
-                        self.sum += f;
-                        self.count += 1;
-                    }
+                let Some(x) = v else { return };
+                if let (NumAcc::Int(s), Value::Int(i)) = (self.sum, &x) {
+                    self.sum = match s.checked_add(*i) {
+                        Some(t) => NumAcc::Int(t),
+                        None => NumAcc::Float(s as f64 + *i as f64),
+                    };
+                    self.count += 1;
+                } else if let Some(f) = x.to_float() {
+                    self.sum = NumAcc::Float(self.sum.as_f64() + f);
+                    self.count += 1;
                 }
             }
             AggFunc::Min => {
@@ -349,14 +920,17 @@ impl AggState {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum)
+                    match self.sum {
+                        NumAcc::Int(s) => Value::Int(s),
+                        NumAcc::Float(s) => Value::Float(s),
+                    }
                 }
             }
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum / self.count as f64)
+                    Value::Float(self.sum.as_f64() / self.count as f64)
                 }
             }
             AggFunc::Min => self.min.unwrap_or(Value::Null),

@@ -165,6 +165,135 @@ mod tests {
     }
 
     #[test]
+    fn sum_keeps_integer_type_and_exactness() {
+        let db = db();
+        // SUM over an Int column stays Int — and stays exact above 2^53,
+        // where an f64 accumulator would silently round
+        let schema = RelSchema::of(&[("x", SqlType::Int)]).shared();
+        let big = 9_007_199_254_740_993i64; // 2^53 + 1, not representable in f64
+        let rel = crate::row::Relation::new(
+            schema.clone(),
+            vec![vec![Value::Int(big)], vec![Value::Int(0)]],
+        );
+        let plan = Plan::Values(rel)
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")]);
+        for optimize in [true, false] {
+            let out = execute(&plan, &db, ExecOptions { optimize }).unwrap();
+            assert_eq!(out.rows[0][0], Value::Int(big), "optimize={optimize}");
+        }
+        // the output schema advertises Int as well
+        assert_eq!(plan.schema(&db).unwrap().column(0).ty, SqlType::Int);
+
+        // overflow falls back to float instead of panicking/wrapping
+        let rel = crate::row::Relation::new(
+            schema.clone(),
+            vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX)]],
+        );
+        let plan = Plan::Values(rel)
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")]);
+        let out = run_query(&plan, &db).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(i64::MAX as f64 * 2.0));
+
+        // mixed int/float input widens to Float; AVG is always Float
+        let mixed = RelSchema::of(&[("x", SqlType::Float)]).shared();
+        let rel =
+            crate::row::Relation::new(mixed, vec![vec![Value::Int(1)], vec![Value::Float(2.5)]]);
+        let plan = Plan::Values(rel).aggregate(
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(0), "s"),
+                AggExpr::new(AggFunc::Avg, Expr::col(0), "a"),
+            ],
+        );
+        let out = run_query(&plan, &db).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(3.5));
+        assert_eq!(out.rows[0][1], Value::Float(1.75));
+    }
+
+    #[test]
+    fn limit_over_sort_becomes_topk() {
+        let db = db();
+        let plan = Plan::scan("customer").sort(vec![2]).limit(2);
+        let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
+        assert!(
+            matches!(opt, Plan::TopK { n: 2, .. }),
+            "expected TopK, got {opt:?}"
+        );
+        // bounded top-K reproduces sort-then-truncate exactly, including the
+        // stable order of tied keys (citykey 10 appears twice)
+        let a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.rows[0][2], Value::Int(10));
+    }
+
+    #[test]
+    fn planner_selects_index_join_on_pk() {
+        let db = db();
+        // city is scanned with its join key covered by its primary key
+        let plan =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
+        let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
+        assert!(
+            matches!(
+                opt,
+                Plan::IndexJoin {
+                    probe_is_left: true,
+                    ..
+                }
+            ),
+            "expected IndexJoin, got {opt:?}"
+        );
+        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        a.sort_by_columns(&[0]);
+        b.sort_by_columns(&[0]);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn index_join_preserves_left_join_padding() {
+        let db = db();
+        let plan =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Left);
+        let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
+        assert!(matches!(opt, Plan::IndexJoin { .. }), "got {opt:?}");
+        let mut rel = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        rel.sort_by_columns(&[0]);
+        assert_eq!(rel.len(), 4);
+        assert!(rel.rows[3][4].is_null()); // delta's citykey 99 padded
+    }
+
+    #[test]
+    fn self_join_is_not_index_joined() {
+        let db = db();
+        // probing would re-lock the table the probe side is scanning
+        let plan = Plan::scan("customer").hash_join(
+            Plan::scan("customer"),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+        );
+        let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
+        assert!(matches!(opt, Plan::HashJoin { .. }), "got {opt:?}");
+        let rel = run_query(&plan, &db).unwrap();
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn limit_terminates_union_early() {
+        let db = db();
+        // LIMIT under the streaming executor stops upstream producers; a
+        // union must still yield rows from its first inputs only
+        let plan = Plan::UnionAll(vec![Plan::scan("customer"), Plan::scan("customer")]).limit(5);
+        for optimize in [true, false] {
+            let rel = execute(&plan, &db, ExecOptions { optimize }).unwrap();
+            assert_eq!(rel.len(), 5, "optimize={optimize}");
+        }
+    }
+
+    #[test]
     fn values_plan() {
         let db = db();
         let schema = RelSchema::of(&[("x", SqlType::Int)]).shared();

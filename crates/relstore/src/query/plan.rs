@@ -56,14 +56,22 @@ impl AggExpr {
         }
     }
 
-    fn out_type(&self, _input: &RelSchema) -> SqlType {
+    fn out_type(&self, input: &RelSchema) -> SqlType {
+        // Bare column references take the input column's type; anything
+        // computed falls back to Float (we cannot type-infer arbitrary
+        // expressions, and Float holds both).
+        let col_type = || match self.input {
+            Some(Expr::Col(i)) if i < input.len() => Some(input.column(i).ty),
+            _ => None,
+        };
         match self.func {
             AggFunc::Count => SqlType::Int,
             AggFunc::Avg => SqlType::Float,
-            // SUM/MIN/MAX: keep it simple and call them floats unless the
-            // expression is a bare integer column — we cannot type-infer
-            // arbitrary expressions, and Float holds both.
-            _ => SqlType::Float,
+            AggFunc::Sum => match col_type() {
+                Some(SqlType::Int) => SqlType::Int,
+                _ => SqlType::Float,
+            },
+            AggFunc::Min | AggFunc::Max => col_type().unwrap_or(SqlType::Float),
         }
     }
 }
@@ -128,6 +136,27 @@ pub enum Plan {
         right_keys: Vec<usize>,
         kind: JoinKind,
     },
+    /// Index-nested-loop join produced by the planner when the inner side
+    /// is a base-table scan with an index exactly covering its join keys.
+    /// The probe side streams; the inner side is never materialized.
+    IndexJoin {
+        probe: Box<Plan>,
+        /// Inner base table (looked up per probe row through its index).
+        table: String,
+        /// Join key columns of the probe side (positions in probe output).
+        probe_keys: Vec<usize>,
+        /// Matching key columns in the *base* table (scan projection
+        /// already applied by the planner).
+        inner_keys: Vec<usize>,
+        /// Residual predicate over base-table rows (from the folded scan).
+        predicate: Option<Expr>,
+        /// Output projection of the inner side (from the folded scan).
+        projection: Option<Vec<usize>>,
+        kind: JoinKind,
+        /// Whether the probe side was the left side of the original join
+        /// (controls output column order).
+        probe_is_left: bool,
+    },
     /// Bag union of same-arity inputs.
     UnionAll(Vec<Plan>),
     /// Set union; `key = None` deduplicates whole rows, `Some(cols)`
@@ -148,6 +177,15 @@ pub enum Plan {
     },
     Limit {
         input: Box<Plan>,
+        n: usize,
+    },
+    /// Bounded partial sort produced by the planner for `Limit(Sort(x))`:
+    /// keeps only the first `n` rows of the sorted order (stable — ties
+    /// preserve input order), using a size-`n` heap instead of sorting
+    /// everything.
+    TopK {
+        input: Box<Plan>,
+        keys: Vec<usize>,
         n: usize,
     },
 }
@@ -246,6 +284,36 @@ impl Plan {
                 }
                 Ok(l.concat(&r).shared())
             }
+            Plan::IndexJoin {
+                probe,
+                table,
+                projection,
+                kind,
+                probe_is_left,
+                ..
+            } => {
+                let p = probe.schema(db)?;
+                let t = db.table(table)?;
+                let mut inner = match projection {
+                    Some(cols) => t.schema.project(cols),
+                    None => (*t.schema).clone(),
+                };
+                if *kind == JoinKind::Left {
+                    // inner side becomes nullable under LEFT JOIN
+                    inner = RelSchema::new(
+                        inner
+                            .columns()
+                            .iter()
+                            .map(|c| Column::new(c.name.clone(), c.ty))
+                            .collect(),
+                    );
+                }
+                Ok(if *probe_is_left {
+                    p.concat(&inner).shared()
+                } else {
+                    inner.concat(&p).shared()
+                })
+            }
             Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
                 let first = inputs
                     .first()
@@ -267,7 +335,9 @@ impl Plan {
                 }
                 Ok(RelSchema::new(cols).shared())
             }
-            Plan::Sort { input, .. } | Plan::Limit { input, .. } => input.schema(db),
+            Plan::Sort { input, .. } | Plan::Limit { input, .. } | Plan::TopK { input, .. } => {
+                input.schema(db)
+            }
         }
     }
 
@@ -291,6 +361,10 @@ impl Plan {
             Plan::HashJoin { left, right, .. } => {
                 left.estimate_rows(db).max(right.estimate_rows(db))
             }
+            Plan::IndexJoin { probe, table, .. } => {
+                let inner = db.table(table).map(|t| t.row_count()).unwrap_or(0);
+                probe.estimate_rows(db).max(inner)
+            }
             Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
                 inputs.iter().map(|i| i.estimate_rows(db)).sum()
             }
@@ -304,7 +378,9 @@ impl Plan {
                 }
             }
             Plan::Sort { input, .. } => input.estimate_rows(db),
-            Plan::Limit { input, n } => input.estimate_rows(db).min(*n),
+            Plan::Limit { input, n } | Plan::TopK { input, n, .. } => {
+                input.estimate_rows(db).min(*n)
+            }
         }
     }
 
@@ -382,6 +458,35 @@ impl Plan {
             }
             Plan::Limit { input, n } => {
                 out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::IndexJoin {
+                probe,
+                table,
+                probe_keys,
+                inner_keys,
+                predicate,
+                projection,
+                kind,
+                probe_is_left,
+            } => {
+                out.push_str(&format!(
+                    "{pad}IndexJoin {kind:?} {table} on probe{probe_keys:?}=inner{inner_keys:?}"
+                ));
+                if let Some(p) = predicate {
+                    out.push_str(&format!(" pred={p:?}"));
+                }
+                if let Some(pr) = projection {
+                    out.push_str(&format!(" proj={pr:?}"));
+                }
+                if !probe_is_left {
+                    out.push_str(" (probe=right)");
+                }
+                out.push('\n');
+                probe.explain_into(out, depth + 1);
+            }
+            Plan::TopK { input, keys, n } => {
+                out.push_str(&format!("{pad}TopK {n} by {keys:?}\n"));
                 input.explain_into(out, depth + 1);
             }
         }

@@ -1,6 +1,6 @@
 //! Rule-based plan optimizer.
 //!
-//! Three rewrites, applied bottom-up:
+//! Five rewrites, applied bottom-up:
 //!
 //! 1. **Predicate pushdown** — `Filter` over `Scan` merges into the scan's
 //!    predicate (enabling index probes inside the table); `Filter` over
@@ -9,6 +9,12 @@
 //! 2. **Projection pushdown** — `Project` consisting purely of column
 //!    references over a `Scan` becomes the scan's projection list.
 //! 3. **Union flattening** — nested `UnionAll` inputs are spliced inline.
+//! 4. **Index-join selection** — a `HashJoin` whose one side is a base-table
+//!    scan with an index covering its join keys becomes an `IndexJoin`: the
+//!    other side streams through index probes and the scanned side is never
+//!    materialized.
+//! 5. **Top-K** — `Limit` over `Sort` becomes a bounded partial sort
+//!    (`TopK`); stacked `Limit`s merge.
 //!
 //! The FedDBMS reference implementation runs all relational work through
 //! this planner; the `bench_ablation` benchmark measures its effect (the
@@ -18,7 +24,7 @@
 use crate::catalog::Database;
 use crate::error::StoreResult;
 use crate::expr::Expr;
-use crate::query::plan::Plan;
+use crate::query::plan::{JoinKind, Plan};
 
 /// Optimize a plan. `db` is used for schema/arity information only.
 pub fn optimize(plan: Plan, db: &Database) -> StoreResult<Plan> {
@@ -42,12 +48,29 @@ fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
             left_keys,
             right_keys,
             kind,
-        } => Plan::HashJoin {
-            left: Box::new(rewrite(*left, db)?),
-            right: Box::new(rewrite(*right, db)?),
-            left_keys,
-            right_keys,
+        } => {
+            let left = rewrite(*left, db)?;
+            let right = rewrite(*right, db)?;
+            select_index_join(left, right, left_keys, right_keys, kind, db)?
+        }
+        Plan::IndexJoin {
+            probe,
+            table,
+            probe_keys,
+            inner_keys,
+            predicate,
+            projection,
             kind,
+            probe_is_left,
+        } => Plan::IndexJoin {
+            probe: Box::new(rewrite(*probe, db)?),
+            table,
+            probe_keys,
+            inner_keys,
+            predicate,
+            projection,
+            kind,
+            probe_is_left,
         },
         Plan::UnionAll(inputs) => {
             let mut flat = Vec::with_capacity(inputs.len());
@@ -79,8 +102,23 @@ fn rewrite(plan: Plan, db: &Database) -> StoreResult<Plan> {
             input: Box::new(rewrite(*input, db)?),
             keys,
         },
-        Plan::Limit { input, n } => Plan::Limit {
+        Plan::Limit { input, n } => match rewrite(*input, db)? {
+            // LIMIT over SORT: bounded partial sort instead of full sort
+            Plan::Sort { input, keys } => Plan::TopK { input, keys, n },
+            Plan::Limit { input, n: m } => Plan::Limit { input, n: n.min(m) },
+            Plan::TopK { input, keys, n: m } => Plan::TopK {
+                input,
+                keys,
+                n: n.min(m),
+            },
+            other => Plan::Limit {
+                input: Box::new(other),
+                n,
+            },
+        },
+        Plan::TopK { input, keys, n } => Plan::TopK {
             input: Box::new(rewrite(*input, db)?),
+            keys,
             n,
         },
         leaf => leaf,
@@ -170,6 +208,82 @@ fn push_filter(input: Plan, predicate: Expr, db: &Database) -> StoreResult<Plan>
                 .collect();
             Ok(Plan::UnionAll(pushed?))
         }
+        Plan::IndexJoin {
+            probe,
+            table,
+            probe_keys,
+            inner_keys,
+            predicate: inner_pred,
+            projection,
+            kind,
+            probe_is_left,
+        } => {
+            // mirror the HashJoin split: probe-only conjuncts push into the
+            // probe input, inner-only conjuncts (inner joins only) merge
+            // into the join's residual predicate, the rest stays above
+            let probe_w = probe.schema(db)?.len();
+            let inner_w = match &projection {
+                Some(p) => p.len(),
+                None => db.table(&table)?.schema.len(),
+            };
+            let (probe_lo, inner_lo) = if probe_is_left {
+                (0, probe_w)
+            } else {
+                (inner_w, 0)
+            };
+            let mut probe_preds = Vec::new();
+            let mut inner_preds = Vec::new();
+            let mut residual = Vec::new();
+            for c in split_conjuncts(predicate) {
+                let mut cols = Vec::new();
+                c.referenced_columns(&mut cols);
+                if cols
+                    .iter()
+                    .all(|&i| i >= probe_lo && i < probe_lo + probe_w)
+                {
+                    probe_preds.push(c.remap_columns(&|i| i - probe_lo));
+                } else if cols
+                    .iter()
+                    .all(|&i| i >= inner_lo && i < inner_lo + inner_w)
+                    && kind == crate::query::plan::JoinKind::Inner
+                {
+                    // the join evaluates its residual on the *base* row
+                    // before the scan projection applies, so remap output
+                    // positions back through the projection
+                    inner_preds.push(c.remap_columns(&|i| match &projection {
+                        Some(p) => p[i - inner_lo],
+                        None => i - inner_lo,
+                    }));
+                } else {
+                    residual.push(c);
+                }
+            }
+            let mut p = *probe;
+            if let Some(pred) = conjoin(probe_preds) {
+                p = push_filter(p, pred, db)?;
+            }
+            let merged = match (inner_pred, conjoin(inner_preds)) {
+                (Some(a), Some(b)) => Some(a.and(b)),
+                (a, b) => a.or(b),
+            };
+            let join = Plan::IndexJoin {
+                probe: Box::new(p),
+                table,
+                probe_keys,
+                inner_keys,
+                predicate: merged,
+                projection,
+                kind,
+                probe_is_left,
+            };
+            Ok(match conjoin(residual) {
+                Some(r) => Plan::Filter {
+                    input: Box::new(join),
+                    predicate: r,
+                },
+                None => join,
+            })
+        }
         other => Ok(Plan::Filter {
             input: Box::new(other),
             predicate,
@@ -213,6 +327,145 @@ fn push_project(
         input: Box::new(input),
         exprs,
     })
+}
+
+/// Replace a hash join with an index-nested-loop join when one side is a
+/// base-table scan whose join keys are covered by an index on that table.
+/// The scan's predicate/projection travel into the join as a residual
+/// filter / output projection applied per probed row, so the indexed side
+/// is never materialized. LEFT joins only consider the right side (the
+/// left side must remain the probe so unmatched rows can be null-padded).
+fn select_index_join(
+    left: Plan,
+    right: Plan,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    kind: JoinKind,
+    db: &Database,
+) -> StoreResult<Plan> {
+    if let Some(inner_keys) = index_candidate(&right, &right_keys, &left, db)? {
+        let Plan::Scan {
+            table,
+            predicate,
+            projection,
+        } = right
+        else {
+            unreachable!("candidate is a scan");
+        };
+        return Ok(Plan::IndexJoin {
+            probe: Box::new(left),
+            table,
+            probe_keys: left_keys,
+            inner_keys,
+            predicate,
+            projection,
+            kind,
+            probe_is_left: true,
+        });
+    }
+    if kind == JoinKind::Inner {
+        if let Some(inner_keys) = index_candidate(&left, &left_keys, &right, db)? {
+            let Plan::Scan {
+                table,
+                predicate,
+                projection,
+            } = left
+            else {
+                unreachable!("candidate is a scan");
+            };
+            return Ok(Plan::IndexJoin {
+                probe: Box::new(right),
+                table,
+                probe_keys: right_keys,
+                inner_keys,
+                predicate,
+                projection,
+                kind,
+                probe_is_left: false,
+            });
+        }
+    }
+    Ok(Plan::HashJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_keys,
+        right_keys,
+        kind,
+    })
+}
+
+/// Check whether `inner` qualifies as the indexed side of an index join:
+/// a base-table scan whose join keys (mapped through its projection back to
+/// base-table positions) are covered by an index. Returns the base-table
+/// key positions. Refused when the probe side also reads the same table —
+/// the probe phase holds the inner table's read lock for its whole
+/// duration, and re-entrant read locks can deadlock against a writer.
+fn index_candidate(
+    inner: &Plan,
+    keys: &[usize],
+    probe: &Plan,
+    db: &Database,
+) -> StoreResult<Option<Vec<usize>>> {
+    let Plan::Scan {
+        table, projection, ..
+    } = inner
+    else {
+        return Ok(None);
+    };
+    let base_keys: Vec<usize> = match projection {
+        Some(p) => {
+            let mut v = Vec::with_capacity(keys.len());
+            for &k in keys {
+                match p.get(k) {
+                    Some(&c) => v.push(c),
+                    None => return Ok(None),
+                }
+            }
+            v
+        }
+        None => keys.to_vec(),
+    };
+    if base_keys.is_empty() || !db.table(table)?.covering_index(&base_keys) {
+        return Ok(None);
+    }
+    let mut probe_tables = Vec::new();
+    collect_base_tables(probe, &mut probe_tables);
+    if probe_tables.iter().any(|t| t == table) {
+        return Ok(None);
+    }
+    Ok(Some(base_keys))
+}
+
+/// Collect the names of every base table a plan reads.
+fn collect_base_tables(plan: &Plan, out: &mut Vec<String>) {
+    match plan {
+        Plan::Scan { table, .. } => out.push(table.clone()),
+        Plan::IndexJoin { probe, table, .. } => {
+            out.push(table.clone());
+            collect_base_tables(probe, out);
+        }
+        Plan::Values(_) => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => collect_base_tables(input, out),
+        Plan::HashJoin { left, right, .. } => {
+            collect_base_tables(left, out);
+            collect_base_tables(right, out);
+        }
+        Plan::UnionAll(inputs) => {
+            for i in inputs {
+                collect_base_tables(i, out);
+            }
+        }
+        Plan::UnionDistinct { inputs, .. } => {
+            for i in inputs {
+                collect_base_tables(i, out);
+            }
+        }
+    }
 }
 
 /// Split an AND tree into its conjuncts.

@@ -375,37 +375,103 @@ impl Table {
     /// Uses the primary key or a secondary index when `pred` is a simple
     /// equality on indexed columns (`col = literal`).
     pub fn scan_where(&self, pred: &Expr, projection: Option<&[usize]>) -> StoreResult<Relation> {
-        let inner = self.inner.read();
-        let candidate_slots: Option<Vec<usize>> = index_probe(&inner, pred);
         let mut rows = Vec::new();
-        let visit = |row: &Row, rows: &mut Vec<Row>| -> StoreResult<()> {
-            if pred.matches(row)? {
-                rows.push(match projection {
-                    Some(p) => p.iter().map(|&i| row[i].clone()).collect(),
-                    None => row.clone(),
-                });
-            }
-            Ok(())
-        };
-        match candidate_slots {
-            Some(slots) => {
-                for s in slots {
-                    if let Some(Some(row)) = inner.slots.get(s) {
-                        visit(row, &mut rows)?;
-                    }
-                }
-            }
-            None => {
-                for r in inner.slots.iter().flatten() {
-                    visit(r, &mut rows)?;
-                }
-            }
-        }
+        self.stream_rows(Some(pred), &mut |row| {
+            rows.push(match projection {
+                Some(p) => p.iter().map(|&i| row[i].clone()).collect(),
+                None => row.to_vec(),
+            });
+            Ok(true)
+        })?;
         let schema = match projection {
             Some(p) => self.schema.project(p).shared(),
             None => self.schema.clone(),
         };
         Ok(Relation::new(schema, rows))
+    }
+
+    /// Stream live rows matching `pred` (all rows when `None`) to `f`
+    /// without materializing anything; `f` returning `false` stops the
+    /// scan. Uses the same index probes as [`Table::scan_where`]. Returns
+    /// `Ok(false)` iff the scan was stopped early.
+    pub fn stream_rows(
+        &self,
+        pred: Option<&Expr>,
+        f: &mut dyn FnMut(&[Value]) -> StoreResult<bool>,
+    ) -> StoreResult<bool> {
+        let inner = self.inner.read();
+        let candidate_slots: Option<Vec<usize>> = pred.and_then(|p| index_probe(&inner, p));
+        match candidate_slots {
+            Some(slots) => {
+                let p = pred.expect("probe implies predicate");
+                for s in slots {
+                    if let Some(Some(row)) = inner.slots.get(s) {
+                        if p.matches(row)? && !f(row)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            None => {
+                for row in inner.slots.iter().flatten() {
+                    let keep = match pred {
+                        Some(p) => p.matches(row)?,
+                        None => true,
+                    };
+                    if keep && !f(row)? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether the primary key or a secondary index covers exactly the
+    /// given column set (in any order) — the planner's test for eligibility
+    /// of an index-nested-loop join.
+    pub fn covering_index(&self, cols: &[usize]) -> bool {
+        let inner = self.inner.read();
+        inner
+            .primary
+            .iter()
+            .chain(inner.secondary.iter())
+            .any(|ix| covers(&ix.columns, cols))
+    }
+
+    /// Open an index-probe session over exactly the given key columns.
+    /// The session holds the table read lock, so repeated lookups (one per
+    /// probe-side row of an index join) pay no per-lookup locking.
+    pub fn probe_on(&self, cols: &[usize]) -> Option<TableProbe<'_>> {
+        let inner = self.inner.read();
+        let find = |ix: &Index| -> Option<Vec<usize>> {
+            if !covers(&ix.columns, cols) {
+                return None;
+            }
+            // perm[i] = where index column i sits in the caller's key tuple
+            ix.columns
+                .iter()
+                .map(|c| cols.iter().position(|k| k == c))
+                .collect()
+        };
+        let (which, perm) = {
+            let mut found = None;
+            if let Some(pk) = &inner.primary {
+                if let Some(perm) = find(pk) {
+                    found = Some((ProbeIndex::Primary, perm));
+                }
+            }
+            if found.is_none() {
+                for (i, ix) in inner.secondary.iter().enumerate() {
+                    if let Some(perm) = find(ix) {
+                        found = Some((ProbeIndex::Secondary(i), perm));
+                        break;
+                    }
+                }
+            }
+            found?
+        };
+        Some(TableProbe { inner, which, perm })
     }
 
     /// Point lookup by primary key.
@@ -433,6 +499,52 @@ impl Table {
     /// Whether change capture is enabled.
     pub fn captures_changes(&self) -> bool {
         self.inner.read().capture
+    }
+}
+
+/// True if index columns are exactly the queried columns, in any order.
+fn covers(index_cols: &[usize], cols: &[usize]) -> bool {
+    index_cols.len() == cols.len() && index_cols.iter().all(|c| cols.contains(c))
+}
+
+/// Which index a [`TableProbe`] session resolved to.
+enum ProbeIndex {
+    Primary,
+    Secondary(usize),
+}
+
+/// An open index-probe session (see [`Table::probe_on`]). Holds the table
+/// read lock for its lifetime; do not probe a table that an enclosing
+/// operation is writing.
+pub struct TableProbe<'a> {
+    inner: parking_lot::RwLockReadGuard<'a, TableInner>,
+    which: ProbeIndex,
+    /// Reorders the caller's key tuple into index column order.
+    perm: Vec<usize>,
+}
+
+impl TableProbe<'_> {
+    /// Visit every live row whose indexed key equals `key` (given in the
+    /// column order passed to [`Table::probe_on`]); `f` returning `false`
+    /// stops the iteration. Returns `Ok(false)` iff stopped early.
+    pub fn lookup_each(
+        &self,
+        key: &[Value],
+        f: &mut dyn FnMut(&[Value]) -> StoreResult<bool>,
+    ) -> StoreResult<bool> {
+        let ix = match self.which {
+            ProbeIndex::Primary => self.inner.primary.as_ref().expect("probe index"),
+            ProbeIndex::Secondary(i) => &self.inner.secondary[i],
+        };
+        let ordered: Vec<Value> = self.perm.iter().map(|&i| key[i].clone()).collect();
+        for slot in ix.lookup(&ordered) {
+            if let Some(Some(row)) = self.inner.slots.get(slot) {
+                if !f(row)? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
     }
 }
 

@@ -167,6 +167,43 @@ proptest! {
         prop_assert!((s - expected).abs() < 1e-6 * (1.0 + expected.abs()));
     }
 
+    /// The streaming executor's fused scan→filter→project, index-nested-loop
+    /// join and bounded top-K paths return exactly the rows of the naive
+    /// materializing executor across randomized data, join kinds and limits.
+    #[test]
+    fn streaming_paths_match_naive_executor(
+        rows in arb_rows(60),
+        dim in prop::collection::vec((0i64..12, "[a-z]{0,4}"), 0..20)
+            .prop_map(|mut v| { v.sort_by_key(|(k, _)| *k); v.dedup_by_key(|(k, _)| *k); v }),
+        threshold in -100.0f64..100.0,
+        n in 0usize..80,
+        left in any::<bool>(),
+    ) {
+        let db = make_db(&rows);
+        let dschema = RelSchema::of(&[("k", SqlType::Int), ("w", SqlType::Str)]).shared();
+        let t = Table::new("dim", dschema).with_primary_key(&["k"]).unwrap();
+        t.insert(
+            dim.iter()
+                .map(|(k, w)| vec![Value::Int(*k), Value::str(w)])
+                .collect(),
+        )
+        .unwrap();
+        db.create_table(t);
+        let kind = if left { JoinKind::Left } else { JoinKind::Inner };
+        // optimized: the filter pushes into t's scan, the join becomes an
+        // index-nested-loop probe of dim's primary key, and Limit(Sort)
+        // becomes a bounded top-K. Sorting on every column makes the top-n
+        // cutoff deterministic regardless of executor emission order.
+        let plan = Plan::scan("t")
+            .hash_join(Plan::scan("dim"), vec![1], vec![0], kind)
+            .filter(Expr::col(2).gt(Expr::lit(threshold)))
+            .sort(vec![0, 1, 2, 3, 4])
+            .limit(n);
+        let a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
     /// delete_where + the inverse predicate partition the table.
     #[test]
     fn delete_partitions(rows in arb_rows(60), threshold in 0i64..10) {

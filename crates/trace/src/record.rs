@@ -55,6 +55,10 @@ pub struct RunRecord {
     pub wall_ms: f64,
     pub processes: Vec<ProcessStats>,
     pub rollups: Vec<SpanRollup>,
+    /// Named event counters (e.g. the executor's `relstore.rows_out.<op>`
+    /// per-operator row counts), sorted by name. Absent in records written
+    /// by older builds, so parsing tolerates the field missing.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl RunRecord {
@@ -126,6 +130,20 @@ impl RunRecord {
                                 ("op", Json::str(r.op.clone())),
                                 ("count", Json::num(r.count as f64)),
                                 ("total_us", Json::num(r.total_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(name, value)| {
+                            Json::obj(vec![
+                                ("name", Json::str(name.clone())),
+                                ("value", Json::num(*value as f64)),
                             ])
                         })
                         .collect(),
@@ -207,6 +225,20 @@ impl RunRecord {
                     .ok_or("rollup field 'total_us' must be a number")?,
             });
         }
+        let mut counters = Vec::new();
+        if let Some(arr) = v.get("counters").and_then(Json::as_arr) {
+            for c in arr {
+                counters.push((
+                    c.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("counter field 'name' must be a string")?
+                        .to_string(),
+                    c.get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or("counter field 'value' must be an integer")?,
+                ));
+            }
+        }
         Ok(RunRecord {
             schema_version,
             created_unix: field("created_unix")?.as_u64().unwrap_or(0),
@@ -233,6 +265,7 @@ impl RunRecord {
                 .ok_or("wall_ms must be a number")?,
             processes,
             rollups,
+            counters,
         })
     }
 
@@ -285,6 +318,10 @@ pub(crate) fn sample_record() -> RunRecord {
             count: 42,
             total_us: 1234.5,
         }],
+        counters: vec![
+            ("relstore.rows_out.hash_join".into(), 1234),
+            ("relstore.rows_out.scan".into(), 5678),
+        ],
     }
 }
 

@@ -120,3 +120,29 @@ fn fed_without_optimizer_still_correct() {
     assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
     assert!(verify::verify(&env).unwrap().passed());
 }
+
+#[test]
+fn optimizer_does_not_change_integrated_data() {
+    // the streaming executor (fused scans, index joins, top-K) and the
+    // naive materializing executor must integrate byte-identical data
+    let (on_env, _) = run_fed(FedOptions::default());
+    let (off_env, _) = run_fed(FedOptions {
+        optimize_relational: false,
+    });
+    for (db, table) in [
+        ("dwh", "orders"),
+        ("dwh", "orderline"),
+        ("dwh", "orders_mv"),
+        ("dm_europe", "sales_mv"),
+        ("dm_unitedstates", "sales_mv"),
+        ("dm_asia", "sales_mv"),
+        ("us_eastcoast", "lineitem"),
+        ("sales_cleaning", "customer"),
+    ] {
+        assert_eq!(
+            sorted_rows(&on_env, db, table),
+            sorted_rows(&off_env, db, table),
+            "{db}.{table}: optimizer changed integrated data"
+        );
+    }
+}
