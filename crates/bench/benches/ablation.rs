@@ -27,8 +27,8 @@ fn bench_fed_optimizer(c: &mut Criterion) {
                 },
                 |(_env, system)| {
                     // the two relational-heavy American extract processes
-                    system.on_timed("P03", 0).unwrap();
-                    system.on_timed("P11", 0).unwrap();
+                    assert!(system.deliver(Event::timed("P03", 0, 0)).is_ok());
+                    assert!(system.deliver(Event::timed("P11", 0, 0)).is_ok());
                 },
                 BatchSize::PerIteration,
             )

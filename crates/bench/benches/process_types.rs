@@ -33,7 +33,7 @@ fn run_prefix(s: &Setup, upto: &str) {
         if p == upto {
             break;
         }
-        s.system.on_timed(p, 0).unwrap();
+        assert!(s.system.deliver(Event::timed(p, 0, 0)).is_ok());
     }
 }
 
@@ -54,7 +54,7 @@ fn bench_message_types(c: &mut Criterion) {
                     };
                     (s, msg)
                 },
-                |(s, msg)| s.system.on_message(process, 0, msg).unwrap(),
+                |(s, msg)| assert!(s.system.deliver(Event::message(process, 0, 0, msg)).is_ok()),
                 BatchSize::PerIteration,
             )
         });
@@ -75,7 +75,7 @@ fn bench_timed_types(c: &mut Criterion) {
                     run_prefix(&s, process);
                     s
                 },
-                |s| s.system.on_timed(process, 0).unwrap(),
+                |s| assert!(s.system.deliver(Event::timed(process, 0, 0)).is_ok()),
                 BatchSize::PerIteration,
             )
         });

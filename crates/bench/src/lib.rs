@@ -70,7 +70,7 @@ pub fn run_experiment(kind: EngineKind, config: BenchConfig) -> ExperimentResult
     let system = build_system(kind, &env);
     let client = Client::new(&env, system).expect("deployment");
     let outcome = client.run().expect("work phase");
-    let verification = verify::verify(&env).expect("verification phase");
+    let verification = verify::verify_outcome(&env, &outcome).expect("verification phase");
     ExperimentResult {
         outcome,
         verification,

@@ -14,6 +14,7 @@
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
+//! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...]
 //! ```
 
 use dip_bench::{run_experiment, shape_findings, EngineKind};
@@ -44,6 +45,7 @@ fn main() {
         "quality" => quality(&args),
         "record" => record(&args),
         "diff" => diff_records(&args),
+        "faults" => faults(&args),
         "explain" => {
             let target = args.get(1).map(String::as_str).unwrap_or("");
             let defs = dipbench::processes::all_processes();
@@ -62,7 +64,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|diff|explain> [options]\n\
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|diff|faults|explain> [options]\n\
                  \n\
                  commands:\n\
                    table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
@@ -72,11 +74,13 @@ fn main() {
                    quality                          data-quality profile per pipeline layer\n\
                    record                           run and write a versioned run record JSON\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
+                   faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
                    explain [P01..P15]               narrate process definitions\n\
                  \n\
                  options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X\n\
                           --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
-                          --threshold X  --min-delta X  (diff only)"
+                          --threshold X  --min-delta X  (diff only)\n\
+                          --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)"
             );
             std::process::exit(2);
         }
@@ -108,6 +112,15 @@ fn flag_f64(args: &[String], name: &str) -> Option<f64> {
 
 fn flag_u32(args: &[String], name: &str) -> Option<u32> {
     flag_str(args, name).map(|s| match s.parse::<u32>() {
+        Ok(v) => v,
+        Err(_) => fail_usage(&format!(
+            "flag {name} expects a non-negative integer, got {s:?}"
+        )),
+    })
+}
+
+fn flag_u64(args: &[String], name: &str) -> Option<u64> {
+    flag_str(args, name).map(|s| match s.parse::<u64>() {
         Ok(v) => v,
         Err(_) => fail_usage(&format!(
             "flag {name} expects a non-negative integer, got {s:?}"
@@ -443,6 +456,162 @@ fn record(args: &[String]) {
     );
     if !result.verification.passed() {
         eprintln!("warning: verification FAILED for the recorded run");
+        std::process::exit(1);
+    }
+}
+
+/// One fault-injected benchmark run with the resilience counters captured.
+struct ChaosRun {
+    result: dip_bench::ExperimentResult,
+    retries: u64,
+    breaker_opens: u64,
+}
+
+fn chaos_run(kind: EngineKind, config: BenchConfig) -> ChaosRun {
+    dip_trace::enable();
+    let result = run_experiment(kind, config);
+    let _ = dip_trace::drain();
+    let counters = dip_trace::drain_counters();
+    dip_trace::disable();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    ChaosRun {
+        result,
+        retries: get("resilience.retries"),
+        breaker_opens: get("resilience.breaker_open"),
+    }
+}
+
+/// Delivered (ok) E1 message instances across the whole run.
+fn delivered_messages(outcome: &RunOutcome) -> usize {
+    const E1: [&str; 5] = ["P01", "P02", "P04", "P08", "P10"];
+    outcome
+        .records
+        .iter()
+        .filter(|r| r.ok && E1.contains(&r.process.as_str()))
+        .count()
+}
+
+/// Mean NAVG+ over all process types.
+fn mean_navg_plus(outcome: &RunOutcome) -> f64 {
+    let n = outcome.metrics.len().max(1) as f64;
+    outcome.metrics.iter().map(|m| m.navg_plus_tu).sum::<f64>() / n
+}
+
+/// Seeded chaos runs: a clean reference run, then fault-injected runs —
+/// each executed twice to check the fault schedule is deterministic —
+/// reporting delivery outcomes and NAVG+ inflation. Exits 1 if any run
+/// fails verification or the two same-seed runs diverge.
+fn faults(args: &[String]) {
+    let kind = engine(args);
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let d = flag_f64(args, "--d").unwrap_or(0.05);
+    let seed = flag_u64(args, "--seed").unwrap_or(0xD1B);
+    let drop = flag_f64(args, "--drop").unwrap_or(0.05);
+    let timeout = flag_f64(args, "--timeout").unwrap_or(0.0);
+    let sweep = args.iter().any(|a| a == "--sweep");
+    if !(0.0..1.0).contains(&drop) || !(0.0..1.0).contains(&timeout) {
+        fail_usage("--drop and --timeout expect rates in [0, 1)");
+    }
+
+    let base = BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform))
+        .with_periods(periods)
+        .with_seed(seed);
+    eprintln!(
+        "clean reference run on {} (d={d}, seed={seed}, {periods} period(s))…",
+        kind.label()
+    );
+    let clean = run_experiment(kind, base);
+    let clean_navg = mean_navg_plus(&clean.outcome);
+    let clean_delivered = delivered_messages(&clean.outcome);
+    let mut all_ok = clean.verification.passed();
+    if !all_ok {
+        eprintln!("clean run FAILED verification:\n{}", clean.verification);
+    }
+
+    let cells: Vec<(f64, u32)> = if sweep {
+        [0.01, 0.02, 0.05, 0.1]
+            .iter()
+            .flat_map(|&r| [1u32, 2, 4, 8].iter().map(move |&a| (r, a)))
+            .collect()
+    } else {
+        vec![(
+            drop,
+            flag_u32(args, "--attempts").unwrap_or(ResiliencePolicy::DEFAULT.max_attempts),
+        )]
+    };
+
+    println!("# chaos runs on {} (clean NAVG+ mean {clean_navg:.2} tu, {clean_delivered} messages delivered)", kind.label());
+    println!(
+        "{:<7} {:>8} {:>10} {:>6} {:>8} {:>8} {:>10} {:>10} {:>7} {:>13}",
+        "drop",
+        "attempts",
+        "delivered",
+        "dead",
+        "retries",
+        "breaker",
+        "navg+[tu]",
+        "inflation",
+        "verify",
+        "deterministic"
+    );
+    for (rate, attempts) in cells {
+        let model = FaultModel {
+            drop_rate: rate,
+            timeout_rate: timeout,
+            ..FaultModel::NONE
+        };
+        let config = base
+            .with_faults(FaultPlan { model })
+            .with_resilience(ResiliencePolicy::DEFAULT.with_attempts(attempts));
+        let one = chaos_run(kind, config);
+        let two = chaos_run(kind, config);
+        let deterministic = one.result.outcome.dead_letters == two.result.outcome.dead_letters
+            && one.retries == two.retries;
+        let verified = one.result.verification.passed() && two.result.verification.passed();
+        let navg = mean_navg_plus(&one.result.outcome);
+        println!(
+            "{:<7} {:>8} {:>10} {:>6} {:>8} {:>8} {:>10.2} {:>9.2}x {:>7} {:>13}",
+            rate,
+            attempts,
+            delivered_messages(&one.result.outcome),
+            one.result.outcome.dead_letters.len(),
+            one.retries,
+            one.breaker_opens,
+            navg,
+            navg / clean_navg.max(1e-9),
+            if verified { "PASS" } else { "FAIL" },
+            if deterministic { "yes" } else { "NO" }
+        );
+        if !verified {
+            for check in one
+                .result
+                .verification
+                .failed_checks()
+                .iter()
+                .chain(two.result.verification.failed_checks().iter())
+            {
+                eprintln!("  [!!] {:<40} {}", check.name, check.detail);
+            }
+            for f in one.result.outcome.failures.iter().take(3) {
+                eprintln!(
+                    "  [!!] {} period {} seq {}: {}",
+                    f.process, f.period, f.seq, f.error
+                );
+            }
+        }
+        // The sweep is exploratory: weak policies (attempts=1) are *meant*
+        // to lose messages and fail verification. Only the single-cell mode
+        // (the CI gate) fails on a verification miss; a non-deterministic
+        // fault schedule is fatal everywhere.
+        all_ok &= deterministic && (sweep || verified);
+    }
+    if !all_ok {
         std::process::exit(1);
     }
 }

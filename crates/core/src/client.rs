@@ -13,7 +13,7 @@ use crate::metric::{process_metrics, ProcessMetric};
 use crate::monitor::{normalize, NormalizedRecord};
 use crate::processes;
 use crate::schedule::{self, ScheduledEvent, StreamId};
-use crate::system::IntegrationSystem;
+use crate::system::{DeadLetter, Delivery, Event, IntegrationSystem};
 use dip_mtm::cost::InstanceRecord;
 use dip_relstore::prelude::{StoreError, StoreResult};
 use dip_xmlkit::node::Document;
@@ -108,6 +108,9 @@ pub struct RunOutcome {
     pub normalized: Vec<NormalizedRecord>,
     pub metrics: Vec<ProcessMetric>,
     pub failures: Vec<DispatchFailure>,
+    /// E1 messages whose transport retries were exhausted, in
+    /// deterministic `(period, process, seq)` order.
+    pub dead_letters: Vec<DeadLetter>,
     pub wall_time: Duration,
 }
 
@@ -181,20 +184,23 @@ impl<'a> Client<'a> {
                     gate.acquire(slot, event.deadline_tu);
                 }
             }
-            let result = match msg {
-                Some(msg) => self.system.on_message(event.process, period, msg),
-                None => self.system.on_timed(event.process, period),
-            };
+            let delivery = self.system.deliver(match msg {
+                Some(msg) => Event::message(event.process, period, event.seq, msg),
+                None => Event::timed(event.process, period, event.seq),
+            });
             if let Some((gate, slot)) = gate {
                 let next = events.get(i + 1).map_or(f64::INFINITY, |e| e.deadline_tu);
                 gate.advance(slot, next);
             }
-            if let Err(e) = result {
+            // dead-lettered messages are not dispatch failures: the system
+            // handled them (DLQ + failed instance record) and the run goes
+            // on — they surface in RunOutcome::dead_letters instead
+            if let Delivery::Failed { error } = delivery {
                 failures.push(DispatchFailure {
                     process: event.process.to_string(),
                     period,
                     seq: event.seq,
-                    error: e.to_string(),
+                    error: error.to_string(),
                 });
             }
         }
@@ -275,6 +281,13 @@ impl<'a> Client<'a> {
         let records = self.system.recorder().drain();
         let normalized = normalize(&records);
         let metrics = process_metrics(&normalized, &self.env.config.scale);
+        // arrival order is interleaving-dependent under concurrent
+        // streams; sort into schedule order so same-seed runs produce
+        // byte-identical dead-letter lists
+        let mut dead_letters = self.system.dead_letters().drain();
+        dead_letters.sort_by(|a, b| {
+            (a.period, a.process.as_str(), a.seq).cmp(&(b.period, b.process.as_str(), b.seq))
+        });
         Ok(RunOutcome {
             system: self.system.name().to_string(),
             config: self.env.config,
@@ -282,6 +295,7 @@ impl<'a> Client<'a> {
             normalized,
             metrics,
             failures,
+            dead_letters,
             wall_time: start.elapsed(),
         })
     }

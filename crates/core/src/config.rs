@@ -1,8 +1,9 @@
 //! Benchmark run configuration.
 
 use crate::scale::ScaleFactors;
-use dip_netsim::TransferMode;
+use dip_netsim::{FaultPlan, TransferMode};
 use dip_relstore::mview::RefreshMode;
+use dip_services::ResiliencePolicy;
 
 /// How the client paces the schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,10 @@ pub struct BenchConfig {
     pub transfer_mode: TransferMode,
     /// Refresh strategy for the DWH `OrdersMV` (ablation knob).
     pub mv_mode: RefreshMode,
+    /// Seeded transport-fault plan (default: no faults — zero overhead).
+    pub faults: FaultPlan,
+    /// Retry/timeout/breaker policy, engaged only when `faults` is active.
+    pub resilience: ResiliencePolicy,
 }
 
 impl BenchConfig {
@@ -42,6 +47,8 @@ impl BenchConfig {
             pacing: PacingMode::Eager,
             transfer_mode: TransferMode::Accounted,
             mv_mode: RefreshMode::Full,
+            faults: FaultPlan::NONE,
+            resilience: ResiliencePolicy::DEFAULT,
         }
     }
 
@@ -62,6 +69,16 @@ impl BenchConfig {
 
     pub fn with_mv_mode(mut self, mode: RefreshMode) -> BenchConfig {
         self.mv_mode = mode;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> BenchConfig {
+        self.faults = faults;
+        self
+    }
+
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> BenchConfig {
+        self.resilience = resilience;
         self
     }
 }

@@ -20,14 +20,14 @@
 //!
 //! The message queues and workers are built on `crossbeam` channels.
 
-use crate::system::IntegrationSystem;
+use crate::system::{settle, DeadLetterQueue, Delivery, Event, IntegrationSystem};
 use crossbeam::channel::{unbounded, Sender};
 use dip_mtm::cost::CostRecorder;
 use dip_mtm::engine::MtmEngine;
 use dip_mtm::error::{MtmError, MtmResult};
 use dip_mtm::process::ProcessDef;
 use dip_services::registry::ExternalWorld;
-use dip_xmlkit::node::Document;
+use dip_xmlkit::write_compact;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,7 +35,10 @@ use std::thread::JoinHandle;
 struct Job {
     process: String,
     period: u32,
-    msg: Document,
+    seq: u32,
+    msg: dip_xmlkit::node::Document,
+    /// Compact XML kept for dead-lettering (armed runs only).
+    payload: Option<String>,
 }
 
 #[derive(Default)]
@@ -52,6 +55,7 @@ pub struct EaiSystem {
     txs: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<Pending>,
+    dlq: Arc<DeadLetterQueue>,
 }
 
 impl EaiSystem {
@@ -59,6 +63,7 @@ impl EaiSystem {
     pub fn new(world: Arc<ExternalWorld>, workers: usize) -> EaiSystem {
         let engine = Arc::new(MtmEngine::new(world));
         let pending = Arc::new(Pending::default());
+        let dlq = Arc::new(DeadLetterQueue::new());
         let mut txs = Vec::new();
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -66,13 +71,21 @@ impl EaiSystem {
                 txs.push(tx);
                 let engine = engine.clone();
                 let pending = pending.clone();
+                let dlq = dlq.clone();
                 std::thread::Builder::new()
                     .name(format!("eai-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             // instance failures are captured in the cost
-                            // records (ok = false); the broker keeps going
-                            let _ = engine.execute(&job.process, job.period, Some(job.msg));
+                            // records (ok = false) and, when transient, in
+                            // the dead-letter queue; the broker keeps going
+                            let result = engine.execute_event(
+                                &job.process,
+                                job.period,
+                                job.seq,
+                                Some(job.msg),
+                            );
+                            settle(&dlq, &job.process, job.period, job.seq, job.payload, result);
                             let mut n = pending.count.lock();
                             *n -= 1;
                             if *n == 0 {
@@ -80,7 +93,7 @@ impl EaiSystem {
                             }
                         }
                     })
-                    .expect("spawn worker")
+                    .unwrap_or_else(|e| panic!("spawn eai-worker-{i}: {e}"))
             })
             .collect();
         EaiSystem {
@@ -88,6 +101,7 @@ impl EaiSystem {
             txs,
             workers: handles,
             pending,
+            dlq,
         }
     }
 
@@ -138,29 +152,61 @@ impl IntegrationSystem for EaiSystem {
         Ok(())
     }
 
-    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()> {
-        {
-            let mut n = self.pending.count.lock();
-            *n += 1;
-        }
-        self.txs[self.shard(process)]
-            .send(Job {
-                process: process.to_string(),
+    fn deliver(&self, event: Event) -> Delivery {
+        match event {
+            Event::Message {
+                process,
                 period,
+                seq,
                 msg,
-            })
-            .map_err(|_| MtmError::Custom("EAI broker queue closed".into()))
-    }
-
-    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()> {
-        // scheduled batch jobs run after the broker drained — this also
-        // realizes the schedule's completion chaining (T1(P04), T1(Stream B))
-        self.drain();
-        self.engine.execute(process, period, None)
+            } => {
+                // asynchronous acceptance: `Completed` means "queued" —
+                // processing failures surface later in the cost records
+                // and the dead-letter queue
+                let payload = self.engine.world.resilience().map(|_| write_compact(&msg));
+                {
+                    let mut n = self.pending.count.lock();
+                    *n += 1;
+                }
+                let shard = self.shard(&process);
+                match self.txs[shard].send(Job {
+                    process,
+                    period,
+                    seq,
+                    msg,
+                    payload,
+                }) {
+                    Ok(()) => Delivery::Completed,
+                    Err(_) => {
+                        let mut n = self.pending.count.lock();
+                        *n -= 1;
+                        Delivery::Failed {
+                            error: MtmError::Custom("EAI broker queue closed".into()),
+                        }
+                    }
+                }
+            }
+            Event::Timed {
+                process,
+                period,
+                seq,
+            } => {
+                // scheduled batch jobs run after the broker drained — this
+                // also realizes the schedule's completion chaining
+                // (T1(P04), T1(Stream B))
+                self.drain();
+                let result = self.engine.execute_event(&process, period, seq, None);
+                settle(&self.dlq, &process, period, seq, None, result)
+            }
+        }
     }
 
     fn recorder(&self) -> Arc<CostRecorder> {
         self.engine.recorder()
+    }
+
+    fn dead_letters(&self) -> Arc<DeadLetterQueue> {
+        self.dlq.clone()
     }
 }
 
@@ -226,12 +272,16 @@ mod tests {
         env.initialize_sources(0).unwrap();
         let n = crate::schedule::p04_count(0.02);
         for m in 0..n {
-            system
-                .on_message("P04", 0, env.generator.vienna_message(0, m))
-                .unwrap();
+            let d = system.deliver(Event::message(
+                "P04",
+                0,
+                m,
+                env.generator.vienna_message(0, m),
+            ));
+            assert!(d.is_ok(), "{d:?}");
         }
         // P05 is timed: it must drain the broker first
-        system.on_timed("P05", 0).unwrap();
+        assert!(system.deliver(Event::timed("P05", 0, 0)).is_ok());
         assert_eq!(system.in_flight(), 0);
         let staged = env
             .db("sales_cleaning")

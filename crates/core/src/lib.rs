@@ -58,5 +58,9 @@ pub mod prelude {
     pub use crate::env::BenchEnvironment;
     pub use crate::metric::ProcessMetric;
     pub use crate::scale::{Distribution, ScaleFactors};
-    pub use crate::system::{IntegrationSystem, MtmSystem};
+    pub use crate::system::{
+        DeadLetter, DeadLetterQueue, Delivery, Event, IntegrationSystem, MtmSystem,
+    };
+    pub use dip_netsim::{FaultModel, FaultPlan, PartitionWindow};
+    pub use dip_services::ResiliencePolicy;
 }

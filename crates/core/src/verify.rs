@@ -5,6 +5,7 @@
 //! period), so they hold for *any* correct integration system — this is
 //! what makes benchmark results comparable across systems.
 
+use crate::client::RunOutcome;
 use crate::env::BenchEnvironment;
 use crate::schema::{cdb, dm, dwh};
 use dip_relstore::prelude::*;
@@ -69,6 +70,25 @@ fn key_set(db: &Database, table: &str, cols: &[usize]) -> StoreResult<HashSet<Ve
 
 /// Run every verification check against the environment's final state.
 pub fn verify(env: &BenchEnvironment) -> StoreResult<VerificationReport> {
+    verify_with(env, None)
+}
+
+/// Like [`verify`], but aware of the run's delivery outcomes: messages the
+/// transport dead-lettered never reached the integration layer, so the
+/// failed-data expectation excludes them, and an additional conservation
+/// check accounts every scheduled E1 message as integrated, dead-lettered,
+/// or failed.
+pub fn verify_outcome(
+    env: &BenchEnvironment,
+    outcome: &RunOutcome,
+) -> StoreResult<VerificationReport> {
+    verify_with(env, Some(outcome))
+}
+
+fn verify_with(
+    env: &BenchEnvironment,
+    outcome: Option<&RunOutcome>,
+) -> StoreResult<VerificationReport> {
     let mut report = VerificationReport::default();
     let cdb_db = env.db(cdb::CDB);
     let dwh_db = env.db(dwh::DWH);
@@ -253,18 +273,84 @@ pub fn verify(env: &BenchEnvironment) -> StoreResult<VerificationReport> {
     );
 
     // 8. Failed-data handling: exactly the injected San Diego errors of
-    // the final period sit in the failed-messages table.
+    // the final period sit in the failed-messages table. Dead-lettered P10
+    // messages never reached the CDB, so their injected errors are excluded
+    // when the run outcome is known.
     let last_period = env.config.periods.saturating_sub(1);
-    let expected_failures = env.generator.expected_san_diego_errors(
-        last_period,
-        crate::schedule::p10_count(env.config.scale.datasize),
-    );
+    let n_p10 = crate::schedule::p10_count(env.config.scale.datasize);
+    let expected_failures = match outcome {
+        None => env.generator.expected_san_diego_errors(last_period, n_p10),
+        Some(out) => {
+            let dlq: HashSet<u32> = out
+                .dead_letters
+                .iter()
+                .filter(|d| d.process == "P10" && d.period == last_period)
+                .map(|d| d.seq)
+                .collect();
+            (0..n_p10)
+                .filter(|m| !dlq.contains(m))
+                .filter(|&m| env.generator.san_diego_message(last_period, m).1)
+                .count()
+        }
+    };
     let actual_failures = cdb_db.table("failed_messages")?.row_count();
     report.push(
         "failed_messages_match_injected",
         actual_failures == expected_failures,
         format!("{actual_failures} failed messages, {expected_failures} injected"),
     );
+
+    // 9. E1 message conservation: every scheduled message is accounted for
+    // exactly once — an instance record exists per scheduled message, and
+    // each one either integrated (ok), was dead-lettered after exhausted
+    // transport retries, or failed outright.
+    if let Some(out) = outcome {
+        let d = env.config.scale.datasize;
+        let mut conserved = true;
+        let mut detail = String::new();
+        for k in 0..env.config.periods {
+            for (process, scheduled) in [
+                ("P01", crate::schedule::p01_count(k, d)),
+                ("P02", crate::schedule::p02_count(k, d)),
+                ("P04", crate::schedule::p04_count(d)),
+                ("P08", crate::schedule::p08_count(d)),
+                ("P10", n_p10),
+            ] {
+                let scheduled = scheduled as usize;
+                let recs = out
+                    .records
+                    .iter()
+                    .filter(|r| r.process == process && r.period == k);
+                let (mut total, mut ok) = (0usize, 0usize);
+                for r in recs {
+                    total += 1;
+                    ok += r.ok as usize;
+                }
+                let dlq = out
+                    .dead_letters
+                    .iter()
+                    .filter(|l| l.process == process && l.period == k)
+                    .count();
+                let failed = out
+                    .failures
+                    .iter()
+                    .filter(|f| f.process == process && f.period == k)
+                    .count();
+                if total != scheduled || ok + dlq + failed != scheduled {
+                    conserved = false;
+                    detail = format!(
+                        "{process} period {k}: scheduled {scheduled}, \
+                         recorded {total}, ok {ok} + dlq {dlq} + failed {failed}"
+                    );
+                }
+            }
+        }
+        if detail.is_empty() {
+            let dlq_total = out.dead_letters.len();
+            detail = format!("all E1 messages accounted ({dlq_total} dead-lettered)");
+        }
+        report.push("e1_message_conservation", conserved, detail);
+    }
 
     Ok(report)
 }

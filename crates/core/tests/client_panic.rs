@@ -10,7 +10,6 @@
 use dip_mtm::cost::CostRecorder;
 use dip_mtm::error::MtmResult;
 use dip_mtm::process::ProcessDef;
-use dip_xmlkit::node::Document;
 use dipbench::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
@@ -34,18 +33,16 @@ impl IntegrationSystem for PanicOnP03 {
         Ok(())
     }
 
-    fn on_message(&self, _process: &str, _period: u32, _msg: Document) -> MtmResult<()> {
-        Ok(())
-    }
-
-    fn on_timed(&self, process: &str, _period: u32) -> MtmResult<()> {
-        if process == "P03" {
-            panic!("injected P03 panic");
+    fn deliver(&self, event: Event) -> Delivery {
+        if let Event::Timed { process, .. } = &event {
+            if process == "P03" {
+                panic!("injected P03 panic");
+            }
+            // stream B's extracts are timed events that must get past the
+            // gate even though stream A died holding it
+            self.timed_b.fetch_add(1, Ordering::SeqCst);
         }
-        // stream B's extracts are timed events that must get past the gate
-        // even though stream A died holding it
-        self.timed_b.fetch_add(1, Ordering::SeqCst);
-        Ok(())
+        Delivery::Completed
     }
 
     fn recorder(&self) -> Arc<CostRecorder> {

@@ -28,16 +28,14 @@ fn fixture() -> Fixture {
 
 fn timed(f: &Fixture, p: &str) {
     use dipbench::system::IntegrationSystem;
-    f.system
-        .on_timed(p, 0)
-        .unwrap_or_else(|e| panic!("{p}: {e}"));
+    let d = f.system.deliver(Event::timed(p, 0, 0));
+    assert!(d.is_ok(), "{p}: {d:?}");
 }
 
 fn message(f: &Fixture, p: &str, doc: dip_xmlkit::Document) {
     use dipbench::system::IntegrationSystem;
-    f.system
-        .on_message(p, 0, doc)
-        .unwrap_or_else(|e| panic!("{p}: {e}"));
+    let d = f.system.deliver(Event::message(p, 0, 0, doc));
+    assert!(d.is_ok(), "{p}: {d:?}");
 }
 
 #[test]

@@ -23,6 +23,25 @@ pub enum FedError {
     Xml(XmlError),
     Service(String),
     Other(String),
+    /// A transport-level failure reaching an external system, after the
+    /// resilience layer exhausted its retries. Transient.
+    Transport(TransportFault),
+}
+
+impl FedError {
+    /// Whether this failure is transient (a transport fault at any layer).
+    pub fn is_transient(&self) -> bool {
+        self.transport().is_some()
+    }
+
+    /// The transport fault carried by this error, if any.
+    pub fn transport(&self) -> Option<&TransportFault> {
+        match self {
+            FedError::Transport(t) => Some(t),
+            FedError::Store(e) => e.transport(),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FedError {
@@ -32,6 +51,7 @@ impl std::fmt::Display for FedError {
             FedError::Xml(e) => write!(f, "{e}"),
             FedError::Service(m) => write!(f, "service error: {m}"),
             FedError::Other(m) => f.write_str(m),
+            FedError::Transport(t) => write!(f, "{t}"),
         }
     }
 }
@@ -40,7 +60,10 @@ impl std::error::Error for FedError {}
 
 impl From<StoreError> for FedError {
     fn from(e: StoreError) -> Self {
-        FedError::Store(e)
+        match e {
+            StoreError::Transport(t) => FedError::Transport(t),
+            other => FedError::Store(other),
+        }
     }
 }
 impl From<XmlError> for FedError {
@@ -50,7 +73,10 @@ impl From<XmlError> for FedError {
 }
 impl From<ServiceError> for FedError {
     fn from(e: ServiceError) -> Self {
-        FedError::Service(e.to_string())
+        match e {
+            ServiceError::Transport(t) => FedError::Transport(t),
+            other => FedError::Service(other.to_string()),
+        }
     }
 }
 impl From<String> for FedError {
@@ -239,6 +265,7 @@ pub struct FedDbms {
     realizations: RwLock<HashMap<String, Realization>>,
     next_tid: AtomicU64,
     epoch: Instant,
+    dlq: Arc<dipbench::system::DeadLetterQueue>,
 }
 
 impl std::fmt::Debug for FedDbms {
@@ -259,6 +286,7 @@ impl FedDbms {
             realizations: RwLock::new(HashMap::new()),
             next_tid: AtomicU64::new(1),
             epoch: Instant::now(),
+            dlq: Arc::new(dipbench::system::DeadLetterQueue::new()),
         }
     }
 
@@ -307,8 +335,13 @@ impl FedDbms {
                             StoreError::Procedure(format!("{process_name}: bad message: {e}"))
                         })?
                     };
-                    body(&ctx, &doc)
-                        .map_err(|e| StoreError::Procedure(format!("{process_name}: {e}")))?;
+                    // transport faults must cross the trigger boundary
+                    // typed, not stringified, so the dispatcher can still
+                    // classify the failure as transient and dead-letter it
+                    body(&ctx, &doc).map_err(|e| match e.transport() {
+                        Some(t) => StoreError::Transport(t.clone()),
+                        None => StoreError::Procedure(format!("{process_name}: {e}")),
+                    })?;
                 }
                 Ok(())
             }),
@@ -328,6 +361,19 @@ impl FedDbms {
 
     /// Execute one instance, recording its cost record.
     pub fn execute(&self, process: &str, period: u32, input: Option<Document>) -> FedResult<()> {
+        self.execute_event(process, period, 0, input).map(|_| ())
+    }
+
+    /// [`FedDbms::execute`] with the event's schedule sequence number,
+    /// which anchors the instance's deterministic fault-schedule identity.
+    /// Returns the number of transport retries spent on the instance.
+    pub fn execute_event(
+        &self,
+        process: &str,
+        period: u32,
+        seq: u32,
+        input: Option<Document>,
+    ) -> FedResult<u32> {
         let mgmt_start = Instant::now();
         let costs = InstanceCosts::new();
         let instance = self.recorder.next_instance_id();
@@ -335,6 +381,7 @@ impl FedDbms {
         // plan/SQL preparation is management cost
         costs.add(CostCategory::Management, mgmt_start.elapsed());
         let _ctx = dip_trace::instance_scope(process, period, instance.0);
+        let _fault_scope = dip_netsim::fault::instance_scope(process, period, seq);
         let start = self.epoch.elapsed();
         let result = {
             let _span = dip_trace::span_cat(
@@ -345,6 +392,7 @@ impl FedDbms {
             self.dispatch(process, input, &costs, tid)
         };
         let end = self.epoch.elapsed();
+        let retries = dip_netsim::fault::scope_retries();
         let (comm, mgmt, proc) = costs.snapshot();
         self.recorder.record(InstanceRecord {
             instance,
@@ -357,7 +405,7 @@ impl FedDbms {
             proc,
             ok: result.is_ok(),
         });
-        result
+        result.map(|()| retries)
     }
 
     fn dispatch(
@@ -431,6 +479,15 @@ impl FedDbms {
     }
 }
 
+/// Convert a federated error to the client-facing [`MtmError`], keeping
+/// transport faults typed so transience classification survives.
+fn to_mtm_error(e: FedError) -> MtmError {
+    match e {
+        FedError::Transport(t) => MtmError::Transport(t),
+        other => MtmError::Custom(other.to_string()),
+    }
+}
+
 impl dipbench::system::IntegrationSystem for FedDbms {
     fn name(&self) -> &str {
         "federated-dbms"
@@ -440,20 +497,45 @@ impl dipbench::system::IntegrationSystem for FedDbms {
         // The federated realization is hand-written per process type (the
         // paper's reference implementation is, too); definitions are
         // installed by id.
-        crate::procs::deploy_all(self).map_err(|e| MtmError::Custom(e.to_string()))
+        crate::procs::deploy_all(self).map_err(to_mtm_error)
     }
 
-    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()> {
-        self.execute(process, period, Some(msg))
-            .map_err(|e| MtmError::Custom(e.to_string()))
-    }
-
-    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()> {
-        self.execute(process, period, None)
-            .map_err(|e| MtmError::Custom(e.to_string()))
+    fn deliver(&self, event: dipbench::system::Event) -> dipbench::system::Delivery {
+        use dipbench::system::Event;
+        match event {
+            Event::Message {
+                process,
+                period,
+                seq,
+                msg,
+            } => {
+                let payload = self
+                    .world
+                    .resilience()
+                    .map(|_| dip_xmlkit::write_compact(&msg));
+                let result = self
+                    .execute_event(&process, period, seq, Some(msg))
+                    .map_err(to_mtm_error);
+                dipbench::system::settle(&self.dlq, &process, period, seq, payload, result)
+            }
+            Event::Timed {
+                process,
+                period,
+                seq,
+            } => {
+                let result = self
+                    .execute_event(&process, period, seq, None)
+                    .map_err(to_mtm_error);
+                dipbench::system::settle(&self.dlq, &process, period, seq, None, result)
+            }
+        }
     }
 
     fn recorder(&self) -> Arc<CostRecorder> {
         self.recorder.clone()
+    }
+
+    fn dead_letters(&self) -> Arc<dipbench::system::DeadLetterQueue> {
+        self.dlq.clone()
     }
 }

@@ -72,12 +72,27 @@ impl MtmEngine {
     /// Execute one instance of a deployed process; `input` is required for
     /// E1 processes. Records an [`InstanceRecord`] either way.
     pub fn execute(&self, id: &str, period: u32, input: Option<Document>) -> MtmResult<()> {
+        self.execute_event(id, period, 0, input).map(|_| ())
+    }
+
+    /// [`MtmEngine::execute`] with the event's schedule sequence number,
+    /// which anchors the instance's deterministic fault-schedule identity.
+    /// Returns the number of transport retries the resilience layer spent
+    /// on the instance's behalf.
+    pub fn execute_event(
+        &self,
+        id: &str,
+        period: u32,
+        seq: u32,
+        input: Option<Document>,
+    ) -> MtmResult<u32> {
         let mgmt_start = Instant::now();
         let def = self.process(id)?;
         let costs = InstanceCosts::new();
         costs.add(crate::cost::CostCategory::Management, mgmt_start.elapsed());
         let instance = self.recorder.next_instance_id();
         let _ctx = dip_trace::instance_scope(&def.id, period, instance.0);
+        let _fault_scope = dip_netsim::fault::instance_scope(&def.id, period, seq);
         let start = self.epoch.elapsed();
         let result = {
             let _span = dip_trace::span_cat(
@@ -89,6 +104,7 @@ impl MtmEngine {
             interp.run(&def, input)
         };
         let end = self.epoch.elapsed();
+        let retries = dip_netsim::fault::scope_retries();
         let (comm, mgmt, proc) = costs.snapshot();
         self.recorder.record(InstanceRecord {
             instance,
@@ -101,7 +117,7 @@ impl MtmEngine {
             proc,
             ok: result.is_ok(),
         });
-        result.map(|_| ())
+        result.map(|_| retries)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Error type for process execution.
 
 use crate::message::MtmTypeError;
-use dip_relstore::error::StoreError;
+use dip_relstore::error::{StoreError, TransportFault};
 use dip_services::ServiceError;
 use dip_xmlkit::XmlError;
 use std::fmt;
@@ -27,6 +27,28 @@ pub enum MtmError {
     },
     /// Static validation failure of a process definition.
     InvalidProcess(String),
+    /// A transport-level failure reaching an external system, surfaced
+    /// after the resilience layer exhausted its retries. Transient: the
+    /// dispatcher may dead-letter the triggering message instead of
+    /// treating the instance as a hard failure.
+    Transport(TransportFault),
+}
+
+impl MtmError {
+    /// Whether this failure is transient (a transport fault at any layer)
+    /// as opposed to a deterministic property of the data or the process.
+    pub fn is_transient(&self) -> bool {
+        self.transport().is_some()
+    }
+
+    /// The transport fault carried by this error, if any.
+    pub fn transport(&self) -> Option<&TransportFault> {
+        match self {
+            MtmError::Transport(t) => Some(t),
+            MtmError::Store(e) => e.transport(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MtmError {
@@ -43,6 +65,7 @@ impl fmt::Display for MtmError {
                 write!(f, "no SWITCH case matched value {value} in {process}")
             }
             MtmError::InvalidProcess(m) => write!(f, "invalid process definition: {m}"),
+            MtmError::Transport(t) => write!(f, "{t}"),
         }
     }
 }
@@ -51,7 +74,10 @@ impl std::error::Error for MtmError {}
 
 impl From<StoreError> for MtmError {
     fn from(e: StoreError) -> Self {
-        MtmError::Store(e)
+        match e {
+            StoreError::Transport(t) => MtmError::Transport(t),
+            other => MtmError::Store(other),
+        }
     }
 }
 impl From<XmlError> for MtmError {
@@ -66,7 +92,12 @@ impl From<MtmTypeError> for MtmError {
 }
 impl From<ServiceError> for MtmError {
     fn from(e: ServiceError) -> Self {
-        MtmError::Service(e.to_string())
+        // preserve transport-ness across the stringifying boundary —
+        // `is_transient()` must not depend on message contents
+        match e {
+            ServiceError::Transport(t) => MtmError::Transport(t),
+            other => MtmError::Service(other.to_string()),
+        }
     }
 }
 

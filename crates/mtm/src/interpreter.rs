@@ -396,16 +396,24 @@ impl<'a> Interpreter<'a> {
             Step::Fork { branches } => {
                 let t = Instant::now();
                 // Each branch runs on its own thread over a clone of the
-                // variable store; results are merged in branch order.
-                let results: Vec<MtmResult<VarStore>> = std::thread::scope(|scope| {
+                // variable store; results are merged in branch order. The
+                // instance's fault scope is a thread-local, so each branch
+                // re-adopts a snapshot of it, derived by branch index —
+                // parallel branches own disjoint, deterministic regions of
+                // the fault schedule regardless of thread interleaving.
+                let fault_snap = dip_netsim::fault::snapshot();
+                let results: Vec<MtmResult<(VarStore, u32)>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = branches
                         .iter()
-                        .map(|branch| {
+                        .enumerate()
+                        .map(|(branch_idx, branch)| {
                             let mut branch_vars = vars.clone();
                             scope.spawn(move || {
+                                let _scope = fault_snap
+                                    .map(|s| dip_netsim::fault::adopt(s, branch_idx as u32));
                                 let mut no_input = None;
                                 self.run_steps(def, branch, &mut branch_vars, &mut no_input)
-                                    .map(|()| branch_vars)
+                                    .map(|()| (branch_vars, dip_netsim::fault::scope_retries()))
                             })
                         })
                         .collect();
@@ -419,7 +427,11 @@ impl<'a> Interpreter<'a> {
                 });
                 self.costs.add(CostCategory::Management, t.elapsed());
                 for r in results {
-                    vars.merge(r?);
+                    let (branch_vars, branch_retries) = r?;
+                    // fold branch-thread retry counts back into the
+                    // parent's scope so the instance total is complete
+                    dip_netsim::fault::note_retries(branch_retries);
+                    vars.merge(branch_vars);
                 }
             }
             Step::Subprocess {

@@ -1,0 +1,419 @@
+//! Seeded per-link fault models and the deterministic fault schedule.
+//!
+//! The paper's testbed is built on unreliable parts — a *wireless* network
+//! between ES/IS/CS and a San Diego application it calls "very
+//! error-prone" — yet only San Diego's payload errors were modelled until
+//! now. This module adds the transport-fault axis: per-link models that
+//! drop messages, stall them past a timeout, sever a link for whole
+//! benchmark periods (partition windows) or multiply delays (slow-link
+//! episodes).
+//!
+//! ## Determinism discipline
+//!
+//! Fault decisions must be reproducible under the client's A ∥ B stream
+//! concurrency, where the *order* of transfers on a shared link is
+//! scheduler-dependent. Drawing faults from the latency `StdRng` would tie
+//! each message's fate to that order, so faults are instead a pure hash of
+//! a **stable identity**: the seed, the link, the process instance
+//! (process type, period, sequence number), the operation ordinal within
+//! the instance, and the retry attempt. Two runs with the same seed
+//! therefore produce the identical fault schedule — and the identical
+//! dead-letter queue — regardless of thread interleaving. A fault-free
+//! configuration consumes no randomness at all, leaving the latency RNG
+//! stream byte-identical to a run without the fault subsystem.
+//!
+//! The stable identity travels in a thread-local [`instance_scope`]
+//! established by the integration engines around each process instance
+//! (and re-established inside FORK branches via [`snapshot`]/[`adopt`]).
+//! Transfers outside any scope — environment initialization, verification
+//! — are never faulted: the benchmark injects faults only into the
+//! measured work phase.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// One transport-level failure of a modeled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The message vanished; the caller notices via its timeout.
+    Drop,
+    /// The link stalled past the caller's patience.
+    Timeout,
+    /// The link is inside a partition window; fails fast.
+    Partition,
+}
+
+impl LinkFault {
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkFault::Drop => "drop",
+            LinkFault::Timeout => "timeout",
+            LinkFault::Partition => "partition",
+        }
+    }
+}
+
+/// A window of whole benchmark periods during which a link is severed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First partitioned period (inclusive).
+    pub from_period: u32,
+    /// First period after the window (exclusive).
+    pub until_period: u32,
+}
+
+impl PartitionWindow {
+    pub fn contains(&self, period: u32) -> bool {
+        (self.from_period..self.until_period).contains(&period)
+    }
+}
+
+/// Per-link fault behaviour. Rates are independent probabilities evaluated
+/// per transfer leg; `slow_factor` multiplies the modeled delay of a
+/// slow-link episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability a message is silently lost.
+    pub drop_rate: f64,
+    /// Probability the link stalls past the caller's timeout.
+    pub timeout_rate: f64,
+    /// Probability of a slow-link episode (delivered, but late).
+    pub slow_rate: f64,
+    /// Delay multiplier during a slow-link episode.
+    pub slow_factor: f64,
+    /// Periods during which the link is completely severed.
+    pub partition: Option<PartitionWindow>,
+}
+
+impl FaultModel {
+    /// A model that never faults (the implicit default everywhere).
+    pub const NONE: FaultModel = FaultModel {
+        drop_rate: 0.0,
+        timeout_rate: 0.0,
+        slow_rate: 0.0,
+        slow_factor: 1.0,
+        partition: None,
+    };
+
+    /// Drop-only model, the common chaos-run shape.
+    pub fn drops(rate: f64) -> FaultModel {
+        FaultModel {
+            drop_rate: rate,
+            ..FaultModel::NONE
+        }
+    }
+
+    /// Whether this model can ever produce a fault or slow episode.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.slow_rate > 0.0
+            || self.partition.is_some()
+    }
+
+    /// Decide the fate of one transfer leg from its stable identity hash.
+    pub fn verdict(&self, period: u32, identity: u64) -> Verdict {
+        if let Some(w) = self.partition {
+            if w.contains(period) {
+                return Verdict::Fault(LinkFault::Partition);
+            }
+        }
+        if !self.is_active() {
+            return Verdict::Deliver { slow_factor: 1.0 };
+        }
+        // map the identity hash to a uniform draw in [0, 1)
+        let u = (splitmix64(identity) >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.drop_rate {
+            Verdict::Fault(LinkFault::Drop)
+        } else if u < self.drop_rate + self.timeout_rate {
+            Verdict::Fault(LinkFault::Timeout)
+        } else if u < self.drop_rate + self.timeout_rate + self.slow_rate {
+            Verdict::Deliver {
+                slow_factor: self.slow_factor.max(1.0),
+            }
+        } else {
+            Verdict::Deliver { slow_factor: 1.0 }
+        }
+    }
+}
+
+/// The fate of one transfer leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Delivered; the modeled delay is multiplied by `slow_factor`.
+    Deliver {
+        slow_factor: f64,
+    },
+    Fault(LinkFault),
+}
+
+/// The benchmark-level fault configuration: one model applied to every
+/// wireless link (IS ↔ external systems), scheduled from `seed`. Local
+/// ES-internal links never fault — they model intra-machine traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    pub model: FaultModel,
+}
+
+impl FaultPlan {
+    /// No faults anywhere — the default; costs nothing.
+    pub const NONE: FaultPlan = FaultPlan {
+        model: FaultModel::NONE,
+    };
+
+    pub fn drops(rate: f64) -> FaultPlan {
+        FaultPlan {
+            model: FaultModel::drops(rate),
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.model.is_active()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// SplitMix64 — the identity mixer. Deterministic, stateless, and
+/// well-distributed for sequential keys.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combine two identity components.
+pub fn mix(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b))
+}
+
+/// FNV-1a over a string — stable process-type hashing.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable identity snapshot of the instance running on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeState {
+    /// Mixed (process, period, seq) identity.
+    pub key: u64,
+    /// Benchmark period — partition windows are evaluated against it.
+    pub period: u32,
+}
+
+struct ActiveScope {
+    state: ScopeState,
+    /// Ordinal of the next external operation within this instance.
+    next_op: u32,
+    /// Transport-level retries performed on behalf of this instance.
+    retries: u32,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Vec<ActiveScope>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for an established fault scope; pops it on drop.
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+fn push_scope(state: ScopeState) -> ScopeGuard {
+    SCOPE.with(|s| {
+        s.borrow_mut().push(ActiveScope {
+            state,
+            next_op: 0,
+            retries: 0,
+        })
+    });
+    ScopeGuard { _priv: () }
+}
+
+/// Establish the fault identity of a process instance on this thread:
+/// subsequent faultable transfers derive their schedule position from it.
+/// Scopes nest (a subprocess inherits its own identity).
+pub fn instance_scope(process: &str, period: u32, seq: u32) -> ScopeGuard {
+    let key = mix(hash_str(process), mix(period as u64, seq as u64));
+    push_scope(ScopeState { key, period })
+}
+
+/// Snapshot the current scope for crossing a thread boundary (FORK
+/// branches run on their own threads and do not inherit thread-locals).
+pub fn snapshot() -> Option<ScopeState> {
+    SCOPE.with(|s| s.borrow().last().map(|a| a.state))
+}
+
+/// Re-establish a snapshotted scope on this thread, derived by `branch` so
+/// parallel branches own disjoint regions of the fault schedule.
+pub fn adopt(state: ScopeState, branch: u32) -> ScopeGuard {
+    push_scope(ScopeState {
+        key: mix(state.key, 0x1000_0000 | branch as u64),
+        period: state.period,
+    })
+}
+
+/// The identity of one logical external operation (a remote call about to
+/// be attempted, possibly several times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpKey {
+    key: u64,
+    pub period: u32,
+}
+
+impl OpKey {
+    /// An operation identity built directly from a raw key — for tests and
+    /// tools that probe the fault schedule outside an instance scope.
+    pub fn synthetic(key: u64, period: u32) -> OpKey {
+        OpKey { key, period }
+    }
+
+    /// The identity of one transfer leg of one attempt of this operation.
+    pub fn leg(&self, attempt: u32, leg: u32) -> u64 {
+        mix(self.key, mix(attempt as u64, leg as u64))
+    }
+}
+
+/// Claim the next operation ordinal of the current instance scope.
+/// Returns `None` outside any scope (initialization/verification traffic
+/// is never faulted).
+pub fn begin_op() -> Option<OpKey> {
+    SCOPE.with(|s| {
+        let mut s = s.borrow_mut();
+        let active = s.last_mut()?;
+        let ordinal = active.next_op;
+        active.next_op += 1;
+        Some(OpKey {
+            key: mix(active.state.key, ordinal as u64),
+            period: active.state.period,
+        })
+    })
+}
+
+/// Record `n` transport retries against the current instance scope.
+pub fn note_retries(n: u32) {
+    SCOPE.with(|s| {
+        if let Some(active) = s.borrow_mut().last_mut() {
+            active.retries += n;
+        }
+    });
+}
+
+/// Transport retries recorded so far for the current instance scope.
+pub fn scope_retries() -> u32 {
+    SCOPE.with(|s| s.borrow().last().map_or(0, |a| a.retries))
+}
+
+/// A transport failure as surfaced to callers, with the modeled time the
+/// caller spent discovering it (timeout waits are communication cost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportError {
+    pub endpoint: String,
+    pub fault: LinkFault,
+    pub waited: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_is_pure_and_seed_stable() {
+        let m = FaultModel::drops(0.3);
+        for key in 0..1000u64 {
+            assert_eq!(m.verdict(0, key), m.verdict(0, key));
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let m = FaultModel::NONE;
+        for key in 0..1000u64 {
+            assert_eq!(m.verdict(0, key), Verdict::Deliver { slow_factor: 1.0 });
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let m = FaultModel::drops(0.2);
+        let n = 20_000u64;
+        let dropped = (0..n)
+            .filter(|&k| matches!(m.verdict(0, splitmix64(k)), Verdict::Fault(LinkFault::Drop)))
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn partition_window_overrides_everything() {
+        let m = FaultModel {
+            partition: Some(PartitionWindow {
+                from_period: 1,
+                until_period: 2,
+            }),
+            ..FaultModel::NONE
+        };
+        assert_eq!(m.verdict(1, 42), Verdict::Fault(LinkFault::Partition));
+        assert_eq!(m.verdict(0, 42), Verdict::Deliver { slow_factor: 1.0 });
+        assert_eq!(m.verdict(2, 42), Verdict::Deliver { slow_factor: 1.0 });
+    }
+
+    #[test]
+    fn scope_ordinals_advance_and_pop() {
+        assert!(begin_op().is_none(), "no faults outside a scope");
+        let g = instance_scope("P04", 0, 3);
+        let a = begin_op().unwrap();
+        let b = begin_op().unwrap();
+        assert_ne!(a.leg(0, 0), b.leg(0, 0));
+        assert_ne!(a.leg(0, 0), a.leg(1, 0), "attempts have distinct fates");
+        assert_ne!(a.leg(0, 0), a.leg(0, 1), "legs have distinct fates");
+        note_retries(2);
+        assert_eq!(scope_retries(), 2);
+        drop(g);
+        assert!(begin_op().is_none());
+    }
+
+    #[test]
+    fn same_identity_same_op_keys_across_threads() {
+        let keys = |tag: u32| {
+            std::thread::spawn(move || {
+                let _g = instance_scope("P10", 1, tag);
+                (begin_op().unwrap().leg(0, 0), begin_op().unwrap().leg(1, 1))
+            })
+            .join()
+            .unwrap()
+        };
+        assert_eq!(keys(5), keys(5));
+        assert_ne!(keys(5), keys(6));
+    }
+
+    #[test]
+    fn fork_adoption_derives_disjoint_branches() {
+        let _g = instance_scope("P03", 0, 0);
+        let snap = snapshot().unwrap();
+        let b0 = adopt(snap, 0);
+        let k0 = begin_op().unwrap();
+        drop(b0);
+        let b1 = adopt(snap, 1);
+        let k1 = begin_op().unwrap();
+        drop(b1);
+        assert_ne!(k0.leg(0, 0), k1.leg(0, 0));
+    }
+}

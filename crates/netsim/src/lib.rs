@@ -9,10 +9,12 @@
 //! preserves the benchmark's behaviour.
 
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod topology;
 
 pub use clock::{virtual_clock, wall_clock, Clock, ClockRef, VirtualClock, WallClock};
+pub use fault::{FaultModel, FaultPlan, LinkFault, PartitionWindow, TransportError, Verdict};
 pub use latency::LatencyModel;
 pub use network::{LinkSpec, NetStats, Network, TransferMode};

@@ -7,6 +7,7 @@
 //! delay is an accounted model quantity — but `TransferMode::RealSleep`
 //! makes transfers actually block, for wall-clock-faithful runs.
 
+use crate::fault::{self, FaultModel, OpKey, Verdict};
 use crate::latency::LatencyModel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -56,6 +57,15 @@ pub struct Network {
     mode: TransferMode,
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
+    /// Per-link fault models. An explicit `None` entry is a tombstone that
+    /// shields a link from `default_fault` (ES-internal links stay clean
+    /// even when the wireless default faults).
+    fault_links: HashMap<(String, String), Option<FaultModel>>,
+    default_fault: Option<FaultModel>,
+    /// Seed component of every fault-identity hash. Kept separate from the
+    /// latency RNG: fault evaluation never consumes latency randomness, so
+    /// a fault-free plan leaves delay sequences byte-identical.
+    fault_seed: u64,
 }
 
 impl std::fmt::Debug for Network {
@@ -76,6 +86,9 @@ impl Network {
             mode,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(NetStats::default()),
+            fault_links: HashMap::new(),
+            default_fault: None,
+            fault_seed: seed,
         }
     }
 
@@ -97,10 +110,72 @@ impl Network {
             .unwrap_or(self.default_link)
     }
 
+    /// Set (or, with `None`, explicitly clear) the fault model of a
+    /// directed link. A cleared link is shielded from the default model.
+    pub fn set_fault_model(&mut self, from: &str, to: &str, model: Option<FaultModel>) {
+        self.fault_links
+            .insert((from.to_string(), to.to_string()), model);
+    }
+
+    /// Fault model applied to every link without an explicit entry.
+    pub fn set_default_fault_model(&mut self, model: Option<FaultModel>) {
+        self.default_fault = model;
+    }
+
+    /// Whether any link of this network can fault. Callers use this to
+    /// keep the happy path entirely outside the resilience machinery.
+    pub fn has_faults(&self) -> bool {
+        self.default_fault.map(|m| m.is_active()).unwrap_or(false)
+            || self
+                .fault_links
+                .values()
+                .any(|m| m.map(|m| m.is_active()).unwrap_or(false))
+    }
+
+    fn fault_model(&self, from: &str, to: &str) -> Option<FaultModel> {
+        match self.fault_links.get(&(from.to_string(), to.to_string())) {
+            Some(entry) => *entry,
+            None => self.default_fault,
+        }
+    }
+
+    /// Decide the fate of one transfer leg of one attempt of operation
+    /// `op`. Pure: derived entirely from the fault seed, the link, and the
+    /// operation identity — never from RNG state or call order.
+    pub fn fault_verdict(
+        &self,
+        from: &str,
+        to: &str,
+        op: &OpKey,
+        attempt: u32,
+        leg: u32,
+    ) -> Verdict {
+        match self.fault_model(from, to) {
+            Some(model) if model.is_active() || model.partition.is_some() => {
+                let link = fault::mix(fault::hash_str(from), fault::hash_str(to));
+                let identity = fault::mix(self.fault_seed, fault::mix(link, op.leg(attempt, leg)));
+                model.verdict(op.period, identity)
+            }
+            _ => Verdict::Deliver { slow_factor: 1.0 },
+        }
+    }
+
     /// Model one message transfer of `bytes` from `from` to `to`; returns
     /// the delay charged to communication cost. Sleeps iff in
     /// [`TransferMode::RealSleep`].
     pub fn transfer(&self, from: &str, to: &str, bytes: usize) -> Duration {
+        self.transfer_scaled(from, to, bytes, 1.0)
+    }
+
+    /// [`Network::transfer`] with the delay multiplied by `slow_factor`
+    /// (slow-link episodes from the fault schedule).
+    pub fn transfer_scaled(
+        &self,
+        from: &str,
+        to: &str,
+        bytes: usize,
+        slow_factor: f64,
+    ) -> Duration {
         let spec = self.link(from, to);
         let latency = spec.latency.sample(&mut self.rng.lock());
         let payload = if spec.bandwidth_bps == 0 {
@@ -108,7 +183,10 @@ impl Network {
         } else {
             Duration::from_secs_f64(bytes as f64 / spec.bandwidth_bps as f64)
         };
-        let delay = latency + payload;
+        let mut delay = latency + payload;
+        if slow_factor > 1.0 {
+            delay = delay.mul_f64(slow_factor);
+        }
         {
             let mut s = self.stats.lock();
             s.messages += 1;
@@ -190,6 +268,50 @@ mod tests {
         assert!(s.total_delay > Duration::ZERO);
         n.reset_stats();
         assert_eq!(n.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn fault_verdicts_are_deterministic_and_tombstoned() {
+        use crate::fault::LinkFault;
+        let mut n = net();
+        n.set_default_fault_model(Some(FaultModel::drops(0.5)));
+        n.set_fault_model("a", "c", None); // shielded from the default
+        assert!(n.has_faults());
+        let op = OpKey::synthetic(99, 0);
+        // shielded link never faults
+        for attempt in 0..64 {
+            assert_eq!(
+                n.fault_verdict("a", "c", &op, attempt, 0),
+                Verdict::Deliver { slow_factor: 1.0 }
+            );
+        }
+        // default link: the verdict is a pure function of identity
+        let mut dropped = 0;
+        for attempt in 0..64 {
+            let v = n.fault_verdict("a", "b", &op, attempt, 0);
+            assert_eq!(v, n.fault_verdict("a", "b", &op, attempt, 0));
+            if v == Verdict::Fault(LinkFault::Drop) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 10, "half-rate drops should appear: {dropped}/64");
+        // ...and evaluating verdicts never consumed latency randomness
+        let clean = net();
+        assert_eq!(n.transfer("a", "b", 0), clean.transfer("a", "b", 0));
+    }
+
+    #[test]
+    fn scaled_transfer_multiplies_delay() {
+        let mut n = net();
+        n.set_link(
+            "a",
+            "b",
+            LinkSpec::new(LatencyModel::Fixed { micros: 100 }, 0),
+        );
+        assert_eq!(
+            n.transfer_scaled("a", "b", 0, 3.0),
+            Duration::from_micros(300)
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! toolsuite) — connected over a *wireless* network. Endpoint names used
 //! throughout the workspace are defined here so every crate agrees on them.
 
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::network::{LinkSpec, Network, TransferMode};
 
@@ -67,6 +68,27 @@ pub fn dipbench_network(mode: TransferMode, seed: u64) -> Network {
         }
     }
     net
+}
+
+/// Apply a fault plan to the benchmark network: the plan's model becomes
+/// the default (all wireless IS↔ES/CS traffic), while ES-internal pairs —
+/// intra-machine traffic — are explicitly shielded and never fault.
+pub fn apply_fault_plan(net: &mut Network, plan: FaultPlan) {
+    if !plan.is_active() {
+        return;
+    }
+    net.set_default_fault_model(Some(plan.model));
+    let es_endpoints: Vec<&str> = ES_DATABASES
+        .iter()
+        .chain(ES_SERVICES.iter())
+        .copied()
+        .collect();
+    for (i, a) in es_endpoints.iter().enumerate() {
+        for b in es_endpoints.iter().skip(i + 1) {
+            net.set_fault_model(a, b, None);
+            net.set_fault_model(b, a, None);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -106,8 +106,12 @@ impl Database {
             .cloned()
             .unwrap_or_default();
         for tr in triggers {
-            (tr.body)(self, &fired_rows)
-                .map_err(|e| StoreError::Procedure(format!("trigger {} failed: {e}", tr.name)))?;
+            (tr.body)(self, &fired_rows).map_err(|e| match e {
+                // transport faults stay typed across the trigger boundary so
+                // callers can still classify the failure as transient
+                StoreError::Transport(t) => StoreError::Transport(t),
+                e => StoreError::Procedure(format!("trigger {} failed: {e}", tr.name)),
+            })?;
         }
         Ok(n)
     }

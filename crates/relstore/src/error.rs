@@ -1,6 +1,60 @@
-//! Error type shared by all store operations.
+//! Error type shared by all store operations — and the workspace-wide
+//! transport-fault vocabulary.
+//!
+//! `TransportFault` lives here rather than in `dip-netsim` because this is
+//! the one crate every error enum (`StoreError`, `ServiceError`,
+//! `MtmError`, `FedError`) already depends on: placing it at the base of
+//! the dependency graph lets each layer carry the fault *typed* instead of
+//! stringified, so retry policy can ask `is_transient()` anywhere.
 
 use std::fmt;
+
+/// The kind of transport-level failure a remote operation hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The message was silently lost; the caller timed out waiting.
+    Drop,
+    /// The link stalled past the caller's timeout.
+    Timeout,
+    /// The link is partitioned; the failure was immediate.
+    Partition,
+    /// The caller's circuit breaker is open; no attempt was made.
+    CircuitOpen,
+}
+
+impl TransportKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::Drop => "drop",
+            TransportKind::Timeout => "timeout",
+            TransportKind::Partition => "partition",
+            TransportKind::CircuitOpen => "circuit-open",
+        }
+    }
+}
+
+/// A typed transport failure: which endpoint, what kind, how many attempts
+/// the resilience layer made before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportFault {
+    pub endpoint: String,
+    pub kind: TransportKind,
+    /// Attempts made before surfacing the fault (≥ 1 unless the breaker
+    /// rejected the operation outright).
+    pub attempts: u32,
+}
+
+impl fmt::Display for TransportFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transport {} to {} after {} attempt(s)",
+            self.kind.label(),
+            self.endpoint,
+            self.attempts
+        )
+    }
+}
 
 /// Errors raised by the relational store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +79,26 @@ pub enum StoreError {
     Procedure(String),
     /// Catch-all for invalid plans or misuse of the API.
     Invalid(String),
+    /// A transport-level failure reaching a remote store (injected by the
+    /// fault schedule, or a breaker rejection). Transient: retryable.
+    Transport(TransportFault),
+}
+
+impl StoreError {
+    /// Whether retrying the same operation could plausibly succeed.
+    /// Transport faults are the only transient class — every other variant
+    /// is a deterministic property of the data or the request.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transport(_))
+    }
+
+    /// The transport fault carried by this error, if any.
+    pub fn transport(&self) -> Option<&TransportFault> {
+        match self {
+            StoreError::Transport(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -42,11 +116,18 @@ impl fmt::Display for StoreError {
             StoreError::Constraint(m) => write!(f, "constraint violation: {m}"),
             StoreError::Procedure(m) => write!(f, "procedure error: {m}"),
             StoreError::Invalid(m) => write!(f, "invalid operation: {m}"),
+            StoreError::Transport(t) => write!(f, "{t}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+impl From<TransportFault> for StoreError {
+    fn from(t: TransportFault) -> Self {
+        StoreError::Transport(t)
+    }
+}
 
 /// Convenient result alias for store operations.
 pub type StoreResult<T> = Result<T, StoreError>;

@@ -44,7 +44,7 @@ pub mod value;
 /// The items almost every user of the crate needs.
 pub mod prelude {
     pub use crate::catalog::{Database, ProcFn, TriggerFn};
-    pub use crate::error::{StoreError, StoreResult};
+    pub use crate::error::{StoreError, StoreResult, TransportFault, TransportKind};
     pub use crate::expr::{CmpOp, Expr, ScalarFunc};
     pub use crate::index::IndexKind;
     pub use crate::mview::{MatView, RefreshMode};

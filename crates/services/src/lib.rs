@@ -10,8 +10,10 @@
 
 pub mod apps;
 pub mod registry;
+pub mod resilience;
 pub mod resultset;
 pub mod webservice;
 
 pub use registry::{ExternalWorld, Remote};
+pub use resilience::{BreakerState, CircuitBreaker, Resilience, ResiliencePolicy};
 pub use webservice::{DbService, ServiceError, ServiceResult, WebService};

@@ -7,7 +7,10 @@
 //! communication delay. That delay is what the benchmark monitor charges
 //! to the `Cc` (communication) cost category.
 
+use crate::resilience::{Attempt, Resilience};
 use crate::webservice::{ServiceError, ServiceResult, WebService};
+use dip_netsim::fault;
+use dip_relstore::error::TransportFault;
 use dip_relstore::prelude::*;
 use dip_xmlkit::node::Document;
 use dip_xmlkit::write_compact;
@@ -42,6 +45,9 @@ pub struct ExternalWorld {
     pub self_endpoint: String,
     databases: HashMap<String, (String, Arc<Database>)>,
     services: HashMap<String, (String, Arc<dyn WebService>)>,
+    /// Retry/breaker layer, armed only when the network carries a fault
+    /// plan; `None` keeps every round trip on the historical fast path.
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl std::fmt::Debug for ExternalWorld {
@@ -60,7 +66,18 @@ impl ExternalWorld {
             self_endpoint: self_endpoint.into(),
             databases: HashMap::new(),
             services: HashMap::new(),
+            resilience: None,
         }
+    }
+
+    /// Engage the resilience layer for all subsequent remote/WS calls.
+    pub fn arm_resilience(&mut self, resilience: Arc<Resilience>) {
+        self.resilience = Some(resilience);
+    }
+
+    /// The armed resilience layer, if any.
+    pub fn resilience(&self) -> Option<&Arc<Resilience>> {
+        self.resilience.as_ref()
     }
 
     /// Register a database under a logical name at a network endpoint.
@@ -118,6 +135,58 @@ impl ExternalWorld {
             .sum()
     }
 
+    /// One request → remote effect → response round trip over the network.
+    ///
+    /// The resilience layer engages only when it is armed, the network
+    /// carries an active fault plan, and the call runs inside an instance
+    /// fault scope — otherwise this is exactly the historical unguarded
+    /// path (no verdicts, no clock, no breaker). When engaged, both legs'
+    /// fault verdicts are evaluated *before* `effect` runs, so a retried
+    /// attempt never re-executes the remote side effect; timeout and
+    /// backoff waits are folded into the returned communication delay.
+    fn round_trip<T, E>(
+        &self,
+        endpoint: &str,
+        req_bytes: usize,
+        effect: impl FnOnce() -> Result<T, E>,
+        resp_bytes: impl FnOnce(&T) -> usize,
+    ) -> Result<Remote<T>, E>
+    where
+        E: From<TransportFault>,
+    {
+        let guarded = self
+            .resilience
+            .as_ref()
+            .filter(|_| self.network.has_faults())
+            .and_then(|r| fault::begin_op().map(|op| (r, op)));
+        let (wasted, slow_req, slow_resp) = match guarded {
+            None => (Duration::ZERO, 1.0, 1.0),
+            Some((r, op)) => match r.decide(&self.network, &self.self_endpoint, endpoint, &op) {
+                Attempt::Proceed {
+                    wasted,
+                    slow_req,
+                    slow_resp,
+                    ..
+                } => (wasted, slow_req, slow_resp),
+                Attempt::Exhausted(f) => return Err(E::from(f)),
+            },
+        };
+        let req = self
+            .network
+            .transfer_scaled(&self.self_endpoint, endpoint, req_bytes, slow_req);
+        let value = effect()?;
+        let resp = self.network.transfer_scaled(
+            endpoint,
+            &self.self_endpoint,
+            resp_bytes(&value),
+            slow_resp,
+        );
+        Ok(Remote {
+            value,
+            comm: wasted + req + resp,
+        })
+    }
+
     /// Run a query plan on a remote database; the request costs a small
     /// fixed payload, the response is charged by result size.
     pub fn remote_query(&self, db_name: &str, plan: &Plan) -> StoreResult<Remote<Relation>> {
@@ -133,15 +202,12 @@ impl ExternalWorld {
         opts: ExecOptions,
     ) -> StoreResult<Remote<Relation>> {
         let (endpoint, db) = self.db_entry(db_name)?;
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, 256);
-        let rel = execute(plan, &db, opts)?;
-        let resp =
-            self.network
-                .transfer(&endpoint, &self.self_endpoint, Self::relation_bytes(&rel));
-        Ok(Remote {
-            value: rel,
-            comm: req + resp,
-        })
+        self.round_trip(
+            &endpoint,
+            256,
+            || execute(plan, &db, opts),
+            Self::relation_bytes,
+        )
     }
 
     /// Insert rows into a remote table (through the remote database's
@@ -171,19 +237,16 @@ impl ExternalWorld {
             .iter()
             .map(|r| r.iter().map(|v| v.render().len() + 1).sum::<usize>())
             .sum();
-        let req = self
-            .network
-            .transfer(&self.self_endpoint, &endpoint, bytes + 128);
-        let n = match mode {
-            LoadMode::Insert => db.insert_into(table, rows)?,
-            LoadMode::InsertIgnore => db.table(table)?.insert_ignore_duplicates(rows)?,
-            LoadMode::Upsert => db.table(table)?.upsert(rows)?,
-        };
-        let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote {
-            value: n,
-            comm: req + resp,
-        })
+        self.round_trip(
+            &endpoint,
+            bytes + 128,
+            || match mode {
+                LoadMode::Insert => db.insert_into(table, rows),
+                LoadMode::InsertIgnore => db.table(table)?.insert_ignore_duplicates(rows),
+                LoadMode::Upsert => db.table(table)?.upsert(rows),
+            },
+            |_| 64,
+        )
     }
 
     /// Delete matching rows from a remote table.
@@ -194,13 +257,12 @@ impl ExternalWorld {
         predicate: &Expr,
     ) -> StoreResult<Remote<usize>> {
         let (endpoint, db) = self.db_entry(db_name)?;
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, 128);
-        let n = db.table(table)?.delete_where(predicate)?;
-        let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote {
-            value: n,
-            comm: req + resp,
-        })
+        self.round_trip(
+            &endpoint,
+            128,
+            || db.table(table)?.delete_where(predicate),
+            |_| 64,
+        )
     }
 
     /// Call a stored procedure on a remote database.
@@ -211,16 +273,12 @@ impl ExternalWorld {
         args: &[Value],
     ) -> StoreResult<Remote<Option<Relation>>> {
         let (endpoint, db) = self.db_entry(db_name)?;
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, 128);
-        let out = db.call_procedure(proc, args)?;
-        let bytes = out.as_ref().map(Self::relation_bytes).unwrap_or(16);
-        let resp = self
-            .network
-            .transfer(&endpoint, &self.self_endpoint, bytes + 64);
-        Ok(Remote {
-            value: out,
-            comm: req + resp,
-        })
+        self.round_trip(
+            &endpoint,
+            128,
+            || db.call_procedure(proc, args),
+            |out| out.as_ref().map(Self::relation_bytes).unwrap_or(16) + 64,
+        )
     }
 
     /// Query a web service operation (returns result-set XML).
@@ -230,14 +288,12 @@ impl ExternalWorld {
             .get(&service.to_lowercase())
             .cloned()
             .ok_or_else(|| ServiceError::UnknownOperation(format!("unknown service {service}")))?;
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, 256);
-        let doc = ws.query(operation)?;
-        let bytes = write_compact(&doc).len();
-        let resp = self.network.transfer(&endpoint, &self.self_endpoint, bytes);
-        Ok(Remote {
-            value: doc,
-            comm: req + resp,
-        })
+        self.round_trip(
+            &endpoint,
+            256,
+            || ws.query(operation),
+            |doc| write_compact(doc).len(),
+        )
     }
 
     /// Send an update document to a web service operation.
@@ -253,13 +309,7 @@ impl ExternalWorld {
             .cloned()
             .ok_or_else(|| ServiceError::UnknownOperation(format!("unknown service {service}")))?;
         let bytes = write_compact(doc).len();
-        let req = self.network.transfer(&self.self_endpoint, &endpoint, bytes);
-        let n = ws.update(operation, doc)?;
-        let resp = self.network.transfer(&endpoint, &self.self_endpoint, 64);
-        Ok(Remote {
-            value: n,
-            comm: req + resp,
-        })
+        self.round_trip(&endpoint, bytes, || ws.update(operation, doc), |_| 64)
     }
 }
 

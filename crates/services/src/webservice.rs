@@ -18,6 +18,30 @@ pub enum ServiceError {
     UnknownOperation(String),
     Store(StoreError),
     Malformed(String),
+    /// A transport-level failure reaching the service endpoint.
+    /// Transient: the retry/breaker layer keys off this variant.
+    Transport(TransportFault),
+}
+
+impl ServiceError {
+    /// Whether retrying the same call could plausibly succeed. Delegates
+    /// to the wrapped store error so transport-ness survives layering.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServiceError::Transport(_) => true,
+            ServiceError::Store(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// The transport fault carried by this error, if any.
+    pub fn transport(&self) -> Option<&TransportFault> {
+        match self {
+            ServiceError::Transport(t) => Some(t),
+            ServiceError::Store(e) => e.transport(),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -26,15 +50,27 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownOperation(o) => write!(f, "unknown operation: {o}"),
             ServiceError::Store(e) => write!(f, "store error: {e}"),
             ServiceError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ServiceError::Transport(t) => write!(f, "{t}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
+impl From<TransportFault> for ServiceError {
+    fn from(t: TransportFault) -> Self {
+        ServiceError::Transport(t)
+    }
+}
+
 impl From<StoreError> for ServiceError {
     fn from(e: StoreError) -> Self {
-        ServiceError::Store(e)
+        // keep transport faults at the top of the enum so `transport()`
+        // callers see one shape regardless of which layer raised it
+        match e {
+            StoreError::Transport(t) => ServiceError::Transport(t),
+            other => ServiceError::Store(other),
+        }
     }
 }
 

@@ -16,6 +16,12 @@ fn count(env: &BenchEnvironment, db: &str, table: &str) -> usize {
     env.db(db).table(table).map(|t| t.row_count()).unwrap_or(0)
 }
 
+fn dispatch(system: &Arc<dyn IntegrationSystem>, event: Event) {
+    let p = event.process().to_string();
+    let d = system.deliver(event);
+    assert!(d.is_ok(), "{p}: {d:?}");
+}
+
 fn main() {
     let config = BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(1);
     let env = BenchEnvironment::new(config).expect("environment");
@@ -43,12 +49,12 @@ fn main() {
 
     println!("\n== Group A: source-system management ==");
     let msg = env.generator.beijing_master_message(0, 0);
-    system.on_message("P01", 0, msg).expect("P01");
+    dispatch(&system, Event::message("P01", 0, 0, msg));
     println!("  P01: Beijing master data replicated to Seoul");
     let msg = env.generator.mdm_message(0, 0);
-    system.on_message("P02", 0, msg).expect("P02");
+    dispatch(&system, Event::message("P02", 0, 0, msg));
     println!("  P02: MDM customer update routed into Europe");
-    system.on_timed("P03", 0).expect("P03");
+    dispatch(&system, Event::timed("P03", 0, 0));
     println!(
         "  P03: US local consolidation -> us_eastcoast.orders = {}",
         count(&env, "us_eastcoast", "orders")
@@ -57,31 +63,33 @@ fn main() {
     println!("\n== Group B: data consolidation into the CDB ==");
     let n_p04 = schedule::p04_count(config.scale.datasize);
     for m in 0..n_p04 {
-        system
-            .on_message("P04", 0, env.generator.vienna_message(0, m))
-            .expect("P04");
+        dispatch(
+            &system,
+            Event::message("P04", 0, m, env.generator.vienna_message(0, m)),
+        );
     }
     println!("  P04 x{n_p04}: Vienna messages staged");
     for p in ["P05", "P06", "P07"] {
-        system.on_timed(p, 0).expect(p);
+        dispatch(&system, Event::timed(p, 0, 0));
     }
     println!("  P05-P07: European extracts staged");
     let n_p08 = schedule::p08_count(config.scale.datasize);
     for m in 0..n_p08 {
-        system
-            .on_message("P08", 0, env.generator.hongkong_message(0, m))
-            .expect("P08");
+        dispatch(
+            &system,
+            Event::message("P08", 0, m, env.generator.hongkong_message(0, m)),
+        );
     }
-    system.on_timed("P09", 0).expect("P09");
+    dispatch(&system, Event::timed("P09", 0, 0));
     println!("  P08/P09: Asian flow staged");
     let n_p10 = schedule::p10_count(config.scale.datasize);
     let mut rejected = 0;
     for m in 0..n_p10 {
         let (msg, injected) = env.generator.san_diego_message(0, m);
-        system.on_message("P10", 0, msg).expect("P10");
+        dispatch(&system, Event::message("P10", 0, m, msg));
         rejected += injected as usize;
     }
-    system.on_timed("P11", 0).expect("P11");
+    dispatch(&system, Event::timed("P11", 0, 0));
     println!("  P10 x{n_p10}: San Diego messages ({rejected} routed to failed data)");
     println!("  P11: US_Eastcoast loaded into the global CDB");
     println!(
@@ -94,8 +102,8 @@ fn main() {
     );
 
     println!("\n== Group C: data warehouse update ==");
-    system.on_timed("P12", 0).expect("P12");
-    system.on_timed("P13", 0).expect("P13");
+    dispatch(&system, Event::timed("P12", 0, 0));
+    dispatch(&system, Event::timed("P13", 0, 0));
     println!(
         "  DWH: customers={} products={} orders={} lines={} OrdersMV rows={}",
         count(&env, "dwh", "customer"),
@@ -110,8 +118,8 @@ fn main() {
     );
 
     println!("\n== Group D: data mart update ==");
-    system.on_timed("P14", 0).expect("P14");
-    system.on_timed("P15", 0).expect("P15");
+    dispatch(&system, Event::timed("P14", 0, 0));
+    dispatch(&system, Event::timed("P15", 0, 0));
     for mart in ["dm_europe", "dm_unitedstates", "dm_asia"] {
         println!(
             "  {mart}: orders={} sales_mv={}",
