@@ -1,0 +1,89 @@
+//! Microbenchmarks of the hot row path's allocation behaviour: cloning
+//! string-heavy rows (the shared-string representation makes a clone a
+//! refcount bump per value) versus regenerating them, and replaying a
+//! cached batch versus rebuilding it — the two halves of the
+//! snapshot-cache optimisation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dip_relstore::prelude::*;
+use std::hint::black_box;
+
+/// A string-heavy row shaped like the generated customer rows.
+fn customer_row(i: i64) -> Row {
+    vec![
+        Value::Int(i),
+        Value::Str(format!("customer-{i}").into()),
+        Value::Str(format!("{} main street", i % 997).into()),
+        Value::Str("Berlin".into()),
+        Value::Str("Germany".into()),
+        Value::Str("AUTOMOBILE".into()),
+        Value::Str(format!("+{:02}-{:07}", i % 90 + 10, i % 9_999_999).into()),
+        Value::Float((i % 997) as f64),
+    ]
+}
+
+fn bench_row_clone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_clone");
+    g.sample_size(30);
+
+    let batch: Vec<Row> = (0..1000).map(customer_row).collect();
+
+    // shared-string clone: one refcount bump per string value
+    g.bench_function("clone_1k_string_rows", |b| {
+        b.iter(|| black_box(batch.clone()))
+    });
+
+    // the pre-cache alternative: regenerate every row (fresh allocations)
+    g.bench_function("regenerate_1k_string_rows", |b| {
+        b.iter(|| black_box((0..1000).map(customer_row).collect::<Vec<Row>>()))
+    });
+
+    // replay a cached batch into a fresh table (the snapshot-cache path)
+    g.bench_function("replay_1k_rows_into_table", |b| {
+        b.iter_batched(
+            || {
+                let s = RelSchema::of(&[
+                    ("custkey", SqlType::Int),
+                    ("name", SqlType::Str),
+                    ("address", SqlType::Str),
+                    ("city", SqlType::Str),
+                    ("nation", SqlType::Str),
+                    ("segment", SqlType::Str),
+                    ("phone", SqlType::Str),
+                    ("acctbal", SqlType::Float),
+                ])
+                .shared();
+                let t = Table::new("cust", s)
+                    .with_primary_key(&["custkey"])
+                    .unwrap();
+                (t, batch.clone())
+            },
+            |(t, rows)| t.insert_ignore_duplicates(rows).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // full-wipe delete: the staging-flush fast path (clear vs per-row)
+    g.bench_function("delete_all_1k_rows", |b| {
+        b.iter_batched(
+            || {
+                let s = RelSchema::of(&[("k", SqlType::Int), ("v", SqlType::Str)]).shared();
+                let t = Table::new("t", s).with_primary_key(&["k"]).unwrap();
+                t.insert(
+                    (0..1000)
+                        .map(|i| vec![Value::Int(i), Value::str("payload")])
+                        .collect(),
+                )
+                .unwrap();
+                t
+            },
+            |t| t.delete_where(&Expr::lit(true)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_row_clone);
+criterion_main!(benches);

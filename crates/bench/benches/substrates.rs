@@ -24,7 +24,7 @@ fn customers(n: i64) -> Database {
             .map(|i| {
                 vec![
                     Value::Int(i),
-                    Value::Str(format!("customer-{i}")),
+                    Value::Str(format!("customer-{i}").into()),
                     Value::Int(i % 50),
                     Value::Float((i % 997) as f64),
                 ]
@@ -38,7 +38,7 @@ fn customers(n: i64) -> Database {
         .unwrap();
     ct.insert(
         (0..50)
-            .map(|i| vec![Value::Int(i), Value::Str(format!("city-{i}"))])
+            .map(|i| vec![Value::Int(i), Value::Str(format!("city-{i}").into())])
             .collect(),
     )
     .unwrap();

@@ -13,12 +13,13 @@
 //! dipbench quality [--periods 1]          # data-quality profile per layer
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
+//! dipbench bench [--iterations N | --quick] [--check BENCH_4.json [--threshold 0.2]]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
 //! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...]
 //! ```
 
-use dip_bench::{run_experiment, shape_findings, EngineKind};
-use dip_trace::{DiffOptions, ProcessStats, RunRecord, SCHEMA_VERSION};
+use dip_bench::{build_system, run_experiment, shape_findings, EngineKind};
+use dip_trace::{DiffOptions, Json, ProcessStats, RunRecord, SCHEMA_VERSION};
 use dipbench::prelude::*;
 use dipbench::report;
 
@@ -44,6 +45,7 @@ fn main() {
         "sweep" => sweep(&args),
         "quality" => quality(&args),
         "record" => record(&args),
+        "bench" => bench(&args),
         "diff" => diff_records(&args),
         "faults" => faults(&args),
         "explain" => {
@@ -64,7 +66,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|diff|faults|explain> [options]\n\
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|diff|faults|explain> [options]\n\
                  \n\
                  commands:\n\
                    table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
@@ -73,6 +75,7 @@ fn main() {
                    sweep d|t|f                      scale-factor sweeps\n\
                    quality                          data-quality profile per pipeline layer\n\
                    record                           run and write a versioned run record JSON\n\
+                   bench                            wall-clock gate: N runs over one cached environment, writes BENCH_4.json\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
                    explain [P01..P15]               narrate process definitions\n\
@@ -388,9 +391,13 @@ fn record(args: &[String]) {
         scale.distribution.label(),
         periods
     );
+    let _ = dip_relstore::alloc::drain(); // totals should cover this run only
     dip_trace::enable();
     let result = run_experiment(kind, config);
     let spans = dip_trace::drain();
+    for (name, n) in dip_relstore::alloc::drain() {
+        dip_trace::count(name, n);
+    }
     let counters = dip_trace::drain_counters();
     dip_trace::disable();
     let created_unix = std::time::SystemTime::now()
@@ -457,6 +464,235 @@ fn record(args: &[String]) {
     if !result.verification.passed() {
         eprintln!("warning: verification FAILED for the recorded run");
         std::process::exit(1);
+    }
+}
+
+/// Wall times [ms] of `dipbench record --d 0.05 --t 1.0 --f uniform
+/// --engine fed --periods 3` on the pre-optimization `main` (commit
+/// 4f0b975), measured on the development container. The bench gate
+/// reports the current numbers against these.
+const PRE_PR_WALL_MS: [f64; 3] = [251.3, 226.5, 194.9];
+
+/// `dipbench bench`: the wall-clock benchmark gate.
+///
+/// Builds ONE environment, then executes the full work phase
+/// `--iterations` times over it. The first iteration generates every
+/// period's source snapshot (cache misses); all later iterations replay
+/// the cached snapshots, so the warm iterations measure the steady-state
+/// row path without data-generation noise. Writes `BENCH_4.json` with
+/// per-iteration wall times, throughput, per-group NAVG+ and the
+/// allocation counters, next to the embedded pre-optimization baseline.
+///
+/// `--check <committed.json>` turns the run into a regression gate: it
+/// fails (exit 1) when the current warm mean exceeds the committed
+/// record's warm mean by more than `--threshold` (default 20%).
+fn bench(args: &[String]) {
+    let scale = scale_from_flags(args);
+    let periods = flag_u32(args, "--periods").unwrap_or(3);
+    let kind = engine(args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let iterations = flag_u32(args, "--iterations")
+        .unwrap_or(if quick { 3 } else { 8 })
+        .max(2) as usize;
+    let config = BenchConfig::new(scale).with_periods(periods);
+    eprintln!(
+        "benchmarking {} (d={}, t={}, f={}, {} periods, {} iterations)…",
+        kind.label(),
+        scale.datasize,
+        scale.time,
+        scale.distribution.label(),
+        periods,
+        iterations
+    );
+
+    let _ = dip_relstore::alloc::drain();
+    dip_trace::enable();
+    let env = BenchEnvironment::new(config).expect("environment construction");
+    let mut walls_ms: Vec<f64> = Vec::with_capacity(iterations);
+    let mut last = None;
+    for i in 0..iterations {
+        let system = build_system(kind, &env);
+        let client = Client::new(&env, system).expect("deployment");
+        let outcome = client.run().expect("work phase");
+        let wall = outcome.wall_time.as_secs_f64() * 1000.0;
+        eprintln!("  iteration {}: {wall:.1} ms", i + 1);
+        walls_ms.push(wall);
+        last = Some(outcome);
+    }
+    let _ = dip_trace::drain(); // spans are not part of the bench record
+    for (name, n) in dip_relstore::alloc::drain() {
+        dip_trace::count(name, n);
+    }
+    let counters = dip_trace::drain_counters();
+    dip_trace::disable();
+    let outcome = last.expect("at least one iteration");
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let median = |xs: &[f64]| {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.total_cmp(b));
+        if s.len() % 2 == 1 {
+            s[s.len() / 2]
+        } else {
+            (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+        }
+    };
+    // iteration 1 pays snapshot generation; the warm tail is the gate
+    let warm = &walls_ms[1..];
+    let warm_mean = mean(warm);
+    let base_mean = mean(&PRE_PR_WALL_MS);
+    let base_min = min(&PRE_PR_WALL_MS);
+    let improvement_mean = (base_mean - warm_mean) / base_mean;
+    let improvement_min = (base_min - min(&walls_ms)) / base_min;
+
+    let rows_inserted = counters
+        .iter()
+        .find(|(k, _)| k == "relstore.alloc.rows_inserted")
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    let total_secs = walls_ms.iter().sum::<f64>() / 1000.0;
+    let rows_per_sec = rows_inserted as f64 / total_secs.max(1e-9);
+
+    const E1: [&str; 5] = ["P01", "P02", "P04", "P08", "P10"];
+    let group_avg = |want_e1: bool| {
+        let vals: Vec<f64> = outcome
+            .metrics
+            .iter()
+            .filter(|m| E1.contains(&m.process.as_str()) == want_e1)
+            .map(|m| m.navg_plus_tu)
+            .collect();
+        mean(&vals)
+    };
+
+    let record = Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("kind", Json::str("bench")),
+        ("commit", Json::str(current_commit())),
+        ("engine", Json::str(engine_tag(kind))),
+        ("datasize", Json::num(scale.datasize)),
+        ("time", Json::num(scale.time)),
+        ("distribution", Json::str(scale.distribution.label())),
+        ("periods", Json::num(periods as f64)),
+        ("iterations", Json::num(iterations as f64)),
+        (
+            "wall_ms",
+            Json::Arr(walls_ms.iter().map(|&w| Json::num(w)).collect()),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("min", Json::num(min(&walls_ms))),
+                ("mean", Json::num(mean(&walls_ms))),
+                ("median", Json::num(median(&walls_ms))),
+                ("first", Json::num(walls_ms[0])),
+                ("warm_mean", Json::num(warm_mean)),
+                ("warm_median", Json::num(median(warm))),
+            ]),
+        ),
+        (
+            "baseline_pre_pr",
+            Json::obj(vec![
+                (
+                    "wall_ms",
+                    Json::Arr(PRE_PR_WALL_MS.iter().map(|&w| Json::num(w)).collect()),
+                ),
+                ("mean", Json::num(base_mean)),
+                ("min", Json::num(base_min)),
+                (
+                    "source",
+                    Json::str(
+                        "dipbench record --d 0.05 --t 1.0 --f uniform --engine fed --periods 3 \
+                         on pre-optimization main (4f0b975)",
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "improvement",
+            Json::obj(vec![
+                ("warm_mean_vs_baseline_mean", Json::num(improvement_mean)),
+                ("min_vs_baseline_min", Json::num(improvement_min)),
+            ]),
+        ),
+        ("rows_inserted", Json::num(rows_inserted as f64)),
+        ("rows_per_sec", Json::num(rows_per_sec)),
+        (
+            "navg_plus_tu",
+            Json::obj(vec![
+                ("e1_messages", Json::num(group_avg(true))),
+                ("e2_data_intensive", Json::num(group_avg(false))),
+                (
+                    "processes",
+                    Json::Obj(
+                        outcome
+                            .metrics
+                            .iter()
+                            .map(|m| (m.process.clone(), Json::num(m.navg_plus_tu)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "counters",
+            Json::Obj(
+                counters
+                    .iter()
+                    .map(|(k, n)| (k.clone(), Json::num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let check_path = flag_str(args, "--check");
+    // in gate mode, do not clobber the committed record we compare against
+    let write_out = check_path.as_deref() != Some(out.as_str());
+    if write_out {
+        std::fs::write(&out, record.render_pretty())
+            .unwrap_or_else(|e| fail_usage(&format!("cannot write {out}: {e}")));
+        eprintln!("wrote {out}");
+    }
+    println!(
+        "wall [ms]: min {:.1}  mean {:.1}  warm mean {:.1}  (pre-PR baseline mean {:.1}, min {:.1})",
+        min(&walls_ms),
+        mean(&walls_ms),
+        warm_mean,
+        base_mean,
+        base_min
+    );
+    println!(
+        "improvement: {:.1}% warm-mean vs baseline-mean, {:.1}% min vs baseline-min",
+        improvement_mean * 100.0,
+        improvement_min * 100.0
+    );
+    println!("throughput: {rows_per_sec:.0} rows/s inserted ({rows_inserted} rows total)");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail_usage(&format!("cannot read committed record {path}: {e}")));
+        let committed = Json::parse(&text)
+            .unwrap_or_else(|e| fail_usage(&format!("cannot parse committed record {path}: {e}")));
+        let committed_warm = committed
+            .get("stats")
+            .and_then(|s| s.get("warm_mean"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail_usage(&format!("{path} has no stats.warm_mean")));
+        let threshold = flag_f64(args, "--threshold").unwrap_or(0.20);
+        let limit = committed_warm * (1.0 + threshold);
+        if warm_mean > limit {
+            eprintln!(
+                "REGRESSION: warm mean {warm_mean:.1} ms exceeds committed {committed_warm:.1} ms \
+                 by more than {:.0}% (limit {limit:.1} ms)",
+                threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: warm mean {warm_mean:.1} ms within {:.0}% of committed {committed_warm:.1} ms",
+            threshold * 100.0
+        );
     }
 }
 

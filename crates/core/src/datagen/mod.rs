@@ -250,16 +250,31 @@ impl Generator {
 
     /// Initialize every source system for period `k` (the per-period
     /// "initialize source systems" box of the execution schedule).
+    ///
+    /// Equivalent to `self.source_snapshot(k).replay(world)`; callers that
+    /// initialize the same period repeatedly should cache the snapshot
+    /// (see `BenchEnvironment::initialize_sources`).
     pub fn init_all_sources(&self, world: &ExternalWorld, k: u32) -> StoreResult<()> {
-        self.init_europe(world, k)?;
-        self.init_america(world, k)?;
-        self.init_asia(world, k)?;
-        Ok(())
+        self.source_snapshot(k).replay(world)
     }
 
-    fn init_europe(&self, world: &ExternalWorld, k: u32) -> StoreResult<()> {
-        let bp = world.database(crate::schema::europe::BERLIN_PARIS)?;
-        let tr = world.database(crate::schema::europe::TRONDHEIM)?;
+    /// Generate the complete source-system state for period `k` without
+    /// touching any database: every `(database, table)` batch the
+    /// initializer would insert, in insertion order. The snapshot is
+    /// immutable and deterministic for `(seed, scale, k)`, so it can be
+    /// generated once and replayed into freshly wiped sources any number
+    /// of times.
+    pub fn source_snapshot(&self, k: u32) -> SourceSnapshot {
+        let mut snap = SourceSnapshot::default();
+        self.snapshot_europe(k, &mut snap);
+        self.snapshot_america(k, &mut snap);
+        self.snapshot_asia(k, &mut snap);
+        snap
+    }
+
+    fn snapshot_europe(&self, k: u32, snap: &mut SourceSnapshot) {
+        let bp = crate::schema::europe::BERLIN_PARIS;
+        let tr = crate::schema::europe::TRONDHEIM;
         let mut rng = self.rng(k, "europe");
         // shared European product catalog, in both databases
         let parts: Vec<PartData> = (0..self.cards.products)
@@ -277,18 +292,17 @@ impl Generator {
                 ]
             })
             .collect();
-        bp.table("prod")?
-            .insert_ignore_duplicates(prod_rows.clone())?;
-        tr.table("prod")?.insert_ignore_duplicates(prod_rows)?;
+        snap.push(bp, "prod", prod_rows.clone());
+        snap.push(tr, "prod", prod_rows);
 
         for (loc, cust_base, ord_base, db, with_loc) in [
-            ("berlin", keys::CUST_BERLIN, keys::ORD_BERLIN, &bp, true),
-            ("paris", keys::CUST_PARIS, keys::ORD_PARIS, &bp, true),
+            ("berlin", keys::CUST_BERLIN, keys::ORD_BERLIN, bp, true),
+            ("paris", keys::CUST_PARIS, keys::ORD_PARIS, bp, true),
             (
                 "trondheim",
                 keys::CUST_TRONDHEIM,
                 keys::ORD_TRONDHEIM,
-                &tr,
+                tr,
                 false,
             ),
         ] {
@@ -310,7 +324,7 @@ impl Generator {
                 }
                 cust_rows.push(row);
             }
-            db.table("cust")?.insert_ignore_duplicates(cust_rows)?;
+            snap.push(db, "cust", cust_rows);
 
             let mut ord_rows = Vec::with_capacity(self.cards.orders);
             let mut pos_rows = Vec::new();
@@ -352,13 +366,12 @@ impl Generator {
                     pos_rows.push(row);
                 }
             }
-            db.table("ord")?.insert_ignore_duplicates(ord_rows)?;
-            db.table("pos")?.insert_ignore_duplicates(pos_rows)?;
+            snap.push(db, "ord", ord_rows);
+            snap.push(db, "pos", pos_rows);
         }
-        Ok(())
     }
 
-    fn init_america(&self, world: &ExternalWorld, k: u32) -> StoreResult<()> {
+    fn snapshot_america(&self, k: u32, snap: &mut SourceSnapshot) {
         let mut rng = self.rng(k, "america");
         // shared master data, overlapping subsets per source
         let customers: Vec<CustomerData> = (0..self.cards.customers)
@@ -378,7 +391,6 @@ impl Generator {
             (crate::schema::america::BALTIMORE, keys::ORD_BALTIMORE),
             (crate::schema::america::MADISON, keys::ORD_MADISON),
         ] {
-            let db = world.database(source)?;
             let mut member_custs: Vec<&CustomerData> = Vec::new();
             let mut cust_rows = Vec::new();
             for c in &customers {
@@ -399,7 +411,7 @@ impl Generator {
             if member_custs.is_empty() {
                 member_custs.push(&customers[0]);
             }
-            db.table("customer")?.insert_ignore_duplicates(cust_rows)?;
+            snap.push(source, "customer", cust_rows);
             let mut part_rows = Vec::new();
             for p in &parts {
                 if dist::chance(&mut rng, AMERICA_OVERLAP) {
@@ -412,7 +424,7 @@ impl Generator {
                     ]);
                 }
             }
-            db.table("part")?.insert_ignore_duplicates(part_rows)?;
+            snap.push(source, "part", part_rows);
 
             let mut ord_rows = Vec::new();
             let mut line_rows = Vec::new();
@@ -446,13 +458,12 @@ impl Generator {
                     ]);
                 }
             }
-            db.table("orders")?.insert_ignore_duplicates(ord_rows)?;
-            db.table("lineitem")?.insert_ignore_duplicates(line_rows)?;
+            snap.push(source, "orders", ord_rows);
+            snap.push(source, "lineitem", line_rows);
         }
-        Ok(())
     }
 
-    fn init_asia(&self, world: &ExternalWorld, k: u32) -> StoreResult<()> {
+    fn snapshot_asia(&self, k: u32, snap: &mut SourceSnapshot) {
         let mut rng = self.rng(k, "asia");
         // shared Beijing/Seoul master data (P01 keeps these in sync)
         let customers: Vec<CustomerData> = (0..self.cards.customers)
@@ -471,7 +482,7 @@ impl Generator {
             (crate::schema::asia::BEIJING, keys::ORD_BEIJING),
             (crate::schema::asia::SEOUL, keys::ORD_SEOUL),
         ] {
-            let db = world.database(&format!("{service}_db"))?;
+            let db = format!("{service}_db");
             let cust_rows: Vec<Row> = customers
                 .iter()
                 .map(|c| {
@@ -485,7 +496,7 @@ impl Generator {
                     ]
                 })
                 .collect();
-            db.table("customers")?.insert_ignore_duplicates(cust_rows)?;
+            snap.push(&db, "customers", cust_rows);
             let part_rows: Vec<Row> = parts
                 .iter()
                 .map(|p| {
@@ -498,7 +509,7 @@ impl Generator {
                     ]
                 })
                 .collect();
-            db.table("parts")?.insert_ignore_duplicates(part_rows)?;
+            snap.push(&db, "parts", part_rows);
 
             let mut ord_rows = Vec::new();
             let mut line_rows = Vec::new();
@@ -532,11 +543,9 @@ impl Generator {
                     ]);
                 }
             }
-            db.table("orders")?.insert_ignore_duplicates(ord_rows)?;
-            db.table("orderlines")?
-                .insert_ignore_duplicates(line_rows)?;
+            snap.push(&db, "orders", ord_rows);
+            snap.push(&db, "orderlines", line_rows);
         }
-        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -661,6 +670,50 @@ impl Generator {
         (0..count)
             .filter(|&m| self.san_diego_message(k, m).1)
             .count()
+    }
+}
+
+/// One period's complete source-system state: every `(database, table)`
+/// row batch the initializer inserts, in insertion order.
+///
+/// Generating a snapshot runs the full data generator (RNG streams,
+/// string formatting, dirty-data injection); replaying one only clones
+/// the rows — with shared-string values a clone is a refcount bump per
+/// string — and bulk-inserts them. `BenchEnvironment` caches snapshots
+/// per period so repeated runs over the same environment skip generation
+/// entirely.
+#[derive(Debug, Default, Clone)]
+pub struct SourceSnapshot {
+    tables: Vec<(String, String, Vec<Row>)>,
+}
+
+impl SourceSnapshot {
+    fn push(&mut self, db: &str, table: &str, rows: Vec<Row>) {
+        self.tables.push((db.to_string(), table.to_string(), rows));
+    }
+
+    /// Total generated rows across all batches.
+    pub fn row_count(&self) -> usize {
+        self.tables.iter().map(|(_, _, rows)| rows.len()).sum()
+    }
+
+    /// Number of `(database, table)` batches.
+    pub fn batch_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Insert every batch into its source table. The sources are expected
+    /// to be freshly wiped (the per-period *uninitialize* step); batches
+    /// use the same merge-flavoured insert as direct initialization, so
+    /// replaying is byte-equivalent to regenerating.
+    pub fn replay(&self, world: &ExternalWorld) -> StoreResult<()> {
+        for (db, table, rows) in &self.tables {
+            world
+                .database(db)?
+                .table(table)?
+                .insert_ignore_duplicates(rows.clone())?;
+        }
+        Ok(())
     }
 }
 

@@ -432,7 +432,7 @@ pub fn p10() -> ProcessDef {
                                 Value::Int(h.abs()),
                                 Value::str("P10"),
                                 Value::str(reason),
-                                Value::Str(payload),
+                                Value::str(payload),
                             ];
                             vars.set(
                                 "failed_row",

@@ -182,7 +182,7 @@ pub fn lit_as(v: Value, name: &str, ty: SqlType) -> ProjExpr {
 pub fn vocab_as(map: &'static [(&'static str, &'static str)], idx: usize, name: &str) -> ProjExpr {
     let f = Arc::new(move |args: &[Value]| -> StoreResult<Value> {
         Ok(match &args[0] {
-            Value::Str(s) => Value::Str(crate::schema::vocab::map_vocab(map, s)),
+            Value::Str(s) => Value::str(crate::schema::vocab::map_vocab(map, s)),
             other => other.clone(),
         })
     });

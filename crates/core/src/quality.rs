@@ -125,7 +125,7 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
     let mut staging_consistent = 0usize;
     cdb.table("customer_staging")?.for_each(|r| {
         let name_ok = matches!(&r[1], Value::Str(s) if !s.trim().is_empty());
-        let city_ok = matches!(&r[3], Value::Str(s) if city_names.contains(s));
+        let city_ok = matches!(&r[3], Value::Str(s) if city_names.contains(s.as_ref() as &str));
         let bal_ok = r[7].to_float().is_none_or(|b| b > -9_000.0);
         if name_ok && city_ok && bal_ok {
             staging_consistent += 1;
@@ -142,7 +142,7 @@ pub fn measure(env: &BenchEnvironment) -> StoreResult<QualityReport> {
         .collect();
     cdb.table("product_staging")?.for_each(|r| {
         let name_ok = matches!(&r[1], Value::Str(s) if !s.trim().is_empty());
-        let group_ok = matches!(&r[2], Value::Str(s) if group_names.contains(s));
+        let group_ok = matches!(&r[2], Value::Str(s) if group_names.contains(s.as_ref() as &str));
         if name_ok && group_ok {
             prod_consistent += 1;
         }

@@ -154,7 +154,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
         let bal_ok = r[7].to_float().is_none_or(|b| b > -9_000.0);
         let citykey = match &r[3] {
             Value::Str(cn) => city
-                .scan_where(&Expr::col(1).eq(Expr::lit(cn.as_str())), Some(&[0]))?
+                .scan_where(&Expr::col(1).eq(Expr::lit(&**cn)), Some(&[0]))?
                 .rows
                 .first()
                 .map(|row| row[0].clone()),
@@ -186,7 +186,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
         let price_ok = r[4].to_float().is_none_or(|p| p >= 0.0);
         let groupkey = match &r[2] {
             Value::Str(g) => groups
-                .scan_where(&Expr::col(1).eq(Expr::lit(g.as_str())), Some(&[0]))?
+                .scan_where(&Expr::col(1).eq(Expr::lit(&**g)), Some(&[0]))?
                 .rows
                 .first()
                 .map(|row| row[0].clone()),

@@ -335,7 +335,7 @@ fn opt_float(e: &Element, name: &str) -> Value {
 }
 
 fn opt_str(e: &Element, name: &str) -> Value {
-    e.child_text(name).map(Value::Str).unwrap_or(Value::Null)
+    e.child_text(name).map(Value::str).unwrap_or(Value::Null)
 }
 
 fn opt_date(e: &Element, name: &str) -> Value {

@@ -58,7 +58,7 @@ fn p01_replicates_master_data_to_seoul() {
         .unwrap()
         .get_by_pk(&[Value::Int(ck)])
         .unwrap();
-    assert_eq!(row[1], Value::Str(name));
+    assert_eq!(row[1], Value::str(name));
 }
 
 #[test]

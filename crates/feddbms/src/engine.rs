@@ -445,7 +445,7 @@ impl FedDbms {
                 let t = Instant::now();
                 let result = self
                     .local
-                    .insert_into(table, vec![vec![Value::Int(tid as i64), Value::Str(clob)]]);
+                    .insert_into(table, vec![vec![Value::Int(tid as i64), Value::str(clob)]]);
                 // queue-table maintenance is management work
                 costs.add(CostCategory::Management, t.elapsed());
                 CURRENT_COSTS.with(|c| {

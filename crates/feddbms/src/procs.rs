@@ -339,7 +339,7 @@ fn p10_body() -> E1Body {
                     Value::Int(h.abs()),
                     Value::str("P10"),
                     Value::str(reason),
-                    Value::Str(payload),
+                    Value::str(payload),
                 ])
             })?;
             ctx.remote_load(

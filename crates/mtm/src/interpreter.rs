@@ -478,7 +478,7 @@ impl<'a> Interpreter<'a> {
                 // prefer numeric interpretation, fall back to string
                 Ok(match text.trim().parse::<i64>() {
                     Ok(i) => Value::Int(i),
-                    Err(_) => Value::Str(text),
+                    Err(_) => Value::str(text),
                 })
             }
             MtmMessage::Rel(_) => Err(MtmError::Custom(

@@ -321,7 +321,7 @@ impl Expr {
                         out.push_str(&v.render());
                     }
                 }
-                Ok(Value::Str(out))
+                Ok(Value::str(out))
             }
             Expr::Func(f, e) => {
                 let v = e.eval_on(row)?;
@@ -454,9 +454,9 @@ fn eval_func(f: ScalarFunc, v: Value) -> StoreResult<Value> {
                 _ => Value::Int(dd as i64),
             }
         }
-        Upper => Value::Str(v.render().to_uppercase()),
-        Lower => Value::Str(v.render().to_lowercase()),
-        Length => Value::Int(v.render().len() as i64),
+        Upper => Value::str(v.render().to_uppercase()),
+        Lower => Value::str(v.render().to_lowercase()),
+        Length => Value::Int(v.rendered_len() as i64),
         Abs => match v {
             Value::Int(i) => Value::Int(i.abs()),
             Value::Float(f) => Value::Float(f.abs()),
@@ -474,7 +474,10 @@ fn eval_func(f: ScalarFunc, v: Value) -> StoreResult<Value> {
             .to_float()
             .map(Value::Float)
             .ok_or_else(|| StoreError::Eval("cannot cast to FLOAT".into()))?,
-        CastStr => Value::Str(v.render()),
+        CastStr => match v {
+            s @ Value::Str(_) => s,
+            other => Value::str(other.render()),
+        },
     })
 }
 

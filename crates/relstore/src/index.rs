@@ -78,12 +78,24 @@ impl Index {
         if key_has_null(&key) {
             return false;
         }
-        !self.lookup(&key).is_empty()
+        self.contains_key(&key)
+    }
+
+    /// Whether any row is indexed under exactly `key` — a uniqueness probe
+    /// that allocates nothing.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        !self.lookup_ref(key).is_empty()
     }
 
     /// Register a row at `slot`.
     pub fn insert(&mut self, row: &[Value], slot: usize) {
-        let key = key_of(row, &self.columns);
+        self.insert_key(key_of(row, &self.columns), slot);
+    }
+
+    /// Register a precomputed key tuple at `slot` — lets bulk loaders that
+    /// already extracted the key for a uniqueness probe reuse it instead of
+    /// cloning the column values a second time.
+    pub fn insert_key(&mut self, key: KeyTuple, slot: usize) {
         if key_has_null(&key) {
             return;
         }
@@ -118,12 +130,20 @@ impl Index {
         }
     }
 
-    /// Slots matching an exact key tuple.
+    /// Slots matching an exact key tuple (owned copy; prefer
+    /// [`Index::lookup_ref`] on hot paths).
     pub fn lookup(&self, key: &[Value]) -> Vec<usize> {
-        match &self.store {
-            Store::Hash(m) => m.get(key).cloned().unwrap_or_default(),
-            Store::BTree(m) => m.get(key).cloned().unwrap_or_default(),
-        }
+        self.lookup_ref(key).to_vec()
+    }
+
+    /// Slots matching an exact key tuple, borrowed from the postings list —
+    /// the per-probe path of an index nested-loop join, so no clone.
+    pub fn lookup_ref(&self, key: &[Value]) -> &[usize] {
+        let slots = match &self.store {
+            Store::Hash(m) => m.get(key),
+            Store::BTree(m) => m.get(key),
+        };
+        slots.map_or(&[], |v| v.as_slice())
     }
 
     /// Slots with key in `[lo, hi]` (inclusive); only supported for B-tree

@@ -106,6 +106,10 @@ pub enum RowView<'a> {
     Slice(&'a [Value]),
     /// A join emission: left half ++ right half.
     Pair(&'a [Value], &'a [Value]),
+    /// A deeper join emission: the concatenation of all parts, in order.
+    /// Lets an N-way join chain thread a row through every level without
+    /// materializing the accumulated prefix at each step.
+    Parts(&'a [&'a [Value]]),
     /// A freshly computed row (projection, aggregate output, …).
     Owned(Row),
 }
@@ -116,6 +120,13 @@ impl RowView<'_> {
         match self {
             RowView::Slice(s) => s.to_vec(),
             RowView::Pair(a, b) => a.iter().chain(b.iter()).cloned().collect(),
+            RowView::Parts(parts) => {
+                let mut row = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+                for p in parts {
+                    row.extend_from_slice(p);
+                }
+                row
+            }
             RowView::Owned(r) => r,
         }
     }
@@ -132,9 +143,80 @@ impl RowAccess for RowView<'_> {
                     b.get(i - a.len())
                 }
             }
+            RowView::Parts(parts) => {
+                let mut i = i;
+                for p in *parts {
+                    if i < p.len() {
+                        return p.get(i);
+                    }
+                    i -= p.len();
+                }
+                None
+            }
             RowView::Owned(r) => r.get(i),
         }
     }
+}
+
+/// Upper bound on the slices a join chain threads through [`RowView::Parts`]
+/// before falling back to materialization (a 15-way join chain).
+const MAX_JOIN_PARTS: usize = 16;
+
+/// Decompose a probe-row view into contiguous slices in `buf`, returning
+/// how many were written; `None` means the view has too many parts and the
+/// caller must materialize instead.
+fn view_parts<'a>(view: &'a RowView<'a>, buf: &mut [&'a [Value]; MAX_JOIN_PARTS]) -> Option<usize> {
+    match view {
+        RowView::Slice(s) => {
+            buf[0] = s;
+            Some(1)
+        }
+        RowView::Owned(r) => {
+            buf[0] = r.as_slice();
+            Some(1)
+        }
+        RowView::Pair(a, b) => {
+            buf[0] = a;
+            buf[1] = b;
+            Some(2)
+        }
+        RowView::Parts(p) => {
+            // leave one slot for the join side the caller appends
+            if p.len() >= MAX_JOIN_PARTS {
+                return None;
+            }
+            buf[..p.len()].copy_from_slice(p);
+            Some(p.len())
+        }
+    }
+}
+
+/// Clone a view into an owned row without consuming it (the rare fallback
+/// when a join chain outgrows [`MAX_JOIN_PARTS`]).
+fn clone_row(view: &RowView<'_>) -> Row {
+    match view {
+        RowView::Slice(s) => s.to_vec(),
+        RowView::Pair(a, b) => a.iter().chain(b.iter()).cloned().collect(),
+        RowView::Parts(parts) => {
+            let mut row = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+            for p in *parts {
+                row.extend_from_slice(p);
+            }
+            row
+        }
+        RowView::Owned(r) => r.clone(),
+    }
+}
+
+/// The value at logical column `i` of a row split across `parts`.
+fn part_value<'a>(parts: &[&'a [Value]], mut i: usize) -> &'a Value {
+    for p in parts {
+        if i < p.len() {
+            return &p[i];
+        }
+        i -= p.len();
+    }
+    panic!("join key column {i} past end of probe row");
 }
 
 /// The consumer side of a streaming operator: return `false` to stop the
@@ -235,32 +317,45 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
             }
             let pad: Row = vec![Value::Null; build.schema.len()];
             let left_pad = *kind == JoinKind::Left && probe_is_left;
+            // one key buffer reused across all probe rows
+            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
             stream(probe_plan, db, &mut |pr| {
                 let scratch: Row;
-                let ps: &[Value] = match &pr {
-                    RowView::Slice(s) => s,
-                    RowView::Owned(r) => r.as_slice(),
-                    RowView::Pair(..) => {
-                        scratch = pr.into_row();
-                        scratch.as_slice()
+                let mut parts: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
+                let n = match view_parts(&pr, &mut parts) {
+                    Some(n) => n,
+                    None => {
+                        scratch = clone_row(&pr);
+                        parts[0] = scratch.as_slice();
+                        1
                     }
                 };
-                let key = key_of(ps, probe_keys);
+                key.clear();
+                key.extend(
+                    probe_keys
+                        .iter()
+                        .map(|&c| part_value(&parts[..n], c).clone()),
+                );
+                // the build side fills the hole; the probe prefix is set once
+                // and stays valid across every match of this probe row
+                let mut out: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
+                let hole = if probe_is_left {
+                    out[..n].copy_from_slice(&parts[..n]);
+                    n
+                } else {
+                    out[1..=n].copy_from_slice(&parts[..n]);
+                    0
+                };
                 let matches = if key.iter().any(|v| v.is_null()) {
                     None
                 } else {
-                    table.get(&key)
+                    table.get(key.as_slice())
                 };
                 match matches {
                     Some(slots) => {
                         for &s in slots {
-                            let br = build.rows[s].as_slice();
-                            let view = if probe_is_left {
-                                RowView::Pair(ps, br)
-                            } else {
-                                RowView::Pair(br, ps)
-                            };
-                            if !sink(view)? {
+                            out[hole] = build.rows[s].as_slice();
+                            if !sink(RowView::Parts(&out[..n + 1]))? {
                                 return Ok(false);
                             }
                         }
@@ -268,7 +363,8 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                     }
                     None => {
                         if left_pad {
-                            sink(RowView::Pair(ps, &pad))
+                            out[hole] = pad.as_slice();
+                            sink(RowView::Parts(&out[..n + 1]))
                         } else {
                             Ok(true)
                         }
@@ -299,21 +395,40 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
             let pad: Row = vec![Value::Null; inner_width];
             // the planner only selects LEFT index joins with probe = left
             let left_pad = *kind == JoinKind::Left && *probe_is_left;
+            // one key buffer reused across all probe rows
+            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
             stream(probe, db, &mut |pr| {
                 let scratch: Row;
-                let ps: &[Value] = match &pr {
-                    RowView::Slice(s) => s,
-                    RowView::Owned(r) => r.as_slice(),
-                    RowView::Pair(..) => {
-                        scratch = pr.into_row();
-                        scratch.as_slice()
+                let mut parts: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
+                let n = match view_parts(&pr, &mut parts) {
+                    Some(n) => n,
+                    None => {
+                        scratch = clone_row(&pr);
+                        parts[0] = scratch.as_slice();
+                        1
                     }
                 };
-                let key = key_of(ps, probe_keys);
+                key.clear();
+                key.extend(
+                    probe_keys
+                        .iter()
+                        .map(|&c| part_value(&parts[..n], c).clone()),
+                );
+                // the inner side fills the hole; the probe prefix is set once
+                // and stays valid across every match of this probe row
+                let mut out: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
+                let hole = if *probe_is_left {
+                    out[..n].copy_from_slice(&parts[..n]);
+                    n
+                } else {
+                    out[1..=n].copy_from_slice(&parts[..n]);
+                    0
+                };
                 if key.iter().any(|v| v.is_null()) {
                     // NULL keys never join; LEFT probes still emit padded
                     return if left_pad {
-                        sink(RowView::Pair(ps, &pad))
+                        out[hole] = pad.as_slice();
+                        sink(RowView::Parts(&out[..n + 1]))
                     } else {
                         Ok(true)
                     };
@@ -337,12 +452,11 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                         }
                         None => ir,
                     };
-                    let view = if *probe_is_left {
-                        RowView::Pair(ps, is)
-                    } else {
-                        RowView::Pair(is, ps)
-                    };
-                    if !sink(view)? {
+                    // per-emission copy of the prefix: `is` only lives for
+                    // this match, so it can't go into the shared `out`
+                    let mut emit: [&[Value]; MAX_JOIN_PARTS] = out;
+                    emit[hole] = is;
+                    if !sink(RowView::Parts(&emit[..n + 1]))? {
                         stopped = true;
                         return Ok(false);
                     }
@@ -352,7 +466,8 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                     return Ok(false);
                 }
                 if !matched && left_pad {
-                    return sink(RowView::Pair(ps, &pad));
+                    out[hole] = pad.as_slice();
+                    return sink(RowView::Parts(&out[..n + 1]));
                 }
                 Ok(true)
             })

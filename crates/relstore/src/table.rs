@@ -138,7 +138,10 @@ impl Table {
             self.schema.check_row(r)?;
         }
         let mut inner = self.inner.write();
-        // Uniqueness pre-check, including duplicates inside the batch itself.
+        // Uniqueness pre-check, including duplicates inside the batch
+        // itself. Each key tuple is computed once: the existing index and
+        // the in-batch set are both probed by reference, and the key moves
+        // into the set only after both probes clear.
         if let Some(pk) = &inner.primary {
             let mut batch_keys = std::collections::HashSet::new();
             for r in &rows {
@@ -149,12 +152,13 @@ impl Table {
                         self.name
                     )));
                 }
-                if pk.would_conflict(r) || !batch_keys.insert(key.clone()) {
+                if pk.contains_key(&key) || batch_keys.contains(&key) {
                     return Err(StoreError::DuplicateKey {
                         table: self.name.clone(),
                         key: format!("{key:?}"),
                     });
                 }
+                batch_keys.insert(key);
             }
         }
         for ix in &inner.secondary {
@@ -165,12 +169,13 @@ impl Table {
                     if crate::index::key_has_null(&key) {
                         continue;
                     }
-                    if ix.would_conflict(r) || !batch_keys.insert(key) {
+                    if ix.contains_key(&key) || batch_keys.contains(&key) {
                         return Err(StoreError::DuplicateKey {
                             table: self.name.clone(),
                             key: ix.name.clone(),
                         });
                     }
+                    batch_keys.insert(key);
                 }
             }
         }
@@ -190,6 +195,7 @@ impl Table {
             inner.live += 1;
         }
         inner.generation += 1;
+        crate::alloc::count_rows_inserted(n as u64);
         Ok(n)
     }
 
@@ -200,14 +206,23 @@ impl Table {
         let mut inner = self.inner.write();
         for r in rows {
             self.schema.check_row(&r)?;
-            if let Some(pk) = &inner.primary {
-                if pk.would_conflict(&r) {
+            // Extract the primary key once; the uniqueness probe and the
+            // index registration below share the tuple.
+            let pk_key = inner
+                .primary
+                .as_ref()
+                .map(|pk| key_of(&r, &pk.columns))
+                .filter(|k| !crate::index::key_has_null(k));
+            if let (Some(pk), Some(key)) = (&inner.primary, &pk_key) {
+                if pk.unique && pk.contains_key(key) {
                     continue;
                 }
             }
             let slot = inner.slots.len();
             if let Some(pk) = &mut inner.primary {
-                pk.insert(&r, slot);
+                if let Some(key) = pk_key {
+                    pk.insert_key(key, slot);
+                }
             }
             for ix in &mut inner.secondary {
                 ix.insert(&r, slot);
@@ -222,6 +237,7 @@ impl Table {
         if inserted > 0 {
             inner.generation += 1;
         }
+        crate::alloc::count_rows_inserted(inserted as u64);
         Ok(inserted)
     }
 
@@ -290,6 +306,30 @@ impl Table {
                 }
             }
         }
+        let n = victims.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        if n == inner.live {
+            // Full wipe (e.g. staging flush with a `true` predicate): clear
+            // indexes wholesale instead of removing every key one by one.
+            // All slots are gone afterwards, so no index entry can dangle.
+            let slots = std::mem::take(&mut inner.slots);
+            if inner.capture {
+                for row in slots.into_iter().flatten() {
+                    inner.changes.push(Change::Delete(row));
+                }
+            }
+            if let Some(pk) = &mut inner.primary {
+                pk.clear();
+            }
+            for ix in &mut inner.secondary {
+                ix.clear();
+            }
+            inner.live = 0;
+            inner.generation += 1;
+            return Ok(n);
+        }
         for slot in &victims {
             let old = inner.slots[*slot].take().expect("live slot");
             if let Some(pk) = &mut inner.primary {
@@ -303,10 +343,8 @@ impl Table {
             }
             inner.live -= 1;
         }
-        if !victims.is_empty() {
-            inner.generation += 1;
-        }
-        Ok(victims.len())
+        inner.generation += 1;
+        Ok(n)
     }
 
     /// Update matching rows: each assignment is `(column position, expr
@@ -367,7 +405,8 @@ impl Table {
     /// Materialize the whole table.
     pub fn scan(&self) -> Relation {
         let inner = self.inner.read();
-        let rows = inner.slots.iter().filter_map(|s| s.clone()).collect();
+        let rows: Vec<Row> = inner.slots.iter().filter_map(|s| s.clone()).collect();
+        crate::alloc::count_rows_materialized(rows.len() as u64);
         Relation::new(self.schema.clone(), rows)
     }
 
@@ -471,14 +510,21 @@ impl Table {
             }
             found?
         };
-        Some(TableProbe { inner, which, perm })
+        // identity permutation → probe with the caller's key untouched
+        let perm = (!perm.iter().enumerate().all(|(i, &p)| i == p)).then_some(perm);
+        Some(TableProbe {
+            inner,
+            which,
+            perm,
+            scratch: std::cell::RefCell::new(Vec::new()),
+        })
     }
 
     /// Point lookup by primary key.
     pub fn get_by_pk(&self, key: &[Value]) -> Option<Row> {
         let inner = self.inner.read();
         let pk = inner.primary.as_ref()?;
-        let slot = *pk.lookup(key).first()?;
+        let slot = *pk.lookup_ref(key).first()?;
         inner.slots.get(slot)?.clone()
     }
 
@@ -519,8 +565,13 @@ enum ProbeIndex {
 pub struct TableProbe<'a> {
     inner: parking_lot::RwLockReadGuard<'a, TableInner>,
     which: ProbeIndex,
-    /// Reorders the caller's key tuple into index column order.
-    perm: Vec<usize>,
+    /// Reorders the caller's key tuple into index column order; `None`
+    /// when the orders already agree (the common case), so probes borrow
+    /// the caller's key directly.
+    perm: Option<Vec<usize>>,
+    /// Reused key buffer for permuted probes — one allocation per probe
+    /// session instead of one per probe-side row.
+    scratch: std::cell::RefCell<Vec<Value>>,
 }
 
 impl TableProbe<'_> {
@@ -536,8 +587,17 @@ impl TableProbe<'_> {
             ProbeIndex::Primary => self.inner.primary.as_ref().expect("probe index"),
             ProbeIndex::Secondary(i) => &self.inner.secondary[i],
         };
-        let ordered: Vec<Value> = self.perm.iter().map(|&i| key[i].clone()).collect();
-        for slot in ix.lookup(&ordered) {
+        let mut scratch;
+        let ordered: &[Value] = match &self.perm {
+            None => key,
+            Some(perm) => {
+                scratch = self.scratch.borrow_mut();
+                scratch.clear();
+                scratch.extend(perm.iter().map(|&i| key[i].clone()));
+                scratch.as_slice()
+            }
+        };
+        for &slot in ix.lookup_ref(ordered) {
             if let Some(Some(row)) = self.inner.slots.get(slot) {
                 if !f(row)? {
                     return Ok(false);

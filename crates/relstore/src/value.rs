@@ -10,6 +10,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The SQL-level type of a column or expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,20 +41,37 @@ impl fmt::Display for SqlType {
 /// `Null` belongs to every type. Comparison follows a *total* order so that
 /// values can be sorted and used as B-tree keys: `Null` sorts first, then
 /// booleans, integers/floats (numerically, cross-type), strings and dates.
+///
+/// Strings are shared (`Arc<str>`): cloning a value — and therefore a row,
+/// an index key tuple, a hash-join build entry or a captured change — bumps
+/// a reference count instead of copying the bytes. Equality, ordering and
+/// hashing all go through the underlying `str`, so the representation is
+/// invisible to join and index semantics.
 #[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Arc<str>),
     Date(i32),
 }
 
 impl Value {
-    /// Construct a string value from anything string-like.
-    pub fn str(s: impl Into<String>) -> Value {
+    /// Construct a string value from anything string-like. This is the one
+    /// place string bytes are copied into a shared allocation; every later
+    /// clone of the value is a reference-count bump.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        crate::alloc::count_str_new();
         Value::Str(s.into())
+    }
+
+    /// Borrow the string contents, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// The runtime type of this value, or `None` for `Null`.
@@ -122,8 +140,43 @@ impl Value {
                     format!("{f}")
                 }
             }
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string(),
             Value::Date(d) => render_date(*d),
+        }
+    }
+
+    /// Byte length of [`Value::render`]'s output, computed without
+    /// allocating the string — wire-size accounting runs this once per
+    /// value on every remote load/query, so it must not churn the heap.
+    pub fn rendered_len(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(b) => {
+                if *b {
+                    4
+                } else {
+                    5
+                }
+            }
+            Value::Int(i) => int_digits(*i),
+            Value::Float(f) => {
+                let mut w = LenCounter(0);
+                use std::fmt::Write;
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(w, "{f:.1}");
+                } else {
+                    let _ = write!(w, "{f}");
+                }
+                w.0
+            }
+            Value::Str(s) => s.len(),
+            Value::Date(d) => {
+                let (y, m, d) = civil_from_days(*d);
+                let mut w = LenCounter(0);
+                use std::fmt::Write;
+                let _ = write!(w, "{y:04}-{m:02}-{d:02}");
+                w.0
+            }
         }
     }
 
@@ -204,7 +257,9 @@ impl Hash for Value {
             }
             Value::Str(s) => {
                 3u8.hash(state);
-                s.hash(state);
+                // hash the str contents, not the Arc pointer, so equal
+                // strings hash equally across distinct allocations
+                (**s).hash(state);
             }
             Value::Date(d) => {
                 4u8.hash(state);
@@ -242,16 +297,42 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::str(v)
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
 
 /// Days-since-epoch to `YYYY-MM-DD`, civil calendar.
+/// Byte-counting sink for [`Value::rendered_len`]: formats into nothing.
+struct LenCounter(usize);
+
+impl std::fmt::Write for LenCounter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0 += s.len();
+        Ok(())
+    }
+}
+
+/// Decimal digit count of `i` including a leading `-` sign.
+fn int_digits(i: i64) -> usize {
+    let mut n = i.unsigned_abs();
+    let mut len = if i < 0 { 2usize } else { 1 };
+    while n >= 10 {
+        n /= 10;
+        len += 1;
+    }
+    len
+}
+
 pub fn render_date(days: i32) -> String {
     let (y, m, d) = civil_from_days(days);
     format!("{y:04}-{m:02}-{d:02}")
@@ -356,5 +437,60 @@ mod tests {
         assert_eq!(Value::Float(2.0).render(), "2.0");
         assert_eq!(Value::Int(7).render(), "7");
         assert_eq!(Value::Null.render(), "NULL");
+    }
+
+    #[test]
+    fn rendered_len_matches_render() {
+        let cases = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(7),
+            Value::Int(-7),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(2.0),
+            Value::Float(-0.125),
+            Value::Float(1e300),
+            Value::Float(3.125e15),
+            Value::str(""),
+            Value::str("Straße 12"),
+            Value::Date(0),
+            Value::Date(19000),
+            Value::Date(-140000),
+        ];
+        for v in cases {
+            assert_eq!(v.rendered_len(), v.render().len(), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn string_equality_across_representations() {
+        // the same text arriving as &str, String, or a shared Arc<str>
+        // must compare, order and hash identically
+        let a = Value::str("berlin");
+        let b = Value::str(String::from("berlin"));
+        let c = Value::from(std::sync::Arc::<str>::from("berlin"));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(h(&b), h(&c));
+        assert_eq!(a.total_cmp(&b), Ordering::Equal);
+        assert!(Value::str("a") < Value::str(String::from("b")));
+        assert_eq!(a.as_str(), Some("berlin"));
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[test]
+    fn string_clone_shares_allocation() {
+        let a = Value::str("shared-bytes");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => {
+                assert!(std::sync::Arc::ptr_eq(x, y), "clone must not copy bytes");
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -9,7 +9,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i32>().prop_map(|i| Value::Int(i as i64)),
         (-1.0e6f64..1.0e6).prop_map(Value::Float),
-        "[a-z]{0,8}".prop_map(Value::Str),
+        "[a-z]{0,8}".prop_map(Value::str),
         (-100_000i32..100_000).prop_map(Value::Date),
     ]
 }
@@ -184,7 +184,7 @@ proptest! {
         let t = Table::new("dim", dschema).with_primary_key(&["k"]).unwrap();
         t.insert(
             dim.iter()
-                .map(|(k, w)| vec![Value::Int(*k), Value::str(w)])
+                .map(|(k, w)| vec![Value::Int(*k), Value::str(w.as_str())])
                 .collect(),
         )
         .unwrap();

@@ -12,8 +12,8 @@ use crate::webservice::{ServiceError, ServiceResult, WebService};
 use dip_netsim::fault;
 use dip_relstore::error::TransportFault;
 use dip_relstore::prelude::*;
+use dip_xmlkit::compact_len;
 use dip_xmlkit::node::Document;
-use dip_xmlkit::write_compact;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -127,11 +127,12 @@ impl ExternalWorld {
             .ok_or_else(|| StoreError::Invalid(format!("unknown external database {name}")))
     }
 
-    /// Estimate the wire size of a relation (rendered values + separators).
+    /// Estimate the wire size of a relation (rendered values + separators)
+    /// without rendering anything.
     fn relation_bytes(rel: &Relation) -> usize {
         rel.rows
             .iter()
-            .map(|r| r.iter().map(|v| v.render().len() + 1).sum::<usize>())
+            .map(|r| r.iter().map(|v| v.rendered_len() + 1).sum::<usize>())
             .sum()
     }
 
@@ -235,7 +236,7 @@ impl ExternalWorld {
         let (endpoint, db) = self.db_entry(db_name)?;
         let bytes: usize = rows
             .iter()
-            .map(|r| r.iter().map(|v| v.render().len() + 1).sum::<usize>())
+            .map(|r| r.iter().map(|v| v.rendered_len() + 1).sum::<usize>())
             .sum();
         self.round_trip(
             &endpoint,
@@ -288,12 +289,7 @@ impl ExternalWorld {
             .get(&service.to_lowercase())
             .cloned()
             .ok_or_else(|| ServiceError::UnknownOperation(format!("unknown service {service}")))?;
-        self.round_trip(
-            &endpoint,
-            256,
-            || ws.query(operation),
-            |doc| write_compact(doc).len(),
-        )
+        self.round_trip(&endpoint, 256, || ws.query(operation), compact_len)
     }
 
     /// Send an update document to a web service operation.
@@ -308,7 +304,7 @@ impl ExternalWorld {
             .get(&service.to_lowercase())
             .cloned()
             .ok_or_else(|| ServiceError::UnknownOperation(format!("unknown service {service}")))?;
-        let bytes = write_compact(doc).len();
+        let bytes = compact_len(doc);
         self.round_trip(&endpoint, bytes, || ws.update(operation, doc), |_| 64)
     }
 }

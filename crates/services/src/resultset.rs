@@ -74,7 +74,7 @@ pub fn coerce(text: &str, ty: SqlType) -> Option<Value> {
         SqlType::Int => Value::Int(t.parse().ok()?),
         SqlType::Float => Value::Float(t.parse().ok()?),
         SqlType::Bool => Value::Bool(t.parse().ok()?),
-        SqlType::Str => Value::Str(t.to_string()),
+        SqlType::Str => Value::str(t),
         SqlType::Date => Value::Date(parse_date(t)?),
     })
 }

@@ -11,6 +11,46 @@ pub fn write_compact(doc: &Document) -> String {
     out
 }
 
+/// Byte length of [`write_compact`]'s output, computed without building
+/// the string — wire-size accounting calls this once per web-service
+/// round trip, where serializing a whole document just to measure it
+/// would dominate the call.
+pub fn compact_len(doc: &Document) -> usize {
+    const PROLOG: &str = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    PROLOG.len() + element_len(&doc.root)
+}
+
+fn element_len(e: &Element) -> usize {
+    // "<name" + per-attr " n=\"v\"" + ("/>" | ">" children "</name>")
+    let mut len = 1 + e.name.len();
+    for (n, v) in &e.attrs {
+        len += 1 + n.len() + 2 + escaped_len(v, true) + 1;
+    }
+    if e.children.is_empty() {
+        return len + 2;
+    }
+    len += 1;
+    for c in &e.children {
+        len += match c {
+            XmlNode::Element(child) => element_len(child),
+            XmlNode::Text(t) => escaped_len(t, false),
+        };
+    }
+    len + 2 + e.name.len() + 1
+}
+
+/// Byte length [`escape_into`] would append for `s`.
+fn escaped_len(s: &str, attr: bool) -> usize {
+    s.chars()
+        .map(|ch| match ch {
+            '<' | '>' => 4,
+            '&' => 5,
+            '"' if attr => 6,
+            _ => ch.len_utf8(),
+        })
+        .sum()
+}
+
 /// Serialize with two-space indentation; mixed-content elements are kept
 /// on one line to preserve their text exactly.
 pub fn write_pretty(doc: &Document) -> String {
@@ -113,6 +153,19 @@ mod tests {
         let out = write_compact(&doc);
         let doc2 = parse(&out).unwrap();
         assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn compact_len_matches_serialization() {
+        let docs = [
+            r#"<order id="a &quot;b&quot;"><k>1 &lt; 2</k><empty/></order>"#,
+            "<a><b><c>x&amp;y</c></b><d/></a>",
+            r#"<r enc="&lt;&gt;">Straße &amp; Gärten</r>"#,
+        ];
+        for src in docs {
+            let doc = parse(src).unwrap();
+            assert_eq!(compact_len(&doc), write_compact(&doc).len(), "doc {src}");
+        }
     }
 
     #[test]

@@ -173,6 +173,92 @@ fn rate_zero_plan_is_byte_identical_to_unarmed_run() {
     assert!(verify::verify_outcome(&env_b, &out_b).unwrap().passed());
 }
 
+/// Build the versioned run record for an outcome with its wall-clock
+/// fields pinned — timestamp, commit and every measured time-unit metric
+/// (those are real durations, compared by `dipbench diff` with a
+/// tolerance, never bytewise). What remains is the schedule-determined
+/// payload: which process types ran, how many instances each dispatched,
+/// and how many failed.
+fn pinned_record(out: &RunOutcome, config: BenchConfig) -> dip_trace::RunRecord {
+    dip_trace::RunRecord {
+        schema_version: dip_trace::SCHEMA_VERSION,
+        created_unix: 0,
+        commit: "pinned".to_string(),
+        engine: "fed".to_string(),
+        datasize: config.scale.datasize,
+        time: config.scale.time,
+        distribution: config.scale.distribution.label().to_string(),
+        periods: config.periods as u64,
+        wall_ms: 0.0,
+        processes: out
+            .metrics
+            .iter()
+            .map(|m| dip_trace::ProcessStats {
+                process: m.process.clone(),
+                instances: m.instances as u64,
+                failures: m.failures as u64,
+                navg_tu: 0.0,
+                stddev_tu: 0.0,
+                navg_plus_tu: 0.0,
+                comm_tu: 0.0,
+                mgmt_tu: 0.0,
+                proc_tu: 0.0,
+            })
+            .collect(),
+        rollups: Vec::new(),
+        counters: Vec::new(),
+    }
+}
+
+/// Same seed ⇒ same record: two independent runs of the default
+/// configuration render byte-identical run records once the wall-clock
+/// fields are pinned — the property `dipbench record` regressions are
+/// diffed against.
+#[test]
+fn same_seed_run_records_are_byte_identical() {
+    let config = BenchConfig::new(scale()).with_periods(1);
+    let (_, out_a) = run_fed(config);
+    let (_, out_b) = run_fed(config);
+    let a = pinned_record(&out_a, config).render();
+    let b = pinned_record(&out_b, config).render();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed runs rendered different run records");
+}
+
+/// Replaying cached period snapshots must be invisible to the benchmark:
+/// a second run over the same environment (every `initialize_sources` is
+/// a cache hit) integrates byte-identical data and renders the same
+/// pinned record as a run over a fresh environment that generates from
+/// scratch.
+#[test]
+fn cached_snapshot_rerun_matches_fresh_run() {
+    let config = BenchConfig::new(scale()).with_periods(1);
+    let env = BenchEnvironment::new(config).unwrap();
+    let first = run(
+        Arc::new(FedDbms::new(env.world.clone(), FedOptions::default())),
+        &env,
+    );
+    assert_eq!(env.cached_periods(), 1, "first run should fill the cache");
+    // second run over the same environment: sources replay from the cache
+    let second = run(
+        Arc::new(FedDbms::new(env.world.clone(), FedOptions::default())),
+        &env,
+    );
+    assert_eq!(env.cached_periods(), 1, "rerun must not regenerate");
+    let (fresh_env, fresh) = run_fed(config);
+    for (db, table) in PROBE_TABLES {
+        assert_eq!(
+            sorted_rows(&env, db, table),
+            sorted_rows(&fresh_env, db, table),
+            "{db}.{table}: cached-snapshot rerun diverged from a fresh run"
+        );
+    }
+    let rec_second = pinned_record(&second, config).render();
+    assert_eq!(rec_second, pinned_record(&fresh, config).render());
+    assert_eq!(rec_second, pinned_record(&first, config).render());
+    assert!(verify::verify_outcome(&env, &second).unwrap().passed());
+}
+
 /// The resilience hot paths treat transport faults as expected events, so
 /// panicking calls are banned outside test code in the services and netsim
 /// crates — the Rust-side twin of the CI grep gate.
