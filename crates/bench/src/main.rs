@@ -16,6 +16,7 @@
 //! dipbench bench [--iterations N | --quick] [--check BENCH_4.json [--threshold 0.2]]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
 //! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...]
+//! dipbench crash [--seed 7] [--at STEP --process P09 | --sweep] [--no-rollback]
 //! ```
 
 use dip_bench::{build_system, run_experiment, shape_findings, EngineKind};
@@ -48,6 +49,7 @@ fn main() {
         "bench" => bench(&args),
         "diff" => diff_records(&args),
         "faults" => faults(&args),
+        "crash" => crash(&args),
         "explain" => {
             let target = args.get(1).map(String::as_str).unwrap_or("");
             let defs = dipbench::processes::all_processes();
@@ -66,7 +68,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|diff|faults|explain> [options]\n\
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|diff|faults|crash|explain> [options]\n\
                  \n\
                  commands:\n\
                    table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
@@ -78,12 +80,14 @@ fn main() {
                    bench                            wall-clock gate: N runs over one cached environment, writes BENCH_4.json\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
+                   crash                            crash-restart recovery gate (exit 1 if recovery diverges)\n\
                    explain [P01..P15]               narrate process definitions\n\
                  \n\
                  options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X\n\
                           --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
                           --threshold X  --min-delta X  (diff only)\n\
-                          --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)"
+                          --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)\n\
+                          --at STEP  --process Pxx  --seq N  --no-rollback  (crash only)"
             );
             std::process::exit(2);
         }
@@ -849,6 +853,206 @@ fn faults(args: &[String]) {
     }
     if !all_ok {
         std::process::exit(1);
+    }
+}
+
+/// Crash-restart recovery gate. Arms a deterministic crash at
+/// materialization step `k` of a target instance, runs until the system
+/// dies, recovers from the durable checkpoint + stream journal on a fresh
+/// environment, and requires the recovered run to be byte-identical to an
+/// uncrashed same-seed reference (table digests + dead-letter queue) with
+/// E1 conservation passing. `--sweep` walks k = 0, 1, 2, … for every
+/// target process until the ordinal falls off the instance's last round
+/// trip, so every materialization boundary is exercised.
+///
+/// `--no-rollback` is the gate's self-test: it disables instance rollback
+/// *before* the crash, so the killed instance leaks partial writes into
+/// the checkpoint and replay duplicates them. In that mode the command
+/// exits 0 iff at least one swept step demonstrably diverges — proving
+/// the recovery guarantee actually rests on the atomicity layer.
+fn crash(args: &[String]) {
+    let kind = match flag_str(args, "--engine") {
+        Some(s) => EngineKind::parse(&s).unwrap_or_else(|| {
+            fail_usage(&format!("unknown engine {s:?} (use fed|mtm|fed-unopt)"))
+        }),
+        None => EngineKind::Mtm,
+    };
+    let d = flag_f64(args, "--d").unwrap_or(0.02);
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let seed = flag_u64(args, "--seed").unwrap_or(0xD1B);
+    let period = flag_u32(args, "--period").unwrap_or(0);
+    let seq = flag_u32(args, "--seq").unwrap_or(0);
+    let at = flag_u32(args, "--at");
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let no_rollback = args.iter().any(|a| a == "--no-rollback");
+    let drop = flag_f64(args, "--drop").unwrap_or(0.0);
+    if at.is_none() && !sweep {
+        fail_usage("crash requires --at STEP or --sweep");
+    }
+    if !(0.0..1.0).contains(&drop) {
+        fail_usage("--drop expects a rate in [0, 1)");
+    }
+    let targets: Vec<String> = match flag_str(args, "--process") {
+        Some(p) => vec![p.to_uppercase()],
+        None => ["P02", "P05", "P09", "P13"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+
+    let mut config = BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform))
+        .with_periods(periods)
+        .with_seed(seed);
+    if drop > 0.0 {
+        // extra chaos cell: transport drops on top of the crash. The
+        // breaker stays disabled — its consecutive-failure count would
+        // not survive the restart, and the gate demands bit-exact replay.
+        config = config
+            .with_faults(FaultPlan {
+                model: FaultModel {
+                    drop_rate: drop,
+                    ..FaultModel::NONE
+                },
+            })
+            .with_resilience(ResiliencePolicy {
+                breaker_threshold: 0,
+                ..ResiliencePolicy::DEFAULT
+            });
+    }
+
+    // Deterministic mid-write dead-letter: P04 seq 0 aborts at its third
+    // materialization step, in the reference run and every recovery run
+    // alike. The benchmark's data flows are replay-idempotent, so a
+    // *crashed* (replayed) instance can never expose missing rollback —
+    // but a dead-lettered instance is never replayed, and its partial
+    // writes stay out of the durable state only because the transaction
+    // layer rolled them back. With `--no-rollback` those writes leak into
+    // the checkpoint and the final digests demonstrably diverge.
+    dipbench::recovery::arm_abort("P04", period, 0, 2);
+
+    eprintln!(
+        "reference run on {} (d={d}, seed={seed}, {periods} period(s), drop={drop})…",
+        kind.label()
+    );
+    let (ref_outcome, ref_digests) = {
+        let env = BenchEnvironment::new(config).expect("environment construction");
+        let system = build_system(kind, &env);
+        let client = Client::new(&env, system).expect("deployment");
+        let outcome = client.run().expect("reference run");
+        let verification =
+            dipbench::verify::verify_outcome(&env, &outcome).expect("verification phase");
+        if !verification.passed() {
+            eprintln!("reference run FAILED verification:\n{verification}");
+            std::process::exit(1);
+        }
+        let digests = dipbench::recovery::digest_tables(&env.world).expect("digest");
+        (outcome, digests)
+    };
+
+    println!(
+        "# crash-restart recovery on {}{}",
+        kind.label(),
+        if no_rollback {
+            " (ROLLBACK DISABLED until the crash — divergence expected)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<8} {:>4} {:>8} {:>10} {:>8} {:>7} {:>7} {:>5}",
+        "process", "step", "tripped", "replayed", "ckpt[r]", "verify", "digest", "dlq"
+    );
+    let mut all_identical = true;
+    let mut divergence = false;
+    let mut any_tripped = false;
+    for process in &targets {
+        let steps: Box<dyn Iterator<Item = u32>> = match at {
+            Some(k) => Box::new(std::iter::once(k)),
+            None => Box::new(0u32..),
+        };
+        for step in steps {
+            let target = dipbench::recovery::CrashTarget {
+                process: process.clone(),
+                period,
+                seq,
+                step,
+            };
+            let run = match dipbench::recovery::run_with_crash(
+                config,
+                &|e| build_system(kind, e),
+                &target,
+                no_rollback,
+            ) {
+                Ok(run) => run,
+                Err(e) => {
+                    // leaked partial writes can make the replay itself
+                    // blow up (duplicate keys): with rollback off that IS
+                    // the expected divergence, otherwise it is a failure
+                    println!(
+                        "{:<8} {:>4} {:>8} {:>10} {:>8} {:>7} {:>7} {:>5}   recovery error: {e}",
+                        process, step, "yes", "-", "-", "ERROR", "-", "-"
+                    );
+                    divergence = true;
+                    all_identical = false;
+                    if at.is_some() {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if !run.tripped {
+                println!(
+                    "{process:<8} {step:>4} {:>8}   (instance has {} materialization steps)",
+                    "no", run.steps_seen
+                );
+                break;
+            }
+            any_tripped = true;
+            let verified = run.verification.passed();
+            let digest_ok = run.digests == ref_digests;
+            let dlq_ok = run.outcome.dead_letters == ref_outcome.dead_letters;
+            println!(
+                "{:<8} {:>4} {:>8} {:>10} {:>8} {:>7} {:>7} {:>5}",
+                process,
+                step,
+                "yes",
+                run.replayed_events,
+                run.checkpoint_rows,
+                if verified { "PASS" } else { "FAIL" },
+                if digest_ok { "same" } else { "DIFF" },
+                if dlq_ok { "same" } else { "DIFF" }
+            );
+            if !verified && !no_rollback {
+                for check in run.verification.failed_checks() {
+                    eprintln!("  [!!] {:<40} {}", check.name, check.detail);
+                }
+            }
+            let identical = verified && digest_ok && dlq_ok;
+            all_identical &= identical;
+            divergence |= !identical;
+            if at.is_some() {
+                break;
+            }
+        }
+    }
+    if !any_tripped && !divergence {
+        eprintln!("error: no crash step ever fired — nothing was tested");
+        std::process::exit(1);
+    }
+    if no_rollback {
+        if divergence {
+            println!(
+                "rollback disabled: recovery diverged as expected — the atomicity layer has teeth"
+            );
+        } else {
+            eprintln!("error: rollback was disabled yet every recovery was byte-identical — the gate is not testing anything");
+            std::process::exit(1);
+        }
+    } else if !all_identical {
+        eprintln!("crash recovery FAILED: a recovered run diverged from the uncrashed reference");
+        std::process::exit(1);
+    } else {
+        println!("all crash points recovered byte-identically; conservation held");
     }
 }
 

@@ -15,7 +15,7 @@ use crate::processes;
 use crate::schedule::{self, ScheduledEvent, StreamId};
 use crate::system::{DeadLetter, Delivery, Event, IntegrationSystem};
 use dip_mtm::cost::InstanceRecord;
-use dip_relstore::prelude::{StoreError, StoreResult};
+use dip_relstore::prelude::{StoreError, StoreResult, TransportKind};
 use dip_xmlkit::node::Document;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -99,6 +99,19 @@ pub struct DispatchFailure {
     pub error: String,
 }
 
+/// What one period (or a resumed fraction of one) dispatched.
+#[derive(Debug)]
+pub struct PeriodRun {
+    pub failures: Vec<DispatchFailure>,
+    /// Events settled per stream (A, B, C, D), *counting skipped ones*:
+    /// on a crash-free run this is each stream's full length; after a
+    /// crash it is the replay watermark — the index of the first event
+    /// whose outcome the system never durably produced.
+    pub settled: [usize; 4],
+    /// Whether the system crashed (injected) during this period.
+    pub crashed: bool,
+}
+
 /// Everything a work-phase run produces.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -149,15 +162,25 @@ impl<'a> Client<'a> {
         }
     }
 
-    /// Dispatch one stream's events in order.
+    /// Dispatch one stream's events in order, starting at `skip` (the
+    /// replay watermark of a recovering run; 0 for a normal run).
+    ///
+    /// Returns the stream's settled watermark: the index of the first
+    /// event whose outcome the system never durably produced — the full
+    /// length unless an injected crash killed the system mid-stream. The
+    /// crashing event itself rolls back inside the engine and its
+    /// delivery is *not* counted (nor reported as a dispatch failure):
+    /// recovery replays it, and counting it here too would double it in
+    /// the conservation totals.
     fn run_stream(
         &self,
         id: StreamId,
         period: u32,
         events: &[ScheduledEvent],
+        skip: usize,
         failures: &mut Vec<DispatchFailure>,
         gate: Option<(&DispatchGate, usize)>,
-    ) {
+    ) -> usize {
         let op = match id {
             StreamId::A => "stream_A",
             StreamId::B => "stream_B",
@@ -170,7 +193,15 @@ impl<'a> Client<'a> {
         let pacing = self.env.config.pacing;
         let tu = self.env.config.scale.tu();
         let stream_start = Instant::now();
-        for (i, event) in events.iter().enumerate() {
+        for (i, event) in events.iter().enumerate().skip(skip) {
+            // a dead system dispatches nothing: leave the rest of the
+            // stream unsettled for recovery to replay
+            if dip_netsim::fault::crash_tripped() {
+                if let Some((gate, slot)) = gate {
+                    gate.advance(slot, f64::INFINITY);
+                }
+                return i;
+            }
             if pacing == PacingMode::RealTime {
                 let deadline = tu.mul_f64(event.deadline_tu);
                 let elapsed = stream_start.elapsed();
@@ -188,6 +219,20 @@ impl<'a> Client<'a> {
                 Some(msg) => Event::message(event.process, period, event.seq, msg),
                 None => Event::timed(event.process, period, event.seq),
             });
+            // the event whose instance the injected crash killed: its
+            // partial writes were rolled back and no record was kept, so
+            // it stays unsettled (replayed after restart)
+            let crashed_delivery = matches!(
+                &delivery,
+                Delivery::Failed { error }
+                    if error.transport().is_some_and(|t| t.kind == TransportKind::Crash)
+            );
+            if crashed_delivery {
+                if let Some((gate, slot)) = gate {
+                    gate.advance(slot, f64::INFINITY);
+                }
+                return i;
+            }
             if let Some((gate, slot)) = gate {
                 let next = events.get(i + 1).map_or(f64::INFINITY, |e| e.deadline_tu);
                 gate.advance(slot, next);
@@ -204,71 +249,101 @@ impl<'a> Client<'a> {
                 });
             }
         }
+        events.len()
     }
 
     /// Execute one benchmark period: uninitialize, initialize, streams
     /// A ∥ B, then C, then D.
     pub fn run_period(&self, k: u32) -> StoreResult<Vec<DispatchFailure>> {
+        self.run_period_from(k, [0; 4], true).map(|p| p.failures)
+    }
+
+    /// [`Client::run_period`] with replay watermarks: streams start at
+    /// `skip` (events before it were settled by a previous, crashed run)
+    /// and `reinit` turns off the uninitialize/initialize prologue — a
+    /// recovering run restores the period's mid-flight state from a
+    /// checkpoint instead of rebuilding it.
+    pub fn run_period_from(
+        &self,
+        k: u32,
+        skip: [usize; 4],
+        reinit: bool,
+    ) -> StoreResult<PeriodRun> {
         let _period_span = dip_trace::span_cat(
             dip_trace::Layer::Core,
             "period",
             dip_trace::Category::Management,
         );
-        {
-            let _span = dip_trace::span_cat(
-                dip_trace::Layer::Core,
-                "uninitialize",
-                dip_trace::Category::Management,
-            );
-            self.env.uninitialize()?;
-        }
-        {
-            let _span = dip_trace::span_cat(
-                dip_trace::Layer::Core,
-                "initialize_sources",
-                dip_trace::Category::Management,
-            );
-            self.env.initialize_sources(k)?;
+        if reinit {
+            {
+                let _span = dip_trace::span_cat(
+                    dip_trace::Layer::Core,
+                    "uninitialize",
+                    dip_trace::Category::Management,
+                );
+                self.env.uninitialize()?;
+            }
+            {
+                let _span = dip_trace::span_cat(
+                    dip_trace::Layer::Core,
+                    "initialize_sources",
+                    dip_trace::Category::Management,
+                );
+                self.env.initialize_sources(k)?;
+            }
         }
         let d = self.env.config.scale.datasize;
         let streams = schedule::period_streams(k, d);
         let mut failures: Vec<DispatchFailure> = Vec::new();
+        let mut settled = [0usize; 4];
         // under Eager pacing the gate replays the schedule's logical time
         // across the concurrent pair (RealTime gets it from the wall clock)
-        let first = |s: &[ScheduledEvent]| s.first().map_or(f64::INFINITY, |e| e.deadline_tu);
-        let gate = (self.env.config.pacing == PacingMode::Eager)
-            .then(|| DispatchGate::new(first(&streams[0].1), first(&streams[1].1)));
+        let first = |s: &[ScheduledEvent], skip: usize| {
+            s.get(skip).map_or(f64::INFINITY, |e| e.deadline_tu)
+        };
+        let gate = (self.env.config.pacing == PacingMode::Eager).then(|| {
+            DispatchGate::new(first(&streams[0].1, skip[0]), first(&streams[1].1, skip[1]))
+        });
         let gate = gate.as_ref();
         let (ra, rb) = std::thread::scope(|scope| {
             let a = &streams[0].1;
             let b = &streams[1].1;
             let ha = scope.spawn(move || {
                 let mut f = Vec::new();
-                self.run_stream(StreamId::A, k, a, &mut f, gate.map(|g| (g, 0)));
-                f
+                let n = self.run_stream(StreamId::A, k, a, skip[0], &mut f, gate.map(|g| (g, 0)));
+                (f, n)
             });
             let hb = scope.spawn(move || {
                 let mut f = Vec::new();
-                self.run_stream(StreamId::B, k, b, &mut f, gate.map(|g| (g, 1)));
-                f
+                let n = self.run_stream(StreamId::B, k, b, skip[1], &mut f, gate.map(|g| (g, 1)));
+                (f, n)
             });
             // join both before propagating so the sibling finishes (its
             // GateRelease unblocked it) rather than being torn down mid-run
             (ha.join(), hb.join())
         });
-        for r in [ra, rb] {
+        for (slot, r) in [ra, rb].into_iter().enumerate() {
             match r {
-                Ok(f) => failures.extend(f),
+                Ok((f, n)) => {
+                    failures.extend(f);
+                    settled[slot] = n;
+                }
                 // a panicked stream must fail the run loudly — swallowing it
                 // here would report a clean period with zero failures
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        for (id, events) in &streams[2..] {
+        for (slot, (id, events)) in streams[2..].iter().enumerate() {
             debug_assert!(matches!(id, StreamId::C | StreamId::D));
-            self.run_stream(*id, k, events, &mut failures, None);
+            settled[2 + slot] =
+                self.run_stream(*id, k, events, skip[2 + slot], &mut failures, None);
         }
-        Ok(failures)
+        let crashed = dip_netsim::fault::crash_tripped();
+        Ok(PeriodRun {
+            failures,
+            settled,
+            crashed,
+        })
     }
 
     /// Execute the whole work phase and aggregate the metric.
@@ -279,16 +354,29 @@ impl<'a> Client<'a> {
             failures.extend(self.run_period(k)?);
         }
         let records = self.system.recorder().drain();
+        let dead_letters = self.system.dead_letters().drain();
+        Ok(self.build_outcome(records, failures, dead_letters, start.elapsed()))
+    }
+
+    /// Aggregate already-collected raw results into a [`RunOutcome`] —
+    /// the tail of [`Client::run`], split out so a recovering run can
+    /// merge pre-crash and post-restart records before aggregating.
+    pub fn build_outcome(
+        &self,
+        records: Vec<InstanceRecord>,
+        failures: Vec<DispatchFailure>,
+        mut dead_letters: Vec<DeadLetter>,
+        wall_time: Duration,
+    ) -> RunOutcome {
         let normalized = normalize(&records);
         let metrics = process_metrics(&normalized, &self.env.config.scale);
         // arrival order is interleaving-dependent under concurrent
         // streams; sort into schedule order so same-seed runs produce
         // byte-identical dead-letter lists
-        let mut dead_letters = self.system.dead_letters().drain();
         dead_letters.sort_by(|a, b| {
             (a.period, a.process.as_str(), a.seq).cmp(&(b.period, b.process.as_str(), b.seq))
         });
-        Ok(RunOutcome {
+        RunOutcome {
             system: self.system.name().to_string(),
             config: self.env.config,
             records,
@@ -296,7 +384,7 @@ impl<'a> Client<'a> {
             metrics,
             failures,
             dead_letters,
-            wall_time: start.elapsed(),
-        })
+            wall_time,
+        }
     }
 }

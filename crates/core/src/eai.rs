@@ -163,7 +163,9 @@ impl IntegrationSystem for EaiSystem {
                 // asynchronous acceptance: `Completed` means "queued" —
                 // processing failures surface later in the cost records
                 // and the dead-letter queue
-                let payload = self.engine.world.resilience().map(|_| write_compact(&msg));
+                let payload = (self.engine.world.resilience().is_some()
+                    || dip_netsim::fault::abort_armed())
+                .then(|| write_compact(&msg));
                 {
                     let mut n = self.pending.count.lock();
                     *n += 1;
@@ -218,6 +220,7 @@ mod tests {
 
     #[test]
     fn eai_runs_the_benchmark_and_verifies() {
+        let _serial = crate::testlock::hold();
         let config =
             BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let env = BenchEnvironment::new(config).unwrap();
@@ -235,6 +238,7 @@ mod tests {
 
     #[test]
     fn eai_matches_mtm_integrated_data() {
+        let _serial = crate::testlock::hold();
         let config =
             BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let run = |eai: bool| {
@@ -264,6 +268,7 @@ mod tests {
     fn timed_events_barrier_on_queue() {
         // a timed event fired right after a burst of messages must observe
         // all of their effects
+        let _serial = crate::testlock::hold();
         let config =
             BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
         let env = BenchEnvironment::new(config).unwrap();

@@ -43,12 +43,29 @@ pub mod metric;
 pub mod monitor;
 pub mod processes;
 pub mod quality;
+pub mod recovery;
 pub mod report;
 pub mod scale;
 pub mod schedule;
 pub mod schema;
 pub mod system;
 pub mod verify;
+
+/// Serializes tests that execute whole benchmark instances against the
+/// tests that arm the process-global crash plan (`dip_netsim::fault::
+/// arm_crash`): an armed plan would trip inside an unrelated concurrent
+/// test's instance. Any test that drives a [`client::Client`] through
+/// real process instances should hold this lock.
+#[cfg(test)]
+pub(crate) mod testlock {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// The most commonly used items.
 pub mod prelude {
@@ -57,6 +74,7 @@ pub mod prelude {
     pub use crate::eai::EaiSystem;
     pub use crate::env::BenchEnvironment;
     pub use crate::metric::ProcessMetric;
+    pub use crate::recovery::{digest_tables, run_with_crash, CrashTarget, RecoveryRun};
     pub use crate::scale::{Distribution, ScaleFactors};
     pub use crate::system::{
         DeadLetter, DeadLetterQueue, Delivery, Event, IntegrationSystem, MtmSystem,

@@ -1,0 +1,408 @@
+//! Crash-restart recovery: checkpointing the external systems' durable
+//! state, journaling stream watermarks, and re-running a benchmark from
+//! the point an injected crash killed the integration system.
+//!
+//! The model follows the paper's setup: the *external systems'* data is
+//! durable (a real deployment keeps it on disk), while the integration
+//! system's in-flight instance is volatile. The undo-log transactions of
+//! `dip-relstore` guarantee that at the moment of a crash the durable
+//! state reflects exactly the *settled* instances — the killed instance's
+//! partial materializations were rolled back — so recovery is:
+//!
+//! 1. capture an [`EnvCheckpoint`] of every external database (rows plus
+//!    pending change-capture logs),
+//! 2. note each stream's settled watermark (the [`crate::client::
+//!    PeriodRun`] journal) — the schedule itself is deterministic, so the
+//!    undelivered suffix of the E1 inbox is regenerable, not stored,
+//! 3. build a fresh environment + system (the "restart"), restore the
+//!    checkpoint, and replay every unsettled event via
+//!    [`crate::client::Client::run_period_from`],
+//! 4. merge pre-crash and post-restart outcomes; E1 conservation
+//!    (`scheduled = integrated + dead-lettered + failed`) must hold over
+//!    the merge, and the final data must be byte-identical to an
+//!    uncrashed same-seed run ([`digest_tables`]).
+//!
+//! Crash points are materialization steps: every `round_trip` to an
+//! external system checks the armed [`dip_netsim::fault::CrashPlan`]
+//! before performing its effect, so a crashed step is all-or-nothing —
+//! exactly the Fig. 9 materialization-point boundaries.
+
+use crate::client::{Client, DispatchFailure, PeriodRun, RunOutcome};
+use crate::config::BenchConfig;
+use crate::env::BenchEnvironment;
+use crate::system::IntegrationSystem;
+use crate::verify::{self, VerificationReport};
+use dip_netsim::fault::{self, CrashPlan};
+use dip_relstore::prelude::*;
+use dip_relstore::table::Change;
+use dip_services::registry::ExternalWorld;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One table's durable state at checkpoint time.
+struct TableCheckpoint {
+    name: String,
+    rows: Vec<Row>,
+    /// Pending change-capture log (undelivered incremental-MV deltas).
+    changes: Vec<Change>,
+}
+
+/// A point-in-time copy of every external database the world serves —
+/// the durable state a restarted system recovers from.
+pub struct EnvCheckpoint {
+    databases: Vec<(String, Vec<TableCheckpoint>)>,
+}
+
+impl EnvCheckpoint {
+    /// Capture all databases. Must run outside any transaction scope and
+    /// with the system quiesced (after the crash, nothing dispatches).
+    pub fn capture(world: &ExternalWorld) -> StoreResult<EnvCheckpoint> {
+        let mut databases = Vec::new();
+        let mut names = world.database_names();
+        names.sort();
+        let mut tables_n = 0u64;
+        let mut rows_n = 0u64;
+        for name in names {
+            let db = world.database(&name)?;
+            let mut table_names = db.table_names();
+            table_names.sort();
+            let mut tables = Vec::new();
+            for t in table_names {
+                let table = db.table(&t)?;
+                let rows = table.scan().rows;
+                let changes = table.peek_changes();
+                tables_n += 1;
+                rows_n += rows.len() as u64;
+                tables.push(TableCheckpoint {
+                    name: t,
+                    rows,
+                    changes,
+                });
+            }
+            databases.push((name, tables));
+        }
+        dip_trace::count("recovery.checkpoint.tables", tables_n);
+        dip_trace::count("recovery.checkpoint.rows", rows_n);
+        Ok(EnvCheckpoint { databases })
+    }
+
+    /// Restore into a freshly built environment's world: every table is
+    /// truncated and re-filled, and its pending change log re-seeded, so
+    /// the restarted system sees exactly the durable state of the crash.
+    pub fn restore(&self, world: &ExternalWorld) -> StoreResult<()> {
+        let mut rows_n = 0u64;
+        for (name, tables) in &self.databases {
+            let db = world.database(name)?;
+            for t in tables {
+                let table = db.table(&t.name)?;
+                table.truncate();
+                if !t.rows.is_empty() {
+                    table.insert(t.rows.clone())?;
+                }
+                rows_n += t.rows.len() as u64;
+                table.seed_changes(t.changes.clone());
+            }
+        }
+        dip_trace::count("recovery.restore.rows", rows_n);
+        Ok(())
+    }
+
+    /// Total rows captured (diagnostics).
+    pub fn row_count(&self) -> usize {
+        self.databases
+            .iter()
+            .flat_map(|(_, ts)| ts.iter())
+            .map(|t| t.rows.len())
+            .sum()
+    }
+}
+
+/// Logical content digest of every table, keyed `database.table`. Row
+/// *order* is excluded (a restored table packs its slots differently);
+/// row *content* is exact, so two digests agree iff the data is
+/// identical.
+pub fn digest_tables(world: &ExternalWorld) -> StoreResult<BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    for name in world.database_names() {
+        let db = world.database(&name)?;
+        for t in db.table_names() {
+            let mut lines: Vec<String> = db
+                .table(&t)?
+                .scan()
+                .rows
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            lines.sort();
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for line in &lines {
+                for b in line.as_bytes() {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h = h.wrapping_mul(0x0000_0100_0000_01b3) ^ 0x2e;
+            }
+            out.insert(format!("{name}.{t}"), h);
+        }
+    }
+    Ok(out)
+}
+
+/// Arm a deterministic *instance abort*: at materialization step `step` of
+/// the named instance the round trip fails with a transient,
+/// retries-exhausted fault, so an E1 message dead-letters — with partial
+/// writes already materialized if `step > 0`. Unlike a crash, an abort is
+/// part of the workload: arm it for the reference run and every recovery
+/// run alike, and it stays armed across restarts. This is what gives the
+/// `--no-rollback` gate its teeth — a dead-lettered instance is never
+/// replayed, so only rollback keeps its partial writes out of the final
+/// state.
+pub fn arm_abort(process: &str, period: u32, seq: u32, step: u32) {
+    fault::arm_abort(CrashPlan {
+        key: fault::instance_key(process, period, seq),
+        step,
+    });
+}
+
+/// Disarm the instance abort armed by [`arm_abort`].
+pub fn disarm_abort() {
+    fault::disarm_abort();
+}
+
+/// The instance and materialization step an injected crash targets.
+#[derive(Debug, Clone)]
+pub struct CrashTarget {
+    pub process: String,
+    pub period: u32,
+    pub seq: u32,
+    /// Ordinal of the materialization step (external round trip) at which
+    /// the system dies, counted from 0 within the instance.
+    pub step: u32,
+}
+
+/// Everything a crash-inject-and-recover run produces.
+pub struct RecoveryRun {
+    /// Whether the armed crash actually fired (false once `step` walks
+    /// past the instance's last materialization step — the sweep's
+    /// termination signal).
+    pub tripped: bool,
+    /// Materialization steps the targeted instance executed.
+    pub steps_seen: u32,
+    pub crashed_period: Option<u32>,
+    /// Events the restarted system replayed from the journal watermarks.
+    pub replayed_events: usize,
+    /// Rows restored from the checkpoint.
+    pub checkpoint_rows: usize,
+    /// Merged (pre-crash + post-restart) outcome.
+    pub outcome: RunOutcome,
+    /// Verification over the merged outcome and the recovered final state.
+    pub verification: VerificationReport,
+    /// Per-table digests of the recovered final state.
+    pub digests: BTreeMap<String, u64>,
+}
+
+/// Disarms the crash plan and re-enables rollback on every exit path.
+struct CrashGuard;
+
+impl Drop for CrashGuard {
+    fn drop(&mut self) {
+        fault::disarm_crash();
+        dip_relstore::tx::set_rollback_disabled(false);
+    }
+}
+
+/// Run the benchmark with a crash armed at `target`, then recover:
+/// checkpoint the durable state, restart on a fresh environment + system,
+/// replay the unsettled events, and verify the merged outcome.
+///
+/// `disable_rollback` is the CI gate's "teeth" switch: it turns instance
+/// rollback off *until the crash* (the restarted system always rolls
+/// back), so mid-instance failures leak partial writes and the recovered
+/// state demonstrably diverges from an uncrashed run.
+pub fn run_with_crash(
+    config: BenchConfig,
+    make_system: &dyn Fn(&BenchEnvironment) -> Arc<dyn IntegrationSystem>,
+    target: &CrashTarget,
+    disable_rollback: bool,
+) -> StoreResult<RecoveryRun> {
+    let start = Instant::now();
+    let _guard = CrashGuard;
+    fault::arm_crash(CrashPlan {
+        key: fault::instance_key(&target.process, target.period, target.seq),
+        step: target.step,
+    });
+    dip_relstore::tx::set_rollback_disabled(disable_rollback);
+
+    // Phase 1: run until the crash kills the system (or to completion,
+    // if the step ordinal is past the instance's last round trip).
+    let phase1 = {
+        let env = BenchEnvironment::new(config)?;
+        let system = make_system(&env);
+        let client = Client::new(&env, system.clone())?;
+        let mut failures: Vec<DispatchFailure> = Vec::new();
+        let mut crash: Option<(u32, [usize; 4])> = None;
+        for k in 0..config.periods {
+            let PeriodRun {
+                failures: f,
+                settled,
+                crashed,
+            } = client.run_period_from(k, [0; 4], true)?;
+            failures.extend(f);
+            if crashed {
+                crash = Some((k, settled));
+                break;
+            }
+        }
+        let records = system.recorder().drain();
+        let dead_letters = system.dead_letters().drain();
+        match crash {
+            None => {
+                // never tripped: finish as a normal run
+                let outcome =
+                    client.build_outcome(records, failures, dead_letters, start.elapsed());
+                let verification = verify::verify_outcome(&env, &outcome)?;
+                let digests = digest_tables(&env.world)?;
+                return Ok(RecoveryRun {
+                    tripped: false,
+                    steps_seen: fault::crash_steps_seen(),
+                    crashed_period: None,
+                    replayed_events: 0,
+                    checkpoint_rows: 0,
+                    outcome,
+                    verification,
+                    digests,
+                });
+            }
+            Some((period, settled)) => {
+                dip_trace::count("recovery.crashes", 1);
+                let checkpoint = EnvCheckpoint::capture(&env.world)?;
+                (records, dead_letters, failures, period, settled, checkpoint)
+            }
+        }
+    };
+    let (mut records, mut dead_letters, mut failures, crashed_period, settled, checkpoint) = phase1;
+
+    // Phase 2: restart. A fresh environment + system stands in for the
+    // rebooted process; the durable external state comes back from the
+    // checkpoint, and rollback is unconditionally on again.
+    fault::disarm_crash();
+    dip_relstore::tx::set_rollback_disabled(false);
+    let env = BenchEnvironment::new(config)?;
+    let system = make_system(&env);
+    let client = Client::new(&env, system.clone())?;
+    checkpoint.restore(&env.world)?;
+
+    // Replay the crashed period's unsettled suffix (no re-initialization:
+    // the checkpoint already holds the period's mid-flight state), then
+    // run the remaining periods normally.
+    let d = config.scale.datasize;
+    let replayed_events: usize = crate::schedule::period_streams(crashed_period, d)
+        .iter()
+        .zip(settled)
+        .map(|((_, events), done)| events.len().saturating_sub(done))
+        .sum();
+    dip_trace::count("recovery.replayed_events", replayed_events as u64);
+    let run = client.run_period_from(crashed_period, settled, false)?;
+    failures.extend(run.failures);
+    for k in crashed_period + 1..config.periods {
+        failures.extend(client.run_period(k)?);
+    }
+
+    // Merge: the crashed instance produced no pre-crash record (the dying
+    // system suppressed it), so its replay contributes exactly one —
+    // conservation counts every scheduled event once.
+    records.extend(system.recorder().drain());
+    dead_letters.extend(system.dead_letters().drain());
+    let outcome = client.build_outcome(records, failures, dead_letters, start.elapsed());
+    let verification = verify::verify_outcome(&env, &outcome)?;
+    let digests = digest_tables(&env.world)?;
+    Ok(RecoveryRun {
+        tripped: true,
+        steps_seen: fault::crash_steps_seen(),
+        crashed_period: Some(crashed_period),
+        replayed_events,
+        checkpoint_rows: checkpoint.row_count(),
+        outcome,
+        verification,
+        digests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::MtmSystem;
+
+    fn mtm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+        Arc::new(MtmSystem::new(env.world.clone()))
+    }
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig::new(crate::scale::ScaleFactors::new(
+            0.01,
+            1.0,
+            crate::scale::Distribution::Uniform,
+        ))
+        .with_periods(1)
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_tables() {
+        let env = BenchEnvironment::new(tiny_config()).unwrap();
+        env.initialize_sources(0).unwrap();
+        let before = digest_tables(&env.world).unwrap();
+        let cp = EnvCheckpoint::capture(&env.world).unwrap();
+        assert!(cp.row_count() > 0);
+        // scramble: wipe everything, then restore
+        env.uninitialize().unwrap();
+        assert_ne!(digest_tables(&env.world).unwrap(), before);
+        cp.restore(&env.world).unwrap();
+        assert_eq!(digest_tables(&env.world).unwrap(), before);
+    }
+
+    /// The crash plan is process-global, so everything that arms it (or
+    /// runs a client while another test might) lives in ONE sequential
+    /// test — parallel test threads would corrupt each other's plans.
+    #[test]
+    fn crash_recovery_lifecycle() {
+        let _serial = crate::testlock::hold();
+        let config = tiny_config();
+        // reference: the same seed, never crashed
+        let ref_env = BenchEnvironment::new(config).unwrap();
+        let ref_sys = mtm(&ref_env);
+        let ref_client = Client::new(&ref_env, ref_sys).unwrap();
+        let ref_outcome = ref_client.run().unwrap();
+        let ref_digests = digest_tables(&ref_env.world).unwrap();
+        assert!(verify::verify_outcome(&ref_env, &ref_outcome)
+            .unwrap()
+            .passed());
+
+        // crash P09 (consolidation, stream C) at its second step
+        let target = CrashTarget {
+            process: "P09".into(),
+            period: 0,
+            seq: 0,
+            step: 1,
+        };
+        let run = run_with_crash(config, &|e| mtm(e), &target, false).unwrap();
+        assert!(run.tripped, "P09 should reach step 1");
+        assert!(run.replayed_events > 0);
+        assert!(run.verification.passed(), "{}", run.verification);
+        assert_eq!(run.digests, ref_digests, "recovered state diverged");
+        assert_eq!(run.outcome.dead_letters, ref_outcome.dead_letters);
+
+        // a step ordinal past the instance's last round trip never fires
+        let target = CrashTarget {
+            process: "P09".into(),
+            period: 0,
+            seq: 0,
+            step: 10_000,
+        };
+        let run = run_with_crash(config, &|e| mtm(e), &target, false).unwrap();
+        assert!(!run.tripped);
+        assert!(run.steps_seen > 0, "P09 executed no materialization steps?");
+        assert!(run.verification.passed(), "{}", run.verification);
+        assert_eq!(run.digests, ref_digests);
+    }
+}

@@ -30,9 +30,6 @@
 //! `(process, period)` it anchors the instance's position in the
 //! deterministic fault schedule, which is what makes same-seed runs
 //! produce identical retry counts and identical DLQ contents.
-//!
-//! The legacy `on_message`/`on_timed` entry points remain for one PR as
-//! deprecated shims over `deliver`.
 
 use dip_mtm::cost::CostRecorder;
 use dip_mtm::engine::MtmEngine;
@@ -229,26 +226,6 @@ pub trait IntegrationSystem: Send + Sync {
     fn dead_letters(&self) -> Arc<DeadLetterQueue> {
         Arc::new(DeadLetterQueue::new())
     }
-
-    /// Deliver an E1 message event.
-    #[deprecated(note = "use deliver(Event::Message { .. }) — it reports typed outcomes")]
-    fn on_message(&self, process: &str, period: u32, msg: Document) -> MtmResult<()> {
-        match self.deliver(Event::message(process, period, 0, msg)) {
-            Delivery::Completed | Delivery::Retried { .. } => Ok(()),
-            Delivery::DeadLettered { reason } => Err(MtmError::Custom(reason)),
-            Delivery::Failed { error } => Err(error),
-        }
-    }
-
-    /// Deliver an E2 scheduling event.
-    #[deprecated(note = "use deliver(Event::Timed { .. }) — it reports typed outcomes")]
-    fn on_timed(&self, process: &str, period: u32) -> MtmResult<()> {
-        match self.deliver(Event::timed(process, period, 0)) {
-            Delivery::Completed | Delivery::Retried { .. } => Ok(()),
-            Delivery::DeadLettered { reason } => Err(MtmError::Custom(reason)),
-            Delivery::Failed { error } => Err(error),
-        }
-    }
 }
 
 /// The native MTM engine as a system under test.
@@ -266,10 +243,12 @@ impl MtmSystem {
     }
 
     /// Capture a message payload for potential dead-lettering — only when
-    /// the resilience layer is armed (unarmed runs cannot produce
-    /// transport faults, so serializing every message would be pure waste).
+    /// the resilience layer or a deterministic instance-abort plan is
+    /// armed (otherwise the run cannot produce transport faults, so
+    /// serializing every message would be pure waste).
     fn capture(&self, msg: &Document) -> Option<String> {
-        self.engine.world.resilience().map(|_| write_compact(msg))
+        (self.engine.world.resilience().is_some() || dip_netsim::fault::abort_armed())
+            .then(|| write_compact(msg))
     }
 }
 
@@ -376,37 +355,5 @@ mod tests {
             Delivery::Failed { .. }
         ));
         assert_eq!(dlq.len(), 1);
-    }
-
-    /// The deprecated shims stay behaviorally equivalent for one PR.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_map_deliveries_back_to_results() {
-        struct Scripted;
-        impl IntegrationSystem for Scripted {
-            fn name(&self) -> &str {
-                "scripted"
-            }
-            fn deploy(&self, _defs: Vec<ProcessDef>) -> MtmResult<()> {
-                Ok(())
-            }
-            fn deliver(&self, event: Event) -> Delivery {
-                match event {
-                    Event::Message { .. } => Delivery::DeadLettered {
-                        reason: "transport drop to es.cdb after 4 attempt(s)".to_string(),
-                    },
-                    Event::Timed { .. } => Delivery::Retried { attempts: 2 },
-                }
-            }
-            fn recorder(&self) -> Arc<CostRecorder> {
-                Arc::new(CostRecorder::default())
-            }
-        }
-        let s = Scripted;
-        let err = s
-            .on_message("P04", 0, Document::new(dip_xmlkit::Element::new("m")))
-            .unwrap_err();
-        assert!(err.to_string().contains("transport drop"));
-        assert!(s.on_timed("P05", 0).is_ok());
     }
 }

@@ -30,8 +30,9 @@ pub enum FedError {
 
 impl FedError {
     /// Whether this failure is transient (a transport fault at any layer).
+    /// An injected crash travels as a transport fault but is not transient.
     pub fn is_transient(&self) -> bool {
-        self.transport().is_some()
+        self.transport().is_some_and(|t| t.is_transient())
     }
 
     /// The transport fault carried by this error, if any.
@@ -383,6 +384,7 @@ impl FedDbms {
         let _ctx = dip_trace::instance_scope(process, period, instance.0);
         let _fault_scope = dip_netsim::fault::instance_scope(process, period, seq);
         let start = self.epoch.elapsed();
+        let tx = dip_relstore::tx::begin();
         let result = {
             let _span = dip_trace::span_cat(
                 dip_trace::Layer::Feddbms,
@@ -391,20 +393,33 @@ impl FedDbms {
             );
             self.dispatch(process, input, &costs, tid)
         };
+        match &result {
+            Ok(()) => tx.commit(),
+            Err(_) => tx.rollback(),
+        }
         let end = self.epoch.elapsed();
         let retries = dip_netsim::fault::scope_retries();
-        let (comm, mgmt, proc) = costs.snapshot();
-        self.recorder.record(InstanceRecord {
-            instance,
-            process: process.to_string(),
-            period,
-            start,
-            end,
-            comm,
-            mgmt,
-            proc,
-            ok: result.is_ok(),
-        });
+        // A crash fault means the system died mid-instance: it never wrote
+        // its cost record, and recovery replays the instance after restart.
+        // Recording it here would double-count the replay.
+        let crashed = matches!(
+            &result,
+            Err(e) if e.transport().is_some_and(|t| t.kind == TransportKind::Crash)
+        );
+        if !crashed {
+            let (comm, mgmt, proc) = costs.snapshot();
+            self.recorder.record(InstanceRecord {
+                instance,
+                process: process.to_string(),
+                period,
+                start,
+                end,
+                comm,
+                mgmt,
+                proc,
+                ok: result.is_ok(),
+            });
+        }
         result.map(|()| retries)
     }
 
@@ -509,10 +524,9 @@ impl dipbench::system::IntegrationSystem for FedDbms {
                 seq,
                 msg,
             } => {
-                let payload = self
-                    .world
-                    .resilience()
-                    .map(|_| dip_xmlkit::write_compact(&msg));
+                let payload = (self.world.resilience().is_some()
+                    || dip_netsim::fault::abort_armed())
+                .then(|| dip_xmlkit::write_compact(&msg));
                 let result = self
                     .execute_event(&process, period, seq, Some(msg))
                     .map_err(to_mtm_error);

@@ -483,14 +483,18 @@ fn p14_body() -> E2Body {
         let sales = ctx.remote_query(dwh::DWH, &s1_plan())?;
         debug_assert_eq!(sales.schema.len(), sales_schema().len());
         let sales_temp = ctx.materialize("sales", sales)?;
-        // three concurrent mart loaders
+        // three concurrent mart loaders; each joins the instance's
+        // transaction so a failing sibling rolls all mart writes back
+        let tx_handle = dip_relstore::tx::handle();
         let results: Vec<FedResult<()>> = std::thread::scope(|scope| {
             dm::Mart::ALL
                 .iter()
                 .map(|&mart| {
                     let ctx = ctx.clone();
                     let sales_temp = sales_temp.clone();
+                    let tx_handle = tx_handle.clone();
                     scope.spawn(move || -> FedResult<()> {
+                        let _tx = tx_handle.as_ref().map(dip_relstore::tx::adopt);
                         let db = mart.db_name();
                         let base = Plan::scan(sales_temp.clone())
                             .filter(Expr::col(c::REGION).eq(Expr::lit(mart.region_name())));
@@ -591,12 +595,15 @@ fn p14_body() -> E2Body {
 
 fn p15_body() -> E2Body {
     Arc::new(|ctx| {
+        let tx_handle = dip_relstore::tx::handle();
         let results: Vec<FedResult<()>> = std::thread::scope(|scope| {
             dm::Mart::ALL
                 .iter()
                 .map(|&mart| {
                     let ctx = ctx.clone();
+                    let tx_handle = tx_handle.clone();
                     scope.spawn(move || -> FedResult<()> {
+                        let _tx = tx_handle.as_ref().map(dip_relstore::tx::adopt);
                         ctx.remote_call(mart.db_name(), "sp_refreshDataMartViews")?;
                         Ok(())
                     })

@@ -94,6 +94,7 @@ impl MtmEngine {
         let _ctx = dip_trace::instance_scope(&def.id, period, instance.0);
         let _fault_scope = dip_netsim::fault::instance_scope(&def.id, period, seq);
         let start = self.epoch.elapsed();
+        let tx = dip_relstore::tx::begin();
         let result = {
             let _span = dip_trace::span_cat(
                 dip_trace::Layer::Mtm,
@@ -103,20 +104,33 @@ impl MtmEngine {
             let interp = Interpreter::new(&self.world, &costs);
             interp.run(&def, input)
         };
+        match &result {
+            Ok(_) => tx.commit(),
+            Err(_) => tx.rollback(),
+        }
         let end = self.epoch.elapsed();
         let retries = dip_netsim::fault::scope_retries();
-        let (comm, mgmt, proc) = costs.snapshot();
-        self.recorder.record(InstanceRecord {
-            instance,
-            process: def.id.clone(),
-            period,
-            start,
-            end,
-            comm,
-            mgmt,
-            proc,
-            ok: result.is_ok(),
-        });
+        // A crash fault means the system died mid-instance: it never got to
+        // write its cost record, and recovery will replay the instance after
+        // restart. Recording it here would double-count the replay.
+        let crashed = matches!(
+            &result,
+            Err(e) if e.transport().is_some_and(|t| t.kind == dip_relstore::error::TransportKind::Crash)
+        );
+        if !crashed {
+            let (comm, mgmt, proc) = costs.snapshot();
+            self.recorder.record(InstanceRecord {
+                instance,
+                process: def.id.clone(),
+                period,
+                start,
+                end,
+                comm,
+                mgmt,
+                proc,
+                ok: result.is_ok(),
+            });
+        }
         result.map(|_| retries)
     }
 }

@@ -37,8 +37,9 @@ pub enum MtmError {
 impl MtmError {
     /// Whether this failure is transient (a transport fault at any layer)
     /// as opposed to a deterministic property of the data or the process.
+    /// An injected crash travels as a transport fault but is not transient.
     pub fn is_transient(&self) -> bool {
-        self.transport().is_some()
+        self.transport().is_some_and(|t| t.is_transient())
     }
 
     /// The transport fault carried by this error, if any.

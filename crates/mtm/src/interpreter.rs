@@ -402,15 +402,21 @@ impl<'a> Interpreter<'a> {
                 // parallel branches own disjoint, deterministic regions of
                 // the fault schedule regardless of thread interleaving.
                 let fault_snap = dip_netsim::fault::snapshot();
+                // Likewise for the instance's transaction scope: branch
+                // threads journal their writes into the same undo log so a
+                // failing sibling rolls the whole instance back.
+                let tx_handle = dip_relstore::tx::handle();
                 let results: Vec<MtmResult<(VarStore, u32)>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = branches
                         .iter()
                         .enumerate()
                         .map(|(branch_idx, branch)| {
                             let mut branch_vars = vars.clone();
+                            let tx_handle = tx_handle.clone();
                             scope.spawn(move || {
                                 let _scope = fault_snap
                                     .map(|s| dip_netsim::fault::adopt(s, branch_idx as u32));
+                                let _tx = tx_handle.as_ref().map(dip_relstore::tx::adopt);
                                 let mut no_input = None;
                                 self.run_steps(def, branch, &mut branch_vars, &mut no_input)
                                     .map(|()| (branch_vars, dip_netsim::fault::scope_retries()))

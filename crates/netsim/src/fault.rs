@@ -207,6 +207,9 @@ pub fn hash_str(s: &str) -> u64 {
 pub struct ScopeState {
     /// Mixed (process, period, seq) identity.
     pub key: u64,
+    /// The *root* instance identity — unchanged across FORK adoption, so
+    /// crash plans aimed at an instance also cover its branches.
+    pub root: u64,
     /// Benchmark period — partition windows are evaluated against it.
     pub period: u32,
 }
@@ -217,6 +220,10 @@ struct ActiveScope {
     next_op: u32,
     /// Transport-level retries performed on behalf of this instance.
     retries: u32,
+    /// Ordinal of the next *materialization step* (crash-point counter) —
+    /// deliberately separate from `next_op` so arming a crash plan never
+    /// perturbs the fault schedule.
+    next_crash_step: u32,
 }
 
 thread_local! {
@@ -242,17 +249,28 @@ fn push_scope(state: ScopeState) -> ScopeGuard {
             state,
             next_op: 0,
             retries: 0,
+            next_crash_step: 0,
         })
     });
     ScopeGuard { _priv: () }
+}
+
+/// The stable identity key of a process instance — the same mixing the
+/// fault scope uses, exposed so crash plans can address an instance.
+pub fn instance_key(process: &str, period: u32, seq: u32) -> u64 {
+    mix(hash_str(process), mix(period as u64, seq as u64))
 }
 
 /// Establish the fault identity of a process instance on this thread:
 /// subsequent faultable transfers derive their schedule position from it.
 /// Scopes nest (a subprocess inherits its own identity).
 pub fn instance_scope(process: &str, period: u32, seq: u32) -> ScopeGuard {
-    let key = mix(hash_str(process), mix(period as u64, seq as u64));
-    push_scope(ScopeState { key, period })
+    let key = instance_key(process, period, seq);
+    push_scope(ScopeState {
+        key,
+        root: key,
+        period,
+    })
 }
 
 /// Snapshot the current scope for crossing a thread boundary (FORK
@@ -262,10 +280,12 @@ pub fn snapshot() -> Option<ScopeState> {
 }
 
 /// Re-establish a snapshotted scope on this thread, derived by `branch` so
-/// parallel branches own disjoint regions of the fault schedule.
+/// parallel branches own disjoint regions of the fault schedule. The root
+/// instance identity is inherited unchanged: crash plans keep matching.
 pub fn adopt(state: ScopeState, branch: u32) -> ScopeGuard {
     push_scope(ScopeState {
         key: mix(state.key, 0x1000_0000 | branch as u64),
+        root: state.root,
         period: state.period,
     })
 }
@@ -328,6 +348,167 @@ pub struct TransportError {
     pub endpoint: String,
     pub fault: LinkFault,
     pub waited: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic crash injection
+//
+// A crash plan names one process instance (by its stable identity key) and
+// one materialization-step ordinal within it. Every external round trip of
+// an in-scope instance claims the next step ordinal; when the armed plan's
+// (instance, step) comes up, the "system dies": the round trip fails with a
+// crash fault, the engines suppress the instance, and the client stops the
+// run so recovery can restart it from the last checkpoint. The step counter
+// is per-scope and thread-local, so the schedule position is exactly as
+// reproducible as the fault schedule itself.
+// ---------------------------------------------------------------------------
+
+/// A single planned crash point: kill the system at materialization step
+/// `step` (0-based) of the instance identified by `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Root instance identity (see [`instance_key`]).
+    pub key: u64,
+    /// 0-based ordinal of the external operation to die at.
+    pub step: u32,
+}
+
+static CRASH_PLAN: std::sync::Mutex<Option<CrashPlan>> = std::sync::Mutex::new(None);
+/// A planned *instance abort*: same shape as a crash plan, but the step
+/// fails with a transient, retries-exhausted transport fault instead of
+/// killing the system — an E1 message dead-letters deterministically.
+static ABORT_PLAN: std::sync::Mutex<Option<CrashPlan>> = std::sync::Mutex::new(None);
+static CRASH_TRIPPED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+/// High-water mark of step ordinals observed on the planned instance —
+/// lets a sweep driver detect it has stepped past the last real step.
+static CRASH_STEPS_SEEN: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Arm a crash plan (process-wide). Replaces any previous plan and clears
+/// the tripped flag and step high-water mark.
+pub fn arm_crash(plan: CrashPlan) {
+    *CRASH_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
+    CRASH_TRIPPED.store(false, std::sync::atomic::Ordering::SeqCst);
+    CRASH_STEPS_SEEN.store(0, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Disarm crash injection and clear the tripped flag — a restarted system
+/// is alive again. The step count survives for inspection until the next
+/// [`arm_crash`].
+pub fn disarm_crash() {
+    *CRASH_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    CRASH_TRIPPED.store(false, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the armed plan has fired.
+pub fn crash_tripped() -> bool {
+    CRASH_TRIPPED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Materialization steps observed so far on the planned instance (across
+/// arm cycles of the same instance this is the per-run step count).
+pub fn crash_steps_seen() -> u32 {
+    CRASH_STEPS_SEEN.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Arm an instance-abort plan (process-wide): at the planned step the
+/// round trip fails with a *transient*, retries-exhausted transport fault,
+/// so an E1 instance dead-letters its message. Unlike a crash the system
+/// stays up — an abort is a deterministic piece of the workload and stays
+/// armed across restarts so replays make the same decision.
+pub fn arm_abort(plan: CrashPlan) {
+    *ABORT_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(plan);
+}
+
+/// Disarm instance-abort injection.
+pub fn disarm_abort() {
+    *ABORT_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+/// Whether an instance-abort plan is armed. Systems use this to decide
+/// whether E1 payloads need capturing for potential dead-lettering even
+/// when no probabilistic fault plan is active.
+pub fn abort_armed() -> bool {
+    ABORT_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .is_some()
+}
+
+/// What the armed plans decree for one materialization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// No plan fires; the round trip proceeds.
+    Pass,
+    /// The system dies: a non-transient crash fault; the run stops so
+    /// recovery can restart from the last checkpoint.
+    Crash,
+    /// The instance aborts: a transient fault with retries exhausted; the
+    /// engine rolls the instance back and the message dead-letters.
+    Abort,
+}
+
+/// Claim the next materialization-step ordinal of the current instance and
+/// report whether an armed plan (crash or abort) fires on it. The counter
+/// advances whenever *any* plan targets this instance, so the ordinal ↔
+/// operation mapping is independent of the chosen step. Returns `Pass`
+/// outside any scope, when nothing is armed, or when the scope belongs to
+/// an unplanned instance.
+pub fn step_point() -> StepVerdict {
+    let crash = *CRASH_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let abort = *ABORT_PLAN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if crash.is_none() && abort.is_none() {
+        // disarmed: a restarted system runs normally even if the old one
+        // tripped
+        return StepVerdict::Pass;
+    }
+    if crash.is_some() && crash_tripped() {
+        // the system is already dead; fail every subsequent operation so
+        // concurrent streams cannot keep materializing state
+        return StepVerdict::Crash;
+    }
+    SCOPE.with(|s| {
+        let mut s = s.borrow_mut();
+        let Some(active) = s.last_mut() else {
+            return StepVerdict::Pass;
+        };
+        let root = active.state.root;
+        let on_crash = crash.filter(|p| p.key == root);
+        let on_abort = abort.filter(|p| p.key == root);
+        if on_crash.is_none() && on_abort.is_none() {
+            return StepVerdict::Pass;
+        }
+        let step = active.next_crash_step;
+        active.next_crash_step += 1;
+        if let Some(plan) = on_crash {
+            CRASH_STEPS_SEEN.fetch_max(step + 1, std::sync::atomic::Ordering::SeqCst);
+            if step == plan.step {
+                CRASH_TRIPPED.store(true, std::sync::atomic::Ordering::SeqCst);
+                return StepVerdict::Crash;
+            }
+        }
+        if on_abort.is_some_and(|p| step == p.step) {
+            return StepVerdict::Abort;
+        }
+        StepVerdict::Pass
+    })
+}
+
+/// [`step_point`] narrowed to the crash verdict (test convenience; the
+/// services layer consumes the full verdict).
+pub fn crash_point() -> bool {
+    step_point() == StepVerdict::Crash
 }
 
 #[cfg(test)]
@@ -402,6 +583,49 @@ mod tests {
         };
         assert_eq!(keys(5), keys(5));
         assert_ne!(keys(5), keys(6));
+    }
+
+    /// One combined test: the crash plan is process-global state, so the
+    /// scenarios must run sequentially.
+    #[test]
+    fn crash_plan_lifecycle() {
+        // fires at the exact step, then keeps the system dead while armed
+        let key = instance_key("P13", 0, 0);
+        arm_crash(CrashPlan { key, step: 2 });
+        {
+            let _g = instance_scope("P13", 0, 0);
+            assert!(!crash_point(), "step 0 survives");
+            assert!(!crash_point(), "step 1 survives");
+            assert!(crash_point(), "step 2 dies");
+            assert!(crash_tripped());
+            assert!(crash_point(), "system stays dead while armed");
+        }
+        assert!(crash_steps_seen() >= 3);
+        disarm_crash();
+        assert!(!crash_point(), "restarted system runs normally");
+
+        // other instances never consume the planned instance's steps
+        arm_crash(CrashPlan { key, step: 0 });
+        {
+            let _g = instance_scope("P05", 0, 0);
+            assert!(!crash_point(), "different instance is not the target");
+        }
+        assert!(!crash_tripped());
+        assert_eq!(crash_steps_seen(), 0);
+
+        // FORK branches inherit the root identity and stay crashable
+        {
+            let _g = instance_scope("P13", 0, 0);
+            let snap = snapshot().unwrap();
+            let _b = adopt(snap, 1);
+            assert!(crash_point(), "branch op is step 0 of the root instance");
+        }
+        disarm_crash();
+
+        // outside any scope nothing fires even when armed
+        arm_crash(CrashPlan { key, step: 0 });
+        assert!(!crash_point());
+        disarm_crash();
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl Database {
     /// Register a table; replaces any table with the same (case-insensitive)
     /// name.
     pub fn create_table(&self, table: Table) -> Arc<Table> {
-        let t = Arc::new(table);
+        // `into_shared` arms the table's transaction machinery: catalog
+        // tables always participate in undo-logged scopes.
+        let t = table.into_shared();
         self.tables.write().insert(t.name.to_lowercase(), t.clone());
         t
     }

@@ -20,6 +20,11 @@ pub enum TransportKind {
     Partition,
     /// The caller's circuit breaker is open; no attempt was made.
     CircuitOpen,
+    /// The integration system itself was killed mid-operation (deterministic
+    /// crash injection). NOT transient: the instance must not be retried or
+    /// dead-lettered by the dying process — recovery replays it after
+    /// restart.
+    Crash,
 }
 
 impl TransportKind {
@@ -29,6 +34,7 @@ impl TransportKind {
             TransportKind::Timeout => "timeout",
             TransportKind::Partition => "partition",
             TransportKind::CircuitOpen => "circuit-open",
+            TransportKind::Crash => "crash",
         }
     }
 }
@@ -42,6 +48,14 @@ pub struct TransportFault {
     /// Attempts made before surfacing the fault (≥ 1 unless the breaker
     /// rejected the operation outright).
     pub attempts: u32,
+}
+
+impl TransportFault {
+    /// Whether a retry of the faulted operation could plausibly succeed.
+    /// Everything except an injected system crash is transient.
+    pub fn is_transient(&self) -> bool {
+        self.kind != TransportKind::Crash
+    }
 }
 
 impl fmt::Display for TransportFault {
@@ -87,9 +101,10 @@ pub enum StoreError {
 impl StoreError {
     /// Whether retrying the same operation could plausibly succeed.
     /// Transport faults are the only transient class — every other variant
-    /// is a deterministic property of the data or the request.
+    /// is a deterministic property of the data or the request. An injected
+    /// crash travels as a transport fault but is *not* transient.
     pub fn is_transient(&self) -> bool {
-        matches!(self, StoreError::Transport(_))
+        matches!(self, StoreError::Transport(t) if t.is_transient())
     }
 
     /// The transport fault carried by this error, if any.

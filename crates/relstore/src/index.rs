@@ -163,6 +163,21 @@ impl Index {
         }
     }
 
+    /// Every (key, postings) pair in a deterministic order (keys sorted by
+    /// their debug rendering, postings sorted numerically) — the byte-
+    /// identity dump used by transaction-rollback tests.
+    pub fn entries(&self) -> Vec<(KeyTuple, Vec<usize>)> {
+        let mut out: Vec<(KeyTuple, Vec<usize>)> = match &self.store {
+            Store::Hash(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Store::BTree(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        };
+        for (_, slots) in &mut out {
+            slots.sort_unstable();
+        }
+        out.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        out
+    }
+
     /// Number of distinct keys currently indexed.
     pub fn distinct_keys(&self) -> usize {
         match &self.store {

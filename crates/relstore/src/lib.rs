@@ -40,6 +40,7 @@ pub mod query;
 pub mod row;
 pub mod schema;
 pub mod table;
+pub mod tx;
 pub mod value;
 
 /// The items almost every user of the crate needs.
@@ -55,5 +56,7 @@ pub mod prelude {
     pub use crate::row::{Relation, Row};
     pub use crate::schema::{Column, RelSchema, SchemaRef};
     pub use crate::table::Table;
+    pub use crate::tx;
+    pub use crate::tx::TxScope;
     pub use crate::value::{days_from_civil, parse_date, render_date, SqlType, Value};
 }

@@ -76,14 +76,27 @@ impl MatView {
     }
 
     /// Refresh the view; returns the number of rows now materialized.
+    ///
+    /// The refresh runs in its own transaction scope (nested if the caller
+    /// already opened one): an error mid-refresh used to leave the base
+    /// table's drained change log lost and the storage table half-applied —
+    /// rollback now restores both, so a failed refresh can simply be
+    /// retried.
     pub fn refresh(&self, db: &Database) -> StoreResult<usize> {
-        match self.mode {
+        let tx = crate::tx::begin();
+        let result = match self.mode {
             RefreshMode::Full => self.full_refresh(db),
-            RefreshMode::Incremental => match self.try_incremental(db)? {
-                Some(n) => Ok(n),
-                None => self.full_refresh(db),
+            RefreshMode::Incremental => match self.try_incremental(db) {
+                Ok(Some(n)) => Ok(n),
+                Ok(None) => self.full_refresh(db),
+                Err(e) => Err(e),
             },
+        };
+        match &result {
+            Ok(_) => tx.commit(),
+            Err(_) => tx.rollback(),
         }
+        result
     }
 
     fn full_refresh(&self, db: &Database) -> StoreResult<usize> {
@@ -393,6 +406,64 @@ mod tests {
             .get_by_pk(&[Value::str("Berlin")])
             .unwrap();
         assert_eq!(row[1], Value::Float(4.0));
+    }
+
+    /// Regression: an error mid-incremental-refresh used to *consume* the
+    /// base table's drained change log and leave the storage table with a
+    /// prefix of the deltas applied. The refresh-scoped transaction must
+    /// restore both, so the failed refresh is retryable.
+    #[test]
+    fn failed_incremental_refresh_rolls_back() {
+        use crate::schema::Column;
+        let db = Database::new("dwh");
+        // base allows NULL city; the storage table does not — applying a
+        // NULL-keyed delta fails the storage schema check mid-loop
+        let orders = RelSchema::of(&[("city", SqlType::Str), ("price", SqlType::Float)]).shared();
+        db.create_table(Table::new("orders", orders).with_change_capture());
+        let mv_schema = RelSchema::new(vec![
+            Column::not_null("city", SqlType::Str),
+            Column::new("revenue", SqlType::Float),
+            Column::new("cnt", SqlType::Int),
+        ])
+        .shared();
+        db.create_table(
+            Table::new("orders_mv", mv_schema)
+                .with_primary_key(&["city"])
+                .unwrap(),
+        );
+        let def = Plan::scan("orders").aggregate(
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(1), "revenue"),
+                AggExpr::count_star("cnt"),
+            ],
+        );
+        db.create_view(MatView::new(
+            "orders_mv",
+            "orders_mv",
+            def,
+            RefreshMode::Incremental,
+        ));
+        add(&db, "Berlin", 10.0);
+        db.refresh_view("orders_mv").unwrap();
+        let mv_before = db.table("orders_mv").unwrap().state_dump();
+
+        // one good delta followed by one poisoned delta
+        add(&db, "Paris", 2.0);
+        db.table("orders")
+            .unwrap()
+            .insert(vec![vec![Value::Null, Value::Float(5.0)]])
+            .unwrap();
+        let pending = db.table("orders").unwrap().peek_changes();
+        assert_eq!(pending.len(), 2);
+
+        let err = db.refresh_view("orders_mv").unwrap_err();
+        assert!(matches!(err, StoreError::Constraint(_)), "{err}");
+        // storage unchanged: the good Paris delta did not leak through
+        assert_eq!(db.table("orders_mv").unwrap().state_dump(), mv_before);
+        // and the drained change log is back, so a later (fixed) refresh
+        // still sees every delta
+        assert_eq!(db.table("orders").unwrap().peek_changes(), pending);
     }
 
     #[test]

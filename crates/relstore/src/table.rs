@@ -16,14 +16,46 @@ use crate::expr::Expr;
 use crate::index::{key_of, Index, IndexKind};
 use crate::row::{Relation, Row};
 use crate::schema::SchemaRef;
+use crate::tx::TxShared;
 use crate::value::Value;
 use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, Weak};
 
 /// A captured mutation, consumed by incremental materialized-view refresh.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Change {
     Insert(Row),
     Delete(Row),
+}
+
+/// One physical undo step of an open transaction (see [`crate::tx`]).
+/// Records are applied in reverse order on rollback.
+#[derive(Debug)]
+enum UndoOp {
+    /// Rows were appended contiguously at the tail.
+    Appended { first_slot: usize, count: usize },
+    /// A row was replaced in place (upsert hit, update).
+    Replaced { slot: usize, old: Row },
+    /// A row was tombstoned (per-victim delete).
+    Deleted { slot: usize, old: Row },
+    /// The whole slot vector was wiped (full-wipe delete or truncate);
+    /// `restore_changes` carries the change log when the wipe cleared it.
+    Wiped {
+        slots: Vec<Option<Row>>,
+        live: usize,
+        restore_changes: Option<Vec<Change>>,
+    },
+    /// The change-capture log was drained (mview refresh).
+    Drained { changes: Vec<Change> },
+}
+
+#[derive(Debug)]
+struct UndoRecord {
+    /// Change-log length before this op, for capture tables: rollback
+    /// truncates the log back to it after undoing the data mutation.
+    changes_len: Option<usize>,
+    op: UndoOp,
 }
 
 #[derive(Debug, Default)]
@@ -36,6 +68,8 @@ struct TableInner {
     changes: Vec<Change>,
     /// Monotonic counter bumped on every mutation batch.
     generation: u64,
+    /// Per-transaction undo journals, keyed by transaction id.
+    undo: HashMap<u64, Vec<UndoRecord>>,
 }
 
 /// An in-memory heap table.
@@ -43,6 +77,11 @@ pub struct Table {
     pub name: String,
     pub schema: SchemaRef,
     inner: RwLock<TableInner>,
+    /// Weak self-pointer, set when the table becomes shared (catalog
+    /// registration or [`Table::into_shared`]); transactions use it to
+    /// find the table again at rollback time. Tables that never become
+    /// shared cannot participate in transactions.
+    self_ref: OnceLock<Weak<Table>>,
 }
 
 impl std::fmt::Debug for Table {
@@ -60,7 +99,123 @@ impl Table {
             name: name.into(),
             schema,
             inner: RwLock::new(TableInner::default()),
+            self_ref: OnceLock::new(),
         }
+    }
+
+    /// Wrap the table in an `Arc` and arm its transaction machinery (the
+    /// undo journal needs a weak self-pointer so rollback can reach the
+    /// table). [`crate::catalog::Database::create_table`] does this for
+    /// every catalog table.
+    pub fn into_shared(self) -> Arc<Table> {
+        let t = Arc::new(self);
+        let _ = t.self_ref.set(Arc::downgrade(&t));
+        t
+    }
+
+    /// Append an undo record for the innermost active transaction, if any.
+    /// Registers the table with the transaction on first touch (under the
+    /// table write lock, so exactly one thread registers).
+    fn journal(&self, inner: &mut TableInner, changes_len: Option<usize>, op: UndoOp) {
+        let Some(tx) = crate::tx::current() else {
+            return;
+        };
+        let Some(weak) = self.self_ref.get() else {
+            return;
+        };
+        let rec = UndoRecord { changes_len, op };
+        match inner.undo.entry(tx.id()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(rec),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                tx.register(weak.clone());
+                e.insert(vec![rec]);
+            }
+        }
+    }
+
+    /// Whether a mutation right now would be journaled — gates the extra
+    /// clones some undo records need.
+    fn journaling(&self) -> bool {
+        self.self_ref.get().is_some() && crate::tx::active()
+    }
+
+    /// Discard the undo journal of a committed transaction.
+    pub(crate) fn tx_discard(&self, txid: u64) {
+        self.inner.write().undo.remove(&txid);
+    }
+
+    /// Re-key a nested transaction's undo records onto its parent, so an
+    /// outer rollback still undoes the inner (committed) work.
+    pub(crate) fn tx_merge(&self, child: u64, parent: &Arc<TxShared>) {
+        let mut inner = self.inner.write();
+        let Some(mut recs) = inner.undo.remove(&child) else {
+            return;
+        };
+        match inner.undo.entry(parent.id()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().append(&mut recs),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if let Some(weak) = self.self_ref.get() {
+                    parent.register(weak.clone());
+                }
+                e.insert(recs);
+            }
+        }
+    }
+
+    /// Apply a transaction's undo journal in reverse, restoring the
+    /// pre-transaction state; returns the number of records applied. The
+    /// generation still advances — rolled-back state must never satisfy a
+    /// generation-keyed cache.
+    pub(crate) fn tx_rollback(&self, txid: u64) -> u64 {
+        let mut inner = self.inner.write();
+        let Some(records) = inner.undo.remove(&txid) else {
+            return 0;
+        };
+        let n = records.len() as u64;
+        for rec in records.into_iter().rev() {
+            apply_undo(&mut inner, rec);
+        }
+        inner.generation += 1;
+        n
+    }
+
+    /// Number of open transaction journals on this table (tests).
+    pub fn undo_footprint(&self) -> usize {
+        self.inner.read().undo.len()
+    }
+
+    /// Replace the pending change-capture log wholesale — recovery-only:
+    /// a checkpoint restore re-seeds the log a crashed run had pending.
+    pub fn seed_changes(&self, changes: Vec<Change>) {
+        self.inner.write().changes = changes;
+    }
+
+    /// Snapshot the pending change-capture log without draining it
+    /// (checkpointing needs to persist undelivered deltas).
+    pub fn peek_changes(&self) -> Vec<Change> {
+        self.inner.read().changes.clone()
+    }
+
+    /// Render the table's full physical state — slots (tombstones
+    /// included), live count, every index's postings, and the change log —
+    /// for byte-identity assertions in rollback tests. The generation
+    /// counter is deliberately excluded: it advances on rollback.
+    pub fn state_dump(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.read();
+        let mut out = String::new();
+        let _ = writeln!(out, "table {} live={}", self.name, inner.live);
+        for (slot, row) in inner.slots.iter().enumerate() {
+            let _ = writeln!(out, "  slot {slot}: {row:?}");
+        }
+        for ix in inner.primary.iter().chain(inner.secondary.iter()) {
+            let _ = writeln!(out, "  index {}:", ix.name);
+            for (key, slots) in ix.entries() {
+                let _ = writeln!(out, "    {key:?} -> {slots:?}");
+            }
+        }
+        let _ = writeln!(out, "  changes: {:?}", inner.changes);
+        out
     }
 
     /// Declare the primary key over the named columns (hash-unique).
@@ -180,6 +335,16 @@ impl Table {
             }
         }
         let n = rows.len();
+        let changes_len = inner.capture.then(|| inner.changes.len());
+        let first_slot = inner.slots.len();
+        self.journal(
+            &mut inner,
+            changes_len,
+            UndoOp::Appended {
+                first_slot,
+                count: n,
+            },
+        );
         for r in rows {
             let slot = inner.slots.len();
             if let Some(pk) = &mut inner.primary {
@@ -202,10 +367,38 @@ impl Table {
     /// Insert rows, silently skipping those whose primary key already
     /// exists — the "merge" flavour used by replication-style processes.
     pub fn insert_ignore_duplicates(&self, rows: Vec<Row>) -> StoreResult<usize> {
-        let mut inserted = 0;
         let mut inner = self.inner.write();
+        // This path validates per row *inside* the loop, so it can error
+        // after appending a prefix of the batch — journal whatever actually
+        // landed (appends are contiguous: skipped duplicates append nothing)
+        // so an enclosing transaction can undo the partial write.
+        let first_slot = inner.slots.len();
+        let changes_len = inner.capture.then(|| inner.changes.len());
+        let result = Self::insert_ignore_inner(&self.schema, &mut inner, rows);
+        let appended = inner.slots.len() - first_slot;
+        if appended > 0 {
+            self.journal(
+                &mut inner,
+                changes_len,
+                UndoOp::Appended {
+                    first_slot,
+                    count: appended,
+                },
+            );
+            inner.generation += 1;
+        }
+        crate::alloc::count_rows_inserted(appended as u64);
+        result
+    }
+
+    fn insert_ignore_inner(
+        schema: &SchemaRef,
+        inner: &mut TableInner,
+        rows: Vec<Row>,
+    ) -> StoreResult<usize> {
+        let mut inserted = 0;
         for r in rows {
-            self.schema.check_row(&r)?;
+            schema.check_row(&r)?;
             // Extract the primary key once; the uniqueness probe and the
             // index registration below share the tuple.
             let pk_key = inner
@@ -234,10 +427,6 @@ impl Table {
             inner.live += 1;
             inserted += 1;
         }
-        if inserted > 0 {
-            inner.generation += 1;
-        }
-        crate::alloc::count_rows_inserted(inserted as u64);
         Ok(inserted)
     }
 
@@ -250,12 +439,14 @@ impl Table {
                 self.name
             )));
         }
+        let journaling = self.journaling();
         let mut n = 0;
         for r in rows {
             self.schema.check_row(&r)?;
             let pk_cols = inner.primary.as_ref().unwrap().columns.clone();
             let key = key_of(&r, &pk_cols);
             let existing = inner.primary.as_ref().unwrap().lookup(&key);
+            let changes_len = inner.capture.then(|| inner.changes.len());
             if let Some(&slot) = existing.first() {
                 let old = inner.slots[slot].take().expect("live slot");
                 if let Some(pk) = &mut inner.primary {
@@ -264,17 +455,20 @@ impl Table {
                 for ix in &mut inner.secondary {
                     ix.remove(&old, slot);
                 }
-                if inner.capture {
-                    inner.changes.push(Change::Delete(old));
-                    inner.changes.push(Change::Insert(r.clone()));
-                }
                 if let Some(pk) = &mut inner.primary {
                     pk.insert(&r, slot);
                 }
                 for ix in &mut inner.secondary {
                     ix.insert(&r, slot);
                 }
+                if inner.capture {
+                    inner.changes.push(Change::Delete(old.clone()));
+                    inner.changes.push(Change::Insert(r.clone()));
+                }
                 inner.slots[slot] = Some(r);
+                if journaling {
+                    self.journal(&mut inner, changes_len, UndoOp::Replaced { slot, old });
+                }
             } else {
                 let slot = inner.slots.len();
                 if let Some(pk) = &mut inner.primary {
@@ -288,6 +482,16 @@ impl Table {
                 }
                 inner.slots.push(Some(r));
                 inner.live += 1;
+                if journaling {
+                    self.journal(
+                        &mut inner,
+                        changes_len,
+                        UndoOp::Appended {
+                            first_slot: slot,
+                            count: 1,
+                        },
+                    );
+                }
             }
             n += 1;
         }
@@ -310,14 +514,16 @@ impl Table {
         if n == 0 {
             return Ok(0);
         }
+        let journaling = self.journaling();
         if n == inner.live {
             // Full wipe (e.g. staging flush with a `true` predicate): clear
             // indexes wholesale instead of removing every key one by one.
             // All slots are gone afterwards, so no index entry can dangle.
+            let changes_len = inner.capture.then(|| inner.changes.len());
             let slots = std::mem::take(&mut inner.slots);
             if inner.capture {
-                for row in slots.into_iter().flatten() {
-                    inner.changes.push(Change::Delete(row));
+                for row in slots.iter().flatten() {
+                    inner.changes.push(Change::Delete(row.clone()));
                 }
             }
             if let Some(pk) = &mut inner.primary {
@@ -326,11 +532,24 @@ impl Table {
             for ix in &mut inner.secondary {
                 ix.clear();
             }
+            let live = inner.live;
             inner.live = 0;
             inner.generation += 1;
+            if journaling {
+                self.journal(
+                    &mut inner,
+                    changes_len,
+                    UndoOp::Wiped {
+                        slots,
+                        live,
+                        restore_changes: None,
+                    },
+                );
+            }
             return Ok(n);
         }
         for slot in &victims {
+            let changes_len = inner.capture.then(|| inner.changes.len());
             let old = inner.slots[*slot].take().expect("live slot");
             if let Some(pk) = &mut inner.primary {
                 pk.remove(&old, *slot);
@@ -339,9 +558,16 @@ impl Table {
                 ix.remove(&old, *slot);
             }
             if inner.capture {
-                inner.changes.push(Change::Delete(old));
+                inner.changes.push(Change::Delete(old.clone()));
             }
             inner.live -= 1;
+            if journaling {
+                self.journal(
+                    &mut inner,
+                    changes_len,
+                    UndoOp::Deleted { slot: *slot, old },
+                );
+            }
         }
         inner.generation += 1;
         Ok(n)
@@ -365,7 +591,9 @@ impl Table {
             }
         }
         let n = updates.len();
+        let journaling = self.journaling();
         for (slot, new) in updates {
+            let changes_len = inner.capture.then(|| inner.changes.len());
             let old = inner.slots[slot].take().expect("live slot");
             if let Some(pk) = &mut inner.primary {
                 pk.remove(&old, slot);
@@ -376,10 +604,13 @@ impl Table {
                 ix.insert(&new, slot);
             }
             if inner.capture {
-                inner.changes.push(Change::Delete(old));
+                inner.changes.push(Change::Delete(old.clone()));
                 inner.changes.push(Change::Insert(new.clone()));
             }
             inner.slots[slot] = Some(new);
+            if journaling {
+                self.journal(&mut inner, changes_len, UndoOp::Replaced { slot, old });
+            }
         }
         if n > 0 {
             inner.generation += 1;
@@ -390,7 +621,9 @@ impl Table {
     /// Remove all rows (and reset indexes and the change log).
     pub fn truncate(&self) {
         let mut inner = self.inner.write();
-        inner.slots.clear();
+        let slots = std::mem::take(&mut inner.slots);
+        let changes = std::mem::take(&mut inner.changes);
+        let live = inner.live;
         inner.live = 0;
         if let Some(pk) = &mut inner.primary {
             pk.clear();
@@ -398,8 +631,18 @@ impl Table {
         for ix in &mut inner.secondary {
             ix.clear();
         }
-        inner.changes.clear();
         inner.generation += 1;
+        if self.journaling() {
+            self.journal(
+                &mut inner,
+                None,
+                UndoOp::Wiped {
+                    slots,
+                    live,
+                    restore_changes: Some(changes),
+                },
+            );
+        }
     }
 
     /// Materialize the whole table.
@@ -539,12 +782,113 @@ impl Table {
 
     /// Drain captured changes since the last drain.
     pub fn drain_changes(&self) -> Vec<Change> {
-        std::mem::take(&mut self.inner.write().changes)
+        let mut inner = self.inner.write();
+        let drained = std::mem::take(&mut inner.changes);
+        if !drained.is_empty() && self.journaling() {
+            self.journal(
+                &mut inner,
+                None,
+                UndoOp::Drained {
+                    changes: drained.clone(),
+                },
+            );
+        }
+        drained
     }
 
     /// Whether change capture is enabled.
     pub fn captures_changes(&self) -> bool {
         self.inner.read().capture
+    }
+}
+
+/// Undo one journal record (see [`UndoOp`] for the forward ops).
+fn apply_undo(inner: &mut TableInner, rec: UndoRecord) {
+    match rec.op {
+        UndoOp::Appended { first_slot, count } => {
+            for slot in first_slot..first_slot + count {
+                if let Some(row) = inner.slots[slot].take() {
+                    if let Some(pk) = &mut inner.primary {
+                        pk.remove(&row, slot);
+                    }
+                    for ix in &mut inner.secondary {
+                        ix.remove(&row, slot);
+                    }
+                    inner.live -= 1;
+                }
+            }
+            // restore the exact slot-vector length when nothing was
+            // appended after us; otherwise the tombstones must stay
+            if inner.slots.len() == first_slot + count {
+                inner.slots.truncate(first_slot);
+            }
+        }
+        UndoOp::Replaced { slot, old } => {
+            if let Some(new) = inner.slots[slot].take() {
+                if let Some(pk) = &mut inner.primary {
+                    pk.remove(&new, slot);
+                }
+                for ix in &mut inner.secondary {
+                    ix.remove(&new, slot);
+                }
+            }
+            if let Some(pk) = &mut inner.primary {
+                pk.insert(&old, slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.insert(&old, slot);
+            }
+            inner.slots[slot] = Some(old);
+        }
+        UndoOp::Deleted { slot, old } => {
+            if let Some(pk) = &mut inner.primary {
+                pk.insert(&old, slot);
+            }
+            for ix in &mut inner.secondary {
+                ix.insert(&old, slot);
+            }
+            inner.slots[slot] = Some(old);
+            inner.live += 1;
+        }
+        UndoOp::Wiped {
+            slots,
+            live,
+            restore_changes,
+        } => {
+            inner.slots = slots;
+            inner.live = live;
+            let TableInner {
+                ref slots,
+                ref mut primary,
+                ref mut secondary,
+                ..
+            } = *inner;
+            if let Some(pk) = primary.as_mut() {
+                pk.clear();
+            }
+            for ix in secondary.iter_mut() {
+                ix.clear();
+            }
+            for (slot, row) in slots.iter().enumerate() {
+                if let Some(row) = row {
+                    if let Some(pk) = primary.as_mut() {
+                        pk.insert(row, slot);
+                    }
+                    for ix in secondary.iter_mut() {
+                        ix.insert(row, slot);
+                    }
+                }
+            }
+            if let Some(c) = restore_changes {
+                inner.changes = c;
+            }
+        }
+        UndoOp::Drained { changes } => {
+            inner.changes = changes;
+        }
+    }
+    if let Some(len) = rec.changes_len {
+        inner.changes.truncate(len);
     }
 }
 

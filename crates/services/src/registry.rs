@@ -155,6 +155,31 @@ impl ExternalWorld {
     where
         E: From<TransportFault>,
     {
+        // Deterministic crash/abort injection: every round trip is one
+        // materialization step. The check runs *before* the effect, so a
+        // planned step is all-or-nothing — the instance's partial state is
+        // whatever earlier steps materialized, which the enclosing
+        // transaction scope rolls back. A crash is non-transient (the
+        // system is dead; recovery replays the instance); an abort is a
+        // transient fault with retries exhausted (the message dead-letters
+        // and is never replayed).
+        match fault::step_point() {
+            fault::StepVerdict::Pass => {}
+            fault::StepVerdict::Crash => {
+                return Err(E::from(TransportFault {
+                    endpoint: endpoint.to_string(),
+                    kind: TransportKind::Crash,
+                    attempts: 0,
+                }));
+            }
+            fault::StepVerdict::Abort => {
+                return Err(E::from(TransportFault {
+                    endpoint: endpoint.to_string(),
+                    kind: TransportKind::Drop,
+                    attempts: 0,
+                }));
+            }
+        }
         let guarded = self
             .resilience
             .as_ref()

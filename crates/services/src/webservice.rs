@@ -26,12 +26,9 @@ pub enum ServiceError {
 impl ServiceError {
     /// Whether retrying the same call could plausibly succeed. Delegates
     /// to the wrapped store error so transport-ness survives layering.
+    /// An injected crash travels as a transport fault but is not transient.
     pub fn is_transient(&self) -> bool {
-        match self {
-            ServiceError::Transport(_) => true,
-            ServiceError::Store(e) => e.is_transient(),
-            _ => false,
-        }
+        self.transport().is_some_and(|t| t.is_transient())
     }
 
     /// The transport fault carried by this error, if any.
