@@ -1,0 +1,229 @@
+//! The declarative engine registry.
+//!
+//! One [`EngineSpec`] per system under test. The CLI resolves `--engine`
+//! values, usage strings, record tags and display labels here, so adding
+//! an engine is one table entry plus a crate dependency — no new `match`
+//! arms in `main.rs`.
+
+use crate::EngineKind;
+use dip_feddbms::{FedDbms, FedOptions};
+use dip_ivm::IvmSystem;
+use dipbench::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// The benchmark's full process set, P01–P15.
+pub const ALL_PROCESSES: [&str; 15] = [
+    "P01", "P02", "P03", "P04", "P05", "P06", "P07", "P08", "P09", "P10", "P11", "P12", "P13",
+    "P14", "P15",
+];
+
+/// Everything the harness needs to know about one system under test.
+pub struct EngineSpec {
+    pub kind: EngineKind,
+    /// Canonical short tag: the `--engine` value, the record/bench-file
+    /// `engine` field, and the default record filename stem.
+    pub tag: &'static str,
+    /// Accepted `--engine` spellings besides the tag.
+    pub aliases: &'static [&'static str],
+    /// Human-readable label, reported as `RunOutcome::system`.
+    pub label: &'static str,
+    /// One-line description for `--help`.
+    pub description: &'static str,
+    /// Whether the crash/recovery gate applies: engines with asynchronous
+    /// ack-before-effect delivery (the EAI broker) cannot give the
+    /// byte-identity guarantee the gate checks.
+    pub crash_capable: bool,
+    /// The process set the engine realizes (all engines cover P01–P15;
+    /// partial engines would list fewer and the client would refuse
+    /// mismatched deployments).
+    pub supported: &'static [&'static str],
+    /// Processes this engine maintains *incrementally* from change data
+    /// rather than by full refresh (empty for snapshot engines).
+    pub incremental: &'static [&'static str],
+    /// Constructor over an environment's external world.
+    pub build: fn(&BenchEnvironment) -> Arc<dyn IntegrationSystem>,
+}
+
+/// The registry: an ordered list of [`EngineSpec`]s (order is the order
+/// engines appear in usage text and report columns).
+pub struct EngineRegistry {
+    specs: Vec<EngineSpec>,
+}
+
+fn build_fed(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(FedDbms::new(env.world.clone(), FedOptions::default()))
+}
+
+fn build_fed_unopt(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(FedDbms::new(
+        env.world.clone(),
+        FedOptions {
+            optimize_relational: false,
+        },
+    ))
+}
+
+fn build_mtm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(MtmSystem::new(env.world.clone()))
+}
+
+fn build_eai(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(EaiSystem::new(env.world.clone(), 4))
+}
+
+fn build_ivm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(IvmSystem::new(env.world.clone()))
+}
+
+impl EngineRegistry {
+    /// The built-in engines, in presentation order.
+    pub fn builtin() -> &'static EngineRegistry {
+        static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| EngineRegistry {
+            specs: vec![
+                EngineSpec {
+                    kind: EngineKind::Federated,
+                    tag: "fed",
+                    aliases: &["federated"],
+                    label: "federated-dbms",
+                    description: "federated-DBMS reference implementation (default)",
+                    crash_capable: true,
+                    supported: &ALL_PROCESSES,
+                    incremental: &[],
+                    build: build_fed,
+                },
+                EngineSpec {
+                    kind: EngineKind::Mtm,
+                    tag: "mtm",
+                    aliases: &[],
+                    label: "mtm-engine",
+                    description: "native message-transformation-model engine",
+                    crash_capable: true,
+                    supported: &ALL_PROCESSES,
+                    incremental: &[],
+                    build: build_mtm,
+                },
+                EngineSpec {
+                    kind: EngineKind::FederatedUnoptimized,
+                    tag: "fed-unopt",
+                    aliases: &[],
+                    label: "federated-dbms (no optimizer)",
+                    description: "federated engine with the relational optimizer disabled",
+                    crash_capable: true,
+                    supported: &ALL_PROCESSES,
+                    incremental: &[],
+                    build: build_fed_unopt,
+                },
+                EngineSpec {
+                    kind: EngineKind::Eai,
+                    tag: "eai",
+                    aliases: &[],
+                    label: "eai-server",
+                    description: "asynchronous EAI-broker-style engine",
+                    crash_capable: false,
+                    supported: &ALL_PROCESSES,
+                    incremental: &[],
+                    build: build_eai,
+                },
+                EngineSpec {
+                    kind: EngineKind::Ivm,
+                    tag: "ivm",
+                    aliases: &[],
+                    label: "ivm-engine",
+                    description: "incremental view maintenance over change-capture logs",
+                    crash_capable: true,
+                    supported: &ALL_PROCESSES,
+                    incremental: &["P09", "P11", "P13", "P14"],
+                    build: build_ivm,
+                },
+            ],
+        })
+    }
+
+    pub fn specs(&self) -> &[EngineSpec] {
+        &self.specs
+    }
+
+    /// Resolve an `--engine` value by tag or alias.
+    pub fn resolve(&self, name: &str) -> Option<&EngineSpec> {
+        self.specs
+            .iter()
+            .find(|s| s.tag == name || s.aliases.contains(&name))
+    }
+
+    /// The spec for a kind (every kind is registered; this cannot miss).
+    pub fn spec_of(&self, kind: EngineKind) -> &EngineSpec {
+        self.specs
+            .iter()
+            .find(|s| s.kind == kind)
+            .expect("every EngineKind is registered")
+    }
+
+    /// Pipe-joined tag list for usage text, e.g. `fed|mtm|fed-unopt|eai|ivm`.
+    pub fn usage_tags(&self) -> String {
+        let tags: Vec<&str> = self.specs.iter().map(|s| s.tag).collect();
+        tags.join("|")
+    }
+
+    /// Tag list restricted to crash-capable engines.
+    pub fn crash_usage_tags(&self) -> String {
+        let tags: Vec<&str> = self
+            .specs
+            .iter()
+            .filter(|s| s.crash_capable)
+            .map(|s| s.tag)
+            .collect();
+        tags.join("|")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_tags_and_aliases() {
+        let reg = EngineRegistry::builtin();
+        assert_eq!(reg.resolve("fed").unwrap().kind, EngineKind::Federated);
+        assert_eq!(
+            reg.resolve("federated").unwrap().kind,
+            EngineKind::Federated
+        );
+        assert_eq!(reg.resolve("ivm").unwrap().kind, EngineKind::Ivm);
+        assert!(reg.resolve("nope").is_none());
+    }
+
+    #[test]
+    fn every_kind_has_a_spec_and_tags_are_unique() {
+        let reg = EngineRegistry::builtin();
+        let mut tags: Vec<&str> = reg.specs().iter().map(|s| s.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), reg.specs().len(), "duplicate engine tags");
+        for spec in reg.specs() {
+            assert_eq!(reg.spec_of(spec.kind).tag, spec.tag);
+            assert_eq!(spec.supported.len(), 15, "{} process set", spec.tag);
+        }
+    }
+
+    #[test]
+    fn usage_lists_are_registry_driven() {
+        let reg = EngineRegistry::builtin();
+        assert_eq!(reg.usage_tags(), "fed|mtm|fed-unopt|eai|ivm");
+        // eai acks before effect: excluded from the crash gate
+        assert_eq!(reg.crash_usage_tags(), "fed|mtm|fed-unopt|ivm");
+    }
+
+    #[test]
+    fn ivm_is_the_only_incremental_engine() {
+        let reg = EngineRegistry::builtin();
+        for spec in reg.specs() {
+            if spec.tag == "ivm" {
+                assert_eq!(spec.incremental, &["P09", "P11", "P13", "P14"]);
+            } else {
+                assert!(spec.incremental.is_empty(), "{}", spec.tag);
+            }
+        }
+    }
+}

@@ -2,12 +2,18 @@
 //! engine construction, experiment execution, and the per-figure
 //! configurations of EXPERIMENTS.md.
 
-use dip_feddbms::{FedDbms, FedOptions};
 use dipbench::prelude::*;
 use dipbench::verify::{self, VerificationReport};
 use std::sync::Arc;
 
-/// Which integration system to benchmark.
+pub mod barometer;
+
+use barometer::EngineRegistry;
+
+/// Which integration system to benchmark. The registry
+/// ([`barometer::EngineRegistry`]) is the source of truth for tags,
+/// labels, constructors and capabilities; this enum is the cheap copyable
+/// handle the harness passes around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// The federated-DBMS reference implementation (the paper's System A
@@ -20,42 +26,31 @@ pub enum EngineKind {
     FederatedUnoptimized,
     /// The EAI-server-style asynchronous broker (paper §VII future work).
     Eai,
+    /// The incremental view-maintenance engine: P09/P11/P13/P14 as
+    /// standing queries over change-capture logs.
+    Ivm,
 }
 
 impl EngineKind {
+    /// Resolve an `--engine` value (registry tag or alias).
     pub fn parse(s: &str) -> Option<EngineKind> {
-        match s {
-            "fed" | "federated" => Some(EngineKind::Federated),
-            "mtm" => Some(EngineKind::Mtm),
-            "fed-unopt" => Some(EngineKind::FederatedUnoptimized),
-            "eai" => Some(EngineKind::Eai),
-            _ => None,
-        }
+        EngineRegistry::builtin().resolve(s).map(|spec| spec.kind)
     }
 
+    /// Human-readable label, e.g. `federated-dbms`.
     pub fn label(&self) -> &'static str {
-        match self {
-            EngineKind::Federated => "federated-dbms",
-            EngineKind::Mtm => "mtm-engine",
-            EngineKind::FederatedUnoptimized => "federated-dbms (no optimizer)",
-            EngineKind::Eai => "eai-server",
-        }
+        EngineRegistry::builtin().spec_of(*self).label
+    }
+
+    /// Canonical short tag, e.g. `fed` — used in record files and CLI.
+    pub fn tag(&self) -> &'static str {
+        EngineRegistry::builtin().spec_of(*self).tag
     }
 }
 
 /// Build the system under test over an environment's world.
 pub fn build_system(kind: EngineKind, env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
-    match kind {
-        EngineKind::Federated => Arc::new(FedDbms::new(env.world.clone(), FedOptions::default())),
-        EngineKind::FederatedUnoptimized => Arc::new(FedDbms::new(
-            env.world.clone(),
-            FedOptions {
-                optimize_relational: false,
-            },
-        )),
-        EngineKind::Mtm => Arc::new(MtmSystem::new(env.world.clone())),
-        EngineKind::Eai => Arc::new(EaiSystem::new(env.world.clone(), 4)),
-    }
+    (EngineRegistry::builtin().spec_of(kind).build)(env)
 }
 
 /// One full experiment: environment + work phase + verification.
@@ -138,13 +133,17 @@ mod tests {
     #[test]
     fn engine_kind_parsing() {
         assert_eq!(EngineKind::parse("fed"), Some(EngineKind::Federated));
+        assert_eq!(EngineKind::parse("federated"), Some(EngineKind::Federated));
         assert_eq!(EngineKind::parse("mtm"), Some(EngineKind::Mtm));
         assert_eq!(
             EngineKind::parse("fed-unopt"),
             Some(EngineKind::FederatedUnoptimized)
         );
         assert_eq!(EngineKind::parse("eai"), Some(EngineKind::Eai));
+        assert_eq!(EngineKind::parse("ivm"), Some(EngineKind::Ivm));
         assert_eq!(EngineKind::parse("nope"), None);
+        assert_eq!(EngineKind::Ivm.tag(), "ivm");
+        assert_eq!(EngineKind::Ivm.label(), "ivm-engine");
     }
 
     #[test]

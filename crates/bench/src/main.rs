@@ -5,7 +5,7 @@
 //! dipbench table1                         # paper Table I
 //! dipbench table2 [--d 0.05]              # paper Table II
 //! dipbench fig8                           # paper Fig. 8 data series
-//! dipbench fig10 [--periods 3] [--engine fed|mtm|fed-unopt|eai] [--trace f.json]
+//! dipbench fig10 [--periods 3] [--engine TAG] [--trace f.json]
 //! dipbench fig11 [--periods 3] [--engine ...] [--trace f.json]
 //! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...]
 //! dipbench compare [--periods 2]          # fed vs mtm, same configuration
@@ -14,11 +14,16 @@
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
 //! dipbench bench [--iterations N | --quick] [--check BENCH_4.json [--threshold 0.2]]
+//! dipbench report [--records DIR] [--format md|text] [--out FILE] [--check]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
 //! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...]
 //! dipbench crash [--seed 7] [--at STEP --process P09 | --sweep] [--no-rollback]
 //! ```
+//!
+//! Engine tags (`--engine`) resolve through the barometer's
+//! [`EngineRegistry`] — `dipbench help` lists what is registered.
 
+use dip_bench::barometer::{self, EngineRegistry, ReportFormat};
 use dip_bench::{build_system, run_experiment, shape_findings, EngineKind};
 use dip_trace::{DiffOptions, Json, ProcessStats, RunRecord, SCHEMA_VERSION};
 use dipbench::prelude::*;
@@ -47,6 +52,7 @@ fn main() {
         "quality" => quality(&args),
         "record" => record(&args),
         "bench" => bench(&args),
+        "report" => report_cmd(&args),
         "diff" => diff_records(&args),
         "faults" => faults(&args),
         "crash" => crash(&args),
@@ -67,8 +73,16 @@ fn main() {
             }
         }
         _ => {
+            let registry = EngineRegistry::builtin();
+            let mut engines = String::new();
+            for spec in registry.specs() {
+                engines.push_str(&format!(
+                    "                   {:<10} {}\n",
+                    spec.tag, spec.description
+                ));
+            }
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|diff|faults|crash|explain> [options]\n\
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|report|diff|faults|crash|explain> [options]\n\
                  \n\
                  commands:\n\
                    table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
@@ -78,16 +92,23 @@ fn main() {
                    quality                          data-quality profile per pipeline layer\n\
                    record                           run and write a versioned run record JSON\n\
                    bench                            wall-clock gate: N runs over one cached environment, writes BENCH_4.json\n\
+                   report                           cross-engine/cross-commit tables from committed records (exit 1 with --check on regression)\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
                    crash                            crash-restart recovery gate (exit 1 if recovery diverges)\n\
                    explain [P01..P15]               narrate process definitions\n\
                  \n\
-                 options: --periods N  --engine fed|mtm|fed-unopt|eai  --d X  --t X\n\
+                 engines (--engine {}):\n\
+                 {}\
+                 \n\
+                 options: --periods N  --engine TAG  --d X  --t X\n\
                           --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
                           --threshold X  --min-delta X  (diff only)\n\
+                          --records DIR  --bench-dir DIR  --format md|text  --check  (report only)\n\
                           --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)\n\
-                          --at STEP  --process Pxx  --seq N  --no-rollback  (crash only)"
+                          --at STEP  --process Pxx  --seq N  --no-rollback  (crash only)",
+                registry.usage_tags(),
+                engines
             );
             std::process::exit(2);
         }
@@ -162,19 +183,12 @@ fn scale_from_flags(args: &[String]) -> ScaleFactors {
 fn engine(args: &[String]) -> EngineKind {
     match flag_str(args, "--engine") {
         Some(s) => EngineKind::parse(&s).unwrap_or_else(|| {
-            fail_usage(&format!("unknown engine {s:?} (use fed|mtm|fed-unopt|eai)"))
+            fail_usage(&format!(
+                "unknown engine {s:?} (use {})",
+                EngineRegistry::builtin().usage_tags()
+            ))
         }),
         None => EngineKind::Federated,
-    }
-}
-
-/// Short engine tag for file names (vs the descriptive `label()`).
-fn engine_tag(kind: EngineKind) -> &'static str {
-    match kind {
-        EngineKind::Federated => "fed",
-        EngineKind::Mtm => "mtm",
-        EngineKind::FederatedUnoptimized => "fed-unopt",
-        EngineKind::Eai => "eai",
     }
 }
 
@@ -408,16 +422,23 @@ fn record(args: &[String]) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let rec = RunRecord {
+    let wall_ms = result.outcome.wall_time.as_secs_f64() * 1000.0;
+    let rows_inserted = counters
+        .iter()
+        .find(|(k, _)| k == "relstore.alloc.rows_inserted")
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    let rows_per_sec = rows_inserted as f64 / (wall_ms / 1000.0).max(1e-9);
+    let mut rec = RunRecord {
         schema_version: SCHEMA_VERSION,
         created_unix,
         commit: current_commit(),
-        engine: engine_tag(kind).to_string(),
+        engine: kind.tag().to_string(),
         datasize: scale.datasize,
         time: scale.time,
         distribution: scale.distribution.label().to_string(),
         periods: periods as u64,
-        wall_ms: result.outcome.wall_time.as_secs_f64() * 1000.0,
+        wall_ms,
         processes: result
             .outcome
             .metrics
@@ -436,12 +457,14 @@ fn record(args: &[String]) {
             .collect(),
         rollups: RunRecord::rollup_spans(&spans),
         counters,
+        cells: Vec::new(),
     };
+    rec.cells = rec.derive_cells(rows_per_sec);
     let path = match flag_str(args, "--out") {
         Some(p) => std::path::PathBuf::from(p),
         None => std::path::PathBuf::from(format!(
             "results/records/{}-d{}-t{}-{}.json",
-            engine_tag(kind),
+            kind.tag(),
             scale.datasize,
             scale.time,
             match scale.distribution {
@@ -473,9 +496,90 @@ fn record(args: &[String]) {
 
 /// Wall times [ms] of `dipbench record --d 0.05 --t 1.0 --f uniform
 /// --engine fed --periods 3` on the pre-optimization `main` (commit
-/// 4f0b975), measured on the development container. The bench gate
-/// reports the current numbers against these.
+/// 4f0b975), measured on the development container. Only the *last-resort*
+/// baseline: `bench` prefers the newest committed `BENCH_*.json` (see
+/// [`resolve_baseline`]), so the reported improvement tracks the actual
+/// commit history instead of one frozen machine measurement.
 const PRE_PR_WALL_MS: [f64; 3] = [251.3, 226.5, 194.9];
+
+/// The reference the bench gate reports improvements against:
+/// `(wall_ms history, mean, min, source description)`.
+///
+/// Resolution order: the newest committed `BENCH_*.json` in the working
+/// directory (highest numeric suffix) whose `wall_ms`/`stats` parse —
+/// matched to the same engine and datasize when possible — then the
+/// embedded [`PRE_PR_WALL_MS`] literal as last resort.
+fn resolve_baseline(engine_tag: &str, datasize: f64) -> (Vec<f64>, f64, f64, String) {
+    let mut candidates: Vec<(u64, String)> = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(".") {
+        for entry in rd.filter_map(|e| e.ok()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(suffix) = name
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+            {
+                if let Ok(order) = suffix.parse::<u64>() {
+                    candidates.push((order, name));
+                }
+            }
+        }
+    }
+    // newest first; prefer a matching (engine, datasize) cell, else any
+    candidates.sort_by(|a, b| b.cmp(a));
+    for require_match in [true, false] {
+        for (_, name) in &candidates {
+            let Ok(text) = std::fs::read_to_string(name) else {
+                continue;
+            };
+            let Ok(v) = Json::parse(&text) else { continue };
+            if require_match {
+                let same_engine = v.get("engine").and_then(Json::as_str) == Some(engine_tag);
+                let same_d = v
+                    .get("datasize")
+                    .and_then(Json::as_f64)
+                    .is_some_and(|d| (d - datasize).abs() < 1e-12);
+                if !(same_engine && same_d) {
+                    continue;
+                }
+            }
+            let stats = v.get("stats");
+            let (Some(warm_mean), Some(min)) = (
+                stats
+                    .and_then(|s| s.get("warm_mean"))
+                    .and_then(Json::as_f64),
+                stats.and_then(|s| s.get("min")).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let walls: Vec<f64> = v
+                .get("wall_ms")
+                .and_then(Json::as_arr)
+                .map(|arr| arr.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            let commit = v
+                .get("commit")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            return (
+                walls,
+                warm_mean,
+                min,
+                format!("committed {name} (commit {commit}, warm_mean/min stats)"),
+            );
+        }
+    }
+    let mean = PRE_PR_WALL_MS.iter().sum::<f64>() / PRE_PR_WALL_MS.len() as f64;
+    let min = PRE_PR_WALL_MS.iter().copied().fold(f64::INFINITY, f64::min);
+    (
+        PRE_PR_WALL_MS.to_vec(),
+        mean,
+        min,
+        "dipbench record --d 0.05 --t 1.0 --f uniform --engine fed --periods 3 \
+         on pre-optimization main (4f0b975); no committed BENCH_*.json found"
+            .to_string(),
+    )
+}
 
 /// `dipbench bench`: the wall-clock benchmark gate.
 ///
@@ -545,8 +649,8 @@ fn bench(args: &[String]) {
     // iteration 1 pays snapshot generation; the warm tail is the gate
     let warm = &walls_ms[1..];
     let warm_mean = mean(warm);
-    let base_mean = mean(&PRE_PR_WALL_MS);
-    let base_min = min(&PRE_PR_WALL_MS);
+    let (base_walls, base_mean, base_min, base_source) =
+        resolve_baseline(kind.tag(), scale.datasize);
     let improvement_mean = (base_mean - warm_mean) / base_mean;
     let improvement_min = (base_min - min(&walls_ms)) / base_min;
 
@@ -573,7 +677,7 @@ fn bench(args: &[String]) {
         ("schema_version", Json::num(SCHEMA_VERSION as f64)),
         ("kind", Json::str("bench")),
         ("commit", Json::str(current_commit())),
-        ("engine", Json::str(engine_tag(kind))),
+        ("engine", Json::str(kind.tag())),
         ("datasize", Json::num(scale.datasize)),
         ("time", Json::num(scale.time)),
         ("distribution", Json::str(scale.distribution.label())),
@@ -595,21 +699,15 @@ fn bench(args: &[String]) {
             ]),
         ),
         (
-            "baseline_pre_pr",
+            "baseline",
             Json::obj(vec![
                 (
                     "wall_ms",
-                    Json::Arr(PRE_PR_WALL_MS.iter().map(|&w| Json::num(w)).collect()),
+                    Json::Arr(base_walls.iter().map(|&w| Json::num(w)).collect()),
                 ),
                 ("mean", Json::num(base_mean)),
                 ("min", Json::num(base_min)),
-                (
-                    "source",
-                    Json::str(
-                        "dipbench record --d 0.05 --t 1.0 --f uniform --engine fed --periods 3 \
-                         on pre-optimization main (4f0b975)",
-                    ),
-                ),
+                ("source", Json::str(base_source.clone())),
             ]),
         ),
         (
@@ -659,13 +757,14 @@ fn bench(args: &[String]) {
         eprintln!("wrote {out}");
     }
     println!(
-        "wall [ms]: min {:.1}  mean {:.1}  warm mean {:.1}  (pre-PR baseline mean {:.1}, min {:.1})",
+        "wall [ms]: min {:.1}  mean {:.1}  warm mean {:.1}  (baseline mean {:.1}, min {:.1})",
         min(&walls_ms),
         mean(&walls_ms),
         warm_mean,
         base_mean,
         base_min
     );
+    println!("baseline: {base_source}");
     println!(
         "improvement: {:.1}% warm-mean vs baseline-mean, {:.1}% min vs baseline-min",
         improvement_mean * 100.0,
@@ -697,6 +796,55 @@ fn bench(args: &[String]) {
             "gate: warm mean {warm_mean:.1} ms within {:.0}% of committed {committed_warm:.1} ms",
             threshold * 100.0
         );
+    }
+}
+
+/// `dipbench report`: render the barometer — cross-engine NAVG+ tables and
+/// cross-commit regression flags — from the committed measurement history
+/// (`results/records/*.json` run records of any supported schema vintage
+/// plus `BENCH_*.json` wall-clock summaries). `--check` turns it into a
+/// gate: exit 1 when any cell regressed beyond `--threshold` (default 20%)
+/// against the best prior commit.
+fn report_cmd(args: &[String]) {
+    let records_dir = flag_str(args, "--records").unwrap_or_else(|| "results/records".to_string());
+    let bench_dir = flag_str(args, "--bench-dir").unwrap_or_else(|| ".".to_string());
+    let threshold = flag_f64(args, "--threshold").unwrap_or(0.20);
+    if threshold < 0.0 {
+        fail_usage("--threshold must be non-negative");
+    }
+    let format = match flag_str(args, "--format").as_deref() {
+        None | Some("md") | Some("markdown") => ReportFormat::Markdown,
+        Some("text") | Some("txt") => ReportFormat::Text,
+        Some(other) => fail_usage(&format!("unknown format {other:?} (use md|text)")),
+    };
+    let check = args.iter().any(|a| a == "--check");
+    let (records, record_warnings) =
+        barometer::report::load_records_dir(std::path::Path::new(&records_dir));
+    let (benches, bench_warnings) =
+        barometer::report::load_bench_files(std::path::Path::new(&bench_dir));
+    if records.is_empty() && benches.is_empty() {
+        fail_usage(&format!(
+            "no run records in {records_dir:?} and no BENCH_*.json in {bench_dir:?} — nothing to report"
+        ));
+    }
+    let mut rep = barometer::Report::build(&records, &benches, threshold);
+    for w in record_warnings.into_iter().chain(bench_warnings) {
+        rep.add_warning(w);
+    }
+    let rendered = rep.render(format);
+    if let Some(out) = flag_str(args, "--out") {
+        std::fs::write(&out, &rendered)
+            .unwrap_or_else(|e| fail_usage(&format!("cannot write {out}: {e}")));
+        eprintln!("wrote {out}");
+    }
+    print!("{rendered}");
+    if check && !rep.regressions().is_empty() {
+        eprintln!(
+            "REGRESSION: {} cell(s) beyond {:.0}% of the best prior commit",
+            rep.regressions().len(),
+            threshold * 100.0
+        );
+        std::process::exit(1);
     }
 }
 
@@ -871,10 +1019,25 @@ fn faults(args: &[String]) {
 /// exits 0 iff at least one swept step demonstrably diverges — proving
 /// the recovery guarantee actually rests on the atomicity layer.
 fn crash(args: &[String]) {
+    let registry = EngineRegistry::builtin();
     let kind = match flag_str(args, "--engine") {
-        Some(s) => EngineKind::parse(&s).unwrap_or_else(|| {
-            fail_usage(&format!("unknown engine {s:?} (use fed|mtm|fed-unopt)"))
-        }),
+        Some(s) => {
+            let spec = registry.resolve(&s).unwrap_or_else(|| {
+                fail_usage(&format!(
+                    "unknown engine {s:?} (use {})",
+                    registry.crash_usage_tags()
+                ))
+            });
+            if !spec.crash_capable {
+                fail_usage(&format!(
+                    "engine {:?} acks before effect and cannot give the byte-identity \
+                     guarantee the crash gate checks (use {})",
+                    spec.tag,
+                    registry.crash_usage_tags()
+                ));
+            }
+            spec.kind
+        }
         None => EngineKind::Mtm,
     };
     let d = flag_f64(args, "--d").unwrap_or(0.02);

@@ -79,7 +79,20 @@ pub fn sales_schema() -> SchemaRef {
 /// positions follow the concatenation order (each join appends the right
 /// side's columns).
 pub fn s1_plan() -> Plan {
-    let joined = Plan::scan("orderline")
+    s1_join_from(Plan::scan("orderline"))
+}
+
+/// The same nine-way join + projection, seeded from an orderline *delta*
+/// relation instead of the full `orderline` scan — the standing-query form
+/// an incremental view-maintenance engine evaluates per change batch. Both
+/// forms project identical columns, so on equal input rows they produce
+/// byte-identical sales rows.
+pub fn s1_delta_plan(orderline_delta: Relation) -> Plan {
+    s1_join_from(Plan::Values(orderline_delta))
+}
+
+fn s1_join_from(orderline: Plan) -> Plan {
+    let joined = orderline
         .hash_join(Plan::scan("orders"), vec![0], vec![0], JoinKind::Inner) // +6 @6
         .hash_join(Plan::scan("customer"), vec![7], vec![0], JoinKind::Inner) // +7 @12
         .hash_join(Plan::scan("city"), vec![15], vec![0], JoinKind::Inner) // +3 @19

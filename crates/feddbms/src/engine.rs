@@ -178,6 +178,16 @@ impl FedCtx {
         })
     }
 
+    /// Pull (drain) a remote table's change-capture log — the CDC
+    /// alternative to `remote_query(scan)`, charged by delta size.
+    pub fn remote_pull_changes(&self, db: &str, table: &str) -> FedResult<Vec<Change>> {
+        self.communication(|| {
+            self.world
+                .remote_pull_changes(db, table)
+                .map_err(FedError::from)
+        })
+    }
+
     pub fn remote_call(&self, db: &str, proc: &str) -> FedResult<Option<Relation>> {
         self.communication(|| {
             self.world

@@ -254,65 +254,85 @@ fn p08_body() -> E1Body {
     })
 }
 
+/// The four Asia-WS entities P09 replicates:
+/// (ws operation, CDB staging table, staging schema, distinct key).
+pub fn p09_entities() -> [(&'static str, &'static str, SchemaRef, Vec<usize>); 4] {
+    [
+        (
+            "customers",
+            "customer_staging",
+            cdb::customer_staging_schema(),
+            vec![0],
+        ),
+        (
+            "parts",
+            "product_staging",
+            cdb::product_staging_schema(),
+            vec![0],
+        ),
+        (
+            "orders",
+            "orders_staging",
+            cdb::orders_staging_schema(),
+            vec![0],
+        ),
+        (
+            "orderlines",
+            "orderline_staging",
+            cdb::orderline_staging_schema(),
+            vec![0, 1],
+        ),
+    ]
+}
+
+/// Fetch one P09 entity from both Asia web services, canonicalize through
+/// the proprietary XML stack, dedup across services, and fill the staging
+/// bookkeeping columns. Shared by the full-refresh P09 realization and the
+/// ivm engine's snapshot-differential variant; both must flow through the
+/// identical WS + transform + decode path or float/date canonicalization
+/// could diverge between engines.
+pub fn p09_fetch(
+    ctx: &FedCtx,
+    operation: &str,
+    schema: &SchemaRef,
+    key: Vec<usize>,
+) -> FedResult<Relation> {
+    let mut temp_scans = Vec::new();
+    for (service, stx) in [
+        (asia::BEIJING, messages::stx_beijing_rs_to_canon()),
+        (asia::SEOUL, messages::stx_seoul_rs_to_canon()),
+    ] {
+        let doc = ctx.ws_query(service, operation)?;
+        // translation + decode through the proprietary XML stack
+        let rel = ctx.processing(|| {
+            let canon = xmlfn::transform(&doc, &stx)?;
+            Ok(dip_services::resultset::decode(&canon, schema)?)
+        })?;
+        let temp = ctx.materialize(&format!("{operation}_{service}"), rel)?;
+        temp_scans.push(Plan::scan(temp));
+    }
+    let union = Plan::UnionDistinct {
+        inputs: temp_scans,
+        key: Some(key),
+    };
+    // fill in bookkeeping columns in the same pass
+    let exprs: Vec<ProjExpr> = schema
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| match c.name.as_str() {
+            "source" => lit_as(Value::str("asia_ws"), "source", SqlType::Str),
+            "integrated" => lit_as(Value::Bool(false), "integrated", SqlType::Bool),
+            _ => col_as(i, &c.name, c.ty),
+        })
+        .collect();
+    ctx.local_query(&union.project(exprs))
+}
+
 fn p09_body() -> E2Body {
     Arc::new(|ctx| {
-        let entities: [(&str, &str, SchemaRef, Vec<usize>); 4] = [
-            (
-                "customers",
-                "customer_staging",
-                cdb::customer_staging_schema(),
-                vec![0],
-            ),
-            (
-                "parts",
-                "product_staging",
-                cdb::product_staging_schema(),
-                vec![0],
-            ),
-            (
-                "orders",
-                "orders_staging",
-                cdb::orders_staging_schema(),
-                vec![0],
-            ),
-            (
-                "orderlines",
-                "orderline_staging",
-                cdb::orderline_staging_schema(),
-                vec![0, 1],
-            ),
-        ];
-        for (operation, staging, schema, key) in entities {
-            let mut temp_scans = Vec::new();
-            for (service, stx) in [
-                (asia::BEIJING, messages::stx_beijing_rs_to_canon()),
-                (asia::SEOUL, messages::stx_seoul_rs_to_canon()),
-            ] {
-                let doc = ctx.ws_query(service, operation)?;
-                // translation + decode through the proprietary XML stack
-                let rel = ctx.processing(|| {
-                    let canon = xmlfn::transform(&doc, &stx)?;
-                    Ok(dip_services::resultset::decode(&canon, &schema)?)
-                })?;
-                let temp = ctx.materialize(&format!("{operation}_{service}"), rel)?;
-                temp_scans.push(Plan::scan(temp));
-            }
-            let union = Plan::UnionDistinct {
-                inputs: temp_scans,
-                key: Some(key),
-            };
-            // fill in bookkeeping columns in the same pass
-            let exprs: Vec<ProjExpr> = schema
-                .columns()
-                .iter()
-                .enumerate()
-                .map(|(i, c)| match c.name.as_str() {
-                    "source" => lit_as(Value::str("asia_ws"), "source", SqlType::Str),
-                    "integrated" => lit_as(Value::Bool(false), "integrated", SqlType::Bool),
-                    _ => col_as(i, &c.name, c.ty),
-                })
-                .collect();
-            let finished = ctx.local_query(&union.project(exprs))?;
+        for (operation, staging, schema, key) in p09_entities() {
+            let finished = p09_fetch(ctx, operation, &schema, key)?;
             ctx.remote_load(cdb::CDB, staging, finished.rows, LoadMode::InsertIgnore)?;
         }
         Ok(())
@@ -353,83 +373,82 @@ fn p10_body() -> E1Body {
     })
 }
 
+/// The four US-Eastcoast entities P11 replicates:
+/// (source table, temp-table stem, CDB staging table, staging projection).
+/// Shared by the full-scan P11 realization and the ivm engine's
+/// change-pull variant so the schema mappings cannot drift apart.
+pub fn p11_entities() -> [(&'static str, &'static str, &'static str, Vec<ProjExpr>); 4] {
+    [
+        (
+            "customer",
+            "us_cust",
+            "customer_staging",
+            vec![
+                col_as(0, "custkey", SqlType::Int),
+                col_as(1, "name", SqlType::Str),
+                col_as(2, "address", SqlType::Str),
+                col_as(3, "city_name", SqlType::Str),
+                col_as(4, "nation_name", SqlType::Str),
+                col_as(7, "segment", SqlType::Str),
+                col_as(5, "phone", SqlType::Str),
+                col_as(6, "acctbal", SqlType::Float),
+                lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
+                lit_as(Value::Bool(false), "integrated", SqlType::Bool),
+            ],
+        ),
+        (
+            "part",
+            "us_part",
+            "product_staging",
+            vec![
+                col_as(0, "prodkey", SqlType::Int),
+                col_as(1, "name", SqlType::Str),
+                col_as(2, "group_name", SqlType::Str),
+                col_as(3, "line_name", SqlType::Str),
+                col_as(4, "price", SqlType::Float),
+                lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
+                lit_as(Value::Bool(false), "integrated", SqlType::Bool),
+            ],
+        ),
+        (
+            "orders",
+            "us_ord",
+            "orders_staging",
+            vec![
+                col_as(0, "orderkey", SqlType::Int),
+                col_as(1, "custkey", SqlType::Int),
+                col_as(4, "orderdate", SqlType::Date),
+                col_as(3, "totalprice", SqlType::Float),
+                vocab_as(&vocab::AMERICA_PRIORITY_MAP, 5, "priority"),
+                vocab_as(&vocab::AMERICA_STATE_MAP, 2, "state"),
+                lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
+            ],
+        ),
+        (
+            "lineitem",
+            "us_line",
+            "orderline_staging",
+            vec![
+                col_as(0, "orderkey", SqlType::Int),
+                col_as(1, "lineno", SqlType::Int),
+                col_as(2, "prodkey", SqlType::Int),
+                col_as(3, "quantity", SqlType::Int),
+                col_as(4, "extendedprice", SqlType::Float),
+                col_as(5, "discount", SqlType::Float),
+                lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
+            ],
+        ),
+    ]
+}
+
 fn p11_body() -> E2Body {
     Arc::new(|ctx| {
-        // customers
-        let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("customer"))?;
-        let temp = ctx.materialize("us_cust", rel)?;
-        let mapped = ctx.local_query(&Plan::scan(temp).project(vec![
-            col_as(0, "custkey", SqlType::Int),
-            col_as(1, "name", SqlType::Str),
-            col_as(2, "address", SqlType::Str),
-            col_as(3, "city_name", SqlType::Str),
-            col_as(4, "nation_name", SqlType::Str),
-            col_as(7, "segment", SqlType::Str),
-            col_as(5, "phone", SqlType::Str),
-            col_as(6, "acctbal", SqlType::Float),
-            lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
-            lit_as(Value::Bool(false), "integrated", SqlType::Bool),
-        ]))?;
-        ctx.remote_load(
-            cdb::CDB,
-            "customer_staging",
-            mapped.rows,
-            LoadMode::InsertIgnore,
-        )?;
-        // parts
-        let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("part"))?;
-        let temp = ctx.materialize("us_part", rel)?;
-        let mapped = ctx.local_query(&Plan::scan(temp).project(vec![
-            col_as(0, "prodkey", SqlType::Int),
-            col_as(1, "name", SqlType::Str),
-            col_as(2, "group_name", SqlType::Str),
-            col_as(3, "line_name", SqlType::Str),
-            col_as(4, "price", SqlType::Float),
-            lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
-            lit_as(Value::Bool(false), "integrated", SqlType::Bool),
-        ]))?;
-        ctx.remote_load(
-            cdb::CDB,
-            "product_staging",
-            mapped.rows,
-            LoadMode::InsertIgnore,
-        )?;
-        // orders
-        let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("orders"))?;
-        let temp = ctx.materialize("us_ord", rel)?;
-        let mapped = ctx.local_query(&Plan::scan(temp).project(vec![
-            col_as(0, "orderkey", SqlType::Int),
-            col_as(1, "custkey", SqlType::Int),
-            col_as(4, "orderdate", SqlType::Date),
-            col_as(3, "totalprice", SqlType::Float),
-            vocab_as(&vocab::AMERICA_PRIORITY_MAP, 5, "priority"),
-            vocab_as(&vocab::AMERICA_STATE_MAP, 2, "state"),
-            lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
-        ]))?;
-        ctx.remote_load(
-            cdb::CDB,
-            "orders_staging",
-            mapped.rows,
-            LoadMode::InsertIgnore,
-        )?;
-        // line items
-        let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan("lineitem"))?;
-        let temp = ctx.materialize("us_line", rel)?;
-        let mapped = ctx.local_query(&Plan::scan(temp).project(vec![
-            col_as(0, "orderkey", SqlType::Int),
-            col_as(1, "lineno", SqlType::Int),
-            col_as(2, "prodkey", SqlType::Int),
-            col_as(3, "quantity", SqlType::Int),
-            col_as(4, "extendedprice", SqlType::Float),
-            col_as(5, "discount", SqlType::Float),
-            lit_as(Value::str("us_eastcoast"), "source", SqlType::Str),
-        ]))?;
-        ctx.remote_load(
-            cdb::CDB,
-            "orderline_staging",
-            mapped.rows,
-            LoadMode::InsertIgnore,
-        )?;
+        for (table, stem, staging, exprs) in p11_entities() {
+            let rel = ctx.remote_query(america::US_EASTCOAST, &Plan::scan(table))?;
+            let temp = ctx.materialize(stem, rel)?;
+            let mapped = ctx.local_query(&Plan::scan(temp).project(exprs))?;
+            ctx.remote_load(cdb::CDB, staging, mapped.rows, LoadMode::InsertIgnore)?;
+        }
         Ok(())
     })
 }
@@ -453,21 +472,29 @@ fn p12_body() -> E2Body {
     })
 }
 
+/// The quality-gated tail of P13: completeness/consistency checks, the
+/// DWH load, the orders-MV refresh and the CDB cleanup. Shared by the
+/// full-scan realization and the ivm engine's change-pull variant — only
+/// how `orders`/`lines` were obtained differs between the two.
+pub fn p13_apply(ctx: &FedCtx, orders: Relation, lines: Relation) -> FedResult<()> {
+    ctx.processing(|| {
+        check_relation(&orders, &[0, 1, 2], Some(4), Some(5)).map_err(FedError::Other)?;
+        check_relation(&lines, &[0, 1, 2], None, None).map_err(FedError::Other)
+    })?;
+    ctx.remote_load(dwh::DWH, "orders", orders.rows, LoadMode::InsertIgnore)?;
+    ctx.remote_load(dwh::DWH, "orderline", lines.rows, LoadMode::InsertIgnore)?;
+    ctx.remote_call(dwh::DWH, "sp_refreshOrdersMV")?;
+    ctx.remote_delete(cdb::CDB, "orders", &Expr::lit(true))?;
+    ctx.remote_delete(cdb::CDB, "orderline", &Expr::lit(true))?;
+    Ok(())
+}
+
 fn p13_body() -> E2Body {
     Arc::new(|ctx| {
         ctx.remote_call(cdb::CDB, "sp_runMovementDataCleansing")?;
         let orders = ctx.remote_query(cdb::CDB, &Plan::scan("orders"))?;
         let lines = ctx.remote_query(cdb::CDB, &Plan::scan("orderline"))?;
-        ctx.processing(|| {
-            check_relation(&orders, &[0, 1, 2], Some(4), Some(5)).map_err(FedError::Other)?;
-            check_relation(&lines, &[0, 1, 2], None, None).map_err(FedError::Other)
-        })?;
-        ctx.remote_load(dwh::DWH, "orders", orders.rows, LoadMode::InsertIgnore)?;
-        ctx.remote_load(dwh::DWH, "orderline", lines.rows, LoadMode::InsertIgnore)?;
-        ctx.remote_call(dwh::DWH, "sp_refreshOrdersMV")?;
-        ctx.remote_delete(cdb::CDB, "orders", &Expr::lit(true))?;
-        ctx.remote_delete(cdb::CDB, "orderline", &Expr::lit(true))?;
-        Ok(())
+        p13_apply(ctx, orders, lines)
     })
 }
 
@@ -477,12 +504,22 @@ fn p13_body() -> E2Body {
 
 fn p14_body() -> E2Body {
     Arc::new(|ctx| {
-        use sales_cols as c;
         // S1: pull the denormalized sales relation from the DWH and
         // materialize it locally
         let sales = ctx.remote_query(dwh::DWH, &s1_plan())?;
         debug_assert_eq!(sales.schema.len(), sales_schema().len());
         let sales_temp = ctx.materialize("sales", sales)?;
+        p14_load_marts(ctx, sales_temp)
+    })
+}
+
+/// The mart-loading half of P14: three concurrent loaders over a
+/// materialized sales relation. Shared by the full-refresh realization
+/// and the ivm engine, whose S1 stage computes the sales relation from an
+/// orderline delta instead of the full DWH join.
+pub fn p14_load_marts(ctx: &FedCtx, sales_temp: String) -> FedResult<()> {
+    {
+        use sales_cols as c;
         // three concurrent mart loaders; each joins the instance's
         // transaction so a failing sibling rolls all mart writes back
         let tx_handle = dip_relstore::tx::handle();
@@ -590,7 +627,7 @@ fn p14_body() -> E2Body {
             r?;
         }
         Ok(())
-    })
+    }
 }
 
 fn p15_body() -> E2Body {

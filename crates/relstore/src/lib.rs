@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use crate::row::{Relation, Row};
     pub use crate::schema::{Column, RelSchema, SchemaRef};
-    pub use crate::table::Table;
+    pub use crate::table::{Change, Table};
     pub use crate::tx;
     pub use crate::tx::TxScope;
     pub use crate::value::{days_from_civil, parse_date, render_date, SqlType, Value};

@@ -255,6 +255,15 @@ impl Table {
         self
     }
 
+    /// Enable change capture on an already-shared table — the runtime
+    /// counterpart of [`Table::with_change_capture`], used by engines that
+    /// attach a change-data consumer to tables they did not create (e.g.
+    /// incremental view maintenance over a remote system's base tables).
+    /// Idempotent; rows inserted before enablement are not back-captured.
+    pub fn enable_change_capture(&self) {
+        self.inner.write().capture = true;
+    }
+
     pub fn row_count(&self) -> usize {
         self.inner.read().live
     }

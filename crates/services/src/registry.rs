@@ -236,6 +236,37 @@ impl ExternalWorld {
         )
     }
 
+    /// Drain a remote table's change-capture log — the change-data-capture
+    /// pull an incremental view-maintenance consumer issues instead of a
+    /// full-table query. The request is a small cursor payload; the
+    /// response is charged by delta size, which is the whole point: a pull
+    /// on an unchanged table ships (almost) nothing. The drain is
+    /// undo-journaled by the table, so an enclosing transaction scope that
+    /// rolls back restores the log and the delta is re-deliverable.
+    pub fn remote_pull_changes(
+        &self,
+        db_name: &str,
+        table: &str,
+    ) -> StoreResult<Remote<Vec<Change>>> {
+        let (endpoint, db) = self.db_entry(db_name)?;
+        self.round_trip(
+            &endpoint,
+            128,
+            || Ok(db.table(table)?.drain_changes()),
+            |changes: &Vec<Change>| {
+                changes
+                    .iter()
+                    .map(|c| {
+                        let row = match c {
+                            Change::Insert(r) | Change::Delete(r) => r,
+                        };
+                        row.iter().map(|v| v.rendered_len() + 1).sum::<usize>() + 1
+                    })
+                    .sum()
+            },
+        )
+    }
+
     /// Insert rows into a remote table (through the remote database's
     /// trigger machinery).
     pub fn remote_insert(

@@ -30,7 +30,9 @@ pub mod span;
 pub use chrome::to_chrome_trace;
 pub use diff::{diff, DiffOptions, DiffReport, Verdict};
 pub use json::{Json, JsonError};
-pub use record::{ProcessStats, RunRecord, SpanRollup, SCHEMA_VERSION};
+pub use record::{
+    group_of, CellStats, ProcessStats, RunRecord, SpanRollup, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 pub use span::{
     count, disable, drain, drain_counters, enable, instance_scope, is_enabled, record_modeled,
     span, span_cat, span_count, Category, CtxGuard, Layer, Span, SpanRecord,

@@ -12,8 +12,52 @@ use crate::span::SpanRecord;
 use std::collections::BTreeMap;
 
 /// Bump when the record layout changes incompatibly; `parse` rejects
-/// records from other majors so `diff` never compares apples to oranges.
-pub const SCHEMA_VERSION: u64 = 1;
+/// records from *newer* majors so `diff` never compares apples to oranges.
+/// Older versions back to [`MIN_SCHEMA_VERSION`] still parse — v1 records
+/// simply have no `cells` array (the barometer derives their cells from
+/// the per-process stats instead).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The oldest record layout this build still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// The process group (A–D) a process type belongs to: A = master-data
+/// integration (P01–P03), B = movement-data integration (P04–P11),
+/// C = DWH update (P12–P13), D = data-mart update (P14–P15).
+pub fn group_of(process: &str) -> char {
+    match process
+        .trim_start_matches(['P', 'p'])
+        .parse::<u32>()
+        .unwrap_or(0)
+    {
+        1..=3 => 'A',
+        4..=11 => 'B',
+        12..=13 => 'C',
+        14..=15 => 'D',
+        _ => '?',
+    }
+}
+
+/// One addressable benchmark cell: the measurement of a
+/// `(process-group, engine, d, t, f)` tuple in one run. The barometer's
+/// unit of cross-engine and cross-commit comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Process group A–D (see [`group_of`]).
+    pub group: String,
+    pub process: String,
+    /// Engine tag (`fed`, `mtm`, `ivm`, …), duplicated from the record so
+    /// a cell is self-addressing once extracted.
+    pub engine: String,
+    pub d: f64,
+    pub t: f64,
+    pub f: String,
+    pub instances: u64,
+    pub navg_plus_tu: f64,
+    /// The run's row-insertion throughput, as context for the cell (the
+    /// monitor does not attribute row counts to individual processes).
+    pub rows_per_sec: f64,
+}
 
 /// Per-process-type metric results, mirroring the monitor's aggregate.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +103,9 @@ pub struct RunRecord {
     /// per-operator row counts), sorted by name. Absent in records written
     /// by older builds, so parsing tolerates the field missing.
     pub counters: Vec<(String, u64)>,
+    /// The run's benchmark cells (schema v2). Empty for v1 records — use
+    /// [`RunRecord::cells_or_derived`] to read either vintage uniformly.
+    pub cells: Vec<CellStats>,
 }
 
 impl RunRecord {
@@ -80,6 +127,36 @@ impl RunRecord {
                 total_us: total_ns as f64 / 1000.0,
             })
             .collect()
+    }
+
+    /// Synthesize the cell list from the per-process stats and run-level
+    /// throughput: the canonical cells for v2 records, and the derived view
+    /// the barometer uses to read v1 records that predate the cell model.
+    pub fn derive_cells(&self, rows_per_sec: f64) -> Vec<CellStats> {
+        self.processes
+            .iter()
+            .map(|p| CellStats {
+                group: group_of(&p.process).to_string(),
+                process: p.process.clone(),
+                engine: self.engine.clone(),
+                d: self.datasize,
+                t: self.time,
+                f: self.distribution.clone(),
+                instances: p.instances,
+                navg_plus_tu: p.navg_plus_tu,
+                rows_per_sec,
+            })
+            .collect()
+    }
+
+    /// The record's cells, deriving them on the fly for v1 records (which
+    /// carry no run-level throughput, so derived cells report 0 rows/sec).
+    pub fn cells_or_derived(&self) -> Vec<CellStats> {
+        if self.cells.is_empty() {
+            self.derive_cells(0.0)
+        } else {
+            self.cells.clone()
+        }
     }
 
     pub fn to_json(&self) -> Json {
@@ -149,6 +226,27 @@ impl RunRecord {
                         .collect(),
                 ),
             ),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("group", Json::str(c.group.clone())),
+                                ("process", Json::str(c.process.clone())),
+                                ("engine", Json::str(c.engine.clone())),
+                                ("d", Json::num(c.d)),
+                                ("t", Json::num(c.t)),
+                                ("f", Json::str(c.f.clone())),
+                                ("instances", Json::num(c.instances as f64)),
+                                ("navg_plus_tu", Json::num(c.navg_plus_tu)),
+                                ("rows_per_sec", Json::num(c.rows_per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -162,9 +260,9 @@ impl RunRecord {
         let schema_version = field("schema_version")?
             .as_u64()
             .ok_or("schema_version must be a non-negative integer")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "unsupported record schema version {schema_version} (this build reads {SCHEMA_VERSION})"
+                "unsupported record schema version {schema_version} (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let scale = field("scale")?;
@@ -239,6 +337,33 @@ impl RunRecord {
                 ));
             }
         }
+        let mut cells = Vec::new();
+        if let Some(arr) = v.get("cells").and_then(Json::as_arr) {
+            for c in arr {
+                let cs = |key: &str| {
+                    c.get(key)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("cell field '{key}' must be a string"))
+                        .map(str::to_string)
+                };
+                let cn = |key: &str| {
+                    c.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("cell field '{key}' must be a number"))
+                };
+                cells.push(CellStats {
+                    group: cs("group")?,
+                    process: cs("process")?,
+                    engine: cs("engine")?,
+                    d: cn("d")?,
+                    t: cn("t")?,
+                    f: cs("f")?,
+                    instances: cn("instances")? as u64,
+                    navg_plus_tu: cn("navg_plus_tu")?,
+                    rows_per_sec: cn("rows_per_sec")?,
+                });
+            }
+        }
         Ok(RunRecord {
             schema_version,
             created_unix: field("created_unix")?.as_u64().unwrap_or(0),
@@ -266,6 +391,7 @@ impl RunRecord {
             processes,
             rollups,
             counters,
+            cells,
         })
     }
 
@@ -322,6 +448,17 @@ pub(crate) fn sample_record() -> RunRecord {
             ("relstore.rows_out.hash_join".into(), 1234),
             ("relstore.rows_out.scan".into(), 5678),
         ],
+        cells: vec![CellStats {
+            group: "C".into(),
+            process: "P13".into(),
+            engine: "federated-dbms".into(),
+            d: 0.05,
+            t: 1.0,
+            f: "uniform".into(),
+            instances: 3,
+            navg_plus_tu: 134.5,
+            rows_per_sec: 9000.0,
+        }],
     }
 }
 
@@ -346,6 +483,38 @@ mod tests {
         rec.schema_version = SCHEMA_VERSION + 1;
         let err = RunRecord::parse(&rec.render()).unwrap_err();
         assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn v1_records_without_cells_still_parse() {
+        // the committed baseline records are v1: no `cells` array
+        let mut rec = sample_record();
+        rec.schema_version = 1;
+        rec.cells.clear();
+        rec.counters.clear();
+        let back = RunRecord::parse(&rec.render()).expect("v1 parses");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.cells.is_empty());
+        // ...and the derived view covers every process
+        let derived = back.cells_or_derived();
+        assert_eq!(derived.len(), back.processes.len());
+        assert_eq!(derived[0].group, "A");
+        assert_eq!(derived[1].group, "C");
+        assert_eq!(derived[1].navg_plus_tu, 134.5);
+    }
+
+    #[test]
+    fn groups_follow_the_paper_partition() {
+        assert_eq!(group_of("P01"), 'A');
+        assert_eq!(group_of("P03"), 'A');
+        assert_eq!(group_of("P04"), 'B');
+        assert_eq!(group_of("P11"), 'B');
+        assert_eq!(group_of("P12"), 'C');
+        assert_eq!(group_of("P13"), 'C');
+        assert_eq!(group_of("P14"), 'D');
+        assert_eq!(group_of("P15"), 'D');
+        assert_eq!(group_of("P99"), '?');
+        assert_eq!(group_of("bogus"), '?');
     }
 
     #[test]

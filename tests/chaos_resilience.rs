@@ -207,6 +207,7 @@ fn pinned_record(out: &RunOutcome, config: BenchConfig) -> dip_trace::RunRecord 
             .collect(),
         rollups: Vec::new(),
         counters: Vec::new(),
+        cells: Vec::new(),
     }
 }
 

@@ -4,6 +4,7 @@
 //! benchmark. Costs may (and should) differ; data must not.
 
 use dip_feddbms::{FedDbms, FedOptions};
+use dip_ivm::IvmSystem;
 use dipbench::prelude::*;
 use dipbench::verify;
 use std::sync::Arc;
@@ -23,6 +24,14 @@ fn run_mtm() -> (BenchEnvironment, RunOutcome) {
 fn run_fed(opts: FedOptions) -> (BenchEnvironment, RunOutcome) {
     let env = BenchEnvironment::new(config()).unwrap();
     let system = Arc::new(FedDbms::new(env.world.clone(), opts));
+    let client = Client::new(&env, system).unwrap();
+    let outcome = client.run().unwrap();
+    (env, outcome)
+}
+
+fn run_ivm(config: BenchConfig) -> (BenchEnvironment, RunOutcome) {
+    let env = BenchEnvironment::new(config).unwrap();
+    let system = Arc::new(IvmSystem::new(env.world.clone()));
     let client = Client::new(&env, system).unwrap();
     let outcome = client.run().unwrap();
     (env, outcome)
@@ -109,6 +118,62 @@ fn engines_produce_identical_integrated_data() {
         sorted_rows(&mtm_env, "seoul_db", "customers"),
         sorted_rows(&fed_env, "seoul_db", "customers"),
         "seoul master data differs"
+    );
+}
+
+#[test]
+fn ivm_engine_matches_fed_and_mtm() {
+    // the incremental engine's standing queries must integrate
+    // byte-identical data: compare full digests (every table of every
+    // world-registered database) across all three engines, multi-period so
+    // the change logs actually cycle through truncate/capture/drain
+    let config = config().with_periods(2);
+    let (ivm_env, ivm_out) = run_ivm(config);
+    assert_eq!(ivm_out.system, "ivm-engine");
+    assert!(ivm_out.failures.is_empty(), "{:#?}", ivm_out.failures);
+    assert_eq!(ivm_out.metrics.len(), 15);
+    assert!(verify::verify(&ivm_env).unwrap().passed());
+
+    let fed_env = BenchEnvironment::new(config).unwrap();
+    let fed = Arc::new(FedDbms::new(fed_env.world.clone(), FedOptions::default()));
+    Client::new(&fed_env, fed).unwrap().run().unwrap();
+    let mtm_env = BenchEnvironment::new(config).unwrap();
+    let mtm = Arc::new(MtmSystem::new(mtm_env.world.clone()));
+    Client::new(&mtm_env, mtm).unwrap().run().unwrap();
+
+    let ivm_digest = digest_tables(&ivm_env.world).unwrap();
+    assert_eq!(
+        ivm_digest,
+        digest_tables(&fed_env.world).unwrap(),
+        "ivm and fed digests diverge"
+    );
+    assert_eq!(
+        ivm_digest,
+        digest_tables(&mtm_env.world).unwrap(),
+        "ivm and mtm digests diverge"
+    );
+}
+
+#[test]
+fn ivm_agrees_with_fed_under_drop_faults() {
+    // with the default retry budget a modest drop rate must not change
+    // integrated data for either engine — and they must still agree
+    let faulty = config()
+        .with_faults(FaultPlan::drops(0.05))
+        .with_resilience(ResiliencePolicy::DEFAULT);
+    let (ivm_env, ivm_out) = run_ivm(faulty);
+    assert!(ivm_out.failures.is_empty(), "{:#?}", ivm_out.failures);
+    assert!(verify::verify(&ivm_env).unwrap().passed());
+
+    let fed_env = BenchEnvironment::new(faulty).unwrap();
+    let fed = Arc::new(FedDbms::new(fed_env.world.clone(), FedOptions::default()));
+    let fed_out = Client::new(&fed_env, fed).unwrap().run().unwrap();
+    assert!(fed_out.failures.is_empty(), "{:#?}", fed_out.failures);
+
+    assert_eq!(
+        digest_tables(&ivm_env.world).unwrap(),
+        digest_tables(&fed_env.world).unwrap(),
+        "ivm and fed digests diverge under drop faults"
     );
 }
 
