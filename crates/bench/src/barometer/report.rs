@@ -42,11 +42,26 @@ pub struct BenchSummary {
 impl BenchSummary {
     /// Parse one `BENCH_*.json` payload (any schema vintage — only the
     /// stable identity and `stats.warm_mean` fields are read).
+    ///
+    /// Every identity field is strict: a malformed `commit`, `engine`,
+    /// `distribution` or `periods` is an error the caller reports as a
+    /// warning and *skips*, exactly like an unparseable file. Coercing
+    /// them to defaults (the old behavior) silently filed the measurement
+    /// under the wrong cell — `commit: "unknown"` merged distinct commits
+    /// into one history entry and a mistyped `periods` compared runs that
+    /// are not comparable. Only `rows_per_sec` keeps a default (0 = not
+    /// recorded), which the renderer already displays as unknown.
     pub fn from_json(file: &str, v: &Json) -> Result<BenchSummary, String> {
         let num = |key: &str| {
             v.get(key)
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("{file}: field '{key}' must be a number"))
+        };
+        let string = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{file}: field '{key}' must be a string"))
         };
         let stats = v.get("stats").ok_or_else(|| format!("{file}: no stats"))?;
         Ok(BenchSummary {
@@ -56,23 +71,15 @@ impl BenchSummary {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0),
-            commit: v
-                .get("commit")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown")
-                .to_string(),
-            engine: v
-                .get("engine")
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("{file}: field 'engine' must be a string"))?
-                .to_string(),
+            commit: string("commit")?,
+            engine: string("engine")?,
             d: num("datasize")?,
             t: num("time")?,
-            f: v.get("distribution")
-                .and_then(Json::as_str)
-                .unwrap_or("uniform")
-                .to_string(),
-            periods: v.get("periods").and_then(Json::as_u64).unwrap_or(1),
+            f: string("distribution")?,
+            periods: v
+                .get("periods")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{file}: field 'periods' must be a non-negative integer"))?,
             warm_mean_ms: stats
                 .get("warm_mean")
                 .and_then(Json::as_f64)
@@ -569,6 +576,80 @@ mod tests {
         let text = report.render(ReportFormat::Text);
         assert!(text.contains("P13"));
         assert!(!text.contains('|'));
+    }
+
+    /// A BENCH payload with every field the strict loader demands.
+    fn bench_json(commit: &str) -> String {
+        format!(
+            r#"{{"commit": "{commit}", "engine": "fed", "datasize": 0.05, "time": 1,
+                "distribution": "uniform", "periods": 3,
+                "stats": {{"warm_mean": 100.0}}, "rows_per_sec": 1000}}"#
+        )
+    }
+
+    #[test]
+    fn malformed_identity_fields_are_errors_not_defaults() {
+        let good = Json::parse(&bench_json("abc")).unwrap();
+        assert!(BenchSummary::from_json("BENCH_9", &good).is_ok());
+        // each identity field, mistyped or missing, must refuse to parse
+        // instead of coercing to a default that files the measurement
+        // under the wrong cell
+        for (field, broken) in [
+            ("commit", r#""commit": 7"#.to_string()),
+            ("engine", r#""engine": ["fed"]"#.to_string()),
+            ("distribution", r#""distribution": 5"#.to_string()),
+            ("periods", r#""periods": "three""#.to_string()),
+        ] {
+            let text = bench_json("abc").replacen(
+                &format!(r#""{field}": "#),
+                &format!(r#""{field}_renamed": "#),
+                1,
+            );
+            let missing = Json::parse(&text).unwrap();
+            let err = BenchSummary::from_json("BENCH_9", &missing).unwrap_err();
+            assert!(err.contains(field), "missing {field}: {err}");
+
+            let start = bench_json("abc");
+            let from = start
+                .split(&format!(r#""{field}": "#))
+                .nth(1)
+                .map(|rest| {
+                    let end = rest.find([',', '}']).unwrap();
+                    format!(r#""{field}": {}"#, &rest[..end])
+                })
+                .unwrap();
+            let text = start.replacen(&from, &broken, 1);
+            let mistyped = Json::parse(&text).unwrap();
+            let err = BenchSummary::from_json("BENCH_9", &mistyped).unwrap_err();
+            assert!(err.contains(field), "mistyped {field}: {err}");
+        }
+        // rows_per_sec stays optional: 0 renders as "not recorded"
+        let text = bench_json("abc").replacen(r#""rows_per_sec": 1000"#, r#""x": 1"#, 1);
+        let s = BenchSummary::from_json("BENCH_9", &Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(s.rows_per_sec, 0.0);
+    }
+
+    #[test]
+    fn loader_warns_and_skips_malformed_files_keeping_good_ones() {
+        let dir =
+            std::env::temp_dir().join(format!("dipbench-report-fixture-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_1.json"), bench_json("aaa")).unwrap();
+        std::fs::write(
+            dir.join("BENCH_2.json"),
+            bench_json("bbb").replacen(r#""commit": "bbb""#, r#""commit": 7"#, 1),
+        )
+        .unwrap();
+        std::fs::write(dir.join("BENCH_3.json"), "{ not json").unwrap();
+        let (benches, warnings) = load_bench_files(&dir);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(benches.len(), 1, "{benches:?}");
+        assert_eq!(benches[0].commit, "aaa");
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(
+            warnings.iter().any(|w| w.contains("commit")),
+            "the malformed-field warning names the field: {warnings:?}"
+        );
     }
 
     #[test]

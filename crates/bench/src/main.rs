@@ -7,17 +7,18 @@
 //! dipbench fig8                           # paper Fig. 8 data series
 //! dipbench fig10 [--periods 3] [--engine TAG] [--trace f.json]
 //! dipbench fig11 [--periods 3] [--engine ...] [--trace f.json]
-//! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...]
+//! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...] [--workers N]
 //! dipbench compare [--periods 2]          # fed vs mtm, same configuration
 //! dipbench sweep d|t|f [--periods 1]      # scale-factor sweeps
 //! dipbench quality [--periods 1]          # data-quality profile per layer
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
 //! dipbench bench [--iterations N | --quick] [--check BENCH_4.json [--threshold 0.2]]
+//! dipbench bench --scaling [--iterations N | --quick]   # 1/2/4/8-worker curve → BENCH_5.json
 //! dipbench report [--records DIR] [--format md|text] [--out FILE] [--check]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
-//! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...]
-//! dipbench crash [--seed 7] [--at STEP --process P09 | --sweep] [--no-rollback]
+//! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...] [--workers N]
+//! dipbench crash [--seed 7] [--at STEP --process P09 | --sweep] [--no-rollback] [--workers N]
 //! ```
 //!
 //! Engine tags (`--engine`) resolve through the barometer's
@@ -32,6 +33,7 @@ use dipbench::report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    reject_unknown_flags(cmd, &args);
     match cmd {
         "table1" => print!("{}", report::table1()),
         "table2" => {
@@ -101,8 +103,9 @@ fn main() {
                  engines (--engine {}):\n\
                  {}\
                  \n\
-                 options: --periods N  --engine TAG  --d X  --t X\n\
+                 options: --periods N  --engine TAG  --d X  --t X  --workers N\n\
                           --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
+                          --scaling  (bench only: 1/2/4/8-worker curve into BENCH_5.json)\n\
                           --threshold X  --min-delta X  (diff only)\n\
                           --records DIR  --bench-dir DIR  --format md|text  --check  (report only)\n\
                           --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)\n\
@@ -119,6 +122,103 @@ fn main() {
 fn fail_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// The flags each subcommand accepts. Any other `--flag` is a hard usage
+/// error (exit 2): a mistyped or unsupported flag would otherwise be
+/// silently ignored and the run would measure something other than what
+/// was asked for.
+fn reject_unknown_flags(cmd: &str, args: &[String]) {
+    let allowed: &[&str] = match cmd {
+        "table1" | "fig8" | "explain" => &[],
+        "table2" => &["--d"],
+        "fig10" | "fig11" => &["--periods", "--engine", "--trace", "--out", "--workers"],
+        "run" => &[
+            "--d",
+            "--t",
+            "--f",
+            "--periods",
+            "--engine",
+            "--trace",
+            "--out",
+            "--workers",
+        ],
+        "compare" => &["--periods"],
+        "sweep" => &["--periods", "--engine"],
+        "quality" => &["--periods", "--engine", "--d"],
+        "record" => &["--d", "--t", "--f", "--periods", "--engine", "--out"],
+        "bench" => &[
+            "--d",
+            "--t",
+            "--f",
+            "--periods",
+            "--engine",
+            "--iterations",
+            "--quick",
+            "--scaling",
+            "--check",
+            "--threshold",
+            "--out",
+            "--workers",
+        ],
+        "report" => &[
+            "--records",
+            "--bench-dir",
+            "--threshold",
+            "--format",
+            "--out",
+            "--check",
+        ],
+        "diff" => &["--threshold", "--min-delta"],
+        "faults" => &[
+            "--engine",
+            "--periods",
+            "--d",
+            "--seed",
+            "--drop",
+            "--timeout",
+            "--attempts",
+            "--sweep",
+            "--workers",
+        ],
+        "crash" => &[
+            "--engine",
+            "--d",
+            "--periods",
+            "--seed",
+            "--period",
+            "--seq",
+            "--at",
+            "--process",
+            "--sweep",
+            "--no-rollback",
+            "--drop",
+            "--workers",
+        ],
+        _ => return, // unknown command — the help text handles it
+    };
+    for a in args.iter().skip(1).filter(|a| a.starts_with("--")) {
+        if !allowed.contains(&a.as_str()) {
+            if allowed.is_empty() {
+                fail_usage(&format!(
+                    "unknown flag {a} — `dipbench {cmd}` takes no flags"
+                ));
+            }
+            fail_usage(&format!(
+                "unknown flag {a} for `dipbench {cmd}` (valid: {})",
+                allowed.join(" ")
+            ));
+        }
+    }
+}
+
+/// `--workers N` (default 1): size of the schedule-execution worker pool.
+fn workers(args: &[String]) -> usize {
+    match flag_u32(args, "--workers") {
+        Some(0) => fail_usage("--workers must be at least 1"),
+        Some(n) => n as usize,
+        None => 1,
+    }
 }
 
 /// Look up a `--flag value` pair. A flag present without a value (end of
@@ -196,9 +296,12 @@ fn figure(args: &[String], scale: ScaleFactors) {
     let periods = flag_u32(args, "--periods").unwrap_or(3);
     let kind = engine(args);
     let trace_out = flag_str(args, "--trace");
-    let config = BenchConfig::new(scale).with_periods(periods);
+    let w = workers(args);
+    let config = BenchConfig::new(scale)
+        .with_periods(periods)
+        .with_workers(w);
     eprintln!(
-        "running DIPBench on {} (d={}, t={}, f={}, {} periods)…",
+        "running DIPBench on {} (d={}, t={}, f={}, {} periods, {w} worker(s))…",
         kind.label(),
         scale.datasize,
         scale.time,
@@ -602,9 +705,15 @@ fn bench(args: &[String]) {
     let iterations = flag_u32(args, "--iterations")
         .unwrap_or(if quick { 3 } else { 8 })
         .max(2) as usize;
-    let config = BenchConfig::new(scale).with_periods(periods);
+    if args.iter().any(|a| a == "--scaling") {
+        return bench_scaling(args, kind, scale, periods, iterations);
+    }
+    let w = workers(args);
+    let config = BenchConfig::new(scale)
+        .with_periods(periods)
+        .with_workers(w);
     eprintln!(
-        "benchmarking {} (d={}, t={}, f={}, {} periods, {} iterations)…",
+        "benchmarking {} (d={}, t={}, f={}, {} periods, {} iterations, {w} worker(s))…",
         kind.label(),
         scale.datasize,
         scale.time,
@@ -799,6 +908,210 @@ fn bench(args: &[String]) {
     }
 }
 
+/// `dipbench bench --scaling`: the worker-scaling variant of the gate.
+///
+/// Runs the identical workload at 1, 2, 4 and 8 schedule workers
+/// (`--iterations` runs per count, each count over a fresh environment so
+/// every count pays the same cache-miss first iteration and the warm tail
+/// is comparable), then:
+///
+/// - requires the final table digests of every worker count to be
+///   byte-identical to the 1-worker state (exit 1 on divergence — this is
+///   the CLI-level face of the determinism guarantee), and
+/// - writes the scaling curve to `BENCH_5.json` (override with `--out`)
+///   with one v2-style cell per worker count, next to 1-worker `stats`
+///   that stay comparable with the `BENCH_*.json` wall-clock history.
+///
+/// Speedups are reported against the measured 1-worker warm mean together
+/// with the machine's core count: on a single-core box the honest curve
+/// is flat, and the record says so rather than pretending otherwise.
+fn bench_scaling(
+    args: &[String],
+    kind: EngineKind,
+    scale: ScaleFactors,
+    periods: u32,
+    iterations: usize,
+) {
+    const COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "worker-scaling benchmark on {} (d={}, t={}, f={}, {} periods, {} iterations per count, {cores} core(s))…",
+        kind.label(),
+        scale.datasize,
+        scale.time,
+        scale.distribution.label(),
+        periods,
+        iterations
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+
+    struct CountRun {
+        workers: usize,
+        warm_mean: f64,
+        rows_per_run: f64,
+        walls_ms: Vec<f64>,
+        navg_plus: f64,
+        instances: u64,
+    }
+    let mut runs: Vec<CountRun> = Vec::with_capacity(COUNTS.len());
+    let mut ref_digests: Option<std::collections::BTreeMap<String, u64>> = None;
+    for &w in &COUNTS {
+        let config = BenchConfig::new(scale)
+            .with_periods(periods)
+            .with_workers(w);
+        let _ = dip_relstore::alloc::drain();
+        let env = BenchEnvironment::new(config).expect("environment construction");
+        let mut walls_ms: Vec<f64> = Vec::with_capacity(iterations);
+        let mut last = None;
+        for i in 0..iterations {
+            let system = build_system(kind, &env);
+            let client = Client::new(&env, system).expect("deployment");
+            let outcome = client.run().expect("work phase");
+            let wall = outcome.wall_time.as_secs_f64() * 1000.0;
+            eprintln!("  workers {w}, iteration {}: {wall:.1} ms", i + 1);
+            walls_ms.push(wall);
+            last = Some(outcome);
+        }
+        let rows_inserted = dip_relstore::alloc::drain()
+            .iter()
+            .find(|(k, _)| *k == "relstore.alloc.rows_inserted")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        let digests = dipbench::recovery::digest_tables(&env.world).expect("digest");
+        match &ref_digests {
+            None => ref_digests = Some(digests),
+            Some(reference) => {
+                if *reference != digests {
+                    let diff: Vec<&String> = reference
+                        .iter()
+                        .filter(|(t, d)| digests.get(*t) != Some(d))
+                        .map(|(t, _)| t)
+                        .collect();
+                    eprintln!(
+                        "DIVERGENCE: workers={w} final state differs from the 1-worker run \
+                         (tables {diff:?}) — the determinism guarantee is broken"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        let outcome = last.expect("at least one iteration");
+        let navgs: Vec<f64> = outcome.metrics.iter().map(|m| m.navg_plus_tu).collect();
+        runs.push(CountRun {
+            workers: w,
+            warm_mean: mean(&walls_ms[1..]),
+            rows_per_run: rows_inserted as f64 / iterations as f64,
+            walls_ms,
+            navg_plus: mean(&navgs),
+            instances: outcome.metrics.iter().map(|m| m.instances as u64).sum(),
+        });
+    }
+
+    let base = runs.first().expect("at least one worker count");
+    let base_warm = base.warm_mean;
+    let rows_per_sec = |c: &CountRun| c.rows_per_run / (c.warm_mean / 1000.0).max(1e-9);
+    println!(
+        "# worker scaling on {} ({} core(s) available)",
+        kind.label(),
+        cores
+    );
+    println!(
+        "{:>7} {:>12} {:>9} {:>12} {:>10}",
+        "workers", "warm[ms]", "speedup", "rows/s", "navg+[tu]"
+    );
+    for c in &runs {
+        println!(
+            "{:>7} {:>12.1} {:>8.2}x {:>12.0} {:>10.2}",
+            c.workers,
+            c.warm_mean,
+            base_warm / c.warm_mean.max(1e-9),
+            rows_per_sec(c),
+            c.navg_plus
+        );
+    }
+    println!("all worker counts landed on byte-identical table digests");
+    if cores < *COUNTS.last().expect("non-empty") {
+        println!(
+            "note: only {cores} core(s) available — speedup is bounded by the hardware, \
+             not the scheduler; the curve demonstrates determinism, not parallel gain"
+        );
+    }
+
+    let scaling = Json::Arr(
+        runs.iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("workers", Json::num(c.workers as f64)),
+                    (
+                        "wall_ms",
+                        Json::Arr(c.walls_ms.iter().map(|&x| Json::num(x)).collect()),
+                    ),
+                    ("warm_mean", Json::num(c.warm_mean)),
+                    (
+                        "speedup_vs_1_worker",
+                        Json::num(base_warm / c.warm_mean.max(1e-9)),
+                    ),
+                    ("rows_per_sec", Json::num(rows_per_sec(c))),
+                ])
+            })
+            .collect(),
+    );
+    // v2-style record cells, one per worker count: a scaling cell spans
+    // every process (`ALL@wN`) because the run-level throughput is the
+    // quantity the worker pool can move.
+    let cells = Json::Arr(
+        runs.iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("group", Json::str("*")),
+                    ("process", Json::str(format!("ALL@w{}", c.workers))),
+                    ("engine", Json::str(kind.tag())),
+                    ("d", Json::num(scale.datasize)),
+                    ("t", Json::num(scale.time)),
+                    ("f", Json::str(scale.distribution.label())),
+                    ("instances", Json::num(c.instances as f64)),
+                    ("navg_plus_tu", Json::num(c.navg_plus)),
+                    ("rows_per_sec", Json::num(rows_per_sec(c))),
+                ])
+            })
+            .collect(),
+    );
+    let min1 = base.walls_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let record = Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("kind", Json::str("bench-scaling")),
+        ("commit", Json::str(current_commit())),
+        ("engine", Json::str(kind.tag())),
+        ("datasize", Json::num(scale.datasize)),
+        ("time", Json::num(scale.time)),
+        ("distribution", Json::str(scale.distribution.label())),
+        ("periods", Json::num(periods as f64)),
+        ("iterations", Json::num(iterations as f64)),
+        ("cores", Json::num(cores as f64)),
+        // 1-worker numbers, shaped like every other BENCH_*.json so the
+        // barometer's wall-clock history reads this file too
+        (
+            "stats",
+            Json::obj(vec![
+                ("min", Json::num(min1)),
+                ("mean", Json::num(mean(&base.walls_ms))),
+                ("first", Json::num(base.walls_ms[0])),
+                ("warm_mean", Json::num(base_warm)),
+            ]),
+        ),
+        ("rows_per_sec", Json::num(rows_per_sec(base))),
+        ("digests_identical_across_worker_counts", Json::Bool(true)),
+        ("scaling", scaling),
+        ("cells", cells),
+    ]);
+    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    std::fs::write(&out, record.render_pretty())
+        .unwrap_or_else(|e| fail_usage(&format!("cannot write {out}: {e}")));
+    eprintln!("wrote {out}");
+}
+
 /// `dipbench report`: render the barometer — cross-engine NAVG+ tables and
 /// cross-commit regression flags — from the committed measurement history
 /// (`results/records/*.json` run records of any supported schema vintage
@@ -907,11 +1220,13 @@ fn faults(args: &[String]) {
         fail_usage("--drop and --timeout expect rates in [0, 1)");
     }
 
+    let w = workers(args);
     let base = BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform))
         .with_periods(periods)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_workers(w);
     eprintln!(
-        "clean reference run on {} (d={d}, seed={seed}, {periods} period(s))…",
+        "clean reference run on {} (d={d}, seed={seed}, {periods} period(s), {w} worker(s))…",
         kind.label()
     );
     let clean = run_experiment(kind, base);
@@ -1065,7 +1380,8 @@ fn crash(args: &[String]) {
 
     let mut config = BenchConfig::new(ScaleFactors::new(d, 1.0, Distribution::Uniform))
         .with_periods(periods)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_workers(workers(args));
     if drop > 0.0 {
         // extra chaos cell: transport drops on top of the crash. The
         // breaker stays disabled — its consecutive-failure count would

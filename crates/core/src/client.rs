@@ -12,12 +12,14 @@ use crate::env::BenchEnvironment;
 use crate::metric::{process_metrics, ProcessMetric};
 use crate::monitor::{normalize, NormalizedRecord};
 use crate::processes;
+use crate::sched::{self, TypeProfile};
 use crate::schedule::{self, ScheduledEvent, StreamId};
 use crate::system::{DeadLetter, Delivery, Event, IntegrationSystem};
 use dip_mtm::cost::InstanceRecord;
 use dip_relstore::prelude::{StoreError, StoreResult, TransportKind};
 use dip_xmlkit::node::Document;
 use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -99,15 +101,61 @@ pub struct DispatchFailure {
     pub error: String,
 }
 
+/// Exactly which events of a period are settled — the replay-skip set a
+/// recovering run hands back to [`Client::run_period_from`]. The classic
+/// serial path only ever settles a per-stream *prefix*; the worker-pool
+/// path ([`BenchConfig::workers`] > 1) settles a DAG-downward-closed set
+/// that need not be contiguous, hence the watermark + tail form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplaySkip {
+    /// Per-stream prefix watermark (A, B, C, D): every event before it
+    /// is settled.
+    pub watermark: [usize; 4],
+    /// Settled indices at or beyond the watermark (sorted ascending) —
+    /// only parallel execution produces these.
+    pub beyond: [Vec<usize>; 4],
+}
+
+impl ReplaySkip {
+    /// Nothing settled yet (a fresh, uncrashed run).
+    pub fn none() -> ReplaySkip {
+        ReplaySkip::default()
+    }
+
+    /// Whether the event at `index` of stream slot `slot` is settled.
+    pub fn skips(&self, slot: usize, index: usize) -> bool {
+        index < self.watermark[slot] || self.beyond[slot].binary_search(&index).is_ok()
+    }
+
+    /// Number of settled events in stream slot `slot`.
+    pub fn settled_in(&self, slot: usize) -> usize {
+        self.watermark[slot] + self.beyond[slot].len()
+    }
+
+    /// Canonicalize per-slot settled index sets into watermark + tail.
+    fn from_sets(sets: [BTreeSet<usize>; 4]) -> ReplaySkip {
+        let mut out = ReplaySkip::default();
+        for (slot, set) in sets.into_iter().enumerate() {
+            let mut w = 0usize;
+            while set.contains(&w) {
+                w += 1;
+            }
+            out.watermark[slot] = w;
+            out.beyond[slot] = set.into_iter().filter(|&i| i > w).collect();
+        }
+        out
+    }
+}
+
 /// What one period (or a resumed fraction of one) dispatched.
 #[derive(Debug)]
 pub struct PeriodRun {
     pub failures: Vec<DispatchFailure>,
-    /// Events settled per stream (A, B, C, D), *counting skipped ones*:
-    /// on a crash-free run this is each stream's full length; after a
-    /// crash it is the replay watermark — the index of the first event
-    /// whose outcome the system never durably produced.
-    pub settled: [usize; 4],
+    /// Events settled this period, *including replay-skipped ones*: on a
+    /// crash-free run this covers every stream in full; after a crash it
+    /// is the exact set whose outcomes the system durably produced — the
+    /// skip set a recovery replay passes back in.
+    pub settled: ReplaySkip,
     /// Whether the system crashed (injected) during this period.
     pub crashed: bool,
 }
@@ -137,33 +185,57 @@ impl RunOutcome {
 pub struct Client<'a> {
     env: &'a BenchEnvironment,
     system: Arc<dyn IntegrationSystem>,
+    /// Statically derived per-type resource footprints, used by the
+    /// worker-pool scheduler's conflict DAG.
+    profiles: BTreeMap<String, TypeProfile>,
 }
 
 impl<'a> Client<'a> {
     /// Create a client and deploy the 15 process types on the system under
     /// test.
     pub fn new(env: &'a BenchEnvironment, system: Arc<dyn IntegrationSystem>) -> StoreResult<Self> {
+        let defs = processes::all_processes();
+        let profiles = sched::derive_profiles(&defs);
         system
-            .deploy(processes::all_processes())
+            .deploy(defs)
             .map_err(|e| StoreError::Invalid(format!("deploy failed: {e}")))?;
-        Ok(Client { env, system })
+        Ok(Client {
+            env,
+            system,
+            profiles,
+        })
     }
 
     /// Generate the E1 input message for an event.
-    fn message_for(&self, event: &ScheduledEvent, period: u32) -> Option<Document> {
+    fn message_for(&self, process: &str, period: u32, seq: u32) -> Option<Document> {
         let g = &self.env.generator;
-        match event.process {
-            "P01" => Some(g.beijing_master_message(period, event.seq)),
-            "P02" => Some(g.mdm_message(period, event.seq)),
-            "P04" => Some(g.vienna_message(period, event.seq)),
-            "P08" => Some(g.hongkong_message(period, event.seq)),
-            "P10" => Some(g.san_diego_message(period, event.seq).0),
+        match process {
+            "P01" => Some(g.beijing_master_message(period, seq)),
+            "P02" => Some(g.mdm_message(period, seq)),
+            "P04" => Some(g.vienna_message(period, seq)),
+            "P08" => Some(g.hongkong_message(period, seq)),
+            "P10" => Some(g.san_diego_message(period, seq).0),
             _ => None,
         }
     }
 
-    /// Dispatch one stream's events in order, starting at `skip` (the
-    /// replay watermark of a recovering run; 0 for a normal run).
+    /// Deliver one scheduled event: generate its E1 message (if any) and
+    /// hand it to the system under test. Shared by the serial stream path
+    /// and the worker-pool dispatch — the engines open their own fault
+    /// scope and transaction per delivery, so this is self-contained on
+    /// whichever thread runs it.
+    fn deliver_event(&self, process: &'static str, period: u32, seq: u32) -> Delivery {
+        match self.message_for(process, period, seq) {
+            Some(msg) => self
+                .system
+                .deliver(Event::message(process, period, seq, msg)),
+            None => self.system.deliver(Event::timed(process, period, seq)),
+        }
+    }
+
+    /// Dispatch one stream's events in order, skipping the already-
+    /// settled set of a recovering run (`slot` is the stream's index in
+    /// the [`ReplaySkip`]).
     ///
     /// Returns the stream's settled watermark: the index of the first
     /// event whose outcome the system never durably produced — the full
@@ -172,12 +244,14 @@ impl<'a> Client<'a> {
     /// delivery is *not* counted (nor reported as a dispatch failure):
     /// recovery replays it, and counting it here too would double it in
     /// the conservation totals.
+    #[allow(clippy::too_many_arguments)] // the replay slot and gate pair are positional context
     fn run_stream(
         &self,
         id: StreamId,
         period: u32,
         events: &[ScheduledEvent],
-        skip: usize,
+        skip: &ReplaySkip,
+        slot: usize,
         failures: &mut Vec<DispatchFailure>,
         gate: Option<(&DispatchGate, usize)>,
     ) -> usize {
@@ -193,12 +267,26 @@ impl<'a> Client<'a> {
         let pacing = self.env.config.pacing;
         let tu = self.env.config.scale.tu();
         let stream_start = Instant::now();
-        for (i, event) in events.iter().enumerate().skip(skip) {
+        // the next deadline a stream publishes must be of an event it will
+        // actually dispatch — a skipped event's (earlier) deadline would
+        // leave the sibling waiting on an acquire that never comes
+        let next_pending = |after: usize| {
+            events
+                .iter()
+                .enumerate()
+                .skip(after)
+                .find(|(i, _)| !skip.skips(slot, *i))
+                .map_or(f64::INFINITY, |(_, e)| e.deadline_tu)
+        };
+        for (i, event) in events.iter().enumerate() {
+            if skip.skips(slot, i) {
+                continue;
+            }
             // a dead system dispatches nothing: leave the rest of the
             // stream unsettled for recovery to replay
             if dip_netsim::fault::crash_tripped() {
-                if let Some((gate, slot)) = gate {
-                    gate.advance(slot, f64::INFINITY);
+                if let Some((gate, gslot)) = gate {
+                    gate.advance(gslot, f64::INFINITY);
                 }
                 return i;
             }
@@ -209,10 +297,10 @@ impl<'a> Client<'a> {
                     std::thread::sleep(deadline - elapsed);
                 }
             }
-            let msg = self.message_for(event, period);
-            if let Some((gate, slot)) = gate {
+            let msg = self.message_for(event.process, period, event.seq);
+            if let Some((gate, gslot)) = gate {
                 if msg.is_none() {
-                    gate.acquire(slot, event.deadline_tu);
+                    gate.acquire(gslot, event.deadline_tu);
                 }
             }
             let delivery = self.system.deliver(match msg {
@@ -228,14 +316,13 @@ impl<'a> Client<'a> {
                     if error.transport().is_some_and(|t| t.kind == TransportKind::Crash)
             );
             if crashed_delivery {
-                if let Some((gate, slot)) = gate {
-                    gate.advance(slot, f64::INFINITY);
+                if let Some((gate, gslot)) = gate {
+                    gate.advance(gslot, f64::INFINITY);
                 }
                 return i;
             }
-            if let Some((gate, slot)) = gate {
-                let next = events.get(i + 1).map_or(f64::INFINITY, |e| e.deadline_tu);
-                gate.advance(slot, next);
+            if let Some((gate, gslot)) = gate {
+                gate.advance(gslot, next_pending(i + 1));
             }
             // dead-lettered messages are not dispatch failures: the system
             // handled them (DLQ + failed instance record) and the run goes
@@ -255,18 +342,19 @@ impl<'a> Client<'a> {
     /// Execute one benchmark period: uninitialize, initialize, streams
     /// A ∥ B, then C, then D.
     pub fn run_period(&self, k: u32) -> StoreResult<Vec<DispatchFailure>> {
-        self.run_period_from(k, [0; 4], true).map(|p| p.failures)
+        self.run_period_from(k, &ReplaySkip::none(), true)
+            .map(|p| p.failures)
     }
 
-    /// [`Client::run_period`] with replay watermarks: streams start at
-    /// `skip` (events before it were settled by a previous, crashed run)
-    /// and `reinit` turns off the uninitialize/initialize prologue — a
+    /// [`Client::run_period`] with a replay-skip set: already-settled
+    /// events (from a previous, crashed run) are not re-dispatched, and
+    /// `reinit` turns off the uninitialize/initialize prologue — a
     /// recovering run restores the period's mid-flight state from a
     /// checkpoint instead of rebuilding it.
     pub fn run_period_from(
         &self,
         k: u32,
-        skip: [usize; 4],
+        skip: &ReplaySkip,
         reinit: bool,
     ) -> StoreResult<PeriodRun> {
         let _period_span = dip_trace::span_cat(
@@ -294,28 +382,67 @@ impl<'a> Client<'a> {
         }
         let d = self.env.config.scale.datasize;
         let streams = schedule::period_streams(k, d);
+        // seed each stream's settled set with the replay-skip set; the
+        // dispatch phases below add what they durably produced
+        let mut sets: [BTreeSet<usize>; 4] = Default::default();
+        for (slot, (_, events)) in streams.iter().enumerate() {
+            sets[slot].extend((0..events.len()).filter(|&i| skip.skips(slot, i)));
+        }
         let mut failures: Vec<DispatchFailure> = Vec::new();
-        let mut settled = [0usize; 4];
+        if self.env.config.workers > 1 {
+            self.run_concurrent_pooled(k, &streams, skip, &mut sets, &mut failures);
+        } else {
+            self.run_concurrent_gated(k, &streams, skip, &mut sets, &mut failures);
+        }
+        // streams C and D keep their declared serialization on this thread
+        // (a dead system falls through: run_stream dispatches nothing)
+        for (slot, (id, events)) in streams[2..].iter().enumerate() {
+            debug_assert!(matches!(id, StreamId::C | StreamId::D));
+            let w = self.run_stream(*id, k, events, skip, 2 + slot, &mut failures, None);
+            sets[2 + slot].extend(0..w);
+        }
+        let crashed = dip_netsim::fault::crash_tripped();
+        Ok(PeriodRun {
+            failures,
+            settled: ReplaySkip::from_sets(sets),
+            crashed,
+        })
+    }
+
+    /// The classic A ∥ B phase: one thread per stream, cross-ordered by
+    /// the [`DispatchGate`] under Eager pacing. The byte-identity
+    /// reference the worker pool is held to.
+    fn run_concurrent_gated(
+        &self,
+        k: u32,
+        streams: &[(StreamId, Vec<ScheduledEvent>)],
+        skip: &ReplaySkip,
+        sets: &mut [BTreeSet<usize>; 4],
+        failures: &mut Vec<DispatchFailure>,
+    ) {
         // under Eager pacing the gate replays the schedule's logical time
         // across the concurrent pair (RealTime gets it from the wall clock)
-        let first = |s: &[ScheduledEvent], skip: usize| {
-            s.get(skip).map_or(f64::INFINITY, |e| e.deadline_tu)
+        let first = |events: &[ScheduledEvent], slot: usize| {
+            events
+                .iter()
+                .enumerate()
+                .find(|(i, _)| !skip.skips(slot, *i))
+                .map_or(f64::INFINITY, |(_, e)| e.deadline_tu)
         };
-        let gate = (self.env.config.pacing == PacingMode::Eager).then(|| {
-            DispatchGate::new(first(&streams[0].1, skip[0]), first(&streams[1].1, skip[1]))
-        });
+        let gate = (self.env.config.pacing == PacingMode::Eager)
+            .then(|| DispatchGate::new(first(&streams[0].1, 0), first(&streams[1].1, 1)));
         let gate = gate.as_ref();
         let (ra, rb) = std::thread::scope(|scope| {
             let a = &streams[0].1;
             let b = &streams[1].1;
             let ha = scope.spawn(move || {
                 let mut f = Vec::new();
-                let n = self.run_stream(StreamId::A, k, a, skip[0], &mut f, gate.map(|g| (g, 0)));
+                let n = self.run_stream(StreamId::A, k, a, skip, 0, &mut f, gate.map(|g| (g, 0)));
                 (f, n)
             });
             let hb = scope.spawn(move || {
                 let mut f = Vec::new();
-                let n = self.run_stream(StreamId::B, k, b, skip[1], &mut f, gate.map(|g| (g, 1)));
+                let n = self.run_stream(StreamId::B, k, b, skip, 1, &mut f, gate.map(|g| (g, 1)));
                 (f, n)
             });
             // join both before propagating so the sibling finishes (its
@@ -326,24 +453,75 @@ impl<'a> Client<'a> {
             match r {
                 Ok((f, n)) => {
                     failures.extend(f);
-                    settled[slot] = n;
+                    sets[slot].extend(0..n);
                 }
                 // a panicked stream must fail the run loudly — swallowing it
                 // here would report a clean period with zero failures
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        for (slot, (id, events)) in streams[2..].iter().enumerate() {
-            debug_assert!(matches!(id, StreamId::C | StreamId::D));
-            settled[2 + slot] =
-                self.run_stream(*id, k, events, skip[2 + slot], &mut failures, None);
+    }
+
+    /// The worker-pool A ∥ B phase ([`BenchConfig::workers`] > 1):
+    /// independent process instances dispatch across N workers under the
+    /// deterministic virtual-time DAG of [`crate::sched`]. Failures are
+    /// collected in virtual-time order, and the settled set is exactly
+    /// the tasks whose outcome the system durably produced — under a
+    /// crash that set is DAG-downward-closed but not stream-contiguous.
+    fn run_concurrent_pooled(
+        &self,
+        k: u32,
+        streams: &[(StreamId, Vec<ScheduledEvent>)],
+        skip: &ReplaySkip,
+        sets: &mut [BTreeSet<usize>; 4],
+        failures: &mut Vec<DispatchFailure>,
+    ) {
+        let _span = dip_trace::span_cat(
+            dip_trace::Layer::Core,
+            "worker_pool",
+            dip_trace::Category::Management,
+        );
+        let plan = sched::PeriodPlan::concurrent_phase(streams, &self.profiles);
+        let pacer = (self.env.config.pacing == PacingMode::RealTime).then(|| sched::Pacer {
+            start: Instant::now(),
+            tu: self.env.config.scale.tu(),
+        });
+        let run = sched::run_pool(
+            &plan,
+            self.env.config.workers,
+            &|slot, index| skip.skips(slot, index),
+            pacer,
+            &|task| match self.deliver_event(task.process, k, task.seq) {
+                Delivery::Failed { error }
+                    if error
+                        .transport()
+                        .is_some_and(|t| t.kind == TransportKind::Crash) =>
+                {
+                    sched::TaskOutcome::Crashed
+                }
+                Delivery::Failed { error } => sched::TaskOutcome::Failed(error.to_string()),
+                _ => sched::TaskOutcome::Settled,
+            },
+        );
+        for (task, outcome) in plan.tasks().iter().zip(&run.outcomes) {
+            match outcome {
+                sched::TaskOutcome::Failed(error) => {
+                    if !skip.skips(task.slot, task.index) {
+                        failures.push(DispatchFailure {
+                            process: task.process.to_string(),
+                            period: k,
+                            seq: task.seq,
+                            error: error.clone(),
+                        });
+                    }
+                    sets[task.slot].insert(task.index);
+                }
+                sched::TaskOutcome::Settled => {
+                    sets[task.slot].insert(task.index);
+                }
+                sched::TaskOutcome::Crashed | sched::TaskOutcome::Pending => {}
+            }
         }
-        let crashed = dip_netsim::fault::crash_tripped();
-        Ok(PeriodRun {
-            failures,
-            settled,
-            crashed,
-        })
     }
 
     /// Execute the whole work phase and aggregate the metric.
@@ -363,19 +541,26 @@ impl<'a> Client<'a> {
     /// merge pre-crash and post-restart records before aggregating.
     pub fn build_outcome(
         &self,
-        records: Vec<InstanceRecord>,
-        failures: Vec<DispatchFailure>,
+        mut records: Vec<InstanceRecord>,
+        mut failures: Vec<DispatchFailure>,
         mut dead_letters: Vec<DeadLetter>,
         wall_time: Duration,
     ) -> RunOutcome {
-        let normalized = normalize(&records);
-        let metrics = process_metrics(&normalized, &self.env.config.scale);
         // arrival order is interleaving-dependent under concurrent
-        // streams; sort into schedule order so same-seed runs produce
-        // byte-identical dead-letter lists
+        // streams (and any worker count > 1); canonicalize every
+        // order-carrying output into schedule order so same-seed runs
+        // are byte-identical. Records have no seq, but same-type
+        // instances complete in series order on every path, so a stable
+        // sort by (period, process) yields one deterministic sequence.
+        records.sort_by(|a, b| (a.period, a.process.as_str()).cmp(&(b.period, b.process.as_str())));
+        failures.sort_by(|a, b| {
+            (a.period, a.process.as_str(), a.seq).cmp(&(b.period, b.process.as_str(), b.seq))
+        });
         dead_letters.sort_by(|a, b| {
             (a.period, a.process.as_str(), a.seq).cmp(&(b.period, b.process.as_str(), b.seq))
         });
+        let normalized = normalize(&records);
+        let metrics = process_metrics(&normalized, &self.env.config.scale);
         RunOutcome {
             system: self.system.name().to_string(),
             config: self.env.config,

@@ -36,6 +36,11 @@ pub struct BenchConfig {
     pub faults: FaultPlan,
     /// Retry/timeout/breaker policy, engaged only when `faults` is active.
     pub resilience: ResiliencePolicy,
+    /// Worker threads for schedule execution. `1` (the default) runs the
+    /// classic two-stream-thread path; `> 1` dispatches independent
+    /// process instances through the [`crate::sched`] worker pool. Same-
+    /// seed runs are byte-identical at every worker count.
+    pub workers: usize,
 }
 
 impl BenchConfig {
@@ -49,6 +54,7 @@ impl BenchConfig {
             mv_mode: RefreshMode::Full,
             faults: FaultPlan::NONE,
             resilience: ResiliencePolicy::DEFAULT,
+            workers: 1,
         }
     }
 
@@ -79,6 +85,11 @@ impl BenchConfig {
 
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> BenchConfig {
         self.resilience = resilience;
+        self
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> BenchConfig {
+        self.workers = workers.max(1);
         self
     }
 }

@@ -46,6 +46,7 @@ pub mod quality;
 pub mod recovery;
 pub mod report;
 pub mod scale;
+pub mod sched;
 pub mod schedule;
 pub mod schema;
 pub mod system;
@@ -69,7 +70,7 @@ pub(crate) mod testlock {
 
 /// The most commonly used items.
 pub mod prelude {
-    pub use crate::client::{Client, RunOutcome};
+    pub use crate::client::{Client, ReplaySkip, RunOutcome};
     pub use crate::config::{BenchConfig, PacingMode};
     pub use crate::eai::EaiSystem;
     pub use crate::env::BenchEnvironment;

@@ -27,7 +27,7 @@
 //! before performing its effect, so a crashed step is all-or-nothing —
 //! exactly the Fig. 9 materialization-point boundaries.
 
-use crate::client::{Client, DispatchFailure, PeriodRun, RunOutcome};
+use crate::client::{Client, DispatchFailure, PeriodRun, ReplaySkip, RunOutcome};
 use crate::config::BenchConfig;
 use crate::env::BenchEnvironment;
 use crate::system::IntegrationSystem;
@@ -241,13 +241,13 @@ pub fn run_with_crash(
         let system = make_system(&env);
         let client = Client::new(&env, system.clone())?;
         let mut failures: Vec<DispatchFailure> = Vec::new();
-        let mut crash: Option<(u32, [usize; 4])> = None;
+        let mut crash: Option<(u32, ReplaySkip)> = None;
         for k in 0..config.periods {
             let PeriodRun {
                 failures: f,
                 settled,
                 crashed,
-            } = client.run_period_from(k, [0; 4], true)?;
+            } = client.run_period_from(k, &ReplaySkip::none(), true)?;
             failures.extend(f);
             if crashed {
                 crash = Some((k, settled));
@@ -293,17 +293,20 @@ pub fn run_with_crash(
     let client = Client::new(&env, system.clone())?;
     checkpoint.restore(&env.world)?;
 
-    // Replay the crashed period's unsettled suffix (no re-initialization:
-    // the checkpoint already holds the period's mid-flight state), then
-    // run the remaining periods normally.
+    // Replay the crashed period's exact unsettled set (no
+    // re-initialization: the checkpoint already holds the period's
+    // mid-flight state), then run the remaining periods normally. Under
+    // parallel execution the settled set is DAG-downward-closed but not
+    // stream-contiguous, so the skip set — not a watermark — is what
+    // keeps the replay from double-dispatching settled instances.
     let d = config.scale.datasize;
     let replayed_events: usize = crate::schedule::period_streams(crashed_period, d)
         .iter()
-        .zip(settled)
-        .map(|((_, events), done)| events.len().saturating_sub(done))
+        .enumerate()
+        .map(|(slot, (_, events))| events.len().saturating_sub(settled.settled_in(slot)))
         .sum();
     dip_trace::count("recovery.replayed_events", replayed_events as u64);
-    let run = client.run_period_from(crashed_period, settled, false)?;
+    let run = client.run_period_from(crashed_period, &settled, false)?;
     failures.extend(run.failures);
     for k in crashed_period + 1..config.periods {
         failures.extend(client.run_period(k)?);

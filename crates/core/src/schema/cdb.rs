@@ -173,6 +173,11 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
             _ => rejected += 1,
         }
     }
+    // canonicalize: staging row order depends on how the concurrent
+    // extract/message instances interleaved their loads, so clean output
+    // is emitted in key order — downstream scan-order-sensitive consumers
+    // (float aggregates) stay byte-identical at any worker count
+    clean_rows.sort_by_key(|r| r[0].to_int());
     loaded += db.table("customer")?.insert_ignore_duplicates(clean_rows)? as i64;
 
     // --- products ---
@@ -197,6 +202,7 @@ fn master_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option<R
             _ => rejected += 1,
         }
     }
+    clean_rows.sort_by_key(|r| r[0].to_int());
     loaded += db.table("product")?.insert_ignore_duplicates(clean_rows)? as i64;
 
     // flag everything we just processed as integrated (but keep it — P12
@@ -244,6 +250,10 @@ fn movement_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option
             rejected += 1;
         }
     }
+    // canonicalize: staging order is interleaving-dependent under the
+    // worker pool, and `OrdersMV`'s revenue is a float sum in fact-table
+    // scan order — key-sorted output keeps it byte-identical
+    clean_orders.sort_by_key(|r| r[0].to_int());
     loaded += db.table("orders")?.insert_ignore_duplicates(clean_orders)? as i64;
 
     let pending_l = staging_l.scan();
@@ -260,6 +270,7 @@ fn movement_data_cleansing(db: &Database, _args: &[Value]) -> StoreResult<Option
             rejected += 1;
         }
     }
+    clean_lines.sort_by_key(|r| (r[0].to_int(), r[1].to_int()));
     loaded += db
         .table("orderline")?
         .insert_ignore_duplicates(clean_lines)? as i64;

@@ -358,6 +358,76 @@ mod tests {
         assert_eq!(t.state_dump(), before);
     }
 
+    /// Seeded-interleaving contention on the handle()/adopt() handoff:
+    /// several threads adopt the same parent transaction and mutate one
+    /// shared table concurrently, with per-thread seeded yield points
+    /// perturbing the interleaving. Whatever order the undo journal
+    /// accumulated in, rollback must restore the byte-exact pre-tx state,
+    /// and a commit must keep every thread's writes.
+    #[test]
+    fn adopted_contention_rolls_back_and_commits_exactly() {
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let run = |seed: u64, commit: bool| {
+            let t = table();
+            t.insert((0..8).map(|i| row(i, "base")).collect::<Vec<_>>())
+                .unwrap();
+            let before = t.state_dump();
+            let outer = begin();
+            std::thread::scope(|scope| {
+                for worker in 0..4u64 {
+                    let h = handle().unwrap();
+                    let t = t.clone();
+                    scope.spawn(move || {
+                        let _g = adopt(&h);
+                        // disjoint key range per thread; ops and yield
+                        // points drawn from the per-thread seed
+                        let base = 100 + 20 * worker as i64;
+                        for op in 0..12u64 {
+                            let r = mix(seed ^ (worker << 32) ^ op);
+                            for _ in 0..r % 4 {
+                                std::thread::yield_now();
+                            }
+                            let key = base + (r % 20) as i64;
+                            match r % 3 {
+                                0 => drop(t.insert_ignore_duplicates(vec![row(key, "ins")])),
+                                1 => drop(t.upsert(vec![row(key, "ups")])),
+                                _ => drop(t.delete_where(&Expr::col(0).eq(Expr::lit(key)))),
+                            }
+                        }
+                        // every thread also touches the shared pre-tx rows
+                        t.update_where(
+                            &Expr::col(0).eq(Expr::lit(worker as i64)),
+                            &[(1, Expr::lit("touched"))],
+                        )
+                        .unwrap();
+                    });
+                }
+            });
+            if commit {
+                outer.commit();
+                for worker in 0..4i64 {
+                    let r = t.get_by_pk(&[Value::Int(worker)]).unwrap();
+                    assert_eq!(r[1], Value::str("touched"), "committed update lost");
+                }
+            } else {
+                drop(outer);
+                assert_eq!(
+                    t.state_dump(),
+                    before,
+                    "seed {seed}: contended rollback diverged from the pre-tx state"
+                );
+            }
+        };
+        for seed in [1, 2, 0xD1B] {
+            run(seed, false);
+            run(seed, true);
+        }
+    }
+
     #[test]
     fn disabled_rollback_keeps_partial_writes() {
         let t = table();

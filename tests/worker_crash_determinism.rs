@@ -1,0 +1,101 @@
+//! Crash-recovery determinism across worker counts: killing the system
+//! mid-instance and recovering from the checkpoint + journal must land on
+//! the same bytes at every worker count — including crashes *inside* the
+//! pooled A∥B phase, where the settled set handed to the replay is
+//! DAG-downward-closed rather than a per-stream prefix.
+//!
+//! Everything lives in ONE test function: the crash plan is
+//! process-global, so concurrent test threads would corrupt each other
+//! (same rule as `crash_recovery.rs`; this suite is a separate binary, so
+//! it cannot race that one either).
+
+use dip_ivm::IvmSystem;
+use dipbench::prelude::*;
+use dipbench::recovery::{self, CrashTarget};
+use dipbench::verify;
+use std::sync::Arc;
+
+fn mtm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(MtmSystem::new(env.world.clone()))
+}
+
+fn ivm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
+    Arc::new(IvmSystem::new(env.world.clone()))
+}
+
+fn target(process: &str, step: u32) -> CrashTarget {
+    CrashTarget {
+        process: process.to_string(),
+        period: 0,
+        seq: 0,
+        step,
+    }
+}
+
+#[test]
+fn crash_recovery_is_byte_identical_at_every_worker_count() {
+    let config =
+        BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform)).with_periods(1);
+
+    // Uncrashed 1-worker reference — the bytes every recovered run of
+    // every worker count must land on.
+    let ref_digests = {
+        let env = BenchEnvironment::new(config).unwrap();
+        let client = Client::new(&env, mtm(&env)).unwrap();
+        let outcome = client.run().unwrap();
+        let report = verify::verify_outcome(&env, &outcome).unwrap();
+        assert!(report.passed(), "reference run must verify:\n{report}");
+        recovery::digest_tables(&env.world).unwrap()
+    };
+
+    // P05 seq 0 dies inside the pooled A∥B phase (stream A extraction);
+    // P09 dies in the serial C phase, after the pool has drained — so the
+    // replay-skip set it hands back covers pooled-settled work.
+    for process in ["P05", "P09"] {
+        for workers in [1, 2, 4, 8] {
+            let cfg = config.with_workers(workers);
+            let run = recovery::run_with_crash(cfg, &|e| mtm(e), &target(process, 1), false)
+                .unwrap_or_else(|e| panic!("{process} workers={workers}: recovery error {e}"));
+            assert!(
+                run.tripped,
+                "{process} workers={workers}: the armed crash never fired"
+            );
+            assert!(
+                run.verification.passed(),
+                "{process} workers={workers}: conservation failed after recovery:\n{}",
+                run.verification
+            );
+            assert_eq!(
+                run.digests, ref_digests,
+                "{process} workers={workers}: recovered state diverged from the uncrashed run"
+            );
+            assert!(
+                run.outcome.dead_letters.is_empty(),
+                "{process} workers={workers}: recovery invented dead letters"
+            );
+        }
+    }
+
+    // Engine cross-check: the incremental-view engine recovers to the
+    // same bytes it would have produced uncrashed at the same worker
+    // count — its change logs are replay-order sensitive, so a pooled
+    // crash is the hardest case it faces.
+    let ivm_ref = {
+        let env = BenchEnvironment::new(config.with_workers(4)).unwrap();
+        let client = Client::new(&env, ivm(&env)).unwrap();
+        client.run().unwrap();
+        recovery::digest_tables(&env.world).unwrap()
+    };
+    let run = recovery::run_with_crash(
+        config.with_workers(4),
+        &|e| ivm(e),
+        &target("P05", 1),
+        false,
+    )
+    .expect("ivm pooled recovery run");
+    assert!(run.tripped);
+    assert_eq!(
+        run.digests, ivm_ref,
+        "ivm workers=4: recovered state diverged from the uncrashed run"
+    );
+}
