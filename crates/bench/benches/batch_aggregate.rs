@@ -1,0 +1,86 @@
+//! Streaming vs vectorized executor on the plan shape that dominates the
+//! heavy E2 processes (P09/P11/P13/P14): filter → hash-join → grouped
+//! SUM/COUNT/AVG aggregation. One row count per order of magnitude —
+//! 1k fits in a single chunk, 32k and 256k exercise the multi-chunk
+//! path, pre-sized hash tables and the chunked probe loop. CI uploads
+//! the output as an artifact next to `BENCH_6.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dip_relstore::prelude::*;
+use std::hint::black_box;
+
+/// An orderline-shaped fact table joined to a small dimension: `n` facts
+/// (linekey, partkey, qty, price) against 64 parts.
+fn facts(n: i64) -> Database {
+    let db = Database::new("bench");
+    let line = RelSchema::of(&[
+        ("linekey", SqlType::Int),
+        ("partkey", SqlType::Int),
+        ("qty", SqlType::Int),
+        ("price", SqlType::Float),
+    ])
+    .shared();
+    let t = Table::new("lineitem", line)
+        .with_primary_key(&["linekey"])
+        .unwrap();
+    t.insert(
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 64),
+                    Value::Int(1 + i % 40),
+                    Value::Float(((i * 37) % 9973) as f64 / 100.0),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let part = RelSchema::of(&[("partkey", SqlType::Int), ("name", SqlType::Str)]).shared();
+    let pt = Table::new("part", part)
+        .with_primary_key(&["partkey"])
+        .unwrap();
+    pt.insert(
+        (0..64)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("part-{i}").into())])
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(t);
+    db.create_table(pt);
+    db
+}
+
+/// The P13/P14-shaped plan: filter qty, join the dimension, aggregate
+/// revenue per part.
+fn mart_refresh_plan() -> Plan {
+    Plan::scan("lineitem")
+        .filter(Expr::col(2).gt(Expr::lit(5i64)))
+        .hash_join(Plan::scan("part"), vec![1], vec![0], JoinKind::Inner)
+        .aggregate(
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(3), "revenue"),
+                AggExpr::count_star("lines"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "avg_qty"),
+            ],
+        )
+}
+
+fn bench_batch_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_aggregate");
+    g.sample_size(15);
+    for &rows in &[1_000i64, 32_000, 256_000] {
+        let db = facts(rows);
+        let plan = mart_refresh_plan();
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
+            g.bench_function(format!("{}_{}k", mode.label(), rows / 1000), |b| {
+                b.iter(|| black_box(execute(&plan, &db, mode).unwrap().len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_aggregate);
+criterion_main!(benches);

@@ -63,13 +63,13 @@ fn bench_relstore(c: &mut Criterion) {
 
     g.bench_function("filter_scan_10k", |b| {
         let plan = Plan::scan("customer").filter(Expr::col(3).gt(Expr::lit(500.0)));
-        b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
+        b.iter(|| black_box(plan.run(&db).unwrap().len()))
     });
 
     g.bench_function("hash_join_10k_x_50", |b| {
         let plan =
             Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
-        b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
+        b.iter(|| black_box(plan.run(&db).unwrap().len()))
     });
 
     g.bench_function("union_distinct_3x10k", |b| {
@@ -81,7 +81,7 @@ fn bench_relstore(c: &mut Criterion) {
             ],
             key: Some(vec![0]),
         };
-        b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
+        b.iter(|| black_box(plan.run(&db).unwrap().len()))
     });
 
     g.bench_function("aggregate_group_by_city", |b| {
@@ -92,7 +92,7 @@ fn bench_relstore(c: &mut Criterion) {
                 AggExpr::new(AggFunc::Sum, Expr::col(3), "bal"),
             ],
         );
-        b.iter(|| black_box(run_query(&plan, &db).unwrap().len()))
+        b.iter(|| black_box(plan.run(&db).unwrap().len()))
     });
 
     g.bench_function("insert_1k_rows", |b| {
@@ -184,22 +184,10 @@ fn bench_optimizer(c: &mut Criterion) {
         .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
         .filter(Expr::col(0).eq(Expr::lit(42)));
     g.bench_function("pushdown_on", |b| {
-        b.iter(|| {
-            black_box(
-                execute(&plan, &db, ExecOptions { optimize: true })
-                    .unwrap()
-                    .len(),
-            )
-        })
+        b.iter(|| black_box(execute(&plan, &db, ExecMode::Streaming).unwrap().len()))
     });
     g.bench_function("pushdown_off", |b| {
-        b.iter(|| {
-            black_box(
-                execute(&plan, &db, ExecOptions { optimize: false })
-                    .unwrap()
-                    .len(),
-            )
-        })
+        b.iter(|| black_box(execute(&plan, &db, ExecMode::Oracle).unwrap().len()))
     });
     g.finish();
 }

@@ -1,6 +1,6 @@
 //! The benchmark cell model and the `dipbench report` renderer.
 //!
-//! A *cell* is one addressable `(process-group, engine, d, t, f)`
+//! A *cell* is one addressable `(process-group, engine, exec-mode, d, t, f)`
 //! measurement. This module normalizes the committed measurement history —
 //! `results/records/*.json` run records (schema v1 and v2) and
 //! `BENCH_*.json` wall-clock summaries — into cells, renders cross-engine
@@ -31,6 +31,9 @@ pub struct BenchSummary {
     pub order: u64,
     pub commit: String,
     pub engine: String,
+    /// Relational executor the run was pinned to; files written before the
+    /// mode existed parse as `"streaming"` (the only executor back then).
+    pub exec_mode: String,
     pub d: f64,
     pub t: f64,
     pub f: String,
@@ -73,6 +76,11 @@ impl BenchSummary {
                 .unwrap_or(0),
             commit: string("commit")?,
             engine: string("engine")?,
+            exec_mode: v
+                .get("exec_mode")
+                .and_then(Json::as_str)
+                .unwrap_or("streaming")
+                .to_string(),
             d: num("datasize")?,
             t: num("time")?,
             f: string("distribution")?,
@@ -139,16 +147,35 @@ fn scale_key(d: f64, t: f64, f: &str, periods: u64) -> String {
     format!("d={d} t={t} f={f} p={periods}")
 }
 
+/// Column tag for one measurement: the bare engine for the default
+/// `streaming`/`auto` executor, `engine+mode` for a pinned alternative.
+/// Exec mode is part of the cell address, so a streaming and a vectorized
+/// run of the same engine render as separate comparison columns and never
+/// flag each other as regressions.
+fn engine_column(engine: &str, exec_mode: &str) -> String {
+    match exec_mode {
+        "" | "streaming" | "auto" => engine.to_string(),
+        mode => format!("{engine}+{mode}"),
+    }
+}
+
 /// Engine column order: registry order for known tags, then unknown tags
 /// alphabetically (records written by future engines still render).
+/// `engine+mode` columns sort right after their base engine.
 fn engine_order(tags: &BTreeSet<String>) -> Vec<String> {
     let registry = EngineRegistry::builtin();
-    let mut ordered: Vec<String> = registry
-        .specs()
-        .iter()
-        .map(|s| s.tag.to_string())
-        .filter(|t| tags.contains(t))
-        .collect();
+    let mut ordered: Vec<String> = Vec::new();
+    for spec in registry.specs() {
+        if tags.contains(spec.tag) {
+            ordered.push(spec.tag.to_string());
+        }
+        let prefix = format!("{}+", spec.tag);
+        for tag in tags {
+            if tag.starts_with(&prefix) {
+                ordered.push(tag.clone());
+            }
+        }
+    }
     for tag in tags {
         if !ordered.contains(tag) {
             ordered.push(tag.clone());
@@ -165,7 +192,7 @@ impl Report {
         for rec in records {
             for cell in rec.cells_or_derived() {
                 let key = (
-                    cell.engine.clone(),
+                    engine_column(&cell.engine, &rec.exec_mode),
                     cell.process.clone(),
                     scale_key(cell.d, cell.t, &cell.f, rec.periods),
                 );
@@ -229,7 +256,10 @@ impl Report {
         let mut by_cell: BTreeMap<(String, String), Vec<&BenchSummary>> = BTreeMap::new();
         for b in &sorted_benches {
             by_cell
-                .entry((b.engine.clone(), scale_key(b.d, b.t, &b.f, b.periods)))
+                .entry((
+                    engine_column(&b.engine, &b.exec_mode),
+                    scale_key(b.d, b.t, &b.f, b.periods),
+                ))
                 .or_default()
                 .push(b);
         }
@@ -368,8 +398,10 @@ impl Report {
         if !self.benches.is_empty() {
             if md {
                 out.push_str("\n## Wall-clock history (BENCH_*.json)\n\n");
-                out.push_str("| file | engine | scale | warm mean (ms) | rows/sec | commit |\n");
-                out.push_str("|---|---|---|---|---|---|\n");
+                out.push_str(
+                    "| file | engine | exec mode | scale | warm mean (ms) | rows/sec | commit |\n",
+                );
+                out.push_str("|---|---|---|---|---|---|---|\n");
             } else {
                 out.push_str("\nWall-clock history (BENCH_*.json)\n");
             }
@@ -378,14 +410,26 @@ impl Report {
                 if md {
                     let _ = writeln!(
                         out,
-                        "| {} | {} | {} | {:.1} | {:.0} | {} |",
-                        b.file, b.engine, scale, b.warm_mean_ms, b.rows_per_sec, b.commit
+                        "| {} | {} | {} | {} | {:.1} | {:.0} | {} |",
+                        b.file,
+                        b.engine,
+                        b.exec_mode,
+                        scale,
+                        b.warm_mean_ms,
+                        b.rows_per_sec,
+                        b.commit
                     );
                 } else {
                     let _ = writeln!(
                         out,
-                        "{:<10}{:<6}{:<24}{:>10.1} ms{:>10.0} rows/s  {}",
-                        b.file, b.engine, scale, b.warm_mean_ms, b.rows_per_sec, b.commit
+                        "{:<10}{:<6}{:<12}{:<24}{:>10.1} ms{:>10.0} rows/s  {}",
+                        b.file,
+                        b.engine,
+                        b.exec_mode,
+                        scale,
+                        b.warm_mean_ms,
+                        b.rows_per_sec,
+                        b.commit
                     );
                 }
             }
@@ -506,6 +550,7 @@ mod tests {
             created_unix: created,
             commit: commit.into(),
             engine: engine.into(),
+            exec_mode: "streaming".into(),
             datasize: 0.02,
             time: 1.0,
             distribution: "uniform".into(),
@@ -576,6 +621,29 @@ mod tests {
         let text = report.render(ReportFormat::Text);
         assert!(text.contains("P13"));
         assert!(!text.contains('|'));
+    }
+
+    #[test]
+    fn exec_mode_is_its_own_cell_dimension() {
+        let mut vectorized = record("fed", "bbb", 200, 20.0);
+        vectorized.exec_mode = "vectorized".into();
+        let records = vec![
+            record("fed", "aaa", 100, 50.0),
+            record("ivm", "aaa", 100, 30.0),
+            vectorized,
+        ];
+        let report = Report::build(&records, &[], 0.2);
+        // the vectorized run gets its own column, right after its engine —
+        // and a faster vectorized run never flags the streaming history
+        let md = report.render(ReportFormat::Markdown);
+        let header = md.lines().find(|l| l.starts_with("| process")).unwrap();
+        assert_eq!(header, "| process | group | fed | fed+vectorized | ivm |");
+        assert!(md.contains("| P13 | C | 50.00 | 20.00 | 30.00 |"), "{md}");
+        assert!(
+            report.regressions().is_empty(),
+            "{:?}",
+            report.regressions()
+        );
     }
 
     /// A BENCH payload with every field the strict loader demands.
@@ -659,6 +727,7 @@ mod tests {
             order,
             commit: commit.into(),
             engine: "fed".into(),
+            exec_mode: "streaming".into(),
             d: 0.05,
             t: 1.0,
             f: "uniform".into(),

@@ -8,12 +8,13 @@
 //! dipbench fig10 [--periods 3] [--engine TAG] [--trace f.json]
 //! dipbench fig11 [--periods 3] [--engine ...] [--trace f.json]
 //! dipbench run --d 0.05 --t 1.0 --f uniform [--periods 3] [--engine ...] [--workers N]
+//!              [--exec-mode auto|streaming|vectorized|oracle]
 //! dipbench compare [--periods 2]          # fed vs mtm, same configuration
 //! dipbench sweep d|t|f [--periods 1]      # scale-factor sweeps
 //! dipbench quality [--periods 1]          # data-quality profile per layer
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
-//! dipbench bench [--iterations N | --quick] [--check BENCH_4.json [--threshold 0.2]]
+//! dipbench bench [--iterations N | --quick] [--check BENCH_6.json [--threshold 0.2]]
 //! dipbench bench --scaling [--iterations N | --quick]   # 1/2/4/8-worker curve → BENCH_5.json
 //! dipbench report [--records DIR] [--format md|text] [--out FILE] [--check]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
@@ -26,6 +27,7 @@
 
 use dip_bench::barometer::{self, EngineRegistry, ReportFormat};
 use dip_bench::{build_system, run_experiment, shape_findings, EngineKind};
+use dip_relstore::query::{default_mode, set_default_mode, ExecMode};
 use dip_trace::{DiffOptions, Json, ProcessStats, RunRecord, SCHEMA_VERSION};
 use dipbench::prelude::*;
 use dipbench::report;
@@ -34,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     reject_unknown_flags(cmd, &args);
+    apply_exec_mode(&args);
     match cmd {
         "table1" => print!("{}", report::table1()),
         "table2" => {
@@ -93,7 +96,7 @@ fn main() {
                    sweep d|t|f                      scale-factor sweeps\n\
                    quality                          data-quality profile per pipeline layer\n\
                    record                           run and write a versioned run record JSON\n\
-                   bench                            wall-clock gate: N runs over one cached environment, writes BENCH_4.json\n\
+                   bench                            wall-clock gate: N runs over one cached environment, writes BENCH_6.json\n\
                    report                           cross-engine/cross-commit tables from committed records (exit 1 with --check on regression)\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
@@ -104,6 +107,7 @@ fn main() {
                  {}\
                  \n\
                  options: --periods N  --engine TAG  --d X  --t X  --workers N\n\
+                          --exec-mode auto|streaming|vectorized|oracle  (query executor)\n\
                           --f uniform|zipf5|zipf10|normal  --trace FILE  --out FILE|DIR\n\
                           --scaling  (bench only: 1/2/4/8-worker curve into BENCH_5.json)\n\
                           --threshold X  --min-delta X  (diff only)\n\
@@ -124,6 +128,26 @@ fn fail_usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// `--exec-mode auto|streaming|vectorized|oracle` (default auto): pins the
+/// process-global relational executor for every query the run issues. An
+/// unknown value is a hard usage error — silently falling back to `auto`
+/// would benchmark a different executor than the one asked for.
+fn apply_exec_mode(args: &[String]) {
+    let Some(s) = flag_str(args, "--exec-mode") else {
+        return;
+    };
+    match ExecMode::parse(&s) {
+        Some(mode) => set_default_mode(mode),
+        None => {
+            let valid: Vec<&str> = ExecMode::ALL.iter().map(|m| m.label()).collect();
+            fail_usage(&format!(
+                "unknown exec mode {s:?} (valid: {})",
+                valid.join("|")
+            ));
+        }
+    }
+}
+
 /// The flags each subcommand accepts. Any other `--flag` is a hard usage
 /// error (exit 2): a mistyped or unsupported flag would otherwise be
 /// silently ignored and the run would measure something other than what
@@ -132,7 +156,14 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
     let allowed: &[&str] = match cmd {
         "table1" | "fig8" | "explain" => &[],
         "table2" => &["--d"],
-        "fig10" | "fig11" => &["--periods", "--engine", "--trace", "--out", "--workers"],
+        "fig10" | "fig11" => &[
+            "--periods",
+            "--engine",
+            "--trace",
+            "--out",
+            "--workers",
+            "--exec-mode",
+        ],
         "run" => &[
             "--d",
             "--t",
@@ -142,11 +173,20 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
             "--trace",
             "--out",
             "--workers",
+            "--exec-mode",
         ],
         "compare" => &["--periods"],
         "sweep" => &["--periods", "--engine"],
         "quality" => &["--periods", "--engine", "--d"],
-        "record" => &["--d", "--t", "--f", "--periods", "--engine", "--out"],
+        "record" => &[
+            "--d",
+            "--t",
+            "--f",
+            "--periods",
+            "--engine",
+            "--out",
+            "--exec-mode",
+        ],
         "bench" => &[
             "--d",
             "--t",
@@ -160,6 +200,7 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
             "--threshold",
             "--out",
             "--workers",
+            "--exec-mode",
         ],
         "report" => &[
             "--records",
@@ -180,6 +221,7 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
             "--attempts",
             "--sweep",
             "--workers",
+            "--exec-mode",
         ],
         "crash" => &[
             "--engine",
@@ -194,6 +236,7 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
             "--no-rollback",
             "--drop",
             "--workers",
+            "--exec-mode",
         ],
         _ => return, // unknown command — the help text handles it
     };
@@ -537,6 +580,7 @@ fn record(args: &[String]) {
         created_unix,
         commit: current_commit(),
         engine: kind.tag().to_string(),
+        exec_mode: default_mode().label().to_string(),
         datasize: scale.datasize,
         time: scale.time,
         distribution: scale.distribution.label().to_string(),
@@ -566,7 +610,7 @@ fn record(args: &[String]) {
     let path = match flag_str(args, "--out") {
         Some(p) => std::path::PathBuf::from(p),
         None => std::path::PathBuf::from(format!(
-            "results/records/{}-d{}-t{}-{}.json",
+            "results/records/{}-d{}-t{}-{}{}.json",
             kind.tag(),
             scale.datasize,
             scale.time,
@@ -575,6 +619,12 @@ fn record(args: &[String]) {
                 Distribution::Zipf5 => "zipf5",
                 Distribution::Zipf10 => "zipf10",
                 Distribution::Normal => "normal",
+            },
+            // an explicitly pinned executor gets its own record file so
+            // streaming-vs-vectorized runs do not clobber each other
+            match default_mode() {
+                ExecMode::Auto => String::new(),
+                m => format!("-{}", m.label()),
             }
         )),
     };
@@ -690,7 +740,7 @@ fn resolve_baseline(engine_tag: &str, datasize: f64) -> (Vec<f64>, f64, f64, Str
 /// `--iterations` times over it. The first iteration generates every
 /// period's source snapshot (cache misses); all later iterations replay
 /// the cached snapshots, so the warm iterations measure the steady-state
-/// row path without data-generation noise. Writes `BENCH_4.json` with
+/// row path without data-generation noise. Writes `BENCH_6.json` with
 /// per-iteration wall times, throughput, per-group NAVG+ and the
 /// allocation counters, next to the embedded pre-optimization baseline.
 ///
@@ -787,6 +837,7 @@ fn bench(args: &[String]) {
         ("kind", Json::str("bench")),
         ("commit", Json::str(current_commit())),
         ("engine", Json::str(kind.tag())),
+        ("exec_mode", Json::str(default_mode().label())),
         ("datasize", Json::num(scale.datasize)),
         ("time", Json::num(scale.time)),
         ("distribution", Json::str(scale.distribution.label())),
@@ -856,7 +907,7 @@ fn bench(args: &[String]) {
         ),
     ]);
 
-    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
     let check_path = flag_str(args, "--check");
     // in gate mode, do not clobber the committed record we compare against
     let write_out = check_path.as_deref() != Some(out.as_str());
@@ -1084,6 +1135,7 @@ fn bench_scaling(
         ("kind", Json::str("bench-scaling")),
         ("commit", Json::str(current_commit())),
         ("engine", Json::str(kind.tag())),
+        ("exec_mode", Json::str(default_mode().label())),
         ("datasize", Json::num(scale.datasize)),
         ("time", Json::num(scale.time)),
         ("distribution", Json::str(scale.distribution.label())),

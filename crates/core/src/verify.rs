@@ -154,8 +154,10 @@ fn verify_with(
         format!("{bad_vocab} orders with non-canonical priority/state"),
     );
 
-    // 5. OrdersMV is consistent with the fact table.
-    let recomputed = run_query(&dwh::orders_mv_definition(), &dwh_db)?;
+    // 5. OrdersMV is consistent with the fact table — recomputed through
+    // the oracle executor so the check is independent of the mode the
+    // engines ran with.
+    let recomputed = execute(&dwh::orders_mv_definition(), &dwh_db, ExecMode::Oracle)?;
     let mut materialized = dwh_db.table("orders_mv")?.scan();
     let mut recomputed = recomputed;
     recomputed.sort_by_columns(&[0]);
@@ -258,7 +260,7 @@ fn verify_with(
     let mut mv_marts_ok = true;
     for mart in dm::Mart::ALL {
         let mdb = env.db(mart.db_name());
-        let mut recomputed = run_query(&dm::sales_mv_definition(), &mdb)?;
+        let mut recomputed = execute(&dm::sales_mv_definition(), &mdb, ExecMode::Oracle)?;
         let mut materialized = mdb.table("sales_mv")?.scan();
         recomputed.sort_by_columns(&[0]);
         materialized.sort_by_columns(&[0]);

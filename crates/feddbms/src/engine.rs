@@ -134,9 +134,14 @@ pub struct FedCtx {
 }
 
 impl FedCtx {
-    pub fn exec_opts(&self) -> ExecOptions {
-        ExecOptions {
-            optimize: self.opts.optimize_relational,
+    /// The [`ExecMode`] local queries run with: the `optimize_relational:
+    /// false` ablation pins the naive oracle executor; otherwise the
+    /// process-global default mode applies (set by `dipbench --exec-mode`).
+    pub fn exec_mode(&self) -> ExecMode {
+        if self.opts.optimize_relational {
+            default_mode()
+        } else {
+            ExecMode::Oracle
         }
     }
 
@@ -244,7 +249,7 @@ impl FedCtx {
 
     /// Execute a plan over the local (temp) tables, charging Cp.
     pub fn local_query(&self, plan: &Plan) -> FedResult<Relation> {
-        self.processing(|| Ok(execute(plan, &self.local, self.exec_opts())?))
+        self.processing(|| Ok(execute(plan, &self.local, self.exec_mode())?))
     }
 
     /// Drop this instance's temp tables.

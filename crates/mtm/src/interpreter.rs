@@ -366,7 +366,7 @@ impl<'a> Interpreter<'a> {
                 );
                 // Values-only plans never touch a database; any one works.
                 let scratch = Database::new("scratch");
-                let out = run_query(&plan, &scratch)?;
+                let out = plan.run(&scratch)?;
                 vars.set(output.clone(), MtmMessage::Rel(out));
                 self.costs.add(CostCategory::Processing, t.elapsed());
             }

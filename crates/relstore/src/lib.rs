@@ -26,7 +26,7 @@
 //! let schema = RelSchema::of(&[("id", SqlType::Int), ("city", SqlType::Str)]).shared();
 //! db.create_table(Table::new("t", schema).with_primary_key(&["id"]).unwrap());
 //! db.insert_into("t", vec![vec![Value::Int(1), Value::str("Berlin")]]).unwrap();
-//! let rel = run_query(&Plan::scan("t").filter(Expr::col(1).eq(Expr::lit("Berlin"))), &db).unwrap();
+//! let rel = Plan::scan("t").filter(Expr::col(1).eq(Expr::lit("Berlin"))).run(&db).unwrap();
 //! assert_eq!(rel.len(), 1);
 //! ```
 
@@ -51,7 +51,8 @@ pub mod prelude {
     pub use crate::index::IndexKind;
     pub use crate::mview::{MatView, RefreshMode};
     pub use crate::query::{
-        execute, run_query, AggExpr, AggFunc, ExecOptions, JoinKind, Plan, ProjExpr,
+        default_mode, execute, set_default_mode, AggExpr, AggFunc, ExecMode, JoinKind, Plan,
+        ProjExpr,
     };
     pub use crate::row::{Relation, Row};
     pub use crate::schema::{Column, RelSchema, SchemaRef};

@@ -11,7 +11,6 @@
 use crate::catalog::Database;
 use crate::error::{StoreError, StoreResult};
 use crate::index::key_of;
-use crate::query::exec::run_query;
 use crate::query::plan::{AggFunc, Plan};
 use crate::table::Change;
 use crate::value::Value;
@@ -100,7 +99,7 @@ impl MatView {
     }
 
     fn full_refresh(&self, db: &Database) -> StoreResult<usize> {
-        let rel = run_query(&self.definition, db)?;
+        let rel = self.definition.run(db)?;
         let storage = db.table(&self.storage)?;
         storage.truncate();
         let n = rel.rows.len();

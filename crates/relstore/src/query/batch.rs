@@ -1,0 +1,1139 @@
+//! Columnar batch executor ([`ExecMode::Vectorized`]).
+//!
+//! Plans run batch-at-a-time over [`Chunk`]s of ~[`CHUNK_ROWS`] rows. A
+//! chunk is a vector of [`Col`]umns plus an optional *selection vector* of
+//! surviving row indices. Columns come in three representations:
+//!
+//! * `Dense` — owned values, one per physical row (scan/aggregate output);
+//! * `Shared` — the same, behind an `Arc` (a column forwarded untouched);
+//! * `Gather` — a shared source column plus a shared index vector: the
+//!   value at row `i` is `src[idx[i]]`.
+//!
+//! `Gather` is the late-materialization trick that makes join chains
+//! linear: a join emits its probe-side columns as gathers over the probe
+//! chunk (one `Arc<Vec<u32>>` shared by every probe column) instead of
+//! re-copying the accumulated prefix into fresh columns at every level.
+//! Chained joins *compose* index vectors — u32 arithmetic, no `Value`
+//! clones — and a hash join's build side is columnarized once and gathered
+//! the same way. Values are cloned exactly once, at the final
+//! chunk-to-rows boundary, which is the same copy the streaming executor
+//! pays when its borrowed row views hit a materializing sink. Filters and
+//! distinct-unions never copy either — they narrow the selection vector
+//! and pass the columns through untouched.
+//!
+//! The executor is a drop-in replacement for the streaming path over the
+//! same optimized plans and must emit **byte-identical rows in the same
+//! order** (the cross-mode digest gate depends on it):
+//!
+//! * hash joins emit probe order × build insertion order, build on the
+//!   estimated-smaller side (LEFT builds right), NULL keys never join,
+//!   LEFT pads with build-width NULLs;
+//! * aggregates emit groups in first-seen order and a global aggregate
+//!   over zero rows still yields one row;
+//! * `UnionDistinct` keeps first occurrences; `TopK` breaks ties by input
+//!   sequence ([`TopKEntry`]);
+//! * all aggregate arithmetic goes through the shared [`AggState`]
+//!   (exact-`i64` SUM with overflow fallback, compensated float sums).
+//!
+//! Hash and group tables are pre-sized from planner cardinality estimates
+//! (table live counts at the leaves); aggregate inputs that are bare
+//! column references skip expression dispatch (`AggState`'s by-reference
+//! column-loop methods); computed aggregate inputs are evaluated
+//! column-at-a-time once per chunk.
+//!
+//! Each node publishes `relstore.batch.chunks.<op>` and
+//! `relstore.batch.rows.<op>` counters next to the shared
+//! `relstore.rows_out.<op>`; chunk fill rate is
+//! `batch.rows / (batch.chunks × 1024)`. Join output chunks follow probe
+//! chunk boundaries, so a high-fan-out join can emit chunks taller than
+//! [`CHUNK_ROWS`]; consumers size off [`Chunk::live`], never the constant.
+
+use crate::catalog::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::expr::{Expr, RowAccess};
+use crate::index::key_of;
+use crate::query::exec::{index_join_equivalent, plan_op, rows_counter, AggState, TopKEntry};
+use crate::query::plan::{AggFunc, JoinKind, Plan};
+use crate::row::{sort_rows_by_columns, Relation, Row};
+use crate::value::Value;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+#[allow(unused_imports)] // doc links
+use crate::query::exec::ExecMode;
+
+/// Target rows per [`Chunk`]. Large enough to amortize per-chunk operator
+/// overhead, small enough that a chunk's columns stay cache-resident.
+pub(crate) const CHUNK_ROWS: usize = 1024;
+
+/// One column of a chunk (see the module docs for the representations).
+enum Col {
+    /// Owned dense values, one per physical row.
+    Dense(Vec<Value>),
+    /// Dense values shared with other chunks (pass-through / join source).
+    Shared(Arc<Vec<Value>>),
+    /// Lazily gathered: the value at row `i` is `src[idx[i]]`.
+    Gather {
+        src: Arc<Vec<Value>>,
+        idx: Arc<Vec<u32>>,
+    },
+}
+
+impl Col {
+    /// The value at physical row `i`, if in range.
+    fn get(&self, i: usize) -> Option<&Value> {
+        match self {
+            Col::Dense(v) => v.get(i),
+            Col::Shared(v) => v.get(i),
+            Col::Gather { src, idx } => idx.get(i).and_then(|&j| src.get(j as usize)),
+        }
+    }
+
+    /// Convert to a shareable source column, cloning no values, and
+    /// return the backing storage (for `Gather` the *source* — callers
+    /// pair it with the composed index).
+    fn into_shared(self) -> SharedCol {
+        match self {
+            Col::Dense(v) => (Arc::new(v), None),
+            Col::Shared(v) => (v, None),
+            Col::Gather { src, idx } => (src, Some(idx)),
+        }
+    }
+}
+
+/// A column converted to shareable form by [`Col::into_shared`]: the
+/// backing storage plus the gather index when the column was gathered.
+type SharedCol = (Arc<Vec<Value>>, Option<Arc<Vec<u32>>>);
+
+/// A batch of rows in columnar layout. `sel` — when present — lists the
+/// surviving *physical* row indices in order; operators that drop rows
+/// (filter, distinct, limit over shared columns) narrow it instead of
+/// compacting the columns.
+pub(crate) struct Chunk {
+    cols: Vec<Col>,
+    /// Physical row count (columns may be empty when the row type has no
+    /// columns, so this is tracked explicitly).
+    height: usize,
+    /// Surviving row indices in ascending order; `None` = all rows live.
+    sel: Option<Vec<u32>>,
+}
+
+impl Chunk {
+    fn dense(cols: Vec<Vec<Value>>, height: usize) -> Chunk {
+        Chunk {
+            cols: cols.into_iter().map(Col::Dense).collect(),
+            height,
+            sel: None,
+        }
+    }
+
+    /// Number of selected (live) rows.
+    fn live(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.height,
+        }
+    }
+
+    /// Physical index of the `k`-th selected row (`k < self.live()`).
+    fn idx(&self, k: usize) -> usize {
+        match &self.sel {
+            Some(s) => s.get(k).copied().unwrap_or_default() as usize,
+            None => k,
+        }
+    }
+
+    /// Gather physical row `i` into an owned row.
+    fn row_at(&self, i: usize) -> Row {
+        let mut row = Vec::with_capacity(self.cols.len());
+        for col in &self.cols {
+            if let Some(v) = col.get(i) {
+                row.push(v.clone());
+            }
+        }
+        row
+    }
+
+    /// Append every selected row, in order, onto `out` — the chunk is
+    /// spent. Fully dense owned chunks transpose by moving the values;
+    /// shared or gathered columns clone each value exactly once (the same
+    /// copy a streaming sink pays when materializing a borrowed view).
+    fn into_rows(mut self, out: &mut Vec<Row>) {
+        out.reserve(self.live());
+        let all_dense = self.cols.iter().all(|c| matches!(c, Col::Dense(_)));
+        if all_dense && self.sel.is_none() {
+            let mut its: Vec<std::vec::IntoIter<Value>> = self
+                .cols
+                .into_iter()
+                .map(|c| match c {
+                    Col::Dense(v) => v.into_iter(),
+                    _ => Vec::new().into_iter(),
+                })
+                .collect();
+            for _ in 0..self.height {
+                let mut row = Vec::with_capacity(its.len());
+                for it in &mut its {
+                    if let Some(v) = it.next() {
+                        row.push(v);
+                    }
+                }
+                out.push(row);
+            }
+            return;
+        }
+        if all_dense {
+            // selected rows are taken out of the owned columns in place
+            // (the dropped remainder is never read again) — no re-clone
+            if let Some(sel) = self.sel.take() {
+                for i in sel {
+                    let i = i as usize;
+                    let mut row = Vec::with_capacity(self.cols.len());
+                    for col in &mut self.cols {
+                        if let Col::Dense(v) = col {
+                            if let Some(v) = v.get_mut(i) {
+                                row.push(std::mem::replace(v, Value::Null));
+                            }
+                        }
+                    }
+                    out.push(row);
+                }
+            }
+            return;
+        }
+        for k in 0..self.live() {
+            out.push(self.row_at(self.idx(k)));
+        }
+    }
+
+    /// Keep only the first `n` selected rows.
+    fn truncate_live(&mut self, n: usize) {
+        match &mut self.sel {
+            Some(s) => s.truncate(n),
+            None => {
+                if n >= self.height {
+                    return;
+                }
+                if self.cols.iter().all(|c| matches!(c, Col::Dense(_))) {
+                    for col in &mut self.cols {
+                        if let Col::Dense(v) = col {
+                            v.truncate(n);
+                        }
+                    }
+                    self.height = n;
+                } else {
+                    // shared storage cannot be truncated — select a prefix
+                    self.sel = Some((0..n as u32).collect());
+                }
+            }
+        }
+    }
+}
+
+/// One selected row of a chunk, readable through the shared expression
+/// evaluator ([`Expr::eval_on`] / [`Expr::matches_on`]).
+struct ChunkRow<'a> {
+    chunk: &'a Chunk,
+    row: usize,
+}
+
+impl RowAccess for ChunkRow<'_> {
+    fn value_at(&self, i: usize) -> Option<&Value> {
+        self.chunk.cols.get(i).and_then(|c| c.get(self.row))
+    }
+}
+
+/// The consumer side of a chunked operator: return `false` to stop the
+/// producer (early termination), `true` to keep receiving chunks.
+type ChunkSink<'s> = dyn FnMut(Chunk) -> StoreResult<bool> + 's;
+
+/// Accumulates emitted rows column-wise and flushes a dense chunk into the
+/// downstream sink every [`CHUNK_ROWS`] rows (plus a final partial flush).
+/// Used by the dense producers (scan, values, aggregate/sort/top-k
+/// output); joins emit gather chunks directly (see [`JoinEmit`]).
+struct Emitter<'a, 'b> {
+    width: usize,
+    cols: Vec<Vec<Value>>,
+    height: usize,
+    sink: &'a mut ChunkSink<'b>,
+}
+
+impl<'a, 'b> Emitter<'a, 'b> {
+    fn new(width: usize, sink: &'a mut ChunkSink<'b>) -> Emitter<'a, 'b> {
+        // Columns start empty and grow geometrically: most queries the E1
+        // processes issue emit a handful of rows, and pre-reserving
+        // CHUNK_ROWS per column would make the allocation dominate them.
+        // Once a full chunk has been flushed the stream is known to be
+        // large and the replacement columns are pre-sized (see `flush`).
+        Emitter {
+            width,
+            cols: (0..width).map(|_| Vec::new()).collect(),
+            height: 0,
+            sink,
+        }
+    }
+
+    /// Push the concatenation of `parts` as one row.
+    fn push_concat(&mut self, parts: &[&[Value]]) -> StoreResult<bool> {
+        let mut cols = self.cols.iter_mut();
+        for part in parts {
+            for v in *part {
+                if let Some(col) = cols.next() {
+                    col.push(v.clone());
+                }
+            }
+        }
+        self.bump()
+    }
+
+    /// Push `proj`-selected columns of `row` as one row.
+    fn push_projected(&mut self, row: &[Value], proj: &[usize]) -> StoreResult<bool> {
+        for (j, &src) in proj.iter().enumerate() {
+            if let (Some(col), Some(v)) = (self.cols.get_mut(j), row.get(src)) {
+                col.push(v.clone());
+            }
+        }
+        self.bump()
+    }
+
+    /// Push an owned row (aggregate/sort/top-k output).
+    fn push_owned(&mut self, row: Row) -> StoreResult<bool> {
+        for (j, v) in row.into_iter().enumerate() {
+            if let Some(col) = self.cols.get_mut(j) {
+                col.push(v);
+            }
+        }
+        self.bump()
+    }
+
+    fn bump(&mut self) -> StoreResult<bool> {
+        self.height += 1;
+        if self.height >= CHUNK_ROWS {
+            self.flush()
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Send the buffered rows downstream (no-op when empty). Returns the
+    /// sink's verdict: `Ok(false)` = stop producing.
+    fn flush(&mut self) -> StoreResult<bool> {
+        if self.height == 0 {
+            return Ok(true);
+        }
+        // a full chunk means more is probably coming — pre-size the next one
+        let cap = if self.height >= CHUNK_ROWS {
+            CHUNK_ROWS
+        } else {
+            0
+        };
+        let cols = std::mem::replace(
+            &mut self.cols,
+            (0..self.width).map(|_| Vec::with_capacity(cap)).collect(),
+        );
+        let chunk = Chunk::dense(cols, self.height);
+        self.height = 0;
+        (self.sink)(chunk)
+    }
+}
+
+/// Turn a spent probe chunk into gather columns over `probe_idx` (the
+/// physical probe row index of each output row). Every `Dense`/`Shared`
+/// probe column shares one index `Arc`; `Gather` probe columns compose
+/// their existing index with it — u32 reads, no `Value` clones. The memo
+/// reuses one composition per distinct source index vector (columns
+/// emitted by the same upstream join all share one).
+fn gather_probe_cols(probe: Chunk, probe_idx: &Arc<Vec<u32>>) -> Vec<Col> {
+    let mut memo: Vec<(*const Vec<u32>, Arc<Vec<u32>>)> = Vec::new();
+    probe
+        .cols
+        .into_iter()
+        .map(|col| {
+            let (src, old_idx) = col.into_shared();
+            let idx = match old_idx {
+                None => probe_idx.clone(),
+                Some(old) => {
+                    let key = Arc::as_ptr(&old);
+                    match memo.iter().find(|(p, _)| *p == key) {
+                        Some((_, composed)) => composed.clone(),
+                        None => {
+                            let composed: Arc<Vec<u32>> = Arc::new(
+                                probe_idx
+                                    .iter()
+                                    .map(|&k| old.get(k as usize).copied().unwrap_or_default())
+                                    .collect(),
+                            );
+                            memo.push((key, composed.clone()));
+                            composed
+                        }
+                    }
+                }
+            };
+            Col::Gather { src, idx }
+        })
+        .collect()
+}
+
+/// Assemble one join output chunk: gathered probe columns and the inner
+/// half, probe half first iff `probe_first`.
+fn join_chunk(probe: Chunk, probe_idx: Vec<u32>, inner: Vec<Col>, probe_first: bool) -> Chunk {
+    let height = probe_idx.len();
+    let probe_idx = Arc::new(probe_idx);
+    let probe_cols = gather_probe_cols(probe, &probe_idx);
+    let mut cols = Vec::with_capacity(probe_cols.len() + inner.len());
+    if probe_first {
+        cols.extend(probe_cols);
+        cols.extend(inner);
+    } else {
+        cols.extend(inner);
+        cols.extend(probe_cols);
+    }
+    Chunk {
+        cols,
+        height,
+        sel: None,
+    }
+}
+
+/// Run a plan through the chunked executor, collecting into a relation —
+/// the [`ExecMode::Vectorized`] entry point.
+pub(crate) fn materialize_chunked(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    let schema = plan.schema(db)?;
+    let mut rows: Vec<Row> = Vec::new();
+    drive(plan, db, &mut |c: Chunk| {
+        c.into_rows(&mut rows);
+        Ok(true)
+    })?;
+    Ok(Relation::new(schema, rows))
+}
+
+/// `dip-trace` counter name for a node's emitted chunk count.
+fn chunks_counter(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "relstore.batch.chunks.scan",
+        Plan::Values(_) => "relstore.batch.chunks.values",
+        Plan::Filter { .. } => "relstore.batch.chunks.filter",
+        Plan::Project { .. } => "relstore.batch.chunks.project",
+        Plan::HashJoin { .. } => "relstore.batch.chunks.hash_join",
+        Plan::IndexJoin { .. } => "relstore.batch.chunks.index_join",
+        Plan::UnionAll(_) => "relstore.batch.chunks.union_all",
+        Plan::UnionDistinct { .. } => "relstore.batch.chunks.union_distinct",
+        Plan::Aggregate { .. } => "relstore.batch.chunks.aggregate",
+        Plan::Sort { .. } => "relstore.batch.chunks.sort",
+        Plan::Limit { .. } => "relstore.batch.chunks.limit",
+        Plan::TopK { .. } => "relstore.batch.chunks.top_k",
+    }
+}
+
+/// `dip-trace` counter name for a node's emitted (selected) row count —
+/// `batch.rows / (batch.chunks × 1024)` is the node's chunk fill rate.
+fn batch_rows_counter(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "relstore.batch.rows.scan",
+        Plan::Values(_) => "relstore.batch.rows.values",
+        Plan::Filter { .. } => "relstore.batch.rows.filter",
+        Plan::Project { .. } => "relstore.batch.rows.project",
+        Plan::HashJoin { .. } => "relstore.batch.rows.hash_join",
+        Plan::IndexJoin { .. } => "relstore.batch.rows.index_join",
+        Plan::UnionAll(_) => "relstore.batch.rows.union_all",
+        Plan::UnionDistinct { .. } => "relstore.batch.rows.union_distinct",
+        Plan::Aggregate { .. } => "relstore.batch.rows.aggregate",
+        Plan::Sort { .. } => "relstore.batch.rows.sort",
+        Plan::Limit { .. } => "relstore.batch.rows.limit",
+        Plan::TopK { .. } => "relstore.batch.rows.top_k",
+    }
+}
+
+/// Drive a node's chunk output into `sink`, publishing the per-node span
+/// and counters. Returns `Ok(false)` iff `sink` requested termination.
+fn drive(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<bool> {
+    let _span = dip_trace::span_cat(
+        dip_trace::Layer::Relstore,
+        plan_op(plan),
+        dip_trace::Category::Processing,
+    );
+    let mut chunks: u64 = 0;
+    let mut rows: u64 = 0;
+    let result = exec_chunks(plan, db, &mut |c| {
+        chunks += 1;
+        rows += c.live() as u64;
+        sink(c)
+    });
+    // rows_out stays populated in vectorized mode so records are
+    // comparable across exec modes; chunks/rows add the batching view
+    // (skipped for empty streams so tiny point queries stay cheap).
+    dip_trace::count(rows_counter(plan), rows);
+    if chunks > 0 {
+        dip_trace::count(chunks_counter(plan), chunks);
+        dip_trace::count(batch_rows_counter(plan), rows);
+    }
+    result
+}
+
+/// Extract the join/group key columns of one selected chunk row into `buf`.
+fn gather_key(chunk: &Chunk, row: usize, cols: &[usize], buf: &mut Vec<Value>) -> StoreResult<()> {
+    buf.clear();
+    let r = ChunkRow { chunk, row };
+    for &c in cols {
+        match r.value_at(c) {
+            Some(v) => buf.push(v.clone()),
+            None => {
+                return Err(StoreError::Eval(format!("column index {c} out of range")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-chunk source of one aggregate's input values: a borrowed chunk
+/// column (bare `Expr::Col` inputs — no expression dispatch per row), a
+/// dense pre-evaluated vector in selection order, or nothing (`COUNT(*)`).
+enum AggSrc<'a> {
+    Col(&'a Col),
+    Computed(Vec<Value>),
+    Star,
+}
+
+/// Apply one input value to an aggregate state — the by-reference mirror of
+/// [`AggState::update`]'s `Some(v)` path.
+fn apply_agg(st: &mut AggState, v: &Value) {
+    match st.func() {
+        AggFunc::Count => st.count_value(v),
+        AggFunc::Sum | AggFunc::Avg => st.add_value(v),
+        AggFunc::Min => st.min_value(v),
+        AggFunc::Max => st.max_value(v),
+    }
+}
+
+fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<bool> {
+    match plan {
+        Plan::Scan {
+            table,
+            predicate,
+            projection,
+        } => {
+            let t = db.table(table)?;
+            let width = match projection {
+                Some(p) => p.len(),
+                None => t.schema.len(),
+            };
+            let mut em = Emitter::new(width, sink);
+            let keep_going = match projection {
+                None => t.stream_rows(predicate.as_ref(), &mut |row| em.push_concat(&[row]))?,
+                Some(p) => {
+                    t.stream_rows(predicate.as_ref(), &mut |row| em.push_projected(row, p))?
+                }
+            };
+            if !keep_going {
+                return Ok(false);
+            }
+            em.flush()
+        }
+        Plan::Values(rel) => {
+            let mut em = Emitter::new(rel.schema.len(), sink);
+            for r in &rel.rows {
+                if !em.push_concat(&[r.as_slice()])? {
+                    return Ok(false);
+                }
+            }
+            em.flush()
+        }
+        Plan::Filter { input, predicate } => drive(input, db, &mut |c: Chunk| {
+            let mut sel: Vec<u32> = Vec::with_capacity(c.live());
+            for k in 0..c.live() {
+                let i = c.idx(k);
+                if predicate.matches_on(&ChunkRow { chunk: &c, row: i })? {
+                    sel.push(i as u32);
+                }
+            }
+            if sel.is_empty() {
+                return Ok(true);
+            }
+            let Chunk { cols, height, .. } = c;
+            sink(Chunk {
+                cols,
+                height,
+                sel: Some(sel),
+            })
+        }),
+        Plan::Project { input, exprs } => drive(input, db, &mut |c: Chunk| {
+            let live = c.live();
+            if live == 0 {
+                return Ok(true);
+            }
+            // Bare-column projections forward the input column: without a
+            // selection it is shared as-is, with one it becomes a gather
+            // over the selection — no values move either way. Computed
+            // expressions evaluate column-at-a-time into dense output.
+            let sel_idx: Option<Arc<Vec<u32>>> = c.sel.clone().map(Arc::new);
+            let mut shared: Vec<SharedCol> = Vec::with_capacity(c.cols.len());
+            let mut memo: Vec<(*const Vec<u32>, Arc<Vec<u32>>)> = Vec::new();
+            let mut cols_in = c.cols;
+            for col in cols_in.drain(..) {
+                shared.push(col.into_shared());
+            }
+            let resel = Chunk {
+                cols: Vec::new(),
+                height: c.height,
+                sel: c.sel,
+            };
+            let mut out_cols: Vec<Col> = Vec::with_capacity(exprs.len());
+            for p in exprs {
+                match &p.expr {
+                    Expr::Col(j) => {
+                        let (src, old_idx) = shared.get(*j).cloned().ok_or_else(|| {
+                            StoreError::Eval(format!("column index {j} out of range"))
+                        })?;
+                        let idx = match (&sel_idx, old_idx) {
+                            (None, None) => None,
+                            (None, Some(old)) => Some(old),
+                            (Some(sel), None) => Some(sel.clone()),
+                            (Some(sel), Some(old)) => {
+                                let key = Arc::as_ptr(&old);
+                                Some(match memo.iter().find(|(k, _)| *k == key) {
+                                    Some((_, composed)) => composed.clone(),
+                                    None => {
+                                        let composed: Arc<Vec<u32>> = Arc::new(
+                                            sel.iter()
+                                                .map(|&k| {
+                                                    old.get(k as usize).copied().unwrap_or_default()
+                                                })
+                                                .collect(),
+                                        );
+                                        memo.push((key, composed.clone()));
+                                        composed
+                                    }
+                                })
+                            }
+                        };
+                        out_cols.push(match idx {
+                            None => Col::Shared(src),
+                            Some(idx) => Col::Gather { src, idx },
+                        });
+                    }
+                    e => {
+                        // rebuild a view with the original columns for the
+                        // expression evaluator
+                        let view = Chunk {
+                            cols: shared
+                                .iter()
+                                .map(|s| match s {
+                                    (src, None) => Col::Shared(src.clone()),
+                                    (src, Some(idx)) => Col::Gather {
+                                        src: src.clone(),
+                                        idx: idx.clone(),
+                                    },
+                                })
+                                .collect(),
+                            height: resel.height,
+                            sel: resel.sel.clone(),
+                        };
+                        let mut out = Vec::with_capacity(live);
+                        for k in 0..live {
+                            out.push(e.eval_on(&ChunkRow {
+                                chunk: &view,
+                                row: view.idx(k),
+                            })?);
+                        }
+                        out_cols.push(Col::Dense(out));
+                    }
+                }
+            }
+            // Every output column now addresses 0..live in selection
+            // order: with a selection present, bare columns composed it
+            // into their gather index and computed columns evaluated the
+            // selected rows; without one, live == physical height.
+            sink(Chunk {
+                cols: out_cols,
+                height: live,
+                sel: None,
+            })
+        }),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            if left_keys.len() != right_keys.len() {
+                return Err(StoreError::Invalid("join key arity mismatch".into()));
+            }
+            // Same build-side choice as the streaming executor: build on the
+            // estimated-smaller side; LEFT joins build on the right.
+            let build_right =
+                *kind == JoinKind::Left || right.estimate_rows(db) <= left.estimate_rows(db);
+            let (build_plan, probe_plan, build_keys, probe_keys, probe_is_left) = if build_right {
+                (&**right, &**left, right_keys, left_keys, true)
+            } else {
+                (&**left, &**right, left_keys, right_keys, false)
+            };
+            // Pre-size from the planner's cardinality estimate (table live
+            // counts at the leaves), then exactly once the build is in hand.
+            let mut build_rows: Vec<Row> = Vec::with_capacity(build_plan.estimate_rows(db));
+            drive(build_plan, db, &mut |c: Chunk| {
+                c.into_rows(&mut build_rows);
+                Ok(true)
+            })?;
+            let mut table: HashMap<Vec<Value>, Vec<usize>> =
+                HashMap::with_capacity(build_rows.len());
+            for (i, r) in build_rows.iter().enumerate() {
+                let key = key_of(r, build_keys);
+                if key.iter().any(|v| v.is_null()) {
+                    continue; // NULL keys never join
+                }
+                table.entry(key).or_default().push(i);
+            }
+            let build_width = build_plan.schema(db)?.len();
+            let probe_width = probe_plan.schema(db)?.len();
+            let left_pad = *kind == JoinKind::Left && probe_is_left;
+            // Columnarize the build side once (values move, not clone) and
+            // append one all-NULL row at index `build_len`: LEFT-join pad
+            // emissions gather it like any real match.
+            let build_len = build_rows.len();
+            let mut bcols: Vec<Vec<Value>> = (0..build_width)
+                .map(|_| Vec::with_capacity(build_len + 1))
+                .collect();
+            for row in build_rows.drain(..) {
+                for (j, v) in row.into_iter().enumerate() {
+                    if let Some(col) = bcols.get_mut(j) {
+                        col.push(v);
+                    }
+                }
+            }
+            let bcols: Vec<Arc<Vec<Value>>> = bcols
+                .into_iter()
+                .map(|mut col| {
+                    col.push(Value::Null);
+                    Arc::new(col)
+                })
+                .collect();
+            let _ = probe_width;
+            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
+            drive(probe_plan, db, &mut |c: Chunk| {
+                let mut probe_idx: Vec<u32> = Vec::new();
+                let mut build_idx: Vec<u32> = Vec::new();
+                for k in 0..c.live() {
+                    let i = c.idx(k);
+                    gather_key(&c, i, probe_keys, &mut key)?;
+                    let matches = if key.iter().any(|v| v.is_null()) {
+                        None
+                    } else {
+                        table.get(key.as_slice())
+                    };
+                    match matches {
+                        Some(slots) => {
+                            for &s in slots {
+                                probe_idx.push(i as u32);
+                                build_idx.push(s as u32);
+                            }
+                        }
+                        None => {
+                            if left_pad {
+                                probe_idx.push(i as u32);
+                                build_idx.push(build_len as u32);
+                            }
+                        }
+                    }
+                }
+                if probe_idx.is_empty() {
+                    return Ok(true);
+                }
+                let build_idx = Arc::new(build_idx);
+                let inner: Vec<Col> = bcols
+                    .iter()
+                    .map(|src| Col::Gather {
+                        src: src.clone(),
+                        idx: build_idx.clone(),
+                    })
+                    .collect();
+                sink(join_chunk(c, probe_idx, inner, probe_is_left))
+            })
+        }
+        Plan::IndexJoin {
+            probe,
+            table,
+            probe_keys,
+            inner_keys,
+            predicate,
+            projection,
+            kind,
+            probe_is_left,
+        } => {
+            let t = db.table(table)?;
+            let Some(session) = t.probe_on(inner_keys) else {
+                // index dropped since planning: degrade to the equivalent
+                // hash join rather than failing the query
+                return exec_chunks(&index_join_equivalent(plan), db, sink);
+            };
+            let inner_width = match projection {
+                Some(p) => p.len(),
+                None => t.schema.len(),
+            };
+            // the planner only selects LEFT index joins with probe = left
+            let left_pad = *kind == JoinKind::Left && *probe_is_left;
+            let probe_first = *probe_is_left;
+            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
+            drive(probe, db, &mut |c: Chunk| {
+                // probe columns are gathered (no clones); matched inner
+                // rows are cloned once into dense output columns
+                let mut probe_idx: Vec<u32> = Vec::new();
+                let mut icols: Vec<Vec<Value>> = (0..inner_width).map(|_| Vec::new()).collect();
+                for k in 0..c.live() {
+                    let i = c.idx(k);
+                    gather_key(&c, i, probe_keys, &mut key)?;
+                    if key.iter().any(|v| v.is_null()) {
+                        // NULL keys never join; LEFT probes still emit padded
+                        if left_pad {
+                            probe_idx.push(i as u32);
+                            for col in &mut icols {
+                                col.push(Value::Null);
+                            }
+                        }
+                        continue;
+                    }
+                    let mut matched = false;
+                    session.lookup_each(&key, &mut |ir| {
+                        let keep = match predicate {
+                            Some(p) => p.matches_on(ir)?,
+                            None => true,
+                        };
+                        if !keep {
+                            return Ok(true);
+                        }
+                        matched = true;
+                        probe_idx.push(i as u32);
+                        match projection {
+                            Some(p) => {
+                                for (col, &x) in icols.iter_mut().zip(p) {
+                                    col.push(ir.get(x).cloned().unwrap_or(Value::Null));
+                                }
+                            }
+                            None => {
+                                for (col, v) in icols.iter_mut().zip(ir) {
+                                    col.push(v.clone());
+                                }
+                            }
+                        }
+                        Ok(true)
+                    })?;
+                    if !matched && left_pad {
+                        probe_idx.push(i as u32);
+                        for col in &mut icols {
+                            col.push(Value::Null);
+                        }
+                    }
+                }
+                if probe_idx.is_empty() {
+                    return Ok(true);
+                }
+                let inner: Vec<Col> = icols.into_iter().map(Col::Dense).collect();
+                sink(join_chunk(c, probe_idx, inner, probe_first))
+            })
+        }
+        Plan::UnionAll(inputs) => {
+            let width = plan.schema(db)?.len();
+            for i in inputs {
+                let w = i.schema(db)?.len();
+                if w != width {
+                    return Err(StoreError::Invalid(format!(
+                        "union arity mismatch: {w} vs {width}"
+                    )));
+                }
+            }
+            for i in inputs {
+                if !drive(i, db, sink)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::UnionDistinct { inputs, key } => {
+            let width = plan.schema(db)?.len();
+            for i in inputs {
+                if i.schema(db)?.len() != width {
+                    return Err(StoreError::Invalid("union arity mismatch".into()));
+                }
+            }
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            let mut kbuf: Vec<Value> = Vec::new();
+            for inp in inputs {
+                let keep_going = drive(inp, db, &mut |c: Chunk| {
+                    let mut sel: Vec<u32> = Vec::with_capacity(c.live());
+                    for k in 0..c.live() {
+                        let i = c.idx(k);
+                        let fresh = match key {
+                            Some(cols) => {
+                                gather_key(&c, i, cols, &mut kbuf)?;
+                                if seen.contains(kbuf.as_slice()) {
+                                    false
+                                } else {
+                                    seen.insert(std::mem::take(&mut kbuf))
+                                }
+                            }
+                            None => seen.insert(c.row_at(i)),
+                        };
+                        if fresh {
+                            sel.push(i as u32);
+                        }
+                    }
+                    if sel.is_empty() {
+                        return Ok(true);
+                    }
+                    let Chunk { cols, height, .. } = c;
+                    sink(Chunk {
+                        cols,
+                        height,
+                        sel: Some(sel),
+                    })
+                })?;
+                if !keep_going {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // Pre-size the group table from the planner's output estimate.
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> =
+                HashMap::with_capacity(plan.estimate_rows(db).max(1));
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            drive(input, db, &mut |c: Chunk| {
+                let live = c.live();
+                // Resolve each aggregate's input source once per chunk:
+                // bare columns are read in place, computed expressions are
+                // evaluated column-at-a-time into a dense vector.
+                let mut srcs: Vec<AggSrc> = Vec::with_capacity(aggs.len());
+                for a in aggs {
+                    let src = match &a.input {
+                        None => AggSrc::Star,
+                        Some(Expr::Col(j)) => {
+                            let col = c.cols.get(*j).ok_or_else(|| {
+                                StoreError::Eval(format!("column index {j} out of range"))
+                            })?;
+                            AggSrc::Col(col)
+                        }
+                        Some(e) => {
+                            let mut vals = Vec::with_capacity(live);
+                            for k in 0..live {
+                                vals.push(e.eval_on(&ChunkRow {
+                                    chunk: &c,
+                                    row: c.idx(k),
+                                })?);
+                            }
+                            AggSrc::Computed(vals)
+                        }
+                    };
+                    srcs.push(src);
+                }
+                if group_by.is_empty() {
+                    // Global aggregate: one state vector, tight per-column
+                    // loops — the type-specialized fast path.
+                    if groups.is_empty() {
+                        order.push(Vec::new());
+                        groups.insert(
+                            Vec::new(),
+                            aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        );
+                    }
+                    let Some(states) = groups.get_mut(&[] as &[Value]) else {
+                        return Ok(true);
+                    };
+                    for (st, src) in states.iter_mut().zip(&srcs) {
+                        match src {
+                            AggSrc::Star => {
+                                // mirrors `update(None)`: only COUNT reacts
+                                if st.func() == AggFunc::Count {
+                                    for _ in 0..live {
+                                        st.count_row();
+                                    }
+                                }
+                            }
+                            AggSrc::Col(col) => match st.func() {
+                                AggFunc::Count => {
+                                    for k in 0..live {
+                                        if let Some(v) = col.get(c.idx(k)) {
+                                            st.count_value(v);
+                                        }
+                                    }
+                                }
+                                AggFunc::Sum | AggFunc::Avg => {
+                                    for k in 0..live {
+                                        if let Some(v) = col.get(c.idx(k)) {
+                                            st.add_value(v);
+                                        }
+                                    }
+                                }
+                                AggFunc::Min => {
+                                    for k in 0..live {
+                                        if let Some(v) = col.get(c.idx(k)) {
+                                            st.min_value(v);
+                                        }
+                                    }
+                                }
+                                AggFunc::Max => {
+                                    for k in 0..live {
+                                        if let Some(v) = col.get(c.idx(k)) {
+                                            st.max_value(v);
+                                        }
+                                    }
+                                }
+                            },
+                            AggSrc::Computed(vals) => {
+                                for v in vals {
+                                    apply_agg(st, v);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // one reused key buffer: existing groups (the common
+                    // case) pay no allocation per row
+                    let mut kbuf: Vec<Value> = Vec::with_capacity(group_by.len());
+                    for k in 0..live {
+                        let i = c.idx(k);
+                        gather_key(&c, i, group_by, &mut kbuf)?;
+                        let states = match groups.get_mut(kbuf.as_slice()) {
+                            Some(s) => s,
+                            None => {
+                                order.push(kbuf.clone());
+                                groups.entry(std::mem::take(&mut kbuf)).or_insert_with(|| {
+                                    aggs.iter().map(|a| AggState::new(a.func)).collect()
+                                })
+                            }
+                        };
+                        for (st, src) in states.iter_mut().zip(&srcs) {
+                            match src {
+                                AggSrc::Star => {
+                                    if st.func() == AggFunc::Count {
+                                        st.count_row();
+                                    }
+                                }
+                                AggSrc::Col(col) => {
+                                    if let Some(v) = col.get(i) {
+                                        apply_agg(st, v);
+                                    }
+                                }
+                                AggSrc::Computed(vals) => {
+                                    if let Some(v) = vals.get(k) {
+                                        apply_agg(st, v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(true)
+            })?;
+            // Global aggregate over zero rows still yields one row.
+            if groups.is_empty() && group_by.is_empty() {
+                order.push(vec![]);
+                groups.insert(vec![], aggs.iter().map(|a| AggState::new(a.func)).collect());
+            }
+            let mut em = Emitter::new(group_by.len() + aggs.len(), sink);
+            for key in order {
+                let Some(states) = groups.remove(&key) else {
+                    continue;
+                };
+                let mut row = key;
+                for st in states {
+                    row.push(st.finish());
+                }
+                if !em.push_owned(row)? {
+                    return Ok(false);
+                }
+            }
+            em.flush()
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows: Vec<Row> = Vec::new();
+            drive(input, db, &mut |c: Chunk| {
+                c.into_rows(&mut rows);
+                Ok(true)
+            })?;
+            sort_rows_by_columns(&mut rows, keys);
+            let width = plan.schema(db)?.len();
+            let mut em = Emitter::new(width, sink);
+            for row in rows {
+                if !em.push_owned(row)? {
+                    return Ok(false);
+                }
+            }
+            em.flush()
+        }
+        Plan::Limit { input, n } => {
+            let mut remaining = *n;
+            if remaining == 0 {
+                return Ok(true);
+            }
+            let mut downstream_stop = false;
+            drive(input, db, &mut |mut c: Chunk| {
+                if c.live() > remaining {
+                    c.truncate_live(remaining);
+                }
+                remaining -= c.live();
+                if !sink(c)? {
+                    downstream_stop = true;
+                    return Ok(false);
+                }
+                Ok(remaining > 0)
+            })?;
+            Ok(!downstream_stop)
+        }
+        Plan::TopK { input, keys, n } => {
+            let n = *n;
+            if n == 0 {
+                return Ok(true);
+            }
+            // Same bounded heap as the streaming path: ordered by (sort
+            // key, input sequence) so ties reproduce the stable sort.
+            let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::with_capacity(n + 1);
+            let mut seq = 0usize;
+            let mut kbuf: Vec<Value> = Vec::with_capacity(keys.len());
+            drive(input, db, &mut |c: Chunk| {
+                for k in 0..c.live() {
+                    let i = c.idx(k);
+                    gather_key(&c, i, keys, &mut kbuf)?;
+                    if heap.len() >= n {
+                        // a row entering now carries the largest seq, so on
+                        // a key tie it sorts after the current worst and
+                        // cannot displace it — only a strictly smaller key
+                        // wins, and everything else skips materialization
+                        let displaces = heap
+                            .peek()
+                            .is_some_and(|worst| kbuf.as_slice() < worst.key.as_slice());
+                        seq += 1;
+                        if !displaces {
+                            continue;
+                        }
+                        heap.pop();
+                        heap.push(TopKEntry {
+                            key: std::mem::take(&mut kbuf),
+                            seq: seq - 1,
+                            row: c.row_at(i),
+                        });
+                    } else {
+                        heap.push(TopKEntry {
+                            key: std::mem::take(&mut kbuf),
+                            seq,
+                            row: c.row_at(i),
+                        });
+                        seq += 1;
+                    }
+                }
+                Ok(true)
+            })?;
+            let width = plan.schema(db)?.len();
+            let mut em = Emitter::new(width, sink);
+            for e in heap.into_sorted_vec() {
+                if !em.push_owned(e.row)? {
+                    return Ok(false);
+                }
+            }
+            em.flush()
+        }
+    }
+}

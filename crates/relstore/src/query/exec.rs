@@ -1,21 +1,30 @@
 //! Plan execution.
 //!
-//! Two executors share this module:
+//! Three executors share this module (selected by [`ExecMode`]):
 //!
-//! * **Streaming** (the default): plans run as a single push-based pipeline.
-//!   Each node pushes [`RowView`]s into its consumer's sink, so
+//! * **Streaming**: plans run as a single push-based pipeline. Each node
+//!   pushes [`RowView`]s into its consumer's sink, so
 //!   `Scan→Filter→Project` chains fuse into one pass over the base table,
 //!   joins emit their two halves without concatenating them, and a consumer
 //!   returning `false` terminates the producers early (`LIMIT` stops the
 //!   scan underneath it). Only pipeline breakers (sort, aggregate, the
 //!   build side of a hash join) materialize rows.
-//! * **Naive** ([`run`]): every node materializes a full [`Relation`]. It
-//!   runs when `ExecOptions { optimize: false }` and serves as the
-//!   semantics reference — the ablation switch for the FedDBMS experiments
-//!   and the oracle for the executor property tests.
+//! * **Vectorized** (`query::batch`): the same optimized plans run
+//!   batch-at-a-time over columnar [`super::batch::Chunk`]s of ~1024 rows —
+//!   the set-oriented path the heavy E2 refreshes compile to.
+//! * **Oracle** ([`run`]): every node materializes a full [`Relation`]
+//!   from the *unoptimized* plan. It is the semantics reference — the
+//!   ablation switch for the FedDBMS experiments and the oracle for the
+//!   executor property tests.
+//!
+//! All three paths share [`AggState`], so aggregate semantics (exact-`i64`
+//! SUM with overflow fallback, compensated float summation, NULL handling,
+//! first-seen group order) are identical by construction.
 //!
 //! Per-node output row counts are published to `dip-trace` as
-//! `relstore.rows_out.<op>` counters (no-ops when tracing is disabled).
+//! `relstore.rows_out.<op>` counters; the vectorized path additionally
+//! publishes `relstore.batch.chunks.<op>` / `relstore.batch.rows.<op>`
+//! (no-ops when tracing is disabled).
 
 use crate::catalog::Database;
 use crate::error::{StoreError, StoreResult};
@@ -25,38 +34,147 @@ use crate::query::plan::{AggFunc, JoinKind, Plan};
 use crate::row::{sort_rows_by_columns, Relation, Row};
 use crate::value::Value;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Execution options; `optimize` routes the plan through the rule-based
-/// planner and the streaming executor (the ablation switch for the FedDBMS
-/// experiments — `optimize: false` runs the naive materializing executor).
-#[derive(Debug, Clone, Copy)]
-pub struct ExecOptions {
-    pub optimize: bool,
+/// Which executor runs a plan.
+///
+/// Non-exhaustive: callers must treat unknown future modes conservatively
+/// (match with a `_` arm) so adding a strategy is not a breaking change.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The naive materializing interpreter over the unoptimized plan —
+    /// the semantics oracle (the old `optimize: false` ablation path).
+    Oracle,
+    /// Optimized plan through the push-based streaming executor.
+    Streaming,
+    /// Optimized plan through the columnar batch executor
+    /// ([`super::batch`]); plan shapes it cannot run fall back to
+    /// streaming.
+    Vectorized,
+    /// Let the planner pick: vectorized for plans containing a join —
+    /// the batch path's late-materializing gather columns forward the
+    /// probe side of a join chain as shared `u32` index vectors, which
+    /// beats even the streaming executor's borrowed row views on the
+    /// deep E2 denormalization chains. Join-free plans (point scans,
+    /// small refresh aggregates, distinct unions) stay streaming, where
+    /// per-chunk setup cost is not amortized.
+    #[default]
+    Auto,
 }
 
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions { optimize: true }
+impl ExecMode {
+    /// Every selectable mode, in CLI/usage order.
+    pub const ALL: [ExecMode; 4] = [
+        ExecMode::Auto,
+        ExecMode::Streaming,
+        ExecMode::Vectorized,
+        ExecMode::Oracle,
+    ];
+
+    /// Parse a CLI token (`auto|streaming|vectorized|oracle`).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "auto" => Some(ExecMode::Auto),
+            "streaming" => Some(ExecMode::Streaming),
+            "vectorized" => Some(ExecMode::Vectorized),
+            "oracle" => Some(ExecMode::Oracle),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (inverse of [`ExecMode::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Oracle => "oracle",
+            ExecMode::Streaming => "streaming",
+            ExecMode::Vectorized => "vectorized",
+            _ => "auto",
+        }
     }
 }
 
-/// Execute `plan` against `db`.
-pub fn execute(plan: &Plan, db: &Database, opts: ExecOptions) -> StoreResult<Relation> {
-    if opts.optimize {
-        let optimized = crate::query::planner::optimize(plan.clone(), db)?;
-        materialize(&optimized, db)
-    } else {
-        run(plan, db)
+/// Process-global default mode used by [`Plan::run`] and engine call sites
+/// that don't thread an explicit mode (set once by `dipbench --exec-mode`).
+static DEFAULT_MODE: AtomicU8 = AtomicU8::new(MODE_AUTO);
+
+const MODE_ORACLE: u8 = 0;
+const MODE_STREAMING: u8 = 1;
+const MODE_VECTORIZED: u8 = 2;
+const MODE_AUTO: u8 = 3;
+
+/// Set the process-global default [`ExecMode`].
+pub fn set_default_mode(mode: ExecMode) {
+    let v = match mode {
+        ExecMode::Oracle => MODE_ORACLE,
+        ExecMode::Streaming => MODE_STREAMING,
+        ExecMode::Vectorized => MODE_VECTORIZED,
+        _ => MODE_AUTO,
+    };
+    DEFAULT_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The process-global default [`ExecMode`] (`Auto` unless overridden).
+pub fn default_mode() -> ExecMode {
+    match DEFAULT_MODE.load(Ordering::Relaxed) {
+        MODE_ORACLE => ExecMode::Oracle,
+        MODE_STREAMING => ExecMode::Streaming,
+        MODE_VECTORIZED => ExecMode::Vectorized,
+        _ => ExecMode::Auto,
     }
 }
 
-/// Execute with default options (optimizer on).
-pub fn run_query(plan: &Plan, db: &Database) -> StoreResult<Relation> {
-    execute(plan, db, ExecOptions::default())
+/// Execute `plan` against `db` with the given [`ExecMode`] — the single
+/// query entry point ([`Plan::run`] is the convenience form using the
+/// process-global default mode).
+pub fn execute(plan: &Plan, db: &Database, mode: ExecMode) -> StoreResult<Relation> {
+    match mode {
+        ExecMode::Oracle => run(plan, db),
+        ExecMode::Streaming => {
+            let optimized = crate::query::planner::optimize(plan.clone(), db)?;
+            materialize(&optimized, db)
+        }
+        ExecMode::Vectorized => {
+            let optimized = crate::query::planner::optimize(plan.clone(), db)?;
+            super::batch::materialize_chunked(&optimized, db)
+        }
+        _ => {
+            let optimized = crate::query::planner::optimize(plan.clone(), db)?;
+            if batching_pays(&optimized) {
+                super::batch::materialize_chunked(&optimized, db)
+            } else {
+                materialize(&optimized, db)
+            }
+        }
+    }
+}
+
+/// Whether a plan contains a join — `Auto` mode's test for routing to the
+/// vectorized executor. The batch path's gather columns make join output
+/// late-materialized: the probe side of every join level is forwarded as
+/// one shared `u32` index vector instead of being re-copied (or, in the
+/// streaming executor, re-dispatched per row), measured ~40% faster on
+/// the nine-way P14_S1 denormalization chain. Join-free plans do not
+/// qualify: the point scans, refresh aggregates and distinct unions the
+/// E1/E2 processes issue are a few hundred rows each, where streaming's
+/// zero-setup row loop beats per-chunk column assembly.
+fn batching_pays(plan: &Plan) -> bool {
+    match plan {
+        Plan::HashJoin { .. } | Plan::IndexJoin { .. } => true,
+        Plan::Scan { .. } | Plan::Values(_) => false,
+        Plan::Aggregate { input, .. }
+        | Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => batching_pays(input),
+        Plan::UnionAll(inputs) => inputs.iter().any(batching_pays),
+        Plan::UnionDistinct { inputs, .. } => inputs.iter().any(batching_pays),
+    }
 }
 
 /// Trace label of a plan node (one span per executed node).
-fn plan_op(plan: &Plan) -> &'static str {
+pub(crate) fn plan_op(plan: &Plan) -> &'static str {
     match plan {
         Plan::Scan { .. } => "scan",
         Plan::Values(_) => "values",
@@ -74,7 +192,7 @@ fn plan_op(plan: &Plan) -> &'static str {
 }
 
 /// `dip-trace` counter name for a node's output row count.
-fn rows_counter(plan: &Plan) -> &'static str {
+pub(crate) fn rows_counter(plan: &Plan) -> &'static str {
     match plan {
         Plan::Scan { .. } => "relstore.rows_out.scan",
         Plan::Values(_) => "relstore.rows_out.values",
@@ -641,10 +759,10 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
 /// One candidate of a bounded top-K: ordered by sort key, then by input
 /// position so ties reproduce the stable sort exactly.
 #[derive(PartialEq, Eq)]
-struct TopKEntry {
-    key: Vec<Value>,
-    seq: usize,
-    row: Row,
+pub(crate) struct TopKEntry {
+    pub(crate) key: Vec<Value>,
+    pub(crate) seq: usize,
+    pub(crate) row: Row,
 }
 
 impl Ord for TopKEntry {
@@ -662,7 +780,7 @@ impl PartialOrd for TopKEntry {
 /// Rewrite an [`Plan::IndexJoin`] back into the hash join it was derived
 /// from — the executor's fallback when the covering index has vanished
 /// between planning and execution, and the naive executor's semantics.
-fn index_join_equivalent(plan: &Plan) -> Plan {
+pub(crate) fn index_join_equivalent(plan: &Plan) -> Plan {
     let Plan::IndexJoin {
         probe,
         table,
@@ -949,27 +1067,60 @@ fn hash_join(
     Ok(Relation::new(schema, rows))
 }
 
+/// Compensated (Kahan–Babuška/Neumaier) float accumulator. Every float
+/// `SUM`/`AVG` in every executor routes through this one type, so the
+/// summation error — and therefore the emitted bytes — no longer depend on
+/// which operator ordering fed the aggregate. For inputs whose exact sum is
+/// representable the result is also order-independent, which is what the
+/// cross-mode/cross-worker byte-identity gates rely on.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    pub(crate) fn seeded(v: f64) -> Kahan {
+        Kahan { sum: v, comp: 0.0 }
+    }
+
+    pub(crate) fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    pub(crate) fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
 /// Numeric accumulator for `SUM`/`AVG`: exact `i64` arithmetic while every
-/// input is an integer, widening to `f64` on the first non-integer input or
-/// on overflow.
+/// input is an integer, widening to compensated `f64` on the first
+/// non-integer input or on overflow.
 #[derive(Debug, Clone, Copy)]
 enum NumAcc {
     Int(i64),
-    Float(f64),
+    Float(Kahan),
 }
 
 impl NumAcc {
     fn as_f64(self) -> f64 {
         match self {
             NumAcc::Int(i) => i as f64,
-            NumAcc::Float(f) => f,
+            NumAcc::Float(k) => k.value(),
         }
     }
 }
 
-/// Streaming aggregate state.
+/// Aggregate state shared by the oracle, streaming and vectorized
+/// executors — one implementation so the three paths cannot drift.
 #[derive(Debug)]
-struct AggState {
+pub(crate) struct AggState {
     func: AggFunc,
     count: u64,
     sum: NumAcc,
@@ -978,7 +1129,7 @@ struct AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         AggState {
             func,
             count: 0,
@@ -988,7 +1139,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) {
+    pub(crate) fn update(&mut self, v: Option<Value>) {
         match self.func {
             AggFunc::Count => {
                 // COUNT(*) counts rows; COUNT(expr) skips NULLs.
@@ -1000,15 +1151,13 @@ impl AggState {
             }
             AggFunc::Sum | AggFunc::Avg => {
                 let Some(x) = v else { return };
-                if let (NumAcc::Int(s), Value::Int(i)) = (self.sum, &x) {
-                    self.sum = match s.checked_add(*i) {
-                        Some(t) => NumAcc::Int(t),
-                        None => NumAcc::Float(s as f64 + *i as f64),
-                    };
-                    self.count += 1;
-                } else if let Some(f) = x.to_float() {
-                    self.sum = NumAcc::Float(self.sum.as_f64() + f);
-                    self.count += 1;
+                match &x {
+                    Value::Int(i) => self.add_int(*i),
+                    other => {
+                        if let Some(f) = other.to_float() {
+                            self.add_float(f);
+                        }
+                    }
                 }
             }
             AggFunc::Min => {
@@ -1028,7 +1177,83 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Value {
+    /// Count one row for `COUNT(*)` — the vectorized column loop's form.
+    pub(crate) fn count_row(&mut self) {
+        self.count += 1;
+    }
+
+    /// Count one non-NULL input for `COUNT(expr)`.
+    pub(crate) fn count_value(&mut self, v: &Value) {
+        if !v.is_null() {
+            self.count += 1;
+        }
+    }
+
+    /// Add one integer to a `SUM`/`AVG` (exact while it fits in `i64`,
+    /// compensated-float after overflow or a prior float input).
+    pub(crate) fn add_int(&mut self, i: i64) {
+        match &mut self.sum {
+            NumAcc::Int(s) => {
+                self.sum = match s.checked_add(i) {
+                    Some(t) => NumAcc::Int(t),
+                    None => {
+                        let mut k = Kahan::seeded(*s as f64);
+                        k.add(i as f64);
+                        NumAcc::Float(k)
+                    }
+                };
+            }
+            NumAcc::Float(k) => k.add(i as f64),
+        }
+        self.count += 1;
+    }
+
+    /// Add one float to a `SUM`/`AVG` through the shared compensated
+    /// accumulator (widening an integer prefix first).
+    pub(crate) fn add_float(&mut self, f: f64) {
+        match &mut self.sum {
+            NumAcc::Int(s) => {
+                let mut k = Kahan::seeded(*s as f64);
+                k.add(f);
+                self.sum = NumAcc::Float(k);
+            }
+            NumAcc::Float(k) => k.add(f),
+        }
+        self.count += 1;
+    }
+
+    /// `SUM`/`AVG` update by reference — the vectorized path's per-column
+    /// loop form of [`AggState::update`]'s `Sum | Avg` arm.
+    pub(crate) fn add_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => self.add_int(*i),
+            other => {
+                if let Some(f) = other.to_float() {
+                    self.add_float(f);
+                }
+            }
+        }
+    }
+
+    /// `MIN` update by reference (clones only when the value wins).
+    pub(crate) fn min_value(&mut self, v: &Value) {
+        if !v.is_null() && self.min.as_ref().is_none_or(|m| *v < *m) {
+            self.min = Some(v.clone());
+        }
+    }
+
+    /// `MAX` update by reference (clones only when the value wins).
+    pub(crate) fn max_value(&mut self, v: &Value) {
+        if !v.is_null() && self.max.as_ref().is_none_or(|m| *v > *m) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    pub(crate) fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Sum => {
@@ -1037,7 +1262,7 @@ impl AggState {
                 } else {
                     match self.sum {
                         NumAcc::Int(s) => Value::Int(s),
-                        NumAcc::Float(s) => Value::Float(s),
+                        NumAcc::Float(k) => Value::Float(k.value()),
                     }
                 }
             }

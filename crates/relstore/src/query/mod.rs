@@ -1,11 +1,12 @@
-//! Query processing: logical plans, a rule-based planner and a
-//! materializing executor.
+//! Query processing: logical plans, a rule-based planner and three
+//! executors (oracle / streaming / vectorized) behind [`ExecMode`].
 
+mod batch;
 pub mod exec;
 pub mod plan;
 pub mod planner;
 
-pub use exec::{execute, run_query, ExecOptions};
+pub use exec::{default_mode, execute, set_default_mode, ExecMode};
 pub use plan::{AggExpr, AggFunc, JoinKind, Plan, ProjExpr};
 
 #[cfg(test)]
@@ -13,6 +14,7 @@ mod tests {
     use super::*;
     use crate::catalog::Database;
     use crate::expr::Expr;
+    use crate::row::Relation;
     use crate::schema::RelSchema;
     use crate::table::Table;
     use crate::value::{SqlType, Value};
@@ -49,6 +51,26 @@ mod tests {
         db
     }
 
+    /// Run a plan through every executor: streaming and vectorized must
+    /// match **row-for-row** (same optimized plan, same emission order),
+    /// the oracle must agree as a multiset (the unoptimized plan may emit
+    /// another order), and `Auto` must equal whichever path it picked.
+    /// Returns the streaming result.
+    fn run_all_modes(plan: &Plan, db: &Database) -> Relation {
+        let s = execute(plan, db, ExecMode::Streaming).unwrap();
+        let v = execute(plan, db, ExecMode::Vectorized).unwrap();
+        assert_eq!(s.rows, v.rows, "streaming vs vectorized row-for-row");
+        let a = execute(plan, db, ExecMode::Auto).unwrap();
+        assert_eq!(s.rows, a.rows, "auto must match its chosen path");
+        let o = execute(plan, db, ExecMode::Oracle).unwrap();
+        let mut os = o.rows;
+        let mut ss = s.rows.clone();
+        os.sort();
+        ss.sort();
+        assert_eq!(os, ss, "oracle vs streaming multiset");
+        s
+    }
+
     #[test]
     fn scan_filter_project() {
         let db = db();
@@ -58,7 +80,7 @@ mod tests {
             .project(vec![
                 ProjExpr::passthrough(&schema, "name", Some("n")).unwrap()
             ]);
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.schema.names(), vec!["n"]);
         let mut names: Vec<String> = rel.rows.iter().map(|r| r[0].render()).collect();
         names.sort();
@@ -70,7 +92,7 @@ mod tests {
         let db = db();
         let plan =
             Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 3); // delta's citykey 99 has no match
         assert_eq!(rel.schema.len(), 5);
     }
@@ -80,7 +102,7 @@ mod tests {
         let db = db();
         let plan =
             Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Left);
-        let mut rel = run_query(&plan, &db).unwrap();
+        let mut rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 4);
         rel.sort_by_columns(&[0]);
         assert!(rel.rows[3][4].is_null()); // delta row padded
@@ -93,7 +115,7 @@ mod tests {
             inputs: vec![Plan::scan("customer"), Plan::scan("customer")],
             key: Some(vec![0]),
         };
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 4);
     }
 
@@ -104,7 +126,7 @@ mod tests {
             inputs: vec![Plan::scan("city"), Plan::scan("city")],
             key: None,
         };
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 2);
     }
 
@@ -118,7 +140,7 @@ mod tests {
                 AggExpr::new(AggFunc::Max, Expr::col(0), "maxk"),
             ],
         );
-        let mut rel = run_query(&plan, &db).unwrap();
+        let mut rel = run_all_modes(&plan, &db);
         rel.sort_by_columns(&[0]);
         assert_eq!(rel.len(), 3);
         assert_eq!(rel.get(0, "n"), &Value::Int(2)); // citykey 10 twice
@@ -131,7 +153,7 @@ mod tests {
         let plan = Plan::scan("customer")
             .filter(Expr::col(0).gt(Expr::lit(1000)))
             .aggregate(vec![], vec![AggExpr::count_star("n")]);
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.rows[0][0], Value::Int(0));
     }
@@ -140,7 +162,7 @@ mod tests {
     fn sort_and_limit() {
         let db = db();
         let plan = Plan::scan("customer").sort(vec![0]).limit(2);
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 2);
         assert_eq!(rel.rows[0][0], Value::Int(1));
     }
@@ -157,11 +179,7 @@ mod tests {
                     .and(Expr::col(4).eq(Expr::lit("Berlin"))),
             )
             .project(vec![ProjExpr::passthrough(&schema, "name", None).unwrap()]);
-        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
-        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
-        a.sort_by_columns(&[0]);
-        b.sort_by_columns(&[0]);
-        assert_eq!(a.rows, b.rows);
+        run_all_modes(&plan, &db);
     }
 
     #[test]
@@ -171,33 +189,32 @@ mod tests {
         // where an f64 accumulator would silently round
         let schema = RelSchema::of(&[("x", SqlType::Int)]).shared();
         let big = 9_007_199_254_740_993i64; // 2^53 + 1, not representable in f64
-        let rel = crate::row::Relation::new(
+        let rel = Relation::new(
             schema.clone(),
             vec![vec![Value::Int(big)], vec![Value::Int(0)]],
         );
         let plan = Plan::Values(rel)
             .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")]);
-        for optimize in [true, false] {
-            let out = execute(&plan, &db, ExecOptions { optimize }).unwrap();
-            assert_eq!(out.rows[0][0], Value::Int(big), "optimize={optimize}");
+        for mode in ExecMode::ALL {
+            let out = execute(&plan, &db, mode).unwrap();
+            assert_eq!(out.rows[0][0], Value::Int(big), "mode={}", mode.label());
         }
         // the output schema advertises Int as well
         assert_eq!(plan.schema(&db).unwrap().column(0).ty, SqlType::Int);
 
         // overflow falls back to float instead of panicking/wrapping
-        let rel = crate::row::Relation::new(
+        let rel = Relation::new(
             schema.clone(),
             vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX)]],
         );
         let plan = Plan::Values(rel)
             .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(0), "s")]);
-        let out = run_query(&plan, &db).unwrap();
+        let out = run_all_modes(&plan, &db);
         assert_eq!(out.rows[0][0], Value::Float(i64::MAX as f64 * 2.0));
 
         // mixed int/float input widens to Float; AVG is always Float
         let mixed = RelSchema::of(&[("x", SqlType::Float)]).shared();
-        let rel =
-            crate::row::Relation::new(mixed, vec![vec![Value::Int(1)], vec![Value::Float(2.5)]]);
+        let rel = Relation::new(mixed, vec![vec![Value::Int(1)], vec![Value::Float(2.5)]]);
         let plan = Plan::Values(rel).aggregate(
             vec![],
             vec![
@@ -205,9 +222,105 @@ mod tests {
                 AggExpr::new(AggFunc::Avg, Expr::col(0), "a"),
             ],
         );
-        let out = run_query(&plan, &db).unwrap();
+        let out = run_all_modes(&plan, &db);
         assert_eq!(out.rows[0][0], Value::Float(3.5));
         assert_eq!(out.rows[0][1], Value::Float(1.75));
+    }
+
+    #[test]
+    fn float_sum_is_order_invariant() {
+        // The shared compensated (Kahan–Babuška/Neumaier) accumulator makes
+        // float SUM independent of input order: [1e16, 1.0, -1e16] sums to
+        // exactly 1.0 under every permutation, where naive f64 summation
+        // loses the 1.0 for some orders. All three executors must produce
+        // the identical byte pattern for every permutation.
+        let db = db();
+        let schema = RelSchema::of(&[("x", SqlType::Float)]).shared();
+        let vals = [1e16f64, 1.0, -1e16];
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let rows: Vec<Vec<Value>> = p.iter().map(|&i| vec![Value::Float(vals[i])]).collect();
+            let plan = Plan::Values(Relation::new(schema.clone(), rows)).aggregate(
+                vec![],
+                vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col(0), "s"),
+                    AggExpr::new(AggFunc::Avg, Expr::col(0), "a"),
+                ],
+            );
+            for mode in ExecMode::ALL {
+                let out = execute(&plan, &db, mode).unwrap();
+                let Value::Float(s) = out.rows[0][0] else {
+                    panic!("SUM not a float for {p:?}");
+                };
+                let Value::Float(a) = out.rows[0][1] else {
+                    panic!("AVG not a float for {p:?}");
+                };
+                assert_eq!(
+                    s.to_bits(),
+                    1.0f64.to_bits(),
+                    "permutation {p:?} mode={}",
+                    mode.label()
+                );
+                assert_eq!(a.to_bits(), (1.0f64 / 3.0).to_bits(), "permutation {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_handles_multi_chunk_inputs() {
+        // More rows than one 1024-row chunk, exercising chunk boundaries
+        // through filter → join → aggregate and LIMIT mid-chunk.
+        let db = Database::new("big");
+        let schema = RelSchema::of(&[("k", SqlType::Int), ("g", SqlType::Int)]).shared();
+        let t = Table::new("wide", schema).with_primary_key(&["k"]).unwrap();
+        t.insert(
+            (0..3000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        db.create_table(t);
+
+        let agg = Plan::scan("wide")
+            .filter(Expr::col(0).lt(Expr::lit(2500)))
+            .aggregate(
+                vec![1],
+                vec![
+                    AggExpr::count_star("n"),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0), "s"),
+                ],
+            );
+        let rel = run_all_modes(&agg, &db);
+        assert_eq!(rel.len(), 7);
+        let total: i64 = rel
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 2500);
+
+        let join = Plan::scan("wide").hash_join(
+            Plan::scan("wide").filter(Expr::col(1).eq(Expr::lit(3))),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+        );
+        let rel = run_all_modes(&join, &db);
+        assert_eq!(rel.len(), 3000 / 7 + 1); // k ≡ 3 (mod 7): 3, 10, …, 2999
+
+        let limited = Plan::scan("wide").limit(1500);
+        let rel = run_all_modes(&limited, &db);
+        assert_eq!(rel.len(), 1500);
     }
 
     #[test]
@@ -221,8 +334,8 @@ mod tests {
         );
         // bounded top-K reproduces sort-then-truncate exactly, including the
         // stable order of tied keys (citykey 10 appears twice)
-        let a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
-        let b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        let a = run_all_modes(&plan, &db);
+        let b = execute(&plan, &db, ExecMode::Oracle).unwrap();
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.len(), 2);
         assert_eq!(a.rows[0][2], Value::Int(10));
@@ -245,11 +358,7 @@ mod tests {
             ),
             "expected IndexJoin, got {opt:?}"
         );
-        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
-        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
-        a.sort_by_columns(&[0]);
-        b.sort_by_columns(&[0]);
-        assert_eq!(a.rows, b.rows);
+        run_all_modes(&plan, &db);
     }
 
     #[test]
@@ -259,7 +368,7 @@ mod tests {
             Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Left);
         let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
         assert!(matches!(opt, Plan::IndexJoin { .. }), "got {opt:?}");
-        let mut rel = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
+        let mut rel = run_all_modes(&plan, &db);
         rel.sort_by_columns(&[0]);
         assert_eq!(rel.len(), 4);
         assert!(rel.rows[3][4].is_null()); // delta's citykey 99 padded
@@ -277,33 +386,89 @@ mod tests {
         );
         let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
         assert!(matches!(opt, Plan::HashJoin { .. }), "got {opt:?}");
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = run_all_modes(&plan, &db);
         assert_eq!(rel.len(), 4);
     }
 
     #[test]
     fn limit_terminates_union_early() {
         let db = db();
-        // LIMIT under the streaming executor stops upstream producers; a
+        // LIMIT stops upstream producers in both pipelined executors; a
         // union must still yield rows from its first inputs only
         let plan = Plan::UnionAll(vec![Plan::scan("customer"), Plan::scan("customer")]).limit(5);
-        for optimize in [true, false] {
-            let rel = execute(&plan, &db, ExecOptions { optimize }).unwrap();
-            assert_eq!(rel.len(), 5, "optimize={optimize}");
-        }
+        let rel = run_all_modes(&plan, &db);
+        assert_eq!(rel.len(), 5);
     }
 
     #[test]
     fn values_plan() {
         let db = db();
         let schema = RelSchema::of(&[("x", SqlType::Int)]).shared();
-        let rel = crate::row::Relation::new(schema, vec![vec![Value::Int(5)]]);
+        let rel = Relation::new(schema, vec![vec![Value::Int(5)]]);
         let plan = Plan::Values(rel).project(vec![ProjExpr::new(
             Expr::col(0).mul(Expr::lit(2)),
             "y",
             SqlType::Int,
         )]);
-        let out = run_query(&plan, &db).unwrap();
+        let out = run_all_modes(&plan, &db);
         assert_eq!(out.rows[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn project_after_unpushable_filter() {
+        let db = db();
+        // The predicate compares columns from both join sides, so the
+        // planner keeps it as a residual Filter above the join: the batch
+        // executor's Project then sees a chunk with a selection vector
+        // over gathered join columns — a shape where forwarded bare
+        // columns must compose the selection into their gather index
+        // (regression: the physical selection was once re-attached to
+        // already-compacted columns).
+        let schema = db.table("customer").unwrap().schema.clone();
+        let plan = Plan::scan("customer")
+            .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
+            .filter(Expr::col(0).add(Expr::col(3)).lt(Expr::lit(20)))
+            .project(vec![
+                ProjExpr::passthrough(&schema, "name", None).unwrap(),
+                ProjExpr::new(Expr::col(0).mul(Expr::lit(10)), "k10", SqlType::Int),
+            ]);
+        // the shape under test: the filter survives above the join
+        let opt = crate::query::planner::optimize(plan.clone(), &db).unwrap();
+        let Plan::Project { input, .. } = &opt else {
+            panic!("expected Project root, got {opt:?}");
+        };
+        assert!(
+            matches!(&**input, Plan::Filter { input, .. }
+                if matches!(&**input, Plan::HashJoin { .. } | Plan::IndexJoin { .. })),
+            "expected residual filter above join, got {opt:?}"
+        );
+        // survivors are rows 0 and 2 of the join output — a
+        // non-contiguous selection, so a mis-attached physical selection
+        // cannot pass by coincidence on a prefix
+        let mut rel = run_all_modes(&plan, &db);
+        rel.sort_by_columns(&[1]);
+        assert_eq!(rel.len(), 2); // alpha (1+10) and gamma (3+10); beta is 2+20
+        assert_eq!(rel.rows[0][0], Value::str("alpha"));
+        assert_eq!(rel.rows[0][1], Value::Int(10));
+        assert_eq!(rel.rows[1][0], Value::str("gamma"));
+        assert_eq!(rel.rows[1][1], Value::Int(30));
+    }
+
+    #[test]
+    fn exec_mode_parse_and_label_round_trip() {
+        for mode in ExecMode::ALL {
+            assert_eq!(ExecMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(ExecMode::parse("turbo"), None);
+        assert_eq!(ExecMode::parse(""), None);
+    }
+
+    #[test]
+    fn default_mode_is_process_global() {
+        assert_eq!(default_mode(), ExecMode::Auto);
+        set_default_mode(ExecMode::Vectorized);
+        assert_eq!(default_mode(), ExecMode::Vectorized);
+        set_default_mode(ExecMode::Auto);
+        assert_eq!(default_mode(), ExecMode::Auto);
     }
 }

@@ -251,6 +251,13 @@ impl Plan {
         }
     }
 
+    /// Execute this plan against `db` with the process-global default
+    /// [`ExecMode`](crate::query::ExecMode) — the convenience form of
+    /// [`execute`](crate::query::execute).
+    pub fn run(&self, db: &Database) -> StoreResult<crate::row::Relation> {
+        crate::query::execute(self, db, crate::query::default_mode())
+    }
+
     /// Compute the output schema against `db`.
     pub fn schema(&self, db: &Database) -> StoreResult<SchemaRef> {
         match self {

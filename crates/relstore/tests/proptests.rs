@@ -106,8 +106,12 @@ proptest! {
                 ProjExpr::new(Expr::col(0), "k", SqlType::Int),
                 ProjExpr::new(Expr::col(5).mul(Expr::lit(2.0)), "v2", SqlType::Float),
             ]);
-        let mut a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
-        let mut b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
+        let s = execute(&plan, &db, ExecMode::Streaming).unwrap();
+        let v = execute(&plan, &db, ExecMode::Vectorized).unwrap();
+        // same optimized plan, same emission order: row-for-row identical
+        prop_assert_eq!(&s.rows, &v.rows);
+        let mut a = s;
+        let mut b = execute(&plan, &db, ExecMode::Oracle).unwrap();
         a.sort_by_columns(&[0, 1]);
         b.sort_by_columns(&[0, 1]);
         prop_assert_eq!(a.rows, b.rows);
@@ -138,7 +142,7 @@ proptest! {
             inputs: vec![Plan::scan("ta"), Plan::scan("tb")],
             key: Some(vec![0]),
         };
-        let rel = run_query(&plan, &db).unwrap();
+        let rel = plan.run(&db).unwrap();
         let mut keys: Vec<i64> = rel.rows.iter().map(|r| r[0].to_int().unwrap()).collect();
         keys.sort();
         let mut expected: Vec<i64> = a.iter().chain(b.iter()).map(|(k, _, _)| *k).collect();
@@ -152,14 +156,13 @@ proptest! {
     #[test]
     fn aggregate_conservation(rows in arb_rows(60)) {
         let db = make_db(&rows);
-        let grouped = run_query(
-            &Plan::scan("t").aggregate(
+        let grouped = Plan::scan("t")
+            .aggregate(
                 vec![1],
                 vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Sum, Expr::col(2), "s")],
-            ),
-            &db,
-        )
-        .unwrap();
+            )
+            .run(&db)
+            .unwrap();
         let n: i64 = grouped.rows.iter().map(|r| r[1].to_int().unwrap()).sum();
         prop_assert_eq!(n as usize, rows.len());
         let s: f64 = grouped.rows.iter().filter_map(|r| r[2].to_float()).sum();
@@ -167,11 +170,13 @@ proptest! {
         prop_assert!((s - expected).abs() < 1e-6 * (1.0 + expected.abs()));
     }
 
-    /// The streaming executor's fused scan→filter→project, index-nested-loop
-    /// join and bounded top-K paths return exactly the rows of the naive
-    /// materializing executor across randomized data, join kinds and limits.
+    /// The streaming and vectorized executors' fused scan→filter→project,
+    /// index-nested-loop join and bounded top-K paths return exactly the
+    /// rows of the naive materializing oracle across randomized data, join
+    /// kinds and limits — `Oracle == Streaming == Vectorized` row-for-row
+    /// (the trailing sort over every column pins one total order).
     #[test]
-    fn streaming_paths_match_naive_executor(
+    fn all_exec_modes_agree_row_for_row(
         rows in arb_rows(60),
         dim in prop::collection::vec((0i64..12, "[a-z]{0,4}"), 0..20)
             .prop_map(|mut v| { v.sort_by_key(|(k, _)| *k); v.dedup_by_key(|(k, _)| *k); v }),
@@ -199,9 +204,11 @@ proptest! {
             .filter(Expr::col(2).gt(Expr::lit(threshold)))
             .sort(vec![0, 1, 2, 3, 4])
             .limit(n);
-        let a = execute(&plan, &db, ExecOptions { optimize: true }).unwrap();
-        let b = execute(&plan, &db, ExecOptions { optimize: false }).unwrap();
-        prop_assert_eq!(a.rows, b.rows);
+        let oracle = execute(&plan, &db, ExecMode::Oracle).unwrap();
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized, ExecMode::Auto] {
+            let out = execute(&plan, &db, mode).unwrap();
+            prop_assert_eq!(&out.rows, &oracle.rows, "mode={}", mode.label());
+        }
     }
 
     /// delete_where + the inverse predicate partition the table.

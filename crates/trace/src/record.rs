@@ -91,6 +91,10 @@ pub struct RunRecord {
     /// Git commit the run was built from ("unknown" outside a checkout).
     pub commit: String,
     pub engine: String,
+    /// Executor mode the run used (`auto|streaming|vectorized|oracle`).
+    /// Absent in records written before the mode existed; those parse as
+    /// "streaming", the only execution path old builds had.
+    pub exec_mode: String,
     /// Scale factors (d, t, f) and period count of the run.
     pub datasize: f64,
     pub time: f64,
@@ -165,6 +169,7 @@ impl RunRecord {
             ("created_unix", Json::num(self.created_unix as f64)),
             ("commit", Json::str(self.commit.clone())),
             ("engine", Json::str(self.engine.clone())),
+            ("exec_mode", Json::str(self.exec_mode.clone())),
             (
                 "scale",
                 Json::obj(vec![
@@ -375,6 +380,11 @@ impl RunRecord {
                 .as_str()
                 .ok_or("engine must be a string")?
                 .to_string(),
+            exec_mode: v
+                .get("exec_mode")
+                .and_then(Json::as_str)
+                .unwrap_or("streaming")
+                .to_string(),
             datasize: s_num(scale, "d")?,
             time: s_num(scale, "t")?,
             distribution: scale
@@ -409,6 +419,7 @@ pub(crate) fn sample_record() -> RunRecord {
         created_unix: 1_700_000_000,
         commit: "abc1234".into(),
         engine: "federated-dbms".into(),
+        exec_mode: "streaming".into(),
         datasize: 0.05,
         time: 1.0,
         distribution: "uniform".into(),
@@ -501,6 +512,26 @@ mod tests {
         assert_eq!(derived[0].group, "A");
         assert_eq!(derived[1].group, "C");
         assert_eq!(derived[1].navg_plus_tu, 134.5);
+    }
+
+    #[test]
+    fn records_without_exec_mode_default_to_streaming() {
+        // records written before the executor-mode dimension existed carry
+        // no `exec_mode` field; they ran the only path old builds had
+        let rec = sample_record();
+        let text = rec.render();
+        let stripped: Vec<String> = text
+            .lines()
+            .filter(|l| !l.contains("\"exec_mode\""))
+            .map(str::to_string)
+            .collect();
+        let back = RunRecord::parse(&stripped.join("\n")).expect("parses without exec_mode");
+        assert_eq!(back.exec_mode, "streaming");
+        // and an explicit mode round-trips
+        let mut rec = sample_record();
+        rec.exec_mode = "vectorized".into();
+        let back = RunRecord::parse(&rec.render()).expect("parse back");
+        assert_eq!(back.exec_mode, "vectorized");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Executor-mode independence at the engine level: whatever relational
+//! executor the process pins (`dipbench --exec-mode`), every engine must
+//! integrate byte-identical data. This is the `ExecMode` analog of the
+//! cross-engine equivalence claim — the vectorized batch path, the
+//! streaming path and the naive oracle are three implementations of one
+//! semantics, and the full benchmark digests are the observable proof.
+//!
+//! Everything lives in ONE test function: the default exec mode is
+//! process-global, so concurrent test threads switching modes would
+//! corrupt each other's runs (same reason the crash sweep is one test).
+
+use dip_bench::{build_system, EngineKind};
+use dip_relstore::query::{set_default_mode, ExecMode};
+use dipbench::prelude::*;
+use dipbench::recovery::{self, CrashTarget};
+use std::collections::BTreeMap;
+
+fn config() -> BenchConfig {
+    BenchConfig::new(ScaleFactors::new(0.01, 1.0, Distribution::Uniform)).with_periods(1)
+}
+
+/// Run the full benchmark and digest every table of every database.
+fn digests(kind: EngineKind, config: BenchConfig) -> BTreeMap<String, u64> {
+    let env = BenchEnvironment::new(config).unwrap();
+    let system = build_system(kind, &env);
+    let outcome = Client::new(&env, system).unwrap().run().unwrap();
+    assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+    digest_tables(&env.world).unwrap()
+}
+
+#[test]
+fn exec_modes_agree_across_engines_workers_faults_and_crashes() {
+    const ENGINES: [EngineKind; 3] = [EngineKind::Federated, EngineKind::Mtm, EngineKind::Ivm];
+
+    // streaming at 1 worker is the reference state per engine
+    set_default_mode(ExecMode::Streaming);
+    let refs: Vec<BTreeMap<String, u64>> = ENGINES.iter().map(|&k| digests(k, config())).collect();
+
+    // every other executor must land every engine on the same bytes
+    for mode in [ExecMode::Oracle, ExecMode::Vectorized, ExecMode::Auto] {
+        set_default_mode(mode);
+        for (&kind, expect) in ENGINES.iter().zip(&refs) {
+            assert_eq!(
+                &digests(kind, config()),
+                expect,
+                "{} under exec mode {} diverged from streaming",
+                kind.tag(),
+                mode.label()
+            );
+        }
+    }
+
+    // ... at any worker count: vectorized with 1 and 4 schedule workers
+    // must match the 1-worker streaming reference
+    set_default_mode(ExecMode::Vectorized);
+    for workers in [1, 4] {
+        assert_eq!(
+            &digests(EngineKind::Federated, config().with_workers(workers)),
+            &refs[0],
+            "fed vectorized at {workers} workers diverged"
+        );
+    }
+
+    // ... under drop faults with the default retry budget
+    let faulty = config()
+        .with_faults(FaultPlan::drops(0.05))
+        .with_resilience(ResiliencePolicy::DEFAULT);
+    set_default_mode(ExecMode::Streaming);
+    let fault_ref = digests(EngineKind::Federated, faulty);
+    set_default_mode(ExecMode::Vectorized);
+    assert_eq!(
+        digests(EngineKind::Federated, faulty),
+        fault_ref,
+        "fed vectorized diverged under drop faults"
+    );
+
+    // ... and across a crash-restart recovery: kill a heavy mart-refresh
+    // process (P13, stream D — a vectorized plan shape) at its first
+    // materialization step, recover, and require the uncrashed bytes
+    let target = CrashTarget {
+        process: "P13".to_string(),
+        period: 0,
+        seq: 0,
+        step: 0,
+    };
+    let run = recovery::run_with_crash(
+        config(),
+        &|env| build_system(EngineKind::Mtm, env),
+        &target,
+        false,
+    )
+    .unwrap();
+    assert!(run.tripped, "the armed P13 crash never fired");
+    assert!(
+        run.verification.passed(),
+        "conservation failed after recovery under vectorized:\n{}",
+        run.verification
+    );
+    assert_eq!(
+        run.digests, refs[1],
+        "recovered vectorized state diverged from the uncrashed streaming run"
+    );
+
+    set_default_mode(ExecMode::Auto);
+}
