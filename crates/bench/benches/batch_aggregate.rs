@@ -1,12 +1,17 @@
 //! Streaming vs vectorized executor on the plan shape that dominates the
 //! heavy E2 processes (P09/P11/P13/P14): filter → hash-join → grouped
-//! SUM/COUNT/AVG aggregation. One row count per order of magnitude —
+//! SUM/COUNT/AVG aggregation, plus the join-free variant that decides the
+//! `Auto` crossover threshold. One row count per order of magnitude —
 //! 1k fits in a single chunk, 32k and 256k exercise the multi-chunk
-//! path, pre-sized hash tables and the chunked probe loop. CI uploads
-//! the output as an artifact next to `BENCH_6.json`.
+//! path, pre-sized hash tables and the chunked probe loop. Two ablation
+//! series isolate where the batch path's time goes: `boxed_cols_*` forces
+//! untyped `Vec<Value>` column storage and `row_keys_*` forces per-row
+//! key materialization instead of vectorized per-column hashing. CI
+//! uploads the output as an artifact next to `BENCH_7.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dip_relstore::prelude::*;
+use dip_relstore::query::{ablate_boxed_columns, ablate_row_keys};
 use std::hint::black_box;
 
 /// An orderline-shaped fact table joined to a small dimension: `n` facts
@@ -67,6 +72,21 @@ fn mart_refresh_plan() -> Plan {
         )
 }
 
+/// The join-free refresh-aggregate shape: the plan class the cardinality
+/// crossover in `planner::batching_pays` routes.
+fn join_free_plan() -> Plan {
+    Plan::scan("lineitem")
+        .filter(Expr::col(2).gt(Expr::lit(5i64)))
+        .aggregate(
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(3), "revenue"),
+                AggExpr::count_star("lines"),
+                AggExpr::new(AggFunc::Avg, Expr::col(2), "avg_qty"),
+            ],
+        )
+}
+
 fn bench_batch_aggregate(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_aggregate");
     g.sample_size(15);
@@ -76,6 +96,24 @@ fn bench_batch_aggregate(c: &mut Criterion) {
         for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
             g.bench_function(format!("{}_{}k", mode.label(), rows / 1000), |b| {
                 b.iter(|| black_box(execute(&plan, &db, mode).unwrap().len()))
+            });
+        }
+        // ablations: same vectorized plan minus one optimization each
+        g.bench_function(format!("boxed_cols_{}k", rows / 1000), |b| {
+            ablate_boxed_columns(true);
+            b.iter(|| black_box(execute(&plan, &db, ExecMode::Vectorized).unwrap().len()));
+            ablate_boxed_columns(false);
+        });
+        g.bench_function(format!("row_keys_{}k", rows / 1000), |b| {
+            ablate_row_keys(true);
+            b.iter(|| black_box(execute(&plan, &db, ExecMode::Vectorized).unwrap().len()));
+            ablate_row_keys(false);
+        });
+        // the join-free shape that motivates the ~32k Auto crossover
+        let jf = join_free_plan();
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized] {
+            g.bench_function(format!("joinfree_{}_{}k", mode.label(), rows / 1000), |b| {
+                b.iter(|| black_box(execute(&jf, &db, mode).unwrap().len()))
             });
         }
     }

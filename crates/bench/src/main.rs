@@ -14,7 +14,7 @@
 //! dipbench quality [--periods 1]          # data-quality profile per layer
 //! dipbench explain [P01..P15]             # narrate process definitions
 //! dipbench record [--d X --t X --f F --periods N --engine E] [--out f.json]
-//! dipbench bench [--iterations N | --quick] [--check BENCH_6.json [--threshold 0.2]]
+//! dipbench bench [--iterations N | --quick] [--check BENCH_7.json [--threshold 0.2]]
 //! dipbench bench --scaling [--iterations N | --quick]   # 1/2/4/8-worker curve → BENCH_5.json
 //! dipbench report [--records DIR] [--format md|text] [--out FILE] [--check]
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
@@ -96,7 +96,7 @@ fn main() {
                    sweep d|t|f                      scale-factor sweeps\n\
                    quality                          data-quality profile per pipeline layer\n\
                    record                           run and write a versioned run record JSON\n\
-                   bench                            wall-clock gate: N runs over one cached environment, writes BENCH_6.json\n\
+                   bench                            wall-clock gate: N runs over one cached environment, writes BENCH_7.json\n\
                    report                           cross-engine/cross-commit tables from committed records (exit 1 with --check on regression)\n\
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
@@ -740,7 +740,7 @@ fn resolve_baseline(engine_tag: &str, datasize: f64) -> (Vec<f64>, f64, f64, Str
 /// `--iterations` times over it. The first iteration generates every
 /// period's source snapshot (cache misses); all later iterations replay
 /// the cached snapshots, so the warm iterations measure the steady-state
-/// row path without data-generation noise. Writes `BENCH_6.json` with
+/// row path without data-generation noise. Writes `BENCH_7.json` with
 /// per-iteration wall times, throughput, per-group NAVG+ and the
 /// allocation counters, next to the embedded pre-optimization baseline.
 ///
@@ -907,7 +907,7 @@ fn bench(args: &[String]) {
         ),
     ]);
 
-    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out = flag_str(args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
     let check_path = flag_str(args, "--check");
     // in gate mode, do not clobber the committed record we compare against
     let write_out = check_path.as_deref() != Some(out.as_str());

@@ -9,6 +9,17 @@
 //! * `Gather` — a shared source column plus a shared index vector: the
 //!   value at row `i` is `src[idx[i]]`.
 //!
+//! Column *storage* ([`ColData`]) is type-specialized: scans derive the
+//! layout from the catalog schema, so an `INT` column is a `Vec<i64>`, a
+//! `FLOAT` column a `Vec<f64>` and a `STR` column a `Vec<Arc<str>>`, each
+//! with an optional validity bitmap ([`NullMask`]) for NULLs. Aggregate
+//! accumulators and key hashing then run over unboxed primitive slices.
+//! Because the storage layer accepts *widened* values (an `Int` is legal
+//! in a `FLOAT` column, a `Bool` in an `INT` column) and those values must
+//! re-emit byte-identically, the builders are adaptive: a value the typed
+//! layout cannot represent demotes the column to boxed `Vec<Value>`
+//! storage for that chunk ([`ColBuilder`]).
+//!
 //! `Gather` is the late-materialization trick that makes join chains
 //! linear: a join emits its probe-side columns as gathers over the probe
 //! chunk (one `Arc<Vec<u32>>` shared by every probe column) instead of
@@ -16,30 +27,39 @@
 //! Chained joins *compose* index vectors — u32 arithmetic, no `Value`
 //! clones — and a hash join's build side is columnarized once and gathered
 //! the same way. Values are cloned exactly once, at the final
-//! chunk-to-rows boundary, which is the same copy the streaming executor
-//! pays when its borrowed row views hit a materializing sink. Filters and
-//! distinct-unions never copy either — they narrow the selection vector
-//! and pass the columns through untouched.
+//! chunk-to-rows boundary. Filters and distinct-unions never copy either —
+//! they narrow the selection vector and pass the columns through.
+//!
+//! Hash joins, hash aggregates and distinct unions key through
+//! `query::hashkey`: whole key columns are hashed per chunk into a
+//! `Vec<u64>` (one pass per key column, splitmix-mixed), and probes walk a
+//! chained [`KeyIndex`] comparing candidates against the *stored* build
+//! rows / group keys — a key tuple is only materialized when it is first
+//! inserted, never per probe row.
 //!
 //! The executor is a drop-in replacement for the streaming path over the
 //! same optimized plans and must emit **byte-identical rows in the same
 //! order** (the cross-mode digest gate depends on it):
 //!
-//! * hash joins emit probe order × build insertion order, build on the
-//!   estimated-smaller side (LEFT builds right), NULL keys never join,
-//!   LEFT pads with build-width NULLs;
+//! * hash joins emit probe order × build insertion order (build ids are
+//!   inserted into the [`KeyIndex`] in descending order so chains walk
+//!   ascending), build on the estimated-smaller side (LEFT builds right),
+//!   NULL keys never join, LEFT pads with build-width NULLs;
 //! * aggregates emit groups in first-seen order and a global aggregate
 //!   over zero rows still yields one row;
 //! * `UnionDistinct` keeps first occurrences; `TopK` breaks ties by input
 //!   sequence ([`TopKEntry`]);
 //! * all aggregate arithmetic goes through the shared [`AggState`]
-//!   (exact-`i64` SUM with overflow fallback, compensated float sums).
+//!   (exact-`i64` SUM with overflow fallback, compensated float sums);
+//!   float MIN/MAX stay per-element — NaN makes "strictly less wins"
+//!   non-transitive, so chunk-local reductions could change results.
 //!
 //! Hash and group tables are pre-sized from planner cardinality estimates
 //! (table live counts at the leaves); aggregate inputs that are bare
-//! column references skip expression dispatch (`AggState`'s by-reference
-//! column-loop methods); computed aggregate inputs are evaluated
-//! column-at-a-time once per chunk.
+//! column references skip expression dispatch; computed aggregate inputs
+//! are evaluated column-at-a-time once per chunk through an [`EvalView`]
+//! (typed columns materialize to `Value`s once per chunk for the shared
+//! expression evaluator, boxed columns are borrowed in place).
 //!
 //! Each node publishes `relstore.batch.chunks.<op>` and
 //! `relstore.batch.rows.<op>` counters next to the shared
@@ -51,13 +71,16 @@
 use crate::catalog::Database;
 use crate::error::{StoreError, StoreResult};
 use crate::expr::{Expr, RowAccess};
-use crate::index::key_of;
 use crate::query::exec::{index_join_equivalent, plan_op, rows_counter, AggState, TopKEntry};
+use crate::query::hashkey::{
+    combine, hash_num, hash_str, hash_value, hash_values, KeyIndex, KEY_SEED, NULL_HASH,
+};
 use crate::query::plan::{AggFunc, JoinKind, Plan};
 use crate::row::{sort_rows_by_columns, Relation, Row};
-use crate::value::Value;
-use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::Arc;
+use crate::value::{SqlType, Value};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 #[allow(unused_imports)] // doc links
 use crate::query::exec::ExecMode;
@@ -66,26 +89,486 @@ use crate::query::exec::ExecMode;
 /// overhead, small enough that a chunk's columns stay cache-resident.
 pub(crate) const CHUNK_ROWS: usize = 1024;
 
+/// Bench-only ablation: when set, scans and values emit boxed
+/// `Vec<Value>` columns even for typed schemas — isolates the
+/// typed-storage win in the `batch_aggregate` microbench.
+static ABLATE_BOXED_COLUMNS: AtomicBool = AtomicBool::new(false);
+
+/// Bench-only ablation: when set, key hashing materializes a fresh
+/// `Vec<Value>` key per row (the pre-vectorization behavior) instead of
+/// hashing whole key columns per chunk. Results are identical; only the
+/// allocation profile differs.
+static ABLATE_ROW_KEYS: AtomicBool = AtomicBool::new(false);
+
+/// Toggle the boxed-columns ablation (bench instrumentation, process-wide).
+pub fn ablate_boxed_columns(on: bool) {
+    ABLATE_BOXED_COLUMNS.store(on, Ordering::Relaxed);
+}
+
+/// Toggle the per-row key materialization ablation (bench instrumentation,
+/// process-wide).
+pub fn ablate_row_keys(on: bool) {
+    ABLATE_ROW_KEYS.store(on, Ordering::Relaxed);
+}
+
+fn boxed_ablated() -> bool {
+    ABLATE_BOXED_COLUMNS.load(Ordering::Relaxed)
+}
+
+fn row_keys_ablated() -> bool {
+    ABLATE_ROW_KEYS.load(Ordering::Relaxed)
+}
+
+fn oob(c: usize) -> StoreError {
+    StoreError::Eval(format!("column index {c} out of range"))
+}
+
+/// Validity bitmap for typed column storage: bit set = NULL at that row.
+/// Absent (`None` in the column) means "no NULLs", so the all-valid fast
+/// paths never touch it.
+#[derive(Clone, Debug, Default)]
+struct NullMask {
+    words: Vec<u64>,
+}
+
+impl NullMask {
+    fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        if let Some(word) = self.words.get_mut(w) {
+            *word |= 1u64 << (i % 64);
+        }
+    }
+
+    fn is_null(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of NULLs among rows `0..n` (popcount — the COUNT fast path).
+    fn count_nulls(&self, n: usize) -> usize {
+        let mut total = 0usize;
+        for (w, word) in self.words.iter().enumerate() {
+            let lo = w * 64;
+            if lo >= n {
+                break;
+            }
+            let bits = n - lo;
+            let masked = if bits >= 64 {
+                *word
+            } else {
+                word & ((1u64 << bits) - 1)
+            };
+            total += masked.count_ones() as usize;
+        }
+        total
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.words.truncate(n.div_ceil(64));
+        if !n.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (n % 64)) - 1;
+            }
+        }
+    }
+}
+
+/// The shared empty string typed NULL slots point at (never observable —
+/// the mask shadows it).
+fn empty_str() -> Arc<str> {
+    static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from("")).clone()
+}
+
+/// Physical storage of one column: boxed `Value`s, or an unboxed typed
+/// vector plus a NULL bitmap. Typed layouts hold exactly one `Value`
+/// variant (plus NULL); anything else lives in `Boxed` (see
+/// [`ColBuilder`]'s demotion rule).
+enum ColData {
+    Boxed(Vec<Value>),
+    I64(Vec<i64>, Option<NullMask>),
+    F64(Vec<f64>, Option<NullMask>),
+    Str(Vec<Arc<str>>, Option<NullMask>),
+}
+
+impl ColData {
+    /// The value at row `i` (owned — typed layouts construct it), if in
+    /// range. A masked row yields `Some(Value::Null)`.
+    fn value(&self, i: usize) -> Option<Value> {
+        match self {
+            ColData::Boxed(v) => v.get(i).cloned(),
+            ColData::I64(v, m) => v.get(i).map(|&x| {
+                if masked(m, i) {
+                    Value::Null
+                } else {
+                    Value::Int(x)
+                }
+            }),
+            ColData::F64(v, m) => v.get(i).map(|&x| {
+                if masked(m, i) {
+                    Value::Null
+                } else {
+                    Value::Float(x)
+                }
+            }),
+            ColData::Str(v, m) => v.get(i).map(|s| {
+                if masked(m, i) {
+                    Value::Null
+                } else {
+                    Value::Str(s.clone())
+                }
+            }),
+        }
+    }
+
+    /// Does row `i` equal `v` under `Value` equality (`total_cmp`)? Typed
+    /// rows compare through a stack-constructed `Value` so cross-type
+    /// numeric equality (`Int(3) == Float(3.0)`) behaves identically to
+    /// boxed storage.
+    fn eq_value(&self, i: usize, v: &Value) -> bool {
+        match self {
+            ColData::Boxed(vals) => vals.get(i).is_some_and(|x| x == v),
+            ColData::I64(vals, m) => vals.get(i).is_some_and(|&x| {
+                if masked(m, i) {
+                    v.is_null()
+                } else {
+                    Value::Int(x) == *v
+                }
+            }),
+            ColData::F64(vals, m) => vals.get(i).is_some_and(|&x| {
+                if masked(m, i) {
+                    v.is_null()
+                } else {
+                    Value::Float(x) == *v
+                }
+            }),
+            ColData::Str(vals, m) => vals.get(i).is_some_and(|s| {
+                if masked(m, i) {
+                    v.is_null()
+                } else {
+                    matches!(v, Value::Str(t) if **t == **s)
+                }
+            }),
+        }
+    }
+
+    /// `(key hash, is_null)` of row `i` — out-of-range rows hash as NULL
+    /// (they can never be emitted, so the flag only suppresses joins).
+    fn hash_at(&self, i: usize) -> (u64, bool) {
+        match self {
+            ColData::Boxed(v) => match v.get(i) {
+                Some(x) => (hash_value(x), x.is_null()),
+                None => (NULL_HASH, true),
+            },
+            ColData::I64(v, m) => match v.get(i) {
+                Some(&x) if !masked(m, i) => (hash_num(x as f64), false),
+                _ => (NULL_HASH, true),
+            },
+            ColData::F64(v, m) => match v.get(i) {
+                Some(&x) if !masked(m, i) => (hash_num(x), false),
+                _ => (NULL_HASH, true),
+            },
+            ColData::Str(v, m) => match v.get(i) {
+                Some(s) if !masked(m, i) => (hash_str(s), false),
+                _ => (NULL_HASH, true),
+            },
+        }
+    }
+
+    /// Fold this column's hashes into `acc` (one slot per row, dense
+    /// unselected chunks only) — the vectorized one-pass-per-key-column
+    /// form of [`ColData::hash_at`]. `nulls[i]` is OR-set where row `i`
+    /// is NULL.
+    fn hash_into(&self, acc: &mut [u64], nulls: Option<&mut [bool]>) {
+        match self {
+            ColData::Boxed(vals) => match nulls {
+                None => {
+                    for (slot, v) in acc.iter_mut().zip(vals) {
+                        *slot = combine(*slot, hash_value(v));
+                    }
+                }
+                Some(flags) => {
+                    for ((slot, flag), v) in acc.iter_mut().zip(flags.iter_mut()).zip(vals) {
+                        *slot = combine(*slot, hash_value(v));
+                        *flag |= v.is_null();
+                    }
+                }
+            },
+            ColData::I64(vals, m) => {
+                hash_dense(vals, m.as_ref(), acc, nulls, |&x| hash_num(x as f64))
+            }
+            ColData::F64(vals, m) => hash_dense(vals, m.as_ref(), acc, nulls, |&x| hash_num(x)),
+            ColData::Str(vals, m) => hash_dense(vals, m.as_ref(), acc, nulls, |s| hash_str(s)),
+        }
+    }
+
+    /// Rebuild the column as owned `Value`s (the chunk-to-rows boundary).
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            ColData::Boxed(v) => v,
+            ColData::I64(v, m) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if masked(&m, i) {
+                        Value::Null
+                    } else {
+                        Value::Int(x)
+                    }
+                })
+                .collect(),
+            ColData::F64(v, m) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if masked(&m, i) {
+                        Value::Null
+                    } else {
+                        Value::Float(x)
+                    }
+                })
+                .collect(),
+            ColData::Str(v, m) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if masked(&m, i) {
+                        Value::Null
+                    } else {
+                        Value::Str(s)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Move the value at row `i` out (boxed storage leaves `Null` behind;
+    /// typed storage copies — same cost either way). Used by the selective
+    /// chunk-to-rows path, where the remainder is never read again.
+    fn take(&mut self, i: usize) -> Option<Value> {
+        match self {
+            ColData::Boxed(v) => v
+                .get_mut(i)
+                .map(|slot| std::mem::replace(slot, Value::Null)),
+            other => other.value(i),
+        }
+    }
+
+    fn truncate(&mut self, n: usize) {
+        match self {
+            ColData::Boxed(v) => v.truncate(n),
+            ColData::I64(v, m) => {
+                v.truncate(n);
+                if let Some(m) = m {
+                    m.truncate(n);
+                }
+            }
+            ColData::F64(v, m) => {
+                v.truncate(n);
+                if let Some(m) = m {
+                    m.truncate(n);
+                }
+            }
+            ColData::Str(v, m) => {
+                v.truncate(n);
+                if let Some(m) = m {
+                    m.truncate(n);
+                }
+            }
+        }
+    }
+}
+
+/// One pass of vectorized key hashing over a typed dense column.
+fn hash_dense<T>(
+    vals: &[T],
+    mask: Option<&NullMask>,
+    acc: &mut [u64],
+    nulls: Option<&mut [bool]>,
+    hash_one: impl Fn(&T) -> u64,
+) {
+    match mask {
+        None => {
+            for (slot, v) in acc.iter_mut().zip(vals) {
+                *slot = combine(*slot, hash_one(v));
+            }
+        }
+        Some(m) => {
+            for (i, (slot, v)) in acc.iter_mut().zip(vals).enumerate() {
+                let h = if m.is_null(i) { NULL_HASH } else { hash_one(v) };
+                *slot = combine(*slot, h);
+            }
+            if let Some(flags) = nulls {
+                for (i, flag) in flags.iter_mut().enumerate() {
+                    *flag |= m.is_null(i);
+                }
+            }
+        }
+    }
+}
+
+/// Adaptive column builder: starts in the layout the schema type names
+/// and **demotes to boxed storage** the moment a value arrives that the
+/// typed layout cannot re-emit byte-identically (a widened `Int` in a
+/// `FLOAT` column, a `Bool` in an `INT` column). Demotion reconstructs the
+/// exact `Value` sequence pushed so far, so output bytes never depend on
+/// which layout a chunk ended up in.
+enum ColBuilder {
+    Boxed(Vec<Value>),
+    I64(Vec<i64>, Option<NullMask>),
+    F64(Vec<f64>, Option<NullMask>),
+    Str(Vec<Arc<str>>, Option<NullMask>),
+}
+
+impl ColBuilder {
+    fn for_type(ty: Option<SqlType>, cap: usize) -> ColBuilder {
+        if boxed_ablated() {
+            return ColBuilder::Boxed(Vec::with_capacity(cap));
+        }
+        match ty {
+            Some(SqlType::Int) => ColBuilder::I64(Vec::with_capacity(cap), None),
+            Some(SqlType::Float) => ColBuilder::F64(Vec::with_capacity(cap), None),
+            Some(SqlType::Str) => ColBuilder::Str(Vec::with_capacity(cap), None),
+            _ => ColBuilder::Boxed(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColBuilder::Boxed(v) => v.len(),
+            ColBuilder::I64(v, _) => v.len(),
+            ColBuilder::F64(v, _) => v.len(),
+            ColBuilder::Str(v, _) => v.len(),
+        }
+    }
+
+    /// Push `v` if the current layout represents it exactly.
+    fn try_push(&mut self, v: &Value) -> bool {
+        let n = self.len();
+        match self {
+            ColBuilder::Boxed(vals) => {
+                vals.push(v.clone());
+                true
+            }
+            ColBuilder::I64(vals, mask) => match v {
+                Value::Int(x) => {
+                    vals.push(*x);
+                    true
+                }
+                Value::Null => {
+                    vals.push(0);
+                    mask.get_or_insert_with(NullMask::default).set(n);
+                    true
+                }
+                _ => false,
+            },
+            ColBuilder::F64(vals, mask) => match v {
+                Value::Float(x) => {
+                    vals.push(*x);
+                    true
+                }
+                Value::Null => {
+                    vals.push(0.0);
+                    mask.get_or_insert_with(NullMask::default).set(n);
+                    true
+                }
+                _ => false,
+            },
+            ColBuilder::Str(vals, mask) => match v {
+                Value::Str(s) => {
+                    vals.push(s.clone());
+                    true
+                }
+                Value::Null => {
+                    vals.push(empty_str());
+                    mask.get_or_insert_with(NullMask::default).set(n);
+                    true
+                }
+                _ => false,
+            },
+        }
+    }
+
+    fn push(&mut self, v: &Value) {
+        if !self.try_push(v) {
+            self.demote();
+            if let ColBuilder::Boxed(vals) = self {
+                vals.push(v.clone());
+            }
+        }
+    }
+
+    fn push_owned(&mut self, v: Value) {
+        if let ColBuilder::Boxed(vals) = self {
+            vals.push(v);
+            return;
+        }
+        if !self.try_push(&v) {
+            self.demote();
+            if let ColBuilder::Boxed(vals) = self {
+                vals.push(v);
+            }
+        }
+    }
+
+    /// Fall back to boxed storage, reconstructing the values pushed so far
+    /// position-for-position.
+    fn demote(&mut self) {
+        let data = std::mem::replace(self, ColBuilder::Boxed(Vec::new())).finish();
+        *self = ColBuilder::Boxed(data.into_values());
+    }
+
+    fn finish(self) -> ColData {
+        match self {
+            ColBuilder::Boxed(v) => ColData::Boxed(v),
+            ColBuilder::I64(v, m) => ColData::I64(v, m),
+            ColBuilder::F64(v, m) => ColData::F64(v, m),
+            ColBuilder::Str(v, m) => ColData::Str(v, m),
+        }
+    }
+}
+
 /// One column of a chunk (see the module docs for the representations).
 enum Col {
-    /// Owned dense values, one per physical row.
-    Dense(Vec<Value>),
-    /// Dense values shared with other chunks (pass-through / join source).
-    Shared(Arc<Vec<Value>>),
+    /// Owned storage, one entry per physical row.
+    Dense(ColData),
+    /// Storage shared with other chunks (pass-through / join source).
+    Shared(Arc<ColData>),
     /// Lazily gathered: the value at row `i` is `src[idx[i]]`.
     Gather {
-        src: Arc<Vec<Value>>,
+        src: Arc<ColData>,
         idx: Arc<Vec<u32>>,
     },
 }
 
 impl Col {
-    /// The value at physical row `i`, if in range.
-    fn get(&self, i: usize) -> Option<&Value> {
+    /// Resolve physical row `i` to `(storage, storage row)`.
+    fn at(&self, i: usize) -> Option<(&ColData, usize)> {
         match self {
-            Col::Dense(v) => v.get(i),
-            Col::Shared(v) => v.get(i),
-            Col::Gather { src, idx } => idx.get(i).and_then(|&j| src.get(j as usize)),
+            Col::Dense(d) => Some((d, i)),
+            Col::Shared(d) => Some((d.as_ref(), i)),
+            Col::Gather { src, idx } => idx.get(i).map(|&j| (src.as_ref(), j as usize)),
+        }
+    }
+
+    /// The value at physical row `i`, if in range (owned — typed storage
+    /// constructs it, boxed storage clones).
+    fn value(&self, i: usize) -> Option<Value> {
+        self.at(i).and_then(|(d, j)| d.value(j))
+    }
+
+    fn eq_value(&self, i: usize, v: &Value) -> bool {
+        self.at(i).is_some_and(|(d, j)| d.eq_value(j, v))
+    }
+
+    fn hash_at(&self, i: usize) -> (u64, bool) {
+        match self.at(i) {
+            Some((d, j)) => d.hash_at(j),
+            None => (NULL_HASH, true),
         }
     }
 
@@ -94,8 +577,8 @@ impl Col {
     /// pair it with the composed index).
     fn into_shared(self) -> SharedCol {
         match self {
-            Col::Dense(v) => (Arc::new(v), None),
-            Col::Shared(v) => (v, None),
+            Col::Dense(d) => (Arc::new(d), None),
+            Col::Shared(d) => (d, None),
             Col::Gather { src, idx } => (src, Some(idx)),
         }
     }
@@ -103,7 +586,7 @@ impl Col {
 
 /// A column converted to shareable form by [`Col::into_shared`]: the
 /// backing storage plus the gather index when the column was gathered.
-type SharedCol = (Arc<Vec<Value>>, Option<Arc<Vec<u32>>>);
+type SharedCol = (Arc<ColData>, Option<Arc<Vec<u32>>>);
 
 /// A batch of rows in columnar layout. `sel` — when present — lists the
 /// surviving *physical* row indices in order; operators that drop rows
@@ -119,14 +602,6 @@ pub(crate) struct Chunk {
 }
 
 impl Chunk {
-    fn dense(cols: Vec<Vec<Value>>, height: usize) -> Chunk {
-        Chunk {
-            cols: cols.into_iter().map(Col::Dense).collect(),
-            height,
-            sel: None,
-        }
-    }
-
     /// Number of selected (live) rows.
     fn live(&self) -> usize {
         match &self.sel {
@@ -143,15 +618,19 @@ impl Chunk {
         }
     }
 
+    /// The value at (physical row `i`, column `c`), if both are in range.
+    fn col_value(&self, c: usize, i: usize) -> Option<Value> {
+        self.cols.get(c).and_then(|col| col.value(i))
+    }
+
+    /// Does the value at (physical row `i`, column `c`) equal `v`?
+    fn eq_at(&self, c: usize, i: usize, v: &Value) -> bool {
+        self.cols.get(c).is_some_and(|col| col.eq_value(i, v))
+    }
+
     /// Gather physical row `i` into an owned row.
     fn row_at(&self, i: usize) -> Row {
-        let mut row = Vec::with_capacity(self.cols.len());
-        for col in &self.cols {
-            if let Some(v) = col.get(i) {
-                row.push(v.clone());
-            }
-        }
-        row
+        self.cols.iter().filter_map(|c| c.value(i)).collect()
     }
 
     /// Append every selected row, in order, onto `out` — the chunk is
@@ -166,7 +645,7 @@ impl Chunk {
                 .cols
                 .into_iter()
                 .map(|c| match c {
-                    Col::Dense(v) => v.into_iter(),
+                    Col::Dense(d) => d.into_values().into_iter(),
                     _ => Vec::new().into_iter(),
                 })
                 .collect();
@@ -189,9 +668,9 @@ impl Chunk {
                     let i = i as usize;
                     let mut row = Vec::with_capacity(self.cols.len());
                     for col in &mut self.cols {
-                        if let Col::Dense(v) = col {
-                            if let Some(v) = v.get_mut(i) {
-                                row.push(std::mem::replace(v, Value::Null));
+                        if let Col::Dense(d) = col {
+                            if let Some(v) = d.take(i) {
+                                row.push(v);
                             }
                         }
                     }
@@ -215,8 +694,8 @@ impl Chunk {
                 }
                 if self.cols.iter().all(|c| matches!(c, Col::Dense(_))) {
                     for col in &mut self.cols {
-                        if let Col::Dense(v) = col {
-                            v.truncate(n);
+                        if let Col::Dense(d) = col {
+                            d.truncate(n);
                         }
                     }
                     self.height = n;
@@ -227,18 +706,81 @@ impl Chunk {
             }
         }
     }
+
+    /// Build a per-chunk view of the `needed` columns for the shared
+    /// expression evaluator (whose `RowAccess` hands out `&Value`): boxed
+    /// columns are borrowed in place (keeping their gather index), typed
+    /// columns are materialized to `Value`s once, indexed by physical row.
+    fn eval_view(&self, needed: &[usize]) -> EvalView<'_> {
+        let mut cols: Vec<EvalCol<'_>> = (0..self.cols.len()).map(|_| EvalCol::Absent).collect();
+        for &c in needed {
+            let Some(col) = self.cols.get(c) else {
+                continue;
+            };
+            let built = match col {
+                Col::Dense(ColData::Boxed(v)) => EvalCol::Borrowed(v, None),
+                Col::Dense(other) => EvalCol::Owned(
+                    (0..self.height)
+                        .map(|i| other.value(i).unwrap_or(Value::Null))
+                        .collect(),
+                ),
+                Col::Shared(d) => match d.as_ref() {
+                    ColData::Boxed(v) => EvalCol::Borrowed(v, None),
+                    other => EvalCol::Owned(
+                        (0..self.height)
+                            .map(|i| other.value(i).unwrap_or(Value::Null))
+                            .collect(),
+                    ),
+                },
+                Col::Gather { src, idx } => match src.as_ref() {
+                    ColData::Boxed(v) => EvalCol::Borrowed(v, Some(idx.as_slice())),
+                    other => EvalCol::Owned(
+                        idx.iter()
+                            .map(|&j| other.value(j as usize).unwrap_or(Value::Null))
+                            .collect(),
+                    ),
+                },
+            };
+            if let Some(slot) = cols.get_mut(c) {
+                *slot = built;
+            }
+        }
+        EvalView { cols }
+    }
 }
 
-/// One selected row of a chunk, readable through the shared expression
-/// evaluator ([`Expr::eval_on`] / [`Expr::matches_on`]).
-struct ChunkRow<'a> {
-    chunk: &'a Chunk,
+/// One column of an [`EvalView`] (see [`Chunk::eval_view`]).
+enum EvalCol<'a> {
+    /// Not referenced by the expressions this view serves.
+    Absent,
+    /// Borrowed boxed storage, with the gather index when indirected.
+    Borrowed(&'a [Value], Option<&'a [u32]>),
+    /// Typed storage materialized to values, indexed by physical row.
+    Owned(Vec<Value>),
+}
+
+/// Borrow-friendly chunk view for expression evaluation.
+struct EvalView<'a> {
+    cols: Vec<EvalCol<'a>>,
+}
+
+/// One physical row of an [`EvalView`], readable through the shared
+/// expression evaluator ([`Expr::eval_on`] / [`Expr::matches_on`]).
+struct EvalRow<'a, 'b> {
+    view: &'a EvalView<'b>,
     row: usize,
 }
 
-impl RowAccess for ChunkRow<'_> {
+impl RowAccess for EvalRow<'_, '_> {
     fn value_at(&self, i: usize) -> Option<&Value> {
-        self.chunk.cols.get(i).and_then(|c| c.get(self.row))
+        match self.view.cols.get(i)? {
+            EvalCol::Absent => None,
+            EvalCol::Borrowed(vals, None) => vals.get(self.row),
+            EvalCol::Borrowed(vals, Some(idx)) => {
+                idx.get(self.row).and_then(|&j| vals.get(j as usize))
+            }
+            EvalCol::Owned(vals) => vals.get(self.row),
+        }
     }
 }
 
@@ -248,28 +790,34 @@ type ChunkSink<'s> = dyn FnMut(Chunk) -> StoreResult<bool> + 's;
 
 /// Accumulates emitted rows column-wise and flushes a dense chunk into the
 /// downstream sink every [`CHUNK_ROWS`] rows (plus a final partial flush).
-/// Used by the dense producers (scan, values, aggregate/sort/top-k
-/// output); joins emit gather chunks directly (see [`JoinEmit`]).
+/// Scans and values build **typed** columns from the catalog schema;
+/// aggregate/sort/top-k output stays boxed (mixed accumulator types).
 struct Emitter<'a, 'b> {
-    width: usize,
-    cols: Vec<Vec<Value>>,
+    types: Vec<Option<SqlType>>,
+    cols: Vec<ColBuilder>,
     height: usize,
     sink: &'a mut ChunkSink<'b>,
 }
 
 impl<'a, 'b> Emitter<'a, 'b> {
-    fn new(width: usize, sink: &'a mut ChunkSink<'b>) -> Emitter<'a, 'b> {
+    /// An emitter with schema-typed column layouts (`None` = boxed).
+    fn typed(types: Vec<Option<SqlType>>, sink: &'a mut ChunkSink<'b>) -> Emitter<'a, 'b> {
         // Columns start empty and grow geometrically: most queries the E1
         // processes issue emit a handful of rows, and pre-reserving
         // CHUNK_ROWS per column would make the allocation dominate them.
         // Once a full chunk has been flushed the stream is known to be
         // large and the replacement columns are pre-sized (see `flush`).
         Emitter {
-            width,
-            cols: (0..width).map(|_| Vec::new()).collect(),
+            cols: types.iter().map(|&t| ColBuilder::for_type(t, 0)).collect(),
+            types,
             height: 0,
             sink,
         }
+    }
+
+    /// An emitter producing boxed `Value` columns throughout.
+    fn boxed(width: usize, sink: &'a mut ChunkSink<'b>) -> Emitter<'a, 'b> {
+        Emitter::typed(vec![None; width], sink)
     }
 
     /// Push the concatenation of `parts` as one row.
@@ -278,7 +826,7 @@ impl<'a, 'b> Emitter<'a, 'b> {
         for part in parts {
             for v in *part {
                 if let Some(col) = cols.next() {
-                    col.push(v.clone());
+                    col.push(v);
                 }
             }
         }
@@ -287,9 +835,9 @@ impl<'a, 'b> Emitter<'a, 'b> {
 
     /// Push `proj`-selected columns of `row` as one row.
     fn push_projected(&mut self, row: &[Value], proj: &[usize]) -> StoreResult<bool> {
-        for (j, &src) in proj.iter().enumerate() {
-            if let (Some(col), Some(v)) = (self.cols.get_mut(j), row.get(src)) {
-                col.push(v.clone());
+        for (col, &src) in self.cols.iter_mut().zip(proj) {
+            if let Some(v) = row.get(src) {
+                col.push(v);
             }
         }
         self.bump()
@@ -297,10 +845,8 @@ impl<'a, 'b> Emitter<'a, 'b> {
 
     /// Push an owned row (aggregate/sort/top-k output).
     fn push_owned(&mut self, row: Row) -> StoreResult<bool> {
-        for (j, v) in row.into_iter().enumerate() {
-            if let Some(col) = self.cols.get_mut(j) {
-                col.push(v);
-            }
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.push_owned(v);
         }
         self.bump()
     }
@@ -326,11 +872,21 @@ impl<'a, 'b> Emitter<'a, 'b> {
         } else {
             0
         };
-        let cols = std::mem::replace(
+        let builders = std::mem::replace(
             &mut self.cols,
-            (0..self.width).map(|_| Vec::with_capacity(cap)).collect(),
+            self.types
+                .iter()
+                .map(|&t| ColBuilder::for_type(t, cap))
+                .collect(),
         );
-        let chunk = Chunk::dense(cols, self.height);
+        let chunk = Chunk {
+            cols: builders
+                .into_iter()
+                .map(|b| Col::Dense(b.finish()))
+                .collect(),
+            height: self.height,
+            sel: None,
+        };
         self.height = 0;
         (self.sink)(chunk)
     }
@@ -472,12 +1028,72 @@ fn drive(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<bool> 
 /// Extract the join/group key columns of one selected chunk row into `buf`.
 fn gather_key(chunk: &Chunk, row: usize, cols: &[usize], buf: &mut Vec<Value>) -> StoreResult<()> {
     buf.clear();
-    let r = ChunkRow { chunk, row };
     for &c in cols {
-        match r.value_at(c) {
-            Some(v) => buf.push(v.clone()),
-            None => {
-                return Err(StoreError::Eval(format!("column index {c} out of range")));
+        match chunk.col_value(c, row) {
+            Some(v) => buf.push(v),
+            None => return Err(oob(c)),
+        }
+    }
+    Ok(())
+}
+
+/// Compute the combined key hash of every *selected* row of `c`, one pass
+/// per key column — the vectorized replacement for materializing and
+/// hashing a `Vec<Value>` key per row. On return `hashes[k]` is the key
+/// hash of the `k`-th selected row; when `nulls` is given, `nulls[k]` is
+/// set iff any key column is NULL there (joins skip those rows). With the
+/// row-keys ablation on, keys are materialized per row instead — same
+/// hashes, bench-only.
+fn chunk_key_hashes(
+    c: &Chunk,
+    cols: &[usize],
+    hashes: &mut Vec<u64>,
+    mut nulls: Option<&mut Vec<bool>>,
+) -> StoreResult<()> {
+    let live = c.live();
+    hashes.clear();
+    hashes.resize(live, KEY_SEED);
+    if let Some(n) = nulls.as_deref_mut() {
+        n.clear();
+        n.resize(live, false);
+    }
+    if row_keys_ablated() {
+        for k in 0..live {
+            let i = c.idx(k);
+            let mut key: Vec<Value> = Vec::with_capacity(cols.len());
+            for &cx in cols {
+                key.push(c.col_value(cx, i).ok_or_else(|| oob(cx))?);
+            }
+            if let Some(slot) = hashes.get_mut(k) {
+                *slot = hash_values(&key);
+            }
+            if let Some(n) = nulls.as_deref_mut() {
+                if let Some(flag) = n.get_mut(k) {
+                    *flag = key.iter().any(|v| v.is_null());
+                }
+            }
+        }
+        return Ok(());
+    }
+    for &cx in cols {
+        let col = c.cols.get(cx).ok_or_else(|| oob(cx))?;
+        match (&c.sel, col) {
+            (None, Col::Dense(d)) => d.hash_into(hashes, nulls.as_mut().map(|v| v.as_mut_slice())),
+            (None, Col::Shared(d)) => d.hash_into(hashes, nulls.as_mut().map(|v| v.as_mut_slice())),
+            _ => {
+                for k in 0..live {
+                    let (h, isnull) = col.hash_at(c.idx(k));
+                    if let Some(slot) = hashes.get_mut(k) {
+                        *slot = combine(*slot, h);
+                    }
+                    if isnull {
+                        if let Some(n) = nulls.as_deref_mut() {
+                            if let Some(flag) = n.get_mut(k) {
+                                *flag = true;
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -504,6 +1120,135 @@ fn apply_agg(st: &mut AggState, v: &Value) {
     }
 }
 
+/// The dense storage behind a column, when it has one (gathers fall back
+/// to per-row access).
+fn dense_data(col: &Col) -> Option<&ColData> {
+    match col {
+        Col::Dense(d) => Some(d),
+        Col::Shared(d) => Some(d.as_ref()),
+        Col::Gather { .. } => None,
+    }
+}
+
+/// Fold all `n` rows of a dense unselected column into one aggregate
+/// state — the type-specialized global-aggregate fast path. Typed columns
+/// run over primitive slices (COUNT is a bitmap popcount); float MIN/MAX
+/// stay per-element because NaN makes chunk-local reduction unsound.
+fn agg_dense(st: &mut AggState, d: &ColData, n: usize) {
+    match st.func() {
+        AggFunc::Count => match d {
+            ColData::Boxed(vals) => {
+                for v in vals.iter().take(n) {
+                    st.count_value(v);
+                }
+            }
+            ColData::I64(_, m) | ColData::F64(_, m) | ColData::Str(_, m) => {
+                let nulls = m.as_ref().map_or(0, |m| m.count_nulls(n));
+                st.count_n((n - nulls) as u64);
+            }
+        },
+        AggFunc::Sum | AggFunc::Avg => match d {
+            ColData::Boxed(vals) => {
+                for v in vals.iter().take(n) {
+                    st.add_value(v);
+                }
+            }
+            ColData::I64(vals, None) => {
+                for &x in vals.iter().take(n) {
+                    st.add_int(x);
+                }
+            }
+            ColData::I64(vals, Some(m)) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !m.is_null(i) {
+                        st.add_int(x);
+                    }
+                }
+            }
+            ColData::F64(vals, None) => {
+                for &x in vals.iter().take(n) {
+                    st.add_float(x);
+                }
+            }
+            ColData::F64(vals, Some(m)) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !m.is_null(i) {
+                        st.add_float(x);
+                    }
+                }
+            }
+            ColData::Str(vals, m) => {
+                // SUM over strings parses each value (oracle semantics)
+                for (i, s) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.add_value(&Value::Str(s.clone()));
+                    }
+                }
+            }
+        },
+        AggFunc::Min => match d {
+            ColData::Boxed(vals) => {
+                for v in vals.iter().take(n) {
+                    st.min_value(v);
+                }
+            }
+            ColData::I64(vals, m) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.min_value(&Value::Int(x));
+                    }
+                }
+            }
+            ColData::F64(vals, m) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.min_value(&Value::Float(x));
+                    }
+                }
+            }
+            ColData::Str(vals, m) => {
+                for (i, s) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.min_value(&Value::Str(s.clone()));
+                    }
+                }
+            }
+        },
+        AggFunc::Max => match d {
+            ColData::Boxed(vals) => {
+                for v in vals.iter().take(n) {
+                    st.max_value(v);
+                }
+            }
+            ColData::I64(vals, m) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.max_value(&Value::Int(x));
+                    }
+                }
+            }
+            ColData::F64(vals, m) => {
+                for (i, &x) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.max_value(&Value::Float(x));
+                    }
+                }
+            }
+            ColData::Str(vals, m) => {
+                for (i, s) in vals.iter().take(n).enumerate() {
+                    if !masked(m, i) {
+                        st.max_value(&Value::Str(s.clone()));
+                    }
+                }
+            }
+        },
+    }
+}
+
+fn masked(m: &Option<NullMask>, i: usize) -> bool {
+    m.as_ref().is_some_and(|m| m.is_null(i))
+}
+
 fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<bool> {
     match plan {
         Plan::Scan {
@@ -512,11 +1257,15 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             projection,
         } => {
             let t = db.table(table)?;
-            let width = match projection {
-                Some(p) => p.len(),
-                None => t.schema.len(),
+            // typed column layouts come straight from the catalog schema
+            let types: Vec<Option<SqlType>> = match projection {
+                Some(p) => p
+                    .iter()
+                    .map(|&i| t.schema.columns().get(i).map(|c| c.ty))
+                    .collect(),
+                None => t.schema.columns().iter().map(|c| Some(c.ty)).collect(),
             };
-            let mut em = Emitter::new(width, sink);
+            let mut em = Emitter::typed(types, sink);
             let keep_going = match projection {
                 None => t.stream_rows(predicate.as_ref(), &mut |row| em.push_concat(&[row]))?,
                 Some(p) => {
@@ -529,7 +1278,9 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             em.flush()
         }
         Plan::Values(rel) => {
-            let mut em = Emitter::new(rel.schema.len(), sink);
+            let types: Vec<Option<SqlType>> =
+                rel.schema.columns().iter().map(|c| Some(c.ty)).collect();
+            let mut em = Emitter::typed(types, sink);
             for r in &rel.rows {
                 if !em.push_concat(&[r.as_slice()])? {
                     return Ok(false);
@@ -537,117 +1288,137 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             }
             em.flush()
         }
-        Plan::Filter { input, predicate } => drive(input, db, &mut |c: Chunk| {
-            let mut sel: Vec<u32> = Vec::with_capacity(c.live());
-            for k in 0..c.live() {
-                let i = c.idx(k);
-                if predicate.matches_on(&ChunkRow { chunk: &c, row: i })? {
-                    sel.push(i as u32);
-                }
-            }
-            if sel.is_empty() {
-                return Ok(true);
-            }
-            let Chunk { cols, height, .. } = c;
-            sink(Chunk {
-                cols,
-                height,
-                sel: Some(sel),
-            })
-        }),
-        Plan::Project { input, exprs } => drive(input, db, &mut |c: Chunk| {
-            let live = c.live();
-            if live == 0 {
-                return Ok(true);
-            }
-            // Bare-column projections forward the input column: without a
-            // selection it is shared as-is, with one it becomes a gather
-            // over the selection — no values move either way. Computed
-            // expressions evaluate column-at-a-time into dense output.
-            let sel_idx: Option<Arc<Vec<u32>>> = c.sel.clone().map(Arc::new);
-            let mut shared: Vec<SharedCol> = Vec::with_capacity(c.cols.len());
-            let mut memo: Vec<(*const Vec<u32>, Arc<Vec<u32>>)> = Vec::new();
-            let mut cols_in = c.cols;
-            for col in cols_in.drain(..) {
-                shared.push(col.into_shared());
-            }
-            let resel = Chunk {
-                cols: Vec::new(),
-                height: c.height,
-                sel: c.sel,
-            };
-            let mut out_cols: Vec<Col> = Vec::with_capacity(exprs.len());
-            for p in exprs {
-                match &p.expr {
-                    Expr::Col(j) => {
-                        let (src, old_idx) = shared.get(*j).cloned().ok_or_else(|| {
-                            StoreError::Eval(format!("column index {j} out of range"))
-                        })?;
-                        let idx = match (&sel_idx, old_idx) {
-                            (None, None) => None,
-                            (None, Some(old)) => Some(old),
-                            (Some(sel), None) => Some(sel.clone()),
-                            (Some(sel), Some(old)) => {
-                                let key = Arc::as_ptr(&old);
-                                Some(match memo.iter().find(|(k, _)| *k == key) {
-                                    Some((_, composed)) => composed.clone(),
-                                    None => {
-                                        let composed: Arc<Vec<u32>> = Arc::new(
-                                            sel.iter()
-                                                .map(|&k| {
-                                                    old.get(k as usize).copied().unwrap_or_default()
-                                                })
-                                                .collect(),
-                                        );
-                                        memo.push((key, composed.clone()));
-                                        composed
-                                    }
-                                })
-                            }
-                        };
-                        out_cols.push(match idx {
-                            None => Col::Shared(src),
-                            Some(idx) => Col::Gather { src, idx },
-                        });
-                    }
-                    e => {
-                        // rebuild a view with the original columns for the
-                        // expression evaluator
-                        let view = Chunk {
-                            cols: shared
-                                .iter()
-                                .map(|s| match s {
-                                    (src, None) => Col::Shared(src.clone()),
-                                    (src, Some(idx)) => Col::Gather {
-                                        src: src.clone(),
-                                        idx: idx.clone(),
-                                    },
-                                })
-                                .collect(),
-                            height: resel.height,
-                            sel: resel.sel.clone(),
-                        };
-                        let mut out = Vec::with_capacity(live);
-                        for k in 0..live {
-                            out.push(e.eval_on(&ChunkRow {
-                                chunk: &view,
-                                row: view.idx(k),
-                            })?);
+        Plan::Filter { input, predicate } => {
+            let mut needed: Vec<usize> = Vec::new();
+            predicate.referenced_columns(&mut needed);
+            needed.sort_unstable();
+            needed.dedup();
+            drive(input, db, &mut |c: Chunk| {
+                let mut sel: Vec<u32> = Vec::with_capacity(c.live());
+                {
+                    let view = c.eval_view(&needed);
+                    for k in 0..c.live() {
+                        let i = c.idx(k);
+                        if predicate.matches_on(&EvalRow {
+                            view: &view,
+                            row: i,
+                        })? {
+                            sel.push(i as u32);
                         }
-                        out_cols.push(Col::Dense(out));
                     }
                 }
-            }
-            // Every output column now addresses 0..live in selection
-            // order: with a selection present, bare columns composed it
-            // into their gather index and computed columns evaluated the
-            // selected rows; without one, live == physical height.
-            sink(Chunk {
-                cols: out_cols,
-                height: live,
-                sel: None,
+                if sel.is_empty() {
+                    return Ok(true);
+                }
+                let Chunk { cols, height, .. } = c;
+                sink(Chunk {
+                    cols,
+                    height,
+                    sel: Some(sel),
+                })
             })
-        }),
+        }
+        Plan::Project { input, exprs } => {
+            let mut needed: Vec<usize> = Vec::new();
+            let mut has_computed = false;
+            for p in exprs {
+                if !matches!(p.expr, Expr::Col(_)) {
+                    has_computed = true;
+                    p.expr.referenced_columns(&mut needed);
+                }
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            drive(input, db, &mut |c: Chunk| {
+                let live = c.live();
+                if live == 0 {
+                    return Ok(true);
+                }
+                // Computed expressions evaluate column-at-a-time first,
+                // through an eval view over the original chunk (typed
+                // columns materialize once). Bare-column projections then
+                // forward the input storage: without a selection it is
+                // shared as-is, with one it becomes a gather over the
+                // selection — no values move either way.
+                let mut computed: Vec<Option<Vec<Value>>> = Vec::with_capacity(exprs.len());
+                {
+                    let view = if has_computed {
+                        Some(c.eval_view(&needed))
+                    } else {
+                        None
+                    };
+                    for p in exprs {
+                        match (&p.expr, &view) {
+                            (Expr::Col(_), _) | (_, None) => computed.push(None),
+                            (e, Some(view)) => {
+                                let mut vals = Vec::with_capacity(live);
+                                for k in 0..live {
+                                    vals.push(e.eval_on(&EvalRow {
+                                        view,
+                                        row: c.idx(k),
+                                    })?);
+                                }
+                                computed.push(Some(vals));
+                            }
+                        }
+                    }
+                }
+                let sel_idx: Option<Arc<Vec<u32>>> = c.sel.clone().map(Arc::new);
+                let mut shared: Vec<SharedCol> = Vec::with_capacity(c.cols.len());
+                for col in c.cols {
+                    shared.push(col.into_shared());
+                }
+                let mut memo: Vec<(*const Vec<u32>, Arc<Vec<u32>>)> = Vec::new();
+                let mut out_cols: Vec<Col> = Vec::with_capacity(exprs.len());
+                for (p, pre) in exprs.iter().zip(computed) {
+                    if let Some(vals) = pre {
+                        out_cols.push(Col::Dense(ColData::Boxed(vals)));
+                        continue;
+                    }
+                    let Expr::Col(j) = &p.expr else {
+                        return Err(StoreError::Eval(
+                            "projection expression was not evaluated".into(),
+                        ));
+                    };
+                    let (src, old_idx) = shared.get(*j).cloned().ok_or_else(|| oob(*j))?;
+                    let idx = match (&sel_idx, old_idx) {
+                        (None, None) => None,
+                        (None, Some(old)) => Some(old),
+                        (Some(sel), None) => Some(sel.clone()),
+                        (Some(sel), Some(old)) => {
+                            let key = Arc::as_ptr(&old);
+                            Some(match memo.iter().find(|(k, _)| *k == key) {
+                                Some((_, composed)) => composed.clone(),
+                                None => {
+                                    let composed: Arc<Vec<u32>> = Arc::new(
+                                        sel.iter()
+                                            .map(|&k| {
+                                                old.get(k as usize).copied().unwrap_or_default()
+                                            })
+                                            .collect(),
+                                    );
+                                    memo.push((key, composed.clone()));
+                                    composed
+                                }
+                            })
+                        }
+                    };
+                    out_cols.push(match idx {
+                        None => Col::Shared(src),
+                        Some(idx) => Col::Gather { src, idx },
+                    });
+                }
+                // Every output column now addresses 0..live in selection
+                // order: with a selection present, bare columns composed it
+                // into their gather index and computed columns evaluated the
+                // selected rows; without one, live == physical height.
+                sink(Chunk {
+                    cols: out_cols,
+                    height: live,
+                    sel: None,
+                })
+            })
+        }
         Plan::HashJoin {
             left,
             right,
@@ -674,65 +1445,98 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                 c.into_rows(&mut build_rows);
                 Ok(true)
             })?;
-            let mut table: HashMap<Vec<Value>, Vec<usize>> =
-                HashMap::with_capacity(build_rows.len());
-            for (i, r) in build_rows.iter().enumerate() {
-                let key = key_of(r, build_keys);
-                if key.iter().any(|v| v.is_null()) {
-                    continue; // NULL keys never join
-                }
-                table.entry(key).or_default().push(i);
-            }
-            let build_width = build_plan.schema(db)?.len();
-            let probe_width = probe_plan.schema(db)?.len();
-            let left_pad = *kind == JoinKind::Left && probe_is_left;
-            // Columnarize the build side once (values move, not clone) and
-            // append one all-NULL row at index `build_len`: LEFT-join pad
-            // emissions gather it like any real match.
             let build_len = build_rows.len();
-            let mut bcols: Vec<Vec<Value>> = (0..build_width)
-                .map(|_| Vec::with_capacity(build_len + 1))
-                .collect();
-            for row in build_rows.drain(..) {
-                for (j, v) in row.into_iter().enumerate() {
-                    if let Some(col) = bcols.get_mut(j) {
-                        col.push(v);
+            // Hash every build key once, then fill the hash-first index in
+            // *descending* id order: chains walk ascending, reproducing the
+            // streaming executor's probe × insertion-order output. NULL
+            // keys never join, so they are never inserted.
+            let mut bh: Vec<u64> = Vec::with_capacity(build_len);
+            let mut bnull: Vec<bool> = Vec::with_capacity(build_len);
+            for r in &build_rows {
+                let mut h = KEY_SEED;
+                let mut isnull = false;
+                for &k in build_keys {
+                    match r.get(k) {
+                        Some(v) => {
+                            h = combine(h, hash_value(v));
+                            isnull |= v.is_null();
+                        }
+                        None => isnull = true,
+                    }
+                }
+                bh.push(h);
+                bnull.push(isnull);
+            }
+            let mut table = KeyIndex::with_capacity(build_len);
+            for i in (0..build_len).rev() {
+                if !bnull.get(i).copied().unwrap_or(true) {
+                    if let Some(&h) = bh.get(i) {
+                        table.insert_at(h, i as u32);
                     }
                 }
             }
-            let bcols: Vec<Arc<Vec<Value>>> = bcols
+            drop(bh);
+            drop(bnull);
+            let left_pad = *kind == JoinKind::Left && probe_is_left;
+            // Columnarize the build side once into schema-typed storage
+            // (values move, not clone) and append one all-NULL row at index
+            // `build_len`: LEFT-join pad emissions gather it like any real
+            // match.
+            let build_schema = build_plan.schema(db)?;
+            let btypes: Vec<Option<SqlType>> =
+                build_schema.columns().iter().map(|c| Some(c.ty)).collect();
+            let mut builders: Vec<ColBuilder> = btypes
+                .iter()
+                .map(|&t| ColBuilder::for_type(t, build_len + 1))
+                .collect();
+            for row in build_rows.drain(..) {
+                for (b, v) in builders.iter_mut().zip(row) {
+                    b.push_owned(v);
+                }
+            }
+            let bcols: Vec<Arc<ColData>> = builders
                 .into_iter()
-                .map(|mut col| {
-                    col.push(Value::Null);
-                    Arc::new(col)
+                .map(|mut b| {
+                    b.push(&Value::Null);
+                    Arc::new(b.finish())
                 })
                 .collect();
-            let _ = probe_width;
-            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
+            let mut ph: Vec<u64> = Vec::new();
+            let mut pnull: Vec<bool> = Vec::new();
             drive(probe_plan, db, &mut |c: Chunk| {
+                // probe keys are hashed per chunk, one pass per key column;
+                // candidates are compared hash-first against the stored
+                // build columns — no per-row key materialization
+                chunk_key_hashes(&c, probe_keys, &mut ph, Some(&mut pnull))?;
                 let mut probe_idx: Vec<u32> = Vec::new();
                 let mut build_idx: Vec<u32> = Vec::new();
                 for k in 0..c.live() {
                     let i = c.idx(k);
-                    gather_key(&c, i, probe_keys, &mut key)?;
-                    let matches = if key.iter().any(|v| v.is_null()) {
-                        None
-                    } else {
-                        table.get(key.as_slice())
-                    };
-                    match matches {
-                        Some(slots) => {
-                            for &s in slots {
-                                probe_idx.push(i as u32);
-                                build_idx.push(s as u32);
-                            }
+                    if pnull.get(k).copied().unwrap_or(true) {
+                        if left_pad {
+                            probe_idx.push(i as u32);
+                            build_idx.push(build_len as u32);
                         }
-                        None => {
-                            if left_pad {
-                                probe_idx.push(i as u32);
-                                build_idx.push(build_len as u32);
+                        continue;
+                    }
+                    let h = ph.get(k).copied().unwrap_or(KEY_SEED);
+                    let before = probe_idx.len();
+                    for cand in table.candidates(h) {
+                        let b = cand as usize;
+                        let eq = probe_keys.iter().zip(build_keys).all(|(&pk, &bk)| {
+                            match c.col_value(pk, i) {
+                                Some(v) => bcols.get(bk).is_some_and(|bc| bc.eq_value(b, &v)),
+                                None => false,
                             }
+                        });
+                        if eq {
+                            probe_idx.push(i as u32);
+                            build_idx.push(cand);
                         }
+                    }
+                    if probe_idx.len() == before && left_pad {
+                        probe_idx.push(i as u32);
+                        build_idx.push(build_len as u32);
                     }
                 }
                 if probe_idx.is_empty() {
@@ -826,7 +1630,10 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                 if probe_idx.is_empty() {
                     return Ok(true);
                 }
-                let inner: Vec<Col> = icols.into_iter().map(Col::Dense).collect();
+                let inner: Vec<Col> = icols
+                    .into_iter()
+                    .map(|v| Col::Dense(ColData::Boxed(v)))
+                    .collect();
                 sink(join_chunk(c, probe_idx, inner, probe_first))
             })
         }
@@ -854,25 +1661,44 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                     return Err(StoreError::Invalid("union arity mismatch".into()));
                 }
             }
-            let mut seen: HashSet<Vec<Value>> = HashSet::new();
-            let mut kbuf: Vec<Value> = Vec::new();
+            // First-seen dedup through the hash-first index: chunk key
+            // hashes are computed per column, candidates compare against
+            // the *stored* first occurrence, and a key tuple (or whole
+            // row) is only materialized when it is new.
+            let all_cols: Vec<usize>;
+            let kcols: &[usize] = match key {
+                Some(cols) => cols,
+                None => {
+                    all_cols = (0..width).collect();
+                    &all_cols
+                }
+            };
+            let mut ix = KeyIndex::with_capacity(plan.estimate_rows(db));
+            let mut seen: Vec<Row> = Vec::new();
+            let mut hashes: Vec<u64> = Vec::new();
             for inp in inputs {
                 let keep_going = drive(inp, db, &mut |c: Chunk| {
+                    chunk_key_hashes(&c, kcols, &mut hashes, None)?;
                     let mut sel: Vec<u32> = Vec::with_capacity(c.live());
                     for k in 0..c.live() {
                         let i = c.idx(k);
-                        let fresh = match key {
-                            Some(cols) => {
-                                gather_key(&c, i, cols, &mut kbuf)?;
-                                if seen.contains(kbuf.as_slice()) {
-                                    false
-                                } else {
-                                    seen.insert(std::mem::take(&mut kbuf))
+                        let h = hashes.get(k).copied().unwrap_or(KEY_SEED);
+                        let mut dup = false;
+                        for cand in ix.candidates(h) {
+                            if let Some(stored) = seen.get(cand as usize) {
+                                if kcols.iter().zip(stored).all(|(&cx, v)| c.eq_at(cx, i, v)) {
+                                    dup = true;
+                                    break;
                                 }
                             }
-                            None => seen.insert(c.row_at(i)),
-                        };
-                        if fresh {
+                        }
+                        if !dup {
+                            let mut kv = Vec::with_capacity(kcols.len());
+                            for &cx in kcols {
+                                kv.push(c.col_value(cx, i).ok_or_else(|| oob(cx))?);
+                            }
+                            ix.push(h);
+                            seen.push(kv);
                             sel.push(i as u32);
                         }
                     }
@@ -897,30 +1723,52 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             group_by,
             aggs,
         } => {
-            // Pre-size the group table from the planner's output estimate.
-            let mut groups: HashMap<Vec<Value>, Vec<AggState>> =
-                HashMap::with_capacity(plan.estimate_rows(db).max(1));
-            let mut order: Vec<Vec<Value>> = Vec::new();
+            // Group keys live in first-seen order in `order` (emission
+            // order), with states parallel to it; the hash-first index
+            // maps key hashes to group ids, so existing groups (the common
+            // case) never materialize a key.
+            let est = plan.estimate_rows(db).max(1);
+            let mut ix = KeyIndex::with_capacity(est);
+            let mut order: Vec<Row> = Vec::new();
+            let mut states: Vec<Vec<AggState>> = Vec::new();
+            let mut ghash: Vec<u64> = Vec::new();
             drive(input, db, &mut |c: Chunk| {
                 let live = c.live();
                 // Resolve each aggregate's input source once per chunk:
                 // bare columns are read in place, computed expressions are
                 // evaluated column-at-a-time into a dense vector.
+                let mut eval_cols: Vec<usize> = Vec::new();
+                let mut any_computed = false;
+                for a in aggs {
+                    if let Some(e) = &a.input {
+                        if !matches!(e, Expr::Col(_)) {
+                            any_computed = true;
+                            e.referenced_columns(&mut eval_cols);
+                        }
+                    }
+                }
+                let view = if any_computed {
+                    eval_cols.sort_unstable();
+                    eval_cols.dedup();
+                    Some(c.eval_view(&eval_cols))
+                } else {
+                    None
+                };
                 let mut srcs: Vec<AggSrc> = Vec::with_capacity(aggs.len());
                 for a in aggs {
                     let src = match &a.input {
                         None => AggSrc::Star,
-                        Some(Expr::Col(j)) => {
-                            let col = c.cols.get(*j).ok_or_else(|| {
-                                StoreError::Eval(format!("column index {j} out of range"))
-                            })?;
-                            AggSrc::Col(col)
-                        }
+                        Some(Expr::Col(j)) => AggSrc::Col(c.cols.get(*j).ok_or_else(|| oob(*j))?),
                         Some(e) => {
+                            let Some(view) = &view else {
+                                return Err(StoreError::Eval(
+                                    "aggregate input was not evaluated".into(),
+                                ));
+                            };
                             let mut vals = Vec::with_capacity(live);
                             for k in 0..live {
-                                vals.push(e.eval_on(&ChunkRow {
-                                    chunk: &c,
+                                vals.push(e.eval_on(&EvalRow {
+                                    view,
                                     row: c.idx(k),
                                 })?);
                             }
@@ -931,57 +1779,39 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                 }
                 if group_by.is_empty() {
                     // Global aggregate: one state vector, tight per-column
-                    // loops — the type-specialized fast path.
-                    if groups.is_empty() {
+                    // loops over typed storage — the specialized fast path.
+                    if states.is_empty() {
                         order.push(Vec::new());
-                        groups.insert(
-                            Vec::new(),
-                            aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                        );
+                        states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
                     }
-                    let Some(states) = groups.get_mut(&[] as &[Value]) else {
+                    let Some(sts) = states.first_mut() else {
                         return Ok(true);
                     };
-                    for (st, src) in states.iter_mut().zip(&srcs) {
+                    for (st, src) in sts.iter_mut().zip(&srcs) {
                         match src {
                             AggSrc::Star => {
                                 // mirrors `update(None)`: only COUNT reacts
                                 if st.func() == AggFunc::Count {
-                                    for _ in 0..live {
-                                        st.count_row();
+                                    st.count_n(live as u64);
+                                }
+                            }
+                            AggSrc::Col(col) => {
+                                let dense = if c.sel.is_none() {
+                                    dense_data(col)
+                                } else {
+                                    None
+                                };
+                                match dense {
+                                    Some(d) => agg_dense(st, d, c.height),
+                                    None => {
+                                        for k in 0..live {
+                                            if let Some(v) = col.value(c.idx(k)) {
+                                                apply_agg(st, &v);
+                                            }
+                                        }
                                     }
                                 }
                             }
-                            AggSrc::Col(col) => match st.func() {
-                                AggFunc::Count => {
-                                    for k in 0..live {
-                                        if let Some(v) = col.get(c.idx(k)) {
-                                            st.count_value(v);
-                                        }
-                                    }
-                                }
-                                AggFunc::Sum | AggFunc::Avg => {
-                                    for k in 0..live {
-                                        if let Some(v) = col.get(c.idx(k)) {
-                                            st.add_value(v);
-                                        }
-                                    }
-                                }
-                                AggFunc::Min => {
-                                    for k in 0..live {
-                                        if let Some(v) = col.get(c.idx(k)) {
-                                            st.min_value(v);
-                                        }
-                                    }
-                                }
-                                AggFunc::Max => {
-                                    for k in 0..live {
-                                        if let Some(v) = col.get(c.idx(k)) {
-                                            st.max_value(v);
-                                        }
-                                    }
-                                }
-                            },
                             AggSrc::Computed(vals) => {
                                 for v in vals {
                                     apply_agg(st, v);
@@ -990,22 +1820,40 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                         }
                     }
                 } else {
-                    // one reused key buffer: existing groups (the common
-                    // case) pay no allocation per row
-                    let mut kbuf: Vec<Value> = Vec::with_capacity(group_by.len());
+                    chunk_key_hashes(&c, group_by, &mut ghash, None)?;
                     for k in 0..live {
                         let i = c.idx(k);
-                        gather_key(&c, i, group_by, &mut kbuf)?;
-                        let states = match groups.get_mut(kbuf.as_slice()) {
-                            Some(s) => s,
+                        let h = ghash.get(k).copied().unwrap_or(KEY_SEED);
+                        let mut gid: Option<usize> = None;
+                        for cand in ix.candidates(h) {
+                            let g = cand as usize;
+                            if order.get(g).is_some_and(|stored| {
+                                group_by
+                                    .iter()
+                                    .zip(stored)
+                                    .all(|(&cx, v)| c.eq_at(cx, i, v))
+                            }) {
+                                gid = Some(g);
+                                break;
+                            }
+                        }
+                        let g = match gid {
+                            Some(g) => g,
                             None => {
-                                order.push(kbuf.clone());
-                                groups.entry(std::mem::take(&mut kbuf)).or_insert_with(|| {
-                                    aggs.iter().map(|a| AggState::new(a.func)).collect()
-                                })
+                                let mut kv = Vec::with_capacity(group_by.len());
+                                for &cx in group_by {
+                                    kv.push(c.col_value(cx, i).ok_or_else(|| oob(cx))?);
+                                }
+                                let g = ix.push(h) as usize;
+                                order.push(kv);
+                                states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
+                                g
                             }
                         };
-                        for (st, src) in states.iter_mut().zip(&srcs) {
+                        let Some(sts) = states.get_mut(g) else {
+                            continue;
+                        };
+                        for (st, src) in sts.iter_mut().zip(&srcs) {
                             match src {
                                 AggSrc::Star => {
                                     if st.func() == AggFunc::Count {
@@ -1013,8 +1861,8 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                                     }
                                 }
                                 AggSrc::Col(col) => {
-                                    if let Some(v) = col.get(i) {
-                                        apply_agg(st, v);
+                                    if let Some(v) = col.value(i) {
+                                        apply_agg(st, &v);
                                     }
                                 }
                                 AggSrc::Computed(vals) => {
@@ -1029,17 +1877,14 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                 Ok(true)
             })?;
             // Global aggregate over zero rows still yields one row.
-            if groups.is_empty() && group_by.is_empty() {
+            if states.is_empty() && group_by.is_empty() {
                 order.push(vec![]);
-                groups.insert(vec![], aggs.iter().map(|a| AggState::new(a.func)).collect());
+                states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
             }
-            let mut em = Emitter::new(group_by.len() + aggs.len(), sink);
-            for key in order {
-                let Some(states) = groups.remove(&key) else {
-                    continue;
-                };
+            let mut em = Emitter::boxed(group_by.len() + aggs.len(), sink);
+            for (key, sts) in order.into_iter().zip(states) {
                 let mut row = key;
-                for st in states {
+                for st in sts {
                     row.push(st.finish());
                 }
                 if !em.push_owned(row)? {
@@ -1056,7 +1901,7 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             })?;
             sort_rows_by_columns(&mut rows, keys);
             let width = plan.schema(db)?.len();
-            let mut em = Emitter::new(width, sink);
+            let mut em = Emitter::boxed(width, sink);
             for row in rows {
                 if !em.push_owned(row)? {
                     return Ok(false);
@@ -1127,7 +1972,7 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
                 Ok(true)
             })?;
             let width = plan.schema(db)?.len();
-            let mut em = Emitter::new(width, sink);
+            let mut em = Emitter::boxed(width, sink);
             for e in heap.into_sorted_vec() {
                 if !em.push_owned(e.row)? {
                     return Ok(false);
@@ -1135,5 +1980,105 @@ fn exec_chunks(plan: &Plan, db: &Database, sink: &mut ChunkSink) -> StoreResult<
             }
             em.flush()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_set_count_truncate() {
+        let mut m = NullMask::default();
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(130);
+        assert!(m.is_null(0) && m.is_null(63) && m.is_null(64) && m.is_null(130));
+        assert!(!m.is_null(1) && !m.is_null(129) && !m.is_null(4096));
+        assert_eq!(m.count_nulls(131), 4);
+        assert_eq!(m.count_nulls(130), 3); // bit 130 past the logical end
+        assert_eq!(m.count_nulls(64), 2);
+        m.truncate(64);
+        assert!(!m.is_null(64) && !m.is_null(130));
+        assert_eq!(m.count_nulls(131), 2);
+    }
+
+    #[test]
+    fn builder_keeps_typed_values_and_masks_nulls() {
+        let mut b = ColBuilder::for_type(Some(SqlType::Int), 0);
+        for v in [Value::Int(5), Value::Null, Value::Int(-9)] {
+            b.push(&v);
+        }
+        let d = b.finish();
+        assert!(matches!(d, ColData::I64(..)));
+        assert_eq!(d.value(0), Some(Value::Int(5)));
+        assert_eq!(d.value(1), Some(Value::Null));
+        assert_eq!(d.value(2), Some(Value::Int(-9)));
+        assert_eq!(d.value(3), None);
+    }
+
+    #[test]
+    fn builder_demotes_on_widened_variants() {
+        // Int is legal in a Float column (check_row widening) and must
+        // come back out as Int, not Float — the builder demotes to Boxed.
+        let seq = [
+            Value::Float(1.5),
+            Value::Null,
+            Value::Int(2),
+            Value::Float(3.0),
+        ];
+        let mut b = ColBuilder::for_type(Some(SqlType::Float), 0);
+        for v in &seq {
+            b.push(v);
+        }
+        let d = b.finish();
+        assert!(matches!(d, ColData::Boxed(_)));
+        for (i, v) in seq.iter().enumerate() {
+            assert_eq!(d.value(i).as_ref(), Some(v));
+        }
+        // Bool in an Int column likewise
+        let mut b = ColBuilder::for_type(Some(SqlType::Int), 0);
+        b.push(&Value::Int(1));
+        b.push(&Value::Bool(true));
+        let d = b.finish();
+        assert_eq!(d.value(0), Some(Value::Int(1)));
+        assert_eq!(d.value(1), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn eq_value_and_hash_agree_across_numeric_types() {
+        let mut b = ColBuilder::for_type(Some(SqlType::Int), 0);
+        b.push(&Value::Int(3));
+        let d = b.finish();
+        // Int(3) ≡ Float(3.0) under total_cmp: typed storage must agree
+        assert!(d.eq_value(0, &Value::Float(3.0)));
+        assert!(d.eq_value(0, &Value::Int(3)));
+        assert!(!d.eq_value(0, &Value::Int(4)));
+        let (h, isnull) = d.hash_at(0);
+        assert!(!isnull);
+        assert_eq!(h, hash_value(&Value::Float(3.0)));
+        assert_eq!(h, hash_value(&Value::Int(3)));
+    }
+
+    #[test]
+    fn typed_hash_into_matches_per_value_hashing() {
+        let vals = [
+            Value::str("x"),
+            Value::Null,
+            Value::str("long enough to matter"),
+        ];
+        let mut b = ColBuilder::for_type(Some(SqlType::Str), 0);
+        for v in &vals {
+            b.push(v);
+        }
+        let d = b.finish();
+        let mut acc = vec![KEY_SEED; vals.len()];
+        let mut nulls = vec![false; vals.len()];
+        d.hash_into(&mut acc, Some(&mut nulls));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(acc[i], combine(KEY_SEED, hash_value(v)), "row {i}");
+        }
+        assert_eq!(nulls, vec![false, true, false]);
     }
 }

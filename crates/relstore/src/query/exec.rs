@@ -30,6 +30,7 @@ use crate::catalog::Database;
 use crate::error::{StoreError, StoreResult};
 use crate::expr::RowAccess;
 use crate::index::key_of;
+use crate::query::hashkey::{combine, hash_value, KeyIndex, KEY_SEED};
 use crate::query::plan::{AggFunc, JoinKind, Plan};
 use crate::row::{sort_rows_by_columns, Relation, Row};
 use crate::value::Value;
@@ -140,36 +141,111 @@ pub fn execute(plan: &Plan, db: &Database, mode: ExecMode) -> StoreResult<Relati
         }
         _ => {
             let optimized = crate::query::planner::optimize(plan.clone(), db)?;
-            if batching_pays(&optimized) {
-                super::batch::materialize_chunked(&optimized, db)
-            } else {
-                materialize(&optimized, db)
-            }
+            run_auto(&optimized, db)
         }
     }
 }
 
-/// Whether a plan contains a join — `Auto` mode's test for routing to the
-/// vectorized executor. The batch path's gather columns make join output
-/// late-materialized: the probe side of every join level is forwarded as
-/// one shared `u32` index vector instead of being re-copied (or, in the
-/// streaming executor, re-dispatched per row), measured ~40% faster on
-/// the nine-way P14_S1 denormalization chain. Join-free plans do not
-/// qualify: the point scans, refresh aggregates and distinct unions the
-/// E1/E2 processes issue are a few hundred rows each, where streaming's
-/// zero-setup row loop beats per-chunk column assembly.
-fn batching_pays(plan: &Plan) -> bool {
+/// `ExecMode::Auto`: route by [`planner::batching_pays`] — joins and
+/// estimated-large join-free aggregates/distinct unions go to the batch
+/// executor, everything else streams.
+///
+/// A *root-level* union additionally routes per input: its inputs are
+/// independent pipelines, so a join-bearing (or estimated-large) input
+/// batches while a tiny join-free sibling streams, instead of the whole
+/// union paying chunk setup because one branch qualifies. Unions nested
+/// under other operators still run whole inside one executor — splitting
+/// there would force a materialization barrier mid-pipeline.
+fn run_auto(plan: &Plan, db: &Database) -> StoreResult<Relation> {
+    use crate::query::planner::batching_pays;
+    let route = |p: &Plan| -> StoreResult<Relation> {
+        if batching_pays(p, db) {
+            super::batch::materialize_chunked(p, db)
+        } else {
+            materialize(p, db)
+        }
+    };
     match plan {
-        Plan::HashJoin { .. } | Plan::IndexJoin { .. } => true,
-        Plan::Scan { .. } | Plan::Values(_) => false,
-        Plan::Aggregate { input, .. }
-        | Plan::Filter { input, .. }
-        | Plan::Project { input, .. }
-        | Plan::Sort { input, .. }
-        | Plan::Limit { input, .. }
-        | Plan::TopK { input, .. } => batching_pays(input),
-        Plan::UnionAll(inputs) => inputs.iter().any(batching_pays),
-        Plan::UnionDistinct { inputs, .. } => inputs.iter().any(batching_pays),
+        Plan::UnionAll(inputs) => {
+            let schema = plan.schema(db)?;
+            for i in inputs {
+                let w = i.schema(db)?.len();
+                if w != schema.len() {
+                    return Err(StoreError::Invalid(format!(
+                        "union arity mismatch: {w} vs {}",
+                        schema.len()
+                    )));
+                }
+            }
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Relstore,
+                plan_op(plan),
+                dip_trace::Category::Processing,
+            );
+            let mut rows: Vec<Row> = Vec::new();
+            for i in inputs {
+                rows.extend(route(i)?.rows);
+            }
+            dip_trace::count(rows_counter(plan), rows.len() as u64);
+            Ok(Relation::new(schema, rows))
+        }
+        Plan::UnionDistinct { inputs, key } => {
+            let schema = plan.schema(db)?;
+            let width = schema.len();
+            for i in inputs {
+                if i.schema(db)?.len() != width {
+                    return Err(StoreError::Invalid("union arity mismatch".into()));
+                }
+            }
+            let _span = dip_trace::span_cat(
+                dip_trace::Layer::Relstore,
+                plan_op(plan),
+                dip_trace::Category::Processing,
+            );
+            // Central first-seen dedup over the per-input results — the
+            // same key semantics as both executors' union-distinct arms.
+            let all_cols: Vec<usize>;
+            let kcols: &[usize] = match key {
+                Some(cols) => cols,
+                None => {
+                    all_cols = (0..width).collect();
+                    &all_cols
+                }
+            };
+            let mut ix = KeyIndex::with_capacity(plan.estimate_rows(db));
+            let mut seen: Vec<Row> = Vec::new();
+            let mut rows: Vec<Row> = Vec::new();
+            for i in inputs {
+                for row in route(i)?.rows {
+                    let mut h = KEY_SEED;
+                    for &c in kcols {
+                        h = combine(h, hash_value(row.get(c).unwrap_or(&Value::Null)));
+                    }
+                    let dup = ix.candidates(h).any(|cand| {
+                        seen.get(cand as usize).is_some_and(|stored| {
+                            kcols
+                                .iter()
+                                .zip(stored)
+                                .all(|(&c, v)| row.get(c) == Some(v))
+                        })
+                    });
+                    if dup {
+                        continue;
+                    }
+                    ix.push(h);
+                    seen.push(
+                        kcols
+                            .iter()
+                            .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
+                            .collect(),
+                    );
+                    rows.push(row);
+                }
+            }
+            dip_trace::count(rows_counter(plan), rows.len() as u64);
+            Ok(Relation::new(schema, rows))
+        }
+        _ => route(plan),
     }
 }
 
@@ -425,18 +501,27 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                 (&**left, &**right, left_keys, right_keys, false)
             };
             let build = materialize(build_plan, db)?;
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
-            for (i, r) in build.rows.iter().enumerate() {
-                let key = key_of(r, build_keys);
-                if key.iter().any(|v| v.is_null()) {
+            // Hash-first build table: keys are never materialized. Hashes
+            // fold per key column; ids insert in descending order so each
+            // chain yields candidates ascending — probe output reproduces
+            // the HashMap-of-vectors probe × insertion order exactly.
+            let mut table = KeyIndex::with_capacity(build.len());
+            for i in (0..build.rows.len()).rev() {
+                let Some(r) = build.rows.get(i) else { continue };
+                let mut h = KEY_SEED;
+                let mut isnull = false;
+                for &c in build_keys {
+                    let v = r.get(c).unwrap_or(&Value::Null);
+                    h = combine(h, hash_value(v));
+                    isnull |= v.is_null();
+                }
+                if isnull {
                     continue; // NULL keys never join
                 }
-                table.entry(key).or_default().push(i);
+                table.insert_at(h, i as u32);
             }
             let pad: Row = vec![Value::Null; build.schema.len()];
             let left_pad = *kind == JoinKind::Left && probe_is_left;
-            // one key buffer reused across all probe rows
-            let mut key: Vec<Value> = Vec::with_capacity(probe_keys.len());
             stream(probe_plan, db, &mut |pr| {
                 let scratch: Row;
                 let mut parts: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
@@ -448,12 +533,15 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                         1
                     }
                 };
-                key.clear();
-                key.extend(
-                    probe_keys
-                        .iter()
-                        .map(|&c| part_value(&parts[..n], c).clone()),
-                );
+                // probe keys hash in place off the row view — no clone,
+                // no per-row buffer
+                let mut h = KEY_SEED;
+                let mut isnull = false;
+                for &c in probe_keys {
+                    let v = part_value(&parts[..n], c);
+                    h = combine(h, hash_value(v));
+                    isnull |= v.is_null();
+                }
                 // the build side fills the hole; the probe prefix is set once
                 // and stays valid across every match of this probe row
                 let mut out: [&[Value]; MAX_JOIN_PARTS] = [&[]; MAX_JOIN_PARTS];
@@ -464,30 +552,31 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                     out[1..=n].copy_from_slice(&parts[..n]);
                     0
                 };
-                let matches = if key.iter().any(|v| v.is_null()) {
-                    None
-                } else {
-                    table.get(key.as_slice())
-                };
-                match matches {
-                    Some(slots) => {
-                        for &s in slots {
-                            out[hole] = build.rows[s].as_slice();
-                            if !sink(RowView::Parts(&out[..n + 1]))? {
-                                return Ok(false);
-                            }
+                let mut matched = false;
+                if !isnull {
+                    for cand in table.candidates(h) {
+                        let Some(br) = build.rows.get(cand as usize) else {
+                            continue;
+                        };
+                        let eq = probe_keys.iter().zip(build_keys).all(|(&pc, &bc)| {
+                            br.get(bc)
+                                .is_some_and(|bv| part_value(&parts[..n], pc) == bv)
+                        });
+                        if !eq {
+                            continue;
                         }
-                        Ok(true)
-                    }
-                    None => {
-                        if left_pad {
-                            out[hole] = pad.as_slice();
-                            sink(RowView::Parts(&out[..n + 1]))
-                        } else {
-                            Ok(true)
+                        matched = true;
+                        out[hole] = br.as_slice();
+                        if !sink(RowView::Parts(&out[..n + 1]))? {
+                            return Ok(false);
                         }
                     }
                 }
+                if !matched && left_pad {
+                    out[hole] = pad.as_slice();
+                    return sink(RowView::Parts(&out[..n + 1]));
+                }
+                Ok(true)
             })
         }
         Plan::IndexJoin {
@@ -614,28 +703,44 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                     return Err(StoreError::Invalid("union arity mismatch".into()));
                 }
             }
-            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            // Hash-first dedup: the key hash folds straight off the row
+            // view, candidates compare against the stored first occurrence,
+            // and a key tuple is only cloned when it is genuinely new.
+            let all_cols: Vec<usize>;
+            let kcols: &[usize] = match key {
+                Some(cols) => cols,
+                None => {
+                    all_cols = (0..width).collect();
+                    &all_cols
+                }
+            };
+            let mut ix = KeyIndex::with_capacity(0);
+            let mut seen: Vec<Row> = Vec::new();
             for i in inputs {
-                let keep_going = stream(i, db, &mut |r| match key {
-                    Some(cols) => {
-                        let k: Vec<Value> = cols
+                let keep_going = stream(i, db, &mut |r| {
+                    let mut h = KEY_SEED;
+                    for &c in kcols {
+                        h = combine(h, hash_value(r.value_at(c).unwrap_or(&Value::Null)));
+                    }
+                    let dup = ix.candidates(h).any(|cand| {
+                        seen.get(cand as usize).is_some_and(|stored| {
+                            kcols
+                                .iter()
+                                .zip(stored)
+                                .all(|(&c, v)| r.value_at(c) == Some(v))
+                        })
+                    });
+                    if dup {
+                        return Ok(true);
+                    }
+                    ix.push(h);
+                    seen.push(
+                        kcols
                             .iter()
-                            .map(|&c| r.value_at(c).expect("key column in range").clone())
-                            .collect();
-                        if seen.insert(k) {
-                            sink(r)
-                        } else {
-                            Ok(true)
-                        }
-                    }
-                    None => {
-                        let row = r.into_row();
-                        if seen.insert(row.clone()) {
-                            sink(RowView::Owned(row))
-                        } else {
-                            Ok(true)
-                        }
-                    }
+                            .map(|&c| r.value_at(c).cloned().unwrap_or(Value::Null))
+                            .collect(),
+                    );
+                    sink(r)
                 })?;
                 if !keep_going {
                     return Ok(false);
@@ -648,23 +753,43 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
             group_by,
             aggs,
         } => {
-            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-            let mut order: Vec<Vec<Value>> = Vec::new();
+            // Group lookup is hash-first: the group-key hash folds off the
+            // row view, candidates compare against the stored first-seen
+            // key, and a key tuple is only cloned when it opens a group.
+            let mut ix = KeyIndex::with_capacity(0);
+            let mut order: Vec<Row> = Vec::new();
+            let mut states: Vec<Vec<AggState>> = Vec::new();
             stream(input, db, &mut |r| {
-                let key: Vec<Value> = group_by
-                    .iter()
-                    .map(|&c| r.value_at(c).expect("group column in range").clone())
-                    .collect();
-                let states = match groups.get_mut(&key) {
-                    Some(s) => s,
+                let mut h = KEY_SEED;
+                for &c in group_by {
+                    h = combine(h, hash_value(r.value_at(c).unwrap_or(&Value::Null)));
+                }
+                let gid = ix.candidates(h).find(|&cand| {
+                    order.get(cand as usize).is_some_and(|stored| {
+                        group_by
+                            .iter()
+                            .zip(stored)
+                            .all(|(&c, v)| r.value_at(c) == Some(v))
+                    })
+                });
+                let g = match gid {
+                    Some(g) => g as usize,
                     None => {
-                        order.push(key.clone());
-                        groups
-                            .entry(key.clone())
-                            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect())
+                        let g = ix.push(h) as usize;
+                        order.push(
+                            group_by
+                                .iter()
+                                .map(|&c| r.value_at(c).cloned().unwrap_or(Value::Null))
+                                .collect(),
+                        );
+                        states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
+                        g
                     }
                 };
-                for (st, a) in states.iter_mut().zip(aggs) {
+                let Some(sts) = states.get_mut(g) else {
+                    return Ok(true);
+                };
+                for (st, a) in sts.iter_mut().zip(aggs) {
                     let v = match &a.input {
                         Some(e) => Some(e.eval_on(&r)?),
                         None => None,
@@ -674,14 +799,13 @@ fn stream_node(plan: &Plan, db: &Database, sink: &mut Sink) -> StoreResult<bool>
                 Ok(true)
             })?;
             // Global aggregate over zero rows still yields one row.
-            if groups.is_empty() && group_by.is_empty() {
+            if states.is_empty() && group_by.is_empty() {
                 order.push(vec![]);
-                groups.insert(vec![], aggs.iter().map(|a| AggState::new(a.func)).collect());
+                states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
             }
-            for key in order {
-                let states = groups.remove(&key).expect("group exists");
+            for (key, sts) in order.into_iter().zip(states) {
                 let mut row = key;
-                for st in states {
+                for st in sts {
                     row.push(st.finish());
                 }
                 if !sink(RowView::Owned(row))? {
@@ -1180,6 +1304,12 @@ impl AggState {
     /// Count one row for `COUNT(*)` — the vectorized column loop's form.
     pub(crate) fn count_row(&mut self) {
         self.count += 1;
+    }
+
+    /// Count `n` rows at once — the batch executor's whole-chunk
+    /// `COUNT(*)` / bitmap-popcount `COUNT(col)` form.
+    pub(crate) fn count_n(&mut self, n: u64) {
+        self.count += n;
     }
 
     /// Count one non-NULL input for `COUNT(expr)`.

@@ -3,9 +3,11 @@
 
 mod batch;
 pub mod exec;
+mod hashkey;
 pub mod plan;
 pub mod planner;
 
+pub use batch::{ablate_boxed_columns, ablate_row_keys};
 pub use exec::{default_mode, execute, set_default_mode, ExecMode};
 pub use plan::{AggExpr, AggFunc, JoinKind, Plan, ProjExpr};
 
@@ -461,6 +463,131 @@ mod tests {
         }
         assert_eq!(ExecMode::parse("turbo"), None);
         assert_eq!(ExecMode::parse(""), None);
+    }
+
+    /// A table big enough to clear the batch crossover estimate.
+    fn big_db(rows: usize) -> Database {
+        let db = Database::new("big");
+        let schema = RelSchema::of(&[
+            ("k", SqlType::Int),
+            ("g", SqlType::Int),
+            ("v", SqlType::Float),
+        ])
+        .shared();
+        let t = Table::new("wide", schema).with_primary_key(&["k"]).unwrap();
+        t.insert(
+            (0..rows)
+                .map(|i| {
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Int((i % 97) as i64),
+                        Value::Float(i as f64 * 0.5),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.create_table(t);
+        db
+    }
+
+    #[test]
+    fn batching_pays_routes_by_cardinality() {
+        use crate::query::planner::{batching_pays, BATCH_CROSSOVER_ROWS};
+        let small = db();
+        let big = big_db(BATCH_CROSSOVER_ROWS + 100);
+        // joins always batch, whatever the size
+        let join =
+            Plan::scan("customer").hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner);
+        assert!(batching_pays(&join, &small));
+        // small join-free aggregates keep streaming…
+        let small_agg = Plan::scan("customer").aggregate(vec![2], vec![AggExpr::count_star("n")]);
+        assert!(!batching_pays(&small_agg, &small));
+        // …but an aggregate over a crossover-sized input batches
+        let big_agg = Plan::scan("wide").aggregate(vec![1], vec![AggExpr::count_star("n")]);
+        assert!(batching_pays(&big_agg, &big));
+        // distinct unions batch on the *combined* input estimate
+        let big_distinct = Plan::UnionDistinct {
+            inputs: vec![Plan::scan("wide"), Plan::scan("wide")],
+            key: Some(vec![1]),
+        };
+        assert!(batching_pays(&big_distinct, &big));
+        let small_distinct = Plan::UnionDistinct {
+            inputs: vec![Plan::scan("customer"), Plan::scan("customer")],
+            key: Some(vec![0]),
+        };
+        assert!(!batching_pays(&small_distinct, &small));
+        // a plain scan never batches, however large
+        assert!(!batching_pays(&Plan::scan("wide"), &big));
+    }
+
+    #[test]
+    fn large_join_free_aggregate_agrees_across_modes() {
+        use crate::query::planner::BATCH_CROSSOVER_ROWS;
+        let db = big_db(BATCH_CROSSOVER_ROWS + 17);
+        let plan = Plan::scan("wide")
+            .aggregate(
+                vec![1],
+                vec![
+                    AggExpr::count_star("n"),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0), "sk"),
+                    AggExpr::new(AggFunc::Sum, Expr::col(2), "sv"),
+                    AggExpr::new(AggFunc::Min, Expr::col(2), "lo"),
+                    AggExpr::new(AggFunc::Max, Expr::col(2), "hi"),
+                ],
+            )
+            .sort(vec![0]);
+        let rel = run_all_modes(&plan, &db);
+        assert_eq!(rel.len(), 97);
+        // exact integer sums: group g holds keys g, g+97, g+194, …
+        let n0 = rel.rows[0][1].to_int().unwrap();
+        assert_eq!(rel.rows[0][0], Value::Int(0));
+        let expect: i64 = (0..n0).map(|i| i * 97).sum();
+        assert_eq!(rel.rows[0][2], Value::Int(expect));
+    }
+
+    #[test]
+    fn union_mixing_join_and_scan_inputs_routes_per_input() {
+        // one join-bearing input (batches) + one tiny scan input (streams):
+        // Auto routes each root-level union input independently and must
+        // still produce both executors' shared emission order
+        let db = db();
+        let join_side = Plan::scan("customer")
+            .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
+            .project(vec![
+                ProjExpr::new(Expr::col(0), "k", SqlType::Int),
+                ProjExpr::new(Expr::col(1), "name", SqlType::Str),
+            ]);
+        let scan_side = Plan::scan("customer").project(vec![
+            ProjExpr::new(Expr::col(0), "k", SqlType::Int),
+            ProjExpr::new(Expr::col(1), "name", SqlType::Str),
+        ]);
+        let union_all = Plan::UnionAll(vec![join_side.clone(), scan_side.clone()]);
+        let rel = run_all_modes(&union_all, &db);
+        assert_eq!(rel.len(), 3 + 4);
+        let distinct = Plan::UnionDistinct {
+            inputs: vec![join_side, scan_side],
+            key: Some(vec![0]),
+        };
+        let rel = run_all_modes(&distinct, &db);
+        assert_eq!(rel.len(), 4); // keys 1-4, first-seen from the join side
+        assert_eq!(rel.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn ablation_toggles_preserve_results() {
+        // the bench-only ablations must not change semantics, only layout
+        let db = db();
+        let plan = Plan::scan("customer")
+            .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
+            .aggregate(vec![4], vec![AggExpr::count_star("n")]);
+        let base = execute(&plan, &db, ExecMode::Vectorized).unwrap();
+        ablate_boxed_columns(true);
+        ablate_row_keys(true);
+        let ablated = execute(&plan, &db, ExecMode::Vectorized).unwrap();
+        ablate_boxed_columns(false);
+        ablate_row_keys(false);
+        assert_eq!(base.rows, ablated.rows);
     }
 
     #[test]

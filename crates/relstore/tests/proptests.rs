@@ -373,3 +373,154 @@ proptest! {
         db.refresh_view("t_by_g").unwrap();
     }
 }
+
+/// Rows for the typed-column suite: every non-key column is nullable so
+/// the batch executor's validity bitmaps see real NULLs, and the integer
+/// column draws from the extremes so SUM hits the i64-overflow fallback.
+type NullableRow = (i64, Option<i64>, Option<f64>, Option<String>);
+
+fn arb_nullable_rows(max: usize) -> impl Strategy<Value = Vec<NullableRow>> {
+    let big = prop_oneof![
+        4 => (-1000i64..1000).prop_map(Some),
+        1 => Just(Some(i64::MAX - 7)),
+        1 => Just(Some(i64::MIN + 7)),
+        2 => Just(None),
+    ];
+    let flt = prop_oneof![
+        3 => (-100.0f64..100.0).prop_map(Some),
+        1 => Just(None),
+    ];
+    let txt = prop_oneof![
+        3 => "[a-z]{0,6}".prop_map(Some),
+        1 => Just(None),
+    ];
+    prop::collection::vec((0i64..1000, big, flt, txt), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|(k, ..)| *k);
+        v.dedup_by_key(|(k, ..)| *k);
+        v
+    })
+}
+
+fn make_nullable_db(rows: &[NullableRow]) -> Database {
+    let db = Database::new("typed");
+    let schema = RelSchema::of(&[
+        ("k", SqlType::Int),
+        ("g", SqlType::Int),
+        ("v", SqlType::Float),
+        ("s", SqlType::Str),
+    ])
+    .shared();
+    let t = Table::new("t", schema).with_primary_key(&["k"]).unwrap();
+    let opt = |o: &Option<i64>| o.map(Value::Int).unwrap_or(Value::Null);
+    t.insert(
+        rows.iter()
+            .map(|(k, g, v, s)| {
+                vec![
+                    Value::Int(*k),
+                    opt(g),
+                    v.map(Value::Float).unwrap_or(Value::Null),
+                    s.as_deref().map(Value::str).unwrap_or(Value::Null),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.create_table(t);
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Typed column storage (I64/F64/Str vectors + NULL bitmaps) returns
+    /// exactly the oracle's rows across every plan shape: fused
+    /// scan→filter→project, grouped aggregation over a NULL-bearing group
+    /// key (COUNT/SUM/MIN/MAX, including overflow-boundary i64 sums),
+    /// distinct union, and a join on a nullable key.
+    #[test]
+    fn typed_columns_agree_with_oracle(
+        rows in arb_nullable_rows(50),
+        threshold in -100.0f64..100.0,
+    ) {
+        let db = make_nullable_db(&rows);
+        let plans = [
+            // scan → filter → project over all three typed layouts
+            Plan::scan("t")
+                .filter(Expr::col(2).gt(Expr::lit(threshold)))
+                .project(vec![
+                    ProjExpr::new(Expr::col(0), "k", SqlType::Int),
+                    ProjExpr::new(Expr::col(1), "g", SqlType::Int),
+                    ProjExpr::new(Expr::col(3), "s", SqlType::Str),
+                    ProjExpr::new(Expr::col(2).mul(Expr::lit(2.0)), "v2", SqlType::Float),
+                ])
+                .sort(vec![0, 1, 2, 3]),
+            // grouped aggregation: NULL group keys group together;
+            // the i64 SUM crosses the checked-add overflow boundary
+            Plan::scan("t")
+                .aggregate(
+                    vec![1],
+                    vec![
+                        AggExpr::count_star("n"),
+                        AggExpr::new(AggFunc::Count, Expr::col(3), "ns"),
+                        AggExpr::new(AggFunc::Sum, Expr::col(1), "si"),
+                        AggExpr::new(AggFunc::Sum, Expr::col(2), "sf"),
+                        AggExpr::new(AggFunc::Min, Expr::col(3), "lo"),
+                        AggExpr::new(AggFunc::Max, Expr::col(2), "hi"),
+                    ],
+                )
+                .sort(vec![0, 1, 2, 3, 4, 5, 6]),
+            // distinct union on a nullable string key
+            Plan::UnionDistinct {
+                inputs: vec![Plan::scan("t"), Plan::scan("t")],
+                key: Some(vec![3]),
+            }
+            .sort(vec![0, 1, 2, 3]),
+            // self join on the nullable int column: NULL keys never join
+            Plan::scan("t")
+                .hash_join(Plan::scan("t"), vec![1], vec![1], JoinKind::Left)
+                .sort(vec![0, 1, 2, 3, 4, 5, 6, 7]),
+        ];
+        for plan in &plans {
+            let oracle = execute(plan, &db, ExecMode::Oracle).unwrap();
+            for mode in [ExecMode::Streaming, ExecMode::Vectorized, ExecMode::Auto] {
+                let out = execute(plan, &db, mode).unwrap();
+                prop_assert_eq!(&out.rows, &oracle.rows, "mode={}", mode.label());
+            }
+        }
+    }
+
+    /// Exact integer SUM survives the typed fast path: a sum that stays in
+    /// range is bit-exact Int, and one pushed past i64::MAX widens to the
+    /// same compensated float in every executor.
+    #[test]
+    fn typed_int_sum_is_exact_and_overflow_consistent(
+        base in prop::collection::vec(1i64..1_000_000, 1..40),
+        overflow in any::<bool>(),
+    ) {
+        let db = Database::new("sum");
+        let schema = RelSchema::of(&[("k", SqlType::Int), ("x", SqlType::Int)]).shared();
+        let t = Table::new("t", schema).with_primary_key(&["k"]).unwrap();
+        let mut rows: Vec<Vec<Value>> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| vec![Value::Int(i as i64), Value::Int(x)])
+            .collect();
+        if overflow {
+            rows.push(vec![Value::Int(-1), Value::Int(i64::MAX - 2)]);
+            rows.push(vec![Value::Int(-2), Value::Int(i64::MAX - 3)]);
+        }
+        t.insert(rows).unwrap();
+        db.create_table(t);
+        let plan = Plan::scan("t")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1), "s")]);
+        let oracle = execute(&plan, &db, ExecMode::Oracle).unwrap();
+        if !overflow {
+            let expect: i64 = base.iter().sum();
+            prop_assert_eq!(&oracle.rows[0][0], &Value::Int(expect));
+        }
+        for mode in [ExecMode::Streaming, ExecMode::Vectorized, ExecMode::Auto] {
+            let out = execute(&plan, &db, mode).unwrap();
+            prop_assert_eq!(&out.rows, &oracle.rows, "mode={}", mode.label());
+        }
+    }
+}

@@ -50,16 +50,26 @@ fn exec_modes_agree_across_engines_workers_faults_and_crashes() {
         }
     }
 
-    // ... at any worker count: vectorized with 1 and 4 schedule workers
-    // must match the 1-worker streaming reference
-    set_default_mode(ExecMode::Vectorized);
-    for workers in [1, 4] {
-        assert_eq!(
-            &digests(EngineKind::Federated, config().with_workers(workers)),
-            &refs[0],
-            "fed vectorized at {workers} workers diverged"
-        );
+    // ... at any worker count: vectorized and cardinality-routed Auto
+    // with 1 and 4 schedule workers must match the 1-worker streaming
+    // reference (Auto additionally exercises per-input union routing)
+    for mode in [ExecMode::Vectorized, ExecMode::Auto] {
+        set_default_mode(mode);
+        for workers in [1, 4] {
+            assert_eq!(
+                &digests(EngineKind::Federated, config().with_workers(workers)),
+                &refs[0],
+                "fed {} at {workers} workers diverged",
+                mode.label()
+            );
+        }
     }
+    set_default_mode(ExecMode::Auto);
+    assert_eq!(
+        &digests(EngineKind::Ivm, config().with_workers(4)),
+        &refs[2],
+        "ivm auto at 4 workers diverged"
+    );
 
     // ... under drop faults with the default retry budget
     let faulty = config()
@@ -67,39 +77,50 @@ fn exec_modes_agree_across_engines_workers_faults_and_crashes() {
         .with_resilience(ResiliencePolicy::DEFAULT);
     set_default_mode(ExecMode::Streaming);
     let fault_ref = digests(EngineKind::Federated, faulty);
-    set_default_mode(ExecMode::Vectorized);
-    assert_eq!(
-        digests(EngineKind::Federated, faulty),
-        fault_ref,
-        "fed vectorized diverged under drop faults"
-    );
+    for mode in [ExecMode::Vectorized, ExecMode::Auto] {
+        set_default_mode(mode);
+        assert_eq!(
+            digests(EngineKind::Federated, faulty),
+            fault_ref,
+            "fed {} diverged under drop faults",
+            mode.label()
+        );
+    }
 
     // ... and across a crash-restart recovery: kill a heavy mart-refresh
     // process (P13, stream D — a vectorized plan shape) at its first
-    // materialization step, recover, and require the uncrashed bytes
+    // materialization step, recover, and require the uncrashed bytes.
+    // Run it under both the always-batch mode and cardinality-routed
+    // Auto, whose routing decisions must replay identically on recovery.
     let target = CrashTarget {
         process: "P13".to_string(),
         period: 0,
         seq: 0,
         step: 0,
     };
-    let run = recovery::run_with_crash(
-        config(),
-        &|env| build_system(EngineKind::Mtm, env),
-        &target,
-        false,
-    )
-    .unwrap();
-    assert!(run.tripped, "the armed P13 crash never fired");
-    assert!(
-        run.verification.passed(),
-        "conservation failed after recovery under vectorized:\n{}",
-        run.verification
-    );
-    assert_eq!(
-        run.digests, refs[1],
-        "recovered vectorized state diverged from the uncrashed streaming run"
-    );
+    for mode in [ExecMode::Vectorized, ExecMode::Auto] {
+        set_default_mode(mode);
+        let run = recovery::run_with_crash(
+            config(),
+            &|env| build_system(EngineKind::Mtm, env),
+            &target,
+            false,
+        )
+        .unwrap();
+        assert!(run.tripped, "the armed P13 crash never fired");
+        assert!(
+            run.verification.passed(),
+            "conservation failed after recovery under {}:\n{}",
+            mode.label(),
+            run.verification
+        );
+        assert_eq!(
+            run.digests,
+            refs[1],
+            "recovered {} state diverged from the uncrashed streaming run",
+            mode.label()
+        );
+    }
 
     set_default_mode(ExecMode::Auto);
 }
