@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dip_relstore::prelude::*;
-use dip_relstore::query::{ablate_boxed_columns, ablate_row_keys};
+use dip_relstore::query::{ablate_boxed_columns, ablate_boxed_probe, ablate_row_keys};
 use std::hint::black_box;
 
 /// An orderline-shaped fact table joined to a small dimension: `n` facts
@@ -87,6 +87,17 @@ fn join_free_plan() -> Plan {
         )
 }
 
+/// The index-join probe shape: no hash/aggregate consumer, so the probe
+/// chunks are only ever read row-wise by the join's lookup loop. The
+/// planner folds the dimension scan into an `IndexJoin` over its pk.
+fn index_join_plan(db: &Database) -> Plan {
+    let plan = Plan::scan("lineitem")
+        .filter(Expr::col(2).gt(Expr::lit(5i64)))
+        .hash_join(Plan::scan("part"), vec![1], vec![0], JoinKind::Inner)
+        .limit(usize::MAX);
+    dip_relstore::query::planner::optimize(plan, db).expect("plannable bench query")
+}
+
 fn bench_batch_aggregate(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch_aggregate");
     g.sample_size(15);
@@ -116,6 +127,17 @@ fn bench_batch_aggregate(c: &mut Criterion) {
                 b.iter(|| black_box(execute(&jf, &db, mode).unwrap().len()))
             });
         }
+        // index-join-only probe shape: typed assembly vs the boxed-probe
+        // ablation (measured: typed wins — see ROADMAP's index-join item)
+        let ij = index_join_plan(&db);
+        g.bench_function(format!("index_join_typed_{}k", rows / 1000), |b| {
+            b.iter(|| black_box(execute(&ij, &db, ExecMode::Vectorized).unwrap().len()))
+        });
+        g.bench_function(format!("index_join_boxed_probe_{}k", rows / 1000), |b| {
+            ablate_boxed_probe(true);
+            b.iter(|| black_box(execute(&ij, &db, ExecMode::Vectorized).unwrap().len()));
+            ablate_boxed_probe(false);
+        });
     }
     g.finish();
 }

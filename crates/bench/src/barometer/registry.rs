@@ -69,7 +69,15 @@ fn build_mtm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
 }
 
 fn build_eai(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {
-    Arc::new(EaiSystem::new(env.world.clone(), 4))
+    // One worker (= one shard) per configured client worker. The default of
+    // 1 yields a global-FIFO broker whose execution order — and therefore
+    // every interleaving-sensitive counter (netsim.bytes, …) — is
+    // deterministic, which the overload determinism gate relies on.
+    Arc::new(EaiSystem::with_admission(
+        env.world.clone(),
+        env.config.workers,
+        env.config.admission,
+    ))
 }
 
 fn build_ivm(env: &BenchEnvironment) -> Arc<dyn IntegrationSystem> {

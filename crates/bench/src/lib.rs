@@ -72,6 +72,41 @@ pub fn run_experiment(kind: EngineKind, config: BenchConfig) -> ExperimentResult
     }
 }
 
+/// One overload cell: the harness run plus everything a determinism gate
+/// compares — verification, final table digests, and the drained
+/// deterministic counter set.
+pub struct OverloadExperiment {
+    pub run: dipbench::overload::OverloadRun,
+    pub verification: VerificationReport,
+    pub digests: std::collections::BTreeMap<String, u64>,
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Run one overload cell (virtual-time admission simulation + real
+/// dispatch, see [`dipbench::overload`]) with counter tracing on.
+pub fn run_overload_experiment(
+    kind: EngineKind,
+    config: BenchConfig,
+    opts: &dipbench::overload::OverloadOptions,
+) -> OverloadExperiment {
+    dip_trace::enable();
+    let env = BenchEnvironment::new(config).expect("environment construction");
+    let system = build_system(kind, &env);
+    let run = dipbench::overload::run_overload(&env, system, opts).expect("overload run");
+    let verification = verify::verify_outcome(&env, &run.outcome).expect("verification phase");
+    let digests = digest_tables(&env.world).expect("table digests");
+    let _ = dip_trace::drain();
+    let mut counters = dip_trace::drain_counters();
+    dip_trace::disable();
+    counters.sort();
+    OverloadExperiment {
+        run,
+        verification,
+        digests,
+        counters,
+    }
+}
+
 /// The paper's Fig. 10 configuration (d = 0.05, t = 1.0, uniform).
 pub fn fig10_config(periods: u32) -> BenchConfig {
     BenchConfig::new(ScaleFactors::paper_fig10()).with_periods(periods)

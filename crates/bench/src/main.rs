@@ -20,6 +20,7 @@
 //! dipbench diff <baseline.json> <candidate.json> [--threshold 0.15]
 //! dipbench faults [--seed 7 --drop 0.05 --attempts 4 | --sweep] [--engine ...] [--workers N]
 //! dipbench crash [--seed 7] [--at STEP --process P09 | --sweep] [--no-rollback] [--workers N]
+//! dipbench overload [--rate 2.0] [--f zipf10] [--policy shed] [--capacity 8] [--check | --sweep [--out f.json]]
 //! ```
 //!
 //! Engine tags (`--engine`) resolve through the barometer's
@@ -61,6 +62,7 @@ fn main() {
         "diff" => diff_records(&args),
         "faults" => faults(&args),
         "crash" => crash(&args),
+        "overload" => overload(&args),
         "explain" => {
             let target = args.get(1).map(String::as_str).unwrap_or("");
             let defs = dipbench::processes::all_processes();
@@ -87,7 +89,7 @@ fn main() {
                 ));
             }
             eprintln!(
-                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|report|diff|faults|crash|explain> [options]\n\
+                "usage: dipbench <table1|table2|fig8|fig10|fig11|run|compare|sweep|quality|record|bench|report|diff|faults|crash|overload|explain> [options]\n\
                  \n\
                  commands:\n\
                    table1 table2 fig8 fig10 fig11   regenerate paper tables/figures\n\
@@ -101,6 +103,7 @@ fn main() {
                    diff <baseline> <candidate>      compare two run records (exit 1 on regression)\n\
                    faults                           seeded chaos runs (exit 1 on verify/determinism failure)\n\
                    crash                            crash-restart recovery gate (exit 1 if recovery diverges)\n\
+                   overload                         open-loop overload harness: rate x skew cells, admission policies (exit 1 on violation)\n\
                    explain [P01..P15]               narrate process definitions\n\
                  \n\
                  engines (--engine {}):\n\
@@ -113,7 +116,8 @@ fn main() {
                           --threshold X  --min-delta X  (diff only)\n\
                           --records DIR  --bench-dir DIR  --format md|text  --check  (report only)\n\
                           --seed N  --drop X  --timeout X  --attempts N  --sweep  (faults only)\n\
-                          --at STEP  --process Pxx  --seq N  --no-rollback  (crash only)",
+                          --at STEP  --process Pxx  --seq N  --no-rollback  (crash only)\n\
+                          --rate X  --policy block|shed|degrade  --capacity N  (overload only)",
                 registry.usage_tags(),
                 engines
             );
@@ -236,6 +240,20 @@ fn reject_unknown_flags(cmd: &str, args: &[String]) {
             "--no-rollback",
             "--drop",
             "--workers",
+            "--exec-mode",
+        ],
+        "overload" => &[
+            "--engine",
+            "--d",
+            "--periods",
+            "--seed",
+            "--rate",
+            "--f",
+            "--policy",
+            "--capacity",
+            "--check",
+            "--sweep",
+            "--out",
             "--exec-mode",
         ],
         _ => return, // unknown command — the help text handles it
@@ -1584,6 +1602,275 @@ fn crash(args: &[String]) {
         std::process::exit(1);
     } else {
         println!("all crash points recovered byte-identically; conservation held");
+    }
+}
+
+/// One overload cell executed twice; passes iff verification holds on both
+/// runs, the virtual queue stayed within its bound, and the two same-seed
+/// runs are byte-identical (table digests, dead letters, drained counters,
+/// queueing stats).
+struct OverloadCell {
+    exp: dip_bench::OverloadExperiment,
+    deterministic: bool,
+    verified: bool,
+    bounded: bool,
+}
+
+fn overload_cell(
+    kind: EngineKind,
+    config: BenchConfig,
+    opts: &dipbench::overload::OverloadOptions,
+) -> OverloadCell {
+    let one = dip_bench::run_overload_experiment(kind, config, opts);
+    let two = dip_bench::run_overload_experiment(kind, config, opts);
+    let mut diverged = Vec::new();
+    if one.digests != two.digests {
+        diverged.push("table digests");
+    }
+    if one.run.outcome.dead_letters != two.run.outcome.dead_letters {
+        diverged.push("dead letters");
+    }
+    if one.counters != two.counters {
+        diverged.push("counters");
+        for (a, b) in one.counters.iter().zip(two.counters.iter()) {
+            if a != b {
+                eprintln!("  [!!] counter diverged: {a:?} vs {b:?}");
+            }
+        }
+    }
+    if one.run.stats != two.run.stats {
+        diverged.push("queueing stats");
+    }
+    let deterministic = diverged.is_empty();
+    if !deterministic {
+        eprintln!(
+            "  [!!] same-seed runs diverged on {}: {}",
+            kind.tag(),
+            diverged.join(", ")
+        );
+    }
+    let verified = one.verification.passed() && two.verification.passed();
+    let bounded = one.run.stats.max_depth <= opts.admission.capacity as u64;
+    OverloadCell {
+        exp: one,
+        deterministic,
+        verified,
+        bounded,
+    }
+}
+
+/// Open-loop overload harness: skewed arrivals fired on schedule at a rate
+/// multiplier against a bounded virtual broker queue. Single-cell mode and
+/// `--check` (all three message engines) are CI gates — exit 1 unless
+/// queues stay bounded, shed-extended E1 conservation passes, and same-seed
+/// double runs are byte-identical. `--sweep` walks rate x skew cells on one
+/// engine and requires shed counts to degrade monotonically with rate.
+fn overload(args: &[String]) {
+    let d = flag_f64(args, "--d").unwrap_or(0.02);
+    let periods = flag_u32(args, "--periods").unwrap_or(1);
+    let seed = flag_u64(args, "--seed").unwrap_or(0xD1B);
+    let rate = flag_f64(args, "--rate").unwrap_or(1.0);
+    if rate <= 0.0 {
+        fail_usage("--rate must be a positive multiplier");
+    }
+    let f = match flag_str(args, "--f") {
+        Some(s) => parse_distribution(&s).unwrap_or_else(|| {
+            fail_usage(&format!(
+                "unknown distribution {s:?} (use uniform|zipf5|zipf10|normal)"
+            ))
+        }),
+        None => Distribution::Zipf10,
+    };
+    let policy = match flag_str(args, "--policy").as_deref() {
+        None | Some("shed") => AdmissionPolicy::Shed,
+        Some("block") => AdmissionPolicy::Block,
+        Some("degrade") => AdmissionPolicy::Degrade,
+        Some(p) => fail_usage(&format!("unknown policy {p:?} (use block|shed|degrade)")),
+    };
+    let capacity = match flag_u32(args, "--capacity") {
+        Some(0) => fail_usage("--capacity must be at least 1"),
+        Some(n) => n as usize,
+        None => 8,
+    };
+    let check = args.iter().any(|a| a == "--check");
+    let sweep = args.iter().any(|a| a == "--sweep");
+    if check && sweep {
+        fail_usage("--check and --sweep are mutually exclusive");
+    }
+    let opts = dipbench::overload::OverloadOptions {
+        rate,
+        admission: AdmissionControl::bounded(capacity, policy),
+    };
+    let config_for = |f: Distribution| {
+        BenchConfig::new(ScaleFactors::new(d, 1.0, f))
+            .with_periods(periods)
+            .with_seed(seed)
+    };
+
+    let header = || {
+        println!(
+            "{:<10} {:>5} {:>9} {:>8} {:>6} {:>6} {:>5} {:>5} {:>9} {:>10} {:>10} {:>7} {:>13}",
+            "engine",
+            "rate",
+            "f",
+            "policy",
+            "sched",
+            "admit",
+            "shed",
+            "depth",
+            "wait[tu]",
+            "navg+[tu]",
+            "+wait[tu]",
+            "verify",
+            "deterministic"
+        );
+    };
+    let row = |kind: EngineKind,
+               f: Distribution,
+               opts: &dipbench::overload::OverloadOptions,
+               cell: &OverloadCell| {
+        let s = &cell.exp.run.stats;
+        let navg = mean_navg_plus(&cell.exp.run.outcome);
+        println!(
+            "{:<10} {:>5} {:>9} {:>8} {:>6} {:>6} {:>5} {:>5} {:>9.2} {:>10.2} {:>10.2} {:>7} {:>13}",
+            kind.tag(),
+            opts.rate,
+            f.label(),
+            opts.admission.policy.label(),
+            s.scheduled_messages,
+            s.admitted,
+            s.shed,
+            s.max_depth,
+            s.mean_wait_tu,
+            navg,
+            navg + s.mean_wait_tu,
+            if cell.verified { "PASS" } else { "FAIL" },
+            if cell.deterministic { "yes" } else { "NO" }
+        );
+        if !cell.verified {
+            for check in cell.exp.verification.failed_checks() {
+                eprintln!("  [!!] {:<40} {}", check.name, check.detail);
+            }
+        }
+        if !cell.bounded {
+            eprintln!(
+                "  [!!] queue bound violated: depth {} > capacity {}",
+                s.max_depth, opts.admission.capacity
+            );
+        }
+    };
+
+    if sweep {
+        let kind = engine(args);
+        let rates = [1.0, 1.5, 2.0, 3.0, 4.0];
+        let dists = [
+            Distribution::Uniform,
+            Distribution::Zipf5,
+            Distribution::Zipf10,
+        ];
+        println!(
+            "# overload sweep on {} (d={d}, seed={seed}, {periods} period(s), capacity {capacity}, policy {})",
+            kind.label(),
+            policy.label()
+        );
+        header();
+        let mut all_ok = true;
+        let mut json_cells = Vec::new();
+        for dist in dists {
+            let mut prev_shed = 0u64;
+            for r in rates {
+                let cell_opts = dipbench::overload::OverloadOptions {
+                    rate: r,
+                    admission: opts.admission,
+                };
+                let cell = overload_cell(kind, config_for(dist), &cell_opts);
+                row(kind, dist, &cell_opts, &cell);
+                let s = cell.exp.run.stats;
+                // Graceful degradation: pushing the same arrival pattern
+                // harder must never *reduce* loss.
+                if s.shed < prev_shed {
+                    eprintln!(
+                        "  [!!] shed count fell from {prev_shed} to {} as rate rose to {r} ({})",
+                        s.shed,
+                        dist.label()
+                    );
+                    all_ok = false;
+                }
+                prev_shed = s.shed;
+                all_ok &= cell.deterministic && cell.verified && cell.bounded;
+                let navg = mean_navg_plus(&cell.exp.run.outcome);
+                json_cells.push(format!(
+                    concat!(
+                        "{{\"rate\":{},\"f\":\"{}\",\"scheduled\":{},\"admitted\":{},",
+                        "\"shed\":{},\"degraded_evictions\":{},\"max_depth\":{},",
+                        "\"delayed\":{},\"mean_wait_tu\":{:.4},\"max_wait_tu\":{:.4},",
+                        "\"blocked_tu\":{:.4},\"navg_plus_tu\":{:.4},",
+                        "\"navg_plus_open_loop_tu\":{:.4},\"verify\":{},\"deterministic\":{}}}"
+                    ),
+                    r,
+                    dist.label(),
+                    s.scheduled_messages,
+                    s.admitted,
+                    s.shed,
+                    s.degraded_evictions,
+                    s.max_depth,
+                    s.delayed,
+                    s.mean_wait_tu,
+                    s.max_wait_tu,
+                    s.blocked_tu,
+                    navg,
+                    navg + s.mean_wait_tu,
+                    cell.verified,
+                    cell.deterministic
+                ));
+            }
+        }
+        if let Some(path) = flag_str(args, "--out") {
+            let json = format!(
+                concat!(
+                    "{{\"schema\":\"dipbench-overload-sweep/1\",\"engine\":\"{}\",",
+                    "\"d\":{},\"periods\":{},\"seed\":{},\"capacity\":{},",
+                    "\"policy\":\"{}\",\"cells\":[{}]}}\n"
+                ),
+                kind.tag(),
+                d,
+                periods,
+                seed,
+                capacity,
+                policy.label(),
+                json_cells.join(",")
+            );
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("sweep artifact written to {path}");
+        }
+        if !all_ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let kinds: Vec<EngineKind> = if check {
+        vec![EngineKind::Federated, EngineKind::Mtm, EngineKind::Eai]
+    } else {
+        vec![engine(args)]
+    };
+    println!(
+        "# overload gate (d={d}, seed={seed}, {periods} period(s), rate {rate}, f {}, capacity {capacity}, policy {})",
+        f.label(),
+        policy.label()
+    );
+    header();
+    let mut all_ok = true;
+    for kind in kinds {
+        let cell = overload_cell(kind, config_for(f), &opts);
+        row(kind, f, &opts, &cell);
+        all_ok &= cell.deterministic && cell.verified && cell.bounded;
+    }
+    if !all_ok {
+        std::process::exit(1);
     }
 }
 

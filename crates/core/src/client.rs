@@ -172,6 +172,10 @@ pub struct RunOutcome {
     /// E1 messages whose transport retries were exhausted, in
     /// deterministic `(period, process, seq)` order.
     pub dead_letters: Vec<DeadLetter>,
+    /// Events dispatched past their schedule deadline under `RealTime`
+    /// pacing (Eager never sleeps, so it is never late). Before this
+    /// counter existed, lag silently stretched the clock.
+    pub late_dispatch: u64,
     pub wall_time: Duration,
 }
 
@@ -188,6 +192,8 @@ pub struct Client<'a> {
     /// Statically derived per-type resource footprints, used by the
     /// worker-pool scheduler's conflict DAG.
     profiles: BTreeMap<String, TypeProfile>,
+    /// Events dispatched past their deadline (RealTime pacing only).
+    late: std::sync::atomic::AtomicU64,
 }
 
 impl<'a> Client<'a> {
@@ -203,11 +209,12 @@ impl<'a> Client<'a> {
             env,
             system,
             profiles,
+            late: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
     /// Generate the E1 input message for an event.
-    fn message_for(&self, process: &str, period: u32, seq: u32) -> Option<Document> {
+    pub(crate) fn message_for(&self, process: &str, period: u32, seq: u32) -> Option<Document> {
         let g = &self.env.generator;
         match process {
             "P01" => Some(g.beijing_master_message(period, seq)),
@@ -295,6 +302,12 @@ impl<'a> Client<'a> {
                 let elapsed = stream_start.elapsed();
                 if deadline > elapsed {
                     std::thread::sleep(deadline - elapsed);
+                } else if deadline < elapsed {
+                    // behind schedule: dispatch immediately, but record
+                    // the slip — the closed loop used to stretch the
+                    // clock with no trace of the lag
+                    dip_trace::count("client.late_dispatch", 1);
+                    self.late.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             }
             let msg = self.message_for(event.process, period, event.seq);
@@ -491,7 +504,7 @@ impl<'a> Client<'a> {
             self.env.config.workers,
             &|slot, index| skip.skips(slot, index),
             pacer,
-            &|task| match self.deliver_event(task.process, k, task.seq) {
+            &|task: &sched::Task| match self.deliver_event(task.process, k, task.seq) {
                 Delivery::Failed { error }
                     if error
                         .transport()
@@ -503,6 +516,8 @@ impl<'a> Client<'a> {
                 _ => sched::TaskOutcome::Settled,
             },
         );
+        self.late
+            .fetch_add(run.late, std::sync::atomic::Ordering::Relaxed);
         for (task, outcome) in plan.tasks().iter().zip(&run.outcomes) {
             match outcome {
                 sched::TaskOutcome::Failed(error) => {
@@ -569,6 +584,7 @@ impl<'a> Client<'a> {
             metrics,
             failures,
             dead_letters,
+            late_dispatch: self.late.load(std::sync::atomic::Ordering::Relaxed),
             wall_time,
         }
     }

@@ -17,6 +17,68 @@ pub enum PacingMode {
     RealTime,
 }
 
+/// What the broker does when a process type's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Backpressure: the producer blocks until a slot frees up. No message
+    /// is ever lost, but under sustained overload waits grow without bound
+    /// (classic closed-loop collapse — kept as the honest baseline).
+    Block,
+    /// Drop-tail: reject the *arriving* message. The shed message lands in
+    /// the dead-letter queue with `shed = true` so E1 conservation still
+    /// closes.
+    Shed,
+    /// Drop-head: evict the *oldest* waiting message of the same process
+    /// type and admit the newest — bounds staleness instead of loss-rate.
+    /// The evicted message is dead-lettered with `shed = true`.
+    Degrade,
+}
+
+impl AdmissionPolicy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Degrade => "degrade",
+        }
+    }
+}
+
+/// Per-process-type queue bound + full-queue policy for the EAI broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum queued (not yet executing) messages per process type.
+    /// `usize::MAX` means unbounded — the pre-admission-control behavior.
+    pub capacity: usize,
+    pub policy: AdmissionPolicy,
+}
+
+impl AdmissionControl {
+    /// Unbounded queues, block-on-full (vacuously): the default, matching
+    /// the broker's historical behavior exactly.
+    pub const UNBOUNDED: AdmissionControl = AdmissionControl {
+        capacity: usize::MAX,
+        policy: AdmissionPolicy::Block,
+    };
+
+    pub fn bounded(capacity: usize, policy: AdmissionPolicy) -> AdmissionControl {
+        AdmissionControl {
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    pub fn is_bounded(&self) -> bool {
+        self.capacity != usize::MAX
+    }
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl::UNBOUNDED
+    }
+}
+
 /// Everything a benchmark run needs to know.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchConfig {
@@ -41,6 +103,9 @@ pub struct BenchConfig {
     /// process instances through the [`crate::sched`] worker pool. Same-
     /// seed runs are byte-identical at every worker count.
     pub workers: usize,
+    /// Queue bound + full-queue policy for the EAI broker (other engines
+    /// are synchronous and ignore it). Default: unbounded.
+    pub admission: AdmissionControl,
 }
 
 impl BenchConfig {
@@ -55,6 +120,7 @@ impl BenchConfig {
             faults: FaultPlan::NONE,
             resilience: ResiliencePolicy::DEFAULT,
             workers: 1,
+            admission: AdmissionControl::UNBOUNDED,
         }
     }
 
@@ -90,6 +156,11 @@ impl BenchConfig {
 
     pub fn with_workers(mut self, workers: usize) -> BenchConfig {
         self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_admission(mut self, admission: AdmissionControl) -> BenchConfig {
+        self.admission = admission;
         self
     }
 }

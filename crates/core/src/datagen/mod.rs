@@ -95,7 +95,7 @@ impl Generator {
 
     /// A fresh RNG for `(seed, period, tag)` — every generation site uses
     /// its own stream, so data is stable regardless of call order.
-    fn rng(&self, period: u32, tag: &str) -> StdRng {
+    pub(crate) fn rng(&self, period: u32, tag: &str) -> StdRng {
         StdRng::seed_from_u64(
             self.seed ^ fnv(tag) ^ ((period as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         )

@@ -18,17 +18,34 @@
 //! worker pool would integrate different final values than the
 //! serialized engines.
 //!
-//! The message queues and workers are built on `crossbeam` channels.
+//! # Admission control
+//!
+//! Queues may be bounded per process type ([`AdmissionControl`]); when a
+//! type's queue is at capacity the broker applies the configured
+//! [`AdmissionPolicy`]:
+//!
+//! - `Block` — the producer waits for a slot (backpressure; no loss).
+//! - `Shed` — the arriving message is rejected (drop-tail) and preserved
+//!   in the dead-letter queue with `shed = true`.
+//! - `Degrade` — the *oldest* waiting message of the same type is evicted
+//!   (drop-head, bounding staleness) and dead-lettered as shed; the new
+//!   message is admitted.
+//!
+//! Shed messages never execute, so they have no cost record; the E1
+//! conservation check accounts for them via the dead-letter queue
+//! (`scheduled = integrated + dead-lettered + failed + shed`).
 
-use crate::system::{settle, DeadLetterQueue, Delivery, Event, IntegrationSystem};
-use crossbeam::channel::{unbounded, Sender};
+use crate::config::{AdmissionControl, AdmissionPolicy};
+use crate::system::{settle, DeadLetter, DeadLetterQueue, Delivery, Event, IntegrationSystem};
 use dip_mtm::cost::CostRecorder;
 use dip_mtm::engine::MtmEngine;
-use dip_mtm::error::{MtmError, MtmResult};
+use dip_mtm::error::MtmResult;
 use dip_mtm::process::ProcessDef;
 use dip_services::registry::ExternalWorld;
 use dip_xmlkit::write_compact;
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -47,61 +64,137 @@ struct Pending {
     drained: Condvar,
 }
 
+impl Pending {
+    fn inc(&self) {
+        *self.count.lock() += 1;
+    }
+
+    fn dec(&self) {
+        let mut n = self.count.lock();
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+#[derive(Default)]
+struct ShardState {
+    queue: VecDeque<Job>,
+    /// Waiting (not yet executing) messages per process type — the
+    /// quantity the admission capacity bounds.
+    queued: HashMap<String, usize>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Signaled when a job is enqueued (worker wakes).
+    nonempty: Condvar,
+    /// Signaled when a job leaves the queue (Block producers wake).
+    room: Condvar,
+    /// False when the worker thread failed to spawn; the shard then
+    /// executes inline at deliver time instead of asynchronously.
+    has_worker: AtomicBool,
+}
+
 /// The EAI-style asynchronous integration system.
 pub struct EaiSystem {
     engine: Arc<MtmEngine>,
     /// One queue per worker; a process type always routes to the same
     /// queue, so same-type messages are processed in arrival order.
-    txs: Vec<Sender<Job>>,
+    shards: Vec<Arc<Shard>>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<Pending>,
     dlq: Arc<DeadLetterQueue>,
+    admission: AdmissionControl,
+    /// High-water mark over every shard's queue length.
+    max_depth: Arc<AtomicU64>,
+}
+
+/// Raise the queue-depth high-water mark. Kept out of the dip-trace
+/// counters on purpose: real queue depth depends on thread timing, and
+/// putting it in the drained counter set would make same-seed run records
+/// differ. The deterministic virtual depth ([`crate::overload`]) is the
+/// one that flows into records; this one is an inspection accessor.
+fn raise_max_depth(max_depth: &AtomicU64, depth: u64) {
+    max_depth.fetch_max(depth, Ordering::Relaxed);
 }
 
 impl EaiSystem {
-    /// Build the broker with `workers` message-processing threads.
+    /// Build the broker with `workers` message-processing threads and
+    /// unbounded queues (the historical behavior).
     pub fn new(world: Arc<ExternalWorld>, workers: usize) -> EaiSystem {
+        EaiSystem::with_admission(world, workers, AdmissionControl::UNBOUNDED)
+    }
+
+    /// Build the broker with bounded per-process-type queues.
+    pub fn with_admission(
+        world: Arc<ExternalWorld>,
+        workers: usize,
+        admission: AdmissionControl,
+    ) -> EaiSystem {
         let engine = Arc::new(MtmEngine::new(world));
         let pending = Arc::new(Pending::default());
         let dlq = Arc::new(DeadLetterQueue::new());
-        let mut txs = Vec::new();
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let (tx, rx) = unbounded::<Job>();
-                txs.push(tx);
-                let engine = engine.clone();
-                let pending = pending.clone();
-                let dlq = dlq.clone();
-                std::thread::Builder::new()
-                    .name(format!("eai-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            // instance failures are captured in the cost
-                            // records (ok = false) and, when transient, in
-                            // the dead-letter queue; the broker keeps going
-                            let result = engine.execute_event(
-                                &job.process,
-                                job.period,
-                                job.seq,
-                                Some(job.msg),
-                            );
-                            settle(&dlq, &job.process, job.period, job.seq, job.payload, result);
-                            let mut n = pending.count.lock();
-                            *n -= 1;
-                            if *n == 0 {
-                                pending.drained.notify_all();
-                            }
-                        }
-                    })
-                    .unwrap_or_else(|e| panic!("spawn eai-worker-{i}: {e}"))
-            })
+        let shards: Vec<Arc<Shard>> = (0..workers.max(1))
+            .map(|_| Arc::new(Shard::default()))
             .collect();
+        let mut handles = Vec::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let shard = shard.clone();
+            let engine = engine.clone();
+            let pending = pending.clone();
+            let dlq = dlq.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("eai-worker-{i}"))
+                .spawn({
+                    let shard = shard.clone();
+                    move || loop {
+                        let job = {
+                            let mut st = shard.state.lock();
+                            loop {
+                                if let Some(job) = st.queue.pop_front() {
+                                    if let Some(n) = st.queued.get_mut(&job.process) {
+                                        *n = n.saturating_sub(1);
+                                    }
+                                    shard.room.notify_all();
+                                    break job;
+                                }
+                                if st.closed {
+                                    return;
+                                }
+                                shard.nonempty.wait(&mut st);
+                            }
+                        };
+                        // instance failures are captured in the cost
+                        // records (ok = false) and, when transient, in
+                        // the dead-letter queue; the broker keeps going
+                        let result =
+                            engine.execute_event(&job.process, job.period, job.seq, Some(job.msg));
+                        settle(&dlq, &job.process, job.period, job.seq, job.payload, result);
+                        pending.dec();
+                    }
+                });
+            match spawned {
+                Ok(h) => {
+                    shard.has_worker.store(true, Ordering::Release);
+                    handles.push(h);
+                }
+                // worker thread unavailable: the shard degrades to inline
+                // execution at deliver time — slower, still correct
+                Err(_) => shard.has_worker.store(false, Ordering::Release),
+            }
+        }
         EaiSystem {
             engine,
-            txs,
+            shards,
             workers: handles,
             pending,
             dlq,
+            admission,
+            max_depth: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -113,7 +206,7 @@ impl EaiSystem {
             h ^= *b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        (h % self.txs.len() as u64) as usize
+        (h % self.shards.len() as u64) as usize
     }
 
     /// Block until every queued message has been processed.
@@ -128,12 +221,42 @@ impl EaiSystem {
     pub fn in_flight(&self) -> usize {
         *self.pending.count.lock()
     }
+
+    /// High-water mark of any shard's queue length over the system's life.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// The configured admission control.
+    pub fn admission(&self) -> AdmissionControl {
+        self.admission
+    }
+
+    fn shed_letter(
+        &self,
+        process: &str,
+        period: u32,
+        seq: u32,
+        payload: Option<String>,
+        how: &str,
+    ) {
+        self.dlq.push(DeadLetter {
+            process: process.to_string(),
+            period,
+            seq,
+            reason: format!("admission: queue full ({how})"),
+            payload,
+            shed: true,
+        });
+    }
 }
 
 impl Drop for EaiSystem {
     fn drop(&mut self) {
-        // close the queues, then join the workers
-        self.txs.clear();
+        for shard in &self.shards {
+            shard.state.lock().closed = true;
+            shard.nonempty.notify_all();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -166,27 +289,70 @@ impl IntegrationSystem for EaiSystem {
                 let payload = (self.engine.world.resilience().is_some()
                     || dip_netsim::fault::abort_armed())
                 .then(|| write_compact(&msg));
-                {
-                    let mut n = self.pending.count.lock();
-                    *n += 1;
+                let shard = &self.shards[self.shard(&process)];
+                if !shard.has_worker.load(Ordering::Acquire) {
+                    // workerless shard: execute inline, like the
+                    // synchronous engines (queue depth stays 0)
+                    let result = self.engine.execute_event(&process, period, seq, Some(msg));
+                    return settle(&self.dlq, &process, period, seq, payload, result);
                 }
-                let shard = self.shard(&process);
-                match self.txs[shard].send(Job {
-                    process,
+                let mut st = shard.state.lock();
+                if self.admission.is_bounded() {
+                    let depth = st.queued.get(&process).copied().unwrap_or(0);
+                    if depth >= self.admission.capacity {
+                        match self.admission.policy {
+                            AdmissionPolicy::Block => {
+                                while st.queued.get(&process).copied().unwrap_or(0)
+                                    >= self.admission.capacity
+                                {
+                                    shard.room.wait(&mut st);
+                                }
+                            }
+                            AdmissionPolicy::Shed => {
+                                drop(st);
+                                self.shed_letter(&process, period, seq, payload, "shed");
+                                return Delivery::Shed {
+                                    reason: "admission: queue full (shed)".to_string(),
+                                };
+                            }
+                            AdmissionPolicy::Degrade => {
+                                // evict the oldest waiting message of this
+                                // type; the evicted job never executes, so
+                                // settle its pending slot here
+                                if let Some(pos) =
+                                    st.queue.iter().position(|j| j.process == process)
+                                {
+                                    if let Some(old) = st.queue.remove(pos) {
+                                        if let Some(n) = st.queued.get_mut(&old.process) {
+                                            *n = n.saturating_sub(1);
+                                        }
+                                        dip_trace::count("eai.degrade_evict", 1);
+                                        self.shed_letter(
+                                            &old.process,
+                                            old.period,
+                                            old.seq,
+                                            old.payload,
+                                            "degrade",
+                                        );
+                                        self.pending.dec();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.pending.inc();
+                st.queue.push_back(Job {
+                    process: process.clone(),
                     period,
                     seq,
                     msg,
                     payload,
-                }) {
-                    Ok(()) => Delivery::Completed,
-                    Err(_) => {
-                        let mut n = self.pending.count.lock();
-                        *n -= 1;
-                        Delivery::Failed {
-                            error: MtmError::Custom("EAI broker queue closed".into()),
-                        }
-                    }
-                }
+                });
+                *st.queued.entry(process).or_insert(0) += 1;
+                raise_max_depth(&self.max_depth, st.queue.len() as u64);
+                shard.nonempty.notify_one();
+                Delivery::Completed
             }
             Event::Timed {
                 process,
@@ -298,5 +464,72 @@ mod tests {
             )
             .unwrap();
         assert_eq!(staged.len() as u32, n);
+    }
+
+    /// Flood one shard past capacity while its worker is parked on the
+    /// test lock, then check each policy's accounting closes.
+    fn flood(policy: AdmissionPolicy) -> (u32, Vec<DeadLetter>, u64) {
+        let config =
+            BenchConfig::new(ScaleFactors::new(0.02, 1.0, Distribution::Uniform)).with_periods(1);
+        let env = BenchEnvironment::new(config).unwrap();
+        let system = Arc::new(EaiSystem::with_admission(
+            env.world.clone(),
+            1,
+            AdmissionControl::bounded(4, policy),
+        ));
+        system.deploy(crate::processes::all_processes()).unwrap();
+        env.initialize_sources(0).unwrap();
+        let n = crate::schedule::p04_count(0.02).max(12);
+        let mut admitted = 0;
+        for m in 0..n {
+            let d = system.deliver(Event::message(
+                "P04",
+                0,
+                m % crate::schedule::p04_count(0.02),
+                env.generator
+                    .vienna_message(0, m % crate::schedule::p04_count(0.02)),
+            ));
+            if d.is_ok() {
+                admitted += 1;
+            } else {
+                assert!(matches!(d, Delivery::Shed { .. }), "{d:?}");
+            }
+        }
+        system.drain();
+        let depth = system.max_queue_depth();
+        (admitted, system.dead_letters().snapshot(), depth)
+    }
+
+    #[test]
+    fn shed_policy_bounds_queue_and_accounts_rejections() {
+        let _serial = crate::testlock::hold();
+        let n = crate::schedule::p04_count(0.02).max(12);
+        let (admitted, letters, depth) = flood(AdmissionPolicy::Shed);
+        let shed = letters.iter().filter(|l| l.shed).count() as u32;
+        assert_eq!(admitted + shed, n, "conservation: admitted + shed = sent");
+        assert!(depth <= 4 + 1, "queue depth {depth} exceeds capacity");
+    }
+
+    #[test]
+    fn degrade_policy_admits_newest_and_sheds_oldest() {
+        let _serial = crate::testlock::hold();
+        let n = crate::schedule::p04_count(0.02).max(12);
+        let (admitted, letters, depth) = flood(AdmissionPolicy::Degrade);
+        // every send is admitted; evictions surface as shed letters
+        assert_eq!(admitted, n);
+        let shed: Vec<_> = letters.iter().filter(|l| l.shed).collect();
+        for l in &shed {
+            assert!(l.reason.contains("degrade"), "{}", l.reason);
+        }
+        assert!(depth <= 4 + 1, "queue depth {depth} exceeds capacity");
+    }
+
+    #[test]
+    fn block_policy_sheds_nothing() {
+        let _serial = crate::testlock::hold();
+        let n = crate::schedule::p04_count(0.02).max(12);
+        let (admitted, letters, _depth) = flood(AdmissionPolicy::Block);
+        assert_eq!(admitted, n);
+        assert!(letters.iter().all(|l| !l.shed));
     }
 }

@@ -41,6 +41,7 @@ pub mod eai;
 pub mod env;
 pub mod metric;
 pub mod monitor;
+pub mod overload;
 pub mod processes;
 pub mod quality;
 pub mod recovery;
@@ -71,7 +72,7 @@ pub(crate) mod testlock {
 /// The most commonly used items.
 pub mod prelude {
     pub use crate::client::{Client, ReplaySkip, RunOutcome};
-    pub use crate::config::{BenchConfig, PacingMode};
+    pub use crate::config::{AdmissionControl, AdmissionPolicy, BenchConfig, PacingMode};
     pub use crate::eai::EaiSystem;
     pub use crate::env::BenchEnvironment;
     pub use crate::metric::ProcessMetric;

@@ -458,6 +458,9 @@ pub struct PoolRun {
     pub outcomes: Vec<TaskOutcome>,
     /// Whether an injected crash tripped during the phase.
     pub crashed: bool,
+    /// Events whose wall-clock dispatch was already past their schedule
+    /// deadline (RealTime pacing only — Eager never sleeps, never late).
+    pub late: u64,
 }
 
 struct PoolState {
@@ -518,6 +521,8 @@ pub fn run_pool(
     // worker's claimed task never completes, so siblings are released via
     // the crashed flag rather than left waiting on it
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let late = std::sync::atomic::AtomicU64::new(0);
+    let late = &late;
 
     let worker = || {
         let mut guard = state.lock();
@@ -551,6 +556,12 @@ pub fn run_pool(
                 let elapsed = p.start.elapsed();
                 if deadline > elapsed {
                     std::thread::sleep(deadline - elapsed);
+                } else if deadline < elapsed {
+                    // the system is behind schedule: dispatch immediately
+                    // but record the slip instead of silently stretching
+                    // the clock
+                    dip_trace::count("client.late_dispatch", 1);
+                    late.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
             }
             let outcome =
@@ -600,6 +611,7 @@ pub fn run_pool(
         // (even between claims) means everything not yet settled replays
         crashed: state.crashed || dip_netsim::fault::crash_tripped(),
         outcomes: state.outcomes,
+        late: late.load(std::sync::atomic::Ordering::Relaxed),
     }
 }
 

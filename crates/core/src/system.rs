@@ -25,6 +25,9 @@
 //! - [`Delivery::Failed`] — a non-transient processing failure (bad data,
 //!   missing table, …) or a transient failure of a *timed* event, which
 //!   has no message to dead-letter.
+//! - [`Delivery::Shed`] — rejected by broker admission control before any
+//!   processing (bounded queue, `Shed`/`Degrade` policy); the message is
+//!   preserved in the dead-letter queue with `shed = true`.
 //!
 //! Events carry their schedule sequence number (`seq`): together with
 //! `(process, period)` it anchors the instance's position in the
@@ -111,6 +114,11 @@ pub enum Delivery {
     /// Hard failure: non-transient error, or a transient failure of a
     /// timed event (which has no message to dead-letter).
     Failed { error: MtmError },
+    /// Rejected by the broker's admission control before processing: the
+    /// queue for the process type was full under a `Shed`/`Degrade`
+    /// policy. The message went to the dead-letter queue with
+    /// `shed = true`; no instance record exists.
+    Shed { reason: String },
 }
 
 impl Delivery {
@@ -131,6 +139,9 @@ pub struct DeadLetter {
     /// Compact XML of the undeliverable message, when the system captured
     /// it (capture is skipped on unarmed runs, which cannot dead-letter).
     pub payload: Option<String>,
+    /// `true` when the message was rejected by admission control (never
+    /// executed), as opposed to failing in transport after admission.
+    pub shed: bool,
 }
 
 /// A system's dead-letter queue: E1 messages whose transport retries were
@@ -146,7 +157,14 @@ impl DeadLetterQueue {
     }
 
     pub fn push(&self, letter: DeadLetter) {
-        dip_trace::count("resilience.dlq", 1);
+        dip_trace::count(
+            if letter.shed {
+                "eai.shed"
+            } else {
+                "resilience.dlq"
+            },
+            1,
+        );
         self.letters.lock().push(letter);
     }
 
@@ -196,6 +214,7 @@ pub fn settle(
                         seq,
                         reason: reason.clone(),
                         payload,
+                        shed: false,
                     });
                     Delivery::DeadLettered { reason }
                 }

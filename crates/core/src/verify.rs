@@ -303,9 +303,12 @@ fn verify_with(
     );
 
     // 9. E1 message conservation: every scheduled message is accounted for
-    // exactly once — an instance record exists per scheduled message, and
-    // each one either integrated (ok), was dead-lettered after exhausted
-    // transport retries, or failed outright.
+    // exactly once. Messages the broker shed (admission control) never
+    // executed, so they have no instance record but sit in the dead-letter
+    // queue with `shed = true`; everything else has a record and either
+    // integrated (ok), was dead-lettered after exhausted transport
+    // retries, or failed outright:
+    // `scheduled = integrated + dead-lettered + failed + shed`.
     if let Some(out) = outcome {
         let d = env.config.scale.datasize;
         let mut conserved = true;
@@ -328,28 +331,38 @@ fn verify_with(
                     total += 1;
                     ok += r.ok as usize;
                 }
-                let dlq = out
+                let (mut dlq, mut shed) = (0usize, 0usize);
+                for l in out
                     .dead_letters
                     .iter()
                     .filter(|l| l.process == process && l.period == k)
-                    .count();
+                {
+                    if l.shed {
+                        shed += 1;
+                    } else {
+                        dlq += 1;
+                    }
+                }
                 let failed = out
                     .failures
                     .iter()
                     .filter(|f| f.process == process && f.period == k)
                     .count();
-                if total != scheduled || ok + dlq + failed != scheduled {
+                if total + shed != scheduled || ok + dlq + failed + shed != scheduled {
                     conserved = false;
                     detail = format!(
                         "{process} period {k}: scheduled {scheduled}, \
-                         recorded {total}, ok {ok} + dlq {dlq} + failed {failed}"
+                         recorded {total}, ok {ok} + dlq {dlq} + failed {failed} \
+                         + shed {shed}"
                     );
                 }
             }
         }
         if detail.is_empty() {
-            let dlq_total = out.dead_letters.len();
-            detail = format!("all E1 messages accounted ({dlq_total} dead-lettered)");
+            let dlq_total = out.dead_letters.iter().filter(|l| !l.shed).count();
+            let shed_total = out.dead_letters.len() - dlq_total;
+            detail =
+                format!("all E1 messages accounted ({dlq_total} dead-lettered, {shed_total} shed)");
         }
         report.push("e1_message_conservation", conserved, detail);
     }

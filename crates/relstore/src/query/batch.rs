@@ -111,8 +111,113 @@ pub fn ablate_row_keys(on: bool) {
     ABLATE_ROW_KEYS.store(on, Ordering::Relaxed);
 }
 
+/// Bench-only ablation: when set, plans that [`prefers_boxed_probe`]
+/// classifies as index-join-only skip typed column assembly and build
+/// boxed `Value` columns directly. Measured at d=0.05 this is a ~15%
+/// `index_join` span *pessimization* on the mtm engine (typed `Vec<i64>`
+/// pushes beat `Value` clone traffic even when the sole consumer re-boxes
+/// row-wise), which is why it is an ablation and not the default — see
+/// ROADMAP "Close the index-join typed-column gap".
+static ABLATE_BOXED_PROBE: AtomicBool = AtomicBool::new(false);
+
+/// Toggle the boxed-probe layout ablation (bench instrumentation,
+/// process-wide).
+pub fn ablate_boxed_probe(on: bool) {
+    ABLATE_BOXED_PROBE.store(on, Ordering::Relaxed);
+}
+
+fn boxed_probe_ablated() -> bool {
+    ABLATE_BOXED_PROBE.load(Ordering::Relaxed)
+}
+
 fn boxed_ablated() -> bool {
     ABLATE_BOXED_COLUMNS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Query-scoped layout hint: when set, [`ColBuilder::for_type`] emits
+    /// boxed `Value` columns regardless of the schema type. Entered by
+    /// [`materialize_chunked`] under the [`ablate_boxed_probe`] toggle for
+    /// plans whose every chunk consumer reads rows point-wise (see
+    /// [`prefers_boxed_probe`]). Output bytes are identical either way —
+    /// the builder's demotion invariant guarantees it.
+    static BOXED_PROBE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn boxed_probe_scope() -> bool {
+    BOXED_PROBE.with(|c| c.get())
+}
+
+/// RAII entry into the boxed-probe layout scope; restores the previous
+/// state on drop (including the error path out of `drive`).
+struct BoxedProbeScope {
+    prev: bool,
+}
+
+impl BoxedProbeScope {
+    fn enter() -> BoxedProbeScope {
+        BoxedProbeScope {
+            prev: BOXED_PROBE.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for BoxedProbeScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        BOXED_PROBE.with(|c| c.set(prev));
+    }
+}
+
+/// Visit every node of a plan tree, parents before children.
+fn walk_plan(plan: &Plan, f: &mut dyn FnMut(&Plan)) {
+    f(plan);
+    match plan {
+        Plan::Scan { .. } | Plan::Values(_) => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => walk_plan(input, f),
+        Plan::HashJoin { left, right, .. } => {
+            walk_plan(left, f);
+            walk_plan(right, f);
+        }
+        Plan::IndexJoin { probe, .. } => walk_plan(probe, f),
+        Plan::UnionAll(inputs) | Plan::UnionDistinct { inputs, .. } => {
+            for p in inputs {
+                walk_plan(p, f);
+            }
+        }
+    }
+}
+
+/// True when typed column assembly collects no *vectorized* dividend: the
+/// plan contains an [`Plan::IndexJoin`] (which reads its probe chunks one
+/// row at a time via `gather_key`/`col_value` and never hashes probe
+/// columns vectorized) and no operator that exploits typed storage — no
+/// [`Plan::HashJoin`] or [`Plan::UnionDistinct`] (chunk-at-a-time key
+/// hashing) and no [`Plan::Aggregate`] (typed accumulation fast paths).
+///
+/// This was the "skip typed assembly" candidate from the ROADMAP's
+/// index-join item. Measurement refuted it: even for these plans typed
+/// assembly is *cheaper* than boxing (a `Vec<i64>` push moves 8 bytes with
+/// no refcount traffic; a boxed push clones a 24-byte `Value`), and the
+/// probe loop's per-row re-box costs the same from either layout. The
+/// predicate therefore only gates the [`ablate_boxed_probe`] measurement
+/// toggle rather than a default behavior.
+fn prefers_boxed_probe(plan: &Plan) -> bool {
+    let mut index_join = false;
+    let mut typed_consumer = false;
+    walk_plan(plan, &mut |p| match p {
+        Plan::IndexJoin { .. } => index_join = true,
+        Plan::HashJoin { .. } | Plan::UnionDistinct { .. } | Plan::Aggregate { .. } => {
+            typed_consumer = true;
+        }
+        _ => {}
+    });
+    index_join && !typed_consumer
 }
 
 fn row_keys_ablated() -> bool {
@@ -426,7 +531,7 @@ enum ColBuilder {
 
 impl ColBuilder {
     fn for_type(ty: Option<SqlType>, cap: usize) -> ColBuilder {
-        if boxed_ablated() {
+        if boxed_ablated() || boxed_probe_scope() {
             return ColBuilder::Boxed(Vec::with_capacity(cap));
         }
         match ty {
@@ -954,6 +1059,12 @@ fn join_chunk(probe: Chunk, probe_idx: Vec<u32>, inner: Vec<Col>, probe_first: b
 /// the [`ExecMode::Vectorized`] entry point.
 pub(crate) fn materialize_chunked(plan: &Plan, db: &Database) -> StoreResult<Relation> {
     let schema = plan.schema(db)?;
+    let _probe_scope = if boxed_probe_ablated() && prefers_boxed_probe(plan) {
+        dip_trace::count("relstore.batch.boxed_probe", 1);
+        Some(BoxedProbeScope::enter())
+    } else {
+        None
+    };
     let mut rows: Vec<Row> = Vec::new();
     drive(plan, db, &mut |c: Chunk| {
         c.into_rows(&mut rows);
@@ -2059,6 +2170,53 @@ mod tests {
         assert!(!isnull);
         assert_eq!(h, hash_value(&Value::Float(3.0)));
         assert_eq!(h, hash_value(&Value::Int(3)));
+    }
+
+    #[test]
+    fn boxed_probe_scope_gates_builder_layout_and_restores() {
+        assert!(!boxed_probe_scope());
+        {
+            let _guard = BoxedProbeScope::enter();
+            assert!(boxed_probe_scope());
+            let b = ColBuilder::for_type(Some(SqlType::Int), 0);
+            assert!(matches!(b, ColBuilder::Boxed(_)));
+            // nested entry restores to the *outer* scope, not to "off"
+            {
+                let _inner = BoxedProbeScope::enter();
+                assert!(boxed_probe_scope());
+            }
+            assert!(boxed_probe_scope());
+        }
+        assert!(!boxed_probe_scope());
+        let b = ColBuilder::for_type(Some(SqlType::Int), 0);
+        assert!(matches!(b, ColBuilder::I64(..)));
+    }
+
+    #[test]
+    fn prefers_boxed_probe_requires_index_join_and_no_typed_consumer() {
+        let ij = |probe: Plan| Plan::IndexJoin {
+            probe: Box::new(probe),
+            table: "t".into(),
+            probe_keys: vec![0],
+            inner_keys: vec![0],
+            predicate: None,
+            projection: None,
+            kind: JoinKind::Inner,
+            probe_is_left: true,
+        };
+        // bare index join, even under point-wise operators → boxed probe
+        let plan = ij(Plan::scan("probe")).sort(vec![0]).limit(5);
+        assert!(prefers_boxed_probe(&plan));
+        // an aggregate above (or anywhere) re-reads columns typed → keep typed
+        let plan = ij(Plan::scan("probe"))
+            .aggregate(vec![0], vec![crate::query::AggExpr::count_star("n")]);
+        assert!(!prefers_boxed_probe(&plan));
+        // a hash join below the probe side hashes chunk columns → keep typed
+        let plan =
+            ij(Plan::scan("a").hash_join(Plan::scan("b"), vec![0], vec![0], JoinKind::Inner));
+        assert!(!prefers_boxed_probe(&plan));
+        // no index join at all → nothing to recover
+        assert!(!prefers_boxed_probe(&Plan::scan("probe")));
     }
 
     #[test]

@@ -7,7 +7,7 @@ mod hashkey;
 pub mod plan;
 pub mod planner;
 
-pub use batch::{ablate_boxed_columns, ablate_row_keys};
+pub use batch::{ablate_boxed_columns, ablate_boxed_probe, ablate_row_keys};
 pub use exec::{default_mode, execute, set_default_mode, ExecMode};
 pub use plan::{AggExpr, AggFunc, JoinKind, Plan, ProjExpr};
 
@@ -587,6 +587,18 @@ mod tests {
         let ablated = execute(&plan, &db, ExecMode::Vectorized).unwrap();
         ablate_boxed_columns(false);
         ablate_row_keys(false);
+        assert_eq!(base.rows, ablated.rows);
+
+        // the boxed-probe layout ablation only fires on index-join-only
+        // plans; the planner turns this join into an IndexJoin (city pk)
+        let plan = Plan::scan("customer")
+            .hash_join(Plan::scan("city"), vec![2], vec![0], JoinKind::Inner)
+            .sort(vec![0]);
+        let opt = crate::query::planner::optimize(plan, &db).unwrap();
+        let base = execute(&opt, &db, ExecMode::Vectorized).unwrap();
+        ablate_boxed_probe(true);
+        let ablated = execute(&opt, &db, ExecMode::Vectorized).unwrap();
+        ablate_boxed_probe(false);
         assert_eq!(base.rows, ablated.rows);
     }
 
